@@ -1,0 +1,54 @@
+"""Ablation A2: unidirectional vs bidirectional vs prioritized path search.
+
+Section 3.2 adapts three path enumeration strategies from the keyword-search
+literature.  This ablation isolates the path-enumeration stage (no path union)
+and compares both the wall-clock time and the number of partial-path
+expansions each strategy performs, per connectedness bucket.
+
+Expected shape: the bidirectional strategies expand far fewer partial paths
+than the forward-only PathEnumNaive, and the activation-score prioritisation
+of PathEnumPrioritized does not expand more than PathEnumBasic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.path_enum import PATH_ENUM_ALGORITHMS
+
+from conftest import SIZE_LIMIT
+
+LENGTH_LIMIT = SIZE_LIMIT - 1
+
+
+def _run(kb, pairs, algorithm):
+    expansions = 0
+    paths = 0
+    for pair in pairs:
+        result = algorithm(kb, pair.v_start, pair.v_end, LENGTH_LIMIT)
+        expansions += result.stats["expansions"]
+        paths += result.num_paths
+    return expansions, paths
+
+
+@pytest.mark.parametrize("bucket", ["low", "medium", "high"])
+@pytest.mark.parametrize("name", ["naive", "basic", "prioritized"])
+def test_ablation_path_search(benchmark, bench_kb, bench_pairs, bucket, name):
+    algorithm = PATH_ENUM_ALGORITHMS[name]
+    pairs = bench_pairs[bucket]
+    benchmark.group = f"ablation-path-search-{bucket}"
+    benchmark.extra_info["algorithm"] = name
+    expansions, paths = benchmark.pedantic(
+        _run, args=(bench_kb, pairs, algorithm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["partial_path_expansions"] = expansions
+    benchmark.extra_info["paths_found"] = paths
+
+
+@pytest.mark.parametrize("bucket", ["low", "medium", "high"])
+def test_ablation_bidirectional_expands_less(bench_kb, bench_pairs, bucket):
+    """Bidirectional search performs no more expansions than forward-only search."""
+    pairs = bench_pairs[bucket]
+    naive_total, _ = _run(bench_kb, pairs, PATH_ENUM_ALGORITHMS["naive"])
+    basic_total, _ = _run(bench_kb, pairs, PATH_ENUM_ALGORITHMS["basic"])
+    assert basic_total <= naive_total

@@ -1,0 +1,57 @@
+"""Ablation A1: how much work does PathUnionPrune's history pruning save?
+
+Beyond the wall-clock comparison of Figure 7, this ablation counts the actual
+merge work (variable mappings tried and instance joins performed) of
+PathUnionBasic versus PathUnionPrune on the same path explanations, isolating
+the effect of the Theorem 3 composition-history pruning from everything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.path_enum import path_enum_prioritized
+from repro.enumeration.path_union import MergeStats, path_union_basic, path_union_prune
+
+from conftest import SIZE_LIMIT
+
+
+@pytest.fixture(scope="module")
+def path_seed_sets(bench_kb, bench_pairs):
+    """Path explanations for every medium/high pair (the interesting cases)."""
+    seeds = []
+    for bucket in ("medium", "high"):
+        for pair in bench_pairs[bucket]:
+            result = path_enum_prioritized(
+                bench_kb, pair.v_start, pair.v_end, SIZE_LIMIT - 1
+            )
+            seeds.append(result.explanations)
+    return seeds
+
+
+@pytest.mark.parametrize("variant", ["union-basic", "union-prune"])
+def test_ablation_union_pruning_time(benchmark, path_seed_sets, variant):
+    algorithm = path_union_basic if variant == "union-basic" else path_union_prune
+    benchmark.group = "ablation-union-pruning"
+    benchmark.extra_info["variant"] = variant
+
+    def run():
+        stats = MergeStats()
+        for seeds in path_seed_sets:
+            algorithm(seeds, SIZE_LIMIT, stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mappings_tried"] = stats.mappings_tried
+    benchmark.extra_info["instance_joins"] = stats.instance_joins
+    benchmark.extra_info["explanations_produced"] = stats.explanations_produced
+
+
+def test_ablation_prune_tries_fewer_mappings(path_seed_sets):
+    """The history pruning must not *increase* the merge work."""
+    basic_stats, prune_stats = MergeStats(), MergeStats()
+    for seeds in path_seed_sets:
+        path_union_basic(seeds, SIZE_LIMIT, basic_stats)
+        path_union_prune(seeds, SIZE_LIMIT, prune_stats)
+    assert prune_stats.mappings_tried <= basic_stats.mappings_tried
+    assert prune_stats.explanations_produced == basic_stats.explanations_produced

@@ -1,0 +1,47 @@
+"""Figure 10: average top-k computation time for different values of k.
+
+The paper sweeps k and shows that top-k pruning helps a lot for small k, the
+advantage shrinks as k grows, and for very large k the pruned algorithm can be
+slightly *slower* than full enumeration because maintaining the top-k list
+adds overhead while pruning almost nothing.
+
+The sweep runs on the medium-connectedness pairs (the bucket the paper calls
+out for the crossover) with the monocount measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measures.aggregate import MonocountMeasure
+from repro.ranking.general import rank_explanations
+from repro.ranking.topk import rank_topk_anti_monotonic
+
+from conftest import SIZE_LIMIT
+
+K_VALUES = [1, 5, 10, 25, 50, 100]
+
+
+def _rank_pruned(kb, pairs, k):
+    for pair in pairs:
+        rank_topk_anti_monotonic(
+            kb, pair.v_start, pair.v_end, MonocountMeasure(), k=k, size_limit=SIZE_LIMIT
+        )
+
+
+def _rank_full(kb, pairs, k):
+    for pair in pairs:
+        rank_explanations(
+            kb, pair.v_start, pair.v_end, MonocountMeasure(), k=k, size_limit=SIZE_LIMIT
+        )
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("variant", ["topk-pruning", "full-enumeration"])
+def test_fig10_k_sweep(benchmark, bench_kb, bench_pairs, k, variant):
+    pairs = bench_pairs["medium"]
+    benchmark.group = f"fig10-k={k}"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["k"] = k
+    runner = _rank_pruned if variant == "topk-pruning" else _rank_full
+    benchmark.pedantic(runner, args=(bench_kb, pairs, k), rounds=1, iterations=1)

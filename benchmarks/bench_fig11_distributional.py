@@ -1,0 +1,87 @@
+"""Figure 11: computing top-10 explanations with the position measure.
+
+The paper compares four scenarios for the distribution-based position measure:
+local distribution, local distribution with pruning, (sampled) global
+distribution, and global distribution with pruning.  Expected shape: pruning
+helps both variants (about 2x for the local measure), and the global variant
+remains far more expensive than the local one even with pruning — which is why
+the paper recommends the local measure.
+
+The global distribution is estimated from a fixed number of sampled local
+distributions, exactly as in the paper (which uses 100 samples; the default
+here is smaller so the harness stays laptop-friendly, and can be raised via
+``GLOBAL_SAMPLES``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.enumeration.framework import enumerate_explanations
+from repro.ranking.distributional_pruning import (
+    rank_by_global_position,
+    rank_by_local_position,
+)
+
+from conftest import SIZE_LIMIT
+
+K = 10
+GLOBAL_SAMPLES = int(os.environ.get("REX_BENCH_GLOBAL_SAMPLES", "20"))
+#: How many medium-connectedness pairs participate (the global scenarios are
+#: expensive by design — that is the point of the figure).
+NUM_PAIRS = int(os.environ.get("REX_BENCH_FIG11_PAIRS", "1"))
+
+SCENARIOS = [
+    ("local", False),
+    ("local+pruning", True),
+    ("global", False),
+    ("global+pruning", True),
+]
+
+
+@pytest.fixture(scope="module")
+def medium_pair_explanations(bench_kb, bench_pairs):
+    """Pre-enumerated explanations for the medium-connectedness pairs."""
+    prepared = []
+    for pair in bench_pairs["medium"][:NUM_PAIRS]:
+        explanations = enumerate_explanations(
+            bench_kb, pair.v_start, pair.v_end, size_limit=SIZE_LIMIT
+        ).explanations
+        prepared.append((pair, explanations))
+    return prepared
+
+
+def _run(kb, prepared, scenario, prune):
+    for pair, explanations in prepared:
+        if scenario.startswith("local"):
+            rank_by_local_position(
+                kb, explanations, pair.v_start, pair.v_end, k=K, prune=prune
+            )
+        else:
+            rank_by_global_position(
+                kb,
+                explanations,
+                pair.v_start,
+                pair.v_end,
+                k=K,
+                prune=prune,
+                num_samples=GLOBAL_SAMPLES,
+            )
+
+
+@pytest.mark.parametrize("scenario,prune", SCENARIOS)
+def test_fig11_distributional_ranking(
+    benchmark, bench_kb, medium_pair_explanations, scenario, prune
+):
+    benchmark.group = "fig11-position-measure"
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["k"] = K
+    benchmark.extra_info["global_samples"] = GLOBAL_SAMPLES
+    benchmark.pedantic(
+        _run,
+        args=(bench_kb, medium_pair_explanations, scenario, prune),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""Figure 8: enumeration time versus number of explanation instances.
+
+The paper plots, for all 30 evaluation pairs, the enumeration time of the best
+algorithm (PathEnumPrioritized + PathUnionPrune) against the total number of
+explanation instances for the pair, and observes a linear relationship.
+
+This benchmark reproduces the series: it enumerates every sampled pair with
+the best algorithm, records ``(num_instances, elapsed_seconds)`` points and
+asserts a strong positive rank correlation between the two, i.e. the time
+grows (roughly linearly) with the number of instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+from scipy import stats
+
+from repro.enumeration.framework import enumerate_explanations
+
+from conftest import SIZE_LIMIT
+
+
+def _collect_series(kb, pairs):
+    points = []
+    for pair in pairs:
+        started = time.perf_counter()
+        result = enumerate_explanations(
+            kb,
+            pair.v_start,
+            pair.v_end,
+            size_limit=SIZE_LIMIT,
+            path_algorithm="prioritized",
+            union_algorithm="prune",
+        )
+        elapsed = time.perf_counter() - started
+        points.append((result.num_instances, elapsed))
+    return points
+
+
+def test_fig8_time_vs_instances(benchmark, bench_kb, bench_pairs):
+    all_pairs = [pair for pairs in bench_pairs.values() for pair in pairs]
+    benchmark.group = "fig8-scalability"
+    points = benchmark.pedantic(
+        _collect_series, args=(bench_kb, all_pairs), rounds=1, iterations=1
+    )
+
+    benchmark.extra_info["series"] = [
+        {"instances": instances, "seconds": round(seconds, 4)}
+        for instances, seconds in sorted(points)
+    ]
+    instances = [point[0] for point in points]
+    seconds = [point[1] for point in points]
+    assert max(instances) > 0
+    if len(set(instances)) > 2:
+        correlation, _ = stats.spearmanr(instances, seconds)
+        benchmark.extra_info["spearman_correlation"] = round(float(correlation), 3)
+        # The paper reports time growing linearly with the instance count.
+        assert correlation > 0.5

@@ -1,0 +1,97 @@
+"""Table 1: effectiveness (DCG-style score) of the interestingness measures.
+
+The paper has ten human judges grade the top-10 explanations produced by each
+of eight measures for five entity pairs drawn from the DBpedia entertainment
+knowledge base, and reports a normalised DCG-style score per (measure, pair)
+plus the average.  The reproduction substitutes
+
+* the synthetic entertainment knowledge base for the DBpedia extract (the
+  paper's five celebrity pairs only exist there), with five pairs drawn from
+  the medium/high connectedness buckets so each pair has a rich explanation
+  set, and
+* the simulated judge pool of :mod:`repro.evaluation.user_study` for the ten
+  human judges.
+
+Expected shape (paper Table 1 averages): size 47, random-walk 47, count 46,
+monocount 45, local-dist 55, global-dist 55, size+monocount 59,
+size+local-dist 60 — the simple measures are roughly tied, the distributional
+measures are clearly better, and the best combination is at least as good as
+any simple measure.  The benchmark asserts that qualitative ordering (not the
+absolute numbers) and records the full score table in ``extra_info`` so it
+lands in the benchmark JSON next to the timings.
+"""
+
+from __future__ import annotations
+
+from repro.enumeration.framework import enumerate_explanations
+from repro.evaluation.user_study import (
+    RelevanceOracle,
+    SimulatedJudgePool,
+    evaluate_measures_for_pair,
+)
+from repro.measures import default_measures
+
+from conftest import SIZE_LIMIT
+
+K = 10
+NUM_PAIRS = 5
+
+
+def _study_pairs(bench_pairs):
+    """Five pairs with rich explanation sets (medium + high connectedness)."""
+    return (bench_pairs["medium"] + bench_pairs["high"])[:NUM_PAIRS]
+
+
+def _compute_table(kb, pairs):
+    """Score every measure on every study pair; returns {measure: {pair: score}}."""
+    measures = default_measures()
+    judges = SimulatedJudgePool(RelevanceOracle(kb), num_judges=10, seed=23)
+    table: dict[str, dict[str, float]] = {name: {} for name in measures}
+    for pair in pairs:
+        explanations = enumerate_explanations(
+            kb, pair.v_start, pair.v_end, size_limit=SIZE_LIMIT
+        ).explanations
+        per_measure = evaluate_measures_for_pair(
+            kb, explanations, measures, pair.v_start, pair.v_end, judges, k=K
+        )
+        for name, effectiveness in per_measure.items():
+            table[name][f"{pair.v_start}/{pair.v_end}"] = round(effectiveness.score, 1)
+    for name in table:
+        scores = list(table[name].values())
+        table[name]["avg"] = round(sum(scores) / len(scores), 1)
+    return table
+
+
+def test_table1_measure_effectiveness(benchmark, bench_kb, bench_pairs):
+    pairs = _study_pairs(bench_pairs)
+    benchmark.group = "table1-effectiveness"
+    benchmark.extra_info["pairs"] = [f"{pair.v_start}/{pair.v_end}" for pair in pairs]
+    table = benchmark.pedantic(
+        _compute_table, args=(bench_kb, pairs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["table"] = table
+
+    averages = {name: scores["avg"] for name, scores in table.items()}
+    aggregates = ["count", "monocount"]
+    structural = ["size", "random-walk"]
+    distributional = ["local-dist", "global-dist"]
+    combined = ["size+monocount", "size+local-dist"]
+
+    # The paper's qualitative findings, asserted with safety margins:
+    # (1) distributional measures clearly beat the aggregate measures,
+    assert min(averages[name] for name in distributional) > max(
+        averages[name] for name in aggregates
+    ), averages
+    # (2) the best distributional measure beats every simple measure,
+    assert max(averages[name] for name in distributional) > max(
+        averages[name] for name in structural + aggregates
+    ), averages
+    # (3) the best combination is at least as good as every simple measure,
+    assert max(averages[name] for name in combined) >= max(
+        averages[name] for name in aggregates
+    ) + 2.0, averages
+    assert max(averages[name] for name in combined) >= max(
+        averages[name] for name in structural
+    ), averages
+    # (4) every score is a valid normalised DCG value.
+    assert all(0.0 <= value <= 100.0 for value in averages.values())

@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper's experiments run over a DBpedia entertainment extract with 200K
+entities on a 2009 MacBook Pro; the benchmarks here run over the synthetic
+entertainment knowledge base at a laptop-friendly scale (the paper itself
+notes that graph *density*, not total size, drives enumeration cost).  The
+goal is to reproduce the *shape* of every figure and table: which algorithm
+wins, by roughly what factor, and where the crossovers are.
+
+Environment knobs:
+
+* ``REX_BENCH_PAIRS_PER_BUCKET`` — how many entity pairs to sample per
+  connectedness bucket (default 3; the paper uses 10).
+* ``REX_BENCH_SEED`` — random seed for the synthetic KB and pair sampling.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.entertainment import EntertainmentConfig, generate_entertainment_kb
+from repro.datasets.paper_example import paper_example_kb
+from repro.evaluation.pairs import sample_pairs_by_connectedness
+
+PAIRS_PER_BUCKET = int(os.environ.get("REX_BENCH_PAIRS_PER_BUCKET", "3"))
+BENCH_SEED = int(os.environ.get("REX_BENCH_SEED", "7"))
+
+#: Pattern size limit used throughout the paper's experiments.
+SIZE_LIMIT = 5
+#: Smaller limit used where the NaiveEnum baseline participates (it is the
+#: point of Figure 7 that the baseline is orders of magnitude slower).
+NAIVE_SIZE_LIMIT = 4
+
+
+@pytest.fixture(scope="session")
+def bench_kb():
+    """The synthetic entertainment KB all performance benchmarks run against."""
+    config = EntertainmentConfig(
+        num_persons=220,
+        num_movies=150,
+        cast_size=4.5,
+        popularity_exponent=1.15,
+        seed=BENCH_SEED,
+    )
+    return generate_entertainment_kb(config)
+
+
+@pytest.fixture(scope="session")
+def paper_kb():
+    """The running-example KB used for the effectiveness experiments."""
+    return paper_example_kb()
+
+
+@pytest.fixture(scope="session")
+def bench_pairs(bench_kb):
+    """Entity pairs per connectedness bucket (low / medium / high)."""
+    buckets = sample_pairs_by_connectedness(
+        bench_kb,
+        pairs_per_bucket=PAIRS_PER_BUCKET,
+        length_limit=4,
+        seed=BENCH_SEED,
+        entity_type="person",
+    )
+    for name, pairs in buckets.items():
+        assert pairs, f"no benchmark pairs sampled for the {name} bucket"
+    return buckets

@@ -1,0 +1,150 @@
+"""REX: Explaining Relationships between Entity Pairs — a full reproduction.
+
+This package reimplements the REX system of Fang, Das Sarma, Yu and Bohannon
+(PVLDB 5(3), 2011) in pure Python: given a knowledge base and a pair of
+related entities, it enumerates all *minimal relationship explanations*
+(constrained graph patterns plus their instances) and ranks them by a family
+of interestingness measures.
+
+Quick start::
+
+    from repro import Rex, paper_example_kb
+
+    rex = Rex(paper_example_kb())
+    for ranked in rex.explain("brad_pitt", "angelina_jolie", k=3):
+        print(ranked.value)
+        print(ranked.explanation.describe())
+
+The main layers are:
+
+* :mod:`repro.kb` — the knowledge-base substrate (labelled graph, schema,
+  relational view used by the SQL-style distributional computation);
+* :mod:`repro.core` — patterns, instances, explanations and their structural
+  properties (minimality, covering path sets);
+* :mod:`repro.enumeration` — NaiveEnum, path enumeration and path union;
+* :mod:`repro.measures` — structural, aggregate, distributional and combined
+  interestingness measures;
+* :mod:`repro.ranking` — the general ranking framework plus pruned top-k
+  algorithms;
+* :mod:`repro.evaluation` — pair sampling, simulated user study and the
+  path/non-path statistics used to reproduce the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.datasets.entertainment import (
+    EntertainmentConfig,
+    generate_entertainment_kb,
+    small_entertainment_kb,
+)
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
+from repro.enumeration.framework import (
+    DEFAULT_SIZE_LIMIT,
+    EnumerationResult,
+    enumerate_explanations,
+)
+from repro.errors import RexError
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import Schema
+from repro.measures import default_measures
+from repro.measures.base import Measure
+from repro.ranking.general import RankedExplanation, RankingResult, rank_explanations
+from repro.ranking.topk import rank_topk_anti_monotonic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rex",
+    "KnowledgeBase",
+    "Schema",
+    "Explanation",
+    "ExplanationInstance",
+    "ExplanationPattern",
+    "PatternEdge",
+    "START",
+    "END",
+    "EnumerationResult",
+    "enumerate_explanations",
+    "DEFAULT_SIZE_LIMIT",
+    "RankedExplanation",
+    "RankingResult",
+    "rank_explanations",
+    "rank_topk_anti_monotonic",
+    "Measure",
+    "default_measures",
+    "RexError",
+    "paper_example_kb",
+    "PAPER_PAIRS",
+    "EntertainmentConfig",
+    "generate_entertainment_kb",
+    "small_entertainment_kb",
+    "__version__",
+]
+
+
+class Rex:
+    """High-level facade over enumeration and ranking.
+
+    Wraps a knowledge base and exposes the two operations a search engine
+    would call: enumerate all minimal explanations for a pair, or directly ask
+    for the top-k most interesting explanations under a chosen measure.
+
+    Example:
+        >>> rex = Rex(paper_example_kb())
+        >>> top = rex.explain("tom_cruise", "nicole_kidman", k=1)
+        >>> top[0].explanation.pattern.num_edges >= 1
+        True
+    """
+
+    def __init__(self, kb: KnowledgeBase, size_limit: int = DEFAULT_SIZE_LIMIT) -> None:
+        self.kb = kb
+        self.size_limit = size_limit
+        self._measures = default_measures()
+
+    def measures(self) -> dict[str, Measure]:
+        """The available measures keyed by their Table 1 names."""
+        return dict(self._measures)
+
+    def enumerate(self, v_start: str, v_end: str, size_limit: int | None = None) -> EnumerationResult:
+        """All minimal explanations for the pair (Section 3)."""
+        return enumerate_explanations(
+            self.kb, v_start, v_end, size_limit=size_limit or self.size_limit
+        )
+
+    def explain(
+        self,
+        v_start: str,
+        v_end: str,
+        measure: str | Measure = "size+monocount",
+        k: int = 10,
+        size_limit: int | None = None,
+    ) -> list[RankedExplanation]:
+        """The top-k most interesting explanations for the pair (Section 4).
+
+        Args:
+            v_start: the entity the user searched for.
+            v_end: the related entity to explain.
+            measure: a measure name from :func:`repro.measures.default_measures`
+                or a :class:`Measure` instance.
+            k: how many explanations to return.
+            size_limit: optional override of the pattern size limit.
+        """
+        if isinstance(measure, str):
+            try:
+                measure = self._measures[measure]
+            except KeyError:
+                raise RexError(
+                    f"unknown measure {measure!r}; available: {sorted(self._measures)}"
+                ) from None
+        result = rank_explanations(
+            self.kb,
+            v_start,
+            v_end,
+            measure,
+            k=k,
+            size_limit=size_limit or self.size_limit,
+        )
+        return list(result.ranked)

@@ -1,0 +1,55 @@
+"""Core data model of REX: patterns, instances, explanations and properties."""
+
+from repro.core.covering import (
+    covering_path_pattern_set,
+    minimal_covering_cardinality,
+    simple_path_patterns,
+    stratify,
+)
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance, validate_instance
+from repro.core.isomorphism import DuplicateRegistry, are_isomorphic, find_isomorphism
+from repro.core.matcher import count_matches, has_match, iter_matches, match_pattern
+from repro.core.pattern import (
+    END,
+    START,
+    ExplanationPattern,
+    PatternEdge,
+    fresh_variable,
+    pattern_from_label_path,
+)
+from repro.core.properties import (
+    decompose,
+    essential_nodes_and_edges,
+    is_decomposable,
+    is_essential,
+    is_minimal,
+)
+
+__all__ = [
+    "covering_path_pattern_set",
+    "minimal_covering_cardinality",
+    "simple_path_patterns",
+    "stratify",
+    "Explanation",
+    "ExplanationInstance",
+    "validate_instance",
+    "DuplicateRegistry",
+    "are_isomorphic",
+    "find_isomorphism",
+    "count_matches",
+    "has_match",
+    "iter_matches",
+    "match_pattern",
+    "END",
+    "START",
+    "ExplanationPattern",
+    "PatternEdge",
+    "fresh_variable",
+    "pattern_from_label_path",
+    "decompose",
+    "essential_nodes_and_edges",
+    "is_decomposable",
+    "is_essential",
+    "is_minimal",
+]

@@ -1,0 +1,94 @@
+"""Covering path-pattern sets (Definitions 5-6, Theorems 1-3).
+
+A minimal explanation pattern is always covered by a multiset of simple
+start-to-end path patterns: every node and edge lies on at least one of the
+paths (that is exactly the essentiality property).  The enumeration framework
+of Section 3 exploits this by first enumerating path explanations and then
+combining them, and the pruning of Algorithm 4 relies on the stratification
+``MinP(k)`` of minimal patterns by the minimum cardinality of a covering path
+pattern set.
+
+This module offers the covering-set computations used by the test suite to
+validate Theorems 1-3 and by analysis tooling; the production enumerators do
+not need to materialise covering sets explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.pattern import ExplanationPattern, PatternEdge, START
+from repro.core.properties import is_minimal
+from repro.errors import PatternError
+
+__all__ = [
+    "simple_path_patterns",
+    "covering_path_pattern_set",
+    "minimal_covering_cardinality",
+    "stratify",
+]
+
+
+def _path_to_pattern(pattern: ExplanationPattern, path: tuple[PatternEdge, ...]) -> ExplanationPattern:
+    """Project one simple start-end path of ``pattern`` into its own pattern."""
+    return ExplanationPattern.from_edges(path)
+
+
+def simple_path_patterns(pattern: ExplanationPattern) -> list[ExplanationPattern]:
+    """All simple start-to-end path patterns embedded in ``pattern``.
+
+    Each returned pattern reuses the variable names of the parent pattern so
+    that covers can be checked by simple set operations.
+    """
+    return [_path_to_pattern(pattern, path) for path in pattern.simple_paths()]
+
+
+def _covers(pattern: ExplanationPattern, paths: tuple[ExplanationPattern, ...]) -> bool:
+    """Whether the union of ``paths`` covers all nodes and edges of ``pattern``."""
+    covered_nodes: set[str] = set()
+    covered_edges: set[PatternEdge] = set()
+    for path in paths:
+        covered_nodes |= set(path.variables)
+        covered_edges |= set(path.edges)
+    return covered_nodes >= set(pattern.variables) and covered_edges >= set(pattern.edges)
+
+
+def covering_path_pattern_set(pattern: ExplanationPattern) -> list[ExplanationPattern]:
+    """A minimum-cardinality covering path pattern set of ``pattern``.
+
+    Raises:
+        PatternError: when no covering set exists, i.e. the pattern is not
+            essential (Theorem 1 guarantees existence for minimal patterns).
+    """
+    paths = simple_path_patterns(pattern)
+    if not paths:
+        raise PatternError("pattern has no simple start-end path; it is not essential")
+    for cardinality in range(1, len(paths) + 1):
+        for combination in itertools.combinations(paths, cardinality):
+            if _covers(pattern, combination):
+                return list(combination)
+    raise PatternError("pattern is not covered by its simple paths; it is not essential")
+
+
+def minimal_covering_cardinality(pattern: ExplanationPattern) -> int:
+    """The ``k`` such that ``pattern`` belongs to ``MinP(k)``.
+
+    ``MinP(k)`` is the set of minimal patterns whose smallest covering path
+    pattern set has exactly ``k`` paths; path patterns themselves form
+    ``MinP(1)``.
+    """
+    return len(covering_path_pattern_set(pattern))
+
+
+def stratify(patterns: list[ExplanationPattern]) -> dict[int, list[ExplanationPattern]]:
+    """Group minimal patterns into the ``MinP(k)`` strata of Equation (1).
+
+    Non-minimal patterns are rejected with :class:`PatternError` so callers
+    notice contaminated inputs instead of silently mis-stratifying them.
+    """
+    strata: dict[int, list[ExplanationPattern]] = {}
+    for pattern in patterns:
+        if not is_minimal(pattern):
+            raise PatternError(f"pattern is not minimal: {pattern!r}")
+        strata.setdefault(minimal_covering_cardinality(pattern), []).append(pattern)
+    return dict(sorted(strata.items()))

@@ -1,0 +1,186 @@
+"""Explanation instances (Definition 2 of the paper).
+
+An explanation instance of a pattern ``p`` with respect to a knowledge base
+``G`` and a target entity pair ``(v_start, v_end)`` is a mapping from the
+pattern's variables to entities of ``G`` such that
+
+* the start variable maps to ``v_start`` and the end variable to ``v_end``,
+* every non-target variable maps to an entity other than the two targets, and
+* every pattern edge is witnessed by a knowledge-base edge with the same
+  label (and direction, for directed relations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.pattern import END, START, ExplanationPattern
+from repro.errors import InstanceError
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["ExplanationInstance", "validate_instance"]
+
+
+class ExplanationInstance:
+    """An immutable variable-to-entity mapping for a pattern.
+
+    The mapping is stored as a sorted tuple of ``(variable, entity)`` pairs so
+    instances are hashable and comparable, which the enumeration algorithms
+    rely on for de-duplication.
+    """
+
+    __slots__ = ("_items", "_mapping")
+
+    def __init__(self, mapping: Mapping[str, str]) -> None:
+        if START not in mapping or END not in mapping:
+            raise InstanceError(
+                "an instance must bind the start and end variables"
+            )
+        self._items = tuple(sorted(mapping.items()))
+        self._mapping = dict(self._items)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def mapping(self) -> dict[str, str]:
+        """A fresh dict copy of the variable-to-entity mapping."""
+        return dict(self._mapping)
+
+    @property
+    def start_entity(self) -> str:
+        return self._mapping[START]
+
+    @property
+    def end_entity(self) -> str:
+        return self._mapping[END]
+
+    def __getitem__(self, variable: str) -> str:
+        try:
+            return self._mapping[variable]
+        except KeyError:
+            raise InstanceError(f"variable {variable!r} is not bound") from None
+
+    def get(self, variable: str) -> str | None:
+        """Entity bound to ``variable`` or ``None`` when unbound."""
+        return self._mapping.get(variable)
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self._mapping
+
+    def variables(self) -> frozenset[str]:
+        """The set of bound variables."""
+        return frozenset(self._mapping)
+
+    def is_injective(self) -> bool:
+        """Whether distinct variables are bound to distinct entities.
+
+        Definition 2 describes instances as *subgraphs* of the knowledge base,
+        so REX instances are injective; the enumeration algorithms rely on
+        this (a non-injective mapping is not covered by simple-path instances).
+        """
+        return len(set(self._mapping.values())) == len(self._mapping)
+
+    def entities(self) -> frozenset[str]:
+        """The set of entities used by the instance."""
+        return frozenset(self._mapping.values())
+
+    def items(self) -> tuple[tuple[str, str], ...]:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- operations --------------------------------------------------------
+
+    def agrees_with(self, other: "ExplanationInstance", variables: Iterable[str]) -> bool:
+        """Whether both instances bind each of ``variables`` to the same entity.
+
+        Variables unbound in either instance are ignored; the merge step of
+        PathUnion only checks the matched (shared) variables.
+        """
+        for variable in variables:
+            mine = self._mapping.get(variable)
+            theirs = other._mapping.get(variable)
+            if mine is not None and theirs is not None and mine != theirs:
+                return False
+        return True
+
+    def merged_with(self, other: "ExplanationInstance") -> "ExplanationInstance":
+        """Union of two instances; conflicting bindings raise ``InstanceError``."""
+        combined = dict(self._mapping)
+        for variable, entity in other._mapping.items():
+            existing = combined.get(variable)
+            if existing is not None and existing != entity:
+                raise InstanceError(
+                    f"conflicting binding for {variable!r}: {existing!r} vs {entity!r}"
+                )
+            combined[variable] = entity
+        return ExplanationInstance(combined)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "ExplanationInstance":
+        """Rename variables of the instance through ``mapping``."""
+        renamed: dict[str, str] = {}
+        for variable, entity in self._mapping.items():
+            new_variable = mapping.get(variable, variable)
+            if new_variable in renamed and renamed[new_variable] != entity:
+                raise InstanceError(
+                    f"renaming collapses {new_variable!r} onto different entities"
+                )
+            renamed[new_variable] = entity
+        return ExplanationInstance(renamed)
+
+    def restricted_to(self, variables: Iterable[str]) -> "ExplanationInstance":
+        """Projection of the instance onto a subset of variables.
+
+        The start and end variables are always retained.
+        """
+        keep = set(variables) | {START, END}
+        return ExplanationInstance(
+            {variable: entity for variable, entity in self._mapping.items() if variable in keep}
+        )
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExplanationInstance):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        bindings = ", ".join(f"{variable}={entity}" for variable, entity in self._items)
+        return f"ExplanationInstance({bindings})"
+
+
+def validate_instance(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    instance: ExplanationInstance,
+    v_start: str,
+    v_end: str,
+) -> bool:
+    """Check that ``instance`` satisfies Definition 2 for ``pattern``.
+
+    Returns ``True`` when the instance binds exactly the pattern's variables,
+    pins the targets correctly, keeps non-target variables away from the
+    target entities, maps distinct variables to distinct entities (instances
+    are subgraphs) and witnesses every pattern edge in the knowledge base.
+    """
+    if instance.variables() != pattern.variables:
+        return False
+    if instance[START] != v_start or instance[END] != v_end:
+        return False
+    if not instance.is_injective():
+        return False
+    for variable in pattern.non_target_variables:
+        if instance[variable] in (v_start, v_end):
+            return False
+    for edge in pattern.edges:
+        source = instance[edge.source]
+        target = instance[edge.target]
+        direction = "out" if edge.directed else "any"
+        if not kb.has_edge(source, target, edge.label, direction):
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""Pattern isomorphism utilities.
+
+The enumeration algorithms of Section 3 must discard duplicate explanation
+patterns, where "duplicate" means isomorphic under a bijection that fixes the
+start and end variables and preserves labelled, directed edges.  The paper
+performs a pairwise isomorphism test against every previously discovered
+pattern; this module provides both that pairwise test (a small backtracking
+matcher) and a constant-time duplicate registry keyed by the canonical form
+from :meth:`ExplanationPattern.canonical_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.pattern import END, START, ExplanationPattern
+
+__all__ = ["are_isomorphic", "find_isomorphism", "DuplicateRegistry"]
+
+
+def _signature(pattern: ExplanationPattern, variable: str) -> tuple:
+    """A cheap invariant of a variable: degree plus sorted incident labels."""
+    labels = sorted(
+        (edge.label, edge.directed, edge.source == variable)
+        for edge in pattern.edges_of(variable)
+    )
+    return (pattern.degree(variable), tuple(labels))
+
+
+def find_isomorphism(
+    left: ExplanationPattern, right: ExplanationPattern
+) -> dict[str, str] | None:
+    """Find a start/end-fixing isomorphism from ``left`` onto ``right``.
+
+    Returns the variable mapping, or ``None`` when the patterns are not
+    isomorphic.  The search is a straightforward backtracking matcher with a
+    degree/label-signature pre-filter; patterns are tiny (size limit n = 5 in
+    the paper), so this is fast.
+    """
+    if left.num_nodes != right.num_nodes or left.num_edges != right.num_edges:
+        return None
+    left_variables = sorted(left.non_target_variables)
+    right_variables = sorted(right.non_target_variables)
+    if len(left_variables) != len(right_variables):
+        return None
+
+    right_signatures = {
+        variable: _signature(right, variable) for variable in right_variables
+    }
+    left_signatures = {
+        variable: _signature(left, variable) for variable in left_variables
+    }
+    if sorted(left_signatures.values()) != sorted(right_signatures.values()):
+        return None
+
+    right_edge_keys = {edge.key() for edge in right.edges}
+
+    def edges_consistent(mapping: dict[str, str]) -> bool:
+        for edge in left.edges:
+            if edge.source in mapping and edge.target in mapping:
+                image = edge.renamed(mapping)
+                if image.key() not in right_edge_keys:
+                    return False
+        return True
+
+    def backtrack(index: int, mapping: dict[str, str], used: set[str]) -> dict[str, str] | None:
+        if index == len(left_variables):
+            return dict(mapping)
+        variable = left_variables[index]
+        for candidate in right_variables:
+            if candidate in used:
+                continue
+            if left_signatures[variable] != right_signatures[candidate]:
+                continue
+            mapping[variable] = candidate
+            used.add(candidate)
+            if edges_consistent(mapping):
+                result = backtrack(index + 1, mapping, used)
+                if result is not None:
+                    return result
+            del mapping[variable]
+            used.remove(candidate)
+        return None
+
+    mapping = backtrack(0, {START: START, END: END}, set())
+    if mapping is None:
+        return None
+    # Final full verification (covers edges between target variables).
+    full = {**mapping}
+    if not all(edge.renamed(full).key() in right_edge_keys for edge in left.edges):
+        return None
+    return full
+
+
+def are_isomorphic(left: ExplanationPattern, right: ExplanationPattern) -> bool:
+    """Whether two patterns are isomorphic with start and end fixed."""
+    return find_isomorphism(left, right) is not None
+
+
+class DuplicateRegistry:
+    """Constant-time duplicate detection for explanation patterns.
+
+    The registry stores the canonical key of every pattern seen so far.  The
+    paper's algorithms perform a linear scan with pairwise isomorphism tests;
+    the registry is semantically equivalent but keeps enumeration tractable on
+    dense entity pairs.
+    """
+
+    def __init__(self, patterns: Iterable[ExplanationPattern] = ()) -> None:
+        self._keys: set[tuple] = set()
+        for pattern in patterns:
+            self.add(pattern)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, pattern: ExplanationPattern) -> bool:
+        return pattern.canonical_key in self._keys
+
+    def add(self, pattern: ExplanationPattern) -> bool:
+        """Register ``pattern``; returns ``True`` when it was new."""
+        key = pattern.canonical_key
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        return True

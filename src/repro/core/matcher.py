@@ -1,0 +1,189 @@
+"""Direct evaluation of explanation patterns against the knowledge base.
+
+Given a pattern and a target entity pair, :func:`match_pattern` enumerates all
+explanation instances (Definition 2) by backtracking over the pattern's
+variables.  The path-union algorithms of Section 3 avoid calling this on every
+candidate — they derive instances of merged patterns from the instances of the
+covering path patterns — but the matcher remains essential:
+
+* the naive baseline enumerator (Algorithm 1) uses it to evaluate candidates,
+* distributional measures evaluate the *same pattern* for many different
+  target pairs, and
+* the test suite uses it as a correctness oracle for PathUnion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["match_pattern", "iter_matches", "count_matches", "has_match"]
+
+
+def _variable_order(pattern: ExplanationPattern) -> list[str]:
+    """Order non-target variables so each is adjacent to an earlier variable.
+
+    Starting from the two bound target variables, repeatedly pick the unbound
+    variable with the most edges to already-ordered variables.  This keeps the
+    backtracking search propagating constraints as early as possible.
+    """
+    ordered: list[str] = [START, END]
+    placed = {START, END}
+    remaining = set(pattern.non_target_variables)
+    while remaining:
+        def connectivity(variable: str) -> tuple[int, int, str]:
+            edges_to_placed = sum(
+                1
+                for edge in pattern.edges_of(variable)
+                if edge.other(variable) in placed
+            )
+            return (edges_to_placed, pattern.degree(variable), variable)
+
+        # max connectivity first; the variable name breaks ties deterministically
+        best = max(remaining, key=connectivity)
+        ordered.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return ordered
+
+
+def _candidates(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    variable: str,
+    binding: dict[str, str],
+    v_start: str,
+    v_end: str,
+) -> set[str] | None:
+    """Candidate entities for ``variable`` given the current partial binding.
+
+    Returns ``None`` when no incident edge touches a bound variable (the
+    caller then falls back to all entities, which only happens for patterns
+    with disconnected variables and is avoided by the variable ordering).
+    """
+    candidates: set[str] | None = None
+    for edge in pattern.edges_of(variable):
+        other = edge.other(variable)
+        anchor = binding.get(other)
+        if anchor is None:
+            continue
+        reachable: set[str] = set()
+        for entry in kb.neighbors(anchor):
+            if entry.label != edge.label:
+                continue
+            if edge.directed:
+                if not entry.orientation == ("out" if edge.source == other else "in"):
+                    continue
+            else:
+                if entry.orientation != "undirected":
+                    continue
+            reachable.add(entry.neighbor)
+        candidates = reachable if candidates is None else candidates & reachable
+        if not candidates:
+            return set()
+    if candidates is None:
+        return None
+    # Non-target variables must not map onto the target entities, and the
+    # mapping must be injective (instances are subgraphs of the KB).
+    candidates.discard(v_start)
+    candidates.discard(v_end)
+    candidates.difference_update(binding.values())
+    return candidates
+
+
+def _check_edges_with(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    variable: str,
+    binding: dict[str, str],
+) -> bool:
+    """Verify all pattern edges whose endpoints are now both bound."""
+    for edge in pattern.edges_of(variable):
+        other = edge.other(variable)
+        if other not in binding:
+            continue
+        source = binding[edge.source]
+        target = binding[edge.target]
+        direction = "out" if edge.directed else "any"
+        if not kb.has_edge(source, target, edge.label, direction):
+            return False
+    return True
+
+
+def iter_matches(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    v_start: str,
+    v_end: str,
+    limit: int | None = None,
+) -> Iterator[ExplanationInstance]:
+    """Yield instances of ``pattern`` for the target pair, lazily.
+
+    Args:
+        kb: the knowledge base.
+        pattern: the explanation pattern to evaluate.
+        v_start: entity bound to the start variable.
+        v_end: entity bound to the end variable.
+        limit: stop after this many instances (``None`` = exhaustive).
+    """
+    if not kb.has_entity(v_start) or not kb.has_entity(v_end):
+        return
+    binding: dict[str, str] = {START: v_start, END: v_end}
+    # Edges directly between the two target variables must hold up front.
+    if not _check_edges_with(kb, pattern, START, binding):
+        return
+
+    order = _variable_order(pattern)[2:]
+    produced = 0
+
+    def backtrack(index: int) -> Iterator[ExplanationInstance]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if index == len(order):
+            produced += 1
+            yield ExplanationInstance(binding)
+            return
+        variable = order[index]
+        candidates = _candidates(kb, pattern, variable, binding, v_start, v_end)
+        if candidates is None:
+            candidates = set(kb.entities) - {v_start, v_end} - set(binding.values())
+        for candidate in sorted(candidates):
+            binding[variable] = candidate
+            if _check_edges_with(kb, pattern, variable, binding):
+                yield from backtrack(index + 1)
+            del binding[variable]
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def match_pattern(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    v_start: str,
+    v_end: str,
+    limit: int | None = None,
+) -> list[ExplanationInstance]:
+    """All instances of ``pattern`` for ``(v_start, v_end)`` (Definition 2)."""
+    return list(iter_matches(kb, pattern, v_start, v_end, limit=limit))
+
+
+def count_matches(
+    kb: KnowledgeBase, pattern: ExplanationPattern, v_start: str, v_end: str
+) -> int:
+    """Number of instances of ``pattern`` for the target pair."""
+    return sum(1 for _ in iter_matches(kb, pattern, v_start, v_end))
+
+
+def has_match(
+    kb: KnowledgeBase, pattern: ExplanationPattern, v_start: str, v_end: str
+) -> bool:
+    """Whether the pattern has at least one instance for the target pair."""
+    for _ in iter_matches(kb, pattern, v_start, v_end, limit=1):
+        return True
+    return False

@@ -1,0 +1,138 @@
+"""Structural properties of explanation patterns (Section 2.3).
+
+The paper restricts attention to *minimal* explanation patterns, defined as
+patterns that are
+
+* **essential** (Definition 3): every node and every edge lies on at least one
+  simple path from the start variable to the end variable, treating edges as
+  undirected; and
+* **non-decomposable** (Definition 4): the edge set cannot be partitioned into
+  two non-empty parts that share no non-target variable.
+
+The checks below operate purely on the pattern graph; they are used by the
+naive enumerator (which must filter non-minimal candidates) and by the test
+suite as an oracle for the path-union algorithms, which produce only minimal
+patterns by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+
+__all__ = [
+    "is_essential",
+    "essential_nodes_and_edges",
+    "is_decomposable",
+    "decompose",
+    "is_minimal",
+]
+
+
+def essential_nodes_and_edges(
+    pattern: ExplanationPattern,
+) -> tuple[set[str], set[PatternEdge]]:
+    """Nodes and edges of ``pattern`` that lie on some simple start-end path.
+
+    Returns:
+        A pair ``(nodes, edges)`` of the essential nodes and essential edges.
+        The start and end variables are included whenever at least one simple
+        path exists.
+    """
+    nodes: set[str] = set()
+    edges: set[PatternEdge] = set()
+    for path in pattern.simple_paths():
+        current = START
+        nodes.add(START)
+        for edge in path:
+            edges.add(edge)
+            current = edge.other(current)
+            nodes.add(current)
+    return nodes, edges
+
+
+def is_essential(pattern: ExplanationPattern) -> bool:
+    """Whether every node and edge of ``pattern`` is essential (Definition 3)."""
+    if not pattern.edges:
+        return False
+    nodes, edges = essential_nodes_and_edges(pattern)
+    return nodes == set(pattern.variables) and edges == set(pattern.edges)
+
+
+def is_decomposable(pattern: ExplanationPattern) -> bool:
+    """Whether ``pattern`` is decomposable (Definition 4).
+
+    A pattern is decomposable when its edges can be split into two non-empty
+    groups such that no non-target variable appears in both groups.  This is
+    equivalent to asking whether the "edge graph" — edges as vertices,
+    adjacency meaning sharing a non-target variable — is disconnected.
+    """
+    edges = sorted(pattern.edges, key=lambda edge: edge.key())
+    if len(edges) <= 1:
+        return False
+    non_target = pattern.non_target_variables
+
+    # Union the edges that share a non-target variable and count components.
+    parent = list(range(len(edges)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    def union(left: int, right: int) -> None:
+        root_left, root_right = find(left), find(right)
+        if root_left != root_right:
+            parent[root_right] = root_left
+
+    by_variable: dict[str, list[int]] = {}
+    for index, edge in enumerate(edges):
+        for variable in edge.endpoints():
+            if variable in non_target:
+                by_variable.setdefault(variable, []).append(index)
+    for incident in by_variable.values():
+        for other in incident[1:]:
+            union(incident[0], other)
+
+    roots = {find(index) for index in range(len(edges))}
+    return len(roots) > 1
+
+
+def decompose(pattern: ExplanationPattern) -> list[ExplanationPattern]:
+    """Split a decomposable pattern into its non-decomposable components.
+
+    Each component keeps the start and end variables.  For a non-decomposable
+    pattern the result is a single-element list containing an equal pattern.
+    """
+    edges = sorted(pattern.edges, key=lambda edge: edge.key())
+    if not edges:
+        return []
+    non_target = pattern.non_target_variables
+
+    groups: list[list[PatternEdge]] = []
+    assigned: dict[PatternEdge, int] = {}
+    for edge in edges:
+        # Find every existing group sharing a non-target variable with edge.
+        matching = [
+            index
+            for index, group in enumerate(groups)
+            if any(
+                variable in non_target and any(other.touches(variable) for other in group)
+                for variable in edge.endpoints()
+            )
+        ]
+        if not matching:
+            groups.append([edge])
+        else:
+            target_group = groups[matching[0]]
+            target_group.append(edge)
+            # Merge any further matching groups into the first.
+            for index in sorted(matching[1:], reverse=True):
+                target_group.extend(groups.pop(index))
+        assigned[edge] = 0  # bookkeeping only; membership tracked via groups
+    return [ExplanationPattern.from_edges(group) for group in groups]
+
+
+def is_minimal(pattern: ExplanationPattern) -> bool:
+    """Whether ``pattern`` is minimal: essential and non-decomposable."""
+    return is_essential(pattern) and not is_decomposable(pattern)

@@ -1,0 +1,18 @@
+"""Datasets: the paper's running example and synthetic DBpedia substitutes."""
+
+from repro.datasets.entertainment import (
+    EntertainmentConfig,
+    dense_entertainment_kb,
+    generate_entertainment_kb,
+    small_entertainment_kb,
+)
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
+
+__all__ = [
+    "EntertainmentConfig",
+    "dense_entertainment_kb",
+    "generate_entertainment_kb",
+    "small_entertainment_kb",
+    "PAPER_PAIRS",
+    "paper_example_kb",
+]

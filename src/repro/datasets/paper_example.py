@@ -1,0 +1,207 @@
+"""The running-example entertainment knowledge base from the paper.
+
+Figure 3 of the paper shows a small subset of the Yahoo! entertainment
+knowledge base around actors such as Brad Pitt, Angelina Jolie, Tom Cruise and
+Kate Winslet.  The figure itself is only partially legible from the text, so
+this module reconstructs a compatible small KB that supports every concrete
+explanation the paper discusses:
+
+* Nicole Kidman and Tom Cruise used to be married (spouse explanation),
+* Brad Pitt and Tom Cruise co-starred in *Interview with the Vampire*,
+* Brad Pitt and Angelina Jolie are partners and co-starred in
+  *Mr. & Mrs. Smith*,
+* Kate Winslet and Leonardo DiCaprio co-starred in *Titanic* and
+  *Revolutionary Road*, the latter directed by Sam Mendes (the Figure 6
+  "collaborated with the same director" example),
+* Brad Pitt produced a movie he also starred in (Figure 4(c)), and
+* the Figure 4(d) "same director" pattern has instances for Brad Pitt and
+  Angelina Jolie.
+
+All examples and a large part of the unit-test suite run against this KB, so
+keep additions backwards compatible.
+"""
+
+from __future__ import annotations
+
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import default_entertainment_schema
+
+__all__ = ["paper_example_kb", "PAPER_PAIRS"]
+
+#: The five user-study pairs of Section 5.4.1 (P1..P5).
+PAPER_PAIRS = [
+    ("brad_pitt", "angelina_jolie"),
+    ("kate_winslet", "leonardo_dicaprio"),
+    ("tom_cruise", "will_smith"),
+    ("james_cameron", "kate_winslet"),
+    ("mel_gibson", "helen_hunt"),
+]
+
+_PERSONS = [
+    "brad_pitt",
+    "angelina_jolie",
+    "tom_cruise",
+    "nicole_kidman",
+    "will_smith",
+    "kate_winslet",
+    "leonardo_dicaprio",
+    "james_cameron",
+    "sam_mendes",
+    "mel_gibson",
+    "helen_hunt",
+    "doug_liman",
+    "robert_redford",
+    "jennifer_aniston",
+    "julia_roberts",
+    "george_clooney",
+    "steven_soderbergh",
+    "billy_bob_thornton",
+    "jada_pinkett_smith",
+    "connie_nielsen",
+]
+
+_MOVIES = [
+    "mr_and_mrs_smith",
+    "interview_with_the_vampire",
+    "titanic",
+    "revolutionary_road",
+    "the_aviator",
+    "what_women_want",
+    "braveheart",
+    "oceans_eleven",
+    "oceans_twelve",
+    "spy_game",
+    "a_river_runs_through_it",
+    "the_mexican",
+    "ali",
+    "vanilla_sky",
+    "jerry_maguire",
+    "eyes_wide_shut",
+    "days_of_thunder",
+    "far_and_away",
+    "pay_it_forward",
+    "cast_away",
+    "by_the_sea",
+    "the_good_shepherd",
+]
+
+_AWARDS = ["academy_award", "golden_globe", "bafta"]
+
+# (movie, person) starring edges.
+_STARRING = [
+    ("mr_and_mrs_smith", "brad_pitt"),
+    ("mr_and_mrs_smith", "angelina_jolie"),
+    ("interview_with_the_vampire", "brad_pitt"),
+    ("interview_with_the_vampire", "tom_cruise"),
+    ("titanic", "kate_winslet"),
+    ("titanic", "leonardo_dicaprio"),
+    ("revolutionary_road", "kate_winslet"),
+    ("revolutionary_road", "leonardo_dicaprio"),
+    ("the_aviator", "leonardo_dicaprio"),
+    ("what_women_want", "mel_gibson"),
+    ("what_women_want", "helen_hunt"),
+    ("braveheart", "mel_gibson"),
+    ("oceans_eleven", "brad_pitt"),
+    ("oceans_eleven", "george_clooney"),
+    ("oceans_eleven", "julia_roberts"),
+    ("oceans_twelve", "brad_pitt"),
+    ("oceans_twelve", "george_clooney"),
+    ("oceans_twelve", "julia_roberts"),
+    ("spy_game", "brad_pitt"),
+    ("spy_game", "robert_redford"),
+    ("a_river_runs_through_it", "brad_pitt"),
+    ("the_mexican", "brad_pitt"),
+    ("the_mexican", "julia_roberts"),
+    ("ali", "will_smith"),
+    ("ali", "jada_pinkett_smith"),
+    ("vanilla_sky", "tom_cruise"),
+    ("jerry_maguire", "tom_cruise"),
+    ("eyes_wide_shut", "tom_cruise"),
+    ("eyes_wide_shut", "nicole_kidman"),
+    ("days_of_thunder", "tom_cruise"),
+    ("days_of_thunder", "nicole_kidman"),
+    ("far_and_away", "tom_cruise"),
+    ("far_and_away", "nicole_kidman"),
+    ("pay_it_forward", "helen_hunt"),
+    ("cast_away", "helen_hunt"),
+    ("by_the_sea", "brad_pitt"),
+    ("by_the_sea", "angelina_jolie"),
+    ("the_good_shepherd", "angelina_jolie"),
+]
+
+# (movie, person) director edges.
+_DIRECTOR = [
+    ("titanic", "james_cameron"),
+    ("revolutionary_road", "sam_mendes"),
+    ("mr_and_mrs_smith", "doug_liman"),
+    ("braveheart", "mel_gibson"),
+    ("oceans_eleven", "steven_soderbergh"),
+    ("oceans_twelve", "steven_soderbergh"),
+    ("a_river_runs_through_it", "robert_redford"),
+    ("by_the_sea", "angelina_jolie"),
+]
+
+# (movie, person) producer edges.
+_PRODUCER = [
+    ("by_the_sea", "brad_pitt"),
+    ("the_good_shepherd", "robert_redford"),
+    ("vanilla_sky", "tom_cruise"),
+    ("braveheart", "mel_gibson"),
+]
+
+# Undirected person-person edges.
+_SPOUSE = [
+    ("brad_pitt", "jennifer_aniston"),
+    ("tom_cruise", "nicole_kidman"),
+    ("will_smith", "jada_pinkett_smith"),
+    ("billy_bob_thornton", "angelina_jolie"),
+]
+
+_PARTNER = [
+    ("brad_pitt", "angelina_jolie"),
+]
+
+# (person, award) edges.
+_AWARD_WON = [
+    ("kate_winslet", "academy_award"),
+    ("leonardo_dicaprio", "academy_award"),
+    ("tom_cruise", "golden_globe"),
+    ("nicole_kidman", "academy_award"),
+    ("mel_gibson", "academy_award"),
+    ("helen_hunt", "academy_award"),
+    ("angelina_jolie", "academy_award"),
+    ("will_smith", "golden_globe"),
+    ("brad_pitt", "golden_globe"),
+    ("james_cameron", "academy_award"),
+    ("julia_roberts", "academy_award"),
+    ("george_clooney", "academy_award"),
+]
+
+
+def paper_example_kb() -> KnowledgeBase:
+    """Construct the Figure 3 style running-example knowledge base.
+
+    Returns:
+        A small :class:`KnowledgeBase` (about 45 entities) exercising every
+        explanation the paper uses as an example.
+    """
+    kb = KnowledgeBase(schema=default_entertainment_schema())
+    for person in _PERSONS:
+        kb.add_entity(person, entity_type="person")
+    for movie in _MOVIES:
+        kb.add_entity(movie, entity_type="movie")
+    for award in _AWARDS:
+        kb.add_entity(award, entity_type="award")
+    for movie, person in _STARRING:
+        kb.add_edge(movie, person, "starring")
+    for movie, person in _DIRECTOR:
+        kb.add_edge(movie, person, "director")
+    for movie, person in _PRODUCER:
+        kb.add_edge(movie, person, "producer")
+    for left, right in _SPOUSE:
+        kb.add_edge(left, right, "spouse")
+    for left, right in _PARTNER:
+        kb.add_edge(left, right, "partner")
+    for person, award in _AWARD_WON:
+        kb.add_edge(person, award, "award_won")
+    return kb

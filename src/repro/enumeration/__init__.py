@@ -1,0 +1,46 @@
+"""Explanation enumeration algorithms (Section 3 of the paper)."""
+
+from repro.enumeration.framework import (
+    DEFAULT_SIZE_LIMIT,
+    EnumerationResult,
+    enumerate_explanations,
+)
+from repro.enumeration.naive import NaiveEnumStats, naive_enum
+from repro.enumeration.path_enum import (
+    PATH_ENUM_ALGORITHMS,
+    PathEnumResult,
+    PathInstance,
+    PathStep,
+    group_paths_into_explanations,
+    path_enum_basic,
+    path_enum_naive,
+    path_enum_prioritized,
+)
+from repro.enumeration.path_union import (
+    PATH_UNION_ALGORITHMS,
+    MergeStats,
+    merge_explanations,
+    path_union_basic,
+    path_union_prune,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_LIMIT",
+    "EnumerationResult",
+    "enumerate_explanations",
+    "NaiveEnumStats",
+    "naive_enum",
+    "PATH_ENUM_ALGORITHMS",
+    "PathEnumResult",
+    "PathInstance",
+    "PathStep",
+    "group_paths_into_explanations",
+    "path_enum_basic",
+    "path_enum_naive",
+    "path_enum_prioritized",
+    "PATH_UNION_ALGORITHMS",
+    "MergeStats",
+    "merge_explanations",
+    "path_union_basic",
+    "path_union_prune",
+]

@@ -1,0 +1,241 @@
+"""NaiveEnum: the gSpan-style baseline enumerator (Algorithm 1).
+
+The baseline grows explanation patterns edge by edge from a seed containing
+only the start variable, in the spirit of gSpan's pattern-growth rule.  Every
+candidate is pruned when it is a duplicate (isomorphic to a previously seen
+pattern), has no instance, or exceeds the size limit; candidates that are
+minimal are emitted as explanations.  Non-minimal candidates are *kept in the
+expansion queue* because a later expansion can turn them into minimal
+patterns — this is exactly why the baseline is slow and why Section 3
+introduces the path-union framework.
+
+The implementation derives candidate expansions from the instances of the
+current pattern (each knowledge-base edge incident to a bound entity suggests
+a pattern-level edge), which both bounds the branching factor and lets the
+new pattern's instances be computed from the old ones without re-evaluating
+against the knowledge base from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.isomorphism import DuplicateRegistry
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
+from repro.core.properties import is_minimal
+from repro.errors import EnumerationError
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["NaiveEnumStats", "naive_enum"]
+
+
+@dataclass
+class NaiveEnumStats:
+    """Work counters for the baseline, compared against the framework."""
+
+    patterns_expanded: int = 0
+    candidates_generated: int = 0
+    duplicates_discarded: int = 0
+    empty_discarded: int = 0
+    minimal_found: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "patterns_expanded": self.patterns_expanded,
+            "candidates_generated": self.candidates_generated,
+            "duplicates_discarded": self.duplicates_discarded,
+            "empty_discarded": self.empty_discarded,
+            "minimal_found": self.minimal_found,
+        }
+
+
+@dataclass(frozen=True)
+class _Expansion:
+    """A pattern-level edge addition suggested by an instance."""
+
+    source: str
+    target: str
+    label: str
+    directed: bool
+    new_variable: str | None  # name of the newly introduced variable, if any
+
+    def edge(self) -> PatternEdge:
+        return PatternEdge(self.source, self.target, self.label, self.directed)
+
+
+def _candidate_expansions(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    instances: tuple[ExplanationInstance, ...],
+    v_start: str,
+    v_end: str,
+) -> set[_Expansion]:
+    """All pattern-level edge additions witnessed by at least one instance."""
+    expansions: set[_Expansion] = set()
+    connected = {
+        variable
+        for variable in pattern.variables
+        if pattern.degree(variable) > 0 or variable == START
+    }
+    next_variable = fresh_variable(len(pattern.non_target_variables))
+    for instance in instances:
+        entity_to_variables: dict[str, list[str]] = {}
+        for variable in pattern.variables:
+            entity_to_variables.setdefault(instance[variable], []).append(variable)
+        for variable in sorted(connected):
+            entity = instance[variable]
+            for entry in kb.neighbors(entity):
+                if entry.orientation == "undirected":
+                    directed, forward = False, True
+                else:
+                    directed, forward = True, entry.orientation == "out"
+                neighbor = entry.neighbor
+                targets: list[tuple[str, str | None]] = []
+                if neighbor == v_end:
+                    targets.append((END, None))
+                elif neighbor == v_start:
+                    targets.append((START, None))
+                else:
+                    for bound_variable in entity_to_variables.get(neighbor, []):
+                        if bound_variable not in (START, END):
+                            targets.append((bound_variable, None))
+                    targets.append((next_variable, next_variable))
+                for target_variable, new_variable in targets:
+                    if target_variable == variable:
+                        continue
+                    if directed:
+                        source, target = (
+                            (variable, target_variable) if forward else (target_variable, variable)
+                        )
+                    else:
+                        source, target = variable, target_variable
+                    try:
+                        expansion = _Expansion(source, target, entry.label, directed, new_variable)
+                    except Exception:  # pragma: no cover - defensive
+                        continue
+                    if expansion.edge() in pattern.edges:
+                        continue
+                    expansions.add(expansion)
+    return expansions
+
+
+def _extend_instances(
+    kb: KnowledgeBase,
+    instances: tuple[ExplanationInstance, ...],
+    expansion: _Expansion,
+    v_start: str,
+    v_end: str,
+) -> list[ExplanationInstance]:
+    """Instances of the expanded pattern, derived from the parent's instances."""
+    edge = expansion.edge()
+    direction = "out" if edge.directed else "any"
+    extended: list[ExplanationInstance] = []
+    for instance in instances:
+        if expansion.new_variable is None:
+            source = instance[edge.source]
+            target = instance[edge.target]
+            if kb.has_edge(source, target, edge.label, direction):
+                extended.append(instance)
+            continue
+        # The expansion introduces a new variable; find all bindings for it.
+        anchor_variable = edge.source if edge.target == expansion.new_variable else edge.target
+        anchor_entity = instance[anchor_variable]
+        anchor_is_source = anchor_variable == edge.source
+        for entry in kb.neighbors(anchor_entity):
+            if entry.label != edge.label:
+                continue
+            if edge.directed:
+                expected = "out" if anchor_is_source else "in"
+                if entry.orientation != expected:
+                    continue
+            elif entry.orientation != "undirected":
+                continue
+            candidate = entry.neighbor
+            if candidate in (v_start, v_end):
+                continue
+            mapping = instance.mapping
+            if candidate in mapping.values():
+                # Instances are subgraphs: a new variable may not reuse an
+                # entity already bound to another variable.
+                continue
+            mapping[expansion.new_variable] = candidate
+            extended.append(ExplanationInstance(mapping))
+    return extended
+
+
+def naive_enum(
+    kb: KnowledgeBase,
+    v_start: str,
+    v_end: str,
+    size_limit: int,
+    stats: NaiveEnumStats | None = None,
+) -> list[Explanation]:
+    """Enumerate minimal explanations with the gSpan-style baseline.
+
+    Returns the same set of minimal explanations as the path-union framework
+    (up to isomorphism), but explores the much larger space of *all* connected
+    patterns containing the start variable, including non-minimal ones.
+
+    Args:
+        kb: the knowledge base.
+        v_start: start entity.
+        v_end: end entity.
+        size_limit: maximum number of pattern variables.
+        stats: optional work counters updated in place.
+    """
+    if size_limit < 2:
+        raise EnumerationError("the pattern size limit must be at least 2")
+    if v_start == v_end:
+        raise EnumerationError("the start and end entities must differ")
+    for entity in (v_start, v_end):
+        if not kb.has_entity(entity):
+            raise EnumerationError(f"entity not in knowledge base: {entity!r}")
+    stats = stats if stats is not None else NaiveEnumStats()
+
+    seed_pattern = ExplanationPattern.from_edges([])
+    seed_instances = (ExplanationInstance({START: v_start, END: v_end}),)
+
+    registry = DuplicateRegistry([seed_pattern])
+    queue: list[tuple[ExplanationPattern, tuple[ExplanationInstance, ...]]] = [
+        (seed_pattern, seed_instances)
+    ]
+    minimal: list[Explanation] = []
+
+    index = 0
+    while index < len(queue):
+        pattern, instances = queue[index]
+        index += 1
+        stats.patterns_expanded += 1
+        for expansion in sorted(
+            _candidate_expansions(kb, pattern, instances, v_start, v_end),
+            key=lambda item: (item.source, item.target, item.label, item.directed),
+        ):
+            stats.candidates_generated += 1
+            new_variables = set(pattern.variables)
+            if expansion.new_variable is not None:
+                new_variables.add(expansion.new_variable)
+            if len(new_variables) > size_limit:
+                continue
+            new_pattern = ExplanationPattern(
+                new_variables, set(pattern.edges) | {expansion.edge()}
+            )
+            if new_pattern in registry:
+                stats.duplicates_discarded += 1
+                continue
+            new_instances = tuple(
+                sorted(
+                    set(_extend_instances(kb, instances, expansion, v_start, v_end)),
+                    key=lambda item: item.items(),
+                )
+            )
+            if not new_instances:
+                stats.empty_discarded += 1
+                continue
+            registry.add(new_pattern)
+            queue.append((new_pattern, new_instances))
+            if is_minimal(new_pattern):
+                stats.minimal_found += 1
+                minimal.append(Explanation(new_pattern, new_instances))
+    return minimal

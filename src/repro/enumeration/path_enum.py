@@ -1,0 +1,440 @@
+"""Path explanation enumeration (Section 3.2).
+
+Path explanations are the ``MinP(1)`` stratum: explanation patterns that are
+simple start-to-end paths.  The paper adapts keyword-search algorithms:
+
+* :func:`path_enum_naive` — enumerate every simple path from the start entity
+  up to the length limit and keep the ones that end at the end entity.  This
+  is the ``PathEnumNaive`` strawman of Section 5.2.
+* :func:`path_enum_basic` — BANKS-style bidirectional search: partial paths
+  are grown concurrently from both target entities (shortest first) and joined
+  when they meet at a common entity.
+* :func:`path_enum_prioritized` — BANKS2-style search where the node expanded
+  next is chosen by an *activation score* that penalises high-degree hubs, so
+  expansion tends to wait for the cheaper side to arrive.
+
+All three return exactly the same set of path explanations (patterns grouped
+with their instances); they differ in how much work they perform, which the
+``stats`` counters expose for the Figure 7 benchmark and the ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
+from repro.errors import EnumerationError
+from repro.kb.graph import KnowledgeBase, NeighborEntry
+from repro.kb.schema import Schema
+
+__all__ = [
+    "PathStep",
+    "PathInstance",
+    "PathEnumResult",
+    "path_enum_naive",
+    "path_enum_basic",
+    "path_enum_prioritized",
+    "group_paths_into_explanations",
+    "PATH_ENUM_ALGORITHMS",
+]
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of an instance-level path.
+
+    Attributes:
+        entity: the entity reached by this hop.
+        label: the relationship label of the traversed edge.
+        directed: whether the relationship is directed.
+        forward: for directed relations, whether the edge points in the
+            direction of traversal (previous entity -> ``entity``).
+    """
+
+    entity: str
+    label: str
+    directed: bool
+    forward: bool
+
+
+@dataclass(frozen=True)
+class PathInstance:
+    """An instance-level simple path from the start entity to the end entity."""
+
+    start: str
+    steps: tuple[PathStep, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.start,) + tuple(step.entity for step in self.steps)
+
+    @property
+    def terminal(self) -> str:
+        return self.steps[-1].entity if self.steps else self.start
+
+    def signature(self) -> tuple:
+        """Identity of the path used for de-duplication across algorithms."""
+        return (self.start,) + tuple(
+            (step.entity, step.label, step.directed, step.forward) for step in self.steps
+        )
+
+    def pattern_signature(self) -> tuple:
+        """The label/direction sequence that defines the path's pattern."""
+        return tuple((step.label, step.directed, step.forward) for step in self.steps)
+
+
+@dataclass
+class PathEnumResult:
+    """Path explanations plus work counters for performance comparisons."""
+
+    explanations: list[Explanation]
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_paths(self) -> int:
+        return sum(explanation.num_instances for explanation in self.explanations)
+
+
+def _step_from_entry(entry: NeighborEntry) -> PathStep:
+    """Translate a knowledge-base adjacency entry into a traversal step."""
+    if entry.orientation == "undirected":
+        return PathStep(entry.neighbor, entry.label, directed=False, forward=True)
+    return PathStep(
+        entry.neighbor,
+        entry.label,
+        directed=True,
+        forward=entry.orientation == "out",
+    )
+
+
+def _path_to_pattern(path: PathInstance) -> tuple[ExplanationPattern, ExplanationInstance]:
+    """Convert an instance-level path into its pattern and instance."""
+    nodes = path.nodes
+    variables = [START]
+    for index in range(len(nodes) - 2):
+        variables.append(fresh_variable(index))
+    variables.append(END)
+    edges = []
+    binding = {START: nodes[0], END: nodes[-1]}
+    for index, step in enumerate(path.steps):
+        left, right = variables[index], variables[index + 1]
+        binding[variables[index + 1]] = step.entity
+        if step.directed and not step.forward:
+            left, right = right, left
+        edges.append(PatternEdge(left, right, step.label, step.directed))
+    pattern = ExplanationPattern.from_edges(edges)
+    return pattern, ExplanationInstance(binding)
+
+
+def group_paths_into_explanations(paths: list[PathInstance]) -> list[Explanation]:
+    """Group instance-level paths by their pattern into path explanations.
+
+    Paths with the same start-to-end label/direction sequence share a pattern;
+    the grouping simply replaces intermediate entities with variables, as
+    described at the start of Section 3.2.
+    """
+    grouped: dict[tuple, tuple[ExplanationPattern, list[ExplanationInstance]]] = {}
+    for path in paths:
+        signature = path.pattern_signature()
+        pattern, instance = _path_to_pattern(path)
+        if signature not in grouped:
+            grouped[signature] = (pattern, [])
+        grouped[signature][1].append(instance)
+    return [Explanation(pattern, instances) for pattern, instances in grouped.values()]
+
+
+def _validate(kb: KnowledgeBase, v_start: str, v_end: str, length_limit: int) -> None:
+    if length_limit < 1:
+        raise EnumerationError("the path length limit must be at least 1")
+    if v_start == v_end:
+        raise EnumerationError("the start and end entities must differ")
+    if not kb.has_entity(v_start):
+        raise EnumerationError(f"start entity not in knowledge base: {v_start!r}")
+    if not kb.has_entity(v_end):
+        raise EnumerationError(f"end entity not in knowledge base: {v_end!r}")
+
+
+# ---------------------------------------------------------------------------
+# PathEnumNaive
+# ---------------------------------------------------------------------------
+
+
+def path_enum_naive(
+    kb: KnowledgeBase, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """Enumerate paths by exhaustive forward search from the start entity.
+
+    Every length-limited simple path leaving ``v_start`` is expanded and the
+    ones that reach ``v_end`` are kept.  This is the most naive strategy and
+    exists as the lower baseline of Figure 7.
+    """
+    _validate(kb, v_start, v_end, length_limit)
+    paths: list[PathInstance] = []
+    expansions = 0
+
+    def extend(current: str, visited: set[str], steps: list[PathStep]) -> None:
+        nonlocal expansions
+        if len(steps) >= length_limit:
+            return
+        for entry in kb.neighbors(current):
+            expansions += 1
+            neighbor = entry.neighbor
+            if neighbor in visited:
+                continue
+            step = _step_from_entry(entry)
+            steps.append(step)
+            if neighbor == v_end:
+                paths.append(PathInstance(v_start, tuple(steps)))
+            elif neighbor != v_start:
+                visited.add(neighbor)
+                extend(neighbor, visited, steps)
+                visited.remove(neighbor)
+            steps.pop()
+
+    extend(v_start, {v_start, v_end} - {v_end}, [])
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared bidirectional machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PartialPath:
+    """A simple path grown from one of the two target entities."""
+
+    origin: str  # "start" or "end"
+    nodes: tuple[str, ...]
+    steps: tuple[PathStep, ...]
+
+    @property
+    def terminal(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+
+def _join(forward: _PartialPath, backward: _PartialPath) -> PathInstance | None:
+    """Join a start-side and an end-side partial path meeting at a node.
+
+    Returns ``None`` when the two halves overlap anywhere other than the
+    meeting node (the joined path would not be simple).
+    """
+    if forward.terminal != backward.terminal:
+        return None
+    if set(forward.nodes) & set(backward.nodes) != {forward.terminal}:
+        return None
+    steps = list(forward.steps)
+    # Reverse the end-side path: its steps go v_end -> meeting node, we need
+    # meeting node -> v_end with flipped traversal direction.
+    nodes = backward.nodes
+    for index in range(len(backward.steps) - 1, -1, -1):
+        step = backward.steps[index]
+        previous = nodes[index]
+        steps.append(
+            PathStep(
+                entity=previous,
+                label=step.label,
+                directed=step.directed,
+                forward=(not step.forward) if step.directed else True,
+            )
+        )
+    return PathInstance(forward.nodes[0], tuple(steps))
+
+
+def _expand_partial(
+    kb: KnowledgeBase,
+    partial: _PartialPath,
+    v_start: str,
+    v_end: str,
+) -> list[_PartialPath]:
+    """All one-step extensions of a partial path that keep it simple.
+
+    Partial paths never run *through* a target entity: reaching the opposite
+    target terminates the path there (it becomes a full path when joined with
+    the zero-length partial path of the other side).
+    """
+    current = partial.terminal
+    opposite = v_end if partial.origin == "start" else v_start
+    own_target = v_start if partial.origin == "start" else v_end
+    if current == opposite:
+        return []
+    extensions = []
+    for entry in kb.neighbors(current):
+        neighbor = entry.neighbor
+        if neighbor in partial.nodes or neighbor == own_target:
+            continue
+        step = _step_from_entry(entry)
+        extensions.append(
+            _PartialPath(
+                origin=partial.origin,
+                nodes=partial.nodes + (neighbor,),
+                steps=partial.steps + (step,),
+            )
+        )
+    return extensions
+
+
+def _collect_full_paths(
+    start_side: dict[str, list[_PartialPath]],
+    end_side: dict[str, list[_PartialPath]],
+    length_limit: int,
+) -> list[PathInstance]:
+    """Join all compatible partial-path pairs into full simple paths."""
+    seen: set[tuple] = set()
+    paths: list[PathInstance] = []
+    for terminal, forwards in start_side.items():
+        backwards = end_side.get(terminal, [])
+        for forward in forwards:
+            for backward in backwards:
+                if forward.length + backward.length > length_limit:
+                    continue
+                if forward.length + backward.length == 0:
+                    continue
+                joined = _join(forward, backward)
+                if joined is None:
+                    continue
+                signature = joined.signature()
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                paths.append(joined)
+    return paths
+
+
+def path_enum_basic(
+    kb: KnowledgeBase, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """BANKS-style bidirectional path enumeration (``PathEnumBasic``).
+
+    Partial paths are grown breadth-first (shortest first) from both targets:
+    the start side up to ``ceil(l / 2)`` hops and the end side up to
+    ``floor(l / 2)`` hops, after which every pair of partial paths meeting at
+    a common entity is joined into a full path.
+    """
+    _validate(kb, v_start, v_end, length_limit)
+    forward_limit = math.ceil(length_limit / 2)
+    backward_limit = length_limit // 2
+    expansions = 0
+
+    start_side: dict[str, list[_PartialPath]] = {}
+    end_side: dict[str, list[_PartialPath]] = {}
+
+    for origin, root, limit, store in (
+        ("start", v_start, forward_limit, start_side),
+        ("end", v_end, backward_limit, end_side),
+    ):
+        frontier = [_PartialPath(origin, (root,), ())]
+        store.setdefault(root, []).append(frontier[0])
+        depth = 0
+        while frontier and depth < limit:
+            next_frontier: list[_PartialPath] = []
+            for partial in frontier:
+                for extension in _expand_partial(kb, partial, v_start, v_end):
+                    expansions += 1
+                    store.setdefault(extension.terminal, []).append(extension)
+                    next_frontier.append(extension)
+            frontier = next_frontier
+            depth += 1
+
+    paths = _collect_full_paths(start_side, end_side, length_limit)
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
+def path_enum_prioritized(
+    kb: KnowledgeBase, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """BANKS2-style prioritized bidirectional enumeration (``PathEnumPrioritized``).
+
+    Expansion is driven by an activation score: each target entity starts with
+    activation ``1 / degree`` and expanding a node spreads its activation to
+    its neighbours divided by their degree.  High-degree hubs therefore
+    receive little activation and are expanded late, letting the cheaper side
+    of the search reach the meeting point first.  The produced path set is
+    identical to :func:`path_enum_basic`; only the amount and order of work
+    differs.
+    """
+    _validate(kb, v_start, v_end, length_limit)
+    forward_limit = math.ceil(length_limit / 2)
+    backward_limit = length_limit // 2
+    limits = {"start": forward_limit, "end": backward_limit}
+    expansions = 0
+
+    start_side: dict[str, list[_PartialPath]] = {v_start: [_PartialPath("start", (v_start,), ())]}
+    end_side: dict[str, list[_PartialPath]] = {v_end: [_PartialPath("end", (v_end,), ())]}
+    stores = {"start": start_side, "end": end_side}
+
+    activation = {
+        ("start", v_start): 1.0 / max(kb.degree(v_start), 1),
+        ("end", v_end): 1.0 / max(kb.degree(v_end), 1),
+    }
+    # Index of partial paths not yet expanded, per (origin, node).
+    pending: dict[tuple[str, str], list[_PartialPath]] = {
+        ("start", v_start): [start_side[v_start][0]],
+        ("end", v_end): [end_side[v_end][0]],
+    }
+    counter = 0
+    heap: list[tuple[float, int, str, str]] = []
+    for (origin, node), score in activation.items():
+        heap.append((-score, counter, origin, node))
+        counter += 1
+    heapq.heapify(heap)
+
+    while heap:
+        negative_score, _, origin, node = heapq.heappop(heap)
+        waiting = pending.pop((origin, node), [])
+        if not waiting:
+            continue
+        score = -negative_score
+        store = stores[origin]
+        spread: dict[str, None] = {}
+        for partial in waiting:
+            if partial.length >= limits[origin]:
+                continue
+            for extension in _expand_partial(kb, partial, v_start, v_end):
+                expansions += 1
+                store.setdefault(extension.terminal, []).append(extension)
+                pending.setdefault((origin, extension.terminal), []).append(extension)
+                spread.setdefault(extension.terminal, None)
+        # Spread activation to the freshly reached nodes and (re-)enqueue them.
+        for neighbor in spread:
+            gained = score / max(kb.degree(neighbor), 1)
+            key = (origin, neighbor)
+            activation[key] = activation.get(key, 0.0) + gained
+            heapq.heappush(heap, (-activation[key], counter, origin, neighbor))
+            counter += 1
+        activation[(origin, node)] = 0.0
+
+    paths = _collect_full_paths(start_side, end_side, length_limit)
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
+#: Registry used by the enumeration framework and the benchmarks.
+PATH_ENUM_ALGORITHMS = {
+    "naive": path_enum_naive,
+    "basic": path_enum_basic,
+    "prioritized": path_enum_prioritized,
+}

@@ -1,0 +1,397 @@
+"""Path explanation combination: PathUnionBasic and PathUnionPrune (Section 3.3).
+
+Given the path explanations (the ``MinP(1)`` stratum) produced by one of the
+path enumeration algorithms, these routines generate every minimal explanation
+of size up to ``n`` by repeatedly *merging* explanations with path
+explanations (Theorem 2: each ``MinP(k)`` pattern has a covering pattern set
+made of a ``MinP(k-1)`` pattern and a path).
+
+``PathUnionBasic`` follows Algorithm 3: each round merges every explanation
+produced in the previous round with every path explanation.  ``PathUnionPrune``
+follows Algorithm 4: it records, for every explanation, which
+``(parent, path)`` pairs generated it, and uses Theorem 3 to only attempt the
+merges whose composition history shows a shared sub-component, cutting the
+number of merge calls substantially.
+
+The merge is implemented in two phases so the union algorithms can skip the
+(expensive) instance join for candidate patterns that are already known:
+
+1. :func:`_merge_candidates` enumerates the partial one-to-one variable
+   mappings, applies cheap pruning (size limit, assignment-set overlap) and
+   builds the merged pattern;
+2. :func:`_join_instances` hash-joins the two instance sets over the matched
+   variables, enforcing subgraph (injective) semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.isomorphism import DuplicateRegistry
+from repro.core.pattern import END, START, ExplanationPattern, fresh_variable
+from repro.errors import EnumerationError
+
+__all__ = [
+    "MergeStats",
+    "merge_explanations",
+    "path_union_basic",
+    "path_union_prune",
+    "PATH_UNION_ALGORITHMS",
+]
+
+
+@dataclass
+class MergeStats:
+    """Work counters exposed for the Figure 7 benchmark and the ablations."""
+
+    merge_calls: int = 0
+    mappings_tried: int = 0
+    instance_joins: int = 0
+    explanations_produced: int = 0
+    duplicates_discarded: int = 0
+    rounds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "merge_calls": self.merge_calls,
+            "mappings_tried": self.mappings_tried,
+            "instance_joins": self.instance_joins,
+            "explanations_produced": self.explanations_produced,
+            "duplicates_discarded": self.duplicates_discarded,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass(frozen=True)
+class _MergeCandidate:
+    """One candidate merged pattern plus the bookkeeping to join instances."""
+
+    pattern: ExplanationPattern
+    matched: tuple[tuple[str, str], ...]  # (left variable, right variable) pairs
+    rename: dict[str, str]  # right variable -> merged variable name
+
+
+def _partial_mappings(
+    left: ExplanationPattern, right: ExplanationPattern
+) -> Iterator[dict[str, str]]:
+    """All partial one-to-one mappings from ``left``'s non-target variables
+    onto ``right``'s, with at least one matched pair.
+
+    The start and end variables are always mapped onto each other (requirement
+    (1) of the merge definition); requirement (4) demands at least one matched
+    non-target pair, which guarantees the merged pattern is non-decomposable.
+    """
+    left_variables = sorted(left.non_target_variables)
+    right_variables = sorted(right.non_target_variables)
+    max_matched = min(len(left_variables), len(right_variables))
+    for matched_count in range(1, max_matched + 1):
+        for left_subset in itertools.combinations(left_variables, matched_count):
+            for right_permutation in itertools.permutations(right_variables, matched_count):
+                yield dict(zip(left_subset, right_permutation))
+
+
+def _merge_candidates(
+    left: Explanation,
+    right: Explanation,
+    size_limit: int,
+    stats: MergeStats | None = None,
+) -> Iterator[_MergeCandidate]:
+    """Enumerate merged patterns of ``left`` and ``right`` worth joining.
+
+    Candidates are pruned when the merged pattern would exceed the size limit,
+    when a matched variable pair has disjoint assignment sets (the instance
+    join would certainly be empty), or when the merge adds no edge.
+    """
+    if stats is not None:
+        stats.merge_calls += 1
+    left_pattern, right_pattern = left.pattern, right.pattern
+    left_size = left_pattern.num_nodes
+    right_non_target = len(right_pattern.non_target_variables)
+
+    for mapping in _partial_mappings(left_pattern, right_pattern):
+        if stats is not None:
+            stats.mappings_tried += 1
+        merged_size = left_size + right_non_target - len(mapping)
+        if merged_size > size_limit:
+            continue
+        # Assignment-set pruning: a matched pair whose entity sets are
+        # disjoint cannot produce any joined instance.
+        if any(
+            left.assignments(left_variable).isdisjoint(right.assignments(right_variable))
+            for left_variable, right_variable in mapping.items()
+        ):
+            continue
+
+        # Rename the right pattern so matched variables take the left name and
+        # unmatched variables receive fresh names that cannot collide.
+        rename: dict[str, str] = {}
+        reverse = {right_name: left_name for left_name, right_name in mapping.items()}
+        next_fresh = 0
+        used_names = set(left_pattern.variables)
+        for variable in sorted(right_pattern.non_target_variables):
+            if variable in reverse:
+                rename[variable] = reverse[variable]
+            else:
+                while fresh_variable(next_fresh) in used_names:
+                    next_fresh += 1
+                rename[variable] = fresh_variable(next_fresh)
+                used_names.add(fresh_variable(next_fresh))
+
+        merged_edges = set(left_pattern.edges)
+        added = False
+        for edge in right_pattern.edges:
+            renamed_edge = edge.renamed(rename)
+            if renamed_edge not in merged_edges:
+                merged_edges.add(renamed_edge)
+                added = True
+        # A merge that adds no edge reproduces the left pattern and only
+        # creates duplicate work downstream.
+        if not added:
+            continue
+        merged_variables = set(left_pattern.variables) | {
+            rename.get(variable, variable) for variable in right_pattern.variables
+        }
+        merged_pattern = ExplanationPattern(merged_variables, merged_edges)
+        yield _MergeCandidate(
+            pattern=merged_pattern,
+            matched=tuple(sorted(mapping.items())),
+            rename=rename,
+        )
+
+
+def _join_instances(
+    left: Explanation,
+    right: Explanation,
+    candidate: _MergeCandidate,
+    stats: MergeStats | None = None,
+) -> list[ExplanationInstance]:
+    """Hash-join the instance sets of ``left`` and ``right`` for a candidate.
+
+    Instances agree on every matched variable pair and the result must remain
+    injective (instances are subgraphs), so unmatched variables from the two
+    sides may not collapse onto the same entity.
+    """
+    if stats is not None:
+        stats.instance_joins += 1
+    matched_left = [pair[0] for pair in candidate.matched]
+    matched_right = [pair[1] for pair in candidate.matched]
+    only_left = sorted(left.pattern.non_target_variables - set(matched_left))
+    only_right = sorted(
+        right.pattern.non_target_variables - set(matched_right)
+    )
+
+    right_index: dict[tuple[str, ...], list[ExplanationInstance]] = {}
+    for right_instance in right.instances:
+        key = tuple(right_instance[variable] for variable in matched_right)
+        right_index.setdefault(key, []).append(right_instance)
+
+    merged: list[ExplanationInstance] = []
+    for left_instance in left.instances:
+        key = tuple(left_instance[variable] for variable in matched_left)
+        partners = right_index.get(key)
+        if not partners:
+            continue
+        left_mapping = left_instance.mapping
+        left_only_entities = {left_mapping[variable] for variable in only_left}
+        for right_instance in partners:
+            conflict = False
+            additions: dict[str, str] = {}
+            for variable in only_right:
+                entity = right_instance[variable]
+                if entity in left_only_entities:
+                    conflict = True
+                    break
+                additions[candidate.rename[variable]] = entity
+            if conflict:
+                continue
+            if len(set(additions.values())) != len(additions):
+                continue
+            combined = dict(left_mapping)
+            combined.update(additions)
+            merged.append(ExplanationInstance(combined))
+    return merged
+
+
+def merge_explanations(
+    left: Explanation,
+    right: Explanation,
+    size_limit: int,
+    stats: MergeStats | None = None,
+) -> list[Explanation]:
+    """Merge two explanations under every valid partial mapping (Algorithm 3).
+
+    Args:
+        left: an explanation whose pattern is minimal.
+        right: a (path) explanation whose pattern is minimal.
+        size_limit: maximum number of variables allowed in the merged pattern.
+        stats: optional counters updated in place.
+
+    Returns:
+        The merged explanations with at most ``size_limit`` variables and at
+        least one instance.  Instances are derived from the input instances
+        (no knowledge-base evaluation happens here).
+    """
+    results: list[Explanation] = []
+    for candidate in _merge_candidates(left, right, size_limit, stats):
+        instances = _join_instances(left, right, candidate, stats)
+        if not instances:
+            continue
+        results.append(Explanation(candidate.pattern, instances))
+        if stats is not None:
+            stats.explanations_produced += 1
+    return results
+
+
+def _validate_inputs(path_explanations: list[Explanation], size_limit: int) -> None:
+    if size_limit < 2:
+        raise EnumerationError("the pattern size limit must be at least 2")
+    for explanation in path_explanations:
+        if not explanation.is_path():
+            raise EnumerationError(
+                "path_union expects path explanations as seeds; got a non-path pattern"
+            )
+
+
+def path_union_basic(
+    path_explanations: list[Explanation],
+    size_limit: int,
+    stats: MergeStats | None = None,
+) -> list[Explanation]:
+    """PathUnionBasic (Algorithm 3).
+
+    Every round merges each explanation produced in the previous round with
+    every path explanation; duplicates (isomorphic patterns) are discarded.
+    Terminates when a round produces nothing new, which is guaranteed because
+    each round grows the number of edges and the size limit bounds patterns.
+
+    Returns:
+        All minimal explanations with at most ``size_limit`` variables and at
+        least one instance, including the seed path explanations.
+    """
+    _validate_inputs(path_explanations, size_limit)
+    stats = stats if stats is not None else MergeStats()
+
+    results: list[Explanation] = []
+    registry = DuplicateRegistry()
+    for explanation in path_explanations:
+        if explanation.pattern.num_nodes <= size_limit and registry.add(explanation.pattern):
+            results.append(explanation)
+
+    expand_queue = list(results)
+    while expand_queue:
+        stats.rounds += 1
+        new_round: list[Explanation] = []
+        for explanation in expand_queue:
+            for path_explanation in path_explanations:
+                if path_explanation.pattern.num_nodes > size_limit:
+                    continue
+                for candidate in _merge_candidates(
+                    explanation, path_explanation, size_limit, stats
+                ):
+                    if candidate.pattern in registry:
+                        stats.duplicates_discarded += 1
+                        continue
+                    instances = _join_instances(explanation, path_explanation, candidate, stats)
+                    if not instances:
+                        continue
+                    registry.add(candidate.pattern)
+                    merged = Explanation(candidate.pattern, instances)
+                    stats.explanations_produced += 1
+                    new_round.append(merged)
+        results.extend(new_round)
+        expand_queue = new_round
+    return results
+
+
+def path_union_prune(
+    path_explanations: list[Explanation],
+    size_limit: int,
+    stats: MergeStats | None = None,
+) -> list[Explanation]:
+    """PathUnionPrune (Algorithm 4).
+
+    Identical output to :func:`path_union_basic`, but each explanation records
+    the ``(parent_index, path_index)`` pairs it was generated from.  By
+    Theorem 3, a ``MinP(k)`` pattern can always be produced by merging a
+    ``MinP(k-1)`` parent with a path that some *sibling* sharing a
+    ``MinP(k-2)`` sub-component was built from — so instead of trying every
+    path against every explanation, a parent is only merged with the paths
+    recorded in the histories of explanations that share a composition parent
+    with it.
+    """
+    _validate_inputs(path_explanations, size_limit)
+    stats = stats if stats is not None else MergeStats()
+
+    results: list[Explanation] = []
+    registry = DuplicateRegistry()
+    seeds: list[Explanation] = []
+    for explanation in path_explanations:
+        if explanation.pattern.num_nodes <= size_limit and registry.add(explanation.pattern):
+            seeds.append(explanation)
+    results.extend(seeds)
+
+    expand_queue: list[Explanation] = list(seeds)
+    expand_history: list[list[tuple[int, int]]] = [[] for _ in seeds]
+    first_round = True
+
+    while expand_queue:
+        stats.rounds += 1
+        new_round: list[Explanation] = []
+        new_history: list[list[tuple[int, int]]] = []
+        new_index_by_key: dict[tuple, int] = {}
+
+        for index_left, explanation in enumerate(expand_queue):
+            if first_round:
+                candidate_paths = set(range(len(path_explanations)))
+            else:
+                candidate_paths = set()
+                parents_left = {parent for parent, _ in expand_history[index_left]}
+                for history_right in expand_history:
+                    for parent, path_index in history_right:
+                        if parent in parents_left:
+                            candidate_paths.add(path_index)
+
+            for path_index in sorted(candidate_paths):
+                path_explanation = path_explanations[path_index]
+                if path_explanation.pattern.num_nodes > size_limit:
+                    continue
+                for candidate in _merge_candidates(
+                    explanation, path_explanation, size_limit, stats
+                ):
+                    key = candidate.pattern.canonical_key
+                    if candidate.pattern in registry:
+                        stats.duplicates_discarded += 1
+                        # Still extend the composition history of a duplicate
+                        # produced earlier in this round, as Algorithm 4 does:
+                        # the history drives the next round's pruning.
+                        if key in new_index_by_key:
+                            new_history[new_index_by_key[key]].append(
+                                (index_left, path_index)
+                            )
+                        continue
+                    instances = _join_instances(explanation, path_explanation, candidate, stats)
+                    if not instances:
+                        continue
+                    registry.add(candidate.pattern)
+                    merged = Explanation(candidate.pattern, instances)
+                    stats.explanations_produced += 1
+                    new_round.append(merged)
+                    new_history.append([(index_left, path_index)])
+                    new_index_by_key[key] = len(new_round) - 1
+
+        results.extend(new_round)
+        expand_queue = new_round
+        expand_history = new_history
+        first_round = False
+    return results
+
+
+#: Registry used by the enumeration framework and the benchmarks.
+PATH_UNION_ALGORITHMS = {
+    "basic": path_union_basic,
+    "prune": path_union_prune,
+}

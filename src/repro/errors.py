@@ -1,0 +1,60 @@
+"""Exception hierarchy for the REX reproduction.
+
+Every error raised by the library derives from :class:`RexError` so callers
+can catch a single base class.  Specific subclasses communicate which
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class RexError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class KnowledgeBaseError(RexError):
+    """Raised for invalid knowledge-base construction or lookups."""
+
+
+class UnknownEntityError(KnowledgeBaseError):
+    """Raised when an entity id is not present in the knowledge base."""
+
+    def __init__(self, entity: str) -> None:
+        super().__init__(f"unknown entity: {entity!r}")
+        self.entity = entity
+
+
+class UnknownRelationError(KnowledgeBaseError):
+    """Raised when a relation label is not declared in the schema."""
+
+    def __init__(self, relation: str) -> None:
+        super().__init__(f"unknown relation label: {relation!r}")
+        self.relation = relation
+
+
+class PatternError(RexError):
+    """Raised for malformed explanation patterns."""
+
+
+class InstanceError(RexError):
+    """Raised for instance mappings that violate Definition 2."""
+
+
+class EnumerationError(RexError):
+    """Raised when an enumeration algorithm receives invalid parameters."""
+
+
+class MeasureError(RexError):
+    """Raised when an interestingness measure cannot be computed."""
+
+
+class RankingError(RexError):
+    """Raised for invalid ranking parameters (e.g. non-positive k)."""
+
+
+class RelationalError(RexError):
+    """Raised by the mini relational engine for malformed queries."""
+
+
+class DatasetError(RexError):
+    """Raised by dataset generators or loaders for invalid parameters."""

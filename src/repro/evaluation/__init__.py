@@ -1,0 +1,39 @@
+"""Evaluation harness: pair sampling, simulated user study, path statistics."""
+
+from repro.evaluation.pairs import (
+    CONNECTEDNESS_BUCKETS,
+    EntityPair,
+    bucket_for,
+    connectedness,
+    sample_pairs_by_connectedness,
+)
+from repro.evaluation.path_vs_nonpath import (
+    PathShare,
+    aggregate_path_share,
+    path_share_among_top,
+)
+from repro.evaluation.user_study import (
+    JudgedExplanation,
+    MeasureEffectiveness,
+    RelevanceOracle,
+    SimulatedJudgePool,
+    dcg_score,
+    evaluate_measures_for_pair,
+)
+
+__all__ = [
+    "CONNECTEDNESS_BUCKETS",
+    "EntityPair",
+    "bucket_for",
+    "connectedness",
+    "sample_pairs_by_connectedness",
+    "PathShare",
+    "aggregate_path_share",
+    "path_share_among_top",
+    "JudgedExplanation",
+    "MeasureEffectiveness",
+    "RelevanceOracle",
+    "SimulatedJudgePool",
+    "dcg_score",
+    "evaluate_measures_for_pair",
+]

@@ -1,0 +1,14 @@
+"""Knowledge-base substrate: labelled graph, schema, relational view."""
+
+from repro.kb.graph import Edge, KnowledgeBase, NeighborEntry
+from repro.kb.schema import EntityType, RelationType, Schema, default_entertainment_schema
+
+__all__ = [
+    "Edge",
+    "KnowledgeBase",
+    "NeighborEntry",
+    "EntityType",
+    "RelationType",
+    "Schema",
+    "default_entertainment_schema",
+]

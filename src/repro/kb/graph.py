@@ -1,0 +1,331 @@
+"""The knowledge-base graph substrate.
+
+The paper represents a knowledge base as a three-tuple ``G = (V, E, lambda)``
+with entities as nodes and labelled primary relationships as edges.  Edges can
+be directed (``starring``) or undirected (``spouse``).  This module provides
+:class:`KnowledgeBase`, an in-memory labelled multigraph with the adjacency
+indexes that the enumeration algorithms of Section 3 need:
+
+* constant-time degree lookups (used by BANKS2-style activation scores),
+* iteration over the labelled neighbourhood of a node, and
+* membership tests for a labelled edge in a given direction.
+
+The class is deliberately independent of ``networkx`` so that the algorithmic
+layers do not pay conversion costs on the hot path; a ``to_networkx`` helper
+is offered for interoperability and for the random-walk measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.errors import KnowledgeBaseError, UnknownEntityError
+from repro.kb.schema import Schema
+
+__all__ = ["Edge", "NeighborEntry", "KnowledgeBase"]
+
+# Orientation of an edge relative to the node whose adjacency list holds it.
+OUT = "out"
+IN = "in"
+UNDIRECTED = "undirected"
+_ORIENTATIONS = (OUT, IN, UNDIRECTED)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single labelled edge of the knowledge base.
+
+    For undirected relations the ``source``/``target`` order is the insertion
+    order; equality treats the two orders as the same edge.
+    """
+
+    source: str
+    target: str
+    label: str
+    directed: bool = True
+
+    def key(self) -> tuple[str, str, str, bool]:
+        """Canonical identity of the edge (order-normalised when undirected)."""
+        if self.directed or self.source <= self.target:
+            return (self.source, self.target, self.label, self.directed)
+        return (self.target, self.source, self.label, self.directed)
+
+    def endpoints(self) -> tuple[str, str]:
+        """The two endpoints as stored."""
+        return (self.source, self.target)
+
+    def other(self, node: str) -> str:
+        """Return the endpoint opposite ``node``."""
+        if node == self.source:
+            return self.target
+        if node == self.target:
+            return self.source
+        raise KnowledgeBaseError(f"{node!r} is not an endpoint of {self!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+@dataclass(frozen=True)
+class NeighborEntry:
+    """One entry of a node's adjacency list.
+
+    Attributes:
+        neighbor: the node at the other end of the edge.
+        label: the relationship label.
+        orientation: ``"out"`` if the edge points from the owning node to
+            ``neighbor``, ``"in"`` for the opposite direction, and
+            ``"undirected"`` for undirected relations.
+    """
+
+    neighbor: str
+    label: str
+    orientation: str
+
+
+class KnowledgeBase:
+    """An in-memory labelled multigraph of entities and primary relationships.
+
+    Example:
+        >>> kb = KnowledgeBase()
+        >>> kb.add_entity("brad_pitt", entity_type="person")
+        >>> kb.add_entity("troy", entity_type="movie")
+        >>> kb.add_edge("troy", "brad_pitt", "starring")
+        >>> kb.degree("brad_pitt")
+        1
+    """
+
+    def __init__(self, schema: Schema | None = None) -> None:
+        self.schema = schema if schema is not None else Schema()
+        self._entity_types: dict[str, str | None] = {}
+        self._adjacency: dict[str, list[NeighborEntry]] = {}
+        self._edges: list[Edge] = []
+        self._edge_keys: set[tuple[str, str, str, bool]] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_entity(self, entity: str, entity_type: str | None = None) -> None:
+        """Add an entity node.  Re-adding an existing entity is a no-op,
+        except that a non-``None`` ``entity_type`` overrides a ``None`` one.
+        """
+        if not entity:
+            raise KnowledgeBaseError("entity id must be a non-empty string")
+        if entity not in self._entity_types:
+            self._entity_types[entity] = entity_type
+            self._adjacency[entity] = []
+        elif entity_type is not None and self._entity_types[entity] is None:
+            self._entity_types[entity] = entity_type
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        label: str,
+        directed: bool | None = None,
+    ) -> Edge:
+        """Add a labelled edge, creating missing endpoints on the fly.
+
+        Args:
+            source: source entity id.
+            target: target entity id.
+            label: relationship label.
+            directed: directionality override.  When ``None`` the schema is
+                consulted; labels unknown to the schema are auto-registered
+                as directed relations.
+
+        Returns:
+            The :class:`Edge` that was added (or the existing identical edge).
+        """
+        if not label:
+            raise KnowledgeBaseError("edge label must be a non-empty string")
+        if source == target:
+            raise KnowledgeBaseError(
+                f"self-loops are not part of the REX data model: {source!r}"
+            )
+        if directed is None:
+            if self.schema.has_relation(label):
+                directed = self.schema.is_directed(label)
+            else:
+                directed = True
+                self.schema.declare_relation(label, directed=True)
+        elif not self.schema.has_relation(label):
+            self.schema.declare_relation(label, directed=directed)
+
+        self.add_entity(source)
+        self.add_entity(target)
+        edge = Edge(source=source, target=target, label=label, directed=directed)
+        if edge.key() in self._edge_keys:
+            return edge
+        self._edge_keys.add(edge.key())
+        self._edges.append(edge)
+        if directed:
+            self._adjacency[source].append(NeighborEntry(target, label, OUT))
+            self._adjacency[target].append(NeighborEntry(source, label, IN))
+        else:
+            self._adjacency[source].append(NeighborEntry(target, label, UNDIRECTED))
+            self._adjacency[target].append(NeighborEntry(source, label, UNDIRECTED))
+        return edge
+
+    def add_edges(self, edges: Iterable[tuple[str, str, str]]) -> None:
+        """Bulk-add ``(source, target, label)`` triples."""
+        for source, target, label in edges:
+            self.add_edge(source, target, label)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def entities(self) -> list[str]:
+        """All entity ids, in insertion order."""
+        return list(self._entity_types)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._entity_types)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, entity: object) -> bool:
+        return entity in self._entity_types
+
+    def __len__(self) -> int:
+        return len(self._entity_types)
+
+    def has_entity(self, entity: str) -> bool:
+        """Whether ``entity`` is a node of the knowledge base."""
+        return entity in self._entity_types
+
+    def entity_type(self, entity: str) -> str | None:
+        """The declared type of ``entity`` (``None`` if untyped)."""
+        self._require_entity(entity)
+        return self._entity_types[entity]
+
+    def entities_of_type(self, entity_type: str) -> list[str]:
+        """All entities declared with the given type."""
+        return [
+            entity
+            for entity, declared in self._entity_types.items()
+            if declared == entity_type
+        ]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in insertion order."""
+        return iter(self._edges)
+
+    def neighbors(self, entity: str) -> list[NeighborEntry]:
+        """The labelled adjacency list of ``entity``."""
+        self._require_entity(entity)
+        return list(self._adjacency[entity])
+
+    def neighbor_entities(self, entity: str) -> list[str]:
+        """Distinct neighbouring entity ids of ``entity``."""
+        self._require_entity(entity)
+        seen: dict[str, None] = {}
+        for entry in self._adjacency[entity]:
+            seen.setdefault(entry.neighbor, None)
+        return list(seen)
+
+    def degree(self, entity: str) -> int:
+        """Number of incident edges (each undirected edge counted once)."""
+        self._require_entity(entity)
+        return len(self._adjacency[entity])
+
+    def has_edge(
+        self, source: str, target: str, label: str, direction: str = OUT
+    ) -> bool:
+        """Whether an edge with ``label`` connects ``source`` and ``target``.
+
+        Args:
+            direction: ``"out"`` requires ``source -> target`` for directed
+                labels, ``"in"`` requires ``target -> source`` and ``"any"``
+                accepts either.  Undirected edges match all three.
+        """
+        if source not in self._entity_types or target not in self._entity_types:
+            return False
+        for entry in self._adjacency[source]:
+            if entry.neighbor != target or entry.label != label:
+                continue
+            if entry.orientation == UNDIRECTED:
+                return True
+            if direction == "any":
+                return True
+            if direction == OUT and entry.orientation == OUT:
+                return True
+            if direction == IN and entry.orientation == IN:
+                return True
+        return False
+
+    def edges_between(self, source: str, target: str) -> list[NeighborEntry]:
+        """All adjacency entries from ``source`` whose neighbour is ``target``."""
+        self._require_entity(source)
+        self._require_entity(target)
+        return [
+            entry for entry in self._adjacency[source] if entry.neighbor == target
+        ]
+
+    def relation_labels(self) -> list[str]:
+        """Distinct relation labels appearing on edges, in first-use order."""
+        seen: dict[str, None] = {}
+        for edge in self._edges:
+            seen.setdefault(edge.label, None)
+        return list(seen)
+
+    def label_counts(self) -> Mapping[str, int]:
+        """Number of edges per relation label."""
+        counts: dict[str, int] = {}
+        for edge in self._edges:
+            counts[edge.label] = counts.get(edge.label, 0) + 1
+        return counts
+
+    # -- interoperability --------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export the knowledge base as a ``networkx`` multigraph.
+
+        Undirected edges are materialised as a pair of anti-parallel directed
+        edges carrying ``directed=False`` so that no information is lost.
+        """
+        graph = nx.MultiDiGraph()
+        for entity, entity_type in self._entity_types.items():
+            graph.add_node(entity, entity_type=entity_type)
+        for edge in self._edges:
+            graph.add_edge(edge.source, edge.target, label=edge.label, directed=edge.directed)
+            if not edge.directed:
+                graph.add_edge(edge.target, edge.source, label=edge.label, directed=False)
+        return graph
+
+    def copy(self) -> "KnowledgeBase":
+        """Return a deep, independent copy of the knowledge base."""
+        clone = KnowledgeBase(schema=self.schema.copy())
+        for entity, entity_type in self._entity_types.items():
+            clone.add_entity(entity, entity_type)
+        for edge in self._edges:
+            clone.add_edge(edge.source, edge.target, edge.label, edge.directed)
+        return clone
+
+    def density(self) -> float:
+        """Average degree; the paper notes density drives enumeration cost."""
+        if not self._entity_types:
+            return 0.0
+        return 2.0 * len(self._edges) / len(self._entity_types)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeBase({self.num_entities} entities, {self.num_edges} edges, "
+            f"{len(self.relation_labels())} relation labels)"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_entity(self, entity: str) -> None:
+        if entity not in self._entity_types:
+            raise UnknownEntityError(entity)

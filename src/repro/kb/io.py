@@ -1,0 +1,109 @@
+"""Loading and saving knowledge bases (TSV edge lists and JSON documents).
+
+Real deployments of REX load the knowledge base from an extraction pipeline;
+for the reproduction we support two simple interchange formats:
+
+* **TSV edge list** — one edge per line, ``source<TAB>label<TAB>target``;
+  lines beginning with ``#`` are comments.  Directionality comes from the
+  schema (or is declared with an optional fourth column ``directed`` /
+  ``undirected``).
+* **JSON document** — ``{"entities": [{"id", "type"}], "edges": [{"source",
+  "target", "label", "directed"}]}``; round-trips the full knowledge base
+  including entity types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import Schema
+
+__all__ = ["load_tsv", "save_tsv", "load_json", "save_json"]
+
+
+def load_tsv(path: str | Path, schema: Schema | None = None) -> KnowledgeBase:
+    """Load a knowledge base from a TSV edge list.
+
+    Each data line must have three or four tab-separated fields:
+    ``source  label  target  [directed|undirected]``.
+    """
+    kb = KnowledgeBase(schema=schema)
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) not in (3, 4):
+                raise KnowledgeBaseError(
+                    f"{path}:{line_number}: expected 3 or 4 tab-separated fields, "
+                    f"got {len(fields)}"
+                )
+            source, label, target = fields[0], fields[1], fields[2]
+            directed: bool | None = None
+            if len(fields) == 4:
+                flag = fields[3].strip().lower()
+                if flag not in ("directed", "undirected"):
+                    raise KnowledgeBaseError(
+                        f"{path}:{line_number}: directionality must be 'directed' "
+                        f"or 'undirected', got {flag!r}"
+                    )
+                directed = flag == "directed"
+            kb.add_edge(source, target, label, directed)
+    return kb
+
+
+def save_tsv(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write the knowledge base as a TSV edge list (with directionality column)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# source\tlabel\ttarget\tdirectionality\n")
+        for edge in kb.edges():
+            directionality = "directed" if edge.directed else "undirected"
+            handle.write(f"{edge.source}\t{edge.label}\t{edge.target}\t{directionality}\n")
+
+
+def load_json(path: str | Path) -> KnowledgeBase:
+    """Load a knowledge base from the JSON document format."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "edges" not in document:
+        raise KnowledgeBaseError(f"{path}: expected a JSON object with an 'edges' key")
+    kb = KnowledgeBase()
+    for entity in document.get("entities", []):
+        kb.add_entity(entity["id"], entity.get("type"))
+    for edge in document["edges"]:
+        kb.add_edge(
+            edge["source"],
+            edge["target"],
+            edge["label"],
+            edge.get("directed", True),
+        )
+    return kb
+
+
+def save_json(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write the knowledge base as a JSON document (round-trips entity types)."""
+    document = {
+        "entities": [
+            {"id": entity, "type": kb.entity_type(entity)} for entity in kb.entities
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "directed": edge.directed,
+            }
+            for edge in kb.edges()
+        ],
+    }
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

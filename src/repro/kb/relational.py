@@ -1,0 +1,201 @@
+"""A miniature in-memory relational engine over the edge relation.
+
+Section 5.3.2 of the paper computes local distributional measures by running a
+SQL query over the relation ``R(eid1, eid2, rel)`` that stores every primary
+relationship, and prunes the computation by appending a ``LIMIT`` clause.  The
+paper assumes a commercial RDBMS; this module supplies the minimum relational
+machinery needed to reproduce that experiment offline:
+
+* :class:`Relation` — a named, in-memory bag of tuples with column names;
+* select / project / natural and equi hash-joins / group-by with ``HAVING``;
+* early-terminating ``LIMIT`` evaluation used by the pruned position measure.
+
+The engine is intentionally tiny — it is a substrate, not a contribution — but
+it is exercised directly by the distributional measures and their benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import RelationalError
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["Row", "Relation", "edge_relation", "GroupCount"]
+
+Row = tuple
+
+
+class Relation:
+    """A named collection of equal-width tuples with column names.
+
+    Example:
+        >>> relation = Relation("R", ("eid1", "eid2", "rel"),
+        ...                     [("m", "a", "starring"), ("m", "b", "starring")])
+        >>> relation.select(lambda row: row[2] == "starring").num_rows
+        2
+    """
+
+    def __init__(self, name: str, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        if len(set(columns)) != len(columns):
+            raise RelationalError(f"duplicate column names in relation {name!r}")
+        self.name = name
+        self.columns = tuple(columns)
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    # -- basic operations ----------------------------------------------------
+
+    def insert(self, row: Row) -> None:
+        """Append a tuple; its width must match the schema."""
+        if len(row) != len(self.columns):
+            raise RelationalError(
+                f"row width {len(row)} does not match schema of {self.name!r} "
+                f"({len(self.columns)} columns)"
+            )
+        self._rows.append(tuple(row))
+
+    @property
+    def rows(self) -> list[Row]:
+        return list(self._rows)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column_index(self, column: str) -> int:
+        """Index of ``column`` in the schema."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise RelationalError(
+                f"relation {self.name!r} has no column {column!r}"
+            ) from None
+
+    # -- algebra -------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
+        """Rows satisfying ``predicate``."""
+        return Relation(
+            name or f"select({self.name})",
+            self.columns,
+            (row for row in self._rows if predicate(row)),
+        )
+
+    def select_eq(self, column: str, value: object, name: str | None = None) -> "Relation":
+        """Rows whose ``column`` equals ``value`` (uses a positional lookup)."""
+        index = self.column_index(column)
+        return Relation(
+            name or f"select({self.name})",
+            self.columns,
+            (row for row in self._rows if row[index] == value),
+        )
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
+        """Keep only ``columns`` (duplicates retained, bag semantics)."""
+        indexes = [self.column_index(column) for column in columns]
+        return Relation(
+            name or f"project({self.name})",
+            columns,
+            (tuple(row[index] for index in indexes) for row in self._rows),
+        )
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
+        """Rename columns through ``mapping`` (unmentioned columns unchanged)."""
+        columns = tuple(mapping.get(column, column) for column in self.columns)
+        return Relation(name or self.name, columns, self._rows)
+
+    def join(
+        self,
+        other: "Relation",
+        left_column: str,
+        right_column: str,
+        name: str | None = None,
+    ) -> "Relation":
+        """Equi hash-join on ``self.left_column == other.right_column``.
+
+        The result schema concatenates both schemas with the other relation's
+        columns prefixed by its name to avoid collisions.
+        """
+        left_index = self.column_index(left_column)
+        right_index = other.column_index(right_column)
+        buckets: dict[object, list[Row]] = {}
+        for row in other:
+            buckets.setdefault(row[right_index], []).append(row)
+        prefixed = tuple(f"{other.name}.{column}" for column in other.columns)
+        joined = Relation(name or f"join({self.name},{other.name})", self.columns + prefixed)
+        for row in self._rows:
+            for match in buckets.get(row[left_index], ()):
+                joined.insert(row + match)
+        return joined
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Remove duplicate tuples (preserving first-seen order)."""
+        seen: dict[Row, None] = {}
+        for row in self._rows:
+            seen.setdefault(row, None)
+        return Relation(name or f"distinct({self.name})", self.columns, seen.keys())
+
+    def group_count(self, group_columns: Sequence[str]) -> list["GroupCount"]:
+        """``GROUP BY group_columns`` with ``count(*)`` per group."""
+        indexes = [self.column_index(column) for column in group_columns]
+        counts: dict[tuple, int] = {}
+        for row in self._rows:
+            key = tuple(row[index] for index in indexes)
+            counts[key] = counts.get(key, 0) + 1
+        return [GroupCount(key, count) for key, count in counts.items()]
+
+    def group_count_having(
+        self,
+        group_columns: Sequence[str],
+        minimum_exclusive: int,
+        limit: int | None = None,
+    ) -> list["GroupCount"]:
+        """``GROUP BY ... HAVING count(*) > minimum_exclusive [LIMIT limit]``.
+
+        The ``limit`` mirrors the pruning of Section 5.3.2: the caller only
+        needs to know whether more than ``limit`` groups exceed the bound, so
+        evaluation stops as soon as that many qualifying groups are found.
+        """
+        qualifying: list[GroupCount] = []
+        for group in self.group_count(group_columns):
+            if group.count > minimum_exclusive:
+                qualifying.append(group)
+                if limit is not None and len(qualifying) >= limit:
+                    break
+        return qualifying
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, columns={self.columns}, rows={len(self._rows)})"
+
+
+@dataclass(frozen=True)
+class GroupCount:
+    """One group of a ``GROUP BY`` together with its ``count(*)``."""
+
+    key: tuple
+    count: int
+
+
+def edge_relation(kb: KnowledgeBase, name: str = "R") -> Relation:
+    """Materialise the paper's edge relation ``R(eid1, eid2, rel)``.
+
+    Directed edges produce a single tuple ``(source, target, rel)``.
+    Undirected edges produce both orientations so that SQL-style joins can
+    traverse them in either direction, mirroring how an RDBMS deployment of
+    the paper's schema would store symmetric relations.
+    """
+    relation = Relation(name, ("eid1", "eid2", "rel"))
+    for edge in kb.edges():
+        relation.insert((edge.source, edge.target, edge.label))
+        if not edge.directed:
+            relation.insert((edge.target, edge.source, edge.label))
+    return relation

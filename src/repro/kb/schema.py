@@ -1,0 +1,194 @@
+"""Schema for the knowledge base: entity types and relation types.
+
+The paper models the knowledge base as ``G = (V, E, lambda)`` where edges are
+labelled with *primary relationship* names and can be directed (``starring``)
+or undirected (``spouse``).  The schema records, for each relation label,
+whether it is directed, and optionally the entity types it connects.  Entity
+types themselves (person, movie, ...) are not needed by the core algorithms
+but are used by the synthetic data generator and by the CLI for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import KnowledgeBaseError, UnknownRelationError
+
+__all__ = ["RelationType", "EntityType", "Schema"]
+
+
+@dataclass(frozen=True)
+class RelationType:
+    """A relationship label and its directionality.
+
+    Attributes:
+        name: the label used on edges (e.g. ``"starring"``).
+        directed: whether edges with this label are directed.
+        domain: optional entity type expected at the source end.
+        range: optional entity type expected at the target end.
+    """
+
+    name: str
+    directed: bool = True
+    domain: str | None = None
+    range: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KnowledgeBaseError("relation type name must be non-empty")
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """An entity type (person, movie, award, ...)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KnowledgeBaseError("entity type name must be non-empty")
+
+
+class Schema:
+    """Registry of entity types and relation types for a knowledge base.
+
+    The schema is permissive by default: a :class:`KnowledgeBase` built
+    without an explicit schema auto-registers relation labels as directed
+    relations the first time they are seen.  Building a schema up front lets
+    callers declare undirected relations (``spouse``) and entity types.
+    """
+
+    def __init__(
+        self,
+        relations: Iterable[RelationType] = (),
+        entity_types: Iterable[EntityType] = (),
+    ) -> None:
+        self._relations: dict[str, RelationType] = {}
+        self._entity_types: dict[str, EntityType] = {}
+        for relation in relations:
+            self.add_relation(relation)
+        for entity_type in entity_types:
+            self.add_entity_type(entity_type)
+
+    # -- relations ---------------------------------------------------------
+
+    def add_relation(self, relation: RelationType) -> None:
+        """Register a relation type, replacing any previous declaration."""
+        self._relations[relation.name] = relation
+
+    def declare_relation(
+        self,
+        name: str,
+        directed: bool = True,
+        domain: str | None = None,
+        range: str | None = None,
+    ) -> RelationType:
+        """Convenience wrapper that builds and registers a relation type."""
+        relation = RelationType(name=name, directed=directed, domain=domain, range=range)
+        self.add_relation(relation)
+        return relation
+
+    def relation(self, name: str) -> RelationType:
+        """Return the relation type for ``name``.
+
+        Raises:
+            UnknownRelationError: if the label was never declared.
+        """
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether ``name`` has been declared."""
+        return name in self._relations
+
+    def is_directed(self, name: str) -> bool:
+        """Whether edges labelled ``name`` are directed."""
+        return self.relation(name).directed
+
+    @property
+    def relations(self) -> Mapping[str, RelationType]:
+        """Read-only view of all declared relation types."""
+        return dict(self._relations)
+
+    # -- entity types ------------------------------------------------------
+
+    def add_entity_type(self, entity_type: EntityType) -> None:
+        """Register an entity type."""
+        self._entity_types[entity_type.name] = entity_type
+
+    def declare_entity_type(self, name: str, description: str = "") -> EntityType:
+        """Convenience wrapper that builds and registers an entity type."""
+        entity_type = EntityType(name=name, description=description)
+        self.add_entity_type(entity_type)
+        return entity_type
+
+    def entity_type(self, name: str) -> EntityType:
+        """Return the entity type for ``name``."""
+        try:
+            return self._entity_types[name]
+        except KeyError:
+            raise KnowledgeBaseError(f"unknown entity type: {name!r}") from None
+
+    def has_entity_type(self, name: str) -> bool:
+        """Whether the entity type ``name`` has been declared."""
+        return name in self._entity_types
+
+    @property
+    def entity_types(self) -> Mapping[str, EntityType]:
+        """Read-only view of all declared entity types."""
+        return dict(self._entity_types)
+
+    # -- misc --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RelationType]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def copy(self) -> "Schema":
+        """Return an independent copy of the schema."""
+        return Schema(self._relations.values(), self._entity_types.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schema({len(self._relations)} relations, "
+            f"{len(self._entity_types)} entity types)"
+        )
+
+
+def default_entertainment_schema() -> Schema:
+    """Schema mirroring the paper's entertainment knowledge base vocabulary."""
+    schema = Schema()
+    for name in ("person", "movie", "award", "genre", "tv_show", "character"):
+        schema.declare_entity_type(name)
+    directed = [
+        ("starring", "movie", "person"),
+        ("director", "movie", "person"),
+        ("producer", "movie", "person"),
+        ("writer", "movie", "person"),
+        ("music_by", "movie", "person"),
+        ("genre", "movie", "genre"),
+        ("award_won", "person", "award"),
+        ("nominated_for", "person", "award"),
+        ("narrator", "movie", "person"),
+        ("cast_member", "tv_show", "person"),
+    ]
+    for name, domain, range_ in directed:
+        schema.declare_relation(name, directed=True, domain=domain, range=range_)
+    undirected = [
+        ("spouse", "person", "person"),
+        ("partner", "person", "person"),
+        ("sibling", "person", "person"),
+        ("relative", "person", "person"),
+    ]
+    for name, domain, range_ in undirected:
+        schema.declare_relation(name, directed=False, domain=domain, range=range_)
+    return schema

@@ -1,0 +1,246 @@
+"""Pattern-to-SQL compilation and conjunctive evaluation over the edge relation.
+
+Section 5.3.2 computes the local distributional position of an explanation by
+translating its pattern into a self-join SQL query over the edge relation
+``R(eid1, eid2, rel)``, grouping by the end entity and counting, with a
+``HAVING count > c`` filter and a ``LIMIT`` clause for pruning.  This module
+provides:
+
+* :func:`compile_pattern_sql` — render exactly that SQL text for a pattern
+  (useful for documentation, the CLI and tests of the compilation rules);
+* :func:`pattern_bindings` — evaluate the conjunctive query directly against
+  the knowledge base with some variables fixed (the start entity, optionally
+  the end entity), returning all variable bindings;
+* :func:`local_count_distribution` — the grouped counts per end entity that
+  the SQL query would return, with optional ``HAVING``/``LIMIT`` pruning.
+
+The evaluation deliberately mirrors instance semantics (Definition 2):
+bindings are injective and non-target variables avoid the target entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import RelationalError
+from repro.kb.graph import KnowledgeBase
+
+__all__ = [
+    "CompiledSQL",
+    "compile_pattern_sql",
+    "pattern_bindings",
+    "iter_pattern_bindings",
+    "local_count_distribution",
+]
+
+
+@dataclass(frozen=True)
+class CompiledSQL:
+    """The SQL rendering of an explanation pattern's local-distribution query."""
+
+    text: str
+    table_aliases: tuple[str, ...]
+    group_by: tuple[str, ...]
+
+
+def _alias_column(alias: str, column: str) -> str:
+    return f"{alias}.{column}"
+
+
+def compile_pattern_sql(
+    pattern: ExplanationPattern,
+    v_start: str,
+    count_threshold: int,
+    limit: int | None = None,
+    relation_name: str = "R",
+) -> CompiledSQL:
+    """Render the Section 5.3.2 SQL query for ``pattern``.
+
+    Each pattern edge becomes one aliased copy of the edge relation; shared
+    variables become equality predicates between the corresponding columns;
+    the query groups by the end-variable column and keeps groups whose count
+    exceeds ``count_threshold``.
+
+    Example (co-starring pattern)::
+
+        SELECT v_start, R2.eid1, count(*) AS count
+        FROM R AS R1, R AS R2
+        WHERE ...
+        GROUP BY v_start, R2.eid1
+        HAVING count > c
+    """
+    edges = sorted(pattern.edges, key=lambda edge: edge.key())
+    if not edges:
+        raise RelationalError("cannot compile a pattern without edges to SQL")
+    aliases = [f"{relation_name}{index + 1}" for index in range(len(edges))]
+
+    # Each variable is represented by the first (alias, column) that binds it.
+    variable_column: dict[str, str] = {}
+    predicates: list[str] = []
+    for alias, edge in zip(aliases, edges):
+        predicates.append(f"{alias}.rel = '{edge.label}'")
+        for column, variable in (("eid1", edge.source), ("eid2", edge.target)):
+            reference = _alias_column(alias, column)
+            if variable in variable_column:
+                predicates.append(f"{variable_column[variable]} = {reference}")
+            else:
+                variable_column[variable] = reference
+    predicates.append(f"{variable_column[START]} = '{v_start}'")
+
+    end_column = variable_column.get(END)
+    if end_column is None:
+        raise RelationalError("the pattern does not constrain the end variable")
+
+    from_clause = ", ".join(f"{relation_name} AS {alias}" for alias in aliases)
+    where_clause = "\n  AND ".join(predicates)
+    limit_clause = f"\nLIMIT {limit}" if limit is not None else ""
+    text = (
+        f"SELECT {variable_column[START]} AS v_start, {end_column} AS v_end, count(*) AS count\n"
+        f"FROM {from_clause}\n"
+        f"WHERE {where_clause}\n"
+        f"GROUP BY {variable_column[START]}, {end_column}\n"
+        f"HAVING count > {count_threshold}{limit_clause}"
+    )
+    return CompiledSQL(
+        text=text,
+        table_aliases=tuple(aliases),
+        group_by=(variable_column[START], end_column),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive evaluation
+# ---------------------------------------------------------------------------
+
+
+def _edge_order(pattern: ExplanationPattern, fixed: Mapping[str, str]) -> list[PatternEdge]:
+    """Order edges so each has at least one endpoint bound when reached."""
+    bound = set(fixed)
+    remaining = sorted(pattern.edges, key=lambda edge: edge.key())
+    ordered: list[PatternEdge] = []
+    while remaining:
+        for index, edge in enumerate(remaining):
+            if edge.source in bound or edge.target in bound:
+                ordered.append(edge)
+                bound.add(edge.source)
+                bound.add(edge.target)
+                remaining.pop(index)
+                break
+        else:
+            raise RelationalError(
+                "pattern is not connected to the fixed variables; cannot evaluate"
+            )
+    return ordered
+
+
+def iter_pattern_bindings(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    fixed: Mapping[str, str],
+    injective: bool = True,
+) -> Iterator[dict[str, str]]:
+    """Yield all variable bindings of ``pattern`` extending ``fixed``.
+
+    Args:
+        kb: the knowledge base.
+        pattern: the explanation pattern (the conjunctive query).
+        fixed: variables with predetermined entities; must include the start
+            variable (the end variable may be free, which is how local
+            distributions vary the end entity).
+        injective: enforce subgraph semantics (distinct variables map to
+            distinct entities).  Matches Definition 2.
+    """
+    if START not in fixed:
+        raise RelationalError("the start variable must be fixed")
+    for variable, entity in fixed.items():
+        if variable not in pattern.variables:
+            raise RelationalError(f"fixed variable {variable!r} not in pattern")
+        if not kb.has_entity(entity):
+            return
+
+    order = _edge_order(pattern, fixed)
+    binding: dict[str, str] = dict(fixed)
+
+    def satisfy(edge: PatternEdge, current: dict[str, str]) -> Iterator[dict[str, str]]:
+        source_entity = current.get(edge.source)
+        target_entity = current.get(edge.target)
+        direction = "out" if edge.directed else "any"
+        if source_entity is not None and target_entity is not None:
+            if kb.has_edge(source_entity, target_entity, edge.label, direction):
+                yield current
+            return
+        if source_entity is not None:
+            anchor, free_variable, expected = source_entity, edge.target, "out"
+        else:
+            anchor, free_variable, expected = target_entity, edge.source, "in"
+        for entry in kb.neighbors(anchor):
+            if entry.label != edge.label:
+                continue
+            if edge.directed:
+                if entry.orientation != expected:
+                    continue
+            elif entry.orientation != "undirected":
+                continue
+            candidate = entry.neighbor
+            if injective and candidate in current.values():
+                continue
+            extended = dict(current)
+            extended[free_variable] = candidate
+            yield extended
+
+    def recurse(index: int, current: dict[str, str]) -> Iterator[dict[str, str]]:
+        if index == len(order):
+            yield dict(current)
+            return
+        for extended in satisfy(order[index], current):
+            yield from recurse(index + 1, extended)
+
+    yield from recurse(0, binding)
+
+
+def pattern_bindings(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    fixed: Mapping[str, str],
+    injective: bool = True,
+) -> list[dict[str, str]]:
+    """All bindings of :func:`iter_pattern_bindings` as a list."""
+    return list(iter_pattern_bindings(kb, pattern, fixed, injective))
+
+
+def local_count_distribution(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    v_start: str,
+    count_threshold: int | None = None,
+    limit: int | None = None,
+) -> dict[str, int]:
+    """Instance counts of ``pattern`` grouped by end entity (start fixed).
+
+    This is the direct evaluation of the Section 5.3.2 SQL query.  When
+    ``count_threshold`` is given, only end entities whose count exceeds it are
+    returned (the ``HAVING`` clause); when ``limit`` is additionally given the
+    evaluation stops as soon as that many qualifying end entities are known —
+    the pruning used by the position measure.
+
+    Returns:
+        Mapping from end entity to its instance count.  With ``limit`` set the
+        returned counts of qualifying entities are lower bounds (evaluation
+        stopped early), which is all the pruned position computation needs.
+    """
+    counts: dict[str, int] = {}
+    qualifying: set[str] = set()
+    for binding in iter_pattern_bindings(kb, pattern, {START: v_start}):
+        end_entity = binding[END]
+        if end_entity == v_start:
+            continue
+        counts[end_entity] = counts.get(end_entity, 0) + 1
+        if count_threshold is not None and counts[end_entity] > count_threshold:
+            qualifying.add(end_entity)
+            if limit is not None and len(qualifying) >= limit:
+                break
+    if count_threshold is None:
+        return counts
+    return {entity: counts[entity] for entity in qualifying}

@@ -1,0 +1,49 @@
+"""Interestingness measures for ranking explanations (Section 4)."""
+
+from repro.measures.aggregate import CountMeasure, MonocountMeasure, aggregate_for_pair
+from repro.measures.base import Measure, Monotonicity
+from repro.measures.combined import (
+    LexicographicMeasure,
+    size_plus_local_dist,
+    size_plus_monocount,
+)
+from repro.measures.distributional import (
+    Distribution,
+    GlobalDistributionMeasure,
+    LocalDistributionMeasure,
+    local_aggregate_distribution,
+)
+from repro.measures.structural import RandomWalkMeasure, SizeMeasure, effective_conductance
+
+__all__ = [
+    "CountMeasure",
+    "MonocountMeasure",
+    "aggregate_for_pair",
+    "Measure",
+    "Monotonicity",
+    "LexicographicMeasure",
+    "size_plus_local_dist",
+    "size_plus_monocount",
+    "Distribution",
+    "GlobalDistributionMeasure",
+    "LocalDistributionMeasure",
+    "local_aggregate_distribution",
+    "RandomWalkMeasure",
+    "SizeMeasure",
+    "effective_conductance",
+    "default_measures",
+]
+
+
+def default_measures() -> dict[str, Measure]:
+    """The eight measures compared in Table 1 of the paper, by name."""
+    return {
+        "size": SizeMeasure(),
+        "random-walk": RandomWalkMeasure(),
+        "count": CountMeasure(),
+        "monocount": MonocountMeasure(),
+        "local-dist": LocalDistributionMeasure(),
+        "global-dist": GlobalDistributionMeasure(),
+        "size+monocount": size_plus_monocount(),
+        "size+local-dist": size_plus_local_dist(),
+    }

@@ -1,0 +1,86 @@
+"""Aggregate interestingness measures: count and monocount (Section 4.2).
+
+Aggregate measures capture "the more instances, the more interesting":
+
+* :class:`CountMeasure` — the number of distinct instances of the pattern.
+  Count is neither monotonic nor anti-monotonic, so the top-k pruning of
+  Theorem 4 does not apply to it.
+* :class:`MonocountMeasure` — for each non-target variable, count the number
+  of distinct entities it can be bound to across all instances (``uniq(v)``);
+  the monocount is the minimum over the variables, defined as 1 for a direct
+  edge between the targets.  Monocount is anti-monotonic, which makes it the
+  paper's measure of choice for pruned top-k ranking.
+
+Both measures are defined on the explanation's *instances*; when an
+explanation object already carries its instances (the normal case after
+enumeration) no knowledge-base work is needed.  The measures can also be
+evaluated for a *different* target pair than the one the explanation was
+enumerated for — that is what the distributional measures of Section 4.3 need
+— in which case the pattern is re-matched against the knowledge base.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.core.matcher import match_pattern
+from repro.core.pattern import END, START
+from repro.kb.graph import KnowledgeBase
+from repro.measures.base import Measure, Monotonicity
+
+__all__ = ["CountMeasure", "MonocountMeasure", "aggregate_for_pair"]
+
+
+def _instances_for_pair(
+    kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+) -> Explanation:
+    """The explanation's instances for ``(v_start, v_end)``.
+
+    Reuses the stored instances when they already belong to the requested
+    pair; otherwise evaluates the pattern against the knowledge base.
+    """
+    if explanation.target_pair == (v_start, v_end):
+        return explanation
+    instances = match_pattern(kb, explanation.pattern, v_start, v_end)
+    return Explanation(explanation.pattern, instances)
+
+
+class CountMeasure(Measure):
+    """Number of distinct explanation instances (``M_count``)."""
+
+    name = "count"
+    monotonicity = Monotonicity.NONE
+    higher_raw_is_better = True
+
+    def raw_value(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> float:
+        return float(_instances_for_pair(kb, explanation, v_start, v_end).count())
+
+
+class MonocountMeasure(Measure):
+    """Minimum number of distinct assignments per variable (``M_monocount``)."""
+
+    name = "monocount"
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+    higher_raw_is_better = True
+
+    def raw_value(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> float:
+        return float(_instances_for_pair(kb, explanation, v_start, v_end).monocount())
+
+
+def aggregate_for_pair(
+    kb: KnowledgeBase,
+    explanation: Explanation,
+    v_start: str,
+    v_end: str,
+    aggregate: Measure,
+) -> float:
+    """Evaluate an aggregate measure of ``explanation``'s pattern for any pair.
+
+    Helper used by the distributional measures, which compare the aggregate of
+    the given pair against the aggregates obtained by varying the target
+    nodes.
+    """
+    return aggregate.raw_value(kb, explanation, v_start, v_end)

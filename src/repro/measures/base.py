@@ -1,0 +1,78 @@
+"""Interestingness measures: base protocol and monotonicity (Definition 7).
+
+An interestingness measure takes the knowledge base, an explanation pattern
+and the target entity pair and returns a number.  The paper distinguishes
+monotonic and anti-monotonic measures; anti-monotonicity (the value can only
+drop when the pattern grows) enables the top-k pruning of Theorem 4.
+
+Convention used throughout this library: :meth:`Measure.value` returns a
+number where **larger means more interesting**, so every ranking algorithm can
+simply sort descending.  Measures whose natural paper-defined quantity runs
+the other way (pattern size, distributional position) negate it internally and
+expose the untouched quantity via :meth:`Measure.raw_value`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.explanation import Explanation
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["Measure", "Monotonicity"]
+
+
+class Monotonicity:
+    """Monotonicity classes of interestingness measures (Definition 7)."""
+
+    MONOTONIC = "monotonic"
+    ANTI_MONOTONIC = "anti-monotonic"
+    NONE = "none"
+
+
+class Measure(abc.ABC):
+    """Base class for interestingness measures.
+
+    Subclasses implement :meth:`raw_value` (the quantity exactly as defined in
+    the paper) and declare ``name``, ``monotonicity`` and whether larger raw
+    values are more interesting; :meth:`value` derives the sort-friendly
+    orientation automatically.
+    """
+
+    #: Short identifier used by benchmarks and the CLI (e.g. ``"monocount"``).
+    name: str = "measure"
+    #: One of the :class:`Monotonicity` constants.  The declared value refers
+    #: to the *interestingness orientation* of :meth:`value`: anti-monotonic
+    #: means growing the pattern can only lower :meth:`value`.
+    monotonicity: str = Monotonicity.NONE
+    #: Whether larger :meth:`raw_value` means more interesting.
+    higher_raw_is_better: bool = True
+
+    @abc.abstractmethod
+    def raw_value(
+        self,
+        kb: KnowledgeBase,
+        explanation: Explanation,
+        v_start: str,
+        v_end: str,
+    ) -> float:
+        """The paper-defined quantity for this measure."""
+
+    def value(
+        self,
+        kb: KnowledgeBase,
+        explanation: Explanation,
+        v_start: str,
+        v_end: str,
+    ) -> float:
+        """Interestingness with the *larger is more interesting* convention."""
+        raw = self.raw_value(kb, explanation, v_start, v_end)
+        return raw if self.higher_raw_is_better else -raw
+
+    @property
+    def is_anti_monotonic(self) -> bool:
+        """Whether Theorem 4's top-k pruning applies to this measure."""
+        return self.monotonicity == Monotonicity.ANTI_MONOTONIC
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,83 @@
+"""Combinations of interestingness measures (Section 5.4.1).
+
+The paper evaluates two simple lexicographic combinations and finds them
+better than any individual measure:
+
+* ``size + monocount`` — rank by size first, break ties by monocount;
+* ``size + local-dist`` — rank by size first, break ties by the local
+  distributional position.
+
+:class:`LexicographicMeasure` implements the general primary/secondary (and
+further) combination.  Because ranking code in this library sorts by a single
+float, the combination folds the component values into one number by scaling:
+the primary component dominates, the secondary only breaks ties.  The exact
+tuple is also exposed via :meth:`key` for callers that prefer tuple sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.explanation import Explanation
+from repro.errors import MeasureError
+from repro.kb.graph import KnowledgeBase
+from repro.measures.aggregate import MonocountMeasure
+from repro.measures.base import Measure, Monotonicity
+from repro.measures.distributional import LocalDistributionMeasure
+from repro.measures.structural import SizeMeasure
+
+__all__ = ["LexicographicMeasure", "size_plus_monocount", "size_plus_local_dist"]
+
+#: Scale separating lexicographic levels when folding into a single float.
+#: Component values are clamped into (-_LEVEL_SCALE, _LEVEL_SCALE).
+_LEVEL_SCALE = 1_000_000.0
+
+
+class LexicographicMeasure(Measure):
+    """Primary measure with one or more tie-breaking secondary measures."""
+
+    monotonicity = Monotonicity.NONE
+    higher_raw_is_better = True
+
+    def __init__(self, components: Sequence[Measure], name: str | None = None) -> None:
+        if not components:
+            raise MeasureError("a lexicographic measure needs at least one component")
+        self.components = list(components)
+        self.name = name or "+".join(component.name for component in self.components)
+        # The combination is anti-monotonic when every component is: growing
+        # the pattern then lowers every level of the key.
+        if all(component.is_anti_monotonic for component in self.components):
+            self.monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def key(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> tuple[float, ...]:
+        """The value tuple (primary first); larger tuples are more interesting."""
+        return tuple(
+            component.value(kb, explanation, v_start, v_end)
+            for component in self.components
+        )
+
+    def raw_value(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> float:
+        folded = 0.0
+        for component_value in self.key(kb, explanation, v_start, v_end):
+            clamped = max(min(component_value, _LEVEL_SCALE - 1), -(_LEVEL_SCALE - 1))
+            folded = folded * _LEVEL_SCALE + clamped
+        return folded
+
+
+def size_plus_monocount() -> LexicographicMeasure:
+    """The paper's ``size + monocount`` combination."""
+    return LexicographicMeasure(
+        [SizeMeasure(), MonocountMeasure()], name="size+monocount"
+    )
+
+
+def size_plus_local_dist(aggregate: str = "count") -> LexicographicMeasure:
+    """The paper's ``size + local-dist`` combination."""
+    return LexicographicMeasure(
+        [SizeMeasure(), LocalDistributionMeasure(aggregate=aggregate)],
+        name="size+local-dist",
+    )

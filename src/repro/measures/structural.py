@@ -1,0 +1,108 @@
+"""Structure-based interestingness measures (Section 4.1).
+
+Two representatives of the measures used widely in the keyword-search and
+graph-mining literature:
+
+* :class:`SizeMeasure` — the number of nodes in the pattern; smaller patterns
+  are more interesting.  Size grows under pattern expansion, so (with the
+  "larger value = more interesting" orientation) the measure is
+  anti-monotonic and eligible for Theorem 4's top-k pruning.
+* :class:`RandomWalkMeasure` — the pattern is interpreted as an electrical
+  network (each edge a unit resistor, following Faloutsos et al.'s connection
+  subgraph work cited by the paper); the measure is the current delivered from
+  the start variable to the end variable under a unit voltage, i.e. the
+  effective conductance of the pattern graph.  More parallel, shorter
+  connections conduct more and are considered more interesting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.core.pattern import END, START
+from repro.errors import MeasureError
+from repro.kb.graph import KnowledgeBase
+from repro.measures.base import Measure, Monotonicity
+
+__all__ = ["SizeMeasure", "RandomWalkMeasure", "effective_conductance"]
+
+
+class SizeMeasure(Measure):
+    """Pattern size (number of variables); smaller is more interesting."""
+
+    name = "size"
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+    higher_raw_is_better = False
+
+    def raw_value(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> float:
+        return float(explanation.pattern.num_nodes)
+
+
+def effective_conductance(explanation: Explanation) -> float:
+    """Effective conductance between start and end of the pattern graph.
+
+    Every pattern edge is a unit resistor (parallel labelled edges between the
+    same variable pair count separately).  The conductance is computed from
+    the graph Laplacian: fixing the start potential at 1 and the end potential
+    at 0, the delivered current equals the effective conductance.
+
+    Returns 0.0 when start and end are not connected in the pattern.
+    """
+    pattern = explanation.pattern
+    variables = sorted(pattern.variables)
+    index = {variable: position for position, variable in enumerate(variables)}
+    size = len(variables)
+    laplacian = np.zeros((size, size), dtype=float)
+    for edge in pattern.edges:
+        i, j = index[edge.source], index[edge.target]
+        laplacian[i, i] += 1.0
+        laplacian[j, j] += 1.0
+        laplacian[i, j] -= 1.0
+        laplacian[j, i] -= 1.0
+
+    start_index, end_index = index[START], index[END]
+    if laplacian[start_index, start_index] == 0 or laplacian[end_index, end_index] == 0:
+        return 0.0
+
+    # Solve for node potentials with boundary conditions v(start)=1, v(end)=0.
+    free = [position for position in range(size) if position not in (start_index, end_index)]
+    potentials = np.zeros(size)
+    potentials[start_index] = 1.0
+    if free:
+        sub_laplacian = laplacian[np.ix_(free, free)]
+        rhs = -laplacian[np.ix_(free, [start_index])].flatten() * 1.0
+        try:
+            solved = np.linalg.solve(sub_laplacian, rhs)
+        except np.linalg.LinAlgError:
+            # Disconnected interior components make the submatrix singular;
+            # fall back to the least-squares solution, which assigns an
+            # arbitrary (but consistent) potential to the floating component.
+            solved, *_ = np.linalg.lstsq(sub_laplacian, rhs, rcond=None)
+        for position, value in zip(free, solved):
+            potentials[position] = value
+    # Current out of the start node = sum over edges (v_start - v_neighbor).
+    current = 0.0
+    for edge in explanation.pattern.edges:
+        i, j = index[edge.source], index[edge.target]
+        if start_index in (i, j):
+            other = j if i == start_index else i
+            current += potentials[start_index] - potentials[other]
+    return float(current)
+
+
+class RandomWalkMeasure(Measure):
+    """Electrical-current / random-walk measure on the pattern graph."""
+
+    name = "random-walk"
+    monotonicity = Monotonicity.NONE
+    higher_raw_is_better = True
+
+    def raw_value(
+        self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
+    ) -> float:
+        if explanation.pattern.num_edges == 0:
+            raise MeasureError("cannot compute the random-walk measure of an empty pattern")
+        return effective_conductance(explanation)

@@ -1,0 +1,25 @@
+"""Explanation ranking algorithms (Section 4.4 and Section 5.3)."""
+
+from repro.ranking.distributional_pruning import (
+    PositionComputation,
+    rank_by_global_position,
+    rank_by_local_position,
+)
+from repro.ranking.general import (
+    RankedExplanation,
+    RankingResult,
+    rank_explanations,
+    score_explanations,
+)
+from repro.ranking.topk import rank_topk_anti_monotonic
+
+__all__ = [
+    "PositionComputation",
+    "rank_by_global_position",
+    "rank_by_local_position",
+    "RankedExplanation",
+    "RankingResult",
+    "rank_explanations",
+    "score_explanations",
+    "rank_topk_anti_monotonic",
+]

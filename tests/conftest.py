@@ -1,0 +1,61 @@
+"""Shared fixtures for the REX reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.entertainment import EntertainmentConfig, generate_entertainment_kb
+from repro.datasets.paper_example import paper_example_kb
+from repro.enumeration.framework import enumerate_explanations
+from repro.kb.graph import KnowledgeBase
+
+
+@pytest.fixture(scope="session")
+def paper_kb() -> KnowledgeBase:
+    """The Figure 3 style running-example knowledge base."""
+    return paper_example_kb()
+
+
+@pytest.fixture(scope="session")
+def tiny_synthetic_kb() -> KnowledgeBase:
+    """A small synthetic entertainment KB used where the paper KB is too small."""
+    config = EntertainmentConfig(num_persons=60, num_movies=40, seed=3)
+    return generate_entertainment_kb(config)
+
+
+@pytest.fixture(scope="session")
+def brad_angelina_explanations(paper_kb):
+    """All minimal explanations (size <= 4) for the Brad Pitt / Angelina Jolie pair."""
+    return enumerate_explanations(
+        paper_kb, "brad_pitt", "angelina_jolie", size_limit=4
+    ).explanations
+
+
+@pytest.fixture(scope="session")
+def winslet_dicaprio_explanations(paper_kb):
+    """All minimal explanations (size <= 5) for the Kate Winslet / Leonardo DiCaprio pair."""
+    return enumerate_explanations(
+        paper_kb, "kate_winslet", "leonardo_dicaprio", size_limit=5
+    ).explanations
+
+
+@pytest.fixture()
+def triangle_kb() -> KnowledgeBase:
+    """A tiny hand-built KB with a mix of directed and undirected edges.
+
+    Layout::
+
+        a --knows-- b          (undirected)
+        a <-likes-- c --likes--> b
+        a --works_at--> org <--works_at-- b
+    """
+    kb = KnowledgeBase()
+    kb.schema.declare_relation("knows", directed=False)
+    kb.schema.declare_relation("likes", directed=True)
+    kb.schema.declare_relation("works_at", directed=True)
+    kb.add_edge("a", "b", "knows")
+    kb.add_edge("c", "a", "likes")
+    kb.add_edge("c", "b", "likes")
+    kb.add_edge("a", "org", "works_at")
+    kb.add_edge("b", "org", "works_at")
+    return kb

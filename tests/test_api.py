@@ -1,0 +1,58 @@
+"""Tests for the top-level package API (the Rex facade)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Rex, paper_example_kb
+from repro.errors import RexError
+from repro.measures.aggregate import MonocountMeasure
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestRexFacade:
+    def test_enumerate(self, paper_kb):
+        rex = Rex(paper_kb)
+        result = rex.enumerate("brad_pitt", "angelina_jolie", size_limit=4)
+        assert result.num_explanations > 0
+
+    def test_explain_with_named_measure(self, paper_kb):
+        rex = Rex(paper_kb, size_limit=4)
+        ranked = rex.explain("tom_cruise", "nicole_kidman", measure="size", k=2)
+        assert 1 <= len(ranked) <= 2
+        assert ranked[0].explanation.pattern.num_nodes == 2
+
+    def test_explain_with_measure_instance(self, paper_kb):
+        rex = Rex(paper_kb, size_limit=4)
+        ranked = rex.explain(
+            "tom_cruise", "nicole_kidman", measure=MonocountMeasure(), k=1
+        )
+        assert len(ranked) == 1
+
+    def test_unknown_measure_name_raises(self, paper_kb):
+        with pytest.raises(RexError):
+            Rex(paper_kb).explain("a", "b", measure="nonsense")
+
+    def test_measures_listing(self, paper_kb):
+        rex = Rex(paper_kb)
+        assert "size+monocount" in rex.measures()
+        assert "local-dist" in rex.measures()
+
+    def test_size_limit_override(self, paper_kb):
+        rex = Rex(paper_kb, size_limit=5)
+        ranked = rex.explain("brad_pitt", "angelina_jolie", measure="size", k=50, size_limit=3)
+        assert all(entry.explanation.pattern.num_nodes <= 3 for entry in ranked)
+
+    def test_docstring_example_runs(self):
+        rex = Rex(paper_example_kb())
+        top = rex.explain("tom_cruise", "nicole_kidman", k=1)
+        assert top[0].explanation.pattern.num_edges >= 1

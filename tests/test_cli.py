@@ -1,0 +1,71 @@
+"""Tests for the rex-explain command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kb.io import save_json, save_tsv
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["a", "b"])
+        assert args.measure == "size+monocount"
+        assert args.top == 5
+        assert args.size_limit == 5
+
+    def test_measure_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["a", "b", "--measure", "bogus"])
+
+
+class TestMain:
+    def test_demo_pair_prints_explanations(self, capsys):
+        exit_code = main(["--demo", "tom_cruise", "nicole_kidman", "--top", "2", "--size-limit", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "spouse" in captured.out
+        assert "#1" in captured.out
+
+    def test_unconnected_pair_reports_no_explanation(self, capsys):
+        exit_code = main(["--demo", "brad_pitt", "connie_nielsen", "--size-limit", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "No explanation" in captured.out
+
+    def test_unknown_measure_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["--demo", "a", "b", "--measure", "nonsense"])
+
+    def test_missing_kb_file_returns_error(self, capsys, tmp_path):
+        exit_code = main(["--kb", str(tmp_path / "missing.tsv"), "a", "b"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_tsv_kb_loading(self, paper_kb, tmp_path, capsys):
+        path = tmp_path / "kb.tsv"
+        save_tsv(paper_kb, path)
+        exit_code = main(
+            ["--kb", str(path), "kate_winslet", "leonardo_dicaprio", "--size-limit", "3", "--top", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "starring" in captured.out
+
+    def test_json_kb_loading(self, paper_kb, tmp_path, capsys):
+        path = tmp_path / "kb.json"
+        save_json(paper_kb, path)
+        exit_code = main(
+            ["--kb", str(path), "tom_cruise", "nicole_kidman", "--size-limit", "3", "--top", "1"]
+        )
+        assert exit_code == 0
+        assert "spouse" in capsys.readouterr().out
+
+    def test_measure_option(self, capsys):
+        exit_code = main(
+            ["--demo", "mel_gibson", "helen_hunt", "--measure", "count", "--size-limit", "4"]
+        )
+        assert exit_code == 0
+        assert "count" in capsys.readouterr().out

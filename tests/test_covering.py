@@ -1,0 +1,109 @@
+"""Tests for covering path pattern sets (Definitions 5-6, Theorems 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covering import (
+    covering_path_pattern_set,
+    minimal_covering_cardinality,
+    simple_path_patterns,
+    stratify,
+)
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.core.properties import is_minimal
+from repro.errors import PatternError
+
+
+def path_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge(START, "?v0", "a"), PatternEdge("?v0", END, "b")]
+    )
+
+
+def figure_6a() -> ExplanationPattern:
+    """Kate Winslet / Leonardo DiCaprio 'same director' pattern of Figure 6."""
+    return ExplanationPattern.from_edges(
+        [
+            PatternEdge("?v2", START, "starring"),
+            PatternEdge("?v2", END, "starring"),
+            PatternEdge("?v2", "?v1", "director"),
+            PatternEdge("?v0", "?v1", "director"),
+            PatternEdge("?v0", END, "starring"),
+        ]
+    )
+
+
+class TestSimplePathPatterns:
+    def test_path_pattern_has_one_simple_path(self):
+        paths = simple_path_patterns(path_pattern())
+        assert len(paths) == 1
+        assert paths[0].is_path()
+
+    def test_figure_6a_has_two_simple_paths(self):
+        paths = simple_path_patterns(figure_6a())
+        assert len(paths) == 2
+        lengths = sorted(path.num_edges for path in paths)
+        assert lengths == [2, 4]
+
+
+class TestCoveringPathPatternSet:
+    def test_theorem_1_path_pattern(self):
+        cover = covering_path_pattern_set(path_pattern())
+        assert len(cover) == 1
+
+    def test_theorem_1_figure_6a_needs_two_paths(self):
+        cover = covering_path_pattern_set(figure_6a())
+        assert len(cover) == 2
+        covered_edges = set()
+        for path in cover:
+            covered_edges |= set(path.edges)
+        assert covered_edges == set(figure_6a().edges)
+
+    def test_non_essential_pattern_raises(self):
+        dangling = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v0", "?v1", "director"),
+            ]
+        )
+        with pytest.raises(PatternError):
+            covering_path_pattern_set(dangling)
+
+    def test_pattern_without_any_path_raises(self):
+        disconnected = ExplanationPattern.from_edges([PatternEdge(START, "?v0", "a")])
+        with pytest.raises(PatternError):
+            covering_path_pattern_set(disconnected)
+
+
+class TestStratification:
+    def test_cardinalities(self):
+        assert minimal_covering_cardinality(path_pattern()) == 1
+        assert minimal_covering_cardinality(figure_6a()) == 2
+
+    def test_stratify_groups_by_cardinality(self):
+        strata = stratify([path_pattern(), figure_6a()])
+        assert set(strata) == {1, 2}
+        assert len(strata[1]) == 1
+        assert len(strata[2]) == 1
+
+    def test_stratify_rejects_non_minimal_patterns(self):
+        decomposable = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, END, "spouse", directed=False),
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+            ]
+        )
+        with pytest.raises(PatternError):
+            stratify([decomposable])
+
+    def test_enumerated_minimal_patterns_have_covering_sets(
+        self, brad_angelina_explanations
+    ):
+        # Theorem 1 holds for every enumerated minimal explanation.
+        for explanation in brad_angelina_explanations:
+            assert is_minimal(explanation.pattern)
+            cover = covering_path_pattern_set(explanation.pattern)
+            assert len(cover) >= 1

@@ -1,0 +1,126 @@
+"""Tests for the bundled datasets (paper example + synthetic generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.entertainment import (
+    EntertainmentConfig,
+    dense_entertainment_kb,
+    generate_entertainment_kb,
+    small_entertainment_kb,
+)
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
+from repro.errors import DatasetError
+
+
+class TestPaperExampleKB:
+    def test_contains_paper_entities(self, paper_kb):
+        for entity in ("brad_pitt", "tom_cruise", "nicole_kidman", "kate_winslet"):
+            assert paper_kb.has_entity(entity)
+            assert paper_kb.entity_type(entity) == "person"
+
+    def test_paper_pairs_exist_in_kb(self, paper_kb):
+        for v_start, v_end in PAPER_PAIRS:
+            assert paper_kb.has_entity(v_start)
+            assert paper_kb.has_entity(v_end)
+
+    def test_tom_cruise_nicole_kidman_were_married(self, paper_kb):
+        assert paper_kb.has_edge("tom_cruise", "nicole_kidman", "spouse", "any")
+
+    def test_brad_and_tom_costarred_in_interview_with_the_vampire(self, paper_kb):
+        assert paper_kb.has_edge("interview_with_the_vampire", "brad_pitt", "starring")
+        assert paper_kb.has_edge("interview_with_the_vampire", "tom_cruise", "starring")
+
+    def test_spouse_edges_are_undirected(self, paper_kb):
+        spouse_edges = [edge for edge in paper_kb.edges() if edge.label == "spouse"]
+        assert spouse_edges
+        assert all(not edge.directed for edge in spouse_edges)
+
+    def test_starring_edges_point_from_movie_to_person(self, paper_kb):
+        for edge in paper_kb.edges():
+            if edge.label == "starring":
+                assert paper_kb.entity_type(edge.source) == "movie"
+                assert paper_kb.entity_type(edge.target) == "person"
+
+    def test_repeated_construction_is_identical(self):
+        first, second = paper_example_kb(), paper_example_kb()
+        assert first.num_entities == second.num_entities
+        assert first.num_edges == second.num_edges
+
+
+class TestEntertainmentConfig:
+    def test_validation_rejects_tiny_worlds(self):
+        with pytest.raises(DatasetError):
+            EntertainmentConfig(num_persons=1).validate()
+
+    def test_validation_rejects_bad_fractions(self):
+        with pytest.raises(DatasetError):
+            EntertainmentConfig(spouse_fraction=1.5).validate()
+
+    def test_validation_rejects_small_cast(self):
+        with pytest.raises(DatasetError):
+            EntertainmentConfig(cast_size=0.5).validate()
+
+
+class TestGenerator:
+    def test_same_seed_same_kb(self):
+        config = EntertainmentConfig(num_persons=50, num_movies=30, seed=99)
+        first = generate_entertainment_kb(config)
+        second = generate_entertainment_kb(config)
+        assert first.num_entities == second.num_entities
+        assert first.num_edges == second.num_edges
+        assert sorted(e.key() for e in first.edges()) == sorted(
+            e.key() for e in second.edges()
+        )
+
+    def test_different_seeds_differ(self):
+        first = generate_entertainment_kb(EntertainmentConfig(num_persons=50, num_movies=30, seed=1))
+        second = generate_entertainment_kb(EntertainmentConfig(num_persons=50, num_movies=30, seed=2))
+        assert sorted(e.key() for e in first.edges()) != sorted(
+            e.key() for e in second.edges()
+        )
+
+    def test_entity_counts_match_config(self, tiny_synthetic_kb):
+        assert len(tiny_synthetic_kb.entities_of_type("person")) == 60
+        assert len(tiny_synthetic_kb.entities_of_type("movie")) == 40
+
+    def test_expected_relation_vocabulary(self, tiny_synthetic_kb):
+        labels = set(tiny_synthetic_kb.relation_labels())
+        assert {"starring", "director"} <= labels
+        assert labels <= {
+            "starring",
+            "director",
+            "producer",
+            "writer",
+            "genre",
+            "spouse",
+            "sibling",
+            "award_won",
+        }
+
+    def test_every_movie_has_cast_and_director(self, tiny_synthetic_kb):
+        for movie in tiny_synthetic_kb.entities_of_type("movie"):
+            labels = [entry.label for entry in tiny_synthetic_kb.neighbors(movie)]
+            assert labels.count("starring") >= 2
+            assert labels.count("director") >= 1
+
+    def test_spouse_edges_are_undirected(self, tiny_synthetic_kb):
+        for edge in tiny_synthetic_kb.edges():
+            if edge.label in ("spouse", "sibling"):
+                assert not edge.directed
+
+    def test_popularity_skew_creates_hubs(self):
+        kb = generate_entertainment_kb(
+            EntertainmentConfig(num_persons=100, num_movies=80, seed=5)
+        )
+        degrees = sorted(
+            (kb.degree(person) for person in kb.entities_of_type("person")), reverse=True
+        )
+        assert degrees[0] >= 3 * max(degrees[len(degrees) // 2], 1)
+
+    def test_presets_scale(self):
+        small = small_entertainment_kb()
+        dense = dense_entertainment_kb()
+        assert small.num_entities > 200
+        assert dense.density() > small.density()

@@ -1,0 +1,107 @@
+"""Tests for connectedness computation and pair sampling (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.evaluation.pairs import (
+    CONNECTEDNESS_BUCKETS,
+    EntityPair,
+    bucket_for,
+    connectedness,
+    sample_pairs_by_connectedness,
+)
+
+
+class TestConnectedness:
+    def test_counts_simple_paths(self, paper_kb):
+        # Tom Cruise and Nicole Kidman: spouse edge + 3 shared movies within
+        # length 2, plus longer paths up to length 4.
+        value = connectedness(paper_kb, "tom_cruise", "nicole_kidman", length_limit=2)
+        assert value == 4
+
+    def test_length_limit_monotone(self, paper_kb):
+        short = connectedness(paper_kb, "brad_pitt", "angelina_jolie", length_limit=2)
+        longer = connectedness(paper_kb, "brad_pitt", "angelina_jolie", length_limit=4)
+        assert longer >= short
+
+    def test_disconnected_pair_is_zero(self, paper_kb):
+        assert connectedness(paper_kb, "brad_pitt", "connie_nielsen") == 0
+
+    def test_symmetric_for_undirected_reachability(self, paper_kb):
+        forward = connectedness(paper_kb, "kate_winslet", "leonardo_dicaprio")
+        backward = connectedness(paper_kb, "leonardo_dicaprio", "kate_winslet")
+        assert forward == backward
+
+
+class TestBucketFor:
+    def test_paper_bucket_boundaries(self):
+        assert bucket_for(1) == "low"
+        assert bucket_for(29) == "low"
+        assert bucket_for(30) == "medium"
+        assert bucket_for(99) == "medium"
+        assert bucket_for(100) == "high"
+        assert bucket_for(5000) == "high"
+
+    def test_zero_connectedness_has_no_bucket(self):
+        assert bucket_for(0) is None
+
+    def test_bucket_names(self):
+        assert set(CONNECTEDNESS_BUCKETS) == {"low", "medium", "high"}
+
+
+class TestSamplePairs:
+    def test_rejects_non_positive_count(self, paper_kb):
+        with pytest.raises(DatasetError):
+            sample_pairs_by_connectedness(paper_kb, pairs_per_bucket=0)
+
+    def test_sampling_is_deterministic(self, tiny_synthetic_kb):
+        first = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=2, seed=5, max_attempts=300
+        )
+        second = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=2, seed=5, max_attempts=300
+        )
+        assert first == second
+
+    def test_pairs_match_their_bucket(self, tiny_synthetic_kb):
+        buckets = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=2, seed=7, max_attempts=300
+        )
+        for bucket_name, pairs in buckets.items():
+            for pair in pairs:
+                assert isinstance(pair, EntityPair)
+                assert pair.bucket == bucket_name
+                assert bucket_for(pair.connectedness) == bucket_name
+
+    def test_respects_pairs_per_bucket(self, tiny_synthetic_kb):
+        buckets = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=2, seed=7, max_attempts=300
+        )
+        for pairs in buckets.values():
+            assert len(pairs) <= 2
+
+    def test_pairs_are_distinct(self, tiny_synthetic_kb):
+        buckets = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=3, seed=9, max_attempts=300
+        )
+        all_pairs = [
+            (pair.v_start, pair.v_end) for pairs in buckets.values() for pair in pairs
+        ]
+        assert len(all_pairs) == len(set(all_pairs))
+
+    def test_entity_type_filter(self, tiny_synthetic_kb):
+        buckets = sample_pairs_by_connectedness(
+            tiny_synthetic_kb, pairs_per_bucket=2, seed=7, entity_type="person", max_attempts=300
+        )
+        for pairs in buckets.values():
+            for pair in pairs:
+                assert tiny_synthetic_kb.entity_type(pair.v_start) == "person"
+                assert tiny_synthetic_kb.entity_type(pair.v_end) == "person"
+
+    def test_unknown_entity_type_falls_back_to_all_entities(self, paper_kb):
+        buckets = sample_pairs_by_connectedness(
+            paper_kb, pairs_per_bucket=1, seed=1, entity_type="spaceship", max_attempts=100
+        )
+        assert isinstance(buckets, dict)

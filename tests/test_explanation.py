@@ -1,0 +1,143 @@
+"""Tests for the Explanation container and its aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import InstanceError
+
+
+def costar_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+def costar_explanation(movies: list[str]) -> Explanation:
+    instances = [
+        ExplanationInstance({START: "brad_pitt", END: "angelina_jolie", "?v0": movie})
+        for movie in movies
+    ]
+    return Explanation(costar_pattern(), instances)
+
+
+class TestConstruction:
+    def test_deduplicates_instances(self):
+        explanation = costar_explanation(["a", "a", "b"])
+        assert explanation.num_instances == 2
+
+    def test_instance_variables_must_match_pattern(self):
+        with pytest.raises(InstanceError):
+            Explanation(
+                costar_pattern(),
+                [ExplanationInstance({START: "x", END: "y"})],
+            )
+
+    def test_iteration_and_len(self):
+        explanation = costar_explanation(["a", "b"])
+        assert len(explanation) == 2
+        assert len(list(explanation)) == 2
+
+    def test_equality_and_hash(self):
+        assert costar_explanation(["a"]) == costar_explanation(["a"])
+        assert hash(costar_explanation(["a"])) == hash(costar_explanation(["a"]))
+        assert costar_explanation(["a"]) != costar_explanation(["b"])
+
+    def test_size_and_is_path(self):
+        explanation = costar_explanation(["a"])
+        assert explanation.size == 3
+        assert explanation.is_path()
+
+    def test_empty_instance_list_allowed(self):
+        explanation = Explanation(costar_pattern(), [])
+        assert not explanation.has_instances
+        assert explanation.target_pair is None
+
+
+class TestAggregates:
+    def test_count(self):
+        assert costar_explanation(["a", "b", "c"]).count() == 3
+
+    def test_uniq_and_assignments(self):
+        explanation = costar_explanation(["a", "b"])
+        assert explanation.uniq("?v0") == 2
+        assert explanation.assignments("?v0") == {"a", "b"}
+        assert explanation.uniq(START) == 1
+
+    def test_assignments_cached(self):
+        explanation = costar_explanation(["a", "b"])
+        first = explanation.assignments("?v0")
+        second = explanation.assignments("?v0")
+        assert first is second
+
+    def test_monocount_single_variable_equals_count(self):
+        explanation = costar_explanation(["a", "b", "c"])
+        assert explanation.monocount() == explanation.count() == 3
+
+    def test_monocount_direct_edge_is_one(self):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        explanation = Explanation(
+            pattern, [ExplanationInstance({START: "a", END: "b"})]
+        )
+        assert explanation.monocount() == 1
+
+    def test_monocount_direct_edge_no_instances_is_zero(self):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        assert Explanation(pattern, []).monocount() == 0
+
+    def test_monocount_is_minimum_over_variables(self):
+        # Paper Example 6: two instances sharing the same director variable
+        # binding give monocount 1 while count is 2.
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v2", START, "starring"),
+                PatternEdge("?v2", END, "starring"),
+                PatternEdge("?v2", "?v1", "director"),
+            ]
+        )
+        instances = [
+            ExplanationInstance(
+                {START: "kate", END: "leo", "?v1": "sam_mendes", "?v2": "revolutionary_road"}
+            ),
+            ExplanationInstance(
+                {START: "kate", END: "leo", "?v1": "sam_mendes", "?v2": "revolutionary_road_2"}
+            ),
+        ]
+        explanation = Explanation(pattern, instances)
+        assert explanation.count() == 2
+        assert explanation.uniq("?v1") == 1
+        assert explanation.uniq("?v2") == 2
+        assert explanation.monocount() == 1
+
+    def test_target_pair(self):
+        assert costar_explanation(["a"]).target_pair == ("brad_pitt", "angelina_jolie")
+
+
+class TestTransformations:
+    def test_with_canonical_names(self):
+        pattern = ExplanationPattern.from_edges(
+            [PatternEdge("?movie", START, "starring"), PatternEdge("?movie", END, "starring")]
+        )
+        explanation = Explanation(
+            pattern,
+            [ExplanationInstance({START: "a", END: "b", "?movie": "m"})],
+        )
+        canonical = explanation.with_canonical_names()
+        assert canonical.pattern.non_target_variables == {"?v0"}
+        assert canonical.instances[0]["?v0"] == "m"
+
+    def test_merged_instances_with(self):
+        explanation = costar_explanation(["a"])
+        extended = explanation.merged_instances_with(
+            [ExplanationInstance({START: "brad_pitt", END: "angelina_jolie", "?v0": "b"})]
+        )
+        assert extended.num_instances == 2
+        assert explanation.num_instances == 1
+
+    def test_describe_lists_instances(self):
+        text = costar_explanation(["a", "b", "c", "d"]).describe(max_instances=2)
+        assert "and 2 more" in text
+        assert "starring" in text

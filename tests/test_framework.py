@@ -1,0 +1,139 @@
+"""Tests for the general enumeration framework (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import match_pattern
+from repro.core.properties import is_minimal
+from repro.enumeration.framework import (
+    DEFAULT_SIZE_LIMIT,
+    enumerate_explanations,
+)
+from repro.errors import EnumerationError
+
+
+class TestValidation:
+    def test_default_size_limit_matches_paper(self):
+        assert DEFAULT_SIZE_LIMIT == 5
+
+    def test_rejects_small_size_limit(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            enumerate_explanations(paper_kb, "brad_pitt", "angelina_jolie", size_limit=1)
+
+    def test_rejects_unknown_path_algorithm(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            enumerate_explanations(
+                paper_kb, "brad_pitt", "angelina_jolie", path_algorithm="bogus"
+            )
+
+    def test_rejects_unknown_union_algorithm(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            enumerate_explanations(
+                paper_kb, "brad_pitt", "angelina_jolie", union_algorithm="bogus"
+            )
+
+
+class TestResults:
+    def test_paper_examples_are_found(self, paper_kb, brad_angelina_explanations):
+        labels = [
+            tuple(sorted(edge.label for edge in explanation.pattern.edges))
+            for explanation in brad_angelina_explanations
+        ]
+        # The partner edge (Figure 4(a) analogue) and co-starring (Figure 4(b)).
+        assert ("partner",) in labels
+        assert ("starring", "starring") in labels
+
+    def test_every_result_is_minimal_with_instances(self, brad_angelina_explanations):
+        for explanation in brad_angelina_explanations:
+            assert is_minimal(explanation.pattern)
+            assert explanation.num_instances > 0
+
+    def test_results_respect_size_limit(self, paper_kb):
+        result = enumerate_explanations(paper_kb, "brad_pitt", "angelina_jolie", size_limit=3)
+        assert all(e.pattern.num_nodes <= 3 for e in result.explanations)
+
+    def test_larger_size_limit_is_a_superset(self, paper_kb):
+        small = enumerate_explanations(paper_kb, "brad_pitt", "angelina_jolie", size_limit=3)
+        large = enumerate_explanations(paper_kb, "brad_pitt", "angelina_jolie", size_limit=5)
+        small_keys = {e.pattern.canonical_key for e in small.explanations}
+        large_keys = {e.pattern.canonical_key for e in large.explanations}
+        assert small_keys <= large_keys
+        assert len(large_keys) > len(small_keys)
+
+    def test_instances_match_direct_evaluation(self, paper_kb, winslet_dicaprio_explanations):
+        for explanation in winslet_dicaprio_explanations:
+            direct = set(
+                match_pattern(
+                    paper_kb, explanation.pattern, "kate_winslet", "leonardo_dicaprio"
+                )
+            )
+            assert set(explanation.instances) == direct
+
+    def test_disconnected_pair(self, paper_kb):
+        # connie_nielsen is an isolated entity in the running-example KB.
+        result = enumerate_explanations(paper_kb, "brad_pitt", "connie_nielsen", size_limit=4)
+        assert result.num_explanations == 0
+        assert result.num_instances == 0
+
+    def test_result_metadata(self, paper_kb):
+        result = enumerate_explanations(paper_kb, "tom_cruise", "nicole_kidman", size_limit=4)
+        assert result.v_start == "tom_cruise"
+        assert result.v_end == "nicole_kidman"
+        assert result.size_limit == 4
+        assert result.path_algorithm == "prioritized"
+        assert result.union_algorithm == "prune"
+        assert result.path_stats["paths"] >= 1
+        assert result.union_stats["merge_calls"] >= 0
+
+    def test_paths_plus_non_paths_partition_results(self, winslet_dicaprio_explanations, paper_kb):
+        result = enumerate_explanations(
+            paper_kb, "kate_winslet", "leonardo_dicaprio", size_limit=5
+        )
+        assert len(result.paths()) + len(result.non_paths()) == result.num_explanations
+        assert all(e.is_path() for e in result.paths())
+        assert all(not e.is_path() for e in result.non_paths())
+
+    def test_num_instances_is_total_over_explanations(self, paper_kb):
+        result = enumerate_explanations(paper_kb, "brad_pitt", "tom_cruise", size_limit=4)
+        assert result.num_instances == sum(e.num_instances for e in result.explanations)
+
+
+class TestAlgorithmCombinations:
+    @pytest.mark.parametrize("path_algorithm", ["naive", "basic", "prioritized"])
+    @pytest.mark.parametrize("union_algorithm", ["basic", "prune"])
+    def test_every_combination_agrees(self, paper_kb, path_algorithm, union_algorithm):
+        reference = enumerate_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", size_limit=4
+        )
+        candidate = enumerate_explanations(
+            paper_kb,
+            "brad_pitt",
+            "angelina_jolie",
+            size_limit=4,
+            path_algorithm=path_algorithm,
+            union_algorithm=union_algorithm,
+        )
+        assert sorted(e.pattern.canonical_key for e in reference.explanations) == sorted(
+            e.pattern.canonical_key for e in candidate.explanations
+        )
+
+    def test_agreement_on_synthetic_kb(self, tiny_synthetic_kb):
+        persons = tiny_synthetic_kb.entities_of_type("person")
+        pair = (persons[1], persons[2])
+        results = [
+            enumerate_explanations(
+                tiny_synthetic_kb,
+                *pair,
+                size_limit=4,
+                path_algorithm=path_algorithm,
+                union_algorithm=union_algorithm,
+            )
+            for path_algorithm in ("naive", "basic", "prioritized")
+            for union_algorithm in ("basic", "prune")
+        ]
+        signatures = [
+            sorted(e.pattern.canonical_key for e in result.explanations)
+            for result in results
+        ]
+        assert all(signature == signatures[0] for signature in signatures)

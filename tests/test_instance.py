@@ -1,0 +1,150 @@
+"""Tests for explanation instances (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import ExplanationInstance, validate_instance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import InstanceError
+
+
+def costar_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+def costar_instance(movie: str = "mr_and_mrs_smith") -> ExplanationInstance:
+    return ExplanationInstance(
+        {START: "brad_pitt", END: "angelina_jolie", "?v0": movie}
+    )
+
+
+class TestConstruction:
+    def test_requires_target_bindings(self):
+        with pytest.raises(InstanceError):
+            ExplanationInstance({START: "a"})
+        with pytest.raises(InstanceError):
+            ExplanationInstance({END: "b"})
+
+    def test_accessors(self):
+        instance = costar_instance()
+        assert instance.start_entity == "brad_pitt"
+        assert instance.end_entity == "angelina_jolie"
+        assert instance["?v0"] == "mr_and_mrs_smith"
+        assert instance.get("?missing") is None
+        assert "?v0" in instance
+        assert len(instance) == 3
+
+    def test_getitem_unbound_raises(self):
+        with pytest.raises(InstanceError):
+            costar_instance()["?v9"]
+
+    def test_mapping_returns_copy(self):
+        instance = costar_instance()
+        mapping = instance.mapping
+        mapping["?v0"] = "other"
+        assert instance["?v0"] == "mr_and_mrs_smith"
+
+    def test_variables_and_entities(self):
+        instance = costar_instance()
+        assert instance.variables() == {START, END, "?v0"}
+        assert "mr_and_mrs_smith" in instance.entities()
+
+    def test_equality_and_hash_are_order_independent(self):
+        left = ExplanationInstance({START: "a", END: "b", "?v0": "c"})
+        right = ExplanationInstance({"?v0": "c", END: "b", START: "a"})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_is_injective(self):
+        assert costar_instance().is_injective()
+        non_injective = ExplanationInstance({START: "a", END: "b", "?v0": "a"})
+        assert not non_injective.is_injective()
+
+
+class TestOperations:
+    def test_agrees_with_on_shared_variables(self):
+        left = costar_instance()
+        right = ExplanationInstance({START: "brad_pitt", END: "angelina_jolie", "?v0": "by_the_sea"})
+        assert left.agrees_with(right, [START, END])
+        assert not left.agrees_with(right, ["?v0"])
+
+    def test_agrees_with_ignores_unbound_variables(self):
+        left = costar_instance()
+        right = ExplanationInstance({START: "brad_pitt", END: "angelina_jolie"})
+        assert left.agrees_with(right, ["?v0"])
+
+    def test_merged_with(self):
+        left = costar_instance()
+        right = ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v1": "doug_liman"}
+        )
+        merged = left.merged_with(right)
+        assert merged["?v0"] == "mr_and_mrs_smith"
+        assert merged["?v1"] == "doug_liman"
+
+    def test_merged_with_conflict_raises(self):
+        left = costar_instance("a")
+        right = costar_instance("b")
+        with pytest.raises(InstanceError):
+            left.merged_with(right)
+
+    def test_renamed(self):
+        renamed = costar_instance().renamed({"?v0": "?movie"})
+        assert renamed["?movie"] == "mr_and_mrs_smith"
+        assert "?v0" not in renamed
+
+    def test_renamed_collision_raises(self):
+        instance = ExplanationInstance({START: "a", END: "b", "?v0": "x", "?v1": "y"})
+        with pytest.raises(InstanceError):
+            instance.renamed({"?v0": "?z", "?v1": "?z"})
+
+    def test_restricted_to_keeps_targets(self):
+        instance = ExplanationInstance(
+            {START: "a", END: "b", "?v0": "x", "?v1": "y"}
+        )
+        projected = instance.restricted_to(["?v0"])
+        assert projected.variables() == {START, END, "?v0"}
+
+
+class TestValidateInstance:
+    def test_valid_instance(self, paper_kb):
+        assert validate_instance(
+            paper_kb, costar_pattern(), costar_instance(), "brad_pitt", "angelina_jolie"
+        )
+
+    def test_wrong_target_binding(self, paper_kb):
+        assert not validate_instance(
+            paper_kb, costar_pattern(), costar_instance(), "brad_pitt", "jennifer_aniston"
+        )
+
+    def test_missing_edge_in_kb(self, paper_kb):
+        bad = ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v0": "titanic"}
+        )
+        assert not validate_instance(
+            paper_kb, costar_pattern(), bad, "brad_pitt", "angelina_jolie"
+        )
+
+    def test_non_target_variable_on_target_entity_rejected(self, paper_kb):
+        bad = ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v0": "brad_pitt"}
+        )
+        assert not validate_instance(
+            paper_kb, costar_pattern(), bad, "brad_pitt", "angelina_jolie"
+        )
+
+    def test_variable_set_mismatch_rejected(self, paper_kb):
+        extra = ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v0": "mr_and_mrs_smith", "?v1": "doug_liman"}
+        )
+        assert not validate_instance(
+            paper_kb, costar_pattern(), extra, "brad_pitt", "angelina_jolie"
+        )
+
+    def test_undirected_edge_matches_either_order(self, paper_kb):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        instance = ExplanationInstance({START: "nicole_kidman", END: "tom_cruise"})
+        assert validate_instance(paper_kb, pattern, instance, "nicole_kidman", "tom_cruise")

@@ -1,0 +1,83 @@
+"""Tests for knowledge-base loading and saving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.io import load_json, load_tsv, save_json, save_tsv
+from repro.kb.schema import Schema
+
+
+class TestTsvRoundTrip:
+    def test_round_trip_preserves_edges(self, paper_kb, tmp_path):
+        path = tmp_path / "kb.tsv"
+        save_tsv(paper_kb, path)
+        loaded = load_tsv(path)
+        assert loaded.num_edges == paper_kb.num_edges
+        assert sorted(e.key() for e in loaded.edges()) == sorted(
+            e.key() for e in paper_kb.edges()
+        )
+
+    def test_round_trip_preserves_directionality(self, paper_kb, tmp_path):
+        path = tmp_path / "kb.tsv"
+        save_tsv(paper_kb, path)
+        loaded = load_tsv(path)
+        assert loaded.schema.is_directed("spouse") is False
+        assert loaded.schema.is_directed("starring") is True
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# a comment\n\na\tknows\tb\n", encoding="utf-8")
+        kb = load_tsv(path)
+        assert kb.num_edges == 1
+
+    def test_load_three_column_uses_schema(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tspouse\tb\n", encoding="utf-8")
+        schema = Schema()
+        schema.declare_relation("spouse", directed=False)
+        kb = load_tsv(path, schema=schema)
+        (edge,) = list(kb.edges())
+        assert not edge.directed
+
+    def test_load_rejects_wrong_column_count(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tknows\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError):
+            load_tsv(path)
+
+    def test_load_rejects_bad_direction_flag(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tknows\tb\tsideways\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError):
+            load_tsv(path)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_entities_and_types(self, paper_kb, tmp_path):
+        path = tmp_path / "kb.json"
+        save_json(paper_kb, path)
+        loaded = load_json(path)
+        assert loaded.num_entities == paper_kb.num_entities
+        assert loaded.entity_type("brad_pitt") == "person"
+        assert loaded.entity_type("titanic") == "movie"
+
+    def test_round_trip_preserves_edges_and_direction(self, paper_kb, tmp_path):
+        path = tmp_path / "kb.json"
+        save_json(paper_kb, path)
+        loaded = load_json(path)
+        assert loaded.num_edges == paper_kb.num_edges
+        assert loaded.has_edge("nicole_kidman", "tom_cruise", "spouse", "any")
+
+    def test_load_rejects_documents_without_edges(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"entities\": []}", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError):
+            load_json(path)
+
+    def test_load_rejects_non_object_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError):
+            load_json(path)

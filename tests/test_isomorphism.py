@@ -1,0 +1,112 @@
+"""Tests for pattern isomorphism and the duplicate registry."""
+
+from __future__ import annotations
+
+from repro.core.isomorphism import DuplicateRegistry, are_isomorphic, find_isomorphism
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+
+
+def renamed_costar(variable: str) -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge(variable, START, "starring"), PatternEdge(variable, END, "starring")]
+    )
+
+
+class TestFindIsomorphism:
+    def test_identical_patterns(self):
+        mapping = find_isomorphism(renamed_costar("?v0"), renamed_costar("?v0"))
+        assert mapping is not None
+        assert mapping["?v0"] == "?v0"
+
+    def test_renamed_variables(self):
+        mapping = find_isomorphism(renamed_costar("?movie"), renamed_costar("?x"))
+        assert mapping == {START: START, END: END, "?movie": "?x"}
+
+    def test_different_labels_not_isomorphic(self):
+        other = ExplanationPattern.from_edges(
+            [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "director")]
+        )
+        assert find_isomorphism(renamed_costar("?v0"), other) is None
+
+    def test_different_sizes_not_isomorphic(self):
+        bigger = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", "?v1", "director"),
+                PatternEdge("?v1", END, "director"),
+            ]
+        )
+        assert not are_isomorphic(renamed_costar("?v0"), bigger)
+
+    def test_structure_sensitive(self):
+        chain = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "a"),
+                PatternEdge("?v0", "?v1", "a"),
+                PatternEdge("?v1", END, "a"),
+            ]
+        )
+        star = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "a"),
+                PatternEdge("?v1", "?v0", "a"),
+                PatternEdge("?v0", END, "a"),
+            ]
+        )
+        assert not are_isomorphic(chain, star)
+
+    def test_direction_respected(self):
+        forward = ExplanationPattern.from_edges(
+            [PatternEdge(START, "?v0", "a"), PatternEdge("?v0", END, "a")]
+        )
+        backward = ExplanationPattern.from_edges(
+            [PatternEdge("?v0", START, "a"), PatternEdge("?v0", END, "a")]
+        )
+        assert not are_isomorphic(forward, backward)
+
+    def test_isomorphism_agrees_with_canonical_key(self, brad_angelina_explanations):
+        patterns = [explanation.pattern for explanation in brad_angelina_explanations]
+        for left in patterns:
+            for right in patterns:
+                assert are_isomorphic(left, right) == (
+                    left.canonical_key == right.canonical_key
+                )
+
+    def test_multi_variable_automorphic_pattern(self):
+        # Two interchangeable middle variables.
+        left = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?a", "r"),
+                PatternEdge("?a", END, "r"),
+                PatternEdge(START, "?b", "r"),
+                PatternEdge("?b", END, "r"),
+            ]
+        )
+        right = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?x", "r"),
+                PatternEdge("?x", END, "r"),
+                PatternEdge(START, "?y", "r"),
+                PatternEdge("?y", END, "r"),
+            ]
+        )
+        assert are_isomorphic(left, right)
+
+
+class TestDuplicateRegistry:
+    def test_add_returns_true_for_new_patterns(self):
+        registry = DuplicateRegistry()
+        assert registry.add(renamed_costar("?v0"))
+        assert len(registry) == 1
+
+    def test_isomorphic_pattern_is_a_duplicate(self):
+        registry = DuplicateRegistry([renamed_costar("?movie")])
+        assert renamed_costar("?x") in registry
+        assert not registry.add(renamed_costar("?x"))
+        assert len(registry) == 1
+
+    def test_distinct_patterns_coexist(self):
+        registry = DuplicateRegistry()
+        registry.add(renamed_costar("?v0"))
+        registry.add(ExplanationPattern.direct_edge("spouse", directed=False))
+        assert len(registry) == 2

@@ -1,0 +1,110 @@
+"""Tests for the direct pattern matcher (the correctness oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import count_matches, has_match, iter_matches, match_pattern
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+
+
+def costar() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+class TestMatchPattern:
+    def test_costar_brad_angelina(self, paper_kb):
+        instances = match_pattern(paper_kb, costar(), "brad_pitt", "angelina_jolie")
+        movies = {instance["?v0"] for instance in instances}
+        assert movies == {"mr_and_mrs_smith", "by_the_sea"}
+
+    def test_costar_kate_leo(self, paper_kb):
+        instances = match_pattern(paper_kb, costar(), "kate_winslet", "leonardo_dicaprio")
+        movies = {instance["?v0"] for instance in instances}
+        assert movies == {"titanic", "revolutionary_road"}
+
+    def test_direct_spouse_edge(self, paper_kb):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        assert count_matches(paper_kb, pattern, "tom_cruise", "nicole_kidman") == 1
+        assert count_matches(paper_kb, pattern, "nicole_kidman", "tom_cruise") == 1
+        assert count_matches(paper_kb, pattern, "brad_pitt", "angelina_jolie") == 0
+
+    def test_directed_edge_direction_enforced(self, paper_kb):
+        # starring edges point movie -> person, so start=movie must be source.
+        forward = ExplanationPattern.direct_edge("starring")
+        assert has_match(paper_kb, forward, "titanic", "kate_winslet")
+        assert not has_match(paper_kb, forward, "kate_winslet", "titanic")
+        backward = ExplanationPattern.direct_edge("starring", reverse=True)
+        assert has_match(paper_kb, backward, "kate_winslet", "titanic")
+
+    def test_no_match_for_unconnected_pair(self, paper_kb):
+        assert match_pattern(paper_kb, costar(), "brad_pitt", "helen_hunt") == []
+
+    def test_unknown_entities_yield_no_matches(self, paper_kb):
+        assert match_pattern(paper_kb, costar(), "ghost", "angelina_jolie") == []
+        assert match_pattern(paper_kb, costar(), "brad_pitt", "ghost") == []
+
+    def test_instances_are_injective(self, paper_kb):
+        # A length-4 path pattern whose only homomorphic image would reuse a
+        # movie node must have no (subgraph) instances.
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", "?v1", "director"),
+                PatternEdge("?v2", "?v1", "director"),
+                PatternEdge("?v2", END, "starring"),
+            ]
+        )
+        instances = match_pattern(paper_kb, pattern, "brad_pitt", "angelina_jolie")
+        for instance in instances:
+            assert instance.is_injective()
+            assert instance["?v0"] != instance["?v2"]
+
+    def test_non_target_variables_avoid_targets(self, paper_kb):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "director"),
+            ]
+        )
+        for instance in match_pattern(paper_kb, pattern, "brad_pitt", "angelina_jolie"):
+            assert instance["?v0"] not in ("brad_pitt", "angelina_jolie")
+
+    def test_limit_short_circuits(self, paper_kb):
+        limited = match_pattern(
+            paper_kb, costar(), "brad_pitt", "angelina_jolie", limit=1
+        )
+        assert len(limited) == 1
+
+    def test_iter_matches_is_lazy(self, paper_kb):
+        iterator = iter_matches(paper_kb, costar(), "brad_pitt", "angelina_jolie")
+        first = next(iterator)
+        assert first[START] == "brad_pitt"
+
+    def test_count_and_has_match_consistent(self, paper_kb):
+        pattern = costar()
+        for pair in [("brad_pitt", "angelina_jolie"), ("brad_pitt", "helen_hunt")]:
+            count = count_matches(paper_kb, pattern, *pair)
+            assert has_match(paper_kb, pattern, *pair) == (count > 0)
+
+    def test_figure_4c_producer_and_costar(self, paper_kb):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v0", START, "producer"),
+            ]
+        )
+        instances = match_pattern(paper_kb, pattern, "brad_pitt", "angelina_jolie")
+        assert {instance["?v0"] for instance in instances} == {"by_the_sea"}
+
+    def test_three_hop_award_path(self, paper_kb):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "award_won"),
+                PatternEdge(END, "?v0", "award_won"),
+            ]
+        )
+        assert has_match(paper_kb, pattern, "kate_winslet", "leonardo_dicaprio")

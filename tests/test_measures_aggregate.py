@@ -1,0 +1,117 @@
+"""Tests for the aggregate measures: count and monocount (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.measures.aggregate import CountMeasure, MonocountMeasure, aggregate_for_pair
+from repro.measures.base import Monotonicity
+
+
+def costar_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+class TestCountMeasure:
+    def test_uses_stored_instances_for_the_same_pair(self, paper_kb):
+        explanation = Explanation(
+            costar_pattern(),
+            [
+                ExplanationInstance(
+                    {START: "brad_pitt", END: "angelina_jolie", "?v0": "mr_and_mrs_smith"}
+                )
+            ],
+        )
+        assert CountMeasure().raw_value(
+            paper_kb, explanation, "brad_pitt", "angelina_jolie"
+        ) == 1
+
+    def test_re_evaluates_for_a_different_pair(self, paper_kb):
+        explanation = Explanation(
+            costar_pattern(),
+            [
+                ExplanationInstance(
+                    {START: "brad_pitt", END: "angelina_jolie", "?v0": "mr_and_mrs_smith"}
+                )
+            ],
+        )
+        # Same pattern, evaluated for Brad Pitt & Julia Roberts: 3 shared movies.
+        assert CountMeasure().raw_value(
+            paper_kb, explanation, "brad_pitt", "julia_roberts"
+        ) == 3
+
+    def test_count_on_enumerated_explanations_matches_instances(
+        self, paper_kb, brad_angelina_explanations
+    ):
+        measure = CountMeasure()
+        for explanation in brad_angelina_explanations:
+            assert measure.raw_value(
+                paper_kb, explanation, "brad_pitt", "angelina_jolie"
+            ) == explanation.num_instances
+
+    def test_not_anti_monotonic(self):
+        assert CountMeasure().monotonicity == Monotonicity.NONE
+
+
+class TestMonocountMeasure:
+    def test_monocount_equals_count_for_single_variable(self, paper_kb):
+        explanation = Explanation(
+            costar_pattern(),
+            [
+                ExplanationInstance(
+                    {START: "tom_cruise", END: "nicole_kidman", "?v0": movie}
+                )
+                for movie in ("eyes_wide_shut", "days_of_thunder", "far_and_away")
+            ],
+        )
+        assert MonocountMeasure().raw_value(
+            paper_kb, explanation, "tom_cruise", "nicole_kidman"
+        ) == 3
+
+    def test_direct_edge_monocount_is_one(self, paper_kb):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        explanation = Explanation(
+            pattern, [ExplanationInstance({START: "tom_cruise", END: "nicole_kidman"})]
+        )
+        assert MonocountMeasure().raw_value(
+            paper_kb, explanation, "tom_cruise", "nicole_kidman"
+        ) == 1
+
+    def test_monocount_never_exceeds_count(self, paper_kb, winslet_dicaprio_explanations):
+        count, monocount = CountMeasure(), MonocountMeasure()
+        for explanation in winslet_dicaprio_explanations:
+            assert monocount.raw_value(
+                paper_kb, explanation, "kate_winslet", "leonardo_dicaprio"
+            ) <= count.raw_value(
+                paper_kb, explanation, "kate_winslet", "leonardo_dicaprio"
+            )
+
+    def test_is_anti_monotonic(self):
+        assert MonocountMeasure().is_anti_monotonic
+
+    def test_monocount_for_different_pair_re_evaluates(self, paper_kb):
+        explanation = Explanation(
+            costar_pattern(),
+            [
+                ExplanationInstance(
+                    {START: "brad_pitt", END: "angelina_jolie", "?v0": "by_the_sea"}
+                )
+            ],
+        )
+        assert MonocountMeasure().raw_value(
+            paper_kb, explanation, "brad_pitt", "george_clooney"
+        ) == 2
+
+
+class TestAggregateForPair:
+    def test_helper_matches_measure(self, paper_kb, brad_angelina_explanations):
+        measure = CountMeasure()
+        explanation = brad_angelina_explanations[0]
+        assert aggregate_for_pair(
+            paper_kb, explanation, "brad_pitt", "angelina_jolie", measure
+        ) == measure.raw_value(paper_kb, explanation, "brad_pitt", "angelina_jolie")

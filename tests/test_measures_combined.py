@@ -1,0 +1,117 @@
+"""Tests for lexicographic measure combinations (Section 5.4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import MeasureError
+from repro.measures.aggregate import MonocountMeasure
+from repro.measures.combined import (
+    LexicographicMeasure,
+    size_plus_local_dist,
+    size_plus_monocount,
+)
+from repro.measures.distributional import LocalDistributionMeasure
+from repro.measures.structural import SizeMeasure
+
+
+def costar(movies: list[str]) -> Explanation:
+    pattern = ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+    return Explanation(
+        pattern,
+        [
+            ExplanationInstance({START: "tom_cruise", END: "nicole_kidman", "?v0": movie})
+            for movie in movies
+        ],
+    )
+
+
+def spouse() -> Explanation:
+    pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+    return Explanation(
+        pattern, [ExplanationInstance({START: "tom_cruise", END: "nicole_kidman"})]
+    )
+
+
+class TestLexicographicMeasure:
+    def test_requires_components(self):
+        with pytest.raises(MeasureError):
+            LexicographicMeasure([])
+
+    def test_name_is_derived_from_components(self):
+        measure = LexicographicMeasure([SizeMeasure(), MonocountMeasure()])
+        assert measure.name == "size+monocount"
+
+    def test_primary_dominates(self, paper_kb):
+        measure = size_plus_monocount()
+        # The spouse edge is smaller than the co-starring pattern, so it wins
+        # even though co-starring has the larger monocount.
+        assert measure.value(
+            paper_kb, spouse(), "tom_cruise", "nicole_kidman"
+        ) > measure.value(
+            paper_kb,
+            costar(["eyes_wide_shut", "days_of_thunder", "far_and_away"]),
+            "tom_cruise",
+            "nicole_kidman",
+        )
+
+    def test_secondary_breaks_ties(self, paper_kb):
+        measure = size_plus_monocount()
+        many = costar(["eyes_wide_shut", "days_of_thunder", "far_and_away"])
+        few = costar(["eyes_wide_shut"])
+        assert measure.value(paper_kb, many, "tom_cruise", "nicole_kidman") > measure.value(
+            paper_kb, few, "tom_cruise", "nicole_kidman"
+        )
+
+    def test_key_exposes_component_values(self, paper_kb):
+        measure = size_plus_monocount()
+        key = measure.key(paper_kb, spouse(), "tom_cruise", "nicole_kidman")
+        assert key == (-2.0, 1.0)
+
+    def test_anti_monotonic_only_when_all_components_are(self):
+        assert size_plus_monocount().is_anti_monotonic
+        assert not size_plus_local_dist().is_anti_monotonic
+        assert not LexicographicMeasure([LocalDistributionMeasure()]).is_anti_monotonic
+
+    def test_single_component_behaves_like_component(self, paper_kb):
+        combined = LexicographicMeasure([SizeMeasure()])
+        ordering_combined = combined.value(
+            paper_kb, spouse(), "tom_cruise", "nicole_kidman"
+        ) > combined.value(paper_kb, costar(["eyes_wide_shut"]), "tom_cruise", "nicole_kidman")
+        plain = SizeMeasure()
+        ordering_plain = plain.value(
+            paper_kb, spouse(), "tom_cruise", "nicole_kidman"
+        ) > plain.value(paper_kb, costar(["eyes_wide_shut"]), "tom_cruise", "nicole_kidman")
+        assert ordering_combined == ordering_plain
+
+
+class TestFactories:
+    def test_size_plus_monocount_names(self):
+        assert size_plus_monocount().name == "size+monocount"
+
+    def test_size_plus_local_dist_names(self):
+        assert size_plus_local_dist().name == "size+local-dist"
+
+    def test_size_plus_local_dist_orders_rare_first_within_size(self, paper_kb):
+        measure = size_plus_local_dist()
+        # Both explanations have 3 nodes; the rarer one (lower position) wins.
+        rare = costar(["eyes_wide_shut", "days_of_thunder", "far_and_away"])
+        pattern = ExplanationPattern.from_edges(
+            [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+        )
+        common = Explanation(
+            pattern,
+            [
+                ExplanationInstance(
+                    {START: "brad_pitt", END: "angelina_jolie", "?v0": "by_the_sea"}
+                )
+            ],
+        )
+        rare_value = measure.value(paper_kb, rare, "tom_cruise", "nicole_kidman")
+        common_value = measure.value(paper_kb, common, "brad_pitt", "angelina_jolie")
+        assert rare_value > common_value

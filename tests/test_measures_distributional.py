@@ -1,0 +1,183 @@
+"""Tests for the distribution-based measures (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import MeasureError
+from repro.measures.distributional import (
+    Distribution,
+    GlobalDistributionMeasure,
+    LocalDistributionMeasure,
+    local_aggregate_distribution,
+)
+
+
+def costar_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+def costar_explanation(v_start: str, v_end: str, movies: list[str]) -> Explanation:
+    return Explanation(
+        costar_pattern(),
+        [
+            ExplanationInstance({START: v_start, END: v_end, "?v0": movie})
+            for movie in movies
+        ],
+    )
+
+
+def partner_explanation() -> Explanation:
+    pattern = ExplanationPattern.direct_edge("partner", directed=False)
+    return Explanation(
+        pattern,
+        [ExplanationInstance({START: "brad_pitt", END: "angelina_jolie"})],
+    )
+
+
+class TestDistribution:
+    def test_from_values_counts(self):
+        distribution = Distribution.from_values([1, 1, 2, 3, 3, 3])
+        assert dict(distribution.value_counts) == {1: 2, 2: 1, 3: 3}
+        assert distribution.total_pairs == 6
+
+    def test_position_counts_strictly_greater(self):
+        distribution = Distribution.from_values([1, 1, 2, 3])
+        assert distribution.position(1) == 2
+        assert distribution.position(3) == 0
+        assert distribution.position(0) == 4
+
+    def test_paper_example_7(self):
+        # D_l = {(1, 130), (2, 8), (3, 10), (4, 2)} and the pair's count is 1,
+        # so its position is 8 + 10 + 2 = 20.
+        distribution = Distribution(((1, 130), (2, 8), (3, 10), (4, 2)))
+        assert distribution.position(1) == 20
+
+    def test_mean_and_standard_deviation(self):
+        distribution = Distribution.from_values([2, 2, 4, 4])
+        assert distribution.mean() == pytest.approx(3.0)
+        assert distribution.standard_deviation() == pytest.approx(1.0)
+
+    def test_z_score(self):
+        distribution = Distribution.from_values([2, 2, 4, 4])
+        assert distribution.z_score(4) == pytest.approx(1.0)
+        assert distribution.z_score(3) == pytest.approx(0.0)
+
+    def test_z_score_zero_deviation(self):
+        distribution = Distribution.from_values([5, 5, 5])
+        assert distribution.z_score(7) == 0.0
+
+    def test_empty_distribution(self):
+        empty = Distribution(())
+        assert empty.total_pairs == 0
+        assert empty.mean() == 0.0
+        assert empty.position(1) == 0
+
+    def test_merged_with(self):
+        left = Distribution.from_values([1, 2])
+        right = Distribution.from_values([2, 3])
+        merged = left.merged_with(right)
+        assert dict(merged.value_counts) == {1: 1, 2: 2, 3: 1}
+
+
+class TestLocalAggregateDistribution:
+    def test_count_aggregate(self, paper_kb):
+        values = local_aggregate_distribution(paper_kb, costar_pattern(), "brad_pitt", "count")
+        assert values["julia_roberts"] == 3
+        assert values["angelina_jolie"] == 2
+
+    def test_monocount_aggregate_matches_count_for_single_variable(self, paper_kb):
+        count_values = local_aggregate_distribution(
+            paper_kb, costar_pattern(), "brad_pitt", "count"
+        )
+        monocount_values = local_aggregate_distribution(
+            paper_kb, costar_pattern(), "brad_pitt", "monocount"
+        )
+        assert count_values == monocount_values
+
+    def test_direct_edge_monocount_is_one(self, paper_kb):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        values = local_aggregate_distribution(paper_kb, pattern, "tom_cruise", "monocount")
+        assert values == {"nicole_kidman": 1.0}
+
+    def test_unknown_aggregate_rejected(self, paper_kb):
+        with pytest.raises(MeasureError):
+            local_aggregate_distribution(paper_kb, costar_pattern(), "brad_pitt", "median")
+
+
+class TestLocalDistributionMeasure:
+    def test_rare_partner_edge_beats_common_costar(self, paper_kb):
+        measure = LocalDistributionMeasure()
+        costar = costar_explanation(
+            "brad_pitt", "angelina_jolie", ["mr_and_mrs_smith", "by_the_sea"]
+        )
+        partner = partner_explanation()
+        partner_position = measure.raw_value(
+            paper_kb, partner, "brad_pitt", "angelina_jolie"
+        )
+        costar_position = measure.raw_value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+        # Nobody else is Brad Pitt's partner, but Julia Roberts co-starred in
+        # more movies with him than Angelina Jolie did.
+        assert partner_position == 0
+        assert costar_position >= 1
+        assert measure.value(paper_kb, partner, "brad_pitt", "angelina_jolie") > measure.value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+
+    def test_distribution_helper(self, paper_kb):
+        measure = LocalDistributionMeasure()
+        distribution = measure.distribution(
+            paper_kb, costar_explanation("brad_pitt", "angelina_jolie", ["by_the_sea"]), "brad_pitt"
+        )
+        assert distribution.total_pairs >= 3
+
+    def test_position_zero_when_pair_has_the_maximum(self, paper_kb):
+        measure = LocalDistributionMeasure()
+        costar = costar_explanation(
+            "brad_pitt",
+            "julia_roberts",
+            ["oceans_eleven", "oceans_twelve", "the_mexican"],
+        )
+        assert measure.raw_value(paper_kb, costar, "brad_pitt", "julia_roberts") == 0
+
+
+class TestGlobalDistributionMeasure:
+    def test_requires_positive_samples(self):
+        with pytest.raises(MeasureError):
+            GlobalDistributionMeasure(num_samples=0)
+
+    def test_deterministic_given_seed(self, paper_kb):
+        costar = costar_explanation("brad_pitt", "angelina_jolie", ["by_the_sea"])
+        first = GlobalDistributionMeasure(num_samples=10, seed=5).raw_value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+        second = GlobalDistributionMeasure(num_samples=10, seed=5).raw_value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+        assert first == second
+
+    def test_global_position_at_least_local(self, paper_kb):
+        costar = costar_explanation("brad_pitt", "angelina_jolie", ["by_the_sea"])
+        local = LocalDistributionMeasure().raw_value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+        # Sampling every entity as a start covers the local distribution too.
+        global_all = GlobalDistributionMeasure(num_samples=10_000).raw_value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )
+        assert global_all >= local
+
+    def test_lower_position_is_more_interesting(self, paper_kb):
+        measure = GlobalDistributionMeasure(num_samples=20)
+        partner = partner_explanation()
+        costar = costar_explanation("brad_pitt", "angelina_jolie", ["by_the_sea"])
+        assert measure.value(paper_kb, partner, "brad_pitt", "angelina_jolie") >= measure.value(
+            paper_kb, costar, "brad_pitt", "angelina_jolie"
+        )

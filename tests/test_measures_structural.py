@@ -1,0 +1,109 @@
+"""Tests for the structural interestingness measures (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import MeasureError
+from repro.measures.base import Monotonicity
+from repro.measures.structural import RandomWalkMeasure, SizeMeasure, effective_conductance
+
+
+def direct(label: str = "spouse") -> Explanation:
+    pattern = ExplanationPattern.direct_edge(label, directed=False)
+    return Explanation(pattern, [ExplanationInstance({START: "a", END: "b"})])
+
+
+def two_hop() -> Explanation:
+    pattern = ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+    return Explanation(
+        pattern, [ExplanationInstance({START: "a", END: "b", "?v0": "m"})]
+    )
+
+
+def diamond() -> Explanation:
+    pattern = ExplanationPattern.from_edges(
+        [
+            PatternEdge(START, "?v0", "a"),
+            PatternEdge("?v0", END, "b"),
+            PatternEdge(START, "?v1", "c"),
+            PatternEdge("?v1", END, "d"),
+        ]
+    )
+    return Explanation(
+        pattern,
+        [ExplanationInstance({START: "s", END: "e", "?v0": "x", "?v1": "y"})],
+    )
+
+
+class TestSizeMeasure:
+    def test_raw_value_is_node_count(self, paper_kb):
+        measure = SizeMeasure()
+        assert measure.raw_value(paper_kb, direct(), "a", "b") == 2
+        assert measure.raw_value(paper_kb, two_hop(), "a", "b") == 3
+
+    def test_smaller_patterns_are_more_interesting(self, paper_kb):
+        measure = SizeMeasure()
+        assert measure.value(paper_kb, direct(), "a", "b") > measure.value(
+            paper_kb, two_hop(), "a", "b"
+        )
+
+    def test_declared_anti_monotonic(self):
+        measure = SizeMeasure()
+        assert measure.monotonicity == Monotonicity.ANTI_MONOTONIC
+        assert measure.is_anti_monotonic
+
+
+class TestEffectiveConductance:
+    def test_single_edge_has_unit_conductance(self):
+        assert effective_conductance(direct()) == pytest.approx(1.0)
+
+    def test_series_resistors_halve_conductance(self):
+        assert effective_conductance(two_hop()) == pytest.approx(0.5)
+
+    def test_parallel_paths_add_conductance(self):
+        assert effective_conductance(diamond()) == pytest.approx(1.0)
+
+    def test_disconnected_end_gives_zero(self):
+        pattern = ExplanationPattern.from_edges([PatternEdge(START, "?v0", "a")])
+        explanation = Explanation(pattern, [])
+        assert effective_conductance(explanation) == 0.0
+
+    def test_extra_parallel_edge_between_same_nodes_increases_conductance(self):
+        single = two_hop()
+        double_pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", START, "producer"),
+                PatternEdge("?v0", END, "starring"),
+            ]
+        )
+        double = Explanation(
+            double_pattern, [ExplanationInstance({START: "a", END: "b", "?v0": "m"})]
+        )
+        assert effective_conductance(double) > effective_conductance(single)
+
+
+class TestRandomWalkMeasure:
+    def test_value_equals_conductance(self, paper_kb):
+        measure = RandomWalkMeasure()
+        assert measure.value(paper_kb, diamond(), "s", "e") == pytest.approx(1.0)
+
+    def test_prefers_direct_edge_over_two_hop(self, paper_kb):
+        measure = RandomWalkMeasure()
+        assert measure.value(paper_kb, direct(), "a", "b") > measure.value(
+            paper_kb, two_hop(), "a", "b"
+        )
+
+    def test_empty_pattern_rejected(self, paper_kb):
+        explanation = Explanation(ExplanationPattern.from_edges([]), [])
+        with pytest.raises(MeasureError):
+            RandomWalkMeasure().raw_value(paper_kb, explanation, "a", "b")
+
+    def test_not_anti_monotonic(self):
+        assert not RandomWalkMeasure().is_anti_monotonic

@@ -1,0 +1,109 @@
+"""Tests for the NaiveEnum baseline (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import match_pattern
+from repro.core.properties import is_minimal
+from repro.enumeration.framework import enumerate_explanations
+from repro.enumeration.naive import NaiveEnumStats, naive_enum
+from repro.errors import EnumerationError
+
+
+class TestValidation:
+    def test_rejects_small_size_limit(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            naive_enum(paper_kb, "brad_pitt", "angelina_jolie", 1)
+
+    def test_rejects_identical_endpoints(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            naive_enum(paper_kb, "brad_pitt", "brad_pitt", 3)
+
+    def test_rejects_unknown_entity(self, paper_kb):
+        with pytest.raises(EnumerationError):
+            naive_enum(paper_kb, "brad_pitt", "ghost", 3)
+
+
+class TestResults:
+    def test_outputs_are_minimal_with_instances(self, paper_kb):
+        explanations = naive_enum(paper_kb, "tom_cruise", "nicole_kidman", 4)
+        assert explanations
+        for explanation in explanations:
+            assert is_minimal(explanation.pattern)
+            assert explanation.num_instances > 0
+            assert explanation.pattern.num_nodes <= 4
+
+    def test_no_duplicate_patterns(self, paper_kb):
+        explanations = naive_enum(paper_kb, "tom_cruise", "nicole_kidman", 4)
+        keys = [explanation.pattern.canonical_key for explanation in explanations]
+        assert len(keys) == len(set(keys))
+
+    def test_instances_match_direct_evaluation(self, paper_kb):
+        explanations = naive_enum(paper_kb, "mel_gibson", "helen_hunt", 4)
+        for explanation in explanations:
+            direct = set(
+                match_pattern(paper_kb, explanation.pattern, "mel_gibson", "helen_hunt")
+            )
+            assert set(explanation.instances) == direct
+
+    def test_disconnected_pair_yields_nothing(self, paper_kb):
+        assert naive_enum(paper_kb, "brad_pitt", "helen_hunt", 3) == []
+
+    def test_stats_are_populated(self, paper_kb):
+        stats = NaiveEnumStats()
+        naive_enum(paper_kb, "tom_cruise", "nicole_kidman", 4, stats)
+        assert stats.patterns_expanded > 0
+        assert stats.candidates_generated >= stats.minimal_found
+        assert stats.minimal_found == len(
+            naive_enum(paper_kb, "tom_cruise", "nicole_kidman", 4)
+        )
+        assert set(stats.as_dict()) == {
+            "patterns_expanded",
+            "candidates_generated",
+            "duplicates_discarded",
+            "empty_discarded",
+            "minimal_found",
+        }
+
+
+class TestAgreementWithFramework:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("brad_pitt", "angelina_jolie"),
+            ("tom_cruise", "nicole_kidman"),
+            ("mel_gibson", "helen_hunt"),
+            ("tom_cruise", "will_smith"),
+        ],
+    )
+    def test_same_minimal_patterns_as_framework_size4(self, paper_kb, pair):
+        baseline = naive_enum(paper_kb, *pair, 4)
+        framework = enumerate_explanations(paper_kb, *pair, size_limit=4)
+        baseline_keys = sorted(e.pattern.canonical_key for e in baseline)
+        framework_keys = sorted(e.pattern.canonical_key for e in framework.explanations)
+        assert baseline_keys == framework_keys
+
+    def test_same_minimal_patterns_as_framework_size5(self, paper_kb):
+        pair = ("kate_winslet", "leonardo_dicaprio")
+        baseline = naive_enum(paper_kb, *pair, 5)
+        framework = enumerate_explanations(paper_kb, *pair, size_limit=5)
+        assert sorted(e.pattern.canonical_key for e in baseline) == sorted(
+            e.pattern.canonical_key for e in framework.explanations
+        )
+
+    def test_same_instance_sets_as_framework(self, paper_kb):
+        pair = ("james_cameron", "kate_winslet")
+        baseline = {
+            e.pattern.canonical_key: set(
+                tuple(sorted(i.mapping.values())) for i in e.instances
+            )
+            for e in naive_enum(paper_kb, *pair, 4)
+        }
+        framework = {
+            e.pattern.canonical_key: set(
+                tuple(sorted(i.mapping.values())) for i in e.instances
+            )
+            for e in enumerate_explanations(paper_kb, *pair, size_limit=4).explanations
+        }
+        assert baseline == framework

@@ -1,0 +1,159 @@
+"""Tests for path explanation enumeration (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.path_enum import (
+    PATH_ENUM_ALGORITHMS,
+    PathInstance,
+    PathStep,
+    group_paths_into_explanations,
+    path_enum_basic,
+    path_enum_naive,
+    path_enum_prioritized,
+)
+from repro.errors import EnumerationError
+
+ALGORITHMS = [path_enum_naive, path_enum_basic, path_enum_prioritized]
+
+
+def _path_signatures(result):
+    signatures = set()
+    for explanation in result.explanations:
+        for instance in explanation.instances:
+            signatures.add((explanation.pattern.canonical_key, instance.items()))
+    return signatures
+
+
+class TestValidation:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_rejects_zero_length_limit(self, paper_kb, algorithm):
+        with pytest.raises(EnumerationError):
+            algorithm(paper_kb, "brad_pitt", "angelina_jolie", 0)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_rejects_identical_endpoints(self, paper_kb, algorithm):
+        with pytest.raises(EnumerationError):
+            algorithm(paper_kb, "brad_pitt", "brad_pitt", 3)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_rejects_unknown_entities(self, paper_kb, algorithm):
+        with pytest.raises(EnumerationError):
+            algorithm(paper_kb, "ghost", "brad_pitt", 3)
+
+
+class TestBasicBehaviour:
+    def test_direct_spouse_path_found(self, paper_kb):
+        result = path_enum_basic(paper_kb, "tom_cruise", "nicole_kidman", 1)
+        assert result.num_paths == 1
+        (explanation,) = result.explanations
+        assert explanation.pattern.num_edges == 1
+        assert explanation.pattern.labels() == {"spouse"}
+
+    def test_costar_paths_grouped_into_one_pattern(self, paper_kb):
+        result = path_enum_basic(paper_kb, "kate_winslet", "leonardo_dicaprio", 2)
+        costar = [
+            explanation
+            for explanation in result.explanations
+            if explanation.pattern.labels() == {"starring"}
+        ]
+        assert len(costar) == 1
+        assert costar[0].num_instances == 2  # titanic and revolutionary_road
+
+    def test_all_results_are_paths_with_instances(self, paper_kb):
+        result = path_enum_prioritized(paper_kb, "brad_pitt", "angelina_jolie", 4)
+        assert result.explanations
+        for explanation in result.explanations:
+            assert explanation.pattern.is_path()
+            assert explanation.num_instances > 0
+            assert explanation.pattern.num_edges <= 4
+
+    def test_length_limit_is_respected(self, paper_kb):
+        short = path_enum_basic(paper_kb, "brad_pitt", "angelina_jolie", 2)
+        longer = path_enum_basic(paper_kb, "brad_pitt", "angelina_jolie", 4)
+        assert longer.num_paths > short.num_paths
+        assert all(e.pattern.num_edges <= 2 for e in short.explanations)
+
+    def test_no_paths_between_disconnected_entities(self, paper_kb):
+        result = path_enum_basic(paper_kb, "brad_pitt", "helen_hunt", 2)
+        assert result.num_paths == 0
+        assert result.explanations == []
+
+    def test_path_instances_are_simple(self, paper_kb):
+        result = path_enum_naive(paper_kb, "brad_pitt", "tom_cruise", 4)
+        for explanation in result.explanations:
+            for instance in explanation.instances:
+                assert instance.is_injective()
+
+    def test_stats_counters_populated(self, paper_kb):
+        for algorithm in ALGORITHMS:
+            result = algorithm(paper_kb, "brad_pitt", "angelina_jolie", 3)
+            assert result.stats["paths"] == result.num_paths
+            assert result.stats["expansions"] > 0
+
+
+class TestAlgorithmAgreement:
+    @pytest.mark.parametrize("length_limit", [1, 2, 3, 4])
+    def test_all_algorithms_find_the_same_paths(self, paper_kb, length_limit):
+        results = [
+            algorithm(paper_kb, "brad_pitt", "angelina_jolie", length_limit)
+            for algorithm in ALGORITHMS
+        ]
+        signatures = [_path_signatures(result) for result in results]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("kate_winslet", "leonardo_dicaprio"),
+            ("tom_cruise", "will_smith"),
+            ("james_cameron", "kate_winslet"),
+            ("mel_gibson", "helen_hunt"),
+        ],
+    )
+    def test_agreement_on_paper_pairs(self, paper_kb, pair):
+        results = [algorithm(paper_kb, *pair, 4) for algorithm in ALGORITHMS]
+        signatures = [_path_signatures(result) for result in results]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_agreement_on_synthetic_kb(self, tiny_synthetic_kb):
+        persons = tiny_synthetic_kb.entities_of_type("person")
+        pair = (persons[0], persons[5])
+        results = [algorithm(tiny_synthetic_kb, *pair, 3) for algorithm in ALGORITHMS]
+        signatures = [_path_signatures(result) for result in results]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_prioritized_expands_no_more_than_naive(self, paper_kb):
+        naive = path_enum_naive(paper_kb, "brad_pitt", "angelina_jolie", 4)
+        prioritized = path_enum_prioritized(paper_kb, "brad_pitt", "angelina_jolie", 4)
+        assert prioritized.stats["expansions"] <= naive.stats["expansions"]
+
+    def test_registry_contains_three_algorithms(self):
+        assert set(PATH_ENUM_ALGORITHMS) == {"naive", "basic", "prioritized"}
+
+
+class TestGrouping:
+    def test_group_paths_into_explanations(self):
+        step = PathStep("movie_1", "starring", True, False)
+        step_end = PathStep("end_person", "starring", True, True)
+        first = PathInstance("start_person", (step, step_end))
+        second = PathInstance(
+            "start_person",
+            (PathStep("movie_2", "starring", True, False), step_end),
+        )
+        explanations = group_paths_into_explanations([first, second])
+        assert len(explanations) == 1
+        assert explanations[0].num_instances == 2
+
+    def test_different_label_sequences_stay_separate(self):
+        costar = PathInstance(
+            "a",
+            (
+                PathStep("m", "starring", True, False),
+                PathStep("b", "starring", True, True),
+            ),
+        )
+        spouse = PathInstance("a", (PathStep("b", "spouse", False, True),))
+        explanations = group_paths_into_explanations([costar, spouse])
+        assert len(explanations) == 2

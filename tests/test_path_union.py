@@ -1,0 +1,174 @@
+"""Tests for PathUnionBasic / PathUnionPrune (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import match_pattern
+from repro.core.pattern import END, START
+from repro.core.properties import is_minimal
+from repro.enumeration.path_enum import path_enum_basic
+from repro.enumeration.path_union import (
+    PATH_UNION_ALGORITHMS,
+    MergeStats,
+    merge_explanations,
+    path_union_basic,
+    path_union_prune,
+)
+from repro.errors import EnumerationError
+
+
+@pytest.fixture(scope="module")
+def brad_angelina_paths(paper_kb_module):
+    return path_enum_basic(paper_kb_module, "brad_pitt", "angelina_jolie", 4).explanations
+
+
+@pytest.fixture(scope="module")
+def paper_kb_module():
+    from repro.datasets.paper_example import paper_example_kb
+
+    return paper_example_kb()
+
+
+def _pattern_keys(explanations):
+    return sorted(explanation.pattern.canonical_key for explanation in explanations)
+
+
+def _full_signature(explanations):
+    return sorted(
+        (
+            explanation.pattern.canonical_key,
+            tuple(
+                sorted(
+                    tuple(sorted(instance.mapping.values()))
+                    for instance in explanation.instances
+                )
+            ),
+        )
+        for explanation in explanations
+    )
+
+
+class TestMergeExplanations:
+    def test_merge_costar_with_director_path_yields_non_path_pattern(
+        self, paper_kb_module, brad_angelina_paths
+    ):
+        costar = next(
+            e
+            for e in brad_angelina_paths
+            if e.pattern.num_edges == 2 and e.pattern.labels() == {"starring"}
+        )
+        starring_director = next(
+            e
+            for e in brad_angelina_paths
+            if e.pattern.num_edges == 2
+            and e.pattern.labels() == {"starring", "director"}
+        )
+        merged = merge_explanations(costar, starring_director, size_limit=5)
+        assert merged, "expected at least one merged explanation"
+        # The 'by_the_sea' movie stars both and is directed by Angelina Jolie,
+        # so the merged (non-path) pattern has a witnessing instance.
+        non_paths = [e for e in merged if not e.is_path()]
+        assert non_paths
+        for explanation in merged:
+            assert is_minimal(explanation.pattern)
+            assert explanation.num_instances > 0
+
+    def test_merge_requires_shared_variable(self, paper_kb_module):
+        paths = path_enum_basic(paper_kb_module, "tom_cruise", "nicole_kidman", 2).explanations
+        direct = next(e for e in paths if e.pattern.num_edges == 1)
+        costar = next(e for e in paths if e.pattern.num_edges == 2)
+        # Direct edges have no non-target variable, so no mapping exists.
+        assert merge_explanations(direct, costar, size_limit=5) == []
+        assert merge_explanations(costar, direct, size_limit=5) == []
+
+    def test_merge_respects_size_limit(self, brad_angelina_paths):
+        long_paths = [e for e in brad_angelina_paths if e.pattern.num_edges >= 3]
+        if len(long_paths) < 2:
+            pytest.skip("need two long paths")
+        merged = merge_explanations(long_paths[0], long_paths[1], size_limit=4)
+        for explanation in merged:
+            assert explanation.pattern.num_nodes <= 4
+
+    def test_merged_instances_match_direct_evaluation(self, paper_kb_module, brad_angelina_paths):
+        stats = MergeStats()
+        for left in brad_angelina_paths:
+            for right in brad_angelina_paths:
+                for merged in merge_explanations(left, right, size_limit=5, stats=stats):
+                    direct = set(
+                        match_pattern(
+                            paper_kb_module,
+                            merged.pattern,
+                            "brad_pitt",
+                            "angelina_jolie",
+                        )
+                    )
+                    assert set(merged.instances) == direct
+        assert stats.merge_calls > 0
+
+    def test_stats_counters_accumulate(self, brad_angelina_paths):
+        stats = MergeStats()
+        merge_explanations(brad_angelina_paths[0], brad_angelina_paths[0], 5, stats)
+        assert stats.merge_calls == 1
+        assert stats.mappings_tried >= 0
+        as_dict = stats.as_dict()
+        assert set(as_dict) >= {"merge_calls", "mappings_tried", "explanations_produced"}
+
+
+class TestPathUnionAlgorithms:
+    def test_rejects_small_size_limit(self, brad_angelina_paths):
+        with pytest.raises(EnumerationError):
+            path_union_basic(brad_angelina_paths, size_limit=1)
+
+    def test_rejects_non_path_seeds(self, brad_angelina_paths):
+        minimal = path_union_basic(brad_angelina_paths, size_limit=4)
+        non_paths = [e for e in minimal if not e.is_path()]
+        assert non_paths
+        with pytest.raises(EnumerationError):
+            path_union_basic(non_paths, size_limit=4)
+
+    def test_seeds_are_included_in_output(self, brad_angelina_paths):
+        result = path_union_basic(brad_angelina_paths, size_limit=5)
+        result_keys = set(_pattern_keys(result))
+        for path in brad_angelina_paths:
+            assert path.pattern.canonical_key in result_keys
+
+    def test_all_outputs_are_minimal_with_instances(self, brad_angelina_paths):
+        for algorithm in PATH_UNION_ALGORITHMS.values():
+            for explanation in algorithm(brad_angelina_paths, 5):
+                assert is_minimal(explanation.pattern)
+                assert explanation.num_instances > 0
+                assert explanation.pattern.num_nodes <= 5
+
+    def test_no_duplicate_patterns_in_output(self, brad_angelina_paths):
+        for algorithm in PATH_UNION_ALGORITHMS.values():
+            result = algorithm(brad_angelina_paths, 5)
+            keys = _pattern_keys(result)
+            assert len(keys) == len(set(keys))
+
+    def test_prune_and_basic_agree_exactly(self, brad_angelina_paths):
+        basic = path_union_basic(brad_angelina_paths, 5)
+        prune = path_union_prune(brad_angelina_paths, 5)
+        assert _full_signature(basic) == _full_signature(prune)
+
+    def test_prune_and_basic_agree_on_other_pairs(self, paper_kb_module):
+        for pair in [("kate_winslet", "leonardo_dicaprio"), ("james_cameron", "kate_winslet")]:
+            paths = path_enum_basic(paper_kb_module, *pair, 4).explanations
+            basic = path_union_basic(paths, 5)
+            prune = path_union_prune(paths, 5)
+            assert _full_signature(basic) == _full_signature(prune)
+
+    def test_prune_performs_no_more_instance_joins_than_basic(self, paper_kb_module):
+        paths = path_enum_basic(paper_kb_module, "brad_pitt", "angelina_jolie", 4).explanations
+        basic_stats, prune_stats = MergeStats(), MergeStats()
+        path_union_basic(paths, 5, basic_stats)
+        path_union_prune(paths, 5, prune_stats)
+        assert prune_stats.mappings_tried <= basic_stats.mappings_tried
+
+    def test_empty_seed_list_yields_empty_result(self):
+        assert path_union_basic([], 5) == []
+        assert path_union_prune([], 5) == []
+
+    def test_size_limit_two_keeps_only_direct_edges(self, brad_angelina_paths):
+        result = path_union_basic(brad_angelina_paths, 2)
+        assert all(explanation.pattern.num_nodes <= 2 for explanation in result)

@@ -1,0 +1,73 @@
+"""Tests for the path vs non-path explanation statistic (Section 5.4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.path_vs_nonpath import (
+    PathShare,
+    aggregate_path_share,
+    path_share_among_top,
+)
+from repro.evaluation.user_study import RelevanceOracle, SimulatedJudgePool
+
+
+@pytest.fixture()
+def judges(paper_kb):
+    return SimulatedJudgePool(RelevanceOracle(paper_kb), seed=7)
+
+
+class TestPathShare:
+    def test_fraction_of_empty_share_is_zero(self):
+        share = PathShare(considered=0, paths=0)
+        assert share.fraction == 0.0
+        assert share.non_path_fraction == 0.0
+
+    def test_fraction_and_complement(self):
+        share = PathShare(considered=10, paths=4)
+        assert share.fraction == pytest.approx(0.4)
+        assert share.non_path_fraction == pytest.approx(0.6)
+
+    def test_aggregate(self):
+        total = aggregate_path_share(
+            [PathShare(5, 2), PathShare(10, 3), PathShare(0, 0)]
+        )
+        assert total.considered == 15
+        assert total.paths == 5
+
+
+class TestPathShareAmongTop:
+    def test_counts_only_eligible_explanations(self, winslet_dicaprio_explanations, judges):
+        share = path_share_among_top(
+            winslet_dicaprio_explanations, judges, top=10, minimum_average_grade=0.0
+        )
+        assert 0 < share.considered <= 10
+        assert 0 <= share.paths <= share.considered
+
+    def test_high_grade_threshold_excludes_everything(
+        self, winslet_dicaprio_explanations, judges
+    ):
+        share = path_share_among_top(
+            winslet_dicaprio_explanations, judges, top=10, minimum_average_grade=2.5
+        )
+        assert share.considered == 0
+
+    def test_top_limit_respected(self, winslet_dicaprio_explanations, judges):
+        share = path_share_among_top(
+            winslet_dicaprio_explanations, judges, top=3, minimum_average_grade=0.0
+        )
+        assert share.considered <= 3
+
+    def test_non_paths_appear_among_interesting_explanations(
+        self, paper_kb, winslet_dicaprio_explanations, judges
+    ):
+        # The paper's headline: most interesting explanations are NOT paths.
+        share = path_share_among_top(
+            winslet_dicaprio_explanations, judges, top=10, minimum_average_grade=0.0
+        )
+        assert share.non_path_fraction > 0.0
+
+    def test_deterministic(self, winslet_dicaprio_explanations, judges):
+        first = path_share_among_top(winslet_dicaprio_explanations, judges, top=5)
+        second = path_share_among_top(winslet_dicaprio_explanations, judges, top=5)
+        assert first == second

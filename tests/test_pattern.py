@@ -1,0 +1,249 @@
+"""Tests for explanation patterns (Definition 1) and their canonicalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import (
+    END,
+    START,
+    ExplanationPattern,
+    PatternEdge,
+    fresh_variable,
+    pattern_from_label_path,
+)
+from repro.errors import PatternError
+
+
+def costar_pattern() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+class TestPatternEdge:
+    def test_rejects_self_loop(self):
+        with pytest.raises(PatternError):
+            PatternEdge(START, START, "starring")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(PatternError):
+            PatternEdge(START, END, "")
+
+    def test_undirected_key_normalises_order(self):
+        left = PatternEdge("?v1", "?v0", "spouse", directed=False)
+        right = PatternEdge("?v0", "?v1", "spouse", directed=False)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_directed_edges_distinguish_order(self):
+        assert PatternEdge(START, END, "likes") != PatternEdge(END, START, "likes")
+
+    def test_other_and_touches(self):
+        edge = PatternEdge(START, "?v0", "starring")
+        assert edge.touches(START) and edge.touches("?v0") and not edge.touches(END)
+        assert edge.other(START) == "?v0"
+        with pytest.raises(PatternError):
+            edge.other(END)
+
+    def test_renamed(self):
+        edge = PatternEdge("?v0", "?v1", "starring")
+        renamed = edge.renamed({"?v0": "?x"})
+        assert renamed.source == "?x" and renamed.target == "?v1"
+
+
+class TestConstruction:
+    def test_from_edges_infers_variables(self):
+        pattern = costar_pattern()
+        assert pattern.variables == {START, END, "?v0"}
+        assert pattern.num_nodes == 3
+        assert pattern.num_edges == 2
+
+    def test_requires_start_and_end(self):
+        with pytest.raises(PatternError):
+            ExplanationPattern({START, "?v0"}, [])
+
+    def test_edge_variables_must_be_declared(self):
+        with pytest.raises(PatternError):
+            ExplanationPattern({START, END}, [PatternEdge(START, "?v0", "starring")])
+
+    def test_direct_edge_constructor(self):
+        pattern = ExplanationPattern.direct_edge("spouse", directed=False)
+        assert pattern.num_nodes == 2
+        assert pattern.num_edges == 1
+        assert pattern.is_path()
+
+    def test_direct_edge_reverse(self):
+        pattern = ExplanationPattern.direct_edge("starring", reverse=True)
+        (edge,) = pattern.edges
+        assert edge.source == END and edge.target == START
+
+    def test_duplicate_edges_collapse(self):
+        pattern = ExplanationPattern.from_edges(
+            [PatternEdge(START, END, "knows"), PatternEdge(START, END, "knows")]
+        )
+        assert pattern.num_edges == 1
+
+
+class TestAccessors:
+    def test_non_target_variables(self):
+        assert costar_pattern().non_target_variables == {"?v0"}
+
+    def test_degree_and_neighbors(self):
+        pattern = costar_pattern()
+        assert pattern.degree("?v0") == 2
+        assert pattern.neighbors("?v0") == {START, END}
+        assert pattern.degree(END) == 1
+
+    def test_labels(self):
+        assert costar_pattern().labels() == {"starring"}
+
+    def test_edges_of_is_sorted_and_deterministic(self):
+        pattern = costar_pattern()
+        edges = pattern.edges_of("?v0")
+        assert edges == sorted(edges, key=lambda edge: edge.key())
+
+    def test_iteration_is_deterministic(self):
+        pattern = costar_pattern()
+        assert list(pattern) == list(pattern)
+
+
+class TestStructure:
+    def test_is_connected(self):
+        assert costar_pattern().is_connected()
+
+    def test_disconnected_pattern(self):
+        pattern = ExplanationPattern.from_edges([PatternEdge(START, "?v0", "starring")])
+        assert not pattern.is_connected()  # END is isolated
+
+    def test_is_path_true_for_two_hop(self):
+        assert costar_pattern().is_path()
+
+    def test_is_path_false_for_branching(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v0", END, "director"),
+            ]
+        )
+        assert not pattern.is_path()
+
+    def test_path_length(self):
+        assert costar_pattern().path_length() == 2
+        non_path = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, END, "spouse", directed=False),
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+            ]
+        )
+        assert non_path.path_length() is None
+
+    def test_simple_paths_on_diamond(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "a"),
+                PatternEdge("?v0", END, "b"),
+                PatternEdge(START, "?v1", "c"),
+                PatternEdge("?v1", END, "d"),
+            ]
+        )
+        paths = pattern.simple_paths()
+        assert len(paths) == 2
+        assert all(len(path) == 2 for path in paths)
+
+    def test_empty_pattern_has_no_simple_paths(self):
+        pattern = ExplanationPattern.from_edges([])
+        assert pattern.simple_paths() == []
+        assert not pattern.is_path()
+
+
+class TestRenaming:
+    def test_renamed_rejects_target_rename(self):
+        with pytest.raises(PatternError):
+            costar_pattern().renamed({START: "?x"})
+
+    def test_renamed_rejects_non_injective(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "a"),
+                PatternEdge("?v0", "?v1", "b"),
+                PatternEdge("?v1", END, "c"),
+            ]
+        )
+        with pytest.raises(PatternError):
+            pattern.renamed({"?v0": "?v1"})
+
+    def test_with_canonical_names(self):
+        pattern = ExplanationPattern.from_edges(
+            [PatternEdge("?movie", START, "starring"), PatternEdge("?movie", END, "starring")]
+        )
+        canonical, mapping = pattern.with_canonical_names()
+        assert mapping == {"?movie": "?v0"}
+        assert canonical.non_target_variables == {"?v0"}
+
+    def test_fresh_variable_names(self):
+        assert fresh_variable(0) == "?v0"
+        assert fresh_variable(3) == "?v3"
+
+
+class TestCanonicalisationAndIsomorphism:
+    def test_isomorphic_patterns_share_canonical_key(self):
+        left = costar_pattern()
+        right = ExplanationPattern.from_edges(
+            [PatternEdge("?x", START, "starring"), PatternEdge("?x", END, "starring")]
+        )
+        assert left.canonical_key == right.canonical_key
+        assert left.is_isomorphic(right)
+
+    def test_non_isomorphic_patterns_differ(self):
+        left = costar_pattern()
+        right = ExplanationPattern.from_edges(
+            [PatternEdge("?x", START, "starring"), PatternEdge("?x", END, "director")]
+        )
+        assert left.canonical_key != right.canonical_key
+        assert not left.is_isomorphic(right)
+
+    def test_direction_matters_for_isomorphism(self):
+        forward = ExplanationPattern.direct_edge("likes")
+        backward = ExplanationPattern.direct_edge("likes", reverse=True)
+        assert not forward.is_isomorphic(backward)
+
+    def test_start_end_are_not_interchangeable(self):
+        left = ExplanationPattern.from_edges(
+            [PatternEdge(START, "?v0", "a"), PatternEdge("?v0", END, "b")]
+        )
+        right = ExplanationPattern.from_edges(
+            [PatternEdge(START, "?v0", "b"), PatternEdge("?v0", END, "a")]
+        )
+        assert not left.is_isomorphic(right)
+
+    def test_equality_and_hash(self):
+        assert costar_pattern() == costar_pattern()
+        assert hash(costar_pattern()) == hash(costar_pattern())
+
+    def test_describe_and_repr_mention_edges(self):
+        pattern = costar_pattern()
+        assert "starring" in repr(pattern)
+        assert "2 edges" in pattern.describe()
+
+
+class TestPatternFromLabelPath:
+    def test_single_edge(self):
+        pattern = pattern_from_label_path([("spouse", False, True)])
+        assert pattern.num_nodes == 2
+        assert pattern.is_path()
+
+    def test_direction_flags(self):
+        pattern = pattern_from_label_path(
+            [("starring", True, False), ("starring", True, True)]
+        )
+        # first edge points from the intermediate variable back to start
+        edges = {(edge.source, edge.target) for edge in pattern.edges}
+        assert ("?v0", START) in edges
+        assert ("?v0", END) in edges
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_from_label_path([])

@@ -1,0 +1,174 @@
+"""Tests for essentiality, decomposability and minimality (Section 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.core.properties import (
+    decompose,
+    essential_nodes_and_edges,
+    is_decomposable,
+    is_essential,
+    is_minimal,
+)
+
+
+def spouse() -> ExplanationPattern:
+    return ExplanationPattern.direct_edge("spouse", directed=False)
+
+
+def costar() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+def figure_5a() -> ExplanationPattern:
+    """Co-starring plus a dangling director node: not essential."""
+    return ExplanationPattern.from_edges(
+        [
+            PatternEdge("?v0", START, "starring"),
+            PatternEdge("?v0", END, "starring"),
+            PatternEdge("?v0", "?v1", "director"),
+        ]
+    )
+
+
+def figure_5b() -> ExplanationPattern:
+    """Spouse edge plus co-starring: essential but decomposable."""
+    return ExplanationPattern.from_edges(
+        [
+            PatternEdge(START, END, "spouse", directed=False),
+            PatternEdge("?v0", START, "starring"),
+            PatternEdge("?v0", END, "starring"),
+        ]
+    )
+
+
+def figure_4d() -> ExplanationPattern:
+    """The 'collaborated with the same director' pattern: minimal, non-path."""
+    return ExplanationPattern.from_edges(
+        [
+            PatternEdge("?v0", START, "starring"),
+            PatternEdge("?v0", END, "starring"),
+            PatternEdge("?v0", "?v1", "director"),
+            PatternEdge("?v2", "?v1", "director"),
+            PatternEdge("?v2", END, "starring"),
+        ]
+    )
+
+
+class TestEssentiality:
+    def test_direct_edge_is_essential(self):
+        assert is_essential(spouse())
+
+    def test_costar_is_essential(self):
+        assert is_essential(costar())
+
+    def test_figure_5a_is_not_essential(self):
+        assert not is_essential(figure_5a())
+
+    def test_essential_nodes_and_edges_identify_the_dangling_part(self):
+        nodes, edges = essential_nodes_and_edges(figure_5a())
+        assert "?v1" not in nodes
+        assert all(not edge.touches("?v1") for edge in edges)
+
+    def test_empty_pattern_not_essential(self):
+        assert not is_essential(ExplanationPattern.from_edges([]))
+
+    def test_pattern_without_end_connection_not_essential(self):
+        pattern = ExplanationPattern.from_edges([PatternEdge(START, "?v0", "starring")])
+        assert not is_essential(pattern)
+
+    def test_figure_4d_is_essential(self):
+        assert is_essential(figure_4d())
+
+
+class TestDecomposability:
+    def test_single_edge_not_decomposable(self):
+        assert not is_decomposable(spouse())
+
+    def test_costar_not_decomposable(self):
+        assert not is_decomposable(costar())
+
+    def test_figure_5b_is_decomposable(self):
+        assert is_decomposable(figure_5b())
+
+    def test_two_direct_edges_are_decomposable(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, END, "spouse", directed=False),
+                PatternEdge(START, END, "partner", directed=False),
+            ]
+        )
+        assert is_decomposable(pattern)
+
+    def test_two_parallel_two_hop_paths_are_decomposable(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v1", START, "starring"),
+                PatternEdge("?v1", END, "starring"),
+            ]
+        )
+        assert is_decomposable(pattern)
+
+    def test_figure_4d_is_not_decomposable(self):
+        assert not is_decomposable(figure_4d())
+
+
+class TestDecompose:
+    def test_decompose_figure_5b_into_two_components(self):
+        components = decompose(figure_5b())
+        assert len(components) == 2
+        sizes = sorted(component.num_edges for component in components)
+        assert sizes == [1, 2]
+
+    def test_decompose_non_decomposable_returns_single_component(self):
+        components = decompose(costar())
+        assert len(components) == 1
+        assert components[0].edges == costar().edges
+
+    def test_decompose_empty_pattern(self):
+        assert decompose(ExplanationPattern.from_edges([])) == []
+
+    def test_components_cover_all_edges(self):
+        pattern = figure_5b()
+        components = decompose(pattern)
+        covered = set()
+        for component in components:
+            covered |= set(component.edges)
+        assert covered == set(pattern.edges)
+
+
+class TestMinimality:
+    def test_paper_examples(self):
+        assert is_minimal(spouse())
+        assert is_minimal(costar())
+        assert is_minimal(figure_4d())
+        assert not is_minimal(figure_5a())
+        assert not is_minimal(figure_5b())
+
+    def test_figure_4c_pattern_is_minimal(self):
+        # Co-starring where the start entity also produced the movie.
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v0", START, "producer"),
+            ]
+        )
+        assert is_minimal(pattern)
+
+    def test_every_path_pattern_is_minimal(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge(START, "?v0", "a"),
+                PatternEdge("?v0", "?v1", "b"),
+                PatternEdge("?v1", END, "c"),
+            ]
+        )
+        assert pattern.is_path()
+        assert is_minimal(pattern)

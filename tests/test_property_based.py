@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core invariants of REX.
+
+These tests generate random small knowledge bases and random entity pairs and
+assert the invariants the paper's theorems rely on:
+
+* every enumerated explanation is minimal and all algorithm combinations
+  agree (NaiveEnum, path enumeration variants, path union variants);
+* instance sets produced by PathUnion match direct pattern evaluation;
+* monocount never exceeds count and both are non-negative;
+* minimal patterns always have a covering path pattern set (Theorem 1);
+* the DCG score stays within [0, 100].
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.covering import covering_path_pattern_set
+from repro.core.matcher import match_pattern
+from repro.core.properties import is_minimal
+from repro.enumeration.framework import enumerate_explanations
+from repro.enumeration.naive import naive_enum
+from repro.enumeration.path_enum import (
+    path_enum_basic,
+    path_enum_naive,
+    path_enum_prioritized,
+)
+from repro.evaluation.user_study import dcg_score
+from repro.kb.graph import KnowledgeBase
+from repro.measures.distributional import Distribution
+
+RELATIONS = [("knows", False), ("likes", True), ("works_at", True), ("member_of", True)]
+
+
+def build_random_kb(edge_choices: list[tuple[int, int, int]], num_nodes: int) -> KnowledgeBase:
+    """Deterministically build a small KB from raw draw tuples."""
+    kb = KnowledgeBase()
+    for relation, directed in RELATIONS:
+        kb.schema.declare_relation(relation, directed=directed)
+    for index in range(num_nodes):
+        kb.add_entity(f"n{index}")
+    for source_index, target_index, relation_index in edge_choices:
+        source = f"n{source_index % num_nodes}"
+        target = f"n{target_index % num_nodes}"
+        if source == target:
+            continue
+        relation, _ = RELATIONS[relation_index % len(RELATIONS)]
+        kb.add_edge(source, target, relation)
+    return kb
+
+
+kb_strategy = st.builds(
+    build_random_kb,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=4,
+        max_size=18,
+    ),
+    st.integers(min_value=4, max_value=8),
+)
+
+slow_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _pattern_keys(explanations):
+    return sorted(explanation.pattern.canonical_key for explanation in explanations)
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_framework_results_are_minimal_and_have_instances(kb):
+    result = enumerate_explanations(kb, "n0", "n1", size_limit=4)
+    for explanation in result.explanations:
+        assert is_minimal(explanation.pattern)
+        assert explanation.num_instances > 0
+        assert explanation.pattern.num_nodes <= 4
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_framework_agrees_with_naive_baseline(kb):
+    framework = enumerate_explanations(kb, "n0", "n1", size_limit=4)
+    baseline = naive_enum(kb, "n0", "n1", 4)
+    assert _pattern_keys(framework.explanations) == _pattern_keys(baseline)
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_union_algorithms_agree(kb):
+    prune = enumerate_explanations(kb, "n0", "n1", size_limit=4, union_algorithm="prune")
+    basic = enumerate_explanations(kb, "n0", "n1", size_limit=4, union_algorithm="basic")
+    assert _pattern_keys(prune.explanations) == _pattern_keys(basic.explanations)
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_path_enumeration_algorithms_agree(kb):
+    results = [
+        algorithm(kb, "n0", "n1", 3)
+        for algorithm in (path_enum_naive, path_enum_basic, path_enum_prioritized)
+    ]
+    signatures = [
+        sorted(
+            (explanation.pattern.canonical_key, instance.items())
+            for explanation in result.explanations
+            for instance in explanation.instances
+        )
+        for result in results
+    ]
+    assert signatures[0] == signatures[1] == signatures[2]
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_instances_match_direct_evaluation(kb):
+    result = enumerate_explanations(kb, "n0", "n1", size_limit=4)
+    for explanation in result.explanations:
+        direct = set(match_pattern(kb, explanation.pattern, "n0", "n1"))
+        assert set(explanation.instances) == direct
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_monocount_never_exceeds_count(kb):
+    result = enumerate_explanations(kb, "n0", "n1", size_limit=4)
+    for explanation in result.explanations:
+        assert 0 < explanation.monocount() <= explanation.count()
+
+
+@slow_settings
+@given(kb=kb_strategy)
+def test_minimal_patterns_have_covering_path_sets(kb):
+    result = enumerate_explanations(kb, "n0", "n1", size_limit=4)
+    for explanation in result.explanations:
+        cover = covering_path_pattern_set(explanation.pattern)
+        covered_edges = set()
+        covered_nodes = set()
+        for path in cover:
+            covered_edges |= set(path.edges)
+            covered_nodes |= set(path.variables)
+        assert covered_edges == set(explanation.pattern.edges)
+        assert covered_nodes == set(explanation.pattern.variables)
+
+
+@given(
+    grades=st.lists(st.integers(min_value=0, max_value=2), min_size=0, max_size=20)
+)
+def test_dcg_score_is_bounded(grades):
+    score = dcg_score([float(grade) for grade in grades])
+    assert 0.0 <= score <= 100.0 + 1e-9
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=60
+    )
+)
+def test_distribution_position_matches_naive_count(values):
+    distribution = Distribution.from_values([float(value) for value in values])
+    probe = values[0]
+    expected = sum(1 for value in values if value > probe)
+    assert distribution.position(probe) == expected
+    assert distribution.total_pairs == len(values)
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=2, max_size=40
+    )
+)
+def test_distribution_moments_are_consistent(values):
+    distribution = Distribution.from_values([float(value) for value in values])
+    assert min(values) <= distribution.mean() <= max(values)
+    assert distribution.standard_deviation() >= 0.0

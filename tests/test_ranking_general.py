@@ -1,0 +1,92 @@
+"""Tests for the general ranking framework (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RankingError
+from repro.measures import default_measures
+from repro.measures.aggregate import CountMeasure, MonocountMeasure
+from repro.measures.structural import SizeMeasure
+from repro.ranking.general import rank_explanations, score_explanations
+
+
+class TestScoreExplanations:
+    def test_scores_are_sorted_descending(self, paper_kb, brad_angelina_explanations):
+        scored = score_explanations(
+            paper_kb, brad_angelina_explanations, CountMeasure(), "brad_pitt", "angelina_jolie"
+        )
+        values = [entry.value for entry in scored]
+        assert values == sorted(values, reverse=True)
+
+    def test_deterministic_tie_breaking(self, paper_kb, brad_angelina_explanations):
+        first = score_explanations(
+            paper_kb, brad_angelina_explanations, SizeMeasure(), "brad_pitt", "angelina_jolie"
+        )
+        second = score_explanations(
+            paper_kb, brad_angelina_explanations, SizeMeasure(), "brad_pitt", "angelina_jolie"
+        )
+        assert [e.explanation.pattern.canonical_key for e in first] == [
+            e.explanation.pattern.canonical_key for e in second
+        ]
+
+    def test_empty_input(self, paper_kb):
+        assert score_explanations(paper_kb, [], CountMeasure(), "a", "b") == []
+
+
+class TestRankExplanations:
+    def test_rejects_non_positive_k(self, paper_kb):
+        with pytest.raises(RankingError):
+            rank_explanations(paper_kb, "brad_pitt", "angelina_jolie", CountMeasure(), k=0)
+
+    def test_returns_at_most_k(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", CountMeasure(), k=3, size_limit=4
+        )
+        assert len(result) <= 3
+        assert result.k == 3
+        assert result.measure_name == "count"
+
+    def test_size_measure_puts_direct_edge_first(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "tom_cruise", "nicole_kidman", SizeMeasure(), k=5, size_limit=4
+        )
+        assert result.ranked[0].explanation.pattern.num_nodes == 2
+
+    def test_monocount_prefers_repeated_costarring(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "tom_cruise", "nicole_kidman", MonocountMeasure(), k=1, size_limit=4
+        )
+        top = result.ranked[0].explanation
+        assert top.num_instances >= 3  # three shared movies beat the single spouse edge
+
+    def test_result_metadata_and_stats(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", CountMeasure(), k=5, size_limit=4
+        )
+        assert result.v_start == "brad_pitt"
+        assert result.v_end == "angelina_jolie"
+        assert result.explanations_considered >= len(result)
+        assert any(key.startswith("path_") for key in result.stats)
+        assert any(key.startswith("union_") for key in result.stats)
+
+    def test_explanations_accessor(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", CountMeasure(), k=4, size_limit=4
+        )
+        assert len(result.explanations()) == len(result)
+        assert list(iter(result))
+
+    def test_k_larger_than_available(self, paper_kb):
+        result = rank_explanations(
+            paper_kb, "mel_gibson", "helen_hunt", CountMeasure(), k=100, size_limit=4
+        )
+        assert len(result) == result.explanations_considered
+
+    @pytest.mark.parametrize("name", sorted(default_measures()))
+    def test_every_default_measure_can_rank(self, paper_kb, name):
+        measure = default_measures()[name]
+        result = rank_explanations(
+            paper_kb, "mel_gibson", "helen_hunt", measure, k=3, size_limit=4
+        )
+        assert len(result) >= 1

@@ -1,0 +1,101 @@
+"""Tests for top-k pruning with anti-monotonic measures (Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RankingError
+from repro.measures.aggregate import CountMeasure, MonocountMeasure
+from repro.measures.combined import size_plus_monocount
+from repro.measures.structural import SizeMeasure
+from repro.ranking.general import rank_explanations
+from repro.ranking.topk import rank_topk_anti_monotonic
+
+PAIRS = [
+    ("brad_pitt", "angelina_jolie"),
+    ("tom_cruise", "nicole_kidman"),
+    ("kate_winslet", "leonardo_dicaprio"),
+    ("james_cameron", "kate_winslet"),
+]
+
+
+class TestValidation:
+    def test_rejects_non_anti_monotonic_measure(self, paper_kb):
+        with pytest.raises(RankingError):
+            rank_topk_anti_monotonic(
+                paper_kb, "brad_pitt", "angelina_jolie", CountMeasure(), k=5
+            )
+
+    def test_rejects_non_positive_k(self, paper_kb):
+        with pytest.raises(RankingError):
+            rank_topk_anti_monotonic(
+                paper_kb, "brad_pitt", "angelina_jolie", MonocountMeasure(), k=0
+            )
+
+
+class TestEquivalenceWithFullRanking:
+    @pytest.mark.parametrize("pair", PAIRS)
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_monocount_topk_matches_full_enumeration_values(self, paper_kb, pair, k):
+        pruned = rank_topk_anti_monotonic(
+            paper_kb, *pair, MonocountMeasure(), k=k, size_limit=4
+        )
+        full = rank_explanations(
+            paper_kb, *pair, MonocountMeasure(), k=k, size_limit=4
+        )
+        # Theorem 4 guarantees the same top-k score multiset (ties may swap).
+        assert [entry.value for entry in pruned.ranked] == [
+            entry.value for entry in full.ranked
+        ]
+
+    @pytest.mark.parametrize("pair", PAIRS[:2])
+    def test_size_topk_matches_full_enumeration_values(self, paper_kb, pair):
+        pruned = rank_topk_anti_monotonic(paper_kb, *pair, SizeMeasure(), k=5, size_limit=4)
+        full = rank_explanations(paper_kb, *pair, SizeMeasure(), k=5, size_limit=4)
+        assert [entry.value for entry in pruned.ranked] == [
+            entry.value for entry in full.ranked
+        ]
+
+    def test_combined_anti_monotonic_measure_supported(self, paper_kb):
+        pruned = rank_topk_anti_monotonic(
+            paper_kb, "brad_pitt", "angelina_jolie", size_plus_monocount(), k=5, size_limit=4
+        )
+        full = rank_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", size_plus_monocount(), k=5, size_limit=4
+        )
+        assert [entry.value for entry in pruned.ranked] == [
+            entry.value for entry in full.ranked
+        ]
+
+
+class TestPruningBehaviour:
+    def test_prunes_explanations_for_small_k(self, paper_kb):
+        pruned = rank_topk_anti_monotonic(
+            paper_kb, "kate_winslet", "leonardo_dicaprio", MonocountMeasure(), k=1, size_limit=5
+        )
+        full = rank_explanations(
+            paper_kb, "kate_winslet", "leonardo_dicaprio", MonocountMeasure(), k=1, size_limit=5
+        )
+        assert pruned.explanations_considered <= full.explanations_considered
+
+    def test_large_k_degenerates_to_full_enumeration(self, paper_kb):
+        pruned = rank_topk_anti_monotonic(
+            paper_kb, "brad_pitt", "angelina_jolie", MonocountMeasure(), k=1000, size_limit=4
+        )
+        full = rank_explanations(
+            paper_kb, "brad_pitt", "angelina_jolie", MonocountMeasure(), k=1000, size_limit=4
+        )
+        assert len(pruned) == len(full)
+
+    def test_results_respect_size_limit(self, paper_kb):
+        result = rank_topk_anti_monotonic(
+            paper_kb, "brad_pitt", "angelina_jolie", MonocountMeasure(), k=10, size_limit=3
+        )
+        assert all(entry.explanation.pattern.num_nodes <= 3 for entry in result.ranked)
+
+    def test_stats_are_exposed(self, paper_kb):
+        result = rank_topk_anti_monotonic(
+            paper_kb, "brad_pitt", "angelina_jolie", MonocountMeasure(), k=5, size_limit=4
+        )
+        assert "path_paths" in result.stats
+        assert "union_merge_calls" in result.stats

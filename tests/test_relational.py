@@ -1,0 +1,115 @@
+"""Tests for the mini relational engine (the Section 5.3.2 substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.kb.relational import GroupCount, Relation, edge_relation
+
+
+@pytest.fixture()
+def starring_relation() -> Relation:
+    rows = [
+        ("m1", "alice", "starring"),
+        ("m1", "bob", "starring"),
+        ("m2", "alice", "starring"),
+        ("m2", "carol", "starring"),
+        ("m1", "dave", "director"),
+    ]
+    return Relation("R", ("eid1", "eid2", "rel"), rows)
+
+
+class TestRelationBasics:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(RelationalError):
+            Relation("R", ("a", "a"))
+
+    def test_insert_checks_width(self, starring_relation):
+        with pytest.raises(RelationalError):
+            starring_relation.insert(("x", "y"))
+
+    def test_rows_and_len(self, starring_relation):
+        assert starring_relation.num_rows == 5
+        assert len(starring_relation) == 5
+        assert len(starring_relation.rows) == 5
+
+    def test_column_index(self, starring_relation):
+        assert starring_relation.column_index("rel") == 2
+        with pytest.raises(RelationalError):
+            starring_relation.column_index("missing")
+
+
+class TestAlgebra:
+    def test_select(self, starring_relation):
+        directors = starring_relation.select(lambda row: row[2] == "director")
+        assert directors.num_rows == 1
+
+    def test_select_eq(self, starring_relation):
+        m1 = starring_relation.select_eq("eid1", "m1")
+        assert m1.num_rows == 3
+
+    def test_project(self, starring_relation):
+        projected = starring_relation.project(["eid2"])
+        assert projected.columns == ("eid2",)
+        assert projected.num_rows == 5
+
+    def test_rename(self, starring_relation):
+        renamed = starring_relation.rename({"eid1": "movie"})
+        assert "movie" in renamed.columns
+        assert renamed.num_rows == starring_relation.num_rows
+
+    def test_distinct(self):
+        relation = Relation("R", ("a",), [("x",), ("x",), ("y",)])
+        assert relation.distinct().num_rows == 2
+
+    def test_join_costarring(self, starring_relation):
+        starring = starring_relation.select_eq("rel", "starring", name="S")
+        joined = starring.join(starring, "eid1", "eid1")
+        # Every pair of starring tuples sharing a movie, including self-pairs.
+        shared_movie_pairs = [
+            row for row in joined if row[1] != row[4]
+        ]
+        assert len(shared_movie_pairs) == 4  # (alice,bob) x2 orders + (alice,carol) x2
+
+    def test_join_schema_prefixes_other_columns(self, starring_relation):
+        joined = starring_relation.join(starring_relation, "eid1", "eid1")
+        assert "R.eid1" in joined.columns
+
+    def test_group_count(self, starring_relation):
+        groups = {group.key: group.count for group in starring_relation.group_count(["eid1"])}
+        assert groups[("m1",)] == 3
+        assert groups[("m2",)] == 2
+
+    def test_group_count_having(self, starring_relation):
+        qualifying = starring_relation.group_count_having(["eid1"], minimum_exclusive=2)
+        assert [group.key for group in qualifying] == [("m1",)]
+
+    def test_group_count_having_with_limit_stops_early(self, starring_relation):
+        qualifying = starring_relation.group_count_having(
+            ["eid1"], minimum_exclusive=1, limit=1
+        )
+        assert len(qualifying) == 1
+
+    def test_group_count_is_dataclass(self):
+        group = GroupCount(("x",), 3)
+        assert group.count == 3
+
+
+class TestEdgeRelation:
+    def test_directed_edges_produce_one_tuple(self, paper_kb):
+        relation = edge_relation(paper_kb)
+        starring_rows = [row for row in relation if row[2] == "starring"]
+        assert len(starring_rows) == paper_kb.label_counts()["starring"]
+
+    def test_undirected_edges_produce_both_orientations(self, paper_kb):
+        relation = edge_relation(paper_kb)
+        spouse_rows = [row for row in relation if row[2] == "spouse"]
+        assert len(spouse_rows) == 2 * paper_kb.label_counts()["spouse"]
+        assert ("tom_cruise", "nicole_kidman", "spouse") in spouse_rows
+        assert ("nicole_kidman", "tom_cruise", "spouse") in spouse_rows
+
+    def test_schema_columns(self, paper_kb):
+        relation = edge_relation(paper_kb, name="edges")
+        assert relation.name == "edges"
+        assert relation.columns == ("eid1", "eid2", "rel")

@@ -1,0 +1,117 @@
+"""Tests for the knowledge-base schema (relation and entity type registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KnowledgeBaseError, UnknownRelationError
+from repro.kb.schema import (
+    EntityType,
+    RelationType,
+    Schema,
+    default_entertainment_schema,
+)
+
+
+class TestRelationType:
+    def test_defaults_to_directed(self):
+        assert RelationType("starring").directed is True
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(KnowledgeBaseError):
+            RelationType("")
+
+    def test_holds_domain_and_range(self):
+        relation = RelationType("starring", domain="movie", range="person")
+        assert (relation.domain, relation.range) == ("movie", "person")
+
+
+class TestEntityType:
+    def test_rejects_empty_name(self):
+        with pytest.raises(KnowledgeBaseError):
+            EntityType("")
+
+    def test_description_defaults_to_empty(self):
+        assert EntityType("person").description == ""
+
+
+class TestSchema:
+    def test_declare_and_lookup_relation(self):
+        schema = Schema()
+        schema.declare_relation("spouse", directed=False)
+        assert schema.has_relation("spouse")
+        assert schema.is_directed("spouse") is False
+
+    def test_unknown_relation_raises(self):
+        schema = Schema()
+        with pytest.raises(UnknownRelationError):
+            schema.relation("nope")
+
+    def test_is_directed_unknown_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            Schema().is_directed("nope")
+
+    def test_redeclaration_replaces(self):
+        schema = Schema()
+        schema.declare_relation("rel", directed=True)
+        schema.declare_relation("rel", directed=False)
+        assert schema.is_directed("rel") is False
+
+    def test_contains_len_and_iter(self):
+        schema = Schema()
+        schema.declare_relation("a")
+        schema.declare_relation("b")
+        assert "a" in schema
+        assert len(schema) == 2
+        assert {relation.name for relation in schema} == {"a", "b"}
+
+    def test_entity_types(self):
+        schema = Schema()
+        schema.declare_entity_type("person", "a human being")
+        assert schema.has_entity_type("person")
+        assert schema.entity_type("person").description == "a human being"
+
+    def test_unknown_entity_type_raises(self):
+        with pytest.raises(KnowledgeBaseError):
+            Schema().entity_type("alien")
+
+    def test_copy_is_independent(self):
+        schema = Schema()
+        schema.declare_relation("a")
+        clone = schema.copy()
+        clone.declare_relation("b")
+        assert not schema.has_relation("b")
+        assert clone.has_relation("a")
+
+    def test_relations_view_is_a_copy(self):
+        schema = Schema()
+        schema.declare_relation("a")
+        view = schema.relations
+        assert "a" in view
+        view.pop("a")
+        assert schema.has_relation("a")
+
+    def test_constructor_accepts_iterables(self):
+        schema = Schema(
+            relations=[RelationType("starring")],
+            entity_types=[EntityType("person")],
+        )
+        assert schema.has_relation("starring")
+        assert schema.has_entity_type("person")
+
+
+class TestDefaultEntertainmentSchema:
+    def test_contains_paper_relations(self):
+        schema = default_entertainment_schema()
+        for label in ("starring", "director", "producer", "spouse", "award_won"):
+            assert schema.has_relation(label)
+
+    def test_spouse_is_undirected_and_starring_directed(self):
+        schema = default_entertainment_schema()
+        assert schema.is_directed("spouse") is False
+        assert schema.is_directed("starring") is True
+
+    def test_entity_types_present(self):
+        schema = default_entertainment_schema()
+        for name in ("person", "movie", "award", "genre"):
+            assert schema.has_entity_type(name)

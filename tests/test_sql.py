@@ -1,0 +1,152 @@
+"""Tests for pattern-to-SQL compilation and conjunctive evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import count_matches
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.errors import RelationalError
+from repro.kb.sql import (
+    compile_pattern_sql,
+    iter_pattern_bindings,
+    local_count_distribution,
+    pattern_bindings,
+)
+
+
+def costar() -> ExplanationPattern:
+    return ExplanationPattern.from_edges(
+        [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+    )
+
+
+class TestCompilePatternSQL:
+    def test_costar_sql_shape(self):
+        compiled = compile_pattern_sql(costar(), "brad_pitt", count_threshold=1)
+        assert "FROM R AS R1, R AS R2" in compiled.text
+        assert "rel = 'starring'" in compiled.text
+        assert "HAVING count > 1" in compiled.text
+        assert "= 'brad_pitt'" in compiled.text
+        assert compiled.table_aliases == ("R1", "R2")
+
+    def test_limit_clause(self):
+        compiled = compile_pattern_sql(costar(), "brad_pitt", count_threshold=0, limit=7)
+        assert compiled.text.rstrip().endswith("LIMIT 7")
+
+    def test_one_alias_per_edge(self):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v0", "?v1", "director"),
+                PatternEdge("?v1", END, "award_won"),
+            ]
+        )
+        compiled = compile_pattern_sql(pattern, "x", count_threshold=0)
+        assert len(compiled.table_aliases) == 4
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(RelationalError):
+            compile_pattern_sql(ExplanationPattern.from_edges([]), "x", 0)
+
+    def test_pattern_without_end_rejected(self):
+        pattern = ExplanationPattern.from_edges([PatternEdge(START, "?v0", "starring")])
+        with pytest.raises(RelationalError):
+            compile_pattern_sql(pattern, "x", 0)
+
+
+class TestPatternBindings:
+    def test_requires_start_binding(self, paper_kb):
+        with pytest.raises(RelationalError):
+            pattern_bindings(paper_kb, costar(), {END: "angelina_jolie"})
+
+    def test_rejects_fixed_variable_outside_pattern(self, paper_kb):
+        with pytest.raises(RelationalError):
+            pattern_bindings(
+                paper_kb, costar(), {START: "brad_pitt", "?v9": "titanic"}
+            )
+
+    def test_unknown_fixed_entity_yields_nothing(self, paper_kb):
+        assert pattern_bindings(paper_kb, costar(), {START: "ghost"}) == []
+
+    def test_free_end_enumerates_costars(self, paper_kb):
+        bindings = pattern_bindings(paper_kb, costar(), {START: "brad_pitt"})
+        ends = {binding[END] for binding in bindings}
+        assert "angelina_jolie" in ends
+        assert "george_clooney" in ends
+        assert "brad_pitt" not in ends
+
+    def test_fixed_both_targets_matches_matcher(self, paper_kb):
+        bindings = pattern_bindings(
+            paper_kb, costar(), {START: "brad_pitt", END: "angelina_jolie"}
+        )
+        assert len(bindings) == count_matches(
+            paper_kb, costar(), "brad_pitt", "angelina_jolie"
+        )
+
+    def test_bindings_are_injective(self, paper_kb):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v0", "?v1", "director"),
+                PatternEdge("?v1", END, "award_won"),
+            ]
+        )
+        for binding in iter_pattern_bindings(paper_kb, pattern, {START: "kate_winslet"}):
+            assert len(set(binding.values())) == len(binding)
+
+    def test_non_injective_allowed_when_disabled(self, paper_kb):
+        pattern = ExplanationPattern.from_edges(
+            [
+                PatternEdge("?v0", START, "starring"),
+                PatternEdge("?v1", START, "starring"),
+                PatternEdge("?v0", END, "starring"),
+                PatternEdge("?v1", END, "starring"),
+            ]
+        )
+        strict = pattern_bindings(
+            paper_kb, pattern, {START: "kate_winslet", END: "leonardo_dicaprio"}
+        )
+        loose = pattern_bindings(
+            paper_kb,
+            pattern,
+            {START: "kate_winslet", END: "leonardo_dicaprio"},
+            injective=False,
+        )
+        assert len(loose) > len(strict)
+
+    def test_disconnected_pattern_rejected(self, paper_kb):
+        pattern = ExplanationPattern(
+            {START, END, "?v0", "?v1"},
+            [
+                PatternEdge(START, END, "partner", directed=False),
+                PatternEdge("?v0", "?v1", "director"),
+            ],
+        )
+        with pytest.raises(RelationalError):
+            pattern_bindings(paper_kb, pattern, {START: "brad_pitt"})
+
+
+class TestLocalCountDistribution:
+    def test_counts_per_end_entity(self, paper_kb):
+        counts = local_count_distribution(paper_kb, costar(), "brad_pitt")
+        assert counts["angelina_jolie"] == 2  # mr_and_mrs_smith + by_the_sea
+        assert counts["george_clooney"] == 2  # oceans eleven + twelve
+        assert counts["julia_roberts"] == 3
+
+    def test_having_threshold(self, paper_kb):
+        qualifying = local_count_distribution(
+            paper_kb, costar(), "brad_pitt", count_threshold=2
+        )
+        assert set(qualifying) == {"julia_roberts"}
+
+    def test_limit_stops_early(self, paper_kb):
+        qualifying = local_count_distribution(
+            paper_kb, costar(), "brad_pitt", count_threshold=0, limit=2
+        )
+        assert len(qualifying) == 2
+
+    def test_start_entity_never_counted(self, paper_kb):
+        counts = local_count_distribution(paper_kb, costar(), "brad_pitt")
+        assert "brad_pitt" not in counts

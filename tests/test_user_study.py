@@ -1,0 +1,170 @@
+"""Tests for the simulated user study and DCG scoring (Section 5.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MeasureError
+from repro.evaluation.user_study import (
+    RelevanceOracle,
+    SimulatedJudgePool,
+    dcg_score,
+    evaluate_measures_for_pair,
+)
+from repro.measures import default_measures
+from repro.measures.structural import SizeMeasure
+
+
+class TestDcgScore:
+    def test_empty_ranking_scores_zero(self):
+        assert dcg_score([]) == 0.0
+
+    def test_perfect_ranking_scores_100(self):
+        assert dcg_score([2, 2, 2, 2]) == pytest.approx(100.0)
+
+    def test_worthless_ranking_scores_zero(self):
+        assert dcg_score([0, 0, 0]) == 0.0
+
+    def test_scores_are_bounded(self):
+        assert 0.0 <= dcg_score([2, 0, 1, 2]) <= 100.0
+
+    def test_earlier_positions_weigh_more(self):
+        good_first = dcg_score([2, 0])
+        good_last = dcg_score([0, 2])
+        assert good_first > good_last
+
+    def test_weights_follow_log_discount(self):
+        # score([2, 0]) / score([0, 2]) should equal log2(3)/log2(2).
+        ratio = dcg_score([2, 0]) / dcg_score([0, 2])
+        assert ratio == pytest.approx(math.log2(3) / math.log2(2))
+
+    def test_invalid_max_grade(self):
+        with pytest.raises(MeasureError):
+            dcg_score([1], max_grade=0)
+
+
+class TestRelevanceOracle:
+    def test_latent_relevance_in_range(self, paper_kb, brad_angelina_explanations):
+        oracle = RelevanceOracle(paper_kb)
+        for explanation in brad_angelina_explanations:
+            assert 0.0 <= oracle.latent_relevance(explanation) <= 2.0
+
+    def test_rarer_labels_score_higher(self, paper_kb):
+        oracle = RelevanceOracle(paper_kb)
+        assert oracle.label_rarity("partner") > oracle.label_rarity("starring")
+
+    def test_unknown_label_treated_as_rare(self, paper_kb):
+        assert RelevanceOracle(paper_kb).label_rarity("quantum_entangled_with") == 1.0
+
+    def test_smaller_pattern_preferred_all_else_equal(self, paper_kb):
+        from repro.core.explanation import Explanation
+        from repro.core.instance import ExplanationInstance
+        from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+
+        oracle = RelevanceOracle(paper_kb)
+        # Two starring-only explanations with one instance each; only the
+        # pattern size differs, so the smaller one must not score lower.
+        small = Explanation(
+            ExplanationPattern.from_edges(
+                [PatternEdge("?v0", START, "starring"), PatternEdge("?v0", END, "starring")]
+            ),
+            [ExplanationInstance({START: "x_actor", END: "y_actor", "?v0": "z_movie"})],
+        )
+        large = Explanation(
+            ExplanationPattern.from_edges(
+                [
+                    PatternEdge("?v0", START, "starring"),
+                    PatternEdge("?v0", "?v1", "starring"),
+                    PatternEdge("?v2", "?v1", "starring"),
+                    PatternEdge("?v2", END, "starring"),
+                ]
+            ),
+            [
+                ExplanationInstance(
+                    {
+                        START: "x_actor",
+                        END: "y_actor",
+                        "?v0": "z_movie",
+                        "?v1": "w_actor",
+                        "?v2": "v_movie",
+                    }
+                )
+            ],
+        )
+        assert oracle.latent_relevance(small) >= oracle.latent_relevance(large)
+
+
+class TestSimulatedJudgePool:
+    def test_requires_at_least_one_judge(self, paper_kb):
+        with pytest.raises(MeasureError):
+            SimulatedJudgePool(RelevanceOracle(paper_kb), num_judges=0)
+
+    def test_grades_are_valid_and_deterministic(self, paper_kb, brad_angelina_explanations):
+        pool = SimulatedJudgePool(RelevanceOracle(paper_kb), num_judges=10, seed=3)
+        for explanation in brad_angelina_explanations:
+            grades = pool.grades(explanation)
+            assert len(grades) == 10
+            assert all(grade in (0, 1, 2) for grade in grades)
+            assert grades == pool.grades(explanation)
+
+    def test_different_seeds_can_differ(self, paper_kb, brad_angelina_explanations):
+        explanation = brad_angelina_explanations[0]
+        pools = [
+            SimulatedJudgePool(RelevanceOracle(paper_kb), seed=seed).grades(explanation)
+            for seed in range(6)
+        ]
+        assert len(set(pools)) >= 1  # deterministic per seed; may coincide
+
+    def test_zero_noise_reproduces_oracle(self, paper_kb, brad_angelina_explanations):
+        oracle = RelevanceOracle(paper_kb)
+        pool = SimulatedJudgePool(oracle, num_judges=3, noise=0.0)
+        for explanation in brad_angelina_explanations:
+            expected = int(min(2, max(0, round(oracle.latent_relevance(explanation)))))
+            assert set(pool.grades(explanation)) == {expected}
+
+    def test_average_grade(self, paper_kb, brad_angelina_explanations):
+        pool = SimulatedJudgePool(RelevanceOracle(paper_kb))
+        judged = pool.judge(brad_angelina_explanations[0])
+        assert judged.average_grade == pytest.approx(
+            sum(judged.grades) / len(judged.grades)
+        )
+
+
+class TestEvaluateMeasuresForPair:
+    def test_every_measure_gets_a_score(self, paper_kb, brad_angelina_explanations):
+        judges = SimulatedJudgePool(RelevanceOracle(paper_kb))
+        measures = {"size": SizeMeasure()}
+        results = evaluate_measures_for_pair(
+            paper_kb,
+            brad_angelina_explanations,
+            measures,
+            "brad_pitt",
+            "angelina_jolie",
+            judges,
+            k=5,
+        )
+        assert set(results) == {"size"}
+        assert 0.0 <= results["size"].score <= 100.0
+        assert len(results["size"].judged) <= 5
+
+    def test_all_default_measures_score_on_a_cheap_pair(self, paper_kb):
+        from repro.enumeration.framework import enumerate_explanations
+
+        explanations = enumerate_explanations(
+            paper_kb, "mel_gibson", "helen_hunt", size_limit=4
+        ).explanations
+        judges = SimulatedJudgePool(RelevanceOracle(paper_kb))
+        results = evaluate_measures_for_pair(
+            paper_kb,
+            explanations,
+            default_measures(),
+            "mel_gibson",
+            "helen_hunt",
+            judges,
+            k=5,
+        )
+        assert set(results) == set(default_measures())
+        for effectiveness in results.values():
+            assert 0.0 <= effectiveness.score <= 100.0
