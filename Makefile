@@ -1,0 +1,26 @@
+# Convenience entry points; see docs/performance.md for the benchmark story.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-core bench-smoke bench-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark suite; writes BENCH_pr1.json (paper-sized fig11 sampling).
+bench:
+	REX_BENCH_GLOBAL_SAMPLES=100 $(PYTHON) -m benchmarks --output BENCH_pr1.json
+
+# Only the fig7/fig11 benchmarks the PR-1 performance work targets.
+bench-core:
+	REX_BENCH_GLOBAL_SAMPLES=100 $(PYTHON) -m benchmarks --core-only --output BENCH_pr1.json
+
+# CI-sized pass: small knobs, compare against the committed record.
+bench-smoke:
+	$(PYTHON) -m benchmarks --smoke --core-only --output bench_smoke.json
+
+# Fresh paper-sized run checked against the committed record (>2x fails).
+bench-check:
+	REX_BENCH_GLOBAL_SAMPLES=100 $(PYTHON) -m benchmarks --core-only \
+		--output bench_fresh.json --check BENCH_pr1.json

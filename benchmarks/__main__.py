@@ -1,0 +1,154 @@
+"""Command-line entry point for the benchmark harness.
+
+``python -m benchmarks`` (run from the repository root) executes the figure
+benchmarks with the recording hooks of ``benchmarks/conftest.py`` enabled and
+writes a machine-readable summary (default: ``BENCH_pr1.json``).  A committed
+summary doubles as the regression reference for CI:
+
+    python -m benchmarks --output fresh.json          # record a run
+    python -m benchmarks --check BENCH_pr1.json --output fresh.json
+                                                      # fail on >2x regression
+    python -m benchmarks --smoke ...                  # laptop/CI-sized knobs
+
+``--baseline old.json`` additionally folds per-benchmark speedups against a
+previous record into the output, which is how ``BENCH_pr1.json`` documents
+the indexed-adjacency speedups in-repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The default selection: every figure/table benchmark in this directory.
+DEFAULT_SELECTION = ["benchmarks"]
+#: The benchmarks the PR-1 performance work targets (and CI gates on).
+CORE_SELECTION = [
+    "benchmarks/bench_fig7_enumeration.py",
+    "benchmarks/bench_fig11_distributional.py",
+]
+
+
+def _measured_time(record: dict) -> float | None:
+    # Same statistic preference as benchmarks/conftest.py:_measured_time so
+    # the CI gate judges the exact numbers the committed speedups are built
+    # from: best round (steady state) first, then mean, then wall time.
+    value = record.get(
+        "benchmark_min_s", record.get("benchmark_mean_s", record.get("wall_time_s"))
+    )
+    return float(value) if value is not None else None
+
+
+def check_regressions(
+    reference_path: str, fresh_path: str, factor: float, noise_floor_s: float = 0.005
+) -> int:
+    """Compare a fresh record against the committed reference.
+
+    Returns the number of regressions: benchmarks slower than ``factor`` times
+    the reference.  Benchmarks faster than ``noise_floor_s`` in the reference
+    are skipped (timer noise dominates there), as are nodeids missing from
+    either file.  Hardware differences between the reference machine and CI
+    are expected to stay well inside the 2x default factor.
+    """
+    with open(reference_path) as handle:
+        reference = json.load(handle).get("benchmarks", {})
+    with open(fresh_path) as handle:
+        fresh = json.load(handle).get("benchmarks", {})
+    regressions = 0
+    compared = 0
+    for nodeid, reference_record in sorted(reference.items()):
+        fresh_record = fresh.get(nodeid)
+        if fresh_record is None:
+            continue
+        reference_time = _measured_time(reference_record)
+        fresh_time = _measured_time(fresh_record)
+        if not reference_time or not fresh_time or reference_time < noise_floor_s:
+            continue
+        compared += 1
+        ratio = fresh_time / reference_time
+        if ratio > factor:
+            regressions += 1
+            print(
+                f"REGRESSION {nodeid}: {fresh_time:.4f}s vs "
+                f"reference {reference_time:.4f}s ({ratio:.2f}x > {factor}x)"
+            )
+    print(f"regression check: {compared} benchmarks compared, {regressions} regressed")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks", description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("REX_BENCH_JSON", "BENCH_pr1.json"),
+        help="path the JSON record is written to (default: BENCH_pr1.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="older record to compute per-benchmark speedups against",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="committed record to check for >FACTOR regressions (exit 1 on any)",
+    )
+    parser.add_argument(
+        "--check-factor",
+        type=float,
+        default=float(os.environ.get("REX_BENCH_CHECK_FACTOR", "2.0")),
+        help="regression factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small env knobs (1 pair per bucket, 5 global samples) for CI",
+    )
+    parser.add_argument(
+        "--core-only",
+        action="store_true",
+        help="run only the fig7/fig11 benchmarks the perf work targets",
+    )
+    parser.add_argument(
+        "selection",
+        nargs="*",
+        help="explicit pytest selection (defaults to the whole benchmarks dir)",
+    )
+    args = parser.parse_args(argv)
+
+    os.chdir(REPO_ROOT)
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src, os.environ.get("PYTHONPATH")])
+    )
+    os.environ["REX_BENCH_JSON"] = args.output
+    if args.baseline:
+        os.environ["REX_BENCH_BASELINE"] = args.baseline
+    if args.smoke:
+        os.environ.setdefault("REX_BENCH_PAIRS_PER_BUCKET", "1")
+        os.environ.setdefault("REX_BENCH_GLOBAL_SAMPLES", "5")
+
+    import pytest
+
+    selection = args.selection or (
+        CORE_SELECTION if args.core_only else DEFAULT_SELECTION
+    )
+    exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])
+    if exit_code != 0:
+        return int(exit_code)
+    print(f"benchmark record written to {args.output}")
+    if args.check:
+        if check_regressions(args.check, args.output, args.check_factor):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

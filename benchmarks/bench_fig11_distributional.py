@@ -54,13 +54,14 @@ def medium_pair_explanations(bench_kb, bench_pairs):
 
 
 def _run(kb, prepared, scenario, prune):
+    counters: dict[str, int] = {}
     for pair, explanations in prepared:
         if scenario.startswith("local"):
-            rank_by_local_position(
+            result = rank_by_local_position(
                 kb, explanations, pair.v_start, pair.v_end, k=K, prune=prune
             )
         else:
-            rank_by_global_position(
+            result = rank_by_global_position(
                 kb,
                 explanations,
                 pair.v_start,
@@ -69,6 +70,9 @@ def _run(kb, prepared, scenario, prune):
                 prune=prune,
                 num_samples=GLOBAL_SAMPLES,
             )
+        for key, value in result.stats.items():
+            counters[key] = counters.get(key, 0) + value
+    return counters
 
 
 @pytest.mark.parametrize("scenario,prune", SCENARIOS)
@@ -79,9 +83,10 @@ def test_fig11_distributional_ranking(
     benchmark.extra_info["scenario"] = scenario
     benchmark.extra_info["k"] = K
     benchmark.extra_info["global_samples"] = GLOBAL_SAMPLES
-    benchmark.pedantic(
+    counters = benchmark.pedantic(
         _run,
         args=(bench_kb, medium_pair_explanations, scenario, prune),
-        rounds=1,
+        rounds=3,
         iterations=1,
     )
+    benchmark.extra_info["stats"] = counters

@@ -24,7 +24,7 @@ from __future__ import annotations
 import pytest
 
 from repro.enumeration.framework import enumerate_explanations
-from repro.enumeration.naive import naive_enum
+from repro.enumeration.naive import NaiveEnumStats, naive_enum
 
 from conftest import SIZE_LIMIT
 
@@ -38,12 +38,19 @@ COMBINATIONS = [
 
 
 def _run_combination(kb, pairs, path_algorithm, union_algorithm):
-    """Enumerate explanations for every pair of a bucket with one combination."""
+    """Enumerate explanations for every pair of a bucket with one combination.
+
+    Returns the total explanation count plus the aggregated work counters so
+    the harness can record them next to the wall time in ``BENCH_pr1.json``.
+    """
     total_explanations = 0
+    counters: dict[str, int] = {}
     for pair in pairs:
         if path_algorithm is None:
-            explanations = naive_enum(kb, pair.v_start, pair.v_end, SIZE_LIMIT)
+            stats = NaiveEnumStats()
+            explanations = naive_enum(kb, pair.v_start, pair.v_end, SIZE_LIMIT, stats)
             total_explanations += len(explanations)
+            pair_counters = stats.as_dict()
         else:
             result = enumerate_explanations(
                 kb,
@@ -54,7 +61,13 @@ def _run_combination(kb, pairs, path_algorithm, union_algorithm):
                 union_algorithm=union_algorithm,
             )
             total_explanations += result.num_explanations
-    return total_explanations
+            pair_counters = {
+                **{f"path_{key}": value for key, value in result.path_stats.items()},
+                **{f"union_{key}": value for key, value in result.union_stats.items()},
+            }
+        for key, value in pair_counters.items():
+            counters[key] = counters.get(key, 0) + value
+    return total_explanations, counters
 
 
 @pytest.mark.parametrize("bucket", ["low", "medium", "high"])
@@ -72,12 +85,13 @@ def test_fig7_enumeration_algorithms(
     benchmark.extra_info["algorithm"] = label
     benchmark.extra_info["pairs"] = len(pairs)
     benchmark.extra_info["size_limit"] = SIZE_LIMIT
-    result = benchmark.pedantic(
+    result, counters = benchmark.pedantic(
         _run_combination,
         args=(bench_kb, pairs, path_algorithm, union_algorithm),
-        rounds=1,
+        rounds=3,
         iterations=1,
     )
+    benchmark.extra_info["stats"] = counters
     assert result >= 0
 
 

@@ -10,10 +10,19 @@ covering path patterns — but the matcher remains essential:
 * distributional measures evaluate the *same pattern* for many different
   target pairs, and
 * the test suite uses it as a correctness oracle for PathUnion.
+
+The matcher compiles each pattern into an *evaluation plan* (cached across
+calls): a variable order plus, per variable, the incident edges whose other
+endpoint is bound earlier in the order.  Candidate generation then reduces to
+intersecting the knowledge base's ``(label, orientation)`` adjacency indexes,
+and a per-call memo keyed on the bound frontier lets sibling branches of the
+backtracking tree share candidate sets instead of recomputing them.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.core.instance import ExplanationInstance
@@ -50,67 +59,59 @@ def _variable_order(pattern: ExplanationPattern) -> list[str]:
     return ordered
 
 
-def _candidates(
-    kb: KnowledgeBase,
-    pattern: ExplanationPattern,
-    variable: str,
-    binding: dict[str, str],
-    v_start: str,
-    v_end: str,
-) -> set[str] | None:
-    """Candidate entities for ``variable`` given the current partial binding.
+@dataclass(frozen=True)
+class _VariableStep:
+    """Plan entry for one variable of the backtracking order.
 
-    Returns ``None`` when no incident edge touches a bound variable (the
-    caller then falls back to all entities, which only happens for patterns
-    with disconnected variables and is avoided by the variable ordering).
+    Attributes:
+        variable: the variable bound at this step.
+        anchors: ``(anchor_variable, label, orientation)`` triples — one per
+            pattern edge from ``variable`` to an earlier-bound variable, with
+            the orientation expressed from the anchor's point of view so the
+            knowledge base's secondary index can answer it directly.
     """
-    candidates: set[str] | None = None
-    for edge in pattern.edges_of(variable):
-        other = edge.other(variable)
-        anchor = binding.get(other)
-        if anchor is None:
-            continue
-        reachable: set[str] = set()
-        for entry in kb.neighbors(anchor):
-            if entry.label != edge.label:
-                continue
-            if edge.directed:
-                if not entry.orientation == ("out" if edge.source == other else "in"):
-                    continue
-            else:
-                if entry.orientation != "undirected":
-                    continue
-            reachable.add(entry.neighbor)
-        candidates = reachable if candidates is None else candidates & reachable
-        if not candidates:
-            return set()
-    if candidates is None:
-        return None
-    # Non-target variables must not map onto the target entities, and the
-    # mapping must be injective (instances are subgraphs of the KB).
-    candidates.discard(v_start)
-    candidates.discard(v_end)
-    candidates.difference_update(binding.values())
-    return candidates
+
+    variable: str
+    anchors: tuple[tuple[str, str, str], ...]
 
 
-def _check_edges_with(
-    kb: KnowledgeBase,
-    pattern: ExplanationPattern,
-    variable: str,
-    binding: dict[str, str],
-) -> bool:
-    """Verify all pattern edges whose endpoints are now both bound."""
-    for edge in pattern.edges_of(variable):
-        other = edge.other(variable)
-        if other not in binding:
-            continue
-        source = binding[edge.source]
-        target = binding[edge.target]
-        direction = "out" if edge.directed else "any"
-        if not kb.has_edge(source, target, edge.label, direction):
-            return False
-    return True
+@dataclass(frozen=True)
+class _PatternPlan:
+    """A compiled pattern: target-edge checks plus per-variable index probes."""
+
+    # Edges between START and END, checked once up front:
+    # (source_variable, target_variable, label, direction)
+    target_checks: tuple[tuple[str, str, str, str], ...]
+    steps: tuple[_VariableStep, ...]
+
+
+def _anchor_orientation(edge, anchor: str) -> str:
+    """Orientation of ``edge`` as seen from ``anchor`` for the index lookup."""
+    if not edge.directed:
+        return "undirected"
+    return "out" if edge.source == anchor else "in"
+
+
+@lru_cache(maxsize=4096)
+def _pattern_plan(pattern: ExplanationPattern) -> _PatternPlan:
+    """Compile ``pattern`` into its (cached) evaluation plan."""
+    target_checks = tuple(
+        (edge.source, edge.target, edge.label, "out" if edge.directed else "any")
+        for edge in pattern.edges_of(START)
+        if edge.other(START) == END
+    )
+    order = _variable_order(pattern)[2:]
+    bound = {START, END}
+    steps: list[_VariableStep] = []
+    for variable in order:
+        anchors = tuple(
+            (edge.other(variable), edge.label, _anchor_orientation(edge, edge.other(variable)))
+            for edge in pattern.edges_of(variable)
+            if edge.other(variable) in bound
+        )
+        steps.append(_VariableStep(variable, anchors))
+        bound.add(variable)
+    return _PatternPlan(target_checks, tuple(steps))
 
 
 def iter_matches(
@@ -131,30 +132,65 @@ def iter_matches(
     """
     if not kb.has_entity(v_start) or not kb.has_entity(v_end):
         return
-    binding: dict[str, str] = {START: v_start, END: v_end}
-    # Edges directly between the two target variables must hold up front.
-    if not _check_edges_with(kb, pattern, START, binding):
-        return
+    plan = _pattern_plan(pattern)
+    targets = {START: v_start, END: v_end}
+    for source, target, label, direction in plan.target_checks:
+        if not kb.has_edge(targets[source], targets[target], label, direction):
+            return
 
-    order = _variable_order(pattern)[2:]
+    binding: dict[str, str] = {START: v_start, END: v_end}
+    steps = plan.steps
     produced = 0
+    # Memo shared across sibling branches: raw candidate sets depend only on
+    # the step and the entities bound to its anchor variables — not on the
+    # rest of the frontier — so branches differing elsewhere reuse them.
+    memo: dict[tuple, frozenset[str]] = {}
+
+    def raw_candidates(index: int) -> frozenset[str] | None:
+        step = steps[index]
+        if not step.anchors:
+            return None
+        key = (index,) + tuple(binding[anchor] for anchor, _, _ in step.anchors)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        candidates: set[str] | None = None
+        for anchor, label, orientation in step.anchors:
+            reachable = kb.neighbor_ids(binding[anchor], label, orientation)
+            if candidates is None:
+                candidates = set(reachable)
+            else:
+                candidates.intersection_update(reachable)
+            if not candidates:
+                break
+        result = frozenset(candidates) if candidates else frozenset()
+        memo[key] = result
+        return result
 
     def backtrack(index: int) -> Iterator[ExplanationInstance]:
         nonlocal produced
         if limit is not None and produced >= limit:
             return
-        if index == len(order):
+        if index == len(steps):
             produced += 1
             yield ExplanationInstance(binding)
             return
-        variable = order[index]
-        candidates = _candidates(kb, pattern, variable, binding, v_start, v_end)
-        if candidates is None:
+        raw = raw_candidates(index)
+        if raw is None:
+            # No incident edge touches a bound variable (disconnected pattern):
+            # fall back to all entities, as the naive matcher did.
             candidates = set(kb.entities) - {v_start, v_end} - set(binding.values())
+        else:
+            # Non-target variables must not map onto the target entities, and
+            # the mapping must be injective (instances are KB subgraphs).
+            candidates = set(raw)
+            candidates.discard(v_start)
+            candidates.discard(v_end)
+            candidates.difference_update(binding.values())
+        variable = steps[index].variable
         for candidate in sorted(candidates):
             binding[variable] = candidate
-            if _check_edges_with(kb, pattern, variable, binding):
-                yield from backtrack(index + 1)
+            yield from backtrack(index + 1)
             del binding[variable]
             if limit is not None and produced >= limit:
                 return

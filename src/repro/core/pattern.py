@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import PatternError
@@ -59,10 +59,15 @@ class PatternEdge:
             raise PatternError("pattern edge label must be non-empty")
 
     def key(self) -> tuple[str, str, str, bool]:
-        """Canonical identity of the pattern edge."""
-        if self.directed or self.source <= self.target:
-            return (self.source, self.target, self.label, self.directed)
-        return (self.target, self.source, self.label, self.directed)
+        """Canonical identity of the pattern edge (cached)."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            if self.directed or self.source <= self.target:
+                cached = (self.source, self.target, self.label, self.directed)
+            else:
+                cached = (self.target, self.source, self.label, self.directed)
+            self.__dict__["_key"] = cached
+        return cached
 
     def endpoints(self) -> tuple[str, str]:
         return (self.source, self.target)
@@ -94,7 +99,10 @@ class PatternEdge:
         return self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash(self.key())
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = self.__dict__["_hash"] = hash(self.key())
+        return cached
 
 
 class ExplanationPattern:
@@ -133,6 +141,20 @@ class ExplanationPattern:
         self._edges = edge_set
 
     # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls, variables: frozenset[str], edges: frozenset[PatternEdge]
+    ) -> "ExplanationPattern":
+        """Construct without validation from already-checked frozensets.
+
+        Internal fast path for the enumeration algorithms, which build tens of
+        thousands of candidate patterns whose invariants hold by construction.
+        """
+        pattern = cls.__new__(cls)
+        pattern._variables = variables
+        pattern._edges = edges
+        return pattern
 
     @classmethod
     def from_edges(cls, edges: Iterable[PatternEdge]) -> "ExplanationPattern":
@@ -316,28 +338,12 @@ class ExplanationPattern:
         notion used by the paper's duplicate check.  The key is computed by
         trying every permutation of non-target variables and keeping the
         lexicographically smallest edge encoding; patterns in REX have at most
-        a handful of variables so this is cheap.
+        a handful of variables so this is cheap.  Enumeration regenerates the
+        same pattern shapes over and over (as distinct objects), so the
+        computation is additionally memoized globally on the variable/edge
+        sets — only the first object of a shape pays for the permutations.
         """
-        others = sorted(self.non_target_variables)
-        if len(others) > _MAX_CANONICAL_VARIABLES:
-            raise PatternError(
-                "pattern too large for exact canonicalisation "
-                f"({len(others)} non-target variables)"
-            )
-        best: tuple | None = None
-        for permutation in itertools.permutations(range(len(others))):
-            mapping = {
-                variable: fresh_variable(permutation[index])
-                for index, variable in enumerate(others)
-            }
-            encoding = tuple(
-                sorted(edge.renamed(mapping).key() for edge in self._edges)
-            )
-            if best is None or encoding < best:
-                best = encoding
-        if best is None:
-            best = ()
-        return best
+        return _canonical_key_of(self._variables, self._edges)
 
     def is_isomorphic(self, other: "ExplanationPattern") -> bool:
         """Whether two patterns are isomorphic (start/end fixed)."""
@@ -369,6 +375,40 @@ class ExplanationPattern:
             arrow = "->" if edge.directed else "--"
             lines.append(f"  {edge.source} {arrow}[{edge.label}] {edge.target}")
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=65536)
+def _canonical_key_of(
+    variables: frozenset[str], edges: frozenset[PatternEdge]
+) -> tuple:
+    """Memoized canonical-key computation shared by all equal pattern shapes."""
+    others = sorted(variables - {START, END})
+    if len(others) > _MAX_CANONICAL_VARIABLES:
+        raise PatternError(
+            "pattern too large for exact canonicalisation "
+            f"({len(others)} non-target variables)"
+        )
+    edge_tuples = [
+        (edge.source, edge.target, edge.label, edge.directed) for edge in edges
+    ]
+    canonical_names = [fresh_variable(index) for index in range(len(others))]
+    best: tuple | None = None
+    for permutation in itertools.permutations(canonical_names):
+        mapping = dict(zip(others, permutation))
+        encoding_list = []
+        for source, target, label, directed in edge_tuples:
+            renamed_source = mapping.get(source, source)
+            renamed_target = mapping.get(target, target)
+            if directed or renamed_source <= renamed_target:
+                encoding_list.append((renamed_source, renamed_target, label, directed))
+            else:
+                encoding_list.append((renamed_target, renamed_source, label, directed))
+        encoding = tuple(sorted(encoding_list))
+        if best is None or encoding < best:
+            best = encoding
+    if best is None:
+        best = ()
+    return best
 
 
 def pattern_from_label_path(

@@ -65,6 +65,13 @@ class _Expansion:
         return PatternEdge(self.source, self.target, self.label, self.directed)
 
 
+def _edge_key(source: str, target: str, label: str, directed: bool) -> tuple:
+    """The :meth:`PatternEdge.key` of an edge without constructing it."""
+    if directed or source <= target:
+        return (source, target, label, directed)
+    return (target, source, label, directed)
+
+
 def _candidate_expansions(
     kb: KnowledgeBase,
     pattern: ExplanationPattern,
@@ -72,26 +79,29 @@ def _candidate_expansions(
     v_start: str,
     v_end: str,
 ) -> set[_Expansion]:
-    """All pattern-level edge additions witnessed by at least one instance."""
-    expansions: set[_Expansion] = set()
+    """All pattern-level edge additions witnessed by at least one instance.
+
+    The deduplication set holds plain tuples and edges are compared through
+    their key tuples: this loop visits every adjacency entry of every bound
+    entity of every instance, so per-witness dataclass construction and
+    hashing dominated the baseline enumerator's runtime.
+    """
+    seen: set[tuple] = set()
     connected = {
         variable
         for variable in pattern.variables
         if pattern.degree(variable) > 0 or variable == START
     }
+    ordered_connected = sorted(connected)
     next_variable = fresh_variable(len(pattern.non_target_variables))
+    pattern_edge_keys = {edge.key() for edge in pattern.edges}
     for instance in instances:
         entity_to_variables: dict[str, list[str]] = {}
         for variable in pattern.variables:
             entity_to_variables.setdefault(instance[variable], []).append(variable)
-        for variable in sorted(connected):
+        for variable in ordered_connected:
             entity = instance[variable]
-            for entry in kb.neighbors(entity):
-                if entry.orientation == "undirected":
-                    directed, forward = False, True
-                else:
-                    directed, forward = True, entry.orientation == "out"
-                neighbor = entry.neighbor
+            for neighbor, label, directed, forward in kb.traversal_steps(entity):
                 targets: list[tuple[str, str | None]] = []
                 if neighbor == v_end:
                     targets.append((END, None))
@@ -105,20 +115,19 @@ def _candidate_expansions(
                 for target_variable, new_variable in targets:
                     if target_variable == variable:
                         continue
-                    if directed:
-                        source, target = (
-                            (variable, target_variable) if forward else (target_variable, variable)
-                        )
+                    if directed and not forward:
+                        source, target = target_variable, variable
                     else:
                         source, target = variable, target_variable
-                    try:
-                        expansion = _Expansion(source, target, entry.label, directed, new_variable)
-                    except Exception:  # pragma: no cover - defensive
+                    candidate = (source, target, label, directed, new_variable)
+                    if candidate in seen:
                         continue
-                    if expansion.edge() in pattern.edges:
-                        continue
-                    expansions.add(expansion)
-    return expansions
+                    seen.add(candidate)
+    return {
+        _Expansion(source, target, label, directed, new_variable)
+        for source, target, label, directed, new_variable in seen
+        if _edge_key(source, target, label, directed) not in pattern_edge_keys
+    }
 
 
 def _extend_instances(
@@ -139,20 +148,17 @@ def _extend_instances(
             if kb.has_edge(source, target, edge.label, direction):
                 extended.append(instance)
             continue
-        # The expansion introduces a new variable; find all bindings for it.
+        # The expansion introduces a new variable; find all bindings for it
+        # straight from the (label, orientation) index.
         anchor_variable = edge.source if edge.target == expansion.new_variable else edge.target
         anchor_entity = instance[anchor_variable]
-        anchor_is_source = anchor_variable == edge.source
-        for entry in kb.neighbors(anchor_entity):
-            if entry.label != edge.label:
-                continue
-            if edge.directed:
-                expected = "out" if anchor_is_source else "in"
-                if entry.orientation != expected:
-                    continue
-            elif entry.orientation != "undirected":
-                continue
-            candidate = entry.neighbor
+        if not edge.directed:
+            orientation = "undirected"
+        elif anchor_variable == edge.source:
+            orientation = "out"
+        else:
+            orientation = "in"
+        for candidate in kb.neighbor_ids(anchor_entity, edge.label, orientation):
             if candidate in (v_start, v_end):
                 continue
             mapping = instance.mapping

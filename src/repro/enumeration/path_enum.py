@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.core.explanation import Explanation
 from repro.core.instance import ExplanationInstance
@@ -115,6 +116,32 @@ def _step_from_entry(entry: NeighborEntry) -> PathStep:
     )
 
 
+#: kb -> (kb.version, {entity: ((neighbor, PathStep), ...)}).  All three path
+#: enumeration algorithms revisit the same nodes many times (exponentially so
+#: for the naive forward search); translating a node's adjacency entries into
+#: :class:`PathStep` objects once and reusing the frozen steps removes the
+#: per-expansion allocation from the hot loop.  The cache is invalidated as a
+#: whole whenever the knowledge base's mutation counter moves.
+_STEP_CACHES: "WeakKeyDictionary[KnowledgeBase, tuple]" = WeakKeyDictionary()
+
+
+def _steps_of(kb: KnowledgeBase, entity: str) -> tuple[tuple[str, PathStep], ...]:
+    """Cached ``(neighbor, step)`` pairs for every adjacency entry of ``entity``."""
+    cached = _STEP_CACHES.get(kb)
+    if cached is None or cached[0] != kb.version:
+        cached = (kb.version, {})
+        _STEP_CACHES[kb] = cached
+    per_entity = cached[1]
+    steps = per_entity.get(entity)
+    if steps is None:
+        steps = tuple(
+            (entry.neighbor, _step_from_entry(entry))
+            for entry in kb.iter_neighbors(entity)
+        )
+        per_entity[entity] = steps
+    return steps
+
+
 def _path_to_pattern(path: PathInstance) -> tuple[ExplanationPattern, ExplanationInstance]:
     """Convert an instance-level path into its pattern and instance."""
     nodes = path.nodes
@@ -134,20 +161,33 @@ def _path_to_pattern(path: PathInstance) -> tuple[ExplanationPattern, Explanatio
     return pattern, ExplanationInstance(binding)
 
 
+def _path_instance(path: PathInstance) -> ExplanationInstance:
+    """The instance-level binding of a path (pattern built elsewhere)."""
+    nodes = path.nodes
+    binding = {START: nodes[0], END: nodes[-1]}
+    for index in range(1, len(nodes) - 1):
+        binding[fresh_variable(index - 1)] = nodes[index]
+    return ExplanationInstance(binding)
+
+
 def group_paths_into_explanations(paths: list[PathInstance]) -> list[Explanation]:
     """Group instance-level paths by their pattern into path explanations.
 
     Paths with the same start-to-end label/direction sequence share a pattern;
     the grouping simply replaces intermediate entities with variables, as
-    described at the start of Section 3.2.
+    described at the start of Section 3.2.  The shared pattern is built once
+    per signature (from the group's first path); remaining paths only
+    contribute their variable binding.
     """
     grouped: dict[tuple, tuple[ExplanationPattern, list[ExplanationInstance]]] = {}
     for path in paths:
         signature = path.pattern_signature()
-        pattern, instance = _path_to_pattern(path)
-        if signature not in grouped:
-            grouped[signature] = (pattern, [])
-        grouped[signature][1].append(instance)
+        entry = grouped.get(signature)
+        if entry is None:
+            pattern, instance = _path_to_pattern(path)
+            grouped[signature] = (pattern, [instance])
+        else:
+            entry[1].append(_path_instance(path))
     return [Explanation(pattern, instances) for pattern, instances in grouped.values()]
 
 
@@ -184,12 +224,10 @@ def path_enum_naive(
         nonlocal expansions
         if len(steps) >= length_limit:
             return
-        for entry in kb.neighbors(current):
+        for neighbor, step in _steps_of(kb, current):
             expansions += 1
-            neighbor = entry.neighbor
             if neighbor in visited:
                 continue
-            step = _step_from_entry(entry)
             steps.append(step)
             if neighbor == v_end:
                 paths.append(PathInstance(v_start, tuple(steps)))
@@ -212,13 +250,22 @@ def path_enum_naive(
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class _PartialPath:
-    """A simple path grown from one of the two target entities."""
+    """A simple path grown from one of the two target entities.
 
-    origin: str  # "start" or "end"
-    nodes: tuple[str, ...]
-    steps: tuple[PathStep, ...]
+    A plain ``__slots__`` class rather than a dataclass: the bidirectional
+    searches allocate one per expansion, making construction cost part of the
+    enumeration hot loop.
+    """
+
+    __slots__ = ("origin", "nodes", "steps")
+
+    def __init__(
+        self, origin: str, nodes: tuple[str, ...], steps: tuple[PathStep, ...]
+    ) -> None:
+        self.origin = origin  # "start" or "end"
+        self.nodes = nodes
+        self.steps = steps
 
     @property
     def terminal(self) -> str:
@@ -275,11 +322,9 @@ def _expand_partial(
     if current == opposite:
         return []
     extensions = []
-    for entry in kb.neighbors(current):
-        neighbor = entry.neighbor
+    for neighbor, step in _steps_of(kb, current):
         if neighbor in partial.nodes or neighbor == own_target:
             continue
-        step = _step_from_entry(entry)
         extensions.append(
             _PartialPath(
                 origin=partial.origin,
@@ -383,46 +428,53 @@ def path_enum_prioritized(
     end_side: dict[str, list[_PartialPath]] = {v_end: [_PartialPath("end", (v_end,), ())]}
     stores = {"start": start_side, "end": end_side}
 
-    activation = {
-        ("start", v_start): 1.0 / max(kb.degree(v_start), 1),
-        ("end", v_end): 1.0 / max(kb.degree(v_end), 1),
+    # Per-origin node-keyed tables (avoids one tuple allocation + hash per
+    # bookkeeping operation in the expansion loop).
+    activations = {
+        "start": {v_start: 1.0 / max(kb.degree(v_start), 1)},
+        "end": {v_end: 1.0 / max(kb.degree(v_end), 1)},
     }
-    # Index of partial paths not yet expanded, per (origin, node).
-    pending: dict[tuple[str, str], list[_PartialPath]] = {
-        ("start", v_start): [start_side[v_start][0]],
-        ("end", v_end): [end_side[v_end][0]],
+    # Index of partial paths not yet expanded, per origin and node.
+    pendings: dict[str, dict[str, list[_PartialPath]]] = {
+        "start": {v_start: [start_side[v_start][0]]},
+        "end": {v_end: [end_side[v_end][0]]},
     }
     counter = 0
     heap: list[tuple[float, int, str, str]] = []
-    for (origin, node), score in activation.items():
-        heap.append((-score, counter, origin, node))
-        counter += 1
+    for origin, per_node in activations.items():
+        for node, score in per_node.items():
+            heap.append((-score, counter, origin, node))
+            counter += 1
     heapq.heapify(heap)
 
     while heap:
         negative_score, _, origin, node = heapq.heappop(heap)
-        waiting = pending.pop((origin, node), [])
+        pending = pendings[origin]
+        waiting = pending.pop(node, None)
         if not waiting:
             continue
         score = -negative_score
         store = stores[origin]
+        activation = activations[origin]
+        limit = limits[origin]
         spread: dict[str, None] = {}
         for partial in waiting:
-            if partial.length >= limits[origin]:
+            if partial.length >= limit:
                 continue
             for extension in _expand_partial(kb, partial, v_start, v_end):
                 expansions += 1
-                store.setdefault(extension.terminal, []).append(extension)
-                pending.setdefault((origin, extension.terminal), []).append(extension)
-                spread.setdefault(extension.terminal, None)
+                terminal = extension.terminal
+                store.setdefault(terminal, []).append(extension)
+                pending.setdefault(terminal, []).append(extension)
+                spread[terminal] = None
         # Spread activation to the freshly reached nodes and (re-)enqueue them.
         for neighbor in spread:
             gained = score / max(kb.degree(neighbor), 1)
-            key = (origin, neighbor)
-            activation[key] = activation.get(key, 0.0) + gained
-            heapq.heappush(heap, (-activation[key], counter, origin, neighbor))
+            total = activation.get(neighbor, 0.0) + gained
+            activation[neighbor] = total
+            heapq.heappush(heap, (-total, counter, origin, neighbor))
             counter += 1
-        activation[(origin, node)] = 0.0
+        activation[node] = 0.0
 
     paths = _collect_full_paths(start_side, end_side, length_limit)
     explanations = group_paths_into_explanations(paths)

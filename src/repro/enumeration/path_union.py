@@ -32,7 +32,7 @@ from typing import Callable, Iterator
 from repro.core.explanation import Explanation
 from repro.core.instance import ExplanationInstance
 from repro.core.isomorphism import DuplicateRegistry
-from repro.core.pattern import END, START, ExplanationPattern, fresh_variable
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
 from repro.errors import EnumerationError
 
 __all__ = [
@@ -75,23 +75,109 @@ class _MergeCandidate:
     rename: dict[str, str]  # right variable -> merged variable name
 
 
-def _partial_mappings(
-    left: ExplanationPattern, right: ExplanationPattern
-) -> Iterator[dict[str, str]]:
-    """All partial one-to-one mappings from ``left``'s non-target variables
-    onto ``right``'s, with at least one matched pair.
+def _merge_info(explanation: Explanation) -> tuple:
+    """Per-explanation constants of the merge step, computed once.
+
+    Returns ``(sorted non-target variables, [(variable, assignment set)],
+    [edge tuples], {edge keys})`` and caches the tuple on the explanation: a
+    union run merges the same explanations against many partners, and this
+    setup dominated the per-merge-call cost.
+    """
+    info = explanation.__dict__.get("_merge_info")
+    if info is None:
+        pattern = explanation.pattern
+        variables = sorted(pattern.non_target_variables)
+        info = (
+            variables,
+            [(variable, explanation.assignments(variable)) for variable in variables],
+            [
+                (edge.source, edge.target, edge.label, edge.directed)
+                for edge in pattern.edges
+            ],
+            {edge.key() for edge in pattern.edges},
+        )
+        explanation.__dict__["_merge_info"] = info
+    return info
+
+
+def _compatible_mappings(
+    left_variables: list[str],
+    compatible: dict[str, list[str]],
+    min_matched: int,
+    max_matched: int,
+) -> Iterator[tuple[tuple[str, str], ...]]:
+    """Partial one-to-one mappings from ``left_variables`` onto the right
+    variables each is compatible with (overlapping assignment sets).
 
     The start and end variables are always mapped onto each other (requirement
     (1) of the merge definition); requirement (4) demands at least one matched
     non-target pair, which guarantees the merged pattern is non-decomposable.
+    Mappings are yielded as ``((left, right), ...)`` pair tuples sorted by the
+    left variable, in the same order the exhaustive subset-by-permutation
+    enumeration would produce the surviving ones, so the pruning is invisible
+    downstream; pairs with disjoint assignment sets (the instance join would
+    certainly be empty) are never generated, which is what makes PathUnion's
+    candidate generation cheap on dense path sets.  Arities one to three (all
+    that a size-5 pattern limit allows) are unrolled; larger subsets fall back
+    to a generic depth-first search.
     """
-    left_variables = sorted(left.non_target_variables)
-    right_variables = sorted(right.non_target_variables)
-    max_matched = min(len(left_variables), len(right_variables))
-    for matched_count in range(1, max_matched + 1):
+    for matched_count in range(max(1, min_matched), max_matched + 1):
         for left_subset in itertools.combinations(left_variables, matched_count):
-            for right_permutation in itertools.permutations(right_variables, matched_count):
-                yield dict(zip(left_subset, right_permutation))
+            if matched_count == 1:
+                (variable_a,) = left_subset
+                for right_a in compatible[variable_a]:
+                    yield ((variable_a, right_a),)
+            elif matched_count == 2:
+                variable_a, variable_b = left_subset
+                row_b = compatible[variable_b]
+                if not row_b:
+                    continue
+                for right_a in compatible[variable_a]:
+                    for right_b in row_b:
+                        if right_b != right_a:
+                            yield ((variable_a, right_a), (variable_b, right_b))
+            elif matched_count == 3:
+                variable_a, variable_b, variable_c = left_subset
+                row_b = compatible[variable_b]
+                row_c = compatible[variable_c]
+                if not row_b or not row_c:
+                    continue
+                for right_a in compatible[variable_a]:
+                    for right_b in row_b:
+                        if right_b == right_a:
+                            continue
+                        for right_c in row_c:
+                            if right_c != right_a and right_c != right_b:
+                                yield (
+                                    (variable_a, right_a),
+                                    (variable_b, right_b),
+                                    (variable_c, right_c),
+                                )
+            else:  # pragma: no cover - needs patterns beyond the paper's sizes
+                yield from _compatible_mappings_dfs(left_subset, compatible)
+
+
+def _compatible_mappings_dfs(
+    left_subset: tuple[str, ...], compatible: dict[str, list[str]]
+) -> Iterator[tuple[tuple[str, str], ...]]:
+    """Generic fallback for subsets larger than the unrolled arities."""
+    chosen: list[str] = []
+    used: set[str] = set()
+
+    def assign(index: int) -> Iterator[tuple[tuple[str, str], ...]]:
+        if index == len(left_subset):
+            yield tuple(zip(left_subset, chosen))
+            return
+        for right_variable in compatible[left_subset[index]]:
+            if right_variable in used:
+                continue
+            used.add(right_variable)
+            chosen.append(right_variable)
+            yield from assign(index + 1)
+            chosen.pop()
+            used.remove(right_variable)
+
+    yield from assign(0)
 
 
 def _merge_candidates(
@@ -102,63 +188,106 @@ def _merge_candidates(
 ) -> Iterator[_MergeCandidate]:
     """Enumerate merged patterns of ``left`` and ``right`` worth joining.
 
-    Candidates are pruned when the merged pattern would exceed the size limit,
-    when a matched variable pair has disjoint assignment sets (the instance
-    join would certainly be empty), or when the merge adds no edge.
+    Candidates are pruned when the merged pattern would exceed the size limit
+    (enforced up front through the minimum matched-pair count) and when a
+    matched variable pair has disjoint assignment sets; a merge that adds no
+    edge is also discarded.
     """
     if stats is not None:
         stats.merge_calls += 1
-    left_pattern, right_pattern = left.pattern, right.pattern
+    left_pattern = left.pattern
+    left_sorted_vars, left_assignment_sets, _, left_edge_keys = _merge_info(left)
+    right_sorted_vars, right_assignment_sets, right_edge_tuples, _ = _merge_info(right)
     left_size = left_pattern.num_nodes
-    right_non_target = len(right_pattern.non_target_variables)
+    right_non_target = len(right_sorted_vars)
+    max_matched = min(len(left_sorted_vars), right_non_target)
+    # merged size = left_size + right_non_target - matched_count, so the size
+    # limit translates into a minimum number of matched pairs.
+    min_matched = left_size + right_non_target - size_limit
+    if max_matched == 0 or min_matched > max_matched:
+        return
+    # Assignment-set compatibility matrix: a matched pair whose entity sets
+    # are disjoint cannot produce any joined instance, so such pairs never
+    # enter the mapping enumeration at all.  Construction aborts as soon as
+    # the empty rows make the minimum matched-pair count unreachable.
+    needed = max(1, min_matched)
+    compatible: dict[str, list[str]] = {}
+    nonempty_rows = 0
+    remaining_rows = len(left_assignment_sets)
+    for left_variable, left_set in left_assignment_sets:
+        row = [
+            right_variable
+            for right_variable, right_set in right_assignment_sets
+            if not left_set.isdisjoint(right_set)
+        ]
+        compatible[left_variable] = row
+        if row:
+            nonempty_rows += 1
+        remaining_rows -= 1
+        if nonempty_rows + remaining_rows < needed:
+            return
 
-    for mapping in _partial_mappings(left_pattern, right_pattern):
+    left_variables = left_pattern.variables
+    left_edges = left_pattern.edges
+    # Fresh names for unmatched right variables depend only on the left
+    # pattern, so they are computed once per merge call; sorted unmatched
+    # variables consume them in order, exactly as the incremental scan did.
+    fresh_names: list[str] = []
+    next_fresh = 0
+    while len(fresh_names) < right_non_target:
+        name = fresh_variable(next_fresh)
+        if name not in left_variables:
+            fresh_names.append(name)
+        next_fresh += 1
+    edge_cache: dict[tuple, PatternEdge] = {}
+
+    for mapping_pairs in _compatible_mappings(
+        left_sorted_vars, compatible, min_matched, max_matched
+    ):
         if stats is not None:
             stats.mappings_tried += 1
-        merged_size = left_size + right_non_target - len(mapping)
-        if merged_size > size_limit:
-            continue
-        # Assignment-set pruning: a matched pair whose entity sets are
-        # disjoint cannot produce any joined instance.
-        if any(
-            left.assignments(left_variable).isdisjoint(right.assignments(right_variable))
-            for left_variable, right_variable in mapping.items()
-        ):
-            continue
 
         # Rename the right pattern so matched variables take the left name and
         # unmatched variables receive fresh names that cannot collide.
-        rename: dict[str, str] = {}
-        reverse = {right_name: left_name for left_name, right_name in mapping.items()}
-        next_fresh = 0
-        used_names = set(left_pattern.variables)
-        for variable in sorted(right_pattern.non_target_variables):
-            if variable in reverse:
-                rename[variable] = reverse[variable]
-            else:
-                while fresh_variable(next_fresh) in used_names:
-                    next_fresh += 1
-                rename[variable] = fresh_variable(next_fresh)
-                used_names.add(fresh_variable(next_fresh))
+        reverse = {right_name: left_name for left_name, right_name in mapping_pairs}
+        if len(mapping_pairs) == right_non_target:
+            rename = reverse  # every right variable is matched
+        else:
+            rename = {}
+            fresh_iter = iter(fresh_names)
+            for variable in right_sorted_vars:
+                mapped = reverse.get(variable)
+                rename[variable] = mapped if mapped is not None else next(fresh_iter)
 
-        merged_edges = set(left_pattern.edges)
-        added = False
-        for edge in right_pattern.edges:
-            renamed_edge = edge.renamed(rename)
-            if renamed_edge not in merged_edges:
-                merged_edges.add(renamed_edge)
-                added = True
+        new_edges: list[PatternEdge] = []
+        for source, target, label, directed in right_edge_tuples:
+            renamed_source = rename.get(source, source)
+            renamed_target = rename.get(target, target)
+            if directed or renamed_source <= renamed_target:
+                key = (renamed_source, renamed_target, label, directed)
+            else:
+                key = (renamed_target, renamed_source, label, directed)
+            if key in left_edge_keys:
+                continue
+            edge = edge_cache.get(key)
+            if edge is None:
+                edge = edge_cache[key] = PatternEdge(
+                    renamed_source, renamed_target, label, directed
+                )
+            new_edges.append(edge)
         # A merge that adds no edge reproduces the left pattern and only
         # creates duplicate work downstream.
-        if not added:
+        if not new_edges:
             continue
-        merged_variables = set(left_pattern.variables) | {
-            rename.get(variable, variable) for variable in right_pattern.variables
-        }
-        merged_pattern = ExplanationPattern(merged_variables, merged_edges)
+        merged_pattern = ExplanationPattern._trusted(
+            left_variables | frozenset(rename.values()),
+            left_edges | frozenset(new_edges),
+        )
+        # pairs ascend by left variable (subsets come from the sorted
+        # variable list), so they are already in the sorted order.
         yield _MergeCandidate(
             pattern=merged_pattern,
-            matched=tuple(sorted(mapping.items())),
+            matched=mapping_pairs,
             rename=rename,
         )
 
@@ -168,12 +297,18 @@ def _join_instances(
     right: Explanation,
     candidate: _MergeCandidate,
     stats: MergeStats | None = None,
+    index_cache: dict | None = None,
 ) -> list[ExplanationInstance]:
     """Hash-join the instance sets of ``left`` and ``right`` for a candidate.
 
     Instances agree on every matched variable pair and the result must remain
     injective (instances are subgraphs), so unmatched variables from the two
     sides may not collapse onto the same entity.
+
+    ``index_cache`` (optional) memoizes the hash index built over ``right``'s
+    instances per ``(right, matched-variables)`` key: the union algorithms
+    join the same few path explanations against many parents, and the index
+    only depends on the right side.
     """
     if stats is not None:
         stats.instance_joins += 1
@@ -184,10 +319,17 @@ def _join_instances(
         right.pattern.non_target_variables - set(matched_right)
     )
 
-    right_index: dict[tuple[str, ...], list[ExplanationInstance]] = {}
-    for right_instance in right.instances:
-        key = tuple(right_instance[variable] for variable in matched_right)
-        right_index.setdefault(key, []).append(right_instance)
+    cache_key = (id(right), tuple(matched_right))
+    right_index: dict[tuple[str, ...], list[ExplanationInstance]] | None = (
+        index_cache.get(cache_key) if index_cache is not None else None
+    )
+    if right_index is None:
+        right_index = {}
+        for right_instance in right.instances:
+            key = tuple(right_instance[variable] for variable in matched_right)
+            right_index.setdefault(key, []).append(right_instance)
+        if index_cache is not None:
+            index_cache[cache_key] = right_index
 
     merged: list[ExplanationInstance] = []
     for left_instance in left.instances:
@@ -281,6 +423,7 @@ def path_union_basic(
         if explanation.pattern.num_nodes <= size_limit and registry.add(explanation.pattern):
             results.append(explanation)
 
+    join_index_cache: dict = {}
     expand_queue = list(results)
     while expand_queue:
         stats.rounds += 1
@@ -295,7 +438,9 @@ def path_union_basic(
                     if candidate.pattern in registry:
                         stats.duplicates_discarded += 1
                         continue
-                    instances = _join_instances(explanation, path_explanation, candidate, stats)
+                    instances = _join_instances(
+                        explanation, path_explanation, candidate, stats, join_index_cache
+                    )
                     if not instances:
                         continue
                     registry.add(candidate.pattern)
@@ -334,6 +479,7 @@ def path_union_prune(
             seeds.append(explanation)
     results.extend(seeds)
 
+    join_index_cache: dict = {}
     expand_queue: list[Explanation] = list(seeds)
     expand_history: list[list[tuple[int, int]]] = [[] for _ in seeds]
     first_round = True
@@ -344,16 +490,22 @@ def path_union_prune(
         new_history: list[list[tuple[int, int]]] = []
         new_index_by_key: dict[tuple, int] = {}
 
+        # Invert the round's composition histories once (parent -> paths used
+        # by any sibling built from it) instead of rescanning every history
+        # for every explanation, which made the sharing test quadratic.
+        paths_by_parent: dict[int, set[int]] = {}
+        if not first_round:
+            for history_right in expand_history:
+                for parent, path_index in history_right:
+                    paths_by_parent.setdefault(parent, set()).add(path_index)
+
         for index_left, explanation in enumerate(expand_queue):
             if first_round:
                 candidate_paths = set(range(len(path_explanations)))
             else:
                 candidate_paths = set()
-                parents_left = {parent for parent, _ in expand_history[index_left]}
-                for history_right in expand_history:
-                    for parent, path_index in history_right:
-                        if parent in parents_left:
-                            candidate_paths.add(path_index)
+                for parent, _ in expand_history[index_left]:
+                    candidate_paths.update(paths_by_parent.get(parent, ()))
 
             for path_index in sorted(candidate_paths):
                 path_explanation = path_explanations[path_index]
@@ -373,7 +525,9 @@ def path_union_prune(
                                 (index_left, path_index)
                             )
                         continue
-                    instances = _join_instances(explanation, path_explanation, candidate, stats)
+                    instances = _join_instances(
+                        explanation, path_explanation, candidate, stats, join_index_cache
+                    )
                     if not instances:
                         continue
                     registry.add(candidate.pattern)

@@ -7,8 +7,16 @@ be directed (``starring``) or undirected (``spouse``).  This module provides
 indexes that the enumeration algorithms of Section 3 need:
 
 * constant-time degree lookups (used by BANKS2-style activation scores),
-* iteration over the labelled neighbourhood of a node, and
-* membership tests for a labelled edge in a given direction.
+* iteration over the labelled neighbourhood of a node,
+* constant-time membership tests for a labelled edge in a given direction, and
+* per-node secondary indexes ``(label, orientation) -> neighbors`` so pattern
+  matchers and the batched distributional evaluator never scan edges whose
+  label cannot satisfy the constraint at hand.
+
+All indexes are maintained incrementally by :meth:`add_edge`; entity ids and
+labels are interned so the dict-heavy hot paths compare by pointer.  External
+caches (e.g. the traversal-step caches of the path enumerators) can key on
+:attr:`version`, which increases on every mutation.
 
 The class is deliberately independent of ``networkx`` so that the algorithmic
 layers do not pay conversion costs on the hot path; a ``to_networkx`` helper
@@ -17,8 +25,9 @@ is offered for interoperability and for the random-walk measure.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import networkx as nx
 
@@ -109,6 +118,25 @@ class KnowledgeBase:
         self._adjacency: dict[str, list[NeighborEntry]] = {}
         self._edges: list[Edge] = []
         self._edge_keys: set[tuple[str, str, str, bool]] = set()
+        # -- secondary indexes, maintained incrementally ---------------------
+        # node -> (label, orientation) -> neighbor ids (insertion order)
+        self._label_index: dict[str, dict[tuple[str, str], list[str]]] = {}
+        # (source, target, label, orientation-as-seen-from-source) presence set
+        self._edge_presence: set[tuple[str, str, str, str]] = set()
+        # label -> edges carrying it, in insertion order (global label index)
+        self._edges_by_label: dict[str, list[Edge]] = {}
+        # label -> number of edges (incremental label-frequency table)
+        self._label_counts: dict[str, int] = {}
+        # entity id -> dense integer handle; handle -> entity id
+        self._handles: dict[str, int] = {}
+        self._names: list[str] = []
+        # cached immutable `entities` view, invalidated on add_entity
+        self._entities_view: tuple[str, ...] | None = None
+        # entity -> cached traversal tuples, invalidated per touched node
+        self._traversal_cache: dict[str, tuple] = {}
+        #: Mutation counter; bumps on every added entity or edge so external
+        #: caches keyed on ``(kb, kb.version)`` can detect staleness.
+        self.version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -119,8 +147,14 @@ class KnowledgeBase:
         if not entity:
             raise KnowledgeBaseError("entity id must be a non-empty string")
         if entity not in self._entity_types:
+            entity = sys.intern(entity)
             self._entity_types[entity] = entity_type
             self._adjacency[entity] = []
+            self._label_index[entity] = {}
+            self._handles[entity] = len(self._names)
+            self._names.append(entity)
+            self._entities_view = None
+            self.version += 1
         elif entity_type is not None and self._entity_types[entity] is None:
             self._entity_types[entity] = entity_type
 
@@ -159,19 +193,28 @@ class KnowledgeBase:
         elif not self.schema.has_relation(label):
             self.schema.declare_relation(label, directed=directed)
 
+        label = sys.intern(label)
         self.add_entity(source)
         self.add_entity(target)
+        source = sys.intern(source)
+        target = sys.intern(target)
         edge = Edge(source=source, target=target, label=label, directed=directed)
         if edge.key() in self._edge_keys:
             return edge
         self._edge_keys.add(edge.key())
         self._edges.append(edge)
+        self._edges_by_label.setdefault(label, []).append(edge)
+        self._label_counts[label] = self._label_counts.get(label, 0) + 1
         if directed:
-            self._adjacency[source].append(NeighborEntry(target, label, OUT))
-            self._adjacency[target].append(NeighborEntry(source, label, IN))
+            pairs = ((source, target, OUT), (target, source, IN))
         else:
-            self._adjacency[source].append(NeighborEntry(target, label, UNDIRECTED))
-            self._adjacency[target].append(NeighborEntry(source, label, UNDIRECTED))
+            pairs = ((source, target, UNDIRECTED), (target, source, UNDIRECTED))
+        for owner, neighbor, orientation in pairs:
+            self._adjacency[owner].append(NeighborEntry(neighbor, label, orientation))
+            self._label_index[owner].setdefault((label, orientation), []).append(neighbor)
+            self._edge_presence.add((owner, neighbor, label, orientation))
+            self._traversal_cache.pop(owner, None)
+        self.version += 1
         return edge
 
     def add_edges(self, edges: Iterable[tuple[str, str, str]]) -> None:
@@ -182,9 +225,17 @@ class KnowledgeBase:
     # -- queries -----------------------------------------------------------
 
     @property
-    def entities(self) -> list[str]:
-        """All entity ids, in insertion order."""
-        return list(self._entity_types)
+    def entities(self) -> tuple[str, ...]:
+        """All entity ids, in insertion order.
+
+        Returned as a cached immutable view: the tuple is rebuilt only after
+        a new entity was added, so repeated access (hot in the distributional
+        sweeps) costs a single attribute load instead of an O(n) copy.
+        """
+        view = self._entities_view
+        if view is None:
+            view = self._entities_view = tuple(self._entity_types)
+        return view
 
     @property
     def num_entities(self) -> int:
@@ -221,10 +272,89 @@ class KnowledgeBase:
         """Iterate over all edges in insertion order."""
         return iter(self._edges)
 
-    def neighbors(self, entity: str) -> list[NeighborEntry]:
-        """The labelled adjacency list of ``entity``."""
+    def neighbors(
+        self, entity: str, label: str | None = None, orientation: str | None = None
+    ) -> list[NeighborEntry]:
+        """The labelled adjacency list of ``entity``, optionally filtered.
+
+        Args:
+            entity: the node whose adjacency is requested.
+            label: restrict to entries carrying this relationship label.
+            orientation: restrict to ``"out"``, ``"in"`` or ``"undirected"``
+                entries (relative to ``entity``).
+
+        Filtered requests are answered from the per-node secondary index, so
+        callers never scan adjacency entries that cannot match.
+        """
         self._require_entity(entity)
-        return list(self._adjacency[entity])
+        if label is None and orientation is None:
+            return list(self._adjacency[entity])
+        index = self._label_index[entity]
+        if label is not None and orientation is not None:
+            return [
+                NeighborEntry(neighbor, label, orientation)
+                for neighbor in index.get((label, orientation), ())
+            ]
+        return [
+            entry
+            for entry in self._adjacency[entity]
+            if (label is None or entry.label == label)
+            and (orientation is None or entry.orientation == orientation)
+        ]
+
+    def iter_neighbors(self, entity: str) -> Sequence[NeighborEntry]:
+        """The adjacency list of ``entity`` without a defensive copy.
+
+        Hot-path variant of :meth:`neighbors`: the returned sequence is the
+        live internal list and must not be mutated by the caller.
+        """
+        self._require_entity(entity)
+        return self._adjacency[entity]
+
+    def neighbor_ids(
+        self, entity: str, label: str, orientation: str
+    ) -> Sequence[str]:
+        """Neighbor ids of ``entity`` along ``label`` with ``orientation``.
+
+        Constant-time index lookup returning the live internal list (callers
+        must not mutate it).  This is the primitive the pattern matchers and
+        the batched distributional evaluator are built on.
+        """
+        entry = self._label_index.get(entity)
+        if entry is None:
+            self._require_entity(entity)
+            return ()
+        return entry.get((label, orientation), ())
+
+    def edges_with_label(self, label: str) -> Sequence[Edge]:
+        """All edges carrying ``label``, in insertion order (live view)."""
+        return self._edges_by_label.get(label, ())
+
+    def traversal_steps(
+        self, entity: str
+    ) -> tuple[tuple[str, str, bool, bool], ...]:
+        """Cached ``(neighbor, label, directed, forward)`` traversal tuples.
+
+        ``forward`` states whether a directed edge points from ``entity`` to
+        ``neighbor``; undirected edges report ``directed=False, forward=True``.
+        Enumerators that repeatedly walk the same nodes use this instead of
+        translating :class:`NeighborEntry` orientations on every visit.  The
+        cache entry of a node is invalidated when an edge touches it.
+        """
+        steps = self._traversal_cache.get(entity)
+        if steps is None:
+            self._require_entity(entity)
+            steps = tuple(
+                (
+                    entry.neighbor,
+                    entry.label,
+                    entry.orientation != UNDIRECTED,
+                    entry.orientation != IN,
+                )
+                for entry in self._adjacency[entity]
+            )
+            self._traversal_cache[entity] = steps
+        return steps
 
     def neighbor_entities(self, entity: str) -> list[str]:
         """Distinct neighbouring entity ids of ``entity``."""
@@ -249,20 +379,15 @@ class KnowledgeBase:
                 labels, ``"in"`` requires ``target -> source`` and ``"any"``
                 accepts either.  Undirected edges match all three.
         """
-        if source not in self._entity_types or target not in self._entity_types:
-            return False
-        for entry in self._adjacency[source]:
-            if entry.neighbor != target or entry.label != label:
-                continue
-            if entry.orientation == UNDIRECTED:
-                return True
-            if direction == "any":
-                return True
-            if direction == OUT and entry.orientation == OUT:
-                return True
-            if direction == IN and entry.orientation == IN:
-                return True
-        return False
+        presence = self._edge_presence
+        if (source, target, label, UNDIRECTED) in presence:
+            return True
+        if direction == "any":
+            return (
+                (source, target, label, OUT) in presence
+                or (source, target, label, IN) in presence
+            )
+        return (source, target, label, direction) in presence
 
     def edges_between(self, source: str, target: str) -> list[NeighborEntry]:
         """All adjacency entries from ``source`` whose neighbour is ``target``."""
@@ -274,17 +399,36 @@ class KnowledgeBase:
 
     def relation_labels(self) -> list[str]:
         """Distinct relation labels appearing on edges, in first-use order."""
-        seen: dict[str, None] = {}
-        for edge in self._edges:
-            seen.setdefault(edge.label, None)
-        return list(seen)
+        return list(self._edges_by_label)
 
     def label_counts(self) -> Mapping[str, int]:
-        """Number of edges per relation label."""
-        counts: dict[str, int] = {}
-        for edge in self._edges:
-            counts[edge.label] = counts.get(edge.label, 0) + 1
-        return counts
+        """Number of edges per relation label (incrementally maintained)."""
+        return dict(self._label_counts)
+
+    def label_count(self, label: str) -> int:
+        """Number of edges carrying ``label`` (O(1))."""
+        return self._label_counts.get(label, 0)
+
+    # -- integer handles ---------------------------------------------------
+
+    def handle_of(self, entity: str) -> int:
+        """The dense integer handle of ``entity`` (stable across the KB's life).
+
+        Handles let hot loops replace string keys with array indexes; they
+        are assigned in entity insertion order, so ``entity_of(handle_of(x))``
+        round-trips.
+        """
+        try:
+            return self._handles[entity]
+        except KeyError:
+            raise UnknownEntityError(entity) from None
+
+    def entity_of(self, handle: int) -> str:
+        """The entity id carrying integer ``handle``."""
+        try:
+            return self._names[handle]
+        except IndexError:
+            raise KnowledgeBaseError(f"unknown entity handle: {handle}") from None
 
     # -- interoperability --------------------------------------------------
 

@@ -12,7 +12,13 @@ provides:
   the knowledge base with some variables fixed (the start entity, optionally
   the end entity), returning all variable bindings;
 * :func:`local_count_distribution` — the grouped counts per end entity that
-  the SQL query would return, with optional ``HAVING``/``LIMIT`` pruning.
+  the SQL query would return, with optional ``HAVING``/``LIMIT`` pruning;
+* :func:`sweep_local_count_distributions` — the **batched evaluator**: the
+  pattern is compiled once (edge order, slot assignment) and a single frontier
+  expansion over the knowledge base's ``(label, orientation)`` indexes sweeps
+  every requested start entity, grouping counts by ``(start, end)``.  The
+  distributional measures of Section 4.3 use it to turn their
+  O(pairs × match) loops into one shared traversal.
 
 The evaluation deliberately mirrors instance semantics (Definition 2):
 bindings are injective and non-target variables avoid the target entities.
@@ -21,7 +27,8 @@ bindings are injective and non-target variables avoid the target entities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from functools import lru_cache
+from typing import Iterator, Mapping, Sequence
 
 from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
 from repro.errors import RelationalError
@@ -33,6 +40,9 @@ __all__ = [
     "pattern_bindings",
     "iter_pattern_bindings",
     "local_count_distribution",
+    "SweepResult",
+    "sweep_local_count_distributions",
+    "count_qualifying_end_entities",
 ]
 
 
@@ -162,42 +172,36 @@ def iter_pattern_bindings(
 
     order = _edge_order(pattern, fixed)
     binding: dict[str, str] = dict(fixed)
+    bound_entities = set(binding.values())
 
-    def satisfy(edge: PatternEdge, current: dict[str, str]) -> Iterator[dict[str, str]]:
-        source_entity = current.get(edge.source)
-        target_entity = current.get(edge.target)
-        direction = "out" if edge.directed else "any"
+    def recurse(index: int) -> Iterator[dict[str, str]]:
+        if index == len(order):
+            yield dict(binding)
+            return
+        edge = order[index]
+        source_entity = binding.get(edge.source)
+        target_entity = binding.get(edge.target)
         if source_entity is not None and target_entity is not None:
+            direction = "out" if edge.directed else "any"
             if kb.has_edge(source_entity, target_entity, edge.label, direction):
-                yield current
+                yield from recurse(index + 1)
             return
         if source_entity is not None:
-            anchor, free_variable, expected = source_entity, edge.target, "out"
+            anchor, free_variable = source_entity, edge.target
+            orientation = "out" if edge.directed else "undirected"
         else:
-            anchor, free_variable, expected = target_entity, edge.source, "in"
-        for entry in kb.neighbors(anchor):
-            if entry.label != edge.label:
+            anchor, free_variable = target_entity, edge.source
+            orientation = "in" if edge.directed else "undirected"
+        for candidate in kb.neighbor_ids(anchor, edge.label, orientation):
+            if injective and candidate in bound_entities:
                 continue
-            if edge.directed:
-                if entry.orientation != expected:
-                    continue
-            elif entry.orientation != "undirected":
-                continue
-            candidate = entry.neighbor
-            if injective and candidate in current.values():
-                continue
-            extended = dict(current)
-            extended[free_variable] = candidate
-            yield extended
+            binding[free_variable] = candidate
+            bound_entities.add(candidate)
+            yield from recurse(index + 1)
+            del binding[free_variable]
+            bound_entities.discard(candidate)
 
-    def recurse(index: int, current: dict[str, str]) -> Iterator[dict[str, str]]:
-        if index == len(order):
-            yield dict(current)
-            return
-        for extended in satisfy(order[index], current):
-            yield from recurse(index + 1, extended)
-
-    yield from recurse(0, binding)
+    yield from recurse(0)
 
 
 def pattern_bindings(
@@ -208,6 +212,503 @@ def pattern_bindings(
 ) -> list[dict[str, str]]:
     """All bindings of :func:`iter_pattern_bindings` as a list."""
     return list(iter_pattern_bindings(kb, pattern, fixed, injective))
+
+
+# ---------------------------------------------------------------------------
+# Batched evaluation (the shared-traversal evaluator of the measures layer)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepStep:
+    """One compiled step of the sweep plan.
+
+    ``anchor_slot``/``free_slot`` index the binding array.  When ``free_slot``
+    is ``None`` both endpoints are already bound and the step is a constant
+    time edge-presence check; otherwise the step expands the frontier through
+    the ``(label, orientation)`` index anchored at ``anchor_slot``.
+    """
+
+    anchor_slot: int
+    free_slot: int | None
+    label: str
+    orientation: str  # expansion: orientation from the anchor's perspective
+    check_slot: int | None = None  # check: the other bound slot
+    check_direction: str = "out"  # check: direction passed to has_edge
+
+
+@dataclass(frozen=True)
+class _SweepPlan:
+    """A pattern compiled for the batched sweep: slots, steps, end position."""
+
+    variable_names: tuple[str, ...]  # slot -> variable (slot 0 is START)
+    steps: tuple[_SweepStep, ...]
+    end_slot: int
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one batched sweep over many start entities.
+
+    Attributes:
+        counts: ``start -> end -> number of bindings`` (raw groups of the
+            Section 5.3.2 query; pairs with ``end == start`` are included and
+            left to the caller's filtering, mirroring the per-start evaluator).
+        variable_sets: when requested, ``(start, end) -> variable -> set of
+            entities`` over all bindings of the group (the ``uniq`` sets that
+            the monocount aggregate needs).
+        bindings_enumerated: total number of complete bindings produced.
+    """
+
+    counts: dict[str, dict[str, int]]
+    variable_sets: dict[tuple[str, str], dict[str, set[str]]] | None
+    bindings_enumerated: int
+
+
+@lru_cache(maxsize=4096)
+def _sweep_plan(pattern: ExplanationPattern) -> _SweepPlan:
+    """Compile ``pattern`` once: edge order, slot assignment, index probes.
+
+    Unlike :func:`_edge_order` (whose order is part of the lazy evaluator's
+    observable enumeration order), the sweep groups bindings into counts, so
+    the plan is free to order for speed: whenever an edge has both endpoints
+    bound it is emitted immediately as a constant-time check, filtering
+    partial bindings before any further frontier expansion.
+    """
+    remaining = sorted(pattern.edges, key=lambda edge: edge.key())
+    bound = {START}
+    order: list[PatternEdge] = []
+    while remaining:
+        emitted = True
+        while emitted:
+            emitted = False
+            for index, edge in enumerate(remaining):
+                if edge.source in bound and edge.target in bound:
+                    order.append(remaining.pop(index))
+                    emitted = True
+                    break
+        if not remaining:
+            break
+        for index, edge in enumerate(remaining):
+            if edge.source in bound or edge.target in bound:
+                bound.add(edge.source)
+                bound.add(edge.target)
+                order.append(remaining.pop(index))
+                break
+        else:
+            raise RelationalError(
+                "pattern is not connected to the fixed variables; cannot evaluate"
+            )
+    slots: dict[str, int] = {START: 0}
+    names: list[str] = [START]
+    steps: list[_SweepStep] = []
+
+    def slot_of(variable: str) -> int:
+        slot = slots.get(variable)
+        if slot is None:
+            slot = slots[variable] = len(names)
+            names.append(variable)
+        return slot
+
+    for edge in order:
+        source_bound = edge.source in slots
+        target_bound = edge.target in slots
+        if source_bound and target_bound:
+            steps.append(
+                _SweepStep(
+                    anchor_slot=slots[edge.source],
+                    free_slot=None,
+                    label=edge.label,
+                    orientation="",
+                    check_slot=slots[edge.target],
+                    check_direction="out" if edge.directed else "any",
+                )
+            )
+        elif source_bound:
+            anchor = slots[edge.source]
+            steps.append(
+                _SweepStep(
+                    anchor_slot=anchor,
+                    free_slot=slot_of(edge.target),
+                    label=edge.label,
+                    orientation="out" if edge.directed else "undirected",
+                )
+            )
+        else:
+            anchor = slots[edge.target]
+            steps.append(
+                _SweepStep(
+                    anchor_slot=anchor,
+                    free_slot=slot_of(edge.source),
+                    label=edge.label,
+                    orientation="in" if edge.directed else "undirected",
+                )
+            )
+    end_slot = slots.get(END)
+    if end_slot is None:
+        raise RelationalError("the pattern does not constrain the end variable")
+    return _SweepPlan(tuple(names), tuple(steps), end_slot)
+
+
+def sweep_local_count_distributions(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    start_entities: Sequence[str] | None = None,
+    collect_variable_sets: bool = False,
+) -> SweepResult:
+    """Evaluate the local-distribution query for many start entities at once.
+
+    Semantically equivalent to running ``iter_pattern_bindings(kb, pattern,
+    {START: s})`` for every ``s`` and grouping the bindings by ``(s, end)``,
+    but the pattern is compiled once (:func:`_sweep_plan`, cached), bindings
+    live in a flat slot array, and every candidate step is answered by the
+    knowledge base's ``(label, orientation)`` index — no per-start setup, no
+    per-binding dict copies.  This is the evaluator behind the distributional
+    measures (Section 4.3) and the unpruned Figure 11 scenarios.
+
+    Args:
+        kb: the knowledge base.
+        pattern: the explanation pattern (conjunctive query).
+        start_entities: start entities to sweep; ``None`` sweeps every entity.
+        collect_variable_sets: also gather per-``(start, end)`` per-variable
+            entity sets (needed by the monocount aggregate).
+
+    Returns:
+        A :class:`SweepResult`; starts absent from the knowledge base simply
+        contribute no groups, matching the per-start evaluator.
+    """
+    plan = _sweep_plan(pattern)
+    steps = plan.steps
+    num_steps = len(steps)
+    last_step = num_steps - 1
+    end_slot = plan.end_slot
+    names = plan.variable_names
+    counts: dict[str, dict[str, int]] = {}
+    variable_sets: dict[tuple[str, str], dict[str, set[str]]] | None = (
+        {} if collect_variable_sets else None
+    )
+    bindings_enumerated = 0
+
+    binding: list[str] = [""] * len(names)
+    used: set[str] = set()
+    label_index = kb._label_index  # noqa: SLF001 - same-subsystem hot path
+    has_edge = kb.has_edge
+
+    def run_full(index: int, per_start: dict[str, int], start: str) -> None:
+        """General recursion: complete bindings, per-variable entity sets."""
+        nonlocal bindings_enumerated
+        if index == num_steps:
+            bindings_enumerated += 1
+            end = binding[end_slot]
+            per_start[end] = per_start.get(end, 0) + 1
+            group = variable_sets.get((start, end))
+            if group is None:
+                group = variable_sets[(start, end)] = {name: set() for name in names}
+            for name, entity in zip(names, binding):
+                group[name].add(entity)
+            return
+        step = steps[index]
+        if step.free_slot is None:
+            if has_edge(
+                binding[step.anchor_slot],
+                binding[step.check_slot],
+                step.label,
+                step.check_direction,
+            ):
+                run_full(index + 1, per_start, start)
+            return
+        free_slot = step.free_slot
+        for candidate in label_index[binding[step.anchor_slot]].get(
+            (step.label, step.orientation), ()
+        ):
+            if candidate in used:
+                continue
+            binding[free_slot] = candidate
+            used.add(candidate)
+            run_full(index + 1, per_start, start)
+            used.discard(candidate)
+
+    edge_presence = kb._edge_presence  # noqa: SLF001 - same-subsystem hot path
+
+    def run_count(
+        index: int,
+        per_start: dict[str, int],
+        # Bound as defaults so the recursion reads locals, not closure cells.
+        steps: tuple = steps,
+        binding: list = binding,
+        used: set = used,
+        label_index: dict = label_index,
+        edge_presence: set = edge_presence,
+        num_steps: int = num_steps,
+        last_step: int = last_step,
+        end_slot: int = end_slot,
+    ) -> None:
+        """Count-only recursion; the last step is counted, not expanded.
+
+        Consecutive edge-presence checks are folded into one frame (they are
+        pass-through filters), and the deepest expansion level is closed with
+        arithmetic on the index rows instead of one recursive call, set insert
+        and set discard per leaf — the bulk of the backtracking tree lives
+        there, which is what makes the batched sweep scale to Figure 11's
+        many-start workloads.
+        """
+        nonlocal bindings_enumerated
+        step = steps[index]
+        while step.free_slot is None:
+            source = binding[step.anchor_slot]
+            target = binding[step.check_slot]
+            label = step.label
+            if (source, target, label, "undirected") not in edge_presence:
+                if step.check_direction == "out":
+                    if (source, target, label, "out") not in edge_presence:
+                        return
+                elif (source, target, label, "out") not in edge_presence and (
+                    source,
+                    target,
+                    label,
+                    "in",
+                ) not in edge_presence:
+                    return
+            index += 1
+            if index == num_steps:
+                bindings_enumerated += 1
+                end = binding[end_slot]
+                per_start[end] = per_start.get(end, 0) + 1
+                return
+            step = steps[index]
+        row = label_index[binding[step.anchor_slot]].get(
+            (step.label, step.orientation), ()
+        )
+        if not row:
+            return
+        free_slot = step.free_slot
+        if index == last_step:
+            if free_slot == end_slot:
+                for candidate in row:
+                    if candidate not in used:
+                        bindings_enumerated += 1
+                        per_start[candidate] = per_start.get(candidate, 0) + 1
+            else:
+                valid = 0
+                for candidate in row:
+                    if candidate not in used:
+                        valid += 1
+                if valid:
+                    bindings_enumerated += valid
+                    end = binding[end_slot]
+                    per_start[end] = per_start.get(end, 0) + valid
+            return
+        next_index = index + 1
+        leaf = steps[next_index]
+        if next_index == last_step and leaf.free_slot is not None:
+            # Fuse the two deepest expansion levels into this frame: for
+            # typical 2-3 step plans this leaves one Python frame per start.
+            leaf_free = leaf.free_slot
+            leaf_is_end = leaf_free == end_slot
+            leaf_anchor = leaf.anchor_slot
+            leaf_key = (leaf.label, leaf.orientation)
+            for candidate in row:
+                if candidate in used:
+                    continue
+                binding[free_slot] = candidate
+                used.add(candidate)
+                leaf_row = label_index[binding[leaf_anchor]].get(leaf_key, ())
+                if leaf_row:
+                    if leaf_is_end:
+                        for end in leaf_row:
+                            if end not in used:
+                                bindings_enumerated += 1
+                                per_start[end] = per_start.get(end, 0) + 1
+                    else:
+                        valid = 0
+                        for leaf_candidate in leaf_row:
+                            if leaf_candidate not in used:
+                                valid += 1
+                        if valid:
+                            bindings_enumerated += valid
+                            end = binding[end_slot]
+                            per_start[end] = per_start.get(end, 0) + valid
+                used.discard(candidate)
+            return
+        for candidate in row:
+            if candidate in used:
+                continue
+            binding[free_slot] = candidate
+            used.add(candidate)
+            run_count(next_index, per_start)
+            used.discard(candidate)
+
+    starts: Sequence[str] = (
+        kb.entities if start_entities is None else start_entities
+    )
+    for start in starts:
+        # Each distinct start is evaluated once; a duplicated entry in
+        # ``start_entities`` must not double its groups or binding count.
+        if start in counts or not kb.has_entity(start):
+            continue
+        binding[0] = start
+        used.clear()
+        used.add(start)
+        per_start = counts[start] = {}
+        if variable_sets is None:
+            run_count(0, per_start)
+        else:
+            run_full(0, per_start, start)
+        if not per_start:
+            del counts[start]
+    return SweepResult(counts, variable_sets, bindings_enumerated)
+
+
+def count_qualifying_end_entities(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    v_start: str,
+    threshold: float,
+    exclude_end: str | None = None,
+    bound: int | None = None,
+) -> tuple[int, bool, int]:
+    """Count end entities whose group count exceeds ``threshold``, with LIMIT.
+
+    The compiled, early-terminating form of the Section 5.3.2 position query
+    (``HAVING count > c ... LIMIT p``) used by the pruned ranking scenarios:
+    evaluation aborts as soon as more than ``bound`` qualifying end entities
+    are known, because the caller only needs to learn that the candidate
+    cannot enter the current top-k.
+
+    Returns:
+        ``(qualifying, exact, bindings_enumerated)`` where ``exact`` is
+        ``False`` when evaluation stopped at the bound (``qualifying`` is then
+        a lower bound that already exceeds ``bound``).
+
+    The traversal below deliberately mirrors ``run_count`` inside
+    :func:`sweep_local_count_distributions` (check-step folding, fused leaf
+    levels) with abort plumbing threaded through; any change to one must be
+    applied to the other — ``tests/test_indexed_equivalence.py`` pins their
+    agreement on random knowledge bases.
+    """
+    if not kb.has_entity(v_start):
+        return (0, True, 0)
+    plan = _sweep_plan(pattern)
+    steps = plan.steps
+    num_steps = len(steps)
+    last_step = num_steps - 1
+    end_slot = plan.end_slot
+    binding: list[str] = [""] * len(plan.variable_names)
+    binding[0] = v_start
+    used = {v_start}
+    label_index = kb._label_index  # noqa: SLF001 - same-subsystem hot path
+    edge_presence = kb._edge_presence  # noqa: SLF001
+    counts: dict[str, int] = {}
+    qualifying: set[str] = set()
+    bindings_enumerated = 0
+
+    def group(end: str, additional: int) -> bool:
+        """Fold ``additional`` bindings into ``end``'s group; True = abort."""
+        nonlocal bindings_enumerated
+        bindings_enumerated += additional
+        if end == v_start or end == exclude_end:
+            return False
+        total = counts.get(end, 0) + additional
+        counts[end] = total
+        if total > threshold:
+            qualifying.add(end)
+            if bound is not None and len(qualifying) > bound:
+                return True
+        return False
+
+    def rec(
+        index: int,
+        steps: tuple = steps,
+        binding: list = binding,
+        used: set = used,
+        label_index: dict = label_index,
+        edge_presence: set = edge_presence,
+        num_steps: int = num_steps,
+        last_step: int = last_step,
+        end_slot: int = end_slot,
+    ) -> bool:
+        step = steps[index]
+        while step.free_slot is None:
+            source = binding[step.anchor_slot]
+            target = binding[step.check_slot]
+            label = step.label
+            if (source, target, label, "undirected") not in edge_presence:
+                if step.check_direction == "out":
+                    if (source, target, label, "out") not in edge_presence:
+                        return False
+                elif (source, target, label, "out") not in edge_presence and (
+                    source,
+                    target,
+                    label,
+                    "in",
+                ) not in edge_presence:
+                    return False
+            index += 1
+            if index == num_steps:
+                return group(binding[end_slot], 1)
+            step = steps[index]
+        row = label_index[binding[step.anchor_slot]].get(
+            (step.label, step.orientation), ()
+        )
+        if not row:
+            return False
+        free_slot = step.free_slot
+        if index == last_step:
+            if free_slot == end_slot:
+                for candidate in row:
+                    if candidate not in used and group(candidate, 1):
+                        return True
+                return False
+            valid = sum(1 for candidate in row if candidate not in used)
+            if valid:
+                return group(binding[end_slot], valid)
+            return False
+        next_index = index + 1
+        leaf = steps[next_index]
+        if next_index == last_step and leaf.free_slot is not None:
+            # Same two-deepest-level fusion as the batched sweep.
+            leaf_free = leaf.free_slot
+            leaf_is_end = leaf_free == end_slot
+            leaf_anchor = leaf.anchor_slot
+            leaf_key = (leaf.label, leaf.orientation)
+            for candidate in row:
+                if candidate in used:
+                    continue
+                binding[free_slot] = candidate
+                used.add(candidate)
+                stop = False
+                leaf_row = label_index[binding[leaf_anchor]].get(leaf_key, ())
+                if leaf_row:
+                    if leaf_is_end:
+                        for end in leaf_row:
+                            if end not in used and group(end, 1):
+                                stop = True
+                                break
+                    else:
+                        valid = sum(
+                            1
+                            for leaf_candidate in leaf_row
+                            if leaf_candidate not in used
+                        )
+                        if valid:
+                            stop = group(binding[end_slot], valid)
+                used.discard(candidate)
+                if stop:
+                    return True
+            return False
+        for candidate in row:
+            if candidate in used:
+                continue
+            binding[free_slot] = candidate
+            used.add(candidate)
+            stop = rec(next_index)
+            used.discard(candidate)
+            if stop:
+                return True
+        return False
+
+    aborted = rec(0)
+    return (len(qualifying), not aborted, bindings_enumerated)
 
 
 def local_count_distribution(

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.explanation import Explanation
 from repro.core.pattern import END, START, ExplanationPattern
 from repro.errors import MeasureError
 from repro.kb.graph import KnowledgeBase
-from repro.kb.sql import iter_pattern_bindings
+from repro.kb.sql import sweep_local_count_distributions
 from repro.measures.base import Measure, Monotonicity
 
 __all__ = [
@@ -46,7 +48,10 @@ class Distribution:
     """A distribution of aggregate values over entity pairs.
 
     Stored in the paper's form ``{(a_i, c_i)}``: ``a_i`` is an aggregate value
-    and ``c_i`` the number of entity pairs attaining it.
+    and ``c_i`` the number of entity pairs attaining it.  Positional queries
+    run in O(log n) against a precomputed suffix-count table and the moments
+    are computed once and cached, so ranking loops that probe the same
+    distribution many times pay O(n) only on first use.
     """
 
     value_counts: tuple[tuple[float, int], ...]
@@ -58,37 +63,52 @@ class Distribution:
             counts[value] = counts.get(value, 0) + 1
         return cls(tuple(sorted(counts.items())))
 
-    @property
+    @cached_property
+    def _values(self) -> tuple[float, ...]:
+        """The distinct aggregate values, ascending (bisect substrate)."""
+        return tuple(observed for observed, _ in self.value_counts)
+
+    @cached_property
+    def _suffix_counts(self) -> tuple[int, ...]:
+        """``_suffix_counts[i]`` = number of pairs with value >= values[i]."""
+        suffix: list[int] = [0] * (len(self.value_counts) + 1)
+        for index in range(len(self.value_counts) - 1, -1, -1):
+            suffix[index] = suffix[index + 1] + self.value_counts[index][1]
+        return tuple(suffix)
+
+    @cached_property
     def total_pairs(self) -> int:
-        return sum(count for _, count in self.value_counts)
+        return self._suffix_counts[0] if self.value_counts else 0
 
     def position(self, value: float) -> int:
         """Number of pairs with aggregate strictly greater than ``value``."""
-        return sum(count for observed, count in self.value_counts if observed > value)
+        return self._suffix_counts[bisect_right(self._values, value)]
 
-    def mean(self) -> float:
+    @cached_property
+    def _moments(self) -> tuple[float, float]:
+        """Cached ``(mean, standard deviation)`` of the distribution."""
         total = self.total_pairs
         if total == 0:
-            return 0.0
-        return sum(observed * count for observed, count in self.value_counts) / total
-
-    def standard_deviation(self) -> float:
-        total = self.total_pairs
-        if total == 0:
-            return 0.0
-        mean = self.mean()
+            return (0.0, 0.0)
+        mean = sum(observed * count for observed, count in self.value_counts) / total
         variance = (
             sum(count * (observed - mean) ** 2 for observed, count in self.value_counts)
             / total
         )
-        return math.sqrt(variance)
+        return (mean, math.sqrt(variance))
+
+    def mean(self) -> float:
+        return self._moments[0]
+
+    def standard_deviation(self) -> float:
+        return self._moments[1]
 
     def z_score(self, value: float) -> float:
         """How many standard deviations ``value`` sits above the mean."""
-        deviation = self.standard_deviation()
+        mean, deviation = self._moments
         if deviation == 0.0:
             return 0.0
-        return (value - self.mean()) / deviation
+        return (value - mean) / deviation
 
     def merged_with(self, other: "Distribution") -> "Distribution":
         """Pool two distributions (used to estimate the global distribution)."""
@@ -126,22 +146,41 @@ def local_aggregate_distribution(
 
     One pass over all bindings with the start variable fixed (the conjunctive
     query of Section 5.3.2) is grouped by end entity; each group is reduced to
-    its aggregate (count or monocount).
+    its aggregate (count or monocount).  Evaluation goes through the batched
+    sweep evaluator, so the pattern's compiled plan is shared with every other
+    start entity this pattern is evaluated for.
     """
-    instance_counts: dict[str, int] = {}
-    per_variable: dict[str, dict[str, set[str]]] = {}
-    for binding in iter_pattern_bindings(kb, pattern, {START: v_start}):
-        end_entity = binding[END]
-        if end_entity == v_start:
-            continue
-        instance_counts[end_entity] = instance_counts.get(end_entity, 0) + 1
-        variable_sets = per_variable.setdefault(end_entity, {})
-        for variable, entity in binding.items():
-            variable_sets.setdefault(variable, set()).add(entity)
-    return {
-        end_entity: _aggregate_from_group(per_variable[end_entity], count, aggregate)
-        for end_entity, count in instance_counts.items()
-    }
+    return _sweep_aggregates(kb, pattern, (v_start,), aggregate).get(v_start, {})
+
+
+def _sweep_aggregates(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    start_entities: "tuple[str, ...] | list[str]",
+    aggregate: str,
+) -> dict[str, dict[str, float]]:
+    """Per-start local aggregate distributions from one batched sweep."""
+    result = sweep_local_count_distributions(
+        kb,
+        pattern,
+        start_entities,
+        collect_variable_sets=aggregate != "count",
+    )
+    distributions: dict[str, dict[str, float]] = {}
+    for start_entity, per_end in result.counts.items():
+        values: dict[str, float] = {}
+        for end_entity, count in per_end.items():
+            if end_entity == start_entity:
+                continue
+            if aggregate == "count":
+                values[end_entity] = float(count)
+            else:
+                values[end_entity] = _aggregate_from_group(
+                    result.variable_sets[(start_entity, end_entity)], count, aggregate
+                )
+        if values:
+            distributions[start_entity] = values
+    return distributions
 
 
 class LocalDistributionMeasure(Measure):
@@ -208,14 +247,19 @@ class GlobalDistributionMeasure(Measure):
     def distribution(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str
     ) -> Distribution:
-        """Estimate of the global distribution pooled over sampled start entities."""
-        pooled = Distribution(())
-        for sampled_start in self._sample_starts(kb, v_start):
-            values = local_aggregate_distribution(
-                kb, explanation.pattern, sampled_start, self.aggregate
-            )
-            pooled = pooled.merged_with(Distribution.from_values(list(values.values())))
-        return pooled
+        """Estimate of the global distribution pooled over sampled start entities.
+
+        All sampled local distributions come from **one** batched sweep of the
+        pattern (one compiled plan, one shared frontier expansion) instead of
+        one matcher run per sampled start entity.
+        """
+        per_start = _sweep_aggregates(
+            kb, explanation.pattern, self._sample_starts(kb, v_start), self.aggregate
+        )
+        pooled_values: list[float] = []
+        for values in per_start.values():
+            pooled_values.extend(values.values())
+        return Distribution.from_values(pooled_values)
 
     def raw_value(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str

@@ -24,13 +24,13 @@ benchmarks can quantify its benefit (Figure 11).
 from __future__ import annotations
 
 import random
+from bisect import insort
 from dataclasses import dataclass
 
 from repro.core.explanation import Explanation
-from repro.core.pattern import END, START
 from repro.errors import RankingError
 from repro.kb.graph import KnowledgeBase
-from repro.kb.sql import iter_pattern_bindings
+from repro.kb.sql import count_qualifying_end_entities, sweep_local_count_distributions
 from repro.measures.aggregate import CountMeasure
 from repro.ranking.general import RankedExplanation, RankingResult, _sort_key
 
@@ -61,20 +61,15 @@ def _position_for_start(
     that is already larger than the pruning bound, which is all the caller
     needs to discard the candidate.
     """
-    counts: dict[str, int] = {}
-    qualifying: set[str] = set()
-    bindings = 0
-    for binding in iter_pattern_bindings(kb, explanation.pattern, {START: start_entity}):
-        bindings += 1
-        end_entity = binding[END]
-        if end_entity == start_entity or end_entity == exclude_end:
-            continue
-        counts[end_entity] = counts.get(end_entity, 0) + 1
-        if counts[end_entity] > own_count:
-            qualifying.add(end_entity)
-            if bound is not None and len(qualifying) > bound:
-                return PositionComputation(len(qualifying), False, bindings)
-    return PositionComputation(len(qualifying), True, bindings)
+    qualifying, exact, bindings = count_qualifying_end_entities(
+        kb,
+        explanation.pattern,
+        start_entity,
+        own_count,
+        exclude_end=exclude_end,
+        bound=bound,
+    )
+    return PositionComputation(qualifying, exact, bindings)
 
 
 def _rank_by_position(
@@ -103,25 +98,41 @@ def _rank_by_position(
             bound = int(-scored[k - 1].value)
         position = 0
         exact = True
-        for start_entity in start_entities_for(explanation):
-            exclude_end = v_end if start_entity == v_start else None
-            remaining_bound = None if bound is None else bound - position
-            if remaining_bound is not None and remaining_bound < 0:
-                exact = False
-                break
-            outcome = _position_for_start(
-                kb, explanation, start_entity, own_count, exclude_end, remaining_bound
+        start_entities = start_entities_for(explanation)
+        if bound is None:
+            # No pruning bound applies: evaluate every start entity in one
+            # batched sweep (the pattern is compiled once and the traversal
+            # shared) instead of one matcher run per start.
+            sweep = sweep_local_count_distributions(
+                kb, explanation.pattern, start_entities
             )
-            total_bindings += outcome.bindings_enumerated
-            position += outcome.position
-            if not outcome.exact:
-                exact = False
-                break
+            total_bindings += sweep.bindings_enumerated
+            for start_entity, per_end in sweep.counts.items():
+                exclude_end = v_end if start_entity == v_start else None
+                for end_entity, count in per_end.items():
+                    if end_entity == start_entity or end_entity == exclude_end:
+                        continue
+                    if count > own_count:
+                        position += 1
+        else:
+            for start_entity in start_entities:
+                exclude_end = v_end if start_entity == v_start else None
+                remaining_bound = bound - position
+                if remaining_bound < 0:
+                    exact = False
+                    break
+                outcome = _position_for_start(
+                    kb, explanation, start_entity, own_count, exclude_end, remaining_bound
+                )
+                total_bindings += outcome.bindings_enumerated
+                position += outcome.position
+                if not outcome.exact:
+                    exact = False
+                    break
         if not exact and bound is not None and position > bound:
             pruned_out += 1
             continue
-        scored.append(RankedExplanation(explanation, float(-position)))
-        scored.sort(key=_sort_key)
+        insort(scored, RankedExplanation(explanation, float(-position)), key=_sort_key)
 
     return RankingResult(
         ranked=scored[:k],
