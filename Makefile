@@ -1,12 +1,31 @@
-# Convenience entry points; see docs/performance.md for the benchmark story.
+# Convenience entry points; see docs/performance.md for the benchmark story
+# and docs/serving.md for the explanation-serving subsystem.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-core bench-smoke bench-check
+.PHONY: test bench bench-core bench-smoke bench-check \
+	serve serve-smoke bench-service bench-service-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Boot the HTTP/JSON explanation server on the demo KB (blocking).
+serve:
+	$(PYTHON) -m repro.cli serve --demo --warmup
+
+# CI smoke: boot on an ephemeral port, hit /healthz + one /explain, shut down.
+serve-smoke:
+	$(PYTHON) -m repro.cli serve --demo --smoke --warmup
+
+# Serving-layer benchmark; writes BENCH_pr2.json (cold vs warm throughput).
+bench-service:
+	$(PYTHON) -m benchmarks --service-only --output BENCH_pr2.json
+
+# Fresh serving run checked against the committed record (>2x fails).
+bench-service-check:
+	$(PYTHON) -m benchmarks --service-only \
+		--output bench_service_fresh.json --check BENCH_pr2.json
 
 # Full benchmark suite; writes BENCH_pr1.json (paper-sized fig11 sampling).
 bench:

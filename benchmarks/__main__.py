@@ -25,8 +25,21 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The default selection: every figure/table benchmark in this directory.
-DEFAULT_SELECTION = ["benchmarks"]
+#: The serving-layer benchmark (PR 2, records into BENCH_pr2.json).
+SERVICE_SELECTION = ["benchmarks/bench_service_throughput.py"]
+#: The default selection: every figure/table benchmark in this directory,
+#: listed explicitly — ``bench_*.py`` does not match pytest's default
+#: ``test_*.py`` collection pattern, so a bare directory argument collects
+#: nothing.  The serving-layer benchmark is excluded: it records into
+#: BENCH_pr2.json (run it with ``--service-only``), and folding it into a
+#: figure run would pollute BENCH_pr1.json and subject the run to its
+#: warm/cold assertions.
+_SERVICE_FILES = {Path(entry).name for entry in SERVICE_SELECTION}
+DEFAULT_SELECTION = sorted(
+    path.relative_to(REPO_ROOT).as_posix()
+    for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    if path.name not in _SERVICE_FILES
+)
 #: The benchmarks the PR-1 performance work targets (and CI gates on).
 CORE_SELECTION = [
     "benchmarks/bench_fig7_enumeration.py",
@@ -109,10 +122,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small env knobs (1 pair per bucket, 5 global samples) for CI",
     )
-    parser.add_argument(
+    subset = parser.add_mutually_exclusive_group()
+    subset.add_argument(
         "--core-only",
         action="store_true",
         help="run only the fig7/fig11 benchmarks the perf work targets",
+    )
+    subset.add_argument(
+        "--service-only",
+        action="store_true",
+        help="run only the serving-layer throughput benchmark (BENCH_pr2.json)",
     )
     parser.add_argument(
         "selection",
@@ -137,9 +156,14 @@ def main(argv: list[str] | None = None) -> int:
 
     import pytest
 
-    selection = args.selection or (
-        CORE_SELECTION if args.core_only else DEFAULT_SELECTION
-    )
+    if args.selection:
+        selection = args.selection
+    elif args.core_only:
+        selection = CORE_SELECTION
+    elif args.service_only:
+        selection = SERVICE_SELECTION
+    else:
+        selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])
     if exit_code != 0:
         return int(exit_code)

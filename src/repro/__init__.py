@@ -54,10 +54,34 @@ from repro.measures.base import Measure
 from repro.ranking.general import RankedExplanation, RankingResult, rank_explanations
 from repro.ranking.topk import rank_topk_anti_monotonic
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def validate_k(k: object) -> int:
+    """Reject ``k`` values the ranking layer cannot honour.
+
+    The single source of truth for ``k`` validity, shared by the :class:`Rex`
+    facade and the serving engine so their error behaviour cannot diverge.
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+        raise RexError(f"k must be a positive integer, got {k!r}")
+    return k
+
+
+def validate_size_limit(size_limit: object) -> int:
+    """Reject size limits the enumeration layer cannot honour (< 2 nodes)."""
+    if not isinstance(size_limit, int) or isinstance(size_limit, bool) or size_limit < 2:
+        raise RexError(
+            f"size_limit must be an integer >= 2 (the start and end variables), "
+            f"got {size_limit!r}"
+        )
+    return size_limit
+
 
 __all__ = [
     "Rex",
+    "validate_k",
+    "validate_size_limit",
     "KnowledgeBase",
     "Schema",
     "Explanation",
@@ -101,7 +125,7 @@ class Rex:
 
     def __init__(self, kb: KnowledgeBase, size_limit: int = DEFAULT_SIZE_LIMIT) -> None:
         self.kb = kb
-        self.size_limit = size_limit
+        self.size_limit = validate_size_limit(size_limit)
         self._measures = default_measures()
 
     def measures(self) -> dict[str, Measure]:
@@ -110,6 +134,8 @@ class Rex:
 
     def enumerate(self, v_start: str, v_end: str, size_limit: int | None = None) -> EnumerationResult:
         """All minimal explanations for the pair (Section 3)."""
+        if size_limit is not None:
+            size_limit = validate_size_limit(size_limit)
         return enumerate_explanations(
             self.kb, v_start, v_end, size_limit=size_limit or self.size_limit
         )
@@ -131,7 +157,16 @@ class Rex:
                 or a :class:`Measure` instance.
             k: how many explanations to return.
             size_limit: optional override of the pattern size limit.
+
+        Raises:
+            RexError: for an unknown measure name, a non-positive ``k`` or a
+                size limit below 2 — rejected here at the facade boundary so
+                callers get a clear message instead of a silent empty result
+                or a deep stack trace.
         """
+        validate_k(k)
+        if size_limit is not None:
+            size_limit = validate_size_limit(size_limit)
         if isinstance(measure, str):
             try:
                 measure = self._measures[measure]

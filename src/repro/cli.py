@@ -1,4 +1,4 @@
-"""Command-line interface: explain a pair of entities from a knowledge base.
+"""Command-line interface: explain a pair of entities, or serve explanations.
 
 Usage examples::
 
@@ -8,34 +8,37 @@ Usage examples::
     # run against a TSV edge list with a specific measure and k
     rex-explain --kb edges.tsv --measure local-dist --top 5 alice bob
 
+    # boot the HTTP/JSON explanation server on the demo KB, warmed up
+    rex-explain serve --demo --warmup --port 8080
+
+    # one-shot smoke check: boot, hit /healthz and /explain, shut down
+    rex-explain serve --demo --smoke
+
 The CLI is intentionally thin: it loads a knowledge base, invokes the same
-:class:`repro.Rex` facade the examples use, and pretty-prints the result.
+:class:`repro.Rex` facade (or :mod:`repro.service` engine) the examples use,
+and pretty-prints the result.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import urllib.request
 from pathlib import Path
 
 from repro import Rex
 from repro.datasets.entertainment import small_entertainment_kb
-from repro.datasets.paper_example import paper_example_kb
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
 from repro.errors import RexError
 from repro.kb.io import load_json, load_tsv
 from repro.measures import default_measures
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_serve_parser", "main", "serve_main"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The argument parser for ``rex-explain``."""
-    parser = argparse.ArgumentParser(
-        prog="rex-explain",
-        description="Explain why two entities of a knowledge base are related (REX, VLDB 2011).",
-    )
-    parser.add_argument("v_start", help="the entity the user searched for")
-    parser.add_argument("v_end", help="the related entity to explain")
+def _add_kb_source_arguments(parser: argparse.ArgumentParser) -> None:
+    """The mutually exclusive KB source flags shared by both subcommands."""
     source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--kb",
@@ -52,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the bundled synthetic entertainment knowledge base",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``rex-explain``."""
+    parser = argparse.ArgumentParser(
+        prog="rex-explain",
+        description="Explain why two entities of a knowledge base are related (REX, VLDB 2011).",
+    )
+    parser.add_argument("v_start", help="the entity the user searched for")
+    parser.add_argument("v_end", help="the related entity to explain")
+    _add_kb_source_arguments(parser)
     parser.add_argument(
         "--measure",
         default="size+monocount",
@@ -74,6 +88,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``serve`` subcommand (``rex-serve``)."""
+    parser = argparse.ArgumentParser(
+        prog="rex-serve",
+        description=(
+            "Serve relationship explanations over an HTTP/JSON API "
+            "(GET /explain, POST /explain/batch, GET /healthz, GET /metrics, "
+            "POST /kb/edges)."
+        ),
+    )
+    _add_kb_source_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks an ephemeral port; default: 8080)",
+    )
+    parser.add_argument(
+        "--size-limit",
+        type=int,
+        default=5,
+        help="default pattern size limit for requests (paper default: 5)",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=2048,
+        help="maximum number of cached rankings (default: 2048)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="optional TTL in seconds for cached rankings (default: no TTL)",
+    )
+    parser.add_argument(
+        "--warmup",
+        action="store_true",
+        help="precompute the paper's user-study pairs (PAPER_PAIRS) at startup",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "boot on an ephemeral port, request /healthz and one /explain, "
+            "print both responses and exit (used by `make serve-smoke`)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    return parser
+
+
 def _load_kb(args: argparse.Namespace):
     if args.kb is not None:
         suffix = args.kb.suffix.lower()
@@ -85,8 +154,96 @@ def _load_kb(args: argparse.Namespace):
     return paper_example_kb()
 
 
+def _run_smoke(engine, verbose: bool) -> int:
+    """Boot an ephemeral server, hit /healthz and one /explain, shut down."""
+    from repro.service import create_server, run_in_thread
+
+    server = create_server(engine, port=0, verbose=False)
+    run_in_thread(server)
+    try:
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as response:
+            health = json.load(response)
+        print(f"GET /healthz -> {json.dumps(health, sort_keys=True)}")
+        if health.get("status") != "ok":
+            print("error: /healthz did not report status ok", file=sys.stderr)
+            return 1
+        pair = next(
+            (
+                (start, end)
+                for start, end in PAPER_PAIRS
+                if engine.kb.has_entity(start) and engine.kb.has_entity(end)
+            ),
+            None,
+        )
+        if pair is None:
+            print("error: no smoke pair found in the knowledge base", file=sys.stderr)
+            return 1
+        # no k override: with --warmup the default-k entry is already cached
+        query = f"/explain?start={pair[0]}&end={pair[1]}"
+        with urllib.request.urlopen(server.url + query, timeout=30) as response:
+            explained = json.load(response)
+        print(
+            f"GET {query} -> {explained['num_results']} results, "
+            f"cached={explained['cached']}, kb_version={explained['kb_version']}"
+        )
+        if verbose and explained["results"]:
+            top = explained["results"][0]
+            print(f"top explanation (score={top['score']:g}):")
+            print(top["explanation"]["pattern"]["text"])
+        print("serve smoke: OK")
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``serve`` subcommand; returns an exit code."""
+    from repro.service import ExplanationEngine, serve
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        kb = _load_kb(args)
+        if args.smoke:
+            engine = ExplanationEngine(
+                kb,
+                size_limit=args.size_limit,
+                cache_capacity=args.cache_capacity,
+                cache_ttl=args.cache_ttl,
+            )
+            if args.warmup:
+                engine.warmup(PAPER_PAIRS)
+            return _run_smoke(engine, verbose=not args.quiet)
+        serve(
+            kb,
+            host=args.host,
+            port=args.port,
+            size_limit=args.size_limit,
+            cache_capacity=args.cache_capacity,
+            cache_ttl=args.cache_ttl,
+            warmup_pairs=PAPER_PAIRS if args.warmup else None,
+            verbose=not args.quiet,
+        )
+    except (RexError, ValueError, OverflowError, OSError) as error:
+        # RexError: bad --size-limit; ValueError: bad cache knobs;
+        # OverflowError: --port outside 0-65535; OSError: unreadable KB
+        # file or port already in use
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    ``rex-explain serve ...`` dispatches to the serving subcommand; anything
+    else is the classic one-shot explain flow.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

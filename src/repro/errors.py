@@ -23,6 +23,12 @@ class UnknownEntityError(KnowledgeBaseError):
         super().__init__(f"unknown entity: {entity!r}")
         self.entity = entity
 
+    def __reduce__(self):
+        # default exception reduction re-calls __init__ with args (the
+        # formatted message), double-wrapping it; copy/pickle must rebuild
+        # from the original constructor argument
+        return (type(self), (self.entity,))
+
 
 class UnknownRelationError(KnowledgeBaseError):
     """Raised when a relation label is not declared in the schema."""
@@ -30,6 +36,9 @@ class UnknownRelationError(KnowledgeBaseError):
     def __init__(self, relation: str) -> None:
         super().__init__(f"unknown relation label: {relation!r}")
         self.relation = relation
+
+    def __reduce__(self):
+        return (type(self), (self.relation,))
 
 
 class PatternError(RexError):

@@ -178,12 +178,7 @@ class KnowledgeBase:
         Returns:
             The :class:`Edge` that was added (or the existing identical edge).
         """
-        if not label:
-            raise KnowledgeBaseError("edge label must be a non-empty string")
-        if source == target:
-            raise KnowledgeBaseError(
-                f"self-loops are not part of the REX data model: {source!r}"
-            )
+        self.validate_edge_args(source, target, label, directed)
         if directed is None:
             if self.schema.has_relation(label):
                 directed = self.schema.is_directed(label)
@@ -216,6 +211,36 @@ class KnowledgeBase:
             self._traversal_cache.pop(owner, None)
         self.version += 1
         return edge
+
+    @staticmethod
+    def validate_edge_args(
+        source: object, target: object, label: object, directed: object = None
+    ) -> None:
+        """Raise :class:`KnowledgeBaseError` if :meth:`add_edge` would reject
+        these arguments.
+
+        This is the single source of truth for edge-argument validity:
+        :meth:`add_edge` calls it before mutating anything, and batch callers
+        (e.g. the serving layer's atomic ``POST /kb/edges``) pre-validate a
+        whole batch with it so no edge is applied unless every edge passes.
+        """
+        for field, value in (("source", source), ("target", target)):
+            if not isinstance(value, str) or not value:
+                raise KnowledgeBaseError(
+                    f"edge {field} must be a non-empty entity id string, got {value!r}"
+                )
+        if not isinstance(label, str) or not label:
+            raise KnowledgeBaseError(
+                f"edge label must be a non-empty string, got {label!r}"
+            )
+        if source == target:
+            raise KnowledgeBaseError(
+                f"self-loops are not part of the REX data model: {source!r}"
+            )
+        if directed is not None and not isinstance(directed, bool):
+            raise KnowledgeBaseError(
+                f"edge directionality must be a boolean or None, got {directed!r}"
+            )
 
     def add_edges(self, edges: Iterable[tuple[str, str, str]]) -> None:
         """Bulk-add ``(source, target, label)`` triples."""

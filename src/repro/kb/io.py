@@ -28,14 +28,22 @@ def load_tsv(path: str | Path, schema: Schema | None = None) -> KnowledgeBase:
     """Load a knowledge base from a TSV edge list.
 
     Each data line must have three or four tab-separated fields:
-    ``source  label  target  [directed|undirected]``.
+    ``source  label  target  [directed|undirected]``.  Blank lines and lines
+    whose first non-whitespace character is ``#`` are skipped.  Every error
+    raised for a malformed row — wrong field count, empty field, bad
+    directionality flag, or a row the knowledge base itself rejects (e.g. a
+    self-loop) — reports the 1-based line number it came from.
     """
     kb = KnowledgeBase(schema=schema)
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         for line_number, raw_line in enumerate(handle, start=1):
-            line = raw_line.strip()
-            if not line or line.startswith("#"):
+            # only the line terminator is trimmed before splitting: a leading
+            # or trailing tab is an *empty field* that must be reported, not
+            # whitespace to strip away
+            line = raw_line.rstrip("\r\n")
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
                 continue
             fields = line.split("\t")
             if len(fields) not in (3, 4):
@@ -43,7 +51,12 @@ def load_tsv(path: str | Path, schema: Schema | None = None) -> KnowledgeBase:
                     f"{path}:{line_number}: expected 3 or 4 tab-separated fields, "
                     f"got {len(fields)}"
                 )
-            source, label, target = fields[0], fields[1], fields[2]
+            source, label, target = (field.strip() for field in fields[:3])
+            if not source or not label or not target:
+                raise KnowledgeBaseError(
+                    f"{path}:{line_number}: source, label and target must all "
+                    f"be non-empty"
+                )
             directed: bool | None = None
             if len(fields) == 4:
                 flag = fields[3].strip().lower()
@@ -53,7 +66,12 @@ def load_tsv(path: str | Path, schema: Schema | None = None) -> KnowledgeBase:
                         f"or 'undirected', got {flag!r}"
                     )
                 directed = flag == "directed"
-            kb.add_edge(source, target, label, directed)
+            try:
+                kb.add_edge(source, target, label, directed)
+            except KnowledgeBaseError as error:
+                raise KnowledgeBaseError(
+                    f"{path}:{line_number}: {error}"
+                ) from error
     return kb
 
 

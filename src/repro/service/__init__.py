@@ -1,0 +1,73 @@
+"""The explanation-serving subsystem: engine, cache, metrics, HTTP API.
+
+The library facade (:class:`repro.Rex`) answers one pair at a time; this
+package turns it into a long-lived server whose unit of work is a *request
+stream*:
+
+* :mod:`repro.service.cache` — a versioned LRU result cache; KB mutations
+  invalidate stale entries for free because the KB version is part of the key;
+* :mod:`repro.service.engine` — :class:`ExplanationEngine`, the concurrent
+  wrapper adding caching, single-flight request coalescing, live KB updates
+  and startup warmup;
+* :mod:`repro.service.metrics` — request counters and latency histograms;
+* :mod:`repro.service.serialize` — the JSON wire shapes;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer`` JSON API
+  (``/explain``, ``/explain/batch``, ``/healthz``, ``/metrics``,
+  ``/kb/edges``).
+
+Quick start::
+
+    from repro.datasets.paper_example import paper_example_kb, PAPER_PAIRS
+    from repro.service import ExplanationEngine, create_server, run_in_thread
+
+    engine = ExplanationEngine(paper_example_kb())
+    engine.warmup(PAPER_PAIRS)
+    server = create_server(engine, port=0)     # ephemeral port
+    run_in_thread(server)
+    print(server.url)                          # e.g. http://127.0.0.1:54321
+
+See ``docs/serving.md`` for the full API reference and cache semantics.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import CacheStats, VersionedLRUCache
+from repro.service.engine import (
+    DEFAULT_MEASURE,
+    ExplainOutcome,
+    ExplanationEngine,
+)
+from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.service.serialize import (
+    explanation_to_dict,
+    instance_to_dict,
+    outcome_to_dict,
+    pattern_to_dict,
+    ranked_to_dict,
+)
+from repro.service.server import (
+    ExplanationServer,
+    create_server,
+    run_in_thread,
+    serve,
+)
+
+__all__ = [
+    "CacheStats",
+    "VersionedLRUCache",
+    "DEFAULT_MEASURE",
+    "ExplainOutcome",
+    "ExplanationEngine",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "explanation_to_dict",
+    "instance_to_dict",
+    "outcome_to_dict",
+    "pattern_to_dict",
+    "ranked_to_dict",
+    "ExplanationServer",
+    "create_server",
+    "run_in_thread",
+    "serve",
+]

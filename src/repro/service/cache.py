@@ -1,0 +1,197 @@
+"""A thread-safe LRU cache whose entries are pinned to a knowledge-base version.
+
+The serving layer keys every cached ranking on the tuple
+``(kb.version, request key)``.  Because :class:`repro.kb.graph.KnowledgeBase`
+bumps :attr:`version` on every mutation, a live KB update invalidates every
+previously cached result *for free*: the next lookup simply asks for the new
+version and misses.  Entries recorded under older versions are unreachable
+garbage; they are reclaimed either lazily by normal LRU eviction or eagerly by
+:meth:`VersionedLRUCache.purge_versions_except`, which the engine calls after
+each batch of KB mutations.
+
+The cache is deliberately generic — values are opaque, keys are any hashable —
+so it can front other per-version computations (e.g. precomputed degree
+tables) in later subsystems.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["CacheStats", "VersionedLRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing the cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    purged: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "purged": self.purged,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class VersionedLRUCache:
+    """An LRU cache keyed on ``(version, key)`` with optional TTL bounds.
+
+    Args:
+        capacity: maximum number of live entries; the least recently used
+            entry is evicted when a ``put`` would exceed it.
+        ttl_seconds: optional time-to-live; entries older than this are
+            treated as misses (and dropped) on lookup.
+        clock: monotonic time source, injectable for tests.
+
+    Example:
+        >>> cache = VersionedLRUCache(capacity=2)
+        >>> cache.put("pair", version=0, value=[1, 2, 3])
+        >>> cache.get("pair", version=0)
+        [1, 2, 3]
+        >>> cache.get("pair", version=1) is None   # KB mutated: stale
+        True
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"cache TTL must be positive, got {ttl_seconds}")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (version, key) -> (value, inserted_at); order = recency (last = MRU)
+        self._entries: "OrderedDict[tuple[int, Hashable], tuple[Any, float]]" = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: Hashable, version: int, default: Any = None) -> Any:
+        """The value cached for ``key`` at ``version``, or ``default``.
+
+        A lookup for a version other than the one an entry was stored under is
+        a miss; an entry older than the TTL is dropped and counts both as an
+        expiration and a miss.
+        """
+        full_key = (version, key)
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            value, inserted_at = entry
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - inserted_at > self.ttl_seconds
+            ):
+                del self._entries[full_key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(full_key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, version: int, value: Any) -> None:
+        """Insert (or refresh) ``key`` at ``version``, evicting LRU overflow."""
+        full_key = (version, key)
+        with self._lock:
+            self._entries[full_key] = (value, self._clock())
+            self._entries.move_to_end(full_key)
+            self.stats.inserts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def contains(self, key: Hashable, version: int) -> bool:
+        """Whether a live (non-expired) entry exists, without touching recency."""
+        full_key = (version, key)
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is None:
+                return False
+            if self.ttl_seconds is None:
+                return True
+            return self._clock() - entry[1] <= self.ttl_seconds
+
+    # -- maintenance -------------------------------------------------------
+
+    def purge_versions_except(self, version: int) -> int:
+        """Eagerly drop entries stored under any version other than ``version``.
+
+        Returns the number of entries dropped.  Called by the engine after KB
+        mutations so stale results do not occupy capacity until LRU pressure
+        reclaims them.
+        """
+        with self._lock:
+            stale = [
+                full_key for full_key in self._entries if full_key[0] != version
+            ]
+            for full_key in stale:
+                del self._entries[full_key]
+            self.stats.purged += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterator[tuple[int, Hashable]]:
+        """A snapshot of the live ``(version, key)`` tuples (LRU first)."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters plus configuration, for the ``/metrics`` endpoint."""
+        with self._lock:
+            size = len(self._entries)
+        payload = self.stats.as_dict()
+        payload.update(
+            {
+                "size": size,
+                "capacity": self.capacity,
+                "ttl_seconds": self.ttl_seconds,
+                "hit_rate": round(self.stats.hit_rate, 4),
+            }
+        )
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VersionedLRUCache(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

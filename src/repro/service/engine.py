@@ -1,0 +1,504 @@
+"""The long-lived explanation engine behind the serving API.
+
+:class:`ExplanationEngine` turns the one-shot :class:`repro.Rex` facade into a
+component designed for a *request stream*:
+
+* results are cached in a :class:`~repro.service.cache.VersionedLRUCache`
+  keyed on ``(kb.version, pair, measure, k, size_limit)``, so a knowledge-base
+  mutation (which bumps ``kb.version``) invalidates every stale entry without
+  any bookkeeping;
+* concurrent identical requests are *coalesced*: the first caller becomes the
+  leader and runs the enumeration, every other caller blocks on the leader's
+  result instead of re-running it (single-flight);
+* live KB updates go through :meth:`add_edges`, which serialises writers and
+  eagerly purges newly stale cache entries;
+* :meth:`warmup` bulk-explains a seed pair list at startup so the first user
+  requests already hit the cache;
+* every step is observable through engine counters (``requests``,
+  ``cache_hits``, ``cache_misses``, ``coalesced``, ``enumerations``, ...) and
+  an explain-latency histogram — the numbers the throughput benchmark and the
+  single-flight tests assert on.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro import Rex, validate_k, validate_size_limit
+from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
+from repro.errors import RexError, UnknownEntityError
+from repro.kb.graph import KnowledgeBase
+from repro.measures.base import Measure
+from repro.ranking.general import RankedExplanation
+from repro.service.cache import VersionedLRUCache
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["ExplainOutcome", "ExplanationEngine", "DEFAULT_MEASURE"]
+
+#: The measure the paper's user study favours; the serving default.
+DEFAULT_MEASURE = "size+monocount"
+
+
+@dataclass(frozen=True)
+class ExplainOutcome:
+    """One answered explain request plus how it was answered.
+
+    Attributes:
+        ranked: the top-k ranked explanations (immutable tuple — the same
+            object may be shared by every caller that hit the cache).
+        v_start, v_end: the requested pair.
+        measure: resolved measure name.
+        k: requested result count.
+        size_limit: pattern size limit used.
+        kb_version: the knowledge-base version the answer is valid for.
+        cached: ``True`` when served from the result cache.
+        coalesced: ``True`` when this caller waited on another caller's
+            in-flight computation instead of running its own.
+        elapsed_s: wall time this caller spent inside the engine.
+    """
+
+    ranked: tuple[RankedExplanation, ...]
+    v_start: str
+    v_end: str
+    measure: str
+    k: int
+    size_limit: int
+    kb_version: int
+    cached: bool
+    coalesced: bool
+    elapsed_s: float
+
+
+class _InFlight:
+    """Shared state of one in-progress computation (single-flight slot)."""
+
+    __slots__ = ("event", "outcome", "error", "version")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.outcome: tuple[RankedExplanation, ...] | None = None
+        self.error: BaseException | None = None
+        #: KB version the leader actually computed against (may be newer than
+        #: the version the flight was registered under, if a write landed
+        #: between registration and the leader taking the KB read lock).
+        self.version: int | None = None
+
+
+class _ReadWriteLock:
+    """A simple readers-writer lock guarding the mutable knowledge base.
+
+    Enumeration walks the KB's live dicts and adjacency lists, so a writer
+    mutating them mid-read can crash a reader (``dictionary changed size
+    during iteration``) or let it cache a torn result.  Many readers may hold
+    the lock together; a writer waits for all of them and excludes everyone.
+    Writers can starve under constant read pressure — acceptable for a
+    read-dominated serving workload where updates are occasional.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+
+class ExplanationEngine:
+    """A concurrent, caching wrapper around the :class:`repro.Rex` facade.
+
+    Args:
+        kb: the knowledge base to serve (mutated in place by KB updates).
+        size_limit: default pattern size limit for requests that do not
+            override it.
+        cache_capacity: maximum number of cached rankings.
+        cache_ttl: optional TTL in seconds for cached rankings.
+        metrics: optional shared registry (the HTTP server passes its own so
+            engine and transport metrics render together).
+
+    Example:
+        >>> from repro.datasets.paper_example import paper_example_kb
+        >>> engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        >>> outcome = engine.explain("tom_cruise", "nicole_kidman", k=2)
+        >>> outcome.cached, engine.explain("tom_cruise", "nicole_kidman", k=2).cached
+        (False, True)
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        size_limit: int = DEFAULT_SIZE_LIMIT,
+        cache_capacity: int = 2048,
+        cache_ttl: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._rex = Rex(kb, size_limit=size_limit)
+        # one snapshot of the measure registry: _resolve_measure runs on every
+        # request (including cache hits) and must not copy a dict each time
+        self._measures = self._rex.measures()
+        self.cache = VersionedLRUCache(capacity=cache_capacity, ttl_seconds=cache_ttl)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._kb_lock = _ReadWriteLock()
+        # engine instruments (created eagerly so /metrics shows zeros)
+        self._requests = self.metrics.counter("engine.requests")
+        self._cache_hits = self.metrics.counter("engine.cache_hits")
+        self._cache_misses = self.metrics.counter("engine.cache_misses")
+        self._coalesced = self.metrics.counter("engine.coalesced")
+        self._enumerations = self.metrics.counter("engine.enumerations")
+        self._errors = self.metrics.counter("engine.errors")
+        self._kb_updates = self.metrics.counter("engine.kb_updates")
+        self._warmed_pairs = self.metrics.counter("engine.warmed_pairs")
+        self._latency = self.metrics.histogram("engine.explain_latency")
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        return self._rex.kb
+
+    @property
+    def kb_version(self) -> int:
+        return self._rex.kb.version
+
+    @property
+    def size_limit(self) -> int:
+        return self._rex.size_limit
+
+    def measures(self) -> dict[str, Measure]:
+        """The measures the engine can rank with, by Table 1 name."""
+        return dict(self._measures)
+
+    # -- the serving hot path ----------------------------------------------
+
+    def explain(
+        self,
+        v_start: str,
+        v_end: str,
+        measure: str | Measure = DEFAULT_MEASURE,
+        k: int = 10,
+        size_limit: int | None = None,
+    ) -> ExplainOutcome:
+        """Answer one explain request, through cache and single-flight.
+
+        Raises:
+            RexError: for invalid arguments (unknown measure, bad ``k``) or
+                unknown entities — the same validation the facade applies.
+        """
+        started = time.perf_counter()
+        self._requests.inc()
+        try:
+            # validate request *types* before anything touches a dict or the
+            # cache key: unhashable/bogus values must surface as RexError (a
+            # clean 400 and an inline batch error), never as a TypeError 500
+            for name, entity in (("v_start", v_start), ("v_end", v_end)):
+                if not isinstance(entity, str):
+                    raise RexError(f"{name} must be an entity id string, got {entity!r}")
+            validate_k(k)
+            if size_limit is not None:
+                validate_size_limit(size_limit)
+            for entity in (v_start, v_end):
+                if not self._rex.kb.has_entity(entity):
+                    raise UnknownEntityError(entity)
+            measure_obj = self._resolve_measure(measure)
+            effective_limit = size_limit if size_limit is not None else self.size_limit
+            version = self._rex.kb.version
+            key = (v_start, v_end, measure_obj.name, k, effective_limit)
+
+            ranked = self.cache.get(key, version)
+            if ranked is not None:
+                self._cache_hits.inc()
+                return self._outcome(
+                    ranked, key, version, cached=True, coalesced=False, started=started
+                )
+            self._cache_misses.inc()
+
+            flight: _InFlight
+            flight_key = (version, *key)
+            leader = False
+            with self._inflight_lock:
+                existing = self._inflight.get(flight_key)
+                if existing is None:
+                    flight = _InFlight()
+                    self._inflight[flight_key] = flight
+                    leader = True
+                else:
+                    flight = existing
+            if not leader:
+                self._coalesced.inc()
+                flight.event.wait()
+                if flight.error is not None:
+                    # raise a per-thread copy: N waiters raising the same
+                    # instance concurrently would race on its __traceback__
+                    raise copy.copy(flight.error) from flight.error
+                assert flight.outcome is not None
+                assert flight.version is not None
+                return self._outcome(
+                    flight.outcome,
+                    key,
+                    flight.version,
+                    cached=False,
+                    coalesced=True,
+                    started=started,
+                )
+
+            try:
+                # _compute reads the version under the KB read lock: a writer
+                # slipping in between our version read above and the compute
+                # must not let a post-mutation result be cached under the
+                # stale version's key (the flight key keeps the entry version
+                # so the slot registered above is the one popped below).
+                ranked, computed_version = self._compute(
+                    v_start, v_end, measure_obj, k, effective_limit
+                )
+                self.cache.put(key, computed_version, ranked)
+                flight.outcome = ranked
+                flight.version = computed_version
+            except BaseException as error:
+                flight.error = error
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(flight_key, None)
+                flight.event.set()
+            return self._outcome(
+                ranked, key, computed_version, cached=False, coalesced=False, started=started
+            )
+        except Exception:
+            self._errors.inc()
+            raise
+
+    def explain_batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+    ) -> list[ExplainOutcome | RexError]:
+        """Answer a sequence of explain requests, tolerating per-item errors.
+
+        Each request mapping supports the keys ``start``, ``end`` (required)
+        and ``measure``, ``k``, ``size_limit`` (optional).  The result list is
+        positional: an :class:`ExplainOutcome` for answered requests, the
+        raised :class:`RexError` for rejected ones.
+        """
+        results: list[ExplainOutcome | RexError] = []
+        for request in requests:
+            try:
+                if not isinstance(request, Mapping):
+                    raise RexError(
+                        f"each batch request must be an object, got {request!r}"
+                    )
+                if "start" not in request or "end" not in request:
+                    raise RexError(
+                        "batch requests need 'start' and 'end' keys, got "
+                        f"{sorted(request)}"
+                    )
+                results.append(
+                    self.explain(
+                        request["start"],
+                        request["end"],
+                        measure=request.get("measure", DEFAULT_MEASURE),
+                        k=request.get("k", 10),
+                        size_limit=request.get("size_limit"),
+                    )
+                )
+            except RexError as error:
+                results.append(error)
+        return results
+
+    # -- live updates ------------------------------------------------------
+
+    def add_edges(
+        self, edges: Iterable[Mapping[str, Any]]
+    ) -> dict[str, int]:
+        """Apply a batch of edge additions to the live knowledge base.
+
+        Each mapping supports ``source``, ``target``, ``label`` (required) and
+        ``directed`` (optional, schema decides when absent).  The whole batch
+        is validated before any edge is applied, so a rejected batch leaves
+        the KB untouched; writers exclude in-flight enumerations (and each
+        other) via the KB readers-writer lock.  After the batch, cache
+        entries from older KB versions are purged eagerly.
+
+        Returns:
+            ``{"added": n, "kb_version": v, "cache_purged": m}``.
+
+        Raises:
+            RexError: when any edge of the batch is malformed — in that case
+                *no* edge has been applied.
+        """
+        kb = self._rex.kb
+        validated: list[tuple[str, str, str, bool | None]] = []
+        for edge in edges:
+            try:
+                source = edge["source"]
+                target = edge["target"]
+                label = edge["label"]
+            except KeyError as missing:
+                raise RexError(
+                    f"edge update is missing the {missing.args[0]!r} field: "
+                    f"{dict(edge)!r}"
+                ) from None
+            # the KB's own validator, run up front over the whole batch:
+            # add_edge cannot fail once every edge passes, so atomicity holds
+            kb.validate_edge_args(source, target, label, edge.get("directed"))
+            validated.append((source, target, label, edge.get("directed")))
+
+        self._kb_lock.acquire_write()
+        try:
+            edges_before = kb.num_edges
+            for source, target, label, directed in validated:
+                kb.add_edge(source, target, label, directed)
+            # duplicates of existing edges are deduplicated by the KB, so the
+            # reported count is actual additions, not batch length
+            added = kb.num_edges - edges_before
+            version = kb.version
+            purged = self.cache.purge_versions_except(version)
+        finally:
+            self._kb_lock.release_write()
+        self._kb_updates.inc()
+        return {"added": added, "kb_version": version, "cache_purged": purged}
+
+    # -- warmup ------------------------------------------------------------
+
+    def warmup(
+        self,
+        pairs: Iterable[tuple[str, str]],
+        measure: str | Measure = DEFAULT_MEASURE,
+        k: int = 10,
+        size_limit: int | None = None,
+        skip_missing: bool = True,
+    ) -> dict[str, Any]:
+        """Precompute explanations for a seed pair list (e.g. ``PAPER_PAIRS``).
+
+        Args:
+            pairs: ``(v_start, v_end)`` tuples to precompute.
+            measure, k, size_limit: forwarded to :meth:`explain`; warm entries
+                only serve requests with the same parameters.
+            skip_missing: silently skip pairs whose entities are not in the
+                KB (seed lists often outlive dataset variants).
+
+        Returns:
+            ``{"warmed": n, "skipped": m, "elapsed_s": seconds}``.
+        """
+        started = time.perf_counter()
+        warmed = 0
+        skipped = 0
+        kb = self._rex.kb
+        for v_start, v_end in pairs:
+            if skip_missing and not (kb.has_entity(v_start) and kb.has_entity(v_end)):
+                skipped += 1
+                continue
+            self.explain(v_start, v_end, measure=measure, k=k, size_limit=size_limit)
+            warmed += 1
+        self._warmed_pairs.inc(warmed)
+        return {
+            "warmed": warmed,
+            "skipped": skipped,
+            "elapsed_s": round(time.perf_counter() - started, 6),
+        }
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Engine + cache counters, for ``/metrics`` and tests."""
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.cache.snapshot()
+        payload["kb"] = {
+            "version": self._rex.kb.version,
+            "entities": self._rex.kb.num_entities,
+            "edges": self._rex.kb.num_edges,
+        }
+        return payload
+
+    # -- internals ---------------------------------------------------------
+
+    def _resolve_measure(self, measure: str | Measure) -> Measure:
+        if isinstance(measure, Measure):
+            return measure
+        if not isinstance(measure, str):
+            raise RexError(
+                f"measure must be a name string or a Measure, got {measure!r}"
+            )
+        try:
+            return self._measures[measure]
+        except KeyError:
+            raise RexError(
+                f"unknown measure {measure!r}; available: "
+                f"{sorted(self._measures)}"
+            ) from None
+
+    def _compute(
+        self,
+        v_start: str,
+        v_end: str,
+        measure: Measure,
+        k: int,
+        size_limit: int,
+    ) -> tuple[tuple[RankedExplanation, ...], int]:
+        """Run the full enumerate+rank pipeline under the KB read lock.
+
+        Returns the ranked tuple plus the KB version it was computed against
+        (stable for the whole computation: writers are excluded while any
+        reader holds the lock).
+        """
+        self._enumerations.inc()
+        self._kb_lock.acquire_read()
+        try:
+            version = self._rex.kb.version
+            ranked = tuple(
+                self._rex.explain(
+                    v_start, v_end, measure=measure, k=k, size_limit=size_limit
+                )
+            )
+            return ranked, version
+        finally:
+            self._kb_lock.release_read()
+
+    def _outcome(
+        self,
+        ranked: tuple[RankedExplanation, ...],
+        key: tuple,
+        version: int,
+        cached: bool,
+        coalesced: bool,
+        started: float,
+    ) -> ExplainOutcome:
+        elapsed = time.perf_counter() - started
+        self._latency.observe(elapsed)
+        v_start, v_end, measure_name, k, size_limit = key
+        return ExplainOutcome(
+            ranked=ranked,
+            v_start=v_start,
+            v_end=v_end,
+            measure=measure_name,
+            k=k,
+            size_limit=size_limit,
+            kb_version=version,
+            cached=cached,
+            coalesced=coalesced,
+            elapsed_s=elapsed,
+        )

@@ -1,0 +1,189 @@
+"""Request counters and latency histograms for the serving subsystem.
+
+The service layer needs just enough observability to answer the questions the
+benchmarks and tests ask: how many requests were served, how many hit the
+cache, how many were coalesced onto an in-flight computation, and what the
+p50/p95 explain latency looks like.  Everything here is pure stdlib,
+thread-safe, and renders to plain dictionaries for the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+
+#: Default latency bucket upper bounds in seconds (Prometheus-style ``le``).
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of durations with quantile estimation.
+
+    Quantiles are estimated by linear interpolation inside the bucket that
+    contains the requested rank — the same approach Prometheus'
+    ``histogram_quantile`` uses — so they are exact only up to the bucket
+    resolution, which is ample for serving dashboards.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets or sorted(buckets) != list(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self._bounds = tuple(float(bound) for bound in buckets)
+        # one overflow bucket past the last bound
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (in seconds)."""
+        index = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) of observed durations."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+            maximum = self._max
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._bounds[index] if index < len(self._bounds) else maximum
+                )
+                if bucket_count == 0 or upper <= lower:
+                    return min(upper, maximum)
+                fraction = (target - previous) / bucket_count
+                return min(lower + fraction * (upper - lower), maximum)
+        return maximum  # pragma: no cover - cumulative always reaches total
+
+    def snapshot(self) -> dict[str, Any]:
+        """Summary statistics for ``/metrics``."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            maximum = self._max
+        return {
+            "count": count,
+            "sum_s": round(total, 6),
+            "mean_s": round(total / count, 6) if count else 0.0,
+            "p50_s": round(self.quantile(0.50), 6),
+            "p95_s": round(self.quantile(0.95), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+            "max_s": round(maximum, 6),
+        }
+
+
+class MetricsRegistry:
+    """A flat, named collection of counters and histograms.
+
+    Components create their instruments through the registry so the server
+    can render everything any layer recorded with one :meth:`snapshot` call.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments rendered to plain JSON-ready values."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        payload: dict[str, Any] = {
+            "counters": {name: counter.value for name, counter in sorted(counters.items())},
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+        return payload

@@ -1,0 +1,112 @@
+"""JSON-ready views of explanations, patterns, instances and outcomes.
+
+The HTTP layer never hands library objects to ``json.dumps`` directly; this
+module defines the wire shapes once, so the CLI smoke mode, the tests and any
+future transport (gRPC, message queue) reuse the exact same rendering.
+
+All functions return plain dicts/lists of JSON-native scalars with
+deterministic ordering — instances are already stored sorted, and pattern
+edges are rendered through the pattern's deterministic iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import ExplanationPattern
+from repro.ranking.general import RankedExplanation
+from repro.service.engine import ExplainOutcome
+
+__all__ = [
+    "pattern_to_dict",
+    "instance_to_dict",
+    "explanation_to_dict",
+    "ranked_to_dict",
+    "outcome_to_dict",
+]
+
+
+def pattern_to_dict(pattern: ExplanationPattern) -> dict[str, Any]:
+    """The wire shape of an explanation pattern (Definition 1)."""
+    return {
+        "variables": sorted(pattern.variables),
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "directed": edge.directed,
+            }
+            for edge in pattern
+        ],
+        "num_nodes": pattern.num_nodes,
+        "num_edges": pattern.num_edges,
+        "is_path": pattern.is_path(),
+        "text": pattern.describe(),
+    }
+
+
+def instance_to_dict(instance: ExplanationInstance) -> dict[str, str]:
+    """An instance as its variable-to-entity binding map."""
+    return dict(instance.items())
+
+
+def explanation_to_dict(
+    explanation: Explanation, max_instances: int = 3
+) -> dict[str, Any]:
+    """The wire shape of an explanation ``(pattern, instances)``.
+
+    Args:
+        explanation: the explanation to render.
+        max_instances: cap on witnessing instances included inline (the full
+            count is always reported in ``num_instances``).
+    """
+    return {
+        "pattern": pattern_to_dict(explanation.pattern),
+        "size": explanation.size,
+        "num_instances": explanation.num_instances,
+        "instances": [
+            instance_to_dict(instance)
+            for instance in explanation.instances[:max_instances]
+        ],
+        "target_pair": list(explanation.target_pair or ()),
+        "aggregates": {
+            "count": explanation.count(),
+            "monocount": explanation.monocount(),
+        },
+    }
+
+
+def ranked_to_dict(
+    entry: RankedExplanation, rank: int, max_instances: int = 3
+) -> dict[str, Any]:
+    """One ranked explanation with its 1-based rank and score."""
+    return {
+        "rank": rank,
+        "score": entry.value,
+        "explanation": explanation_to_dict(entry.explanation, max_instances),
+    }
+
+
+def outcome_to_dict(
+    outcome: ExplainOutcome, max_instances: int = 3
+) -> dict[str, Any]:
+    """The full ``/explain`` response envelope for one answered request."""
+    return {
+        "start": outcome.v_start,
+        "end": outcome.v_end,
+        "measure": outcome.measure,
+        "k": outcome.k,
+        "size_limit": outcome.size_limit,
+        "kb_version": outcome.kb_version,
+        "cached": outcome.cached,
+        "coalesced": outcome.coalesced,
+        "elapsed_s": round(outcome.elapsed_s, 6),
+        "num_results": len(outcome.ranked),
+        "results": [
+            ranked_to_dict(entry, rank, max_instances)
+            for rank, entry in enumerate(outcome.ranked, start=1)
+        ],
+    }

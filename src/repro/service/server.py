@@ -1,0 +1,341 @@
+"""A stdlib HTTP/JSON front end for the explanation engine.
+
+``ThreadingHTTPServer`` gives one thread per connection, which pairs with the
+engine's single-flight coalescing: a burst of identical requests costs one
+enumeration while every other thread waits on the leader's result.
+
+Endpoints:
+
+``GET /healthz``
+    Liveness plus KB shape: ``{"status", "kb_version", "entities", "edges"}``.
+``GET /explain``
+    Query parameters: ``start``, ``end`` (required), ``measure``, ``k``,
+    ``size_limit``, ``max_instances`` (optional).  Returns the envelope of
+    :func:`repro.service.serialize.outcome_to_dict`.
+``POST /explain/batch``
+    Body ``{"requests": [{"start", "end", ...}, ...]}``; answers each request
+    independently and reports per-item errors inline.
+``POST /kb/edges``
+    Body ``{"edges": [{"source", "target", "label", "directed"?}, ...]}``;
+    applies a live KB update and reports the new ``kb_version`` plus how many
+    stale cache entries were purged.
+``GET /metrics``
+    Engine counters, latency histograms, cache statistics and per-endpoint
+    HTTP counters as one JSON document.
+
+Error mapping: invalid parameters and malformed bodies are ``400``, unknown
+entities are ``404``, unknown routes are ``404`` with an ``error`` body, and
+unexpected failures are ``500``.  Every error body is ``{"error": message}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import RexError, UnknownEntityError
+from repro.kb.graph import KnowledgeBase
+from repro.service.engine import DEFAULT_MEASURE, ExplanationEngine
+from repro.service.serialize import outcome_to_dict
+
+__all__ = ["ExplanationServer", "create_server", "serve", "run_in_thread"]
+
+#: Upper bound on accepted request bodies (1 MiB) — a serving-layer guard, not
+#: a statement about KB sizes; bulk loads belong in :mod:`repro.kb.io`.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ExplanationServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns an :class:`ExplanationEngine`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: ExplanationEngine,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _ExplainHandler)
+        self.engine = engine
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """The base URL the server is bound to."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _ExplainHandler(BaseHTTPRequestHandler):
+    server_version = "rex-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # keep-alive means idle or stalled clients otherwise pin a server thread
+    # forever; the stdlib applies this to the socket and closes the
+    # connection when an idle/partial read exceeds it
+    timeout = 30
+
+    # typed alias so the handler body reads naturally
+    @property
+    def engine(self) -> ExplanationEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            self._handle("GET /healthz", self._healthz)
+        elif parts.path == "/metrics":
+            self._handle("GET /metrics", self._metrics)
+        elif parts.path == "/explain":
+            self._handle("GET /explain", self._explain, parse_qs(parts.query))
+        else:
+            self._handle("GET <unknown>", self._unknown_route, "GET", parts.path)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        parts = urlsplit(self.path)
+        if parts.path == "/explain/batch":
+            self._handle("POST /explain/batch", self._explain_batch)
+        elif parts.path == "/kb/edges":
+            self._handle("POST /kb/edges", self._kb_edges)
+        else:
+            # the request body (if any) is never read on this path; the
+            # persistent connection must not be reused with it in the stream
+            self.close_connection = True
+            self._handle("POST <unknown>", self._unknown_route, "POST", parts.path)
+
+    # -- endpoint implementations ------------------------------------------
+
+    def _unknown_route(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
+        return 404, {"error": f"unknown route: {method} {path}"}
+
+    def _healthz(self) -> tuple[int, dict[str, Any]]:
+        kb = self.engine.kb
+        return 200, {
+            "status": "ok",
+            "kb_version": kb.version,
+            "entities": kb.num_entities,
+            "edges": kb.num_edges,
+        }
+
+    def _metrics(self) -> tuple[int, dict[str, Any]]:
+        return 200, self.engine.stats()
+
+    def _explain(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
+        try:
+            start = _single(query, "start")
+            end = _single(query, "end")
+        except KeyError as missing:
+            return 400, {"error": f"missing query parameter: {missing.args[0]}"}
+        measure = _single(query, "measure", DEFAULT_MEASURE)
+        try:
+            k = _int_param(query, "k", 10)
+            size_limit = _int_param(query, "size_limit", None)
+            max_instances = _int_param(query, "max_instances", 3, minimum=0)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        outcome = self.engine.explain(
+            start, end, measure=measure, k=k, size_limit=size_limit
+        )
+        return 200, outcome_to_dict(outcome, max_instances=max_instances)
+
+    def _explain_batch(self) -> tuple[int, dict[str, Any]]:
+        document = self._read_json_body()
+        requests = document.get("requests")
+        if not isinstance(requests, list):
+            raise _BadRequest("body must be an object with a 'requests' list")
+        max_instances = document.get("max_instances", 3)
+        if (
+            not isinstance(max_instances, int)
+            or isinstance(max_instances, bool)
+            or max_instances < 0
+        ):
+            raise _BadRequest(
+                f"'max_instances' must be a non-negative integer, got {max_instances!r}"
+            )
+        results: list[dict[str, Any]] = []
+        answered = 0
+        for item in self.engine.explain_batch(requests):
+            if isinstance(item, RexError):
+                results.append({"error": str(item)})
+            else:
+                answered += 1
+                results.append(outcome_to_dict(item, max_instances=max_instances))
+        return 200, {
+            "num_requests": len(requests),
+            "num_answered": answered,
+            "results": results,
+        }
+
+    def _kb_edges(self) -> tuple[int, dict[str, Any]]:
+        document = self._read_json_body()
+        edges = document.get("edges")
+        if not isinstance(edges, list):
+            raise _BadRequest("body must be an object with an 'edges' list")
+        for edge in edges:
+            if not isinstance(edge, dict):
+                raise _BadRequest(f"each edge must be an object, got {edge!r}")
+        summary = self.engine.add_edges(edges)
+        return 200, summary
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _handle(self, endpoint: str, func, *args) -> None:
+        metrics = self.engine.metrics
+        metrics.counter(f"http.requests{{{endpoint}}}").inc()
+        try:
+            status, payload = func(*args)
+        except _BadRequest as error:
+            status, payload = 400, {"error": str(error)}
+        except UnknownEntityError as error:
+            status, payload = 404, {"error": str(error)}
+        except RexError as error:
+            status, payload = 400, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive 500 path
+            # unknown failure state (possibly mid-read): do not reuse the
+            # connection
+            self.close_connection = True
+            status, payload = 500, {"error": f"internal error: {error}"}
+        if status >= 400:
+            metrics.counter("http.errors").inc()
+        self._send_json(status, payload)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            # possibly chunked or stream we will not parse: the unread body
+            # would desync the persistent connection, so close it
+            self.close_connection = True
+            raise _BadRequest("a JSON body with Content-Length is required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            self.close_connection = True
+            raise _BadRequest(f"invalid Content-Length: {length_header!r}") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            # reject without reading; the connection must not be reused with
+            # the unread body still in the stream (request-smuggling vector)
+            self.close_connection = True
+            raise _BadRequest(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(document, dict):
+            raise _BadRequest("the JSON body must be an object")
+        return document
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - opt-in
+            super().log_message(format, *args)
+
+
+class _BadRequest(Exception):
+    """Raised by handlers for malformed requests; mapped to HTTP 400."""
+
+
+def _single(query: dict[str, list[str]], name: str, default: str | None = None) -> str:
+    values = query.get(name)
+    if not values:
+        if default is None:
+            raise KeyError(name)
+        return default
+    return values[-1]
+
+
+def _int_param(
+    query: dict[str, list[str]],
+    name: str,
+    default: int | None,
+    minimum: int | None = None,
+) -> int | None:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise ValueError(
+            f"query parameter {name!r} must be an integer, got {values[-1]!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            f"query parameter {name!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def create_server(
+    engine: ExplanationEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ExplanationServer:
+    """Bind an :class:`ExplanationServer` (``port=0`` picks an ephemeral port).
+
+    The server is bound but not yet serving; call ``serve_forever()`` (often
+    on a background thread) and ``shutdown()`` when done.
+    """
+    return ExplanationServer((host, port), engine, verbose=verbose)
+
+
+def serve(
+    kb: KnowledgeBase,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    size_limit: int | None = None,
+    cache_capacity: int = 2048,
+    cache_ttl: float | None = None,
+    warmup_pairs: list[tuple[str, str]] | None = None,
+    verbose: bool = True,
+) -> None:
+    """Blocking convenience entry point: build an engine and serve forever."""
+    engine_kwargs: dict[str, Any] = {
+        "cache_capacity": cache_capacity,
+        "cache_ttl": cache_ttl,
+    }
+    if size_limit is not None:
+        engine_kwargs["size_limit"] = size_limit
+    engine = ExplanationEngine(kb, **engine_kwargs)
+    # bind before the (potentially long) warmup so a taken port fails fast
+    server = create_server(engine, host=host, port=port, verbose=verbose)
+    if warmup_pairs:
+        summary = engine.warmup(warmup_pairs)
+        if verbose:
+            print(
+                f"warmup: {summary['warmed']} pairs precomputed, "
+                f"{summary['skipped']} skipped in {summary['elapsed_s']:.3f}s"
+            )
+    if verbose:
+        print(f"rex-serve listening on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+
+
+def run_in_thread(server: ExplanationServer) -> threading.Thread:
+    """Start ``serve_forever`` on a daemon thread (tests and smoke mode)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="rex-serve", daemon=True
+    )
+    thread.start()
+    return thread

@@ -56,3 +56,37 @@ class TestRexFacade:
         rex = Rex(paper_example_kb())
         top = rex.explain("tom_cruise", "nicole_kidman", k=1)
         assert top[0].explanation.pattern.num_edges >= 1
+
+
+class TestFacadeValidation:
+    """k / size_limit are validated at the facade boundary with clear errors."""
+
+    @pytest.mark.parametrize("k", [0, -1, -10])
+    def test_non_positive_k_rejected(self, paper_kb, k):
+        with pytest.raises(RexError, match="positive integer"):
+            Rex(paper_kb).explain("tom_cruise", "nicole_kidman", k=k)
+
+    @pytest.mark.parametrize("k", ["5", 2.0, None, True])
+    def test_non_integer_k_rejected(self, paper_kb, k):
+        with pytest.raises(RexError, match="positive integer"):
+            Rex(paper_kb).explain("tom_cruise", "nicole_kidman", k=k)
+
+    @pytest.mark.parametrize("size_limit", [1, 0, -3, "5", 2.5, True])
+    def test_bad_size_limit_rejected_in_explain(self, paper_kb, size_limit):
+        with pytest.raises(RexError, match="size_limit"):
+            Rex(paper_kb).explain(
+                "tom_cruise", "nicole_kidman", size_limit=size_limit
+            )
+
+    def test_bad_size_limit_rejected_in_constructor(self, paper_kb):
+        with pytest.raises(RexError, match="size_limit"):
+            Rex(paper_kb, size_limit=1)
+
+    def test_bad_size_limit_rejected_in_enumerate(self, paper_kb):
+        with pytest.raises(RexError, match="size_limit"):
+            Rex(paper_kb).enumerate("tom_cruise", "nicole_kidman", size_limit=1)
+
+    def test_valid_boundary_values_accepted(self, paper_kb):
+        rex = Rex(paper_kb, size_limit=2)
+        ranked = rex.explain("tom_cruise", "nicole_kidman", k=1, size_limit=2)
+        assert len(ranked) == 1

@@ -1,10 +1,10 @@
-"""Tests for the rex-explain command line interface."""
+"""Tests for the rex-explain / rex-serve command line interface."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_serve_parser, main, serve_main
 from repro.kb.io import save_json, save_tsv
 
 
@@ -69,3 +69,61 @@ class TestMain:
         )
         assert exit_code == 0
         assert "count" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.size_limit == 5
+        assert args.cache_capacity == 2048
+        assert args.cache_ttl is None
+        assert not args.warmup
+        assert not args.smoke
+
+    def test_kb_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--demo", "--synthetic"])
+
+
+class TestServeSmoke:
+    def test_smoke_boots_and_answers(self, capsys):
+        """`rex-explain serve --demo --smoke` = the make serve-smoke path."""
+        exit_code = main(["serve", "--demo", "--smoke", "--size-limit", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "GET /healthz" in captured.out
+        assert '"status": "ok"' in captured.out
+        assert "GET /explain" in captured.out
+        assert "serve smoke: OK" in captured.out
+
+    def test_smoke_with_warmup_hits_the_cache(self, capsys):
+        exit_code = serve_main(["--demo", "--smoke", "--warmup", "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cached=True" in captured.out
+
+    def test_missing_kb_file_returns_error(self, capsys, tmp_path):
+        exit_code = serve_main(["--kb", str(tmp_path / "missing.tsv"), "--smoke"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_invalid_size_limit_returns_clean_error(self, capsys):
+        exit_code = serve_main(["--demo", "--smoke", "--size-limit", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "size_limit" in captured.err
+
+    def test_invalid_cache_capacity_returns_clean_error(self, capsys):
+        exit_code = serve_main(["--demo", "--smoke", "--cache-capacity", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "capacity" in captured.err
+
+    def test_out_of_range_port_returns_clean_error(self, capsys):
+        exit_code = serve_main(["--demo", "--port", "70000"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "port" in captured.err.lower()

@@ -67,6 +67,21 @@ class TestConstruction:
         with pytest.raises(KnowledgeBaseError):
             KnowledgeBase().add_edge("a", "b", "")
 
+    def test_add_edge_rejects_non_string_arguments(self):
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase().add_edge(1, "b", "knows")
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase().add_edge("a", None, "knows")
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase().add_edge("a", "b", "knows", directed="yes")
+
+    def test_validate_edge_args_is_a_pure_check(self):
+        kb = KnowledgeBase()
+        kb.validate_edge_args("a", "b", "knows", None)  # no exception, no mutation
+        assert kb.num_entities == 0
+        with pytest.raises(KnowledgeBaseError, match="self-loop"):
+            kb.validate_edge_args("a", "a", "knows")
+
     def test_duplicate_edges_are_ignored(self):
         kb = KnowledgeBase()
         kb.add_edge("m", "p", "starring")

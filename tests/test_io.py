@@ -53,6 +53,55 @@ class TestTsvRoundTrip:
         with pytest.raises(KnowledgeBaseError):
             load_tsv(path)
 
+    def test_malformed_row_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text(
+            "# header comment\n\na\tknows\tb\na\tknows\n", encoding="utf-8"
+        )
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:4:"):
+            load_tsv(path)
+
+    def test_bad_direction_flag_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text(
+            "a\tknows\tb\n\n# comment\nc\tknows\td\tsideways\n", encoding="utf-8"
+        )
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:4:"):
+            load_tsv(path)
+
+    def test_row_rejected_by_the_kb_reports_line_number(self, tmp_path):
+        # self-loops are rejected by KnowledgeBase.add_edge, not the parser;
+        # the loader must still say which line the bad row came from
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tknows\tb\nc\tknows\tc\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:2:.*self-loop"):
+            load_tsv(path)
+
+    def test_empty_field_reports_line_number(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\t\tb\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:1:.*non-empty"):
+            load_tsv(path)
+
+    def test_leading_tab_is_an_empty_source_not_whitespace(self, tmp_path):
+        # '\ta\tb\tdirected' has 4 fields with an empty source; stripping the
+        # line would silently reparse it as source='a', target='directed'
+        path = tmp_path / "edges.tsv"
+        path.write_text("\ta\tb\tdirected\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:1:.*non-empty"):
+            load_tsv(path)
+
+    def test_trailing_tab_is_an_empty_direction_flag(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tknows\tb\t\n", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseError, match=r"edges\.tsv:1:.*directionality"):
+            load_tsv(path)
+
+    def test_indented_comment_is_skipped(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("  # indented comment\na\tknows\tb\n", encoding="utf-8")
+        assert load_tsv(path).num_edges == 1
+
 
 class TestJsonRoundTrip:
     def test_round_trip_preserves_entities_and_types(self, paper_kb, tmp_path):

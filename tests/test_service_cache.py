@@ -1,0 +1,155 @@
+"""Tests for the versioned LRU result cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.cache import VersionedLRUCache
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = VersionedLRUCache(capacity=4)
+        cache.put("key", version=0, value="value")
+        assert cache.get("key", version=0) == "value"
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = VersionedLRUCache(capacity=4)
+        assert cache.get("absent", version=0) is None
+        assert cache.get("absent", version=0, default="fallback") == "fallback"
+
+    def test_version_mismatch_is_a_miss(self):
+        cache = VersionedLRUCache(capacity=4)
+        cache.put("key", version=3, value="stale")
+        assert cache.get("key", version=4) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedLRUCache(capacity=0)
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedLRUCache(ttl_seconds=0)
+
+
+class TestLRUEviction:
+    def test_capacity_is_enforced(self):
+        cache = VersionedLRUCache(capacity=2)
+        for index in range(5):
+            cache.put(index, version=0, value=index)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 3
+
+    def test_least_recently_used_goes_first(self):
+        cache = VersionedLRUCache(capacity=2)
+        cache.put("a", version=0, value=1)
+        cache.put("b", version=0, value=2)
+        cache.get("a", version=0)  # refresh "a"
+        cache.put("c", version=0, value=3)  # evicts "b"
+        assert cache.get("a", version=0) == 1
+        assert cache.get("b", version=0) is None
+        assert cache.get("c", version=0) == 3
+
+    def test_put_refreshes_recency(self):
+        cache = VersionedLRUCache(capacity=2)
+        cache.put("a", version=0, value=1)
+        cache.put("b", version=0, value=2)
+        cache.put("a", version=0, value=10)  # refresh via put
+        cache.put("c", version=0, value=3)  # evicts "b"
+        assert cache.get("a", version=0) == 10
+        assert cache.get("b", version=0) is None
+
+
+class TestTTL:
+    def test_expired_entries_are_misses(self):
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=4, ttl_seconds=10, clock=clock)
+        cache.put("key", version=0, value="value")
+        clock.advance(5)
+        assert cache.get("key", version=0) == "value"
+        clock.advance(6)
+        assert cache.get("key", version=0) is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_contains_respects_ttl(self):
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=4, ttl_seconds=10, clock=clock)
+        cache.put("key", version=0, value="value")
+        assert cache.contains("key", version=0)
+        clock.advance(11)
+        assert not cache.contains("key", version=0)
+
+
+class TestPurge:
+    def test_purge_drops_only_other_versions(self):
+        cache = VersionedLRUCache(capacity=8)
+        cache.put("a", version=0, value=1)
+        cache.put("b", version=0, value=2)
+        cache.put("a", version=1, value=3)
+        purged = cache.purge_versions_except(1)
+        assert purged == 2
+        assert cache.get("a", version=1) == 3
+        assert cache.get("a", version=0) is None
+        assert cache.stats.purged == 2
+
+    def test_clear_preserves_counters(self):
+        cache = VersionedLRUCache(capacity=4)
+        cache.put("a", version=0, value=1)
+        cache.get("a", version=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.inserts == 1
+
+
+class TestObservability:
+    def test_snapshot_shape(self):
+        cache = VersionedLRUCache(capacity=4)
+        cache.put("a", version=0, value=1)
+        cache.get("a", version=0)
+        cache.get("b", version=0)
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 1
+        assert snapshot["capacity"] == 4
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+    def test_thread_safety_smoke(self):
+        cache = VersionedLRUCache(capacity=64)
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for index in range(200):
+                    cache.put((worker_id, index % 10), version=0, value=index)
+                    cache.get((worker_id, index % 10), version=0)
+            except Exception as error:  # pragma: no cover - only on failure
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

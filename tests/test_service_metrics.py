@@ -1,0 +1,101 @@
+"""Tests for the service counters and latency histograms."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+
+        def worker() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestLatencyHistogram:
+    def test_count_sum_and_mean(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.006)
+        assert histogram.mean() == pytest.approx(0.002)
+
+    def test_quantiles_are_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        for index in range(100):
+            histogram.observe(0.0001 * (index + 1))  # 0.1ms .. 10ms
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        assert 0 < p50 <= p95 <= 0.01 + 1e-9
+        # p50 of a uniform 0.1..10ms spread is around 5ms (bucket resolution)
+        assert 0.002 <= p50 <= 0.01
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert LatencyHistogram().quantile(0.95) == 0.0
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(0.5, 0.1))
+
+    def test_snapshot_shape(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.004)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["sum_s"] == pytest.approx(0.004)
+        assert {"p50_s", "p95_s", "p99_s", "mean_s", "max_s"} <= set(snapshot)
+
+    def test_overflow_bucket_caps_at_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(30.0)  # beyond the last bound
+        assert histogram.quantile(1.0) == pytest.approx(30.0)
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        assert registry.counter("requests").value == 3
+        registry.histogram("latency").observe(0.001)
+        assert registry.histogram("latency").count == 1
+
+    def test_snapshot_renders_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 1}
+        assert snapshot["histograms"]["b"]["count"] == 1

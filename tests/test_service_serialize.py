@@ -1,0 +1,100 @@
+"""Tests for the JSON wire shapes of explanations and outcomes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.instance import ExplanationInstance
+from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
+from repro.service import (
+    ExplanationEngine,
+    explanation_to_dict,
+    instance_to_dict,
+    outcome_to_dict,
+    pattern_to_dict,
+    ranked_to_dict,
+)
+
+
+@pytest.fixture()
+def costar_explanation() -> Explanation:
+    pattern = ExplanationPattern.from_edges(
+        [
+            PatternEdge("?v0", START, "starring"),
+            PatternEdge("?v0", END, "starring"),
+        ]
+    )
+    instances = [
+        ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v0": "mr_and_mrs_smith"}
+        ),
+        ExplanationInstance(
+            {START: "brad_pitt", END: "angelina_jolie", "?v0": "by_the_sea"}
+        ),
+    ]
+    return Explanation(pattern, instances)
+
+
+class TestPattern:
+    def test_shape(self, costar_explanation):
+        payload = pattern_to_dict(costar_explanation.pattern)
+        assert payload["num_nodes"] == 3
+        assert payload["num_edges"] == 2
+        assert payload["is_path"] is True
+        assert payload["variables"] == ["?end", "?start", "?v0"]
+        assert all(
+            {"source", "target", "label", "directed"} <= set(edge)
+            for edge in payload["edges"]
+        )
+        assert "starring" in payload["text"]
+
+    def test_deterministic_edge_order(self, costar_explanation):
+        first = pattern_to_dict(costar_explanation.pattern)
+        second = pattern_to_dict(costar_explanation.pattern)
+        assert first == second
+
+
+class TestInstanceAndExplanation:
+    def test_instance_is_the_binding_map(self, costar_explanation):
+        payload = instance_to_dict(costar_explanation.instances[0])
+        assert payload[START] == "brad_pitt"
+        assert payload[END] == "angelina_jolie"
+        assert payload["?v0"] in ("mr_and_mrs_smith", "by_the_sea")
+
+    def test_explanation_shape(self, costar_explanation):
+        payload = explanation_to_dict(costar_explanation)
+        assert payload["size"] == 3
+        assert payload["num_instances"] == 2
+        assert len(payload["instances"]) == 2
+        assert payload["target_pair"] == ["brad_pitt", "angelina_jolie"]
+        assert payload["aggregates"] == {"count": 2, "monocount": 2}
+
+    def test_max_instances_truncates_inline_list_only(self, costar_explanation):
+        payload = explanation_to_dict(costar_explanation, max_instances=1)
+        assert len(payload["instances"]) == 1
+        assert payload["num_instances"] == 2
+
+
+class TestRankedAndOutcome:
+    def test_ranked_entry(self, costar_explanation):
+        from repro.ranking.general import RankedExplanation
+
+        payload = ranked_to_dict(
+            RankedExplanation(costar_explanation, 2.5), rank=1
+        )
+        assert payload["rank"] == 1
+        assert payload["score"] == 2.5
+        assert payload["explanation"]["size"] == 3
+
+    def test_outcome_envelope_is_json_serialisable(self, paper_kb):
+        engine = ExplanationEngine(paper_kb.copy(), size_limit=4)
+        outcome = engine.explain("tom_cruise", "nicole_kidman", k=2)
+        payload = outcome_to_dict(outcome)
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["start"] == "tom_cruise"
+        assert round_tripped["kb_version"] == engine.kb_version
+        assert round_tripped["num_results"] == len(payload["results"])
+        assert round_tripped["results"][0]["rank"] == 1
