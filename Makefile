@@ -1,14 +1,21 @@
-# Convenience entry points; see docs/performance.md for the benchmark story
-# and docs/serving.md for the explanation-serving subsystem.
+# Convenience entry points; see docs/performance.md for the benchmark story,
+# docs/serving.md for the explanation-serving subsystem and docs/scaling.md
+# for the process-parallel batch executor.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-core bench-smoke bench-check \
-	serve serve-smoke bench-service bench-service-check
+.PHONY: test test-parallel bench bench-core bench-smoke bench-check \
+	serve serve-smoke bench-service bench-service-check \
+	bench-parallel bench-parallel-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The same tier-1 suite with every engine sharding batches across 2 worker
+# processes (the CI matrix's second entry).
+test-parallel:
+	REX_PARALLELISM=2 $(PYTHON) -m pytest -x -q
 
 # Boot the HTTP/JSON explanation server on the demo KB (blocking).
 serve:
@@ -43,3 +50,14 @@ bench-smoke:
 bench-check:
 	REX_BENCH_GLOBAL_SAMPLES=100 $(PYTHON) -m benchmarks --core-only \
 		--output bench_fresh.json --check BENCH_pr1.json
+
+# Scale-out batch benchmark; writes BENCH_pr3.json (sequential vs sharded
+# batches over a >=50k edge repro.workloads KB).
+bench-parallel:
+	$(PYTHON) -m benchmarks --parallel-only --output BENCH_pr3.json
+
+# CI gate: fresh run asserting the 2x critical-path floor on the 8-item
+# batch (see docs/scaling.md for the floor's exact definition).
+bench-parallel-check:
+	REX_BENCH_PARALLEL_FLOOR=2.0 $(PYTHON) -m benchmarks --parallel-only \
+		--output bench_parallel_fresh.json

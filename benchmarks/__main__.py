@@ -27,18 +27,22 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The serving-layer benchmark (PR 2, records into BENCH_pr2.json).
 SERVICE_SELECTION = ["benchmarks/bench_service_throughput.py"]
+#: The scale-out batch benchmark (PR 3, records into BENCH_pr3.json).
+PARALLEL_SELECTION = ["benchmarks/bench_parallel.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
-#: nothing.  The serving-layer benchmark is excluded: it records into
-#: BENCH_pr2.json (run it with ``--service-only``), and folding it into a
-#: figure run would pollute BENCH_pr1.json and subject the run to its
-#: warm/cold assertions.
-_SERVICE_FILES = {Path(entry).name for entry in SERVICE_SELECTION}
+#: nothing.  The serving-layer and parallel-batch benchmarks are excluded:
+#: they record into their own files (run them with ``--service-only`` /
+#: ``--parallel-only``), and folding them into a figure run would pollute
+#: BENCH_pr1.json and subject the run to their own assertions.
+_SUBSYSTEM_FILES = {
+    Path(entry).name for entry in SERVICE_SELECTION + PARALLEL_SELECTION
+}
 DEFAULT_SELECTION = sorted(
     path.relative_to(REPO_ROOT).as_posix()
     for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
-    if path.name not in _SERVICE_FILES
+    if path.name not in _SUBSYSTEM_FILES
 )
 #: The benchmarks the PR-1 performance work targets (and CI gates on).
 CORE_SELECTION = [
@@ -133,6 +137,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the serving-layer throughput benchmark (BENCH_pr2.json)",
     )
+    subset.add_argument(
+        "--parallel-only",
+        action="store_true",
+        help="run only the scale-out batch benchmark (BENCH_pr3.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -162,6 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = CORE_SELECTION
     elif args.service_only:
         selection = SERVICE_SELECTION
+    elif args.parallel_only:
+        selection = PARALLEL_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

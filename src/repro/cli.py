@@ -8,11 +8,18 @@ Usage examples::
     # run against a TSV edge list with a specific measure and k
     rex-explain --kb edges.tsv --measure local-dist --top 5 alice bob
 
-    # boot the HTTP/JSON explanation server on the demo KB, warmed up
-    rex-explain serve --demo --warmup --port 8080
+    # boot the HTTP/JSON explanation server on the demo KB, warmed up,
+    # sharding batch requests across 4 worker processes
+    rex-explain serve --demo --warmup --port 8080 --workers 4
 
     # one-shot smoke check: boot, hit /healthz and /explain, shut down
     rex-explain serve --demo --smoke
+
+    # bulk-evaluate a JSON request file offline across 4 workers
+    rex-explain batch --kb edges.tsv --requests requests.json --workers 4
+
+    # generate and evaluate a synthetic 64-request stream on the demo KB
+    rex-explain batch --demo --generate 64 --seed 7 --workers 2
 
 The CLI is intentionally thin: it loads a knowledge base, invokes the same
 :class:`repro.Rex` facade (or :mod:`repro.service` engine) the examples use,
@@ -24,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import urllib.request
 from pathlib import Path
 
@@ -34,7 +42,14 @@ from repro.errors import RexError
 from repro.kb.io import load_json, load_tsv
 from repro.measures import default_measures
 
-__all__ = ["build_parser", "build_serve_parser", "main", "serve_main"]
+__all__ = [
+    "build_parser",
+    "build_serve_parser",
+    "build_batch_parser",
+    "main",
+    "serve_main",
+    "batch_main",
+]
 
 
 def _add_kb_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +140,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="optional TTL in seconds for cached rankings (default: no TTL)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for POST /explain/batch (default: "
+            "REX_PARALLELISM or 0 = evaluate on the serving thread)"
+        ),
+    )
+    parser.add_argument(
         "--warmup",
         action="store_true",
         help="precompute the paper's user-study pairs (PAPER_PAIRS) at startup",
@@ -141,6 +165,160 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-request logging"
     )
     return parser
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``batch`` subcommand (offline bulk explain)."""
+    parser = argparse.ArgumentParser(
+        prog="rex-batch",
+        description=(
+            "Bulk-evaluate explain requests against a knowledge base, "
+            "optionally sharded across worker processes.  Requests come from "
+            "a JSON file (--requests) or a seeded synthetic stream "
+            "(--generate)."
+        ),
+    )
+    _add_kb_source_arguments(parser)
+    # required: silently fabricating a synthetic stream when the user forgot
+    # --requests would produce a report that looks like a real evaluation
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--requests",
+        type=Path,
+        help=(
+            "JSON request file: either {\"requests\": [...]} or a bare list of "
+            "{start, end, measure?, k?, size_limit?} objects"
+        ),
+    )
+    source.add_argument(
+        "--generate",
+        type=int,
+        metavar="N",
+        help="sample a synthetic N-request stream from the loaded KB instead",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes to shard the batch across (default: "
+            "REX_PARALLELISM or 0 = sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="seed for --generate sampling"
+    )
+    parser.add_argument(
+        "--measure",
+        default="size+monocount",
+        choices=sorted(default_measures()),
+        help="measure for generated requests (default: size+monocount)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="k for generated requests (default: 5)"
+    )
+    parser.add_argument(
+        "--size-limit",
+        type=int,
+        default=5,
+        help="pattern size limit (paper default: 5)",
+    )
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=3,
+        help="witnessing instances included per explanation (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    return parser
+
+
+def _load_batch_requests(args: argparse.Namespace, kb) -> list:
+    """The request list for ``batch``: from a file, or freshly sampled."""
+    if args.requests is not None:
+        with args.requests.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if isinstance(document, dict):
+            document = document.get("requests")
+        if not isinstance(document, list):
+            raise RexError(
+                f"{args.requests}: expected a JSON list of requests or an "
+                f"object with a 'requests' list"
+            )
+        return document
+    from repro.workloads import sample_request_stream
+
+    return sample_request_stream(
+        kb,
+        args.generate,
+        seed=args.seed,
+        measures=(args.measure,),
+        k_choices=(args.top,),
+        size_limit=args.size_limit,
+    )
+
+
+def batch_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``batch`` subcommand; returns an exit code."""
+    from repro.parallel import WorkerCrashError
+    from repro.service import ExplanationEngine
+    from repro.service.serialize import outcome_to_dict
+
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+    engine = None
+    try:
+        kb = _load_kb(args)
+        requests = _load_batch_requests(args, kb)
+        engine = ExplanationEngine(
+            kb, size_limit=args.size_limit, parallelism=args.workers
+        )
+        started = time.perf_counter()
+        results = engine.explain_batch(requests)
+        elapsed = time.perf_counter() - started
+    except (
+        RexError,
+        WorkerCrashError,
+        ValueError,
+        OSError,
+        json.JSONDecodeError,
+    ) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if engine is not None:
+            engine.close()
+    rendered = []
+    answered = 0
+    for item in results:
+        if isinstance(item, RexError):
+            rendered.append({"error": str(item)})
+        else:
+            answered += 1
+            rendered.append(outcome_to_dict(item, max_instances=args.max_instances))
+    report = {
+        "num_requests": len(requests),
+        "num_answered": answered,
+        "elapsed_s": round(elapsed, 6),
+        "requests_per_s": round(len(requests) / elapsed, 3) if elapsed else None,
+        "workers": engine.parallelism,
+        "results": rendered,
+    }
+    body = json.dumps(report, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(body + "\n", encoding="utf-8")
+        print(
+            f"batch: {answered}/{len(requests)} answered in {elapsed:.3f}s "
+            f"({report['workers']} workers) -> {args.output}"
+        )
+    else:
+        print(body)
+    return 0
 
 
 def _load_kb(args: argparse.Namespace):
@@ -211,10 +389,14 @@ def serve_main(argv: list[str] | None = None) -> int:
                 size_limit=args.size_limit,
                 cache_capacity=args.cache_capacity,
                 cache_ttl=args.cache_ttl,
+                parallelism=args.workers,
             )
             if args.warmup:
                 engine.warmup(PAPER_PAIRS)
-            return _run_smoke(engine, verbose=not args.quiet)
+            try:
+                return _run_smoke(engine, verbose=not args.quiet)
+            finally:
+                engine.close()
         serve(
             kb,
             host=args.host,
@@ -224,6 +406,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             cache_ttl=args.cache_ttl,
             warmup_pairs=PAPER_PAIRS if args.warmup else None,
             verbose=not args.quiet,
+            parallelism=args.workers,
         )
     except (RexError, ValueError, OverflowError, OSError) as error:
         # RexError: bad --size-limit; ValueError: bad cache knobs;
@@ -237,13 +420,16 @@ def serve_main(argv: list[str] | None = None) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
-    ``rex-explain serve ...`` dispatches to the serving subcommand; anything
-    else is the classic one-shot explain flow.
+    ``rex-explain serve ...`` dispatches to the serving subcommand,
+    ``rex-explain batch ...`` to offline bulk evaluation; anything else is
+    the classic one-shot explain flow.
     """
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

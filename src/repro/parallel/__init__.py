@@ -1,0 +1,36 @@
+"""Scale-out execution: process-parallel sharding of explanation work.
+
+Everything in :mod:`repro` up to the serving layer is CPU-bound pure Python,
+so one process is capped at one core.  This package shards *independent*
+work — whole explanation requests of a batch, and the start-entity sweeps
+inside one distributional position computation — across worker processes:
+
+* :mod:`repro.parallel.snapshot` — immutable, picklable knowledge-base
+  snapshots (the worker replicas are rebuilt from these, keyed by
+  ``kb.version``);
+* :mod:`repro.parallel.executor` — :class:`ParallelBatchExecutor`, the
+  process-pool executor with chunked LPT dispatch, ordered result
+  reassembly, version-triggered worker recycling and crash surfacing
+  (:class:`WorkerCrashError`).
+
+The serving engine exposes this behind its ``parallelism`` configuration
+(constructor argument or ``REX_PARALLELISM``); see ``docs/scaling.md`` for
+the executor model and the benchmark story (``BENCH_pr3.json``).
+"""
+
+from __future__ import annotations
+
+from repro.parallel.executor import (
+    ExecutorStats,
+    ParallelBatchExecutor,
+    WorkerCrashError,
+)
+from repro.parallel.snapshot import kb_from_payload, kb_to_payload
+
+__all__ = [
+    "ExecutorStats",
+    "ParallelBatchExecutor",
+    "WorkerCrashError",
+    "kb_from_payload",
+    "kb_to_payload",
+]

@@ -1,0 +1,474 @@
+"""Process-pool execution of independent explanation work (scale-out batch).
+
+The serving engine of :mod:`repro.service` answers a batch one request at a
+time on the calling thread; every explanation is CPU-bound pure Python, so a
+single process cannot use more than one core no matter how many server threads
+accept connections.  :class:`ParallelBatchExecutor` shards that work across
+worker *processes*:
+
+* each worker holds a **read-only KB replica** built once from a
+  :func:`~repro.parallel.snapshot.kb_to_payload` snapshot and keyed by the
+  source KB's :attr:`~repro.kb.graph.KnowledgeBase.version`;
+* batches are **chunked** and dispatched longest-expected-first (endpoint
+  degree is the cost proxy), which is greedy LPT scheduling — free workers
+  pull the next chunk, so per-item cost skew balances out;
+* results are **reassembled in submission order** regardless of completion
+  order, so callers observe exactly the sequential result list;
+* a KB mutation bumps the version and the next batch **recycles** the pool:
+  a fresh snapshot is taken and new workers are spawned, while chunks already
+  in flight on the old pool finish against their (still internally
+  consistent) old replica and stay labelled with the old version;
+* an abruptly dying worker (OOM-kill, segfault, ``kill -9``) surfaces as
+  :class:`WorkerCrashError` — never a hang — and poisons the pool so the next
+  batch recycles it.
+
+Besides whole requests, the executor also shards the *per-pair distributional
+sweeps* of :mod:`repro.ranking.distributional_pruning`:
+:meth:`ParallelBatchExecutor.sweep_positions` splits the start-entity list of
+one position computation across workers and merges the partial positions.
+
+The executor is deliberately independent of the serving engine: it maps plain
+request tuples to ranked tuples and leaves caching, single-flight and outcome
+envelopes to the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, ContextManager, Sequence
+
+from repro import Rex
+from repro.core.pattern import ExplanationPattern
+from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
+from repro.errors import RexError
+from repro.kb.graph import KnowledgeBase
+from repro.kb.sql import sweep_local_count_distributions
+from repro.measures.base import Measure
+from repro.parallel.snapshot import kb_from_payload, kb_to_payload
+
+__all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died abruptly; the batch could not be completed.
+
+    Raised instead of hanging or returning partial results.  The pool is
+    poisoned: the next batch transparently recycles it with fresh workers, so
+    a single crash costs one failed batch, not a dead executor.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side.  One module-level slot per worker holds the replica;
+# ProcessPoolExecutor's initializer fills it before the first chunk arrives.
+# ---------------------------------------------------------------------------
+
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(payload: tuple, size_limit: int) -> None:
+    """Build this worker's read-only KB replica and Rex facade (once)."""
+    kb, version = kb_from_payload(payload)
+    rex = Rex(kb, size_limit=size_limit)
+    _WORKER["rex"] = rex
+    _WORKER["version"] = version
+    _WORKER["measures"] = rex.measures()
+
+
+def _run_chunk(
+    chunk: Sequence[tuple[int, str, str, str, int, int]],
+) -> tuple[int, float, int, list[tuple[int, bool, Any]]]:
+    """Explain every item of one chunk against the worker's replica.
+
+    Items are ``(index, v_start, v_end, measure_name, k, size_limit)``; the
+    measure name was validated by the parent, so lookups cannot miss.  Returns
+    ``(pid, cpu_seconds, replica_version, results)`` where each result is
+    ``(index, ok, ranked_tuple | RexError)``.  CPU seconds are measured with
+    ``time.process_time`` so the number is meaningful even when the host
+    time-slices more workers than it has cores.
+    """
+    rex: Rex = _WORKER["rex"]
+    measures: dict[str, Measure] = _WORKER["measures"]
+    results: list[tuple[int, bool, Any]] = []
+    cpu_started = time.process_time()
+    for index, v_start, v_end, measure_name, k, size_limit in chunk:
+        try:
+            ranked = tuple(
+                rex.explain(
+                    v_start,
+                    v_end,
+                    measure=measures[measure_name],
+                    k=k,
+                    size_limit=size_limit,
+                )
+            )
+            results.append((index, True, ranked))
+        except RexError as error:
+            # e.g. an entity newer than this replica: reported per item, the
+            # caller decides whether to retry against the live KB
+            results.append((index, False, error))
+    cpu_seconds = time.process_time() - cpu_started
+    return os.getpid(), cpu_seconds, _WORKER["version"], results
+
+
+def _run_sweep(
+    pattern: ExplanationPattern,
+    start_entities: Sequence[str],
+    own_count: float,
+    v_start: str,
+    v_end: str,
+) -> tuple[int, float, int, int]:
+    """One shard of a distributional position computation.
+
+    Counts, over this shard's start entities, how many (start, end) groups
+    bind the pattern more often than ``own_count`` — the inner loop of
+    :func:`repro.ranking.distributional_pruning._rank_by_position`, run
+    against the worker's replica.  Returns ``(pid, cpu_seconds, position,
+    bindings_enumerated)``.
+    """
+    rex: Rex = _WORKER["rex"]
+    cpu_started = time.process_time()
+    sweep = sweep_local_count_distributions(rex.kb, pattern, start_entities)
+    position = 0
+    for start_entity, per_end in sweep.counts.items():
+        exclude_end = v_end if start_entity == v_start else None
+        for end_entity, count in per_end.items():
+            if end_entity == start_entity or end_entity == exclude_end:
+                continue
+            if count > own_count:
+                position += 1
+    cpu_seconds = time.process_time() - cpu_started
+    return os.getpid(), cpu_seconds, position, sweep.bindings_enumerated
+
+
+# ---------------------------------------------------------------------------
+# Parent-process side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Lifetime counters of one executor (surfaced via engine ``/metrics``)."""
+
+    batches: int = 0
+    items: int = 0
+    chunks: int = 0
+    sweeps: int = 0
+    recycles: int = 0
+    worker_crashes: int = 0
+    last_rebuild_s: float = 0.0
+    #: pid -> cumulative in-worker CPU seconds (time.process_time).
+    worker_cpu_s: dict[int, float] = field(default_factory=dict)
+    #: pid -> in-worker CPU seconds of the most recent batch only.  This is
+    #: the critical-path measurement the parallel benchmark records: on a
+    #: host with at least ``workers`` free cores, batch wall time converges
+    #: to ``max(last_batch_worker_cpu_s.values())`` plus dispatch overhead.
+    last_batch_worker_cpu_s: dict[int, float] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "chunks": self.chunks,
+            "sweeps": self.sweeps,
+            "recycles": self.recycles,
+            "worker_crashes": self.worker_crashes,
+            "last_rebuild_s": round(self.last_rebuild_s, 6),
+            "worker_cpu_s": {
+                pid: round(seconds, 6) for pid, seconds in self.worker_cpu_s.items()
+            },
+        }
+
+
+class ParallelBatchExecutor:
+    """Shard independent explanation work across a pool of worker processes.
+
+    Args:
+        kb: the live knowledge base; snapshots are taken from it lazily.
+        workers: number of worker processes (>= 1).
+        size_limit: default pattern size limit the worker facades are built
+            with (per-item overrides still apply).
+        chunk_size: items per dispatched chunk; default balances dispatch
+            overhead against scheduling granularity
+            (``max(1, n // (workers * 4))``).
+        snapshot_guard: optional factory of a context manager held while the
+            KB is snapshotted for a pool rebuild.  A *mutable* KB shared with
+            writers (the serving engine's live-update path) must pass its
+            read lock here — snapshotting iterates every adjacency dict, and
+            a concurrent writer would tear the replica or crash the
+            iteration.
+
+    The executor is thread-safe: concurrent batches share the pool, and
+    recycling swaps the pool atomically while in-flight chunks finish on the
+    old one.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        workers: int,
+        size_limit: int = DEFAULT_SIZE_LIMIT,
+        chunk_size: int | None = None,
+        snapshot_guard: Callable[[], ContextManager] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._kb = kb
+        self.workers = workers
+        self.size_limit = size_limit
+        self.chunk_size = chunk_size
+        self._snapshot_guard = snapshot_guard
+        self.stats = ExecutorStats()
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_version: int | None = None
+        self._broken = False
+        self._closed = False
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def pool_version(self) -> int | None:
+        """KB version the current worker replicas were snapshotted at."""
+        return self._pool_version
+
+    def ensure_fresh(self) -> bool:
+        """Recycle the pool if the KB moved on (or a worker crashed).
+
+        Returns ``True`` when a (re)build happened.  Called implicitly at the
+        start of every batch, so recycling needs no signal from the writer:
+        the KB version check *is* the signal.
+        """
+        with self._lock:
+            return self._acquire_pool()[2]
+
+    def _acquire_pool(self) -> tuple[ProcessPoolExecutor, int, bool]:
+        """Return ``(pool, replica_version, rebuilt)``; caller holds the lock."""
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        stale = (
+            self._pool is None
+            or self._broken
+            or self._pool_version != self._kb.version
+        )
+        if not stale:
+            assert self._pool is not None and self._pool_version is not None
+            return self._pool, self._pool_version, False
+        old_pool = self._pool
+        rebuild_started = time.perf_counter()
+        guard = (
+            self._snapshot_guard() if self._snapshot_guard is not None else nullcontext()
+        )
+        with guard:
+            # under the guard no writer can run: the payload and the version
+            # it is labelled with are one consistent cut of the KB
+            payload = kb_to_payload(self._kb)
+            version = self._kb.version
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(payload, self.size_limit),
+        )
+        self._pool = pool
+        self._pool_version = version
+        self._broken = False
+        if old_pool is not None:
+            self.stats.recycles += 1
+            # chunks already submitted keep their own reference to the old
+            # pool and finish on it; wait=False only detaches our handle
+            old_pool.shutdown(wait=False)
+        self.stats.last_rebuild_s = time.perf_counter() - rebuild_started
+        return pool, version, True
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current pool's worker processes (spawning them first).
+
+        Chiefly for tests and diagnostics — e.g. the crash-surfacing test
+        kills one of these and asserts the next batch fails cleanly.
+        """
+        with self._lock:
+            pool, _, _ = self._acquire_pool()
+        # submitting a no-op forces the lazy pool to actually spawn workers
+        pool.submit(os.getpid).result()
+        processes = getattr(pool, "_processes", {}) or {}
+        return sorted(processes)
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent.
+
+        Waits for in-flight chunks (at most one chunk per worker) so the
+        interpreter never races a half-dismantled pool at exit.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelBatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- batch execution ---------------------------------------------------
+
+    def execute(
+        self, items: Sequence[tuple[int, str, str, str, int, int]]
+    ) -> dict[int, tuple[bool, Any, int]]:
+        """Explain every item on the pool; reassemble positionally.
+
+        Args:
+            items: ``(index, v_start, v_end, measure_name, k, size_limit)``
+                tuples.  Indexes are caller-chosen and only used to key the
+                result mapping; entities and measure names must already be
+                validated against the live KB.
+
+        Returns:
+            ``{index: (ok, ranked_tuple | RexError, replica_version)}`` —
+            exactly one entry per submitted item, whatever order chunks
+            completed in.
+
+        Raises:
+            WorkerCrashError: a worker process died before completing the
+                batch.  No partial results are returned; the pool is poisoned
+                and the next call recycles it.
+        """
+        if not items:
+            return {}
+        with self._lock:
+            pool, version, _ = self._acquire_pool()
+            self.stats.batches += 1
+            self.stats.items += len(items)
+        # Longest-expected-first (greedy LPT): endpoint degree predicts
+        # enumeration cost, so dispatching heavy items first keeps the last
+        # chunks small and the workers' finish times close together.
+        ordered = sorted(items, key=self._expected_cost, reverse=True)
+        chunk_size = self.chunk_size or max(1, len(ordered) // (self.workers * 4))
+        chunks = [
+            ordered[offset : offset + chunk_size]
+            for offset in range(0, len(ordered), chunk_size)
+        ]
+        results: dict[int, tuple[bool, Any, int]] = {}
+        batch_cpu: dict[int, float] = {}
+        try:
+            # submit is inside the guard too: a pool whose worker already
+            # died rejects new work with BrokenProcessPool right here
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for future in futures:
+                pid, cpu_seconds, replica_version, chunk_results = future.result()
+                batch_cpu[pid] = batch_cpu.get(pid, 0.0) + cpu_seconds
+                for index, ok, value in chunk_results:
+                    results[index] = (ok, value, replica_version)
+        except BrokenProcessPool as crash:
+            self._poison(pool)
+            raise WorkerCrashError(
+                f"a worker process died while executing a batch of "
+                f"{len(items)} items: {crash}"
+            ) from crash
+        with self._lock:
+            self.stats.chunks += len(chunks)
+            self.stats.last_batch_worker_cpu_s = dict(batch_cpu)
+            for pid, cpu_seconds in batch_cpu.items():
+                self.stats.worker_cpu_s[pid] = (
+                    self.stats.worker_cpu_s.get(pid, 0.0) + cpu_seconds
+                )
+        return results
+
+    def sweep_positions(
+        self,
+        pattern: ExplanationPattern,
+        start_entities: Sequence[str],
+        own_count: float,
+        v_start: str,
+        v_end: str,
+    ) -> tuple[int, int]:
+        """Shard one distributional position computation across the pool.
+
+        Splits ``start_entities`` into ``workers`` contiguous shards, counts
+        qualifying (start, end) groups in parallel and sums the partial
+        positions — the unpruned exact sweep of
+        :func:`repro.ranking.distributional_pruning._rank_by_position`.
+
+        Returns:
+            ``(position, bindings_enumerated)``.
+
+        Raises:
+            WorkerCrashError: a worker died mid-sweep.
+        """
+        if not start_entities:
+            return 0, 0
+        with self._lock:
+            pool, _, _ = self._acquire_pool()
+            self.stats.sweeps += 1
+        shard_size = max(1, -(-len(start_entities) // self.workers))
+        shards = [
+            start_entities[offset : offset + shard_size]
+            for offset in range(0, len(start_entities), shard_size)
+        ]
+        position = 0
+        bindings = 0
+        try:
+            futures = [
+                pool.submit(_run_sweep, pattern, shard, own_count, v_start, v_end)
+                for shard in shards
+            ]
+            for future in futures:
+                pid, cpu_seconds, shard_position, shard_bindings = future.result()
+                position += shard_position
+                bindings += shard_bindings
+                with self._lock:
+                    self.stats.worker_cpu_s[pid] = (
+                        self.stats.worker_cpu_s.get(pid, 0.0) + cpu_seconds
+                    )
+        except BrokenProcessPool as crash:
+            self._poison(pool)
+            raise WorkerCrashError(
+                f"a worker process died during a sharded position sweep over "
+                f"{len(start_entities)} start entities: {crash}"
+            ) from crash
+        return position, bindings
+
+    # -- internals ---------------------------------------------------------
+
+    def _poison(self, pool: ProcessPoolExecutor) -> None:
+        """Mark the pool broken (if still current) after a worker crash."""
+        with self._lock:
+            self.stats.worker_crashes += 1
+            if self._pool is pool:
+                self._broken = True
+
+    def _expected_cost(self, item: tuple[int, str, str, str, int, int]) -> int:
+        """Scheduling cost proxy: total degree of the pair's endpoints."""
+        _, v_start, v_end, _, _, _ = item
+        cost = 0
+        for entity in (v_start, v_end):
+            if self._kb.has_entity(entity):
+                cost += self._kb.degree(entity)
+        return cost
+
+    def snapshot(self) -> dict[str, Any]:
+        """Configuration plus lifetime counters, for ``/metrics``."""
+        payload = self.stats.snapshot()
+        payload.update(
+            {
+                "workers": self.workers,
+                "pool_version": self._pool_version,
+                "broken": self._broken,
+            }
+        )
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelBatchExecutor(workers={self.workers}, "
+            f"pool_version={self._pool_version}, batches={self.stats.batches})"
+        )

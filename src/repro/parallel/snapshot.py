@@ -1,0 +1,77 @@
+"""Immutable knowledge-base snapshots for cross-process shipping.
+
+Worker processes of the batch executor each hold a *read-only replica* of the
+knowledge base.  A replica is built from a :func:`kb_to_payload` snapshot — a
+tuple of plain strings/bools that pickles cheaply (and, under the ``fork``
+start method, is inherited without any pickling at all).  Replays preserve
+everything that makes results deterministic:
+
+* entity insertion order (drives ``kb.entities`` iteration order, integer
+  handles and ranking tie-break stability),
+* edge insertion order with explicit directionality,
+* the full schema (relation directedness, domains/ranges, entity types),
+
+so a replica answers every explanation request byte-identically to the
+original knowledge base at the version the snapshot was taken.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import EntityType, RelationType, Schema
+
+__all__ = ["kb_to_payload", "kb_from_payload"]
+
+#: Payload format version, bumped when the tuple layout changes so a stale
+#: worker cannot silently misinterpret a newer snapshot.
+PAYLOAD_FORMAT = 1
+
+
+def kb_to_payload(kb: KnowledgeBase) -> tuple[Any, ...]:
+    """Snapshot ``kb`` as a picklable tuple of plain values.
+
+    The snapshot carries the KB :attr:`~repro.kb.graph.KnowledgeBase.version`
+    it was taken at; the executor keys worker replicas on it to decide when a
+    pool must be recycled.
+    """
+    relations = tuple(
+        (relation.name, relation.directed, relation.domain, relation.range)
+        for relation in kb.schema
+    )
+    entity_types = tuple(
+        (entity_type.name, entity_type.description)
+        for entity_type in kb.schema.entity_types.values()
+    )
+    entities = tuple((entity, kb.entity_type(entity)) for entity in kb.entities)
+    edges = tuple(
+        (edge.source, edge.target, edge.label, edge.directed) for edge in kb.edges()
+    )
+    return (PAYLOAD_FORMAT, kb.version, relations, entity_types, entities, edges)
+
+
+def kb_from_payload(payload: tuple[Any, ...]) -> tuple[KnowledgeBase, int]:
+    """Rebuild a knowledge base (and its snapshot version) from a payload."""
+    format_version, version, relations, entity_types, entities, edges = payload
+    if format_version != PAYLOAD_FORMAT:
+        raise ValueError(
+            f"unsupported KB payload format {format_version!r} "
+            f"(expected {PAYLOAD_FORMAT})"
+        )
+    schema = Schema(
+        relations=(
+            RelationType(name=name, directed=directed, domain=domain, range=range_)
+            for name, directed, domain, range_ in relations
+        ),
+        entity_types=(
+            EntityType(name=name, description=description)
+            for name, description in entity_types
+        ),
+    )
+    kb = KnowledgeBase(schema=schema)
+    for entity, entity_type in entities:
+        kb.add_entity(entity, entity_type)
+    for source, target, label, directed in edges:
+        kb.add_edge(source, target, label, directed)
+    return kb, version

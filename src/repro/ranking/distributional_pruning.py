@@ -19,6 +19,14 @@ Two entry points are provided:
 Both return the same rankings as the brute-force Algorithm 5 with the
 corresponding measure; ``prune=False`` switches the early termination off so
 benchmarks can quantify its benefit (Figure 11).
+
+Both entry points also accept an ``executor`` — a
+:class:`repro.parallel.ParallelBatchExecutor` (or anything with its
+``sweep_positions`` signature).  When given, each candidate's start-entity
+sweep is sharded across the executor's worker processes and the partial
+positions merged; the positions are then *exact* (pruning is disabled — the
+running-bound early exit is inherently sequential), so the returned top-k
+ranking is identical to the sequential one.
 """
 
 from __future__ import annotations
@@ -81,10 +89,15 @@ def _rank_by_position(
     prune: bool,
     start_entities_for: "callable",
     measure_name: str,
+    executor=None,
 ) -> RankingResult:
     """Shared scoring loop for local and global position ranking."""
     if k < 1:
         raise RankingError("k must be at least 1")
+    if executor is not None:
+        # sharded sweeps are always exact; the sequential running bound does
+        # not compose with out-of-order partial counts
+        prune = False
     count_measure = CountMeasure()
     scored: list[RankedExplanation] = []
     total_bindings = 0
@@ -100,20 +113,33 @@ def _rank_by_position(
         exact = True
         start_entities = start_entities_for(explanation)
         if bound is None:
-            # No pruning bound applies: evaluate every start entity in one
-            # batched sweep (the pattern is compiled once and the traversal
-            # shared) instead of one matcher run per start.
-            sweep = sweep_local_count_distributions(
-                kb, explanation.pattern, start_entities
-            )
-            total_bindings += sweep.bindings_enumerated
-            for start_entity, per_end in sweep.counts.items():
-                exclude_end = v_end if start_entity == v_start else None
-                for end_entity, count in per_end.items():
-                    if end_entity == start_entity or end_entity == exclude_end:
-                        continue
-                    if count > own_count:
-                        position += 1
+            if executor is not None:
+                # shard the sweep's start entities across worker processes;
+                # partial positions sum because (start, end) groups are
+                # disjoint across start-entity shards
+                position, shard_bindings = executor.sweep_positions(
+                    explanation.pattern,
+                    list(start_entities),
+                    own_count,
+                    v_start,
+                    v_end,
+                )
+                total_bindings += shard_bindings
+            else:
+                # No pruning bound applies: evaluate every start entity in one
+                # batched sweep (the pattern is compiled once and the traversal
+                # shared) instead of one matcher run per start.
+                sweep = sweep_local_count_distributions(
+                    kb, explanation.pattern, start_entities
+                )
+                total_bindings += sweep.bindings_enumerated
+                for start_entity, per_end in sweep.counts.items():
+                    exclude_end = v_end if start_entity == v_start else None
+                    for end_entity, count in per_end.items():
+                        if end_entity == start_entity or end_entity == exclude_end:
+                            continue
+                        if count > own_count:
+                            position += 1
         else:
             for start_entity in start_entities:
                 exclude_end = v_end if start_entity == v_start else None
@@ -155,6 +181,7 @@ def rank_by_local_position(
     v_end: str,
     k: int = 10,
     prune: bool = True,
+    executor=None,
 ) -> RankingResult:
     """Top-k ranking by position in the local distribution.
 
@@ -165,6 +192,9 @@ def rank_by_local_position(
         v_end: end entity of the pair.
         k: size of the returned ranking.
         prune: enable the LIMIT-style early termination of Section 5.3.2.
+        executor: optional :class:`repro.parallel.ParallelBatchExecutor`;
+            shards each sweep across worker processes (disables pruning, the
+            positions are then exact).
     """
     return _rank_by_position(
         kb,
@@ -175,6 +205,7 @@ def rank_by_local_position(
         prune,
         start_entities_for=lambda explanation: [v_start],
         measure_name="local-dist",
+        executor=executor,
     )
 
 
@@ -187,12 +218,15 @@ def rank_by_global_position(
     prune: bool = True,
     num_samples: int = 100,
     seed: int = 13,
+    executor=None,
 ) -> RankingResult:
     """Top-k ranking by position in the sampled global distribution.
 
     The global distribution is estimated by pooling ``num_samples`` local
     distributions anchored at randomly chosen start entities (plus the pair's
-    own start entity), exactly as in the paper's experiments.
+    own start entity), exactly as in the paper's experiments.  With an
+    ``executor`` the pooled sweep of every candidate is sharded across worker
+    processes (pruning off, exact positions, identical ranking).
     """
     rng = random.Random(seed)
     candidates = [entity for entity in kb.entities if entity != v_start]
@@ -211,4 +245,5 @@ def rank_by_global_position(
         prune,
         start_entities_for=lambda explanation: start_entities,
         measure_name="global-dist",
+        executor=executor,
     )

@@ -31,6 +31,7 @@ See ``docs/serving.md`` for the full API reference and cache semantics.
 
 from __future__ import annotations
 
+from repro.parallel import WorkerCrashError
 from repro.service.cache import CacheStats, VersionedLRUCache
 from repro.service.engine import (
     DEFAULT_MEASURE,
@@ -55,6 +56,7 @@ from repro.service.server import (
 __all__ = [
     "CacheStats",
     "VersionedLRUCache",
+    "WorkerCrashError",
     "DEFAULT_MEASURE",
     "ExplainOutcome",
     "ExplanationEngine",

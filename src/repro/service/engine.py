@@ -23,8 +23,10 @@ component designed for a *request stream*:
 from __future__ import annotations
 
 import copy
+import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -33,6 +35,7 @@ from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
 from repro.errors import RexError, UnknownEntityError
 from repro.kb.graph import KnowledgeBase
 from repro.measures.base import Measure
+from repro.parallel import ParallelBatchExecutor
 from repro.ranking.general import RankedExplanation
 from repro.service.cache import VersionedLRUCache
 from repro.service.metrics import MetricsRegistry
@@ -41,6 +44,19 @@ __all__ = ["ExplainOutcome", "ExplanationEngine", "DEFAULT_MEASURE"]
 
 #: The measure the paper's user study favours; the serving default.
 DEFAULT_MEASURE = "size+monocount"
+
+
+def _parallelism_from_env() -> int:
+    """The ``REX_PARALLELISM`` default (0 = sequential, the seed semantics)."""
+    raw = os.environ.get("REX_PARALLELISM", "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise RexError(
+            f"REX_PARALLELISM must be an integer worker count, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -127,6 +143,15 @@ class _ReadWriteLock:
             self._writing = False
             self._cond.notify_all()
 
+    @contextmanager
+    def read_locked(self):
+        """Context-manager form of the read side (snapshot guard, cache put)."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
 
 class ExplanationEngine:
     """A concurrent, caching wrapper around the :class:`repro.Rex` facade.
@@ -139,6 +164,12 @@ class ExplanationEngine:
         cache_ttl: optional TTL in seconds for cached rankings.
         metrics: optional shared registry (the HTTP server passes its own so
             engine and transport metrics render together).
+        parallelism: worker-process count for batch requests.  ``None`` reads
+            ``REX_PARALLELISM`` (default 0); values below 2 keep every
+            request on the calling thread — the exact seed semantics.  At 2+,
+            :meth:`explain_batch` shards cache misses across a
+            :class:`~repro.parallel.ParallelBatchExecutor` whose worker
+            replicas are recycled whenever the KB version moves.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -155,6 +186,7 @@ class ExplanationEngine:
         cache_capacity: int = 2048,
         cache_ttl: float | None = None,
         metrics: MetricsRegistry | None = None,
+        parallelism: int | None = None,
     ) -> None:
         self._rex = Rex(kb, size_limit=size_limit)
         # one snapshot of the measure registry: _resolve_measure runs on every
@@ -165,6 +197,11 @@ class ExplanationEngine:
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self._kb_lock = _ReadWriteLock()
+        self.parallelism = (
+            max(0, parallelism) if parallelism is not None else _parallelism_from_env()
+        )
+        self._executor: ParallelBatchExecutor | None = None
+        self._executor_lock = threading.Lock()
         # engine instruments (created eagerly so /metrics shows zeros)
         self._requests = self.metrics.counter("engine.requests")
         self._cache_hits = self.metrics.counter("engine.cache_hits")
@@ -174,6 +211,8 @@ class ExplanationEngine:
         self._errors = self.metrics.counter("engine.errors")
         self._kb_updates = self.metrics.counter("engine.kb_updates")
         self._warmed_pairs = self.metrics.counter("engine.warmed_pairs")
+        self._parallel_batches = self.metrics.counter("engine.parallel_batches")
+        self._parallel_retries = self.metrics.counter("engine.parallel_retries")
         self._latency = self.metrics.histogram("engine.explain_latency")
 
     # -- accessors ---------------------------------------------------------
@@ -213,20 +252,9 @@ class ExplanationEngine:
         started = time.perf_counter()
         self._requests.inc()
         try:
-            # validate request *types* before anything touches a dict or the
-            # cache key: unhashable/bogus values must surface as RexError (a
-            # clean 400 and an inline batch error), never as a TypeError 500
-            for name, entity in (("v_start", v_start), ("v_end", v_end)):
-                if not isinstance(entity, str):
-                    raise RexError(f"{name} must be an entity id string, got {entity!r}")
-            validate_k(k)
-            if size_limit is not None:
-                validate_size_limit(size_limit)
-            for entity in (v_start, v_end):
-                if not self._rex.kb.has_entity(entity):
-                    raise UnknownEntityError(entity)
-            measure_obj = self._resolve_measure(measure)
-            effective_limit = size_limit if size_limit is not None else self.size_limit
+            measure_obj, effective_limit = self._validate_request(
+                v_start, v_end, measure, k, size_limit
+            )
             version = self._rex.kb.version
             key = (v_start, v_end, measure_obj.name, k, effective_limit)
 
@@ -296,6 +324,7 @@ class ExplanationEngine:
     def explain_batch(
         self,
         requests: Sequence[Mapping[str, Any]],
+        parallel: bool | None = None,
     ) -> list[ExplainOutcome | RexError]:
         """Answer a sequence of explain requests, tolerating per-item errors.
 
@@ -303,19 +332,25 @@ class ExplanationEngine:
         and ``measure``, ``k``, ``size_limit`` (optional).  The result list is
         positional: an :class:`ExplainOutcome` for answered requests, the
         raised :class:`RexError` for rejected ones.
+
+        With ``parallelism`` configured at 2 or more (and ``parallel`` not
+        forced to ``False``), cache misses are deduplicated and sharded
+        across the worker-process pool instead of running on the calling
+        thread; results come back in the same positional order with the same
+        contents.  See ``docs/scaling.md`` for the executor model.
+
+        Raises:
+            WorkerCrashError: (parallel mode only) a worker process died
+                mid-batch; no partial results are returned and the pool is
+                recycled on the next batch.
         """
+        use_parallel = self.parallelism >= 2 and parallel is not False
+        if use_parallel:
+            return self._explain_batch_parallel(requests)
         results: list[ExplainOutcome | RexError] = []
         for request in requests:
             try:
-                if not isinstance(request, Mapping):
-                    raise RexError(
-                        f"each batch request must be an object, got {request!r}"
-                    )
-                if "start" not in request or "end" not in request:
-                    raise RexError(
-                        "batch requests need 'start' and 'end' keys, got "
-                        f"{sorted(request)}"
-                    )
+                self._validate_request_shape(request)
                 results.append(
                     self.explain(
                         request["start"],
@@ -328,6 +363,135 @@ class ExplanationEngine:
             except RexError as error:
                 results.append(error)
         return results
+
+    def _explain_batch_parallel(
+        self, requests: Sequence[Mapping[str, Any]]
+    ) -> list[ExplainOutcome | RexError]:
+        """The sharded batch path: validate, consult the cache, dispatch.
+
+        Per item: validation and the cache lookup happen inline (identical
+        errors and hit semantics to the sequential path); distinct missing
+        keys are dispatched to the worker pool once each — duplicates of the
+        same key within the batch are coalesced onto the leader's result,
+        mirroring the single-flight behaviour of :meth:`explain`.
+
+        A KB update landing mid-batch cannot poison the cache: results are
+        stored under the version of the worker replica that computed them,
+        and only when that version is still current.  An item that *fails*
+        on a stale replica (e.g. its entity was added after the snapshot) is
+        retried inline against the live KB, so callers never see errors the
+        sequential path would not have produced.  (A retried item passes
+        through :meth:`explain` and is therefore counted twice in
+        ``engine.requests``; ``engine.parallel_retries`` records exactly how
+        often that happened.)
+
+        Workers resolve measures from the default registry by name, so items
+        carrying a :class:`Measure` *instance* that is not the registry's own
+        are evaluated inline on the calling thread instead of being shipped
+        to a worker (which could not reconstruct them faithfully).
+        """
+        started = time.perf_counter()
+        results: list[ExplainOutcome | RexError | None] = [None] * len(requests)
+        positions_by_key: dict[tuple, list[int]] = {}
+        for position, request in enumerate(requests):
+            try:
+                self._validate_request_shape(request)
+                measure_obj, effective_limit = self._validate_request(
+                    request["start"],
+                    request["end"],
+                    request.get("measure", DEFAULT_MEASURE),
+                    request.get("k", 10),
+                    request.get("size_limit"),
+                )
+            except RexError as error:
+                self._requests.inc()
+                self._errors.inc()
+                results[position] = error
+                continue
+            if self._measures.get(measure_obj.name) is not measure_obj:
+                # a caller-supplied Measure instance: workers only know the
+                # registry, so dispatching its *name* would either KeyError
+                # or silently run a different measure — answer it inline
+                # (explain() does all the counting for this item)
+                try:
+                    results[position] = self.explain(
+                        request["start"],
+                        request["end"],
+                        measure=measure_obj,
+                        k=request.get("k", 10),
+                        size_limit=request.get("size_limit"),
+                    )
+                except RexError as error:
+                    results[position] = error
+                continue
+            self._requests.inc()
+            key = (
+                request["start"],
+                request["end"],
+                measure_obj.name,
+                request.get("k", 10),
+                effective_limit,
+            )
+            version = self._rex.kb.version
+            ranked = self.cache.get(key, version)
+            if ranked is not None:
+                self._cache_hits.inc()
+                results[position] = self._outcome(
+                    ranked, key, version, cached=True, coalesced=False, started=started
+                )
+                continue
+            self._cache_misses.inc()
+            positions_by_key.setdefault(key, []).append(position)
+
+        if positions_by_key:
+            self._parallel_batches.inc()
+            executor = self._ensure_executor()
+            keys = list(positions_by_key)
+            items = [(index, *key) for index, key in enumerate(keys)]
+            outcomes = executor.execute(items)
+            for index, key in enumerate(keys):
+                ok, value, replica_version = outcomes[index]
+                positions = positions_by_key[key]
+                if not ok and replica_version != self._rex.kb.version:
+                    # the replica predates a mid-batch KB update; the live KB
+                    # may well answer this request (e.g. a just-added entity)
+                    self._parallel_retries.inc()
+                    v_start, v_end, measure_name, k, size_limit = key
+                    for position in positions:
+                        try:
+                            results[position] = self.explain(
+                                v_start, v_end, measure=measure_name, k=k,
+                                size_limit=size_limit,
+                            )
+                        except RexError as error:
+                            results[position] = error
+                    continue
+                if not ok:
+                    for position in positions:
+                        self._errors.inc()
+                        results[position] = value
+                    continue
+                self._enumerations.inc()
+                # under the read lock no writer (and thus no purge) can
+                # interleave: either the replica is still current and the
+                # entry lands pre-purge, or it is stale and never cached
+                with self._kb_lock.read_locked():
+                    if replica_version == self._rex.kb.version:
+                        self.cache.put(key, replica_version, value)
+                for ordinal, position in enumerate(positions):
+                    coalesced = ordinal > 0
+                    if coalesced:
+                        self._coalesced.inc()
+                    results[position] = self._outcome(
+                        value,
+                        key,
+                        replica_version,
+                        cached=False,
+                        coalesced=coalesced,
+                        started=started,
+                    )
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
 
     # -- live updates ------------------------------------------------------
 
@@ -421,6 +585,25 @@ class ExplanationEngine:
             "elapsed_s": round(time.perf_counter() - started, 6),
         }
 
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def executor(self) -> ParallelBatchExecutor | None:
+        """The worker pool, if parallel batches have spun one up yet."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (if any); idempotent.
+
+        The HTTP server calls this from ``server_close`` so worker processes
+        never outlive the serving process; library users embedding an engine
+        with ``parallelism >= 2`` should do the same.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
     # -- observability -----------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -432,9 +615,65 @@ class ExplanationEngine:
             "entities": self._rex.kb.num_entities,
             "edges": self._rex.kb.num_edges,
         }
+        payload["parallel"] = {"parallelism": self.parallelism}
+        executor = self._executor
+        if executor is not None:
+            payload["parallel"].update(executor.snapshot())
         return payload
 
     # -- internals ---------------------------------------------------------
+
+    def _ensure_executor(self) -> ParallelBatchExecutor:
+        """The lazily created worker pool (spun up on the first miss batch)."""
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ParallelBatchExecutor(
+                    self._rex.kb,
+                    workers=self.parallelism,
+                    size_limit=self.size_limit,
+                    # KB snapshots for pool rebuilds must exclude live writers
+                    snapshot_guard=self._kb_lock.read_locked,
+                )
+            return self._executor
+
+    @staticmethod
+    def _validate_request_shape(request: object) -> None:
+        """Reject batch items that are not explain-request mappings."""
+        if not isinstance(request, Mapping):
+            raise RexError(f"each batch request must be an object, got {request!r}")
+        if "start" not in request or "end" not in request:
+            raise RexError(
+                f"batch requests need 'start' and 'end' keys, got {sorted(request)}"
+            )
+
+    def _validate_request(
+        self,
+        v_start: object,
+        v_end: object,
+        measure: str | Measure,
+        k: object,
+        size_limit: object,
+    ) -> tuple[Measure, int]:
+        """Full request validation, shared by every serving path.
+
+        Validates request *types* before anything touches a dict or the cache
+        key: unhashable/bogus values must surface as RexError (a clean 400
+        and an inline batch error), never as a TypeError 500.
+        """
+        for name, entity in (("v_start", v_start), ("v_end", v_end)):
+            if not isinstance(entity, str):
+                raise RexError(f"{name} must be an entity id string, got {entity!r}")
+        validate_k(k)
+        if size_limit is not None:
+            validate_size_limit(size_limit)
+        for entity in (v_start, v_end):
+            if not self._rex.kb.has_entity(entity):
+                raise UnknownEntityError(entity)
+        measure_obj = self._resolve_measure(measure)
+        # validate_size_limit above guarantees size_limit is an int here
+        effective_limit = size_limit if size_limit is not None else self.size_limit
+        assert isinstance(effective_limit, int)
+        return measure_obj, effective_limit
 
     def _resolve_measure(self, measure: str | Measure) -> Measure:
         if isinstance(measure, Measure):

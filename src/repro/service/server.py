@@ -24,8 +24,11 @@ Endpoints:
     HTTP counters as one JSON document.
 
 Error mapping: invalid parameters and malformed bodies are ``400``, unknown
-entities are ``404``, unknown routes are ``404`` with an ``error`` body, and
-unexpected failures are ``500``.  Every error body is ``{"error": message}``.
+entities are ``404``, unknown routes are ``404`` with an ``error`` body, a
+batch larger than the server's ``max_batch_requests`` is ``413``, a crashed
+worker process is ``500``, and unexpected failures are ``500``.  Every error
+body is ``{"error": message}`` — a failure never leaves the client with a
+hung connection.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import RexError, UnknownEntityError
 from repro.kb.graph import KnowledgeBase
+from repro.parallel import WorkerCrashError
 from repro.service.engine import DEFAULT_MEASURE, ExplanationEngine
 from repro.service.serialize import outcome_to_dict
 
@@ -46,6 +50,11 @@ __all__ = ["ExplanationServer", "create_server", "serve", "run_in_thread"]
 #: Upper bound on accepted request bodies (1 MiB) — a serving-layer guard, not
 #: a statement about KB sizes; bulk loads belong in :mod:`repro.kb.io`.
 MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on items per ``POST /explain/batch`` (overridable per server).
+#: An oversized batch is rejected with ``413`` before any item is evaluated —
+#: one runaway client must not monopolise the worker pool for minutes.
+MAX_BATCH_REQUESTS = 1024
 
 
 class ExplanationServer(ThreadingHTTPServer):
@@ -59,16 +68,25 @@ class ExplanationServer(ThreadingHTTPServer):
         address: tuple[str, int],
         engine: ExplanationEngine,
         verbose: bool = False,
+        max_batch_requests: int = MAX_BATCH_REQUESTS,
     ) -> None:
-        super().__init__(address, _ExplainHandler)
+        # assigned before binding: a failed bind runs server_close, which
+        # must already see the engine to release its worker pool
         self.engine = engine
         self.verbose = verbose
+        self.max_batch_requests = max_batch_requests
+        super().__init__(address, _ExplainHandler)
 
     @property
     def url(self) -> str:
         """The base URL the server is bound to."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def server_close(self) -> None:
+        """Close the listening socket and release the engine's worker pool."""
+        super().server_close()
+        self.engine.close()
 
 
 class _ExplainHandler(BaseHTTPRequestHandler):
@@ -149,6 +167,14 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         requests = document.get("requests")
         if not isinstance(requests, list):
             raise _BadRequest("body must be an object with a 'requests' list")
+        batch_limit = getattr(self.server, "max_batch_requests", MAX_BATCH_REQUESTS)
+        if len(requests) > batch_limit:
+            return 413, {
+                "error": (
+                    f"batch of {len(requests)} requests exceeds the "
+                    f"{batch_limit} request limit"
+                )
+            }
         max_instances = document.get("max_instances", 3)
         if (
             not isinstance(max_instances, int)
@@ -196,6 +222,13 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             status, payload = 404, {"error": str(error)}
         except RexError as error:
             status, payload = 400, {"error": str(error)}
+        except WorkerCrashError as error:
+            # infrastructure failure, not a client error: report it as a JSON
+            # 500 (never a hung connection) and do not reuse the socket; the
+            # engine recycles the pool on the next batch
+            self.close_connection = True
+            metrics.counter("http.worker_crashes").inc()
+            status, payload = 500, {"error": f"worker crash: {error}"}
         except Exception as error:  # pragma: no cover - defensive 500 path
             # unknown failure state (possibly mid-read): do not reuse the
             # connection
@@ -286,13 +319,16 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    max_batch_requests: int = MAX_BATCH_REQUESTS,
 ) -> ExplanationServer:
     """Bind an :class:`ExplanationServer` (``port=0`` picks an ephemeral port).
 
     The server is bound but not yet serving; call ``serve_forever()`` (often
     on a background thread) and ``shutdown()`` when done.
     """
-    return ExplanationServer((host, port), engine, verbose=verbose)
+    return ExplanationServer(
+        (host, port), engine, verbose=verbose, max_batch_requests=max_batch_requests
+    )
 
 
 def serve(
@@ -304,11 +340,13 @@ def serve(
     cache_ttl: float | None = None,
     warmup_pairs: list[tuple[str, str]] | None = None,
     verbose: bool = True,
+    parallelism: int | None = None,
 ) -> None:
     """Blocking convenience entry point: build an engine and serve forever."""
     engine_kwargs: dict[str, Any] = {
         "cache_capacity": cache_capacity,
         "cache_ttl": cache_ttl,
+        "parallelism": parallelism,
     }
     if size_limit is not None:
         engine_kwargs["size_limit"] = size_limit

@@ -1,0 +1,37 @@
+"""Synthetic workloads: seeded KB generators and request-stream samplers.
+
+The paper's evaluation runs over one DBpedia entertainment extract; growing
+the reproduction toward production scale needs workloads whose *shape* and
+*size* are knobs, not fixtures:
+
+* :mod:`repro.workloads.generators` — scale-free, bipartite entity–attribute
+  and clustered-community knowledge bases, all driven by explicit stdlib
+  ``random`` seeds (same knobs + seed = byte-identical KB);
+* :mod:`repro.workloads.requests` — connected-pair sampling and Zipf-skewed
+  explain-request streams in the batch-API shape.
+
+These feed the parallel batch benchmark (``benchmarks/bench_parallel.py``),
+the concurrency/property test suites and the CLI's ``batch --generate``
+mode.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generators import (
+    GENERATORS,
+    bipartite_kb,
+    clustered_kb,
+    generate_kb,
+    scale_free_kb,
+)
+from repro.workloads.requests import sample_connected_pairs, sample_request_stream
+
+__all__ = [
+    "GENERATORS",
+    "bipartite_kb",
+    "clustered_kb",
+    "generate_kb",
+    "scale_free_kb",
+    "sample_connected_pairs",
+    "sample_request_stream",
+]

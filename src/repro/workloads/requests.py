@@ -1,0 +1,128 @@
+"""Seeded request-stream sampling over a knowledge base.
+
+A serving benchmark is only as honest as its workload.  This module samples
+*relatable* entity pairs (endpoints of existing edges, so at least the
+single-edge explanation exists) and expands them into explain-request streams
+with the skew of a real search results page: a small set of popular pairs
+requested over and over, a long tail requested once.
+
+Everything is driven by an explicit stdlib ``random`` seed, so a stream is a
+value that tests can regenerate and compare against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.graph import KnowledgeBase
+
+__all__ = ["sample_connected_pairs", "sample_request_stream"]
+
+
+def sample_connected_pairs(
+    kb: KnowledgeBase,
+    count: int,
+    seed: int = 0,
+    hub_bias: int = 0,
+) -> list[tuple[str, str]]:
+    """Sample ``count`` distinct entity pairs that share at least one edge.
+
+    Args:
+        kb: the knowledge base to sample from.
+        count: number of distinct pairs to return.
+        seed: RNG seed.
+        hub_bias: tournament size minus one — for each pair, ``hub_bias + 1``
+            candidate edges are drawn and the one with the largest endpoint
+            degree sum wins.  ``0`` samples edges uniformly; larger values
+            skew toward hub entities (heavier requests).
+
+    Raises:
+        KnowledgeBaseError: when the KB has no edges or fewer than ``count``
+            distinct endpoint pairs.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if hub_bias < 0:
+        raise ValueError(f"hub_bias must be >= 0, got {hub_bias}")
+    edges = list(kb.edges())
+    if not edges:
+        raise KnowledgeBaseError("cannot sample pairs from a knowledge base with no edges")
+    rng = random.Random(seed)
+    pairs: list[tuple[str, str]] = []
+    seen: set[tuple[str, str]] = set()
+    attempts = 0
+    max_attempts = max(1000, 50 * count)
+    while len(pairs) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise KnowledgeBaseError(
+                f"could not sample {count} distinct connected pairs "
+                f"(found {len(pairs)} after {attempts} attempts)"
+            )
+        best = None
+        best_cost = -1
+        for _ in range(hub_bias + 1):
+            edge = edges[rng.randrange(len(edges))]
+            cost = kb.degree(edge.source) + kb.degree(edge.target)
+            if cost > best_cost:
+                best, best_cost = edge, cost
+        assert best is not None
+        pair = (best.source, best.target)
+        if pair not in seen and (pair[1], pair[0]) not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    return pairs
+
+
+def sample_request_stream(
+    kb: KnowledgeBase,
+    count: int,
+    seed: int = 0,
+    unique_pairs: int | None = None,
+    hub_bias: int = 0,
+    measures: Sequence[str] = ("size+monocount",),
+    k_choices: Sequence[int] = (3, 5),
+    size_limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Sample a stream of ``count`` explain requests (engine batch shape).
+
+    First ``unique_pairs`` distinct connected pairs are drawn (default:
+    ``count``, i.e. no repetition), then each request picks a pair with a
+    Zipf-like popularity skew (pair at popularity rank ``r`` has weight
+    ``1 / (r + 1)``), a measure and a ``k``.  The returned dicts use the
+    ``start``/``end``/``measure``/``k``/``size_limit`` keys that
+    :meth:`repro.service.ExplanationEngine.explain_batch` and
+    ``POST /explain/batch`` accept.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not measures or not k_choices:
+        raise ValueError("measures and k_choices must be non-empty")
+    if unique_pairs is None:
+        unique_pairs = count
+    if not 1 <= unique_pairs <= count:
+        raise ValueError(
+            f"unique_pairs must be between 1 and count ({count}), got {unique_pairs}"
+        )
+    pairs = sample_connected_pairs(kb, unique_pairs, seed=seed, hub_bias=hub_bias)
+    rng = random.Random(seed + 1)
+    weights = [1.0 / (rank + 1) for rank in range(len(pairs))]
+    stream: list[dict[str, Any]] = []
+    # every distinct pair appears at least once; the remainder is skew-drawn
+    chosen = list(pairs)
+    for _ in range(count - len(pairs)):
+        chosen.append(rng.choices(pairs, weights=weights, k=1)[0])
+    rng.shuffle(chosen)
+    for v_start, v_end in chosen:
+        request: dict[str, Any] = {
+            "start": v_start,
+            "end": v_end,
+            "measure": measures[rng.randrange(len(measures))],
+            "k": k_choices[rng.randrange(len(k_choices))],
+        }
+        if size_limit is not None:
+            request["size_limit"] = size_limit
+        stream.append(request)
+    return stream

@@ -1,0 +1,171 @@
+"""Server error paths for the scale-out batch API.
+
+Complements ``test_service_http.py`` with the failure modes the parallel
+batch endpoint introduces: oversized batches, unknown measures inside
+parallel batches, malformed JSON against a parallel engine, and — the
+important one — a worker process crashing mid-batch, which must surface as a
+JSON ``500`` (and a recycled pool on the next request), never as a hung
+connection or a silent partial result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ExplanationEngine, create_server, run_in_thread
+from repro.workloads import clustered_kb, sample_request_stream
+
+SIZE_LIMIT = 4
+
+
+@pytest.fixture(scope="module")
+def workload_kb():
+    return clustered_kb(num_communities=3, community_size=20, inter_edges=15, seed=77)
+
+
+@pytest.fixture()
+def parallel_service(workload_kb):
+    """A live server whose engine shards batches across 2 worker processes."""
+    engine = ExplanationEngine(
+        workload_kb.copy(), size_limit=SIZE_LIMIT, parallelism=2
+    )
+    server = create_server(engine, port=0, max_batch_requests=16)
+    run_in_thread(server)
+    try:
+        yield engine, server.url
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _post_raw(url: str, body: bytes, timeout: float = 60) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _post(url: str, payload: dict, timeout: float = 60) -> tuple[int, dict]:
+    return _post_raw(url, json.dumps(payload).encode("utf-8"), timeout=timeout)
+
+
+class TestMalformedBodies:
+    def test_invalid_json_is_400_json(self, parallel_service):
+        _, url = parallel_service
+        status, payload = _post_raw(url + "/explain/batch", b"{not json!}")
+        assert status == 400
+        assert "invalid JSON body" in payload["error"]
+
+    def test_non_object_document_is_400(self, parallel_service):
+        _, url = parallel_service
+        status, payload = _post_raw(url + "/explain/batch", b"[1, 2, 3]")
+        assert status == 400
+        assert "must be an object" in payload["error"]
+
+    def test_requests_key_must_be_a_list(self, parallel_service):
+        _, url = parallel_service
+        status, payload = _post(url + "/explain/batch", {"requests": "nope"})
+        assert status == 400
+        assert "'requests' list" in payload["error"]
+
+
+class TestOversizedBatch:
+    def test_batch_over_limit_is_413_without_evaluation(self, parallel_service):
+        engine, url = parallel_service
+        oversized = [{"start": "x", "end": "y"}] * 17  # limit is 16
+        status, payload = _post(url + "/explain/batch", {"requests": oversized})
+        assert status == 413
+        assert "exceeds the 16 request limit" in payload["error"]
+        # rejected before evaluation: no engine request counters moved, and
+        # no worker pool was spun up for it
+        assert engine.metrics.counter("engine.requests").value == 0
+        assert engine.executor is None
+
+    def test_batch_at_limit_is_served(self, parallel_service, workload_kb):
+        _, url = parallel_service
+        requests = sample_request_stream(
+            workload_kb, 16, seed=3, unique_pairs=8, size_limit=SIZE_LIMIT
+        )
+        status, payload = _post(url + "/explain/batch", {"requests": requests})
+        assert status == 200
+        assert payload["num_answered"] == 16
+
+
+class TestUnknownMeasure:
+    def test_single_explain_unknown_measure_is_400(
+        self, parallel_service, workload_kb
+    ):
+        _, url = parallel_service
+        pair = sample_request_stream(workload_kb, 1, seed=6)[0]
+        try:
+            with urllib.request.urlopen(
+                url + f"/explain?start={pair['start']}&end={pair['end']}&measure=wat",
+                timeout=60,
+            ) as response:
+                status, payload = response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            status, payload = error.code, json.load(error)
+        assert status == 400
+        assert "unknown measure" in payload["error"]
+
+    def test_unknown_measure_in_parallel_batch_is_inline_error(
+        self, parallel_service, workload_kb
+    ):
+        _, url = parallel_service
+        good = sample_request_stream(workload_kb, 2, seed=4, size_limit=SIZE_LIMIT)
+        bad = dict(good[0])
+        bad["measure"] = "definitely-not-a-measure"
+        status, payload = _post(
+            url + "/explain/batch", {"requests": [good[0], bad, good[1]]}
+        )
+        assert status == 200
+        assert payload["num_answered"] == 2
+        assert "unknown measure" in payload["results"][1]["error"]
+        assert payload["results"][0].get("error") is None
+        assert payload["results"][2].get("error") is None
+
+
+class TestWorkerCrash:
+    def test_crash_surfaces_as_json_500_then_recovers(
+        self, parallel_service, workload_kb
+    ):
+        engine, url = parallel_service
+        requests = sample_request_stream(
+            workload_kb, 6, seed=8, size_limit=SIZE_LIMIT
+        )
+        # first batch spins the pool up and succeeds
+        status, payload = _post(url + "/explain/batch", {"requests": requests})
+        assert status == 200 and payload["num_answered"] == 6
+
+        executor = engine.executor
+        assert executor is not None
+        for pid in executor.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+
+        # cache returns the warm answers without touching the dead pool, so
+        # force misses with a fresh request shape
+        crash_requests = [dict(request, k=9) for request in requests]
+        status, payload = _post(
+            url + "/explain/batch", {"requests": crash_requests}
+        )
+        assert status == 500
+        assert "worker crash" in payload["error"]
+        assert engine.metrics.counter("http.worker_crashes").value == 1
+
+        # the next batch recycles the pool and answers normally
+        status, payload = _post(
+            url + "/explain/batch", {"requests": crash_requests}
+        )
+        assert status == 200
+        assert payload["num_answered"] == 6
+        assert executor.stats.recycles >= 1
