@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-parallel bench bench-core bench-smoke bench-check \
 	serve serve-smoke bench-service bench-service-check \
-	bench-parallel bench-parallel-check
+	bench-parallel bench-parallel-check bench-compiled bench-compiled-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,3 +61,16 @@ bench-parallel:
 bench-parallel-check:
 	REX_BENCH_PARALLEL_FLOOR=2.0 $(PYTHON) -m benchmarks --parallel-only \
 		--output bench_parallel_fresh.json
+
+# Compiled-core benchmark; writes BENCH_pr4.json (dict vs compiled backend on
+# the fig7 buckets + fig11 global sweep, and snapshot format 1 vs format 2,
+# all on the ~52k-edge clustered workload KB — see docs/performance.md).
+bench-compiled:
+	$(PYTHON) -m benchmarks --compiled-only --output BENCH_pr4.json
+
+# CI gate: fresh run asserting the 2x compiled floors (fig7 high bucket and
+# fig11 global sweep, dict vs compiled measured in-process) and the 5x
+# snapshot build+restore floor (format 1 replay vs format 2 buffers).
+bench-compiled-check:
+	REX_BENCH_COMPILED_FLOOR=2.0 REX_BENCH_SNAPSHOT_FLOOR=5.0 \
+		$(PYTHON) -m benchmarks --compiled-only --output bench_compiled_fresh.json

@@ -29,6 +29,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SERVICE_SELECTION = ["benchmarks/bench_service_throughput.py"]
 #: The scale-out batch benchmark (PR 3, records into BENCH_pr3.json).
 PARALLEL_SELECTION = ["benchmarks/bench_parallel.py"]
+#: The compiled array-backed core benchmark (PR 4, records into BENCH_pr4.json).
+COMPILED_SELECTION = ["benchmarks/bench_compiled.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -37,7 +39,8 @@ PARALLEL_SELECTION = ["benchmarks/bench_parallel.py"]
 #: ``--parallel-only``), and folding them into a figure run would pollute
 #: BENCH_pr1.json and subject the run to their own assertions.
 _SUBSYSTEM_FILES = {
-    Path(entry).name for entry in SERVICE_SELECTION + PARALLEL_SELECTION
+    Path(entry).name
+    for entry in SERVICE_SELECTION + PARALLEL_SELECTION + COMPILED_SELECTION
 }
 DEFAULT_SELECTION = sorted(
     path.relative_to(REPO_ROOT).as_posix()
@@ -142,6 +145,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the scale-out batch benchmark (BENCH_pr3.json)",
     )
+    subset.add_argument(
+        "--compiled-only",
+        action="store_true",
+        help="run only the compiled-core benchmark (BENCH_pr4.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -173,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = SERVICE_SELECTION
     elif args.parallel_only:
         selection = PARALLEL_SELECTION
+    elif args.compiled_only:
+        selection = COMPILED_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

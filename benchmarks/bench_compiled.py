@@ -1,0 +1,336 @@
+"""Compiled array-backed KB core vs the dict substrate (PR 4, BENCH_pr4.json).
+
+Three gated scenarios, all on the ~52k-edge clustered workload KB that the
+scale-out benchmark (PR 3) introduced, with both backends measured fresh in
+the same process and the outputs asserted byte-identical before any timing
+is trusted:
+
+* **fig7 enumeration buckets** — the Figure 7 experiment shape (entity pairs
+  bucketed by connectedness, full ``enumerate_explanations``) at workload
+  scale.  The ``high`` bucket is the gated scenario: compiled over dict must
+  clear ``REX_BENCH_COMPILED_FLOOR`` (the ``make bench-compiled-check`` gate
+  sets 2.0).  ``low``/``medium`` are recorded ungated for the figure shape.
+* **fig11 global distributional sweep** — top-10 by sampled global position
+  (no pruning: the pure batched-sweep scenario) for a medium-connectedness
+  pair; same floor.  The pruned variant is recorded ungated.
+* **snapshot build + restore** — shipping a worker replica: the format-1
+  entity/edge tuple replay (rebuilt edge-by-edge through ``add_edge``, the
+  PR 3 baseline, reproduced locally below) vs payload format 2 (``tobytes``
+  buffers of the serving engine's cached compile, restored with
+  ``frombytes``).  Gate: ``REX_BENCH_SNAPSHOT_FLOOR`` (the check target sets
+  5.0).  The one-off compile is recorded separately (``compile_s``): in the
+  serving flow it is the engine's per-version cache, already paid for by the
+  request path, so snapshotting bills only the buffer copies.
+
+Environment knobs:
+
+* ``REX_BENCH_COMPILED_FLOOR`` — when > 0, assert the fig7-high and fig11
+  global-sweep speedups meet this floor (default 0 = record only).
+* ``REX_BENCH_SNAPSHOT_FLOOR`` — same for the snapshot scenario (default 0).
+* ``REX_BENCH_COMPILED_COMMUNITIES`` — KB scale (default 250 communities of
+  40 ≈ 52k edges; CI smoke can shrink it).
+* ``REX_BENCH_COMPILED_PAIRS`` — pairs per connectedness bucket (default 4).
+* ``REX_BENCH_GLOBAL_SAMPLES`` — sampled start entities of the global
+  distribution (default 100, the paper's number).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.enumeration.framework import enumerate_explanations
+from repro.evaluation.pairs import sample_pairs_by_connectedness
+from repro.kb.compiled import CompiledKB
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import EntityType, RelationType, Schema
+from repro.parallel.snapshot import kb_from_payload, kb_to_payload
+from repro.ranking.distributional_pruning import rank_by_global_position
+from repro.workloads import clustered_kb
+
+GROUP = "compiled-core"
+SIZE_LIMIT = 5
+ROUNDS = 3
+
+COMPILED_FLOOR = float(os.environ.get("REX_BENCH_COMPILED_FLOOR", "0"))
+SNAPSHOT_FLOOR = float(os.environ.get("REX_BENCH_SNAPSHOT_FLOOR", "0"))
+COMMUNITIES = int(os.environ.get("REX_BENCH_COMPILED_COMMUNITIES", "250"))
+PAIRS_PER_BUCKET = int(os.environ.get("REX_BENCH_COMPILED_PAIRS", "4"))
+GLOBAL_SAMPLES = int(os.environ.get("REX_BENCH_GLOBAL_SAMPLES", "100"))
+WORKLOAD_SEED = int(os.environ.get("REX_BENCH_SEED", "7")) + 4
+
+
+@pytest.fixture(scope="module")
+def workload_kb() -> KnowledgeBase:
+    """The PR 3 clustered workload KB (~52k edges at the default knobs)."""
+    return clustered_kb(
+        num_communities=COMMUNITIES,
+        community_size=40,
+        intra_degree=5,
+        inter_edges=10 * COMMUNITIES,
+        seed=WORKLOAD_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled_kb(workload_kb) -> CompiledKB:
+    return CompiledKB.compile(workload_kb)
+
+
+@pytest.fixture(scope="module")
+def bucketed_pairs(workload_kb):
+    """Figure 7 style connectedness buckets sampled from the workload KB."""
+    buckets = sample_pairs_by_connectedness(
+        workload_kb,
+        pairs_per_bucket=PAIRS_PER_BUCKET,
+        length_limit=4,
+        seed=WORKLOAD_SEED,
+        entity_type="node",
+    )
+    for name, pairs in buckets.items():
+        assert pairs, f"no pairs sampled for the {name} bucket"
+    return buckets
+
+
+def _render_explanations(explanations) -> list:
+    return sorted(
+        (explanation.pattern.canonical_key, tuple(i.items() for i in explanation.instances))
+        for explanation in explanations
+    )
+
+
+def _best_of(callable_, rounds: int = ROUNDS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# fig7: enumeration buckets
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bucket", ["low", "medium", "high"])
+def test_fig7_enumeration_compiled_vs_dict(
+    benchmark, workload_kb, compiled_kb, bucketed_pairs, bucket
+):
+    """Full enumeration per bucket on both backends; ``high`` is gated."""
+    pairs = bucketed_pairs[bucket]
+
+    def run(kb):
+        return [
+            enumerate_explanations(kb, pair.v_start, pair.v_end, size_limit=SIZE_LIMIT)
+            for pair in pairs
+        ]
+
+    # Byte-identity first: same explanations (patterns and instance sets).
+    for expected, actual in zip(run(workload_kb), run(compiled_kb)):
+        assert _render_explanations(actual.explanations) == _render_explanations(
+            expected.explanations
+        )
+
+    dict_s, _ = _best_of(lambda: run(workload_kb))
+    compiled_results = benchmark.pedantic(
+        lambda: run(compiled_kb), rounds=ROUNDS, iterations=1
+    )
+    compiled_s = benchmark.stats.stats.min
+    speedup = dict_s / compiled_s
+
+    benchmark.group = f"{GROUP}-fig7-{bucket}"
+    benchmark.extra_info.update(
+        {
+            "scenario": f"fig7-{bucket}",
+            "pairs": len(pairs),
+            "size_limit": SIZE_LIMIT,
+            "explanations": sum(r.num_explanations for r in compiled_results),
+            "dict_s": round(dict_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(speedup, 3),
+            "gated": bucket == "high",
+            "floor": COMPILED_FLOOR if bucket == "high" else 0,
+        }
+    )
+    if bucket == "high" and COMPILED_FLOOR > 0:
+        assert speedup >= COMPILED_FLOOR, (
+            f"compiled fig7-high enumeration speedup {speedup:.2f}x is below the "
+            f"{COMPILED_FLOOR}x floor (dict {dict_s:.3f}s vs compiled {compiled_s:.3f}s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# fig11: global distributional sweep
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig11_workload(workload_kb, bucketed_pairs):
+    """A medium-connectedness pair with its pre-enumerated explanations."""
+    pair = bucketed_pairs["medium"][0]
+    explanations = enumerate_explanations(
+        workload_kb, pair.v_start, pair.v_end, size_limit=SIZE_LIMIT
+    ).explanations
+    return pair, explanations
+
+
+@pytest.mark.parametrize("prune", [False, True], ids=["global", "global+pruning"])
+def test_fig11_global_sweep_compiled_vs_dict(
+    benchmark, workload_kb, compiled_kb, fig11_workload, prune
+):
+    """Sampled global-position ranking; the unpruned sweep is gated."""
+    pair, explanations = fig11_workload
+
+    def run(kb):
+        return rank_by_global_position(
+            kb,
+            explanations,
+            pair.v_start,
+            pair.v_end,
+            k=10,
+            prune=prune,
+            num_samples=GLOBAL_SAMPLES,
+        )
+
+    expected = run(workload_kb)
+    actual = run(compiled_kb)
+    assert [
+        (entry.explanation.pattern.canonical_key, entry.value) for entry in actual.ranked
+    ] == [
+        (entry.explanation.pattern.canonical_key, entry.value)
+        for entry in expected.ranked
+    ]
+    assert actual.stats == expected.stats
+
+    dict_s, _ = _best_of(lambda: run(workload_kb))
+    benchmark.pedantic(lambda: run(compiled_kb), rounds=ROUNDS, iterations=1)
+    compiled_s = benchmark.stats.stats.min
+    speedup = dict_s / compiled_s
+
+    gated = not prune
+    benchmark.group = f"{GROUP}-fig11"
+    benchmark.extra_info.update(
+        {
+            "scenario": "fig11-global" + ("+pruning" if prune else ""),
+            "global_samples": GLOBAL_SAMPLES,
+            "explanations": len(explanations),
+            "bindings_enumerated": actual.stats["bindings_enumerated"],
+            "dict_s": round(dict_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(speedup, 3),
+            "gated": gated,
+            "floor": COMPILED_FLOOR if gated else 0,
+        }
+    )
+    if gated and COMPILED_FLOOR > 0:
+        assert speedup >= COMPILED_FLOOR, (
+            f"compiled fig11 global-sweep speedup {speedup:.2f}x is below the "
+            f"{COMPILED_FLOOR}x floor (dict {dict_s:.3f}s vs compiled {compiled_s:.3f}s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# snapshot build + restore (format 1 replay vs format 2 buffers)
+# ---------------------------------------------------------------------------
+
+
+def _payload_v1(kb: KnowledgeBase) -> tuple:
+    """The PR 3 format-1 snapshot: plain entity/edge tuples (baseline)."""
+    relations = tuple(
+        (relation.name, relation.directed, relation.domain, relation.range)
+        for relation in kb.schema
+    )
+    entity_types = tuple(
+        (entity_type.name, entity_type.description)
+        for entity_type in kb.schema.entity_types.values()
+    )
+    entities = tuple((entity, kb.entity_type(entity)) for entity in kb.entities)
+    edges = tuple(
+        (edge.source, edge.target, edge.label, edge.directed) for edge in kb.edges()
+    )
+    return (1, kb.version, relations, entity_types, entities, edges)
+
+
+def _restore_v1(payload: tuple) -> KnowledgeBase:
+    """The PR 3 format-1 restore: N× ``add_edge`` replay (baseline)."""
+    _, _, relations, entity_types, entities, edges = payload
+    schema = Schema(
+        relations=(
+            RelationType(name=name, directed=directed, domain=domain, range=range_)
+            for name, directed, domain, range_ in relations
+        ),
+        entity_types=(
+            EntityType(name=name, description=description)
+            for name, description in entity_types
+        ),
+    )
+    kb = KnowledgeBase(schema=schema)
+    for entity, entity_type in entities:
+        kb.add_entity(entity, entity_type)
+    for source, target, label, directed in edges:
+        kb.add_edge(source, target, label, directed)
+    return kb
+
+
+def test_snapshot_build_restore_speedup(benchmark, workload_kb, compiled_kb):
+    """Format-2 ship+restore vs the format-1 edge replay on the 52k-edge KB."""
+    # Correctness first: both replicas answer the same read API.
+    v1_replica = _restore_v1(_payload_v1(workload_kb))
+    v2_replica, v2_version = kb_from_payload(kb_to_payload(compiled_kb))
+    assert v2_version == workload_kb.version
+    assert list(v2_replica.entities) == list(v1_replica.entities)
+    assert [e.key() for e in v2_replica.edges()] == [
+        e.key() for e in v1_replica.edges()
+    ]
+    assert v2_replica.label_counts() == v1_replica.label_counts()
+
+    v1_build_s, v1_payload = _best_of(lambda: _payload_v1(workload_kb))
+    v1_restore_s, _ = _best_of(lambda: _restore_v1(v1_payload))
+
+    # Format-2 build ships the engine's cached compile (the request path has
+    # already paid for it); the cold compile is recorded separately.
+    v2_build_s, v2_payload = _best_of(lambda: kb_to_payload(compiled_kb))
+
+    def v2_restore():
+        return kb_from_payload(v2_payload)
+
+    benchmark.pedantic(v2_restore, rounds=ROUNDS, iterations=1)
+    v2_restore_s = benchmark.stats.stats.min
+
+    compile_s, _ = _best_of(lambda: CompiledKB.compile(workload_kb), rounds=1)
+
+    v1_total = v1_build_s + v1_restore_s
+    v2_total = v2_build_s + v2_restore_s
+    speedup = v1_total / v2_total
+    speedup_cold = v1_total / (v2_total + compile_s)
+
+    benchmark.group = f"{GROUP}-snapshot"
+    benchmark.extra_info.update(
+        {
+            "scenario": "snapshot-build-restore",
+            "entities": workload_kb.num_entities,
+            "edges": workload_kb.num_edges,
+            "format1_build_s": round(v1_build_s, 6),
+            "format1_restore_s": round(v1_restore_s, 6),
+            "format2_build_s": round(v2_build_s, 6),
+            "format2_restore_s": round(v2_restore_s, 6),
+            "compile_s": round(compile_s, 6),
+            "format1_payload_bytes": len(pickle.dumps(v1_payload)),
+            "format2_payload_bytes": len(pickle.dumps(v2_payload)),
+            "speedup": round(speedup, 3),
+            "speedup_including_cold_compile": round(speedup_cold, 3),
+            "gated": True,
+            "floor": SNAPSHOT_FLOOR,
+        }
+    )
+    if SNAPSHOT_FLOOR > 0:
+        assert speedup >= SNAPSHOT_FLOOR, (
+            f"format-2 snapshot build+restore speedup {speedup:.2f}x is below the "
+            f"{SNAPSHOT_FLOOR}x floor (format 1 {v1_total:.3f}s vs format 2 "
+            f"{v2_total:.3f}s)"
+        )

@@ -21,6 +21,10 @@ Usage examples::
     # generate and evaluate a synthetic 64-request stream on the demo KB
     rex-explain batch --demo --generate 64 --seed 7 --workers 2
 
+    # print KB statistics (entities, edges, labels, compiled-core size)
+    rex-explain info --kb edges.tsv
+    rex-explain info --workload clustered --seed 7
+
 The CLI is intentionally thin: it loads a knowledge base, invokes the same
 :class:`repro.Rex` facade (or :mod:`repro.service` engine) the examples use,
 and pretty-prints the result.
@@ -46,9 +50,11 @@ __all__ = [
     "build_parser",
     "build_serve_parser",
     "build_batch_parser",
+    "build_info_parser",
     "main",
     "serve_main",
     "batch_main",
+    "info_main",
 ]
 
 
@@ -238,6 +244,89 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_info_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``info`` subcommand (KB statistics)."""
+    parser = argparse.ArgumentParser(
+        prog="rex-info",
+        description=(
+            "Print knowledge-base statistics — entities, edges, labels, "
+            "density, compiled-core size and compile time — for a KB file, "
+            "a bundled dataset or a generated repro.workloads workload."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--kb",
+        type=Path,
+        help="knowledge base file (.tsv edge list or .json document)",
+    )
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="use the bundled paper running-example knowledge base",
+    )
+    source.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="use the bundled synthetic entertainment knowledge base",
+    )
+    source.add_argument(
+        "--workload",
+        choices=("scale-free", "bipartite", "clustered"),
+        help="generate a synthetic repro.workloads KB at its default knobs",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --workload generation"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the statistics as a JSON object instead of text lines",
+    )
+    return parser
+
+
+def info_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``info`` subcommand; returns an exit code."""
+    import pickle
+
+    from repro.kb.compiled import CompiledKB
+    from repro.parallel.snapshot import PAYLOAD_FORMAT, kb_to_payload
+
+    parser = build_info_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.workload:
+            from repro.workloads import generate_kb
+
+            kb = generate_kb(args.workload, seed=args.seed)
+        else:
+            kb = _load_kb(args)
+        compiled = CompiledKB.compile(kb)
+        snapshot_bytes = len(pickle.dumps(kb_to_payload(compiled)))
+    except (RexError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    info = {
+        "entities": compiled.num_entities,
+        "edges": compiled.num_edges,
+        "labels": len(compiled.label_of),
+        "density": round(kb.density(), 3),
+        "kb_version": kb.version,
+        "compiled_plane_bytes": compiled.plane_bytes(),
+        "compile_ms": round(compiled.compile_seconds * 1000, 3),
+        "snapshot_format": PAYLOAD_FORMAT,
+        "snapshot_bytes": snapshot_bytes,
+    }
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    width = max(len(name) for name in info)
+    for name, value in info.items():
+        print(f"{name:<{width}}  {value}")
+    return 0
+
+
 def _load_batch_requests(args: argparse.Namespace, kb) -> list:
     """The request list for ``batch``: from a file, or freshly sampled."""
     if args.requests is not None:
@@ -421,8 +510,9 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code.
 
     ``rex-explain serve ...`` dispatches to the serving subcommand,
-    ``rex-explain batch ...`` to offline bulk evaluation; anything else is
-    the classic one-shot explain flow.
+    ``rex-explain batch ...`` to offline bulk evaluation, ``rex-explain
+    info ...`` to knowledge-base statistics; anything else is the classic
+    one-shot explain flow.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -430,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "info":
+        return info_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

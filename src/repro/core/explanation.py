@@ -143,6 +143,26 @@ class Explanation:
 
     # -- dunder ------------------------------------------------------------
 
+    #: ``__dict__`` keys never pickled: per-process merge-kernel caches (the
+    #: fast-merge info embeds a process-local pattern token) and the bulky
+    #: assignment-set caches — all rebuilt on demand, and shipping them would
+    #: inflate every executor result payload.
+    _TRANSIENT_CACHES = ("_merge_info", "_fast_merge_info", "_assignment_cache")
+
+    def __getstate__(self):
+        extras = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._TRANSIENT_CACHES
+        }
+        return (self._pattern, self._instances, extras)
+
+    def __setstate__(self, state) -> None:
+        pattern, instances, extras = state
+        self._pattern = pattern
+        self._instances = instances
+        self.__dict__.update(extras)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Explanation):
             return NotImplemented

@@ -27,6 +27,7 @@ from typing import Iterator
 
 from repro.core.instance import ExplanationInstance
 from repro.core.pattern import END, START, ExplanationPattern
+from repro.kb.compiled import ORIENT_CODE, CompiledKB
 from repro.kb.graph import KnowledgeBase
 
 __all__ = ["match_pattern", "iter_matches", "count_matches", "has_match"]
@@ -132,6 +133,9 @@ def iter_matches(
     """
     if not kb.has_entity(v_start) or not kb.has_entity(v_end):
         return
+    if isinstance(kb, CompiledKB):
+        yield from _iter_matches_compiled(kb, pattern, v_start, v_end, limit)
+        return
     plan = _pattern_plan(pattern)
     targets = {START: v_start, END: v_end}
     for source, target, label, direction in plan.target_checks:
@@ -189,6 +193,100 @@ def iter_matches(
             candidates.difference_update(binding.values())
         variable = steps[index].variable
         for candidate in sorted(candidates):
+            binding[variable] = candidate
+            yield from backtrack(index + 1)
+            del binding[variable]
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def _iter_matches_compiled(
+    ckb: CompiledKB,
+    pattern: ExplanationPattern,
+    v_start: str,
+    v_end: str,
+    limit: int | None,
+) -> Iterator[ExplanationInstance]:
+    """Integer-handle frontier expansion of the pattern plan.
+
+    Candidate sets are intersections of CSR plane row *sets* (frozensets of
+    handles), target-edge checks probe the packed membership hash, and the
+    deterministic enumeration order is reproduced by sorting candidate
+    handles by the compiled sort-rank table — the rank of a handle equals
+    the rank of its entity id in ``sorted(...)``, so the yielded instances
+    (decoded at the yield boundary) match the dict backend's exactly.
+    """
+    plan = _pattern_plan(pattern)
+    handles = ckb.handles
+    names = ckb.names
+    start_h = handles[v_start]
+    end_h = handles[v_end]
+    targets = {START: v_start, END: v_end}
+    for source, target, label, direction in plan.target_checks:
+        if not ckb.has_edge(targets[source], targets[target], label, direction):
+            return
+
+    label_code = ckb.label_code
+    sort_rank = ckb.sort_rank
+    binding: dict[str, int] = {START: start_h, END: end_h}
+    steps = plan.steps
+    produced = 0
+    memo: dict[tuple, frozenset[int]] = {}
+
+    def raw_candidates(index: int) -> frozenset[int] | None:
+        step = steps[index]
+        if not step.anchors:
+            return None
+        key = (index,) + tuple(binding[anchor] for anchor, _, _ in step.anchors)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        candidates: set[int] | frozenset[int] | None = None
+        for anchor, label, orientation in step.anchors:
+            code = label_code.get(label)
+            if code is None:
+                candidates = frozenset()
+                break
+            reachable = ckb.plane_row_set(
+                code * 3 + ORIENT_CODE[orientation], binding[anchor]
+            )
+            if candidates is None:
+                candidates = reachable
+            else:
+                candidates = candidates & reachable
+            if not candidates:
+                break
+        result = frozenset(candidates) if candidates else frozenset()
+        memo[key] = result
+        return result
+
+    def backtrack(index: int) -> Iterator[ExplanationInstance]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if index == len(steps):
+            produced += 1
+            yield ExplanationInstance(
+                {variable: names[handle] for variable, handle in binding.items()}
+            )
+            return
+        raw = raw_candidates(index)
+        if raw is None:
+            # No incident edge touches a bound variable (disconnected pattern):
+            # fall back to all entities, as the dict matcher does.
+            candidates = set(range(len(names)))
+            candidates.discard(start_h)
+            candidates.discard(end_h)
+            candidates.difference_update(binding.values())
+        else:
+            candidates = set(raw)
+            candidates.discard(start_h)
+            candidates.discard(end_h)
+            candidates.difference_update(binding.values())
+        variable = steps[index].variable
+        for candidate in sorted(candidates, key=sort_rank.__getitem__):
             binding[variable] = candidate
             yield from backtrack(index + 1)
             del binding[variable]

@@ -353,6 +353,27 @@ class ExplanationPattern:
 
     # -- dunder ------------------------------------------------------------
 
+    def __getstate__(self):
+        """Pickle without the compiled union's merge token.
+
+        Tokens are minted by a per-process counter; shipping one across the
+        executor's process boundary would plant a foreign token that could
+        collide with the receiver's own mints.  Value-derived caches (the
+        canonical key) stay in the payload — they are correct anywhere.
+        """
+        extras = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "_merge_token"
+        }
+        return (self._variables, self._edges, extras)
+
+    def __setstate__(self, state) -> None:
+        variables, edges, extras = state
+        self._variables = variables
+        self._edges = edges
+        self.__dict__.update(extras)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ExplanationPattern):
             return NotImplemented

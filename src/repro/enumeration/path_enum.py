@@ -29,6 +29,7 @@ from repro.core.explanation import Explanation
 from repro.core.instance import ExplanationInstance
 from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
 from repro.errors import EnumerationError
+from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase, NeighborEntry
 from repro.kb.schema import Schema
 
@@ -142,6 +143,46 @@ def _steps_of(kb: KnowledgeBase, entity: str) -> tuple[tuple[str, PathStep], ...
     return steps
 
 
+#: CompiledKB -> {handle: ((neighbor_handle, PathStep), ...)}.  The compiled
+#: twin of :data:`_STEP_CACHES`: neighbors stay integer handles (cheap
+#: membership tests against the partial path's node tuple) while the frozen
+#: :class:`PathStep` is pre-decoded once per adjacency entry, so materialising
+#: a found path is a tuple copy.  A compiled view is immutable, so no version
+#: check is needed; entries die with the view.
+_COMPILED_STEP_CACHES: "WeakKeyDictionary[CompiledKB, dict]" = WeakKeyDictionary()
+
+
+def _compiled_steps_of(ckb: CompiledKB, h: int) -> tuple[tuple[int, PathStep], ...]:
+    """Cached ``(neighbor_handle, step)`` pairs of node ``h`` (compiled view)."""
+    per_entity = _COMPILED_STEP_CACHES.get(ckb)
+    if per_entity is None:
+        per_entity = {}
+        _COMPILED_STEP_CACHES[ckb] = per_entity
+    steps = per_entity.get(h)
+    if steps is None:
+        names = ckb.names
+        label_of = ckb.label_of
+        neighbors = ckb.adj_neighbors
+        codes = ckb.adj_codes
+        built = []
+        for position in range(ckb.adj_offsets[h], ckb.adj_offsets[h + 1]):
+            nh = neighbors[position]
+            code = codes[position]
+            built.append(
+                (
+                    nh,
+                    PathStep(
+                        names[nh],
+                        label_of[code >> 2],
+                        directed=bool(code & 2),
+                        forward=bool(code & 1),
+                    ),
+                )
+            )
+        steps = per_entity[h] = tuple(built)
+    return steps
+
+
 def _path_to_pattern(path: PathInstance) -> tuple[ExplanationPattern, ExplanationInstance]:
     """Convert an instance-level path into its pattern and instance."""
     nodes = path.nodes
@@ -217,6 +258,8 @@ def path_enum_naive(
     exists as the lower baseline of Figure 7.
     """
     _validate(kb, v_start, v_end, length_limit)
+    if isinstance(kb, CompiledKB):
+        return _path_enum_naive_compiled(kb, v_start, v_end, length_limit)
     paths: list[PathInstance] = []
     expansions = 0
 
@@ -238,6 +281,46 @@ def path_enum_naive(
             steps.pop()
 
     extend(v_start, {v_start, v_end} - {v_end}, [])
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
+def _path_enum_naive_compiled(
+    ckb: CompiledKB, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """Integer-handle twin of :func:`path_enum_naive`.
+
+    The exhaustive forward search tracks visited nodes and the frontier as
+    handles; the pre-decoded :class:`PathStep` objects of the compiled step
+    cache are only assembled into a :class:`PathInstance` when a path
+    actually reaches the end entity.
+    """
+    start_h = ckb.handles[v_start]
+    end_h = ckb.handles[v_end]
+    paths: list[PathInstance] = []
+    expansions = 0
+
+    def extend(current: int, visited: set[int], steps: list[PathStep]) -> None:
+        nonlocal expansions
+        if len(steps) >= length_limit:
+            return
+        for neighbor, step in _compiled_steps_of(ckb, current):
+            expansions += 1
+            if neighbor in visited:
+                continue
+            steps.append(step)
+            if neighbor == end_h:
+                paths.append(PathInstance(v_start, tuple(steps)))
+            elif neighbor != start_h:
+                visited.add(neighbor)
+                extend(neighbor, visited, steps)
+                visited.remove(neighbor)
+            steps.pop()
+
+    extend(start_h, {start_h}, [])
     explanations = group_paths_into_explanations(paths)
     return PathEnumResult(
         explanations,
@@ -362,6 +445,227 @@ def _collect_full_paths(
     return paths
 
 
+# -- compiled (integer-handle) twins of the bidirectional machinery ---------
+
+
+class _PartialPathH:
+    """A partial path over integer handles (compiled backend).
+
+    ``nodes`` are entity handles (membership tests in the expansion loop are
+    integer comparisons); ``steps`` are the shared pre-decoded
+    :class:`PathStep` objects, so joining two halves never re-decodes labels.
+    """
+
+    __slots__ = ("origin", "nodes", "steps")
+
+    def __init__(
+        self, origin: str, nodes: tuple[int, ...], steps: tuple[PathStep, ...]
+    ) -> None:
+        self.origin = origin
+        self.nodes = nodes
+        self.steps = steps
+
+    @property
+    def terminal(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+
+def _expand_partial_compiled(
+    ckb: CompiledKB, partial: _PartialPathH, start_h: int, end_h: int
+) -> list[_PartialPathH]:
+    """Handle twin of :func:`_expand_partial` (same simplicity rules)."""
+    current = partial.nodes[-1]
+    opposite = end_h if partial.origin == "start" else start_h
+    own_target = start_h if partial.origin == "start" else end_h
+    if current == opposite:
+        return []
+    extensions = []
+    nodes = partial.nodes
+    steps = partial.steps
+    origin = partial.origin
+    for neighbor, step in _compiled_steps_of(ckb, current):
+        if neighbor == own_target or neighbor in nodes:
+            continue
+        extensions.append(
+            _PartialPathH(origin, nodes + (neighbor,), steps + (step,))
+        )
+    return extensions
+
+
+def _join_compiled(
+    names: list[str], forward: _PartialPathH, backward: _PartialPathH
+) -> PathInstance | None:
+    """Handle twin of :func:`_join`; decodes only the joined path."""
+    terminal = forward.nodes[-1]
+    if terminal != backward.nodes[-1]:
+        return None
+    if set(forward.nodes) & set(backward.nodes) != {terminal}:
+        return None
+    steps = list(forward.steps)
+    nodes = backward.nodes
+    for index in range(len(backward.steps) - 1, -1, -1):
+        step = backward.steps[index]
+        steps.append(
+            PathStep(
+                entity=names[nodes[index]],
+                label=step.label,
+                directed=step.directed,
+                forward=(not step.forward) if step.directed else True,
+            )
+        )
+    return PathInstance(names[forward.nodes[0]], tuple(steps))
+
+
+def _collect_full_paths_compiled(
+    names: list[str],
+    start_side: dict[int, list[_PartialPathH]],
+    end_side: dict[int, list[_PartialPathH]],
+    length_limit: int,
+) -> list[PathInstance]:
+    """Handle twin of :func:`_collect_full_paths`."""
+    seen: set[tuple] = set()
+    paths: list[PathInstance] = []
+    for terminal, forwards in start_side.items():
+        backwards = end_side.get(terminal, [])
+        for forward in forwards:
+            for backward in backwards:
+                if forward.length + backward.length > length_limit:
+                    continue
+                if forward.length + backward.length == 0:
+                    continue
+                joined = _join_compiled(names, forward, backward)
+                if joined is None:
+                    continue
+                signature = joined.signature()
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                paths.append(joined)
+    return paths
+
+
+def _path_enum_basic_compiled(
+    ckb: CompiledKB, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """Integer-handle twin of :func:`path_enum_basic`."""
+    start_h = ckb.handles[v_start]
+    end_h = ckb.handles[v_end]
+    forward_limit = math.ceil(length_limit / 2)
+    backward_limit = length_limit // 2
+    expansions = 0
+
+    start_side: dict[int, list[_PartialPathH]] = {}
+    end_side: dict[int, list[_PartialPathH]] = {}
+
+    for origin, root, limit, store in (
+        ("start", start_h, forward_limit, start_side),
+        ("end", end_h, backward_limit, end_side),
+    ):
+        frontier = [_PartialPathH(origin, (root,), ())]
+        store.setdefault(root, []).append(frontier[0])
+        depth = 0
+        while frontier and depth < limit:
+            next_frontier: list[_PartialPathH] = []
+            for partial in frontier:
+                for extension in _expand_partial_compiled(
+                    ckb, partial, start_h, end_h
+                ):
+                    expansions += 1
+                    store.setdefault(extension.nodes[-1], []).append(extension)
+                    next_frontier.append(extension)
+            frontier = next_frontier
+            depth += 1
+
+    paths = _collect_full_paths_compiled(ckb.names, start_side, end_side, length_limit)
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
+def _path_enum_prioritized_compiled(
+    ckb: CompiledKB, v_start: str, v_end: str, length_limit: int
+) -> PathEnumResult:
+    """Integer-handle twin of :func:`path_enum_prioritized`.
+
+    The activation bookkeeping (score tables, pending index, heap entries)
+    is keyed on handles; heap ordering is unchanged because the unique
+    insertion counter already breaks every tie before a node id would be
+    compared.
+    """
+    start_h = ckb.handles[v_start]
+    end_h = ckb.handles[v_end]
+    forward_limit = math.ceil(length_limit / 2)
+    backward_limit = length_limit // 2
+    limits = {"start": forward_limit, "end": backward_limit}
+    expansions = 0
+    degrees = ckb.degrees
+
+    start_side: dict[int, list[_PartialPathH]] = {
+        start_h: [_PartialPathH("start", (start_h,), ())]
+    }
+    end_side: dict[int, list[_PartialPathH]] = {
+        end_h: [_PartialPathH("end", (end_h,), ())]
+    }
+    stores = {"start": start_side, "end": end_side}
+
+    activations = {
+        "start": {start_h: 1.0 / max(degrees[start_h], 1)},
+        "end": {end_h: 1.0 / max(degrees[end_h], 1)},
+    }
+    pendings: dict[str, dict[int, list[_PartialPathH]]] = {
+        "start": {start_h: [start_side[start_h][0]]},
+        "end": {end_h: [end_side[end_h][0]]},
+    }
+    counter = 0
+    heap: list[tuple[float, int, str, int]] = []
+    for origin, per_node in activations.items():
+        for node, score in per_node.items():
+            heap.append((-score, counter, origin, node))
+            counter += 1
+    heapq.heapify(heap)
+
+    while heap:
+        negative_score, _, origin, node = heapq.heappop(heap)
+        pending = pendings[origin]
+        waiting = pending.pop(node, None)
+        if not waiting:
+            continue
+        score = -negative_score
+        store = stores[origin]
+        activation = activations[origin]
+        limit = limits[origin]
+        spread: dict[int, None] = {}
+        for partial in waiting:
+            if partial.length >= limit:
+                continue
+            for extension in _expand_partial_compiled(ckb, partial, start_h, end_h):
+                expansions += 1
+                terminal = extension.nodes[-1]
+                store.setdefault(terminal, []).append(extension)
+                pending.setdefault(terminal, []).append(extension)
+                spread[terminal] = None
+        for neighbor in spread:
+            gained = score / max(degrees[neighbor], 1)
+            total = activation.get(neighbor, 0.0) + gained
+            activation[neighbor] = total
+            heapq.heappush(heap, (-total, counter, origin, neighbor))
+            counter += 1
+        activation[node] = 0.0
+
+    paths = _collect_full_paths_compiled(ckb.names, start_side, end_side, length_limit)
+    explanations = group_paths_into_explanations(paths)
+    return PathEnumResult(
+        explanations,
+        stats={"expansions": expansions, "paths": len(paths)},
+    )
+
+
 def path_enum_basic(
     kb: KnowledgeBase, v_start: str, v_end: str, length_limit: int
 ) -> PathEnumResult:
@@ -373,6 +677,8 @@ def path_enum_basic(
     a common entity is joined into a full path.
     """
     _validate(kb, v_start, v_end, length_limit)
+    if isinstance(kb, CompiledKB):
+        return _path_enum_basic_compiled(kb, v_start, v_end, length_limit)
     forward_limit = math.ceil(length_limit / 2)
     backward_limit = length_limit // 2
     expansions = 0
@@ -419,6 +725,8 @@ def path_enum_prioritized(
     differs.
     """
     _validate(kb, v_start, v_end, length_limit)
+    if isinstance(kb, CompiledKB):
+        return _path_enum_prioritized_compiled(kb, v_start, v_end, length_limit)
     forward_limit = math.ceil(length_limit / 2)
     backward_limit = length_limit // 2
     limits = {"start": forward_limit, "end": backward_limit}

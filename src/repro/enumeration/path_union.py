@@ -26,7 +26,9 @@ The merge is implemented in two phases so the union algorithms can skip the
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterator
 
 from repro.core.explanation import Explanation
@@ -66,13 +68,14 @@ class MergeStats:
         }
 
 
-@dataclass(frozen=True)
-class _MergeCandidate:
-    """One candidate merged pattern plus the bookkeeping to join instances."""
-
-    pattern: ExplanationPattern
-    matched: tuple[tuple[str, str], ...]  # (left variable, right variable) pairs
-    rename: dict[str, str]  # right variable -> merged variable name
+#: One candidate merged pattern plus the bookkeeping to join instances, as a
+#: plain ``(pattern, matched, rename)`` tuple: the merged
+#: :class:`ExplanationPattern`, the ``(left variable, right variable)`` pairs
+#: sorted by left variable, and the right-variable -> merged-name mapping.
+#: A tuple rather than a dataclass because candidate generation sits on the
+#: union's hottest path (and the compiled kernel re-emits cached candidates
+#: without constructing anything).
+_MergeCandidate = tuple
 
 
 def _merge_info(explanation: Explanation) -> tuple:
@@ -185,13 +188,17 @@ def _merge_candidates(
     right: Explanation,
     size_limit: int,
     stats: MergeStats | None = None,
+    left_info: tuple | None = None,
+    right_info: tuple | None = None,
 ) -> Iterator[_MergeCandidate]:
     """Enumerate merged patterns of ``left`` and ``right`` worth joining.
 
     Candidates are pruned when the merged pattern would exceed the size limit
     (enforced up front through the minimum matched-pair count) and when a
     matched variable pair has disjoint assignment sets; a merge that adds no
-    edge is also discarded.
+    edge is also discarded.  ``left_info``/``right_info`` are accepted (and
+    ignored) so the union loops can call the classic generator and the
+    compiled kernel interchangeably.
     """
     if stats is not None:
         stats.merge_calls += 1
@@ -285,11 +292,275 @@ def _merge_candidates(
         )
         # pairs ascend by left variable (subsets come from the sorted
         # variable list), so they are already in the sorted order.
-        yield _MergeCandidate(
-            pattern=merged_pattern,
-            matched=mapping_pairs,
-            rename=rename,
+        yield (merged_pattern, mapping_pairs, rename)
+
+
+# ---------------------------------------------------------------------------
+# The compiled merge kernel
+# ---------------------------------------------------------------------------
+#
+# On the compiled backend the union runs the same Algorithm 3/4 skeletons but
+# candidate generation goes through a rewritten kernel.  Profiling shows the
+# classic generator spends most of the union's time on (left, right) pairs
+# that yield nothing: per call it re-derives sizes, builds the full
+# compatibility matrix and enumerates mappings before discovering the pair is
+# barren.  The kernel instead
+#
+# 1. short-circuits pairs whose *overall* entity sets are disjoint (no
+#    variable pair can overlap) with a single frozenset probe;
+# 2. encodes the compatibility matrix as one bitmask per left variable and
+#    resolves the partial-mapping enumeration through a memoised table keyed
+#    on those masks — tiny domains (paths have at most three non-target
+#    variables), so the backtracking enumeration is almost always a dict hit;
+# 3. memoises the pattern-space half of a merge (variable renaming, fresh
+#    names, added edges, the merged pattern object) per
+#    ``(left pattern, right pattern, mapping)``: explanation *shapes* recur
+#    heavily across requests against one compiled KB version, and the merged
+#    pattern for a shape pair is independent of the instances at hand.
+#
+# The produced candidate set is exactly the classic generator's (the same
+# mappings survive the same pruning rules); only the work to produce it
+# changes.  Instance joins are shared with the classic path.
+
+
+#: Pattern value -> integer token.  Tokens turn the merge-plan cache keys
+#: into int pairs: a pattern pays the (frozenset-hashing) intern lookup once
+#: per *object*, not once per merge call.  Tokens come from a monotone
+#: counter, so a token is globally unique for the life of the process:
+#: clearing the intern table (or the plan cache) at any moment — including
+#: while other serving threads are mid-union under the engine's read lock —
+#: can only cause cache misses, never key aliasing.  Minting is serialised
+#: by :data:`_MERGE_CACHE_LOCK`; everything else relies on the atomicity of
+#: individual dict operations plus the value-equality of rebuilt entries.
+_PATTERN_TOKENS: dict[ExplanationPattern, int] = {}
+_TOKEN_COUNTER = itertools.count()
+_MERGE_CACHE_LOCK = threading.Lock()
+
+
+def _pattern_token(pattern: ExplanationPattern) -> int:
+    cached = pattern.__dict__.get("_merge_token")
+    if cached is not None:
+        return cached
+    with _MERGE_CACHE_LOCK:
+        token = _PATTERN_TOKENS.get(pattern)
+        if token is None:
+            token = _PATTERN_TOKENS[pattern] = next(_TOKEN_COUNTER)
+    pattern.__dict__["_merge_token"] = token
+    return token
+
+
+def _fast_info(explanation: Explanation) -> tuple:
+    """Per-explanation constants of the compiled merge kernel, cached.
+
+    ``(sorted non-target variables, aligned assignment sets, right-edge
+    tuples, left-edge key set, pattern size, union of all assignment sets,
+    pattern token)``.
+    """
+    info = explanation.__dict__.get("_fast_merge_info")
+    if info is None:
+        pattern = explanation.pattern
+        variables = sorted(pattern.non_target_variables)
+        assignment_sets = [explanation.assignments(variable) for variable in variables]
+        all_entities = (
+            frozenset().union(*assignment_sets) if assignment_sets else frozenset()
         )
+        info = (
+            tuple(variables),
+            tuple(assignment_sets),
+            tuple(
+                (edge.source, edge.target, edge.label, edge.directed)
+                for edge in pattern.edges
+            ),
+            {edge.key() for edge in pattern.edges},
+            pattern.num_nodes,
+            all_entities,
+            _pattern_token(pattern),
+        )
+        explanation.__dict__["_fast_merge_info"] = info
+    return info
+
+
+@lru_cache(maxsize=65536)
+def _mapping_table(
+    masks: tuple[int, ...], right_count: int, min_matched: int, max_matched: int
+) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """All partial one-to-one index mappings compatible with ``masks``.
+
+    ``masks[i]`` has bit ``j`` set when left variable ``i`` may map onto
+    right variable ``j``.  Mappings are ``((left_index, right_index), ...)``
+    tuples ordered exactly like the classic enumeration: ascending matched
+    count, left subsets in combination order, right choices in index order.
+    """
+    left_count = len(masks)
+    results: list[tuple[tuple[int, int], ...]] = []
+    rights_of = [
+        [j for j in range(right_count) if mask >> j & 1] for mask in masks
+    ]
+    for matched_count in range(max(1, min_matched), max_matched + 1):
+        for left_subset in itertools.combinations(range(left_count), matched_count):
+            chosen: list[int] = []
+
+            def assign(position: int) -> None:
+                if position == len(left_subset):
+                    results.append(tuple(zip(left_subset, chosen)))
+                    return
+                for right_index in rights_of[left_subset[position]]:
+                    if right_index in chosen:
+                        continue
+                    chosen.append(right_index)
+                    assign(position + 1)
+                    chosen.pop()
+
+            assign(0)
+    return tuple(results)
+
+
+#: (left pattern, right pattern) -> {mapping index pairs -> (merged pattern |
+#: None, rename, mapping names)}.  Pattern-space only, so safe to share
+#: across pairs and requests; two-level so the (comparatively expensive)
+#: pattern-pair key is hashed once per merge call, not once per mapping.
+#: Cleared wholesale when it outgrows its cap.
+_MERGE_PLAN_CACHE: dict[tuple, dict] = {}
+_MERGE_PLAN_CACHE_CAP = 1 << 15
+
+
+def _build_merge_plan(
+    left_pattern: ExplanationPattern,
+    right_sorted_vars: tuple[str, ...],
+    right_edge_tuples: tuple,
+    left_edge_keys: set,
+    mapping_names: tuple[tuple[str, str], ...],
+) -> tuple[ExplanationPattern | None, dict[str, str]]:
+    """The pattern-space half of one merge candidate (classic semantics)."""
+    left_variables = left_pattern.variables
+    reverse = {right_name: left_name for left_name, right_name in mapping_names}
+    if len(mapping_names) == len(right_sorted_vars):
+        rename = reverse
+    else:
+        fresh_names: list[str] = []
+        next_fresh = 0
+        while len(fresh_names) < len(right_sorted_vars):
+            name = fresh_variable(next_fresh)
+            if name not in left_variables:
+                fresh_names.append(name)
+            next_fresh += 1
+        rename = {}
+        fresh_iter = iter(fresh_names)
+        for variable in right_sorted_vars:
+            mapped = reverse.get(variable)
+            rename[variable] = mapped if mapped is not None else next(fresh_iter)
+    new_edges: list[PatternEdge] = []
+    for source, target, label, directed in right_edge_tuples:
+        renamed_source = rename.get(source, source)
+        renamed_target = rename.get(target, target)
+        if directed or renamed_source <= renamed_target:
+            key = (renamed_source, renamed_target, label, directed)
+        else:
+            key = (renamed_target, renamed_source, label, directed)
+        if key in left_edge_keys:
+            continue
+        new_edges.append(PatternEdge(renamed_source, renamed_target, label, directed))
+    if not new_edges:
+        # Reproduces the left pattern; the classic generator discards it too.
+        return (None, rename)
+    merged = ExplanationPattern._trusted(
+        left_variables | frozenset(rename.values()),
+        left_pattern.edges | frozenset(new_edges),
+    )
+    return (merged, rename)
+
+
+def _merge_candidates_fast(
+    left: Explanation,
+    right: Explanation,
+    size_limit: int,
+    stats: MergeStats | None = None,
+    left_info: tuple | None = None,
+    right_info: tuple | None = None,
+) -> list[_MergeCandidate]:
+    """Compiled-kernel candidate generation; same candidates as the classic.
+
+    The union loops hoist ``left_info``/``right_info`` (see :func:`_fast_info`)
+    and the overall-disjointness skip out of this call; when invoked directly
+    both are derived here.
+    """
+    if stats is not None:
+        stats.merge_calls += 1
+    if left_info is None:
+        left_info = _fast_info(left)
+    if right_info is None:
+        right_info = _fast_info(right)
+    left_vars, left_sets, _, left_edge_keys, left_size, left_all, left_token = left_info
+    right_vars, right_sets, right_edges, _, _, right_all, right_token = right_info
+    right_non_target = len(right_vars)
+    left_count = len(left_vars)
+    max_matched = left_count if left_count < right_non_target else right_non_target
+    min_matched = left_size + right_non_target - size_limit
+    if max_matched == 0 or min_matched > max_matched:
+        return []
+    if left_all.isdisjoint(right_all):
+        return []
+    needed = min_matched if min_matched > 1 else 1
+    masks: list[int] = []
+    nonempty = 0
+    remaining = len(left_sets)
+    for left_set in left_sets:
+        mask = 0
+        bit = 1
+        for right_set in right_sets:
+            if not left_set.isdisjoint(right_set):
+                mask |= bit
+            bit <<= 1
+        masks.append(mask)
+        if mask:
+            nonempty += 1
+        remaining -= 1
+        if nonempty + remaining < needed:
+            return []
+    mappings = _mapping_table(tuple(masks), right_non_target, min_matched, max_matched)
+    if not mappings:
+        return []
+    pair_key = (left_token, right_token)
+    pair_plans = _MERGE_PLAN_CACHE.get(pair_key)
+    if pair_plans is None:
+        pair_plans = _MERGE_PLAN_CACHE[pair_key] = {}
+    if stats is not None:
+        stats.mappings_tried += len(mappings)
+    candidates: list[_MergeCandidate] = []
+    for index_pairs in mappings:
+        plan = pair_plans.get(index_pairs)
+        if plan is None:
+            mapping_names = tuple(
+                (left_vars[left_index], right_vars[right_index])
+                for left_index, right_index in index_pairs
+            )
+            merged_pattern, rename = _build_merge_plan(
+                left.pattern, right_vars, right_edges, left_edge_keys, mapping_names
+            )
+            plan = pair_plans[index_pairs] = (
+                (merged_pattern, mapping_names, rename)
+                if merged_pattern is not None
+                else None
+            )
+        if plan is not None:
+            candidates.append(plan)
+    return candidates
+
+
+def _maybe_trim_merge_caches() -> None:
+    """Entry-point cap check for the compiled union's shared caches.
+
+    Safe to run while other threads are mid-union: tokens are never reused
+    (monotone counter), so dropping intern or plan entries can only force a
+    rebuild under a fresh — still unique — token, never an aliased hit.  A
+    concurrent union holding a reference to a dropped inner plan dict keeps
+    filling its (now orphaned) dict and stays correct.
+    """
+    with _MERGE_CACHE_LOCK:
+        if len(_MERGE_PLAN_CACHE) > _MERGE_PLAN_CACHE_CAP:
+            _MERGE_PLAN_CACHE.clear()
+        if len(_PATTERN_TOKENS) > _MERGE_PLAN_CACHE_CAP:
+            _PATTERN_TOKENS.clear()
 
 
 def _join_instances(
@@ -312,8 +583,9 @@ def _join_instances(
     """
     if stats is not None:
         stats.instance_joins += 1
-    matched_left = [pair[0] for pair in candidate.matched]
-    matched_right = [pair[1] for pair in candidate.matched]
+    _, matched, rename = candidate
+    matched_left = [pair[0] for pair in matched]
+    matched_right = [pair[1] for pair in matched]
     only_left = sorted(left.pattern.non_target_variables - set(matched_left))
     only_right = sorted(
         right.pattern.non_target_variables - set(matched_right)
@@ -347,7 +619,7 @@ def _join_instances(
                 if entity in left_only_entities:
                     conflict = True
                     break
-                additions[candidate.rename[variable]] = entity
+                additions[rename[variable]] = entity
             if conflict:
                 continue
             if len(set(additions.values())) != len(additions):
@@ -382,7 +654,7 @@ def merge_explanations(
         instances = _join_instances(left, right, candidate, stats)
         if not instances:
             continue
-        results.append(Explanation(candidate.pattern, instances))
+        results.append(Explanation(candidate[0], instances))
         if stats is not None:
             stats.explanations_produced += 1
     return results
@@ -402,6 +674,7 @@ def path_union_basic(
     path_explanations: list[Explanation],
     size_limit: int,
     stats: MergeStats | None = None,
+    compiled: bool = False,
 ) -> list[Explanation]:
     """PathUnionBasic (Algorithm 3).
 
@@ -410,12 +683,20 @@ def path_union_basic(
     Terminates when a round produces nothing new, which is guaranteed because
     each round grows the number of edges and the size limit bounds patterns.
 
+    With ``compiled=True`` (set by the enumeration framework when the
+    knowledge base is a :class:`~repro.kb.compiled.CompiledKB`) candidate
+    generation goes through the compiled merge kernel — same candidates,
+    produced with bitmask compatibility tables and memoised pattern merges.
+
     Returns:
         All minimal explanations with at most ``size_limit`` variables and at
         least one instance, including the seed path explanations.
     """
     _validate_inputs(path_explanations, size_limit)
     stats = stats if stats is not None else MergeStats()
+    merge_candidates = _merge_candidates_fast if compiled else _merge_candidates
+    if compiled:
+        _maybe_trim_merge_caches()
 
     results: list[Explanation] = []
     registry = DuplicateRegistry()
@@ -423,19 +704,32 @@ def path_union_basic(
         if explanation.pattern.num_nodes <= size_limit and registry.add(explanation.pattern):
             results.append(explanation)
 
+    # Hoisted per-path constants: size eligibility, and (compiled only) the
+    # merge infos driving the pair-level disjointness skip.
+    eligible: list[tuple[Explanation, tuple | None]] = [
+        (path_explanation, _fast_info(path_explanation) if compiled else None)
+        for path_explanation in path_explanations
+        if path_explanation.pattern.num_nodes <= size_limit
+    ]
+
     join_index_cache: dict = {}
     expand_queue = list(results)
     while expand_queue:
         stats.rounds += 1
         new_round: list[Explanation] = []
         for explanation in expand_queue:
-            for path_explanation in path_explanations:
-                if path_explanation.pattern.num_nodes > size_limit:
+            left_info = _fast_info(explanation) if compiled else None
+            for path_explanation, right_info in eligible:
+                if compiled and left_info[5].isdisjoint(right_info[5]):
+                    # No variable pair can share an entity: the merge cannot
+                    # produce a joinable candidate, so skip the kernel call.
+                    stats.merge_calls += 1
                     continue
-                for candidate in _merge_candidates(
-                    explanation, path_explanation, size_limit, stats
+                for candidate in merge_candidates(
+                    explanation, path_explanation, size_limit, stats,
+                    left_info, right_info,
                 ):
-                    if candidate.pattern in registry:
+                    if candidate[0] in registry:
                         stats.duplicates_discarded += 1
                         continue
                     instances = _join_instances(
@@ -443,8 +737,8 @@ def path_union_basic(
                     )
                     if not instances:
                         continue
-                    registry.add(candidate.pattern)
-                    merged = Explanation(candidate.pattern, instances)
+                    registry.add(candidate[0])
+                    merged = Explanation(candidate[0], instances)
                     stats.explanations_produced += 1
                     new_round.append(merged)
         results.extend(new_round)
@@ -456,6 +750,7 @@ def path_union_prune(
     path_explanations: list[Explanation],
     size_limit: int,
     stats: MergeStats | None = None,
+    compiled: bool = False,
 ) -> list[Explanation]:
     """PathUnionPrune (Algorithm 4).
 
@@ -470,6 +765,9 @@ def path_union_prune(
     """
     _validate_inputs(path_explanations, size_limit)
     stats = stats if stats is not None else MergeStats()
+    merge_candidates = _merge_candidates_fast if compiled else _merge_candidates
+    if compiled:
+        _maybe_trim_merge_caches()
 
     results: list[Explanation] = []
     registry = DuplicateRegistry()
@@ -478,6 +776,16 @@ def path_union_prune(
         if explanation.pattern.num_nodes <= size_limit and registry.add(explanation.pattern):
             seeds.append(explanation)
     results.extend(seeds)
+
+    # Hoisted per-path constants (see path_union_basic).
+    path_ok = [
+        path_explanation.pattern.num_nodes <= size_limit
+        for path_explanation in path_explanations
+    ]
+    path_infos = [
+        _fast_info(path_explanation) if compiled and ok else None
+        for path_explanation, ok in zip(path_explanations, path_ok)
+    ]
 
     join_index_cache: dict = {}
     expand_queue: list[Explanation] = list(seeds)
@@ -507,15 +815,23 @@ def path_union_prune(
                 for parent, _ in expand_history[index_left]:
                     candidate_paths.update(paths_by_parent.get(parent, ()))
 
+            left_info = _fast_info(explanation) if compiled else None
             for path_index in sorted(candidate_paths):
-                path_explanation = path_explanations[path_index]
-                if path_explanation.pattern.num_nodes > size_limit:
+                if not path_ok[path_index]:
                     continue
-                for candidate in _merge_candidates(
-                    explanation, path_explanation, size_limit, stats
+                path_explanation = path_explanations[path_index]
+                right_info = path_infos[path_index]
+                if compiled and left_info[5].isdisjoint(right_info[5]):
+                    # Entity-disjoint pair: no joinable candidate can exist.
+                    stats.merge_calls += 1
+                    continue
+                for candidate in merge_candidates(
+                    explanation, path_explanation, size_limit, stats,
+                    left_info, right_info,
                 ):
-                    key = candidate.pattern.canonical_key
-                    if candidate.pattern in registry:
+                    candidate_pattern = candidate[0]
+                    key = candidate_pattern.canonical_key
+                    if candidate_pattern in registry:
                         stats.duplicates_discarded += 1
                         # Still extend the composition history of a duplicate
                         # produced earlier in this round, as Algorithm 4 does:
@@ -530,8 +846,8 @@ def path_union_prune(
                     )
                     if not instances:
                         continue
-                    registry.add(candidate.pattern)
-                    merged = Explanation(candidate.pattern, instances)
+                    registry.add(candidate_pattern)
+                    merged = Explanation(candidate_pattern, instances)
                     stats.explanations_produced += 1
                     new_round.append(merged)
                     new_history.append([(index_left, path_index)])

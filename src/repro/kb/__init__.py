@@ -1,9 +1,12 @@
 """Knowledge-base substrate: labelled graph, schema, relational view."""
 
+from repro.kb.compiled import CompiledKB, compile_kb
 from repro.kb.graph import Edge, KnowledgeBase, NeighborEntry
 from repro.kb.schema import EntityType, RelationType, Schema, default_entertainment_schema
 
 __all__ = [
+    "CompiledKB",
+    "compile_kb",
     "Edge",
     "KnowledgeBase",
     "NeighborEntry",

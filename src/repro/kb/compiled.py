@@ -1,0 +1,761 @@
+"""A compiled, array-backed view of a frozen knowledge base (CSR planes).
+
+The dict-of-interned-strings :class:`~repro.kb.graph.KnowledgeBase` is the
+right substrate for *building* a knowledge base incrementally, but the hot
+loops of pattern enumeration and the distributional sweeps pay for its
+flexibility on every expansion: a string-keyed dict probe plus a
+``(label, orientation)`` tuple allocation per index lookup, and worker
+replicas are rebuilt edge-by-edge through ``add_edge``.  In the style of
+D4M's associative arrays and factorised-database storage, :class:`CompiledKB`
+freezes a knowledge base at one :attr:`~repro.kb.graph.KnowledgeBase.version`
+into contiguous integer arrays:
+
+* **id / handle tables** — ``names[handle] -> entity id`` and the inverse
+  dict, reusing the dense insertion-order handles the dict KB already
+  assigns, plus a ``label_of[code] -> label`` table for relation labels;
+* **CSR planes** — one ``(label, orientation)`` slice of the adjacency,
+  stored as an offsets ``array('i')`` of length ``n + 1`` plus a flat
+  neighbor ``array('i')`` (row ``h`` is ``neighbors[offsets[h]:offsets[h+1]]``
+  in edge-insertion order, exactly the dict index's row order);
+* **a traversal CSR** — the full adjacency with one packed step code per
+  entry (``label_code * 4 + directed * 2 + forward``), the substrate of the
+  path enumerators;
+* **degree and sort-rank tables** — ``degrees[h]`` mirrors ``kb.degree`` and
+  ``sort_rank[h]`` is the rank of ``names[h]`` in lexicographic order, so
+  kernels can reproduce ``sorted(entity_ids)`` by sorting integer handles;
+* **a packed edge-membership hash** — a set of single integers
+  ``(src * n + dst) * (num_labels * 3) + label_code * 3 + orientation``
+  answering ``has_edge`` without tuple allocation.
+
+A compiled view is **read-only** (mutators raise) and carries the version it
+was compiled at; the serving engine caches one per KB version.  It duck-types
+the whole read API of :class:`~repro.kb.graph.KnowledgeBase` — decoding
+handles back to strings at those API boundaries — so every algorithm in the
+repository accepts either backend, while the hot paths in
+:mod:`repro.kb.sql`, :mod:`repro.core.matcher` and :mod:`repro.enumeration`
+detect a compiled view and run on integer handles end to end.
+
+:meth:`CompiledKB.to_buffers` / :meth:`CompiledKB.from_buffers` round-trip
+the arrays as ``tobytes()`` blobs, which is what snapshot payload format 2
+(:mod:`repro.parallel.snapshot`) ships to worker processes: restoring a
+replica is a handful of ``frombytes`` calls instead of N× ``add_edge``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from array import array
+from typing import Any, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from repro.errors import KnowledgeBaseError, UnknownEntityError
+from repro.kb.graph import IN, OUT, UNDIRECTED, Edge, KnowledgeBase, NeighborEntry
+from repro.kb.schema import EntityType, RelationType, Schema
+
+__all__ = ["CompiledKB", "compile_kb", "ORIENT_CODE"]
+
+#: Orientation codes of the CSR planes (relative to the row's owning node).
+#: A ``(label, orientation)`` plane lives at ``label_code * 3 + orientation``;
+#: this contract is load-bearing for plane selection, the packed presence
+#: keys and snapshot format 2, so every kernel imports :data:`ORIENT_CODE`
+#: from here instead of restating the mapping.
+ORIENT_OUT = 0
+ORIENT_IN = 1
+ORIENT_UNDIRECTED = 2
+ORIENT_CODE = {OUT: ORIENT_OUT, IN: ORIENT_IN, UNDIRECTED: ORIENT_UNDIRECTED}
+_ORIENT_CODE = ORIENT_CODE
+
+_READ_ONLY_MESSAGE = (
+    "CompiledKB is a read-only snapshot; mutate the source KnowledgeBase and "
+    "compile a fresh view for the new version"
+)
+
+
+class CompiledKB:
+    """An immutable, array-backed snapshot of a knowledge base.
+
+    Build one with :meth:`compile` (or the :func:`compile_kb` convenience);
+    construction from raw parts is internal.  All read accessors mirror
+    :class:`~repro.kb.graph.KnowledgeBase` semantics — including iteration
+    orders, which downstream determinism relies on.
+
+    Example:
+        >>> from repro.datasets.paper_example import paper_example_kb
+        >>> compiled = CompiledKB.compile(paper_example_kb())
+        >>> compiled.degree("brad_pitt") == paper_example_kb().degree("brad_pitt")
+        True
+    """
+
+    def __init__(self) -> None:
+        # Populated by compile()/from_buffers(); listed here for reference.
+        self.schema: Schema = Schema()
+        self.version: int = 0
+        self.names: list[str] = []
+        self.handles: dict[str, int] = {}
+        self.types: list[str | None] = []
+        self.label_of: list[str] = []
+        self.label_code: dict[str, int] = {}
+        self.adj_offsets: array = array("i")
+        self.adj_neighbors: array = array("i")
+        self.adj_codes: array = array("i")
+        self.plane_offsets: list[array | None] = []
+        self.plane_neighbors: list[array | None] = []
+        self.degrees: array = array("i")
+        self.sort_rank: array = array("i")
+        self.presence: set[int] = set()
+        self.edge_src: array = array("i")
+        self.edge_dst: array = array("i")
+        self.edge_label: array = array("i")
+        self.edge_directed: array = array("b")
+        #: Wall seconds the compile itself took (0.0 for restored replicas).
+        self.compile_seconds: float = 0.0
+        # -- lazily materialised kernel caches --------------------------------
+        # plane index -> per-node row tuple / frozenset (None until first use).
+        # A compiled view is shared by every serving thread of one KB version,
+        # so list *creation* and the full-materialisation fill are serialised
+        # by _plane_lock: without it, two threads could each allocate a table
+        # for the same plane and one could flag the canonical (unfilled) table
+        # complete.  Individual row fills stay lock-free — they are idempotent
+        # writes of equal values.
+        self._plane_lock = threading.Lock()
+        self._plane_rows: dict[int, list[tuple[int, ...] | None]] = {}
+        self._plane_row_sets: dict[int, list[frozenset[int] | None]] = {}
+        self._plane_rows_complete: dict[int, bool] = {}
+        self._plane_sets_complete: dict[int, bool] = {}
+        self._entities_view: tuple[str, ...] | None = None
+        self._edges_view: tuple[Edge, ...] | None = None
+        self._label_counts: dict[str, int] | None = None
+        self._neighbor_entries: dict[int, list[NeighborEntry]] = {}
+        self._traversal_cache: dict[int, tuple] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def compile(cls, kb: KnowledgeBase) -> "CompiledKB":
+        """Freeze ``kb`` at its current version into array planes.
+
+        One pass over the adjacency and the per-node secondary indexes; the
+        source KB is not modified and must not be mutated concurrently (the
+        serving engine compiles under its KB read lock).
+        """
+        if isinstance(kb, CompiledKB):
+            return kb
+        started = time.perf_counter()
+        compiled = cls()
+        compiled.schema = kb.schema.copy()
+        compiled.version = kb.version
+
+        names = list(kb.entities)
+        n = len(names)
+        compiled.names = names
+        compiled.handles = handles = {name: h for h, name in enumerate(names)}
+        compiled.types = [kb._entity_types[name] for name in names]  # noqa: SLF001
+
+        labels = list(kb.relation_labels())
+        compiled.label_of = labels
+        compiled.label_code = label_code = {
+            label: code for code, label in enumerate(labels)
+        }
+        num_planes = len(labels) * 3
+        stride = num_planes if num_planes else 1
+
+        adj_offsets = array("i", bytes(4 * (n + 1)))
+        adj_neighbors = array("i")
+        adj_codes = array("i")
+        degrees = array("i", bytes(4 * n))
+        # per-plane accumulation: rows arrive grouped by owning node because
+        # the outer loop runs in handle order, so the flat lists are CSR-ready
+        plane_counts: list[array | None] = [None] * num_planes
+        plane_flat: list[list[int] | None] = [None] * num_planes
+        presence: list[int] = []
+
+        adjacency = kb._adjacency  # noqa: SLF001 - same-subsystem compile
+        label_index = kb._label_index  # noqa: SLF001
+
+        # step code per (label, orientation): label_code * 4 + directed * 2 + forward
+        step_code = {
+            (label, orientation): label_code[label] * 4
+            + (0 if orientation == UNDIRECTED else 2)
+            + (0 if orientation == IN else 1)
+            for label in labels
+            for orientation in (OUT, IN, UNDIRECTED)
+        }
+        plane_of = {
+            (label, orientation): label_code[label] * 3 + orient
+            for label in labels
+            for orientation, orient in _ORIENT_CODE.items()
+        }
+        handle_of = handles.__getitem__
+        cursor = 0
+        for h, name in enumerate(names):
+            row = adjacency[name]
+            cursor += len(row)
+            adj_offsets[h + 1] = cursor
+            degrees[h] = len(row)
+            adj_neighbors.extend([handles[entry.neighbor] for entry in row])
+            adj_codes.extend(
+                [step_code[entry.label, entry.orientation] for entry in row]
+            )
+            base = h * n
+            for key, neighbors in label_index[name].items():
+                plane = plane_of[key]
+                counts = plane_counts[plane]
+                if counts is None:
+                    counts = plane_counts[plane] = array("i", bytes(4 * n))
+                    plane_flat[plane] = []
+                counts[h] = len(neighbors)
+                row_handles = list(map(handle_of, neighbors))
+                plane_flat[plane].extend(row_handles)
+                packed_base = base * stride + plane
+                presence.extend([packed_base + nh * stride for nh in row_handles])
+
+        compiled.adj_offsets = adj_offsets
+        compiled.adj_neighbors = adj_neighbors
+        compiled.adj_codes = adj_codes
+        compiled.degrees = degrees
+        compiled.presence = set(presence)
+
+        plane_offsets: list[array | None] = [None] * num_planes
+        plane_neighbors: list[array | None] = [None] * num_planes
+        for plane in range(num_planes):
+            counts = plane_counts[plane]
+            if counts is None:
+                continue
+            offsets = array("i", bytes(4 * (n + 1)))
+            total = 0
+            for h in range(n):
+                total += counts[h]
+                offsets[h + 1] = total
+            plane_offsets[plane] = offsets
+            plane_neighbors[plane] = array("i", plane_flat[plane])
+        compiled.plane_offsets = plane_offsets
+        compiled.plane_neighbors = plane_neighbors
+
+        edge_list = list(kb.edges())
+        compiled.edge_src = array("i", [handles[edge.source] for edge in edge_list])
+        compiled.edge_dst = array("i", [handles[edge.target] for edge in edge_list])
+        compiled.edge_label = array("i", [label_code[edge.label] for edge in edge_list])
+        compiled.edge_directed = array(
+            "b", [1 if edge.directed else 0 for edge in edge_list]
+        )
+
+        rank = array("i", bytes(4 * n))
+        for position, h in enumerate(sorted(range(n), key=names.__getitem__)):
+            rank[h] = position
+        compiled.sort_rank = rank
+
+        compiled.compile_seconds = time.perf_counter() - started
+        return compiled
+
+    # -- zero-copy-ish shipping --------------------------------------------
+
+    def to_buffers(self) -> tuple[Any, ...]:
+        """The compiled arrays as a tuple of plain bytes/str/int values.
+
+        This is the body of snapshot payload format 2: every array ships as
+        one ``tobytes()`` blob (a single memcpy each way), the string tables
+        as JSON, and the schema as the same plain tuples format 1 used.
+        """
+        relations = tuple(
+            (relation.name, relation.directed, relation.domain, relation.range)
+            for relation in self.schema
+        )
+        entity_types = tuple(
+            (entity_type.name, entity_type.description)
+            for entity_type in self.schema.entity_types.values()
+        )
+        presence = array("q", sorted(self.presence))
+        planes = tuple(
+            (plane, offsets.tobytes(), self.plane_neighbors[plane].tobytes())
+            for plane, offsets in enumerate(self.plane_offsets)
+            if offsets is not None
+        )
+        return (
+            self.version,
+            relations,
+            entity_types,
+            json.dumps(self.names, ensure_ascii=False),
+            json.dumps(self.types, ensure_ascii=False),
+            json.dumps(self.label_of, ensure_ascii=False),
+            len(self.names),
+            self.adj_offsets.tobytes(),
+            self.adj_neighbors.tobytes(),
+            self.adj_codes.tobytes(),
+            planes,
+            self.degrees.tobytes(),
+            self.sort_rank.tobytes(),
+            presence.tobytes(),
+            self.edge_src.tobytes(),
+            self.edge_dst.tobytes(),
+            self.edge_label.tobytes(),
+            self.edge_directed.tobytes(),
+        )
+
+    @classmethod
+    def from_buffers(cls, buffers: tuple[Any, ...]) -> "CompiledKB":
+        """Rebuild a compiled view from :meth:`to_buffers` output.
+
+        Pure bulk restores: ``frombytes`` per array, one JSON parse per string
+        table and one ``set`` construction for the membership hash — no
+        per-edge Python work, which is what makes worker recycling cheap.
+        """
+        (
+            version,
+            relations,
+            entity_types,
+            names_json,
+            types_json,
+            labels_json,
+            n,
+            adj_offsets_b,
+            adj_neighbors_b,
+            adj_codes_b,
+            planes,
+            degrees_b,
+            sort_rank_b,
+            presence_b,
+            edge_src_b,
+            edge_dst_b,
+            edge_label_b,
+            edge_directed_b,
+        ) = buffers
+        compiled = cls()
+        compiled.version = version
+        compiled.schema = Schema(
+            relations=(
+                RelationType(name=name, directed=directed, domain=domain, range=range_)
+                for name, directed, domain, range_ in relations
+            ),
+            entity_types=(
+                EntityType(name=name, description=description)
+                for name, description in entity_types
+            ),
+        )
+        compiled.names = names = json.loads(names_json)
+        compiled.handles = {name: h for h, name in enumerate(names)}
+        compiled.types = json.loads(types_json)
+        compiled.label_of = labels = json.loads(labels_json)
+        compiled.label_code = {label: code for code, label in enumerate(labels)}
+
+        def restore(typecode: str, blob: bytes) -> array:
+            arr = array(typecode)
+            arr.frombytes(blob)
+            return arr
+
+        compiled.adj_offsets = restore("i", adj_offsets_b)
+        compiled.adj_neighbors = restore("i", adj_neighbors_b)
+        compiled.adj_codes = restore("i", adj_codes_b)
+        num_planes = len(labels) * 3
+        compiled.plane_offsets = [None] * num_planes
+        compiled.plane_neighbors = [None] * num_planes
+        for plane, offsets_b, neighbors_b in planes:
+            compiled.plane_offsets[plane] = restore("i", offsets_b)
+            compiled.plane_neighbors[plane] = restore("i", neighbors_b)
+        compiled.degrees = restore("i", degrees_b)
+        compiled.sort_rank = restore("i", sort_rank_b)
+        compiled.presence = set(restore("q", presence_b).tolist())
+        compiled.edge_src = restore("i", edge_src_b)
+        compiled.edge_dst = restore("i", edge_dst_b)
+        compiled.edge_label = restore("i", edge_label_b)
+        compiled.edge_directed = restore("b", edge_directed_b)
+        return compiled
+
+    def plane_bytes(self) -> int:
+        """Total bytes held by the CSR planes and tables (for ``/metrics``)."""
+        total = 0
+        for arr in (
+            self.adj_offsets,
+            self.adj_neighbors,
+            self.adj_codes,
+            self.degrees,
+            self.sort_rank,
+            self.edge_src,
+            self.edge_dst,
+            self.edge_label,
+            self.edge_directed,
+        ):
+            total += len(arr) * arr.itemsize
+        for offsets in self.plane_offsets:
+            if offsets is not None:
+                total += len(offsets) * offsets.itemsize
+        for neighbors in self.plane_neighbors:
+            if neighbors is not None:
+                total += len(neighbors) * neighbors.itemsize
+        total += len(self.presence) * 8
+        return total
+
+    # -- integer-handle kernel surface -------------------------------------
+
+    @property
+    def num_planes(self) -> int:
+        return len(self.label_of) * 3
+
+    @property
+    def presence_stride(self) -> int:
+        """Multiplier of the packed presence keys (``num_labels * 3``)."""
+        return self.num_planes if self.num_planes else 1
+
+    def _plane_lists(self, plane: int) -> tuple[list | None, list | None]:
+        """The (shared, canonical) lazy row/row-set tables of one plane.
+
+        Creation happens under :attr:`_plane_lock` so every thread indexes
+        the *same* lists — a lost-update race here would let one thread fill
+        (and flag complete) a table that another thread's kernel never sees.
+        Returns ``(None, None)`` for an empty plane.
+        """
+        rows = self._plane_rows.get(plane)
+        sets = self._plane_row_sets.get(plane)
+        if rows is not None and sets is not None:
+            return rows, sets
+        if plane >= len(self.plane_offsets) or self.plane_offsets[plane] is None:
+            return None, None
+        with self._plane_lock:
+            rows = self._plane_rows.get(plane)
+            if rows is None:
+                rows = self._plane_rows[plane] = [None] * len(self.names)
+            sets = self._plane_row_sets.get(plane)
+            if sets is None:
+                sets = self._plane_row_sets[plane] = [None] * len(self.names)
+        return rows, sets
+
+    def plane_row(self, plane: int, h: int) -> tuple[int, ...]:
+        """Row ``h`` of a ``(label, orientation)`` plane as a cached tuple.
+
+        Rows are materialised as tuples of (shared) ``int`` objects on first
+        access so the inner loops of the kernels iterate allocation-free; the
+        underlying arrays stay the compact shipping representation.
+        """
+        rows, _ = self._plane_lists(plane)
+        if rows is None:
+            return ()
+        row = rows[h]
+        if row is None:
+            offsets = self.plane_offsets[plane]
+            row = rows[h] = tuple(
+                self.plane_neighbors[plane][offsets[h] : offsets[h + 1]]
+            )
+        return row
+
+    def plane_row_set(self, plane: int, h: int) -> frozenset[int]:
+        """Row ``h`` of a plane as a cached frozenset (for intersections)."""
+        _, sets = self._plane_lists(plane)
+        if sets is None:
+            return frozenset()
+        row_set = sets[h]
+        if row_set is None:
+            row_set = sets[h] = frozenset(self.plane_row(plane, h))
+        return row_set
+
+    def plane_buffers(
+        self, plane: int
+    ) -> tuple[list | None, list | None, array | None, array | None]:
+        """Kernel-inlining view of one plane: ``(rows, row_sets, offsets, nbrs)``.
+
+        ``rows``/``row_sets`` are the shared lazy caches behind
+        :meth:`plane_row` / :meth:`plane_row_set`; kernels index them directly
+        and materialise missing rows inline from ``offsets``/``nbrs`` without
+        a method call per expansion.  Returns all ``None`` for an empty plane.
+        """
+        rows, sets = self._plane_lists(plane)
+        if rows is None:
+            return None, None, None, None
+        return rows, sets, self.plane_offsets[plane], self.plane_neighbors[plane]
+
+    def pack_edge(self, src: int, dst: int, plane: int) -> int:
+        """The packed presence key of ``(src, dst, plane)``."""
+        return (src * len(self.names) + dst) * self.presence_stride + plane
+
+    def plane_tables(
+        self, plane: int, with_sets: bool = False
+    ) -> tuple[list | None, list | None]:
+        """Fully materialised ``(rows, row_sets)`` tables of one plane.
+
+        Generated sweep kernels index these without any lazy-fill branch in
+        the hot loop, so the whole plane is materialised up front on first
+        request (one pass over the plane's CSR arrays, amortised across every
+        sweep against this compiled view).  ``row_sets`` is only filled when
+        ``with_sets`` is requested (leaf steps need membership tests).  The
+        fill-then-flag sequences run under the plane lock so a concurrent
+        caller can never observe a completeness flag before the fill.
+        """
+        rows, sets = self._plane_lists(plane)
+        if rows is None:
+            return None, None
+        offsets = self.plane_offsets[plane]
+        neighbors = self.plane_neighbors[plane]
+        if not self._plane_rows_complete.get(plane):
+            with self._plane_lock:
+                if not self._plane_rows_complete.get(plane):
+                    for h in range(len(self.names)):
+                        if rows[h] is None:
+                            offset = offsets[h]
+                            rows[h] = tuple(neighbors[offset : offsets[h + 1]])
+                    self._plane_rows_complete[plane] = True
+        if with_sets and not self._plane_sets_complete.get(plane):
+            with self._plane_lock:
+                if not self._plane_sets_complete.get(plane):
+                    for h, row_set in enumerate(sets):
+                        if row_set is None:
+                            sets[h] = frozenset(rows[h])
+                    self._plane_sets_complete[plane] = True
+        return rows, sets
+
+    # -- KnowledgeBase read API (strings at the boundary) -------------------
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        view = self._entities_view
+        if view is None:
+            view = self._entities_view = tuple(self.names)
+        return view
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+    def __contains__(self, entity: object) -> bool:
+        return entity in self.handles
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def has_entity(self, entity: str) -> bool:
+        return entity in self.handles
+
+    def entity_type(self, entity: str) -> str | None:
+        return self.types[self._require_handle(entity)]
+
+    def entities_of_type(self, entity_type: str) -> list[str]:
+        return [
+            name
+            for name, declared in zip(self.names, self.types)
+            if declared == entity_type
+        ]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in insertion order (decoded, cached)."""
+        view = self._edges_view
+        if view is None:
+            label_of = self.label_of
+            names = self.names
+            view = self._edges_view = tuple(
+                Edge(
+                    source=names[src],
+                    target=names[dst],
+                    label=label_of[label],
+                    directed=bool(directed),
+                )
+                for src, dst, label, directed in zip(
+                    self.edge_src, self.edge_dst, self.edge_label, self.edge_directed
+                )
+            )
+        return iter(view)
+
+    def _entries_of(self, h: int) -> list[NeighborEntry]:
+        entries = self._neighbor_entries.get(h)
+        if entries is None:
+            names = self.names
+            label_of = self.label_of
+            entries = []
+            for position in range(self.adj_offsets[h], self.adj_offsets[h + 1]):
+                code = self.adj_codes[position]
+                if not code & 2:
+                    orientation = UNDIRECTED
+                elif code & 1:
+                    orientation = OUT
+                else:
+                    orientation = IN
+                entries.append(
+                    NeighborEntry(
+                        names[self.adj_neighbors[position]],
+                        label_of[code >> 2],
+                        orientation,
+                    )
+                )
+            self._neighbor_entries[h] = entries
+        return entries
+
+    def neighbors(
+        self, entity: str, label: str | None = None, orientation: str | None = None
+    ) -> list[NeighborEntry]:
+        h = self._require_handle(entity)
+        if label is None and orientation is None:
+            return list(self._entries_of(h))
+        if label is not None and orientation is not None:
+            code = self.label_code.get(label)
+            orient = _ORIENT_CODE.get(orientation)
+            if code is None or orient is None:
+                return []
+            names = self.names
+            return [
+                NeighborEntry(names[nh], label, orientation)
+                for nh in self.plane_row(code * 3 + orient, h)
+            ]
+        return [
+            entry
+            for entry in self._entries_of(h)
+            if (label is None or entry.label == label)
+            and (orientation is None or entry.orientation == orientation)
+        ]
+
+    def iter_neighbors(self, entity: str) -> Sequence[NeighborEntry]:
+        return self._entries_of(self._require_handle(entity))
+
+    def neighbor_ids(self, entity: str, label: str, orientation: str) -> Sequence[str]:
+        h = self.handles.get(entity)
+        if h is None:
+            raise UnknownEntityError(entity)
+        code = self.label_code.get(label)
+        orient = _ORIENT_CODE.get(orientation)
+        if code is None or orient is None:
+            return ()
+        names = self.names
+        return tuple(names[nh] for nh in self.plane_row(code * 3 + orient, h))
+
+    def edges_with_label(self, label: str) -> Sequence[Edge]:
+        return [edge for edge in self.edges() if edge.label == label]
+
+    def traversal_steps(self, entity: str) -> tuple[tuple[str, str, bool, bool], ...]:
+        h = self._require_handle(entity)
+        steps = self._traversal_cache.get(h)
+        if steps is None:
+            steps = self._traversal_cache[h] = tuple(
+                (
+                    entry.neighbor,
+                    entry.label,
+                    entry.orientation != UNDIRECTED,
+                    entry.orientation != IN,
+                )
+                for entry in self._entries_of(h)
+            )
+        return steps
+
+    def neighbor_entities(self, entity: str) -> list[str]:
+        h = self._require_handle(entity)
+        seen: dict[int, None] = {}
+        for position in range(self.adj_offsets[h], self.adj_offsets[h + 1]):
+            seen.setdefault(self.adj_neighbors[position], None)
+        names = self.names
+        return [names[nh] for nh in seen]
+
+    def degree(self, entity: str) -> int:
+        return self.degrees[self._require_handle(entity)]
+
+    def has_edge(
+        self, source: str, target: str, label: str, direction: str = OUT
+    ) -> bool:
+        src = self.handles.get(source)
+        dst = self.handles.get(target)
+        code = self.label_code.get(label)
+        if src is None or dst is None or code is None:
+            return False
+        presence = self.presence
+        base = (src * len(self.names) + dst) * self.presence_stride
+        plane = code * 3
+        if base + plane + ORIENT_UNDIRECTED in presence:
+            return True
+        if direction == "any":
+            return (
+                base + plane + ORIENT_OUT in presence
+                or base + plane + ORIENT_IN in presence
+            )
+        orient = _ORIENT_CODE.get(direction)
+        return orient is not None and base + plane + orient in presence
+
+    def edges_between(self, source: str, target: str) -> list[NeighborEntry]:
+        entries = self._entries_of(self._require_handle(source))
+        self._require_handle(target)
+        return [entry for entry in entries if entry.neighbor == target]
+
+    def relation_labels(self) -> list[str]:
+        return list(self.label_of)
+
+    def label_counts(self) -> Mapping[str, int]:
+        if self._label_counts is None:
+            counts: dict[str, int] = {}
+            label_of = self.label_of
+            for code in self.edge_label:
+                label = label_of[code]
+                counts[label] = counts.get(label, 0) + 1
+            self._label_counts = counts
+        return dict(self._label_counts)
+
+    def label_count(self, label: str) -> int:
+        return self.label_counts().get(label, 0)
+
+    def handle_of(self, entity: str) -> int:
+        try:
+            return self.handles[entity]
+        except KeyError:
+            raise UnknownEntityError(entity) from None
+
+    def entity_of(self, handle: int) -> str:
+        try:
+            return self.names[handle]
+        except IndexError:
+            raise KnowledgeBaseError(f"unknown entity handle: {handle}") from None
+
+    def density(self) -> float:
+        if not self.names:
+            return 0.0
+        return 2.0 * self.num_edges / len(self.names)
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        graph = nx.MultiDiGraph()
+        for name, entity_type in zip(self.names, self.types):
+            graph.add_node(name, entity_type=entity_type)
+        for edge in self.edges():
+            graph.add_edge(
+                edge.source, edge.target, label=edge.label, directed=edge.directed
+            )
+            if not edge.directed:
+                graph.add_edge(edge.target, edge.source, label=edge.label, directed=False)
+        return graph
+
+    def thaw(self) -> KnowledgeBase:
+        """Rebuild a mutable :class:`KnowledgeBase` equal to this snapshot."""
+        kb = KnowledgeBase(schema=self.schema.copy())
+        for name, entity_type in zip(self.names, self.types):
+            kb.add_entity(name, entity_type)
+        for edge in self.edges():
+            kb.add_edge(edge.source, edge.target, edge.label, edge.directed)
+        return kb
+
+    # -- mutation guards ----------------------------------------------------
+
+    def add_entity(self, *args, **kwargs):
+        raise KnowledgeBaseError(_READ_ONLY_MESSAGE)
+
+    def add_edge(self, *args, **kwargs):
+        raise KnowledgeBaseError(_READ_ONLY_MESSAGE)
+
+    def add_edges(self, *args, **kwargs):
+        raise KnowledgeBaseError(_READ_ONLY_MESSAGE)
+
+    validate_edge_args = staticmethod(KnowledgeBase.validate_edge_args)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_handle(self, entity: str) -> int:
+        handle = self.handles.get(entity)
+        if handle is None:
+            raise UnknownEntityError(entity)
+        return handle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledKB({self.num_entities} entities, {self.num_edges} edges, "
+            f"{len(self.label_of)} labels, version={self.version})"
+        )
+
+
+def compile_kb(kb: KnowledgeBase) -> CompiledKB:
+    """Compile ``kb`` into its array-backed read-only view (idempotent)."""
+    return CompiledKB.compile(kb)

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterator, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
 from repro.errors import RelationalError
+from repro.kb.compiled import ORIENT_CODE, CompiledKB
 from repro.kb.graph import KnowledgeBase
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "local_count_distribution",
     "SweepResult",
     "sweep_local_count_distributions",
+    "sweep_position_count",
     "count_qualifying_end_entities",
 ]
 
@@ -377,6 +380,8 @@ def sweep_local_count_distributions(
         A :class:`SweepResult`; starts absent from the knowledge base simply
         contribute no groups, matching the per-start evaluator.
     """
+    if isinstance(kb, CompiledKB):
+        return _sweep_compiled(kb, pattern, start_entities, collect_variable_sets)
     plan = _sweep_plan(pattern)
     steps = plan.steps
     num_steps = len(steps)
@@ -586,6 +591,10 @@ def count_qualifying_end_entities(
     applied to the other — ``tests/test_indexed_equivalence.py`` pins their
     agreement on random knowledge bases.
     """
+    if isinstance(kb, CompiledKB):
+        return _count_qualifying_compiled(
+            kb, pattern, v_start, threshold, exclude_end, bound
+        )
     if not kb.has_entity(v_start):
         return (0, True, 0)
     plan = _sweep_plan(pattern)
@@ -690,6 +699,588 @@ def count_qualifying_end_entities(
                             for leaf_candidate in leaf_row
                             if leaf_candidate not in used
                         )
+                        if valid:
+                            stop = group(binding[end_slot], valid)
+                used.discard(candidate)
+                if stop:
+                    return True
+            return False
+        for candidate in row:
+            if candidate in used:
+                continue
+            binding[free_slot] = candidate
+            used.add(candidate)
+            stop = rec(next_index)
+            used.discard(candidate)
+            if stop:
+                return True
+        return False
+
+    aborted = rec(0)
+    return (len(qualifying), not aborted, bindings_enumerated)
+
+
+# ---------------------------------------------------------------------------
+# Integer-handle kernels for the compiled backend
+# ---------------------------------------------------------------------------
+#
+# A CompiledKB answers the same sweep with the same grouped counts, but the
+# traversal runs on integer handles end to end: each expansion step of the
+# compiled plan holds its (label, orientation) CSR plane's lazily materialised
+# row/row-set tables directly (no string-keyed dict probe, no tuple-key
+# allocation per lookup), edge-presence checks probe the packed-integer
+# membership hash, and the deepest counting level folds a whole index row into
+# the per-start Counter with one C-level ``update`` plus a small ``used``-set
+# correction instead of one Python iteration per candidate.  Entities decode
+# back to strings only when the SweepResult is assembled.
+
+
+@dataclass(frozen=True)
+class _CompiledSweepPlan:
+    """A sweep plan bound to one CompiledKB's planes.
+
+    ``steps`` entries are plain tuples for speed:
+
+    * check step (both endpoints bound): ``(anchor_slot, None, check_slot,
+      check_planes)`` — the edge is present when the packed key hits any of
+      ``check_planes`` (undirected first, mirroring the dict kernel);
+    * expansion step: ``(anchor_slot, free_slot, rows, row_sets, offsets,
+      neighbors)`` — the plane's shared lazy row caches plus the raw arrays
+      to materialise missing rows inline.
+
+    ``count_kernel`` is the *generated* count evaluator (see
+    :func:`_generate_count_kernel`): ``kernel(start_handle, per_start_dict)
+    -> bindings_enumerated``.  ``impossible`` is set when the pattern
+    references a label or a ``(label, orientation)`` plane with no edges at
+    all: no complete binding can exist, so the sweep short-circuits to an
+    empty result (identical to what the dict evaluator would enumerate its
+    way to).
+    """
+
+    variable_names: tuple[str, ...]
+    end_slot: int
+    steps: tuple[tuple, ...]
+    impossible: bool
+    count_kernel: Any = None
+    position_kernel: Any = None
+
+
+#: CompiledKB -> {pattern: compiled plan}; entries die with the compiled view.
+_COMPILED_SWEEP_PLANS: "WeakKeyDictionary[CompiledKB, dict]" = WeakKeyDictionary()
+
+#: Generated kernel source -> compiled code object (shared across views).
+_KERNEL_CODE_CACHE: dict[str, Any] = {}
+
+
+def _generate_count_kernel(
+    ckb: CompiledKB, steps: Sequence[_SweepStep], end_slot: int
+) -> Any:
+    """Specialise one sweep plan into straight-line nested loops.
+
+    The generic evaluator interprets the plan step by step: one Python frame
+    per frontier level, a step-table lookup per move, a ``used``-set probe
+    per candidate.  Patterns are tiny (at most four edges at the paper's
+    size limit), so instead we *generate the loop nest for this exact plan*:
+
+    * binding slots become local variables ``b0, b1, ...``;
+    * injectivity degenerates to chained integer comparisons against the
+      bound slots (no set mutations on the hot path);
+    * each expansion step indexes its plane's fully materialised row table;
+    * edge checks probe the packed presence hash with literal plane offsets;
+    * the deepest counting level folds a whole row into the group dict with
+      one C-level ``_count_elements`` call, corrected by O(#bound-slots)
+      membership tests against the row's frozenset — no per-candidate loop.
+
+    The generated source depends only on the plan shape and the plane
+    literals, so its code object is cached and shared; binding the runtime
+    tables happens in a tiny generated factory.
+    """
+    lines: list[str] = [
+        "def _factory(tables, presence, n, stride, fold):",
+    ]
+    expansion_ordinals: list[int] = []
+    for index, step in enumerate(steps):
+        if step.free_slot is not None:
+            ordinal = len(expansion_ordinals)
+            expansion_ordinals.append(index)
+            lines.append(f"    r{ordinal}, s{ordinal} = tables[{ordinal}]")
+
+    bound = [0]
+    ordinal = 0
+    num_steps = len(steps)
+
+    def emit(index: int, indent: str) -> None:
+        nonlocal ordinal
+        if index == num_steps:
+            # Only reached when the plan ends in check steps.
+            lines.append(f"{indent}bindings += 1")
+            lines.append(f"{indent}e = b{end_slot}")
+            lines.append(f"{indent}per_start[e] = get(e, 0) + 1")
+            return
+        step = steps[index]
+        if step.free_slot is None:
+            lines.append(
+                f"{indent}t = (b{step.anchor_slot} * n + b{step.check_slot}) * stride"
+            )
+            planes = _check_planes_of(ckb, step)
+            probe = " or ".join(f"t + {plane} in presence" for plane in planes)
+            lines.append(f"{indent}if {probe}:")
+            emit(index + 1, indent + "    ")
+            return
+        this_ordinal = ordinal
+        ordinal += 1
+        free = step.free_slot
+        anchor = step.anchor_slot
+        if index == num_steps - 1:
+            lines.append(f"{indent}row = r{this_ordinal}[b{anchor}]")
+            lines.append(f"{indent}if row:")
+            inner = indent + "    "
+            corrections = [f"b{slot}" for slot in bound]
+            if free == end_slot:
+                # Adaptive leaf: tiny rows count inline (a fold call costs
+                # more than two dict updates); larger rows fold in C.
+                guard = " and ".join(f"c != {name}" for name in corrections)
+                lines.append(f"{inner}if len(row) <= 6:")
+                lines.append(f"{inner}    for c in row:")
+                lines.append(f"{inner}        if {guard}:")
+                lines.append(f"{inner}            bindings += 1")
+                lines.append(f"{inner}            per_start[c] = get(c, 0) + 1")
+                lines.append(f"{inner}else:")
+                inner = inner + "    "
+                lines.append(f"{inner}rs = s{this_ordinal}[b{anchor}]")
+                lines.append(f"{inner}fold(per_start, row)")
+                lines.append(f"{inner}extra = len(row)")
+                for name in corrections:
+                    lines.append(f"{inner}if {name} in rs:")
+                    lines.append(f"{inner}    per_start[{name}] -= 1")
+                    lines.append(f"{inner}    extra -= 1")
+                lines.append(f"{inner}bindings += extra")
+            else:
+                deductions = "".join(f" - ({name} in rs)" for name in corrections)
+                lines.append(f"{inner}rs = s{this_ordinal}[b{anchor}]")
+                lines.append(f"{inner}valid = len(row){deductions}")
+                lines.append(f"{inner}if valid:")
+                lines.append(f"{inner}    bindings += valid")
+                lines.append(f"{inner}    e = b{end_slot}")
+                lines.append(f"{inner}    per_start[e] = get(e, 0) + valid")
+            return
+        guard = " and ".join(f"b{free} != b{slot}" for slot in bound)
+        lines.append(f"{indent}for b{free} in r{this_ordinal}[b{anchor}]:")
+        lines.append(f"{indent}    if {guard}:")
+        bound.append(free)
+        emit(index + 1, indent + "        ")
+        bound.pop()
+
+    # One-start kernel: used by the decoded sweeps.
+    lines.append("    def kernel(b0, per_start):")
+    lines.append("        get = per_start.get")
+    lines.append("        bindings = 0")
+    emit(0, "        ")
+    lines.append("        return bindings")
+    # Multi-start position tally: the same loop nest fused with the
+    # qualifying-group comparison, so one generated frame sweeps a whole
+    # start list (this is what the unpruned distributional ranking calls).
+    bound = [0]
+    ordinal = 0
+    lines.append("    def position_many(starts, own_count, own_start, own_end):")
+    lines.append("        position = 0")
+    lines.append("        bindings = 0")
+    lines.append("        for b0 in starts:")
+    lines.append("            per_start = {}")
+    lines.append("            get = per_start.get")
+    emit(0, "            ")
+    lines.append("            exclude = own_end if b0 == own_start else -1")
+    lines.append("            for group_end, group_count in per_start.items():")
+    lines.append(
+        "                if group_count > own_count and group_end != b0 "
+        "and group_end != exclude:"
+    )
+    lines.append("                    position += 1")
+    lines.append("        return position, bindings")
+    lines.append("    return kernel, position_many")
+    source = "\n".join(lines)
+    code = _KERNEL_CODE_CACHE.get(source)
+    if code is None:
+        code = _KERNEL_CODE_CACHE[source] = compile(source, "<sweep-kernel>", "exec")
+    namespace: dict[str, Any] = {}
+    exec(code, namespace)  # noqa: S102 - source generated above, no user input
+    tables = []
+    for position, index in enumerate(expansion_ordinals):
+        step = steps[index]
+        plane = (
+            ckb.label_code[step.label] * 3 + ORIENT_CODE[step.orientation]
+        )
+        is_leaf = index == num_steps - 1
+        tables.append(ckb.plane_tables(plane, with_sets=is_leaf))
+    return namespace["_factory"](
+        tables, ckb.presence, len(ckb.names), ckb.presence_stride, _count_elements
+    )
+
+
+def _check_planes_of(ckb: CompiledKB, step: _SweepStep) -> tuple[int, ...]:
+    """Packed plane offsets a check step probes, in dict-kernel order."""
+    plane = ckb.label_code[step.label] * 3
+    if step.check_direction == "out":
+        return (plane + 2, plane)
+    return (plane + 2, plane, plane + 1)
+
+try:
+    # The C helper behind collections.Counter: counts an iterable into any
+    # mapping via mapping.get, without Counter.update's per-call isinstance
+    # dance.  Folding a whole index row costs one C call this way.
+    from collections import _count_elements
+except ImportError:  # pragma: no cover - non-CPython fallback
+
+    def _count_elements(mapping: dict, iterable) -> None:
+        get = mapping.get
+        for element in iterable:
+            mapping[element] = get(element, 0) + 1
+
+
+def _compiled_sweep_plan(ckb: CompiledKB, pattern: ExplanationPattern) -> _CompiledSweepPlan:
+    plans = _COMPILED_SWEEP_PLANS.get(ckb)
+    if plans is None:
+        plans = {}
+        _COMPILED_SWEEP_PLANS[ckb] = plans
+    plan = plans.get(pattern)
+    if plan is not None:
+        return plan
+    base = _sweep_plan(pattern)
+    label_code = ckb.label_code
+    steps: list[tuple] = []
+    impossible = False
+    for step in base.steps:
+        code = label_code.get(step.label)
+        if code is None:
+            impossible = True
+            break
+        plane = code * 3
+        if step.free_slot is None:
+            steps.append(
+                (step.anchor_slot, None, step.check_slot, _check_planes_of(ckb, step))
+            )
+        else:
+            rows, row_sets, offsets, neighbors = ckb.plane_buffers(
+                plane + ORIENT_CODE[step.orientation]
+            )
+            if rows is None:
+                impossible = True
+                break
+            steps.append(
+                (step.anchor_slot, step.free_slot, rows, row_sets, offsets, neighbors)
+            )
+    count_kernel = position_kernel = None
+    if not impossible:
+        count_kernel, position_kernel = _generate_count_kernel(
+            ckb, base.steps, base.end_slot
+        )
+    plan = _CompiledSweepPlan(
+        variable_names=base.variable_names,
+        end_slot=base.end_slot,
+        steps=tuple(steps),
+        impossible=impossible,
+        count_kernel=count_kernel,
+        position_kernel=position_kernel,
+    )
+    plans[pattern] = plan
+    return plan
+
+
+def _sweep_compiled(
+    ckb: CompiledKB,
+    pattern: ExplanationPattern,
+    start_entities: Sequence[str] | None,
+    collect_variable_sets: bool,
+) -> SweepResult:
+    """The integer-handle twin of the dict ``sweep_local_count_distributions``."""
+    plan = _compiled_sweep_plan(ckb, pattern)
+    variable_sets_h: dict[tuple[int, int], dict[str, set[int]]] | None = (
+        {} if collect_variable_sets else None
+    )
+    names = ckb.names
+    if plan.impossible:
+        return SweepResult({}, {} if collect_variable_sets else None, 0)
+    steps = plan.steps
+    num_steps = len(steps)
+    end_slot = plan.end_slot
+    vnames = plan.variable_names
+    presence = ckb.presence
+    stride = ckb.presence_stride
+    n = len(names)
+    counts_h: dict[int, dict[int, int]] = {}
+    bindings_enumerated = 0
+    binding: list[int] = [0] * len(vnames)
+    used: set[int] = set()
+
+    def run_full(index: int, per_start: dict[int, int], start: int) -> None:
+        """General recursion: complete bindings, per-variable entity sets."""
+        nonlocal bindings_enumerated
+        if index == num_steps:
+            bindings_enumerated += 1
+            end = binding[end_slot]
+            per_start[end] = per_start.get(end, 0) + 1
+            group = variable_sets_h.get((start, end))
+            if group is None:
+                group = variable_sets_h[(start, end)] = {name: set() for name in vnames}
+            for name, entity in zip(vnames, binding):
+                group[name].add(entity)
+            return
+        step = steps[index]
+        if step[1] is None:
+            base = (binding[step[0]] * n + binding[step[2]]) * stride
+            for plane in step[3]:
+                if base + plane in presence:
+                    run_full(index + 1, per_start, start)
+                    return
+            return
+        anchor_slot, free_slot, rows, _, offsets, neighbors = step
+        anchor = binding[anchor_slot]
+        row = rows[anchor]
+        if row is None:
+            offset = offsets[anchor]
+            row = rows[anchor] = tuple(neighbors[offset : offsets[anchor + 1]])
+        for candidate in row:
+            if candidate in used:
+                continue
+            binding[free_slot] = candidate
+            used.add(candidate)
+            run_full(index + 1, per_start, start)
+            used.discard(candidate)
+
+    if start_entities is None:
+        start_iter: Sequence[int] = range(n)
+    else:
+        handles = ckb.handles
+        start_iter = [
+            handle
+            for handle in (handles.get(start) for start in start_entities)
+            if handle is not None
+        ]
+    seen: set[int] = set()
+    count_kernel = plan.count_kernel
+    for start_h in start_iter:
+        # Each distinct start is evaluated once (duplicates must not double
+        # their groups or the binding count), matching the dict evaluator.
+        if start_h in seen:
+            continue
+        seen.add(start_h)
+        if variable_sets_h is None:
+            raw: dict[int, int] = {}
+            bindings_enumerated += count_kernel(start_h, raw)
+            per_start = {entity: count for entity, count in raw.items() if count > 0}
+        else:
+            binding[0] = start_h
+            used.clear()
+            used.add(start_h)
+            per_start = {}
+            run_full(0, per_start, start_h)
+        if per_start:
+            counts_h[start_h] = per_start
+
+    counts = {
+        names[start]: {names[end]: count for end, count in per.items()}
+        for start, per in counts_h.items()
+    }
+    variable_sets = None
+    if variable_sets_h is not None:
+        variable_sets = {
+            (names[start], names[end]): {
+                variable: {names[entity] for entity in entities}
+                for variable, entities in group.items()
+            }
+            for (start, end), group in variable_sets_h.items()
+        }
+    return SweepResult(counts, variable_sets, bindings_enumerated)
+
+
+def sweep_position_count(
+    kb: KnowledgeBase,
+    pattern: ExplanationPattern,
+    start_entities: Sequence[str] | None,
+    own_count: float,
+    v_start: str,
+    v_end: str,
+) -> tuple[int, int]:
+    """Count the (start, end) groups whose count exceeds ``own_count``.
+
+    This is the inner loop of the unpruned distributional position ranking
+    (and of the executor's sharded sweeps): run the batched sweep over
+    ``start_entities`` and count groups above the pair's own count, skipping
+    ``end == start`` groups and — for the pair's own start only — the pair's
+    own end.  Returns ``(position, bindings_enumerated)``.
+
+    On a :class:`~repro.kb.compiled.CompiledKB` the whole computation stays
+    in handle space: group counts are never decoded to entity strings because
+    the position is just a comparison tally.
+    """
+    if isinstance(kb, CompiledKB):
+        plan = _compiled_sweep_plan(kb, pattern)
+        if plan.impossible:
+            return 0, 0
+        handles = kb.handles
+        if start_entities is None:
+            start_iter: Sequence[int] = range(len(kb.names))
+        else:
+            # encode + dedup in one C-level pass (dict.fromkeys keeps the
+            # first-occurrence order the dict evaluator iterates in)
+            start_iter = dict.fromkeys(
+                handle
+                for handle in map(handles.get, start_entities)
+                if handle is not None
+            )
+        return plan.position_kernel(
+            start_iter,
+            own_count,
+            handles.get(v_start, -1),
+            handles.get(v_end, -1),
+        )
+    sweep = sweep_local_count_distributions(kb, pattern, start_entities)
+    position = 0
+    for start_entity, per_end in sweep.counts.items():
+        exclude_end = v_end if start_entity == v_start else None
+        for end_entity, count in per_end.items():
+            if end_entity == start_entity or end_entity == exclude_end:
+                continue
+            if count > own_count:
+                position += 1
+    return position, sweep.bindings_enumerated
+
+
+def _count_qualifying_compiled(
+    ckb: CompiledKB,
+    pattern: ExplanationPattern,
+    v_start: str,
+    threshold: float,
+    exclude_end: str | None,
+    bound: int | None,
+) -> tuple[int, bool, int]:
+    """Integer-handle twin of the pruned position query.
+
+    A faithful transliteration of the dict kernel — including the order in
+    which candidate rows are walked and the points at which qualifying groups
+    are folded — so the early-termination bound aborts after exactly the same
+    amount of enumerated work and the returned counters agree bit for bit.
+    """
+    start_h = ckb.handles.get(v_start)
+    if start_h is None:
+        return (0, True, 0)
+    plan = _compiled_sweep_plan(ckb, pattern)
+    if plan.impossible:
+        return (0, True, 0)
+    steps = plan.steps
+    num_steps = len(steps)
+    last_step = num_steps - 1
+    end_slot = plan.end_slot
+    presence = ckb.presence
+    stride = ckb.presence_stride
+    n = len(ckb.names)
+    exclude_h = ckb.handles.get(exclude_end, -1) if exclude_end is not None else -1
+    binding: list[int] = [0] * len(plan.variable_names)
+    binding[0] = start_h
+    used = {start_h}
+    counts: dict[int, int] = {}
+    qualifying: set[int] = set()
+    bindings_enumerated = 0
+
+    def group(end: int, additional: int) -> bool:
+        """Fold ``additional`` bindings into ``end``'s group; True = abort."""
+        nonlocal bindings_enumerated
+        bindings_enumerated += additional
+        if end == start_h or end == exclude_h:
+            return False
+        total = counts.get(end, 0) + additional
+        counts[end] = total
+        if total > threshold:
+            qualifying.add(end)
+            if bound is not None and len(qualifying) > bound:
+                return True
+        return False
+
+    def rec(
+        index: int,
+        steps: tuple = steps,
+        binding: list = binding,
+        used: set = used,
+        presence: set = presence,
+        num_steps: int = num_steps,
+        last_step: int = last_step,
+        end_slot: int = end_slot,
+        n: int = n,
+        stride: int = stride,
+    ) -> bool:
+        step = steps[index]
+        while step[1] is None:
+            base = (binding[step[0]] * n + binding[step[2]]) * stride
+            for plane in step[3]:
+                if base + plane in presence:
+                    break
+            else:
+                return False
+            index += 1
+            if index == num_steps:
+                return group(binding[end_slot], 1)
+            step = steps[index]
+        rows = step[2]
+        anchor = binding[step[0]]
+        row = rows[anchor]
+        if row is None:
+            offsets = step[4]
+            offset = offsets[anchor]
+            row = rows[anchor] = tuple(step[5][offset : offsets[anchor + 1]])
+        if not row:
+            return False
+        free_slot = step[1]
+        if index == last_step:
+            row_sets = step[3]
+            row_set = row_sets[anchor]
+            if row_set is None:
+                row_set = row_sets[anchor] = frozenset(row)
+            if free_slot == end_slot:
+                for candidate in row:
+                    if candidate not in used and group(candidate, 1):
+                        return True
+                return False
+            valid = len(row) - len(used & row_set)
+            if valid:
+                return group(binding[end_slot], valid)
+            return False
+        next_index = index + 1
+        leaf = steps[next_index]
+        if next_index == last_step and leaf[1] is not None:
+            # Same two-deepest-level fusion as the batched sweep.
+            (
+                leaf_anchor_slot,
+                leaf_free,
+                leaf_rows,
+                leaf_sets,
+                leaf_offsets,
+                leaf_neighbors,
+            ) = leaf
+            leaf_is_end = leaf_free == end_slot
+            for candidate in row:
+                if candidate in used:
+                    continue
+                binding[free_slot] = candidate
+                used.add(candidate)
+                stop = False
+                leaf_anchor = binding[leaf_anchor_slot]
+                leaf_row = leaf_rows[leaf_anchor]
+                if leaf_row is None:
+                    offset = leaf_offsets[leaf_anchor]
+                    leaf_row = leaf_rows[leaf_anchor] = tuple(
+                        leaf_neighbors[offset : leaf_offsets[leaf_anchor + 1]]
+                    )
+                if leaf_row:
+                    leaf_set = leaf_sets[leaf_anchor]
+                    if leaf_set is None:
+                        leaf_set = leaf_sets[leaf_anchor] = frozenset(leaf_row)
+                    if leaf_is_end:
+                        for end in leaf_row:
+                            if end not in used and group(end, 1):
+                                stop = True
+                                break
+                    else:
+                        valid = len(leaf_row) - len(used & leaf_set)
                         if valid:
                             stop = group(binding[end_slot], valid)
                 used.discard(candidate)

@@ -48,7 +48,7 @@ from repro.core.pattern import ExplanationPattern
 from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
 from repro.errors import RexError
 from repro.kb.graph import KnowledgeBase
-from repro.kb.sql import sweep_local_count_distributions
+from repro.kb.sql import sweep_position_count
 from repro.measures.base import Measure
 from repro.parallel.snapshot import kb_from_payload, kb_to_payload
 
@@ -134,17 +134,11 @@ def _run_sweep(
     """
     rex: Rex = _WORKER["rex"]
     cpu_started = time.process_time()
-    sweep = sweep_local_count_distributions(rex.kb, pattern, start_entities)
-    position = 0
-    for start_entity, per_end in sweep.counts.items():
-        exclude_end = v_end if start_entity == v_start else None
-        for end_entity, count in per_end.items():
-            if end_entity == start_entity or end_entity == exclude_end:
-                continue
-            if count > own_count:
-                position += 1
+    position, bindings_enumerated = sweep_position_count(
+        rex.kb, pattern, start_entities, own_count, v_start, v_end
+    )
     cpu_seconds = time.process_time() - cpu_started
-    return os.getpid(), cpu_seconds, position, sweep.bindings_enumerated
+    return os.getpid(), cpu_seconds, position, bindings_enumerated
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +197,12 @@ class ParallelBatchExecutor:
             read lock here — snapshotting iterates every adjacency dict, and
             a concurrent writer would tear the replica or crash the
             iteration.
+        compiled_provider: optional callable returning the
+            :class:`~repro.kb.compiled.CompiledKB` to snapshot instead of
+            compiling the live KB from scratch.  Invoked *inside* the
+            snapshot guard; the serving engine passes its per-version
+            compile cache so a pool rebuild ships the exact arrays already
+            serving requests.
 
     The executor is thread-safe: concurrent batches share the pool, and
     recycling swaps the pool atomically while in-flight chunks finish on the
@@ -216,6 +216,7 @@ class ParallelBatchExecutor:
         size_limit: int = DEFAULT_SIZE_LIMIT,
         chunk_size: int | None = None,
         snapshot_guard: Callable[[], ContextManager] | None = None,
+        compiled_provider: Callable[[], Any] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -226,6 +227,7 @@ class ParallelBatchExecutor:
         self.size_limit = size_limit
         self.chunk_size = chunk_size
         self._snapshot_guard = snapshot_guard
+        self._compiled_provider = compiled_provider
         self.stats = ExecutorStats()
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
@@ -270,8 +272,13 @@ class ParallelBatchExecutor:
         with guard:
             # under the guard no writer can run: the payload and the version
             # it is labelled with are one consistent cut of the KB
-            payload = kb_to_payload(self._kb)
-            version = self._kb.version
+            source = (
+                self._compiled_provider()
+                if self._compiled_provider is not None
+                else self._kb
+            )
+            payload = kb_to_payload(source)
+            version = source.version
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,

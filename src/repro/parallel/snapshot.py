@@ -1,77 +1,87 @@
-"""Immutable knowledge-base snapshots for cross-process shipping.
+"""Immutable knowledge-base snapshots for cross-process shipping (format 2).
 
 Worker processes of the batch executor each hold a *read-only replica* of the
-knowledge base.  A replica is built from a :func:`kb_to_payload` snapshot — a
-tuple of plain strings/bools that pickles cheaply (and, under the ``fork``
-start method, is inherited without any pickling at all).  Replays preserve
-everything that makes results deterministic:
+knowledge base.  Since payload format 2 a replica **is** a
+:class:`~repro.kb.compiled.CompiledKB`: the snapshot ships the compiled CSR
+planes, handle tables and the packed edge-membership hash as ``tobytes()``
+buffers, and :func:`kb_from_payload` restores them with bulk ``frombytes``
+calls instead of the N× ``add_edge`` replay of format 1 — worker recycling
+after a live KB update is therefore bounded by a few memcpys plus one JSON
+parse of the string tables, not by edge-by-edge graph reconstruction.
+
+Replicas preserve everything that makes results deterministic:
 
 * entity insertion order (drives ``kb.entities`` iteration order, integer
   handles and ranking tie-break stability),
-* edge insertion order with explicit directionality,
+* edge insertion order with explicit directionality (the plane rows are the
+  per-node index rows of the source KB, in the same order),
 * the full schema (relation directedness, domains/ranges, entity types),
 
 so a replica answers every explanation request byte-identically to the
 original knowledge base at the version the snapshot was taken.
+
+Format 1 payloads (plain entity/edge tuple replays) are **rejected** with an
+upgrade message: a format-1 replica would be rebuilt through ``add_edge`` and
+silently lose the compiled hot paths, so a stale worker must recycle instead.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
-from repro.kb.schema import EntityType, RelationType, Schema
 
-__all__ = ["kb_to_payload", "kb_from_payload"]
+__all__ = ["kb_to_payload", "kb_from_payload", "PAYLOAD_FORMAT"]
 
-#: Payload format version, bumped when the tuple layout changes so a stale
-#: worker cannot silently misinterpret a newer snapshot.
-PAYLOAD_FORMAT = 1
+#: Payload format version, bumped when the layout changes so a stale worker
+#: cannot silently misinterpret a newer snapshot.  Format 1 shipped plain
+#: entity/edge tuples replayed through ``add_edge``; format 2 ships the
+#: compiled array planes of :class:`~repro.kb.compiled.CompiledKB`.
+PAYLOAD_FORMAT = 2
 
 
-def kb_to_payload(kb: KnowledgeBase) -> tuple[Any, ...]:
-    """Snapshot ``kb`` as a picklable tuple of plain values.
+def kb_to_payload(kb: KnowledgeBase | CompiledKB) -> tuple[Any, ...]:
+    """Snapshot ``kb`` as a picklable tuple of plain values (format 2).
+
+    Accepts either a mutable :class:`~repro.kb.graph.KnowledgeBase` (compiled
+    on the fly) or an already-compiled :class:`~repro.kb.compiled.CompiledKB`
+    — the serving engine passes its per-version cached compile so snapshotting
+    for a pool rebuild costs only the ``tobytes`` copies.
 
     The snapshot carries the KB :attr:`~repro.kb.graph.KnowledgeBase.version`
     it was taken at; the executor keys worker replicas on it to decide when a
     pool must be recycled.
     """
-    relations = tuple(
-        (relation.name, relation.directed, relation.domain, relation.range)
-        for relation in kb.schema
-    )
-    entity_types = tuple(
-        (entity_type.name, entity_type.description)
-        for entity_type in kb.schema.entity_types.values()
-    )
-    entities = tuple((entity, kb.entity_type(entity)) for entity in kb.entities)
-    edges = tuple(
-        (edge.source, edge.target, edge.label, edge.directed) for edge in kb.edges()
-    )
-    return (PAYLOAD_FORMAT, kb.version, relations, entity_types, entities, edges)
+    compiled = CompiledKB.compile(kb)
+    return (PAYLOAD_FORMAT, *compiled.to_buffers())
 
 
-def kb_from_payload(payload: tuple[Any, ...]) -> tuple[KnowledgeBase, int]:
-    """Rebuild a knowledge base (and its snapshot version) from a payload."""
-    format_version, version, relations, entity_types, entities, edges = payload
+def kb_from_payload(payload: tuple[Any, ...]) -> tuple[CompiledKB, int]:
+    """Rebuild a read-only KB replica (and its snapshot version) from a payload.
+
+    Returns:
+        ``(replica, version)`` where ``replica`` is a
+        :class:`~repro.kb.compiled.CompiledKB` exposing the full read API of
+        :class:`~repro.kb.graph.KnowledgeBase`.
+
+    Raises:
+        ValueError: for format-1 payloads (with an upgrade hint) and for any
+            unknown format marker.
+    """
+    format_version = payload[0]
+    if format_version == 1:
+        raise ValueError(
+            "unsupported KB payload format 1 (edge-replay snapshots): this "
+            "worker expects the compiled array snapshot of format "
+            f"{PAYLOAD_FORMAT}.  Recycle the worker pool so parent and "
+            "workers agree on the snapshot format, or re-serialise the KB "
+            "with the current kb_to_payload()."
+        )
     if format_version != PAYLOAD_FORMAT:
         raise ValueError(
             f"unsupported KB payload format {format_version!r} "
             f"(expected {PAYLOAD_FORMAT})"
         )
-    schema = Schema(
-        relations=(
-            RelationType(name=name, directed=directed, domain=domain, range=range_)
-            for name, directed, domain, range_ in relations
-        ),
-        entity_types=(
-            EntityType(name=name, description=description)
-            for name, description in entity_types
-        ),
-    )
-    kb = KnowledgeBase(schema=schema)
-    for entity, entity_type in entities:
-        kb.add_entity(entity, entity_type)
-    for source, target, label, directed in edges:
-        kb.add_edge(source, target, label, directed)
-    return kb, version
+    compiled = CompiledKB.from_buffers(payload[1:])
+    return compiled, compiled.version

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from repro.core.explanation import Explanation
 from repro.errors import RankingError
 from repro.kb.graph import KnowledgeBase
-from repro.kb.sql import count_qualifying_end_entities, sweep_local_count_distributions
+from repro.kb.sql import count_qualifying_end_entities, sweep_position_count
 from repro.measures.aggregate import CountMeasure
 from repro.ranking.general import RankedExplanation, RankingResult, _sort_key
 
@@ -128,18 +128,12 @@ def _rank_by_position(
             else:
                 # No pruning bound applies: evaluate every start entity in one
                 # batched sweep (the pattern is compiled once and the traversal
-                # shared) instead of one matcher run per start.
-                sweep = sweep_local_count_distributions(
-                    kb, explanation.pattern, start_entities
+                # shared) instead of one matcher run per start.  On a compiled
+                # backend the tally never leaves handle space.
+                position, swept_bindings = sweep_position_count(
+                    kb, explanation.pattern, start_entities, own_count, v_start, v_end
                 )
-                total_bindings += sweep.bindings_enumerated
-                for start_entity, per_end in sweep.counts.items():
-                    exclude_end = v_end if start_entity == v_start else None
-                    for end_entity, count in per_end.items():
-                        if end_entity == start_entity or end_entity == exclude_end:
-                            continue
-                        if count > own_count:
-                            position += 1
+                total_bindings += swept_bindings
         else:
             for start_entity in start_entities:
                 exclude_end = v_end if start_entity == v_start else None

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro import Rex, validate_k, validate_size_limit
 from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
 from repro.errors import RexError, UnknownEntityError
+from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
 from repro.measures.base import Measure
 from repro.parallel import ParallelBatchExecutor
@@ -202,6 +203,11 @@ class ExplanationEngine:
         )
         self._executor: ParallelBatchExecutor | None = None
         self._executor_lock = threading.Lock()
+        # version -> Rex over the CompiledKB of that version.  One compile is
+        # shared by serving, warmup and the executor's snapshots; stale
+        # versions are purged by add_edges (and capped here as a backstop).
+        self._compiled_versions: dict[int, Rex] = {}
+        self._compile_lock = threading.Lock()
         # engine instruments (created eagerly so /metrics shows zeros)
         self._requests = self.metrics.counter("engine.requests")
         self._cache_hits = self.metrics.counter("engine.cache_hits")
@@ -213,7 +219,16 @@ class ExplanationEngine:
         self._warmed_pairs = self.metrics.counter("engine.warmed_pairs")
         self._parallel_batches = self.metrics.counter("engine.parallel_batches")
         self._parallel_retries = self.metrics.counter("engine.parallel_retries")
+        self._compiles = self.metrics.counter("engine.kb_compiles")
         self._latency = self.metrics.histogram("engine.explain_latency")
+        # KB / compiled-core gauges (created eagerly so /metrics shows zeros,
+        # refreshed on every compile)
+        self._gauge_entities = self.metrics.gauge("kb.entities")
+        self._gauge_edges = self.metrics.gauge("kb.edges")
+        self._gauge_labels = self.metrics.gauge("kb.labels")
+        self._gauge_plane_bytes = self.metrics.gauge("kb.compiled_plane_bytes")
+        self._gauge_compile_s = self.metrics.gauge("kb.compile_seconds")
+        self._gauge_compiled_versions = self.metrics.gauge("kb.compiled_versions_cached")
 
     # -- accessors ---------------------------------------------------------
 
@@ -541,6 +556,10 @@ class ExplanationEngine:
             added = kb.num_edges - edges_before
             version = kb.version
             purged = self.cache.purge_versions_except(version)
+            with self._compile_lock:
+                for stale in [v for v in self._compiled_versions if v != version]:
+                    del self._compiled_versions[stale]
+                self._gauge_compiled_versions.set(len(self._compiled_versions))
         finally:
             self._kb_lock.release_write()
         self._kb_updates.inc()
@@ -623,6 +642,45 @@ class ExplanationEngine:
 
     # -- internals ---------------------------------------------------------
 
+    def _compiled_rex(self) -> Rex:
+        """The Rex facade over the current KB version's compiled view.
+
+        Must be called while holding the KB read lock (compiling walks the
+        live adjacency dicts, and the result is labelled with the version
+        read under that lock).  The compile is cached per version and shared
+        by every serving path; only the first request after a KB update pays
+        for it.
+        """
+        version = self._rex.kb.version
+        with self._compile_lock:
+            entry = self._compiled_versions.get(version)
+            if entry is None:
+                compiled = CompiledKB.compile(self._rex.kb)
+                entry = Rex(compiled, size_limit=self.size_limit)
+                self._compiled_versions[version] = entry
+                # backstop cap: writers purge via add_edges, but an embedder
+                # mutating the KB directly must not leak old compiles
+                while len(self._compiled_versions) > 2:
+                    del self._compiled_versions[min(self._compiled_versions)]
+                self._compiles.inc()
+                self._gauge_entities.set(compiled.num_entities)
+                self._gauge_edges.set(compiled.num_edges)
+                self._gauge_labels.set(len(compiled.label_of))
+                self._gauge_plane_bytes.set(compiled.plane_bytes())
+                self._gauge_compile_s.set(round(compiled.compile_seconds, 6))
+            self._gauge_compiled_versions.set(len(self._compiled_versions))
+            return entry
+
+    def _compiled_snapshot_source(self) -> CompiledKB:
+        """The compiled view the executor snapshots worker payloads from.
+
+        Invoked by the executor inside its ``snapshot_guard`` (this engine's
+        KB read lock), so the compile and the version it is labelled with
+        form one consistent cut — and it is the *same* compile serving
+        requests, so a pool rebuild costs only the buffer copies.
+        """
+        return self._compiled_rex().kb
+
     def _ensure_executor(self) -> ParallelBatchExecutor:
         """The lazily created worker pool (spun up on the first miss batch)."""
         with self._executor_lock:
@@ -633,6 +691,7 @@ class ExplanationEngine:
                     size_limit=self.size_limit,
                     # KB snapshots for pool rebuilds must exclude live writers
                     snapshot_guard=self._kb_lock.read_locked,
+                    compiled_provider=self._compiled_snapshot_source,
                 )
             return self._executor
 
@@ -709,7 +768,7 @@ class ExplanationEngine:
         try:
             version = self._rex.kb.version
             ranked = tuple(
-                self._rex.explain(
+                self._compiled_rex().explain(
                     v_start, v_end, measure=measure, k=k, size_limit=size_limit
                 )
             )

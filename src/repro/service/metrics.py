@@ -13,7 +13,7 @@ import threading
 from bisect import bisect_left
 from typing import Any
 
-__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "MetricsRegistry"]
 
 #: Default latency bucket upper bounds in seconds (Prometheus-style ``le``).
 DEFAULT_BUCKETS = (
@@ -57,6 +57,35 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.value})"
+
+
+class Gauge:
+    """A thread-safe instantaneous value (set-to-current, not accumulated).
+
+    Gauges carry point-in-time observations — KB entity/edge counts, the
+    byte size of the compiled planes, the seconds the last compile took —
+    where a monotonic counter would be the wrong shape.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float | int = 0
+
+    def set(self, value: float | int) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"gauge values must be numbers, got {value!r}")
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float | int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
 
 
 class LatencyHistogram:
@@ -156,6 +185,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -165,6 +195,14 @@ class MetricsRegistry:
             if counter is None:
                 counter = self._counters[name] = Counter()
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
 
     def histogram(self, name: str) -> LatencyHistogram:
         """The histogram registered under ``name`` (created on first use)."""
@@ -178,9 +216,11 @@ class MetricsRegistry:
         """All instruments rendered to plain JSON-ready values."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         payload: dict[str, Any] = {
             "counters": {name: counter.value for name, counter in sorted(counters.items())},
+            "gauges": {name: gauge.value for name, gauge in sorted(gauges.items())},
             "histograms": {
                 name: histogram.snapshot()
                 for name, histogram in sorted(histograms.items())

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, build_serve_parser, main, serve_main
+import json
+
+from repro.cli import build_info_parser, build_parser, build_serve_parser, info_main, main, serve_main
 from repro.kb.io import save_json, save_tsv
 
 
@@ -85,6 +87,56 @@ class TestServeParser:
     def test_kb_sources_are_exclusive(self):
         with pytest.raises(SystemExit):
             build_serve_parser().parse_args(["--demo", "--synthetic"])
+
+
+class TestInfo:
+    def test_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_info_parser().parse_args(["--demo", "--workload", "clustered"])
+
+    def test_demo_prints_stats(self, capsys):
+        exit_code = main(["info", "--demo"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "entities" in captured.out
+        assert "edges" in captured.out
+        assert "labels" in captured.out
+        assert "compiled_plane_bytes" in captured.out
+        assert "compile_ms" in captured.out
+        assert "snapshot_format" in captured.out
+
+    def test_tsv_kb_stats_match_loaded_kb(self, paper_kb, tmp_path, capsys):
+        from repro.kb.io import load_tsv
+
+        path = tmp_path / "kb.tsv"
+        save_tsv(paper_kb, path)
+        # the TSV edge list drops isolated entities, so compare against what
+        # the info command actually loads
+        reloaded = load_tsv(path)
+        exit_code = info_main(["--kb", str(path), "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        info = json.loads(captured.out)
+        assert info["entities"] == reloaded.num_entities
+        assert info["edges"] == reloaded.num_edges == paper_kb.num_edges
+        assert info["labels"] == len(reloaded.relation_labels())
+        assert info["snapshot_format"] == 2
+        assert info["compiled_plane_bytes"] > 0
+        assert info["snapshot_bytes"] > 0
+
+    def test_generated_workload_stats(self, capsys):
+        exit_code = info_main(["--workload", "clustered", "--seed", "3", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        info = json.loads(captured.out)
+        assert info["entities"] > 0 and info["edges"] > 0
+        assert info["compile_ms"] >= 0
+
+    def test_missing_kb_file_returns_error(self, capsys, tmp_path):
+        exit_code = info_main(["--kb", str(tmp_path / "missing.tsv")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
 
 
 class TestServeSmoke:

@@ -1,0 +1,300 @@
+"""Property-based equivalence: the compiled array-backed core vs the dict KB.
+
+PR 4 freezes the knowledge base into CSR planes (:class:`repro.kb.compiled.
+CompiledKB`) and reroutes every hot path — pattern matching, path
+enumeration, the union's merge kernel, the distributional sweeps — onto
+integer handles.  None of that may change a single result.  These tests run
+the full stack over seeded :mod:`repro.workloads` generator knowledge bases
+on **both** backends and assert byte-identical outputs: same explanations
+with the same instance sets, same ranked lists with the same scores, same
+sweep counts, same serving responses (including with the engine sharding
+batches across worker processes, whose replicas are restored from format-2
+snapshots).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro import Rex
+from repro.core.matcher import match_pattern
+from repro.enumeration.framework import enumerate_explanations
+from repro.errors import RexError
+from repro.kb.compiled import CompiledKB
+from repro.kb.sql import (
+    count_qualifying_end_entities,
+    sweep_local_count_distributions,
+    sweep_position_count,
+)
+from repro.parallel.snapshot import kb_from_payload, kb_to_payload
+from repro.ranking.distributional_pruning import (
+    rank_by_global_position,
+    rank_by_local_position,
+)
+from repro.service import ExplanationEngine
+from repro.service.serialize import ranked_to_dict
+from repro.workloads import bipartite_kb, clustered_kb, scale_free_kb
+
+SIZE_LIMIT = 4
+
+#: (generator name, factory) — small knobs so the whole matrix stays fast.
+WORKLOADS = [
+    (
+        "scale-free",
+        lambda seed: scale_free_kb(num_entities=48, attach_per_entity=2, seed=seed),
+    ),
+    (
+        "bipartite",
+        lambda seed: bipartite_kb(
+            num_entities=40, num_attributes=10, attributes_per_entity=3, seed=seed
+        ),
+    ),
+    (
+        "clustered",
+        lambda seed: clustered_kb(
+            num_communities=3,
+            community_size=12,
+            intra_degree=3,
+            inter_edges=10,
+            seed=seed,
+        ),
+    ),
+]
+
+SEEDS = [0, 1, 2]
+
+
+def _connected_pairs(kb, seed: int, count: int) -> list[tuple[str, str]]:
+    """Deterministic connected entity pairs (share at least one neighbour)."""
+    rng = random.Random(seed * 77 + 3)
+    entities = list(kb.entities)
+    pairs: list[tuple[str, str]] = []
+    attempts = 0
+    while len(pairs) < count and attempts < 500:
+        attempts += 1
+        start = entities[rng.randrange(len(entities))]
+        hop = kb.neighbor_entities(start)
+        if not hop:
+            continue
+        middle = hop[rng.randrange(len(hop))]
+        two_hop = kb.neighbor_entities(middle)
+        end = two_hop[rng.randrange(len(two_hop))]
+        if end != start and (start, end) not in pairs:
+            pairs.append((start, end))
+    return pairs
+
+
+def _render_explanations(explanations) -> list:
+    """Order-insensitive byte-comparable rendering of an explanation set."""
+    return sorted(
+        (explanation.pattern.canonical_key, tuple(i.items() for i in explanation.instances))
+        for explanation in explanations
+    )
+
+
+def _render_ranked(ranked) -> str:
+    return json.dumps(
+        [ranked_to_dict(entry, rank) for rank, entry in enumerate(ranked, start=1)],
+        sort_keys=True,
+    )
+
+
+@pytest.fixture(params=[(kind, seed) for kind, _ in WORKLOADS for seed in SEEDS],
+                ids=lambda p: f"{p[0]}-{p[1]}", scope="module")
+def backends(request):
+    kind, seed = request.param
+    factory = dict(WORKLOADS)[kind]
+    kb = factory(seed)
+    return kb, CompiledKB.compile(kb), seed
+
+
+class TestEnumerationEquivalence:
+    def test_all_algorithm_combinations_identical(self, backends):
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 2)
+        assert pairs, "workload produced no connected pairs"
+        for v_start, v_end in pairs:
+            for path_algorithm in ("naive", "basic", "prioritized"):
+                for union_algorithm in ("basic", "prune"):
+                    expected = enumerate_explanations(
+                        kb, v_start, v_end, size_limit=SIZE_LIMIT,
+                        path_algorithm=path_algorithm, union_algorithm=union_algorithm,
+                    )
+                    actual = enumerate_explanations(
+                        compiled, v_start, v_end, size_limit=SIZE_LIMIT,
+                        path_algorithm=path_algorithm, union_algorithm=union_algorithm,
+                    )
+                    assert _render_explanations(actual.explanations) == (
+                        _render_explanations(expected.explanations)
+                    ), (v_start, v_end, path_algorithm, union_algorithm)
+                    # The traversal layer is a transliteration: even the work
+                    # counters must agree.
+                    assert actual.path_stats == expected.path_stats
+
+    def test_matcher_identical_including_limit_prefixes(self, backends):
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 2)
+        for v_start, v_end in pairs:
+            explanations = enumerate_explanations(
+                kb, v_start, v_end, size_limit=SIZE_LIMIT
+            ).explanations
+            for explanation in explanations[:8]:
+                for limit in (None, 1, 2):
+                    expected = match_pattern(
+                        kb, explanation.pattern, v_start, v_end, limit=limit
+                    )
+                    actual = match_pattern(
+                        compiled, explanation.pattern, v_start, v_end, limit=limit
+                    )
+                    assert [i.items() for i in actual] == [i.items() for i in expected]
+
+
+class TestSweepEquivalence:
+    def test_sweeps_and_position_counts_identical(self, backends):
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 1)
+        rng = random.Random(seed)
+        starts = rng.sample(list(kb.entities), min(20, kb.num_entities))
+        for v_start, v_end in pairs:
+            explanations = enumerate_explanations(
+                kb, v_start, v_end, size_limit=SIZE_LIMIT
+            ).explanations
+            for explanation in explanations[:10]:
+                pattern = explanation.pattern
+                for collect in (False, True):
+                    expected = sweep_local_count_distributions(
+                        kb, pattern, starts, collect_variable_sets=collect
+                    )
+                    actual = sweep_local_count_distributions(
+                        compiled, pattern, starts, collect_variable_sets=collect
+                    )
+                    assert actual.counts == expected.counts
+                    assert actual.bindings_enumerated == expected.bindings_enumerated
+                    assert actual.variable_sets == expected.variable_sets
+                assert sweep_position_count(
+                    compiled, pattern, starts, 1.0, v_start, v_end
+                ) == sweep_position_count(kb, pattern, starts, 1.0, v_start, v_end)
+                for threshold in (0, 1.5):
+                    for bound in (None, 0, 2):
+                        assert count_qualifying_end_entities(
+                            compiled, pattern, v_start, threshold,
+                            exclude_end=v_end, bound=bound,
+                        ) == count_qualifying_end_entities(
+                            kb, pattern, v_start, threshold,
+                            exclude_end=v_end, bound=bound,
+                        )
+
+
+class TestRankingEquivalence:
+    @pytest.mark.parametrize(
+        "measure", ["count", "size", "monocount", "size+monocount", "local-dist"]
+    )
+    def test_facade_rankings_identical(self, backends, measure):
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 2)
+        rex_dict = Rex(kb, size_limit=SIZE_LIMIT)
+        rex_compiled = Rex(compiled, size_limit=SIZE_LIMIT)
+        for v_start, v_end in pairs:
+            expected = rex_dict.explain(v_start, v_end, measure=measure, k=5)
+            actual = rex_compiled.explain(v_start, v_end, measure=measure, k=5)
+            assert _render_ranked(actual) == _render_ranked(expected), (
+                v_start, v_end, measure,
+            )
+
+    def test_positional_rankings_identical(self, backends):
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 1)
+        for v_start, v_end in pairs:
+            explanations = enumerate_explanations(
+                kb, v_start, v_end, size_limit=SIZE_LIMIT
+            ).explanations
+            for ranker, kwargs in (
+                (rank_by_local_position, {"prune": True}),
+                (rank_by_local_position, {"prune": False}),
+                (rank_by_global_position, {"prune": True, "num_samples": 15}),
+                (rank_by_global_position, {"prune": False, "num_samples": 15}),
+            ):
+                expected = ranker(kb, explanations, v_start, v_end, k=5, **kwargs)
+                actual = ranker(compiled, explanations, v_start, v_end, k=5, **kwargs)
+                assert _render_ranked(actual.ranked) == _render_ranked(expected.ranked)
+                assert actual.stats == expected.stats
+
+
+class TestPickleHygiene:
+    def test_merge_kernel_caches_never_cross_the_process_boundary(self, backends):
+        """Explanations produced by the compiled union carry per-process
+        merge caches (including pattern tokens minted by a process-local
+        counter); pickling — what the executor's result path does — must
+        strip them while preserving the explanation value."""
+        kb, compiled, seed = backends
+        pairs = _connected_pairs(kb, seed, 1)
+        v_start, v_end = pairs[0]
+        explanations = enumerate_explanations(
+            compiled, v_start, v_end, size_limit=SIZE_LIMIT
+        ).explanations
+        assert any(
+            "_fast_merge_info" in explanation.__dict__ for explanation in explanations
+        ), "compiled union did not populate the caches this test guards"
+        restored = pickle.loads(pickle.dumps(explanations))
+        for original, copy in zip(explanations, restored):
+            assert "_fast_merge_info" not in copy.__dict__
+            assert "_merge_info" not in copy.__dict__
+            assert "_assignment_cache" not in copy.__dict__
+            assert "_merge_token" not in copy.pattern.__dict__
+            assert copy.pattern == original.pattern
+            assert copy.instances == original.instances
+
+
+class TestReplicaAndServingEquivalence:
+    def test_snapshot_replica_answers_identically(self, backends):
+        kb, compiled, seed = backends
+        replica, version = kb_from_payload(kb_to_payload(compiled))
+        assert version == kb.version
+        pairs = _connected_pairs(kb, seed, 2)
+        rex_dict = Rex(kb, size_limit=SIZE_LIMIT)
+        rex_replica = Rex(replica, size_limit=SIZE_LIMIT)
+        for v_start, v_end in pairs:
+            expected = rex_dict.explain(v_start, v_end, k=5)
+            actual = rex_replica.explain(v_start, v_end, k=5)
+            assert _render_ranked(actual) == _render_ranked(expected)
+
+    def test_engine_serves_dict_facade_results(self, backends):
+        """The engine computes on its cached compile; outputs must match the
+        plain dict facade bit for bit."""
+        kb, _, seed = backends
+        pairs = _connected_pairs(kb, seed, 2)
+        engine = ExplanationEngine(kb.copy(), size_limit=SIZE_LIMIT)
+        rex_dict = Rex(kb, size_limit=SIZE_LIMIT)
+        try:
+            for v_start, v_end in pairs:
+                outcome = engine.explain(v_start, v_end, k=5)
+                expected = rex_dict.explain(v_start, v_end, k=5)
+                assert _render_ranked(outcome.ranked) == _render_ranked(expected)
+        finally:
+            engine.close()
+
+    def test_engine_parallel_batch_matches_dict_facade(self, backends):
+        """Worker replicas (format-2 restores) under REX_PARALLELISM=2 return
+        exactly the dict facade's answers, positionally."""
+        kb, _, seed = backends
+        pairs = _connected_pairs(kb, seed, 3)
+        requests = [
+            {"start": start, "end": end, "k": 3, "size_limit": SIZE_LIMIT}
+            for start, end in pairs
+        ]
+        engine = ExplanationEngine(kb.copy(), size_limit=SIZE_LIMIT, parallelism=2)
+        rex_dict = Rex(kb, size_limit=SIZE_LIMIT)
+        try:
+            results = engine.explain_batch(requests)
+            for request, result in zip(requests, results):
+                assert not isinstance(result, RexError), result
+                expected = rex_dict.explain(
+                    request["start"], request["end"], k=3, size_limit=SIZE_LIMIT
+                )
+                assert _render_ranked(result.ranked) == _render_ranked(expected)
+        finally:
+            engine.close()

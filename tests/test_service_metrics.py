@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
 
 
 class TestCounter:
@@ -34,6 +34,38 @@ class TestCounter:
         for thread in threads:
             thread.join()
         assert counter.value == 8000
+
+
+class TestGauge:
+    def test_starts_at_zero_and_sets(self):
+        gauge = Gauge()
+        assert gauge.value == 0
+        gauge.set(42)
+        assert gauge.value == 42
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+        gauge.set(7)  # set-to-current, not accumulated
+        assert gauge.value == 7
+
+    def test_non_numeric_values_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge().set("big")
+        with pytest.raises(ValueError):
+            Gauge().set(True)
+
+    def test_concurrent_sets_keep_a_written_value(self):
+        gauge = Gauge()
+
+        def worker(value: int) -> None:
+            for _ in range(500):
+                gauge.set(value)
+
+        threads = [threading.Thread(target=worker, args=(value,)) for value in (1, 2, 3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value in (1, 2, 3)
 
 
 class TestLatencyHistogram:
@@ -95,7 +127,60 @@ class TestMetricsRegistry:
     def test_snapshot_renders_everything(self):
         registry = MetricsRegistry()
         registry.counter("a").inc()
+        registry.gauge("g").set(12)
         registry.histogram("b").observe(0.5)
         snapshot = registry.snapshot()
         assert snapshot["counters"] == {"a": 1}
+        assert snapshot["gauges"] == {"g": 12}
         assert snapshot["histograms"]["b"]["count"] == 1
+
+    def test_gauges_are_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.gauge("kb.entities").set(5)
+        assert registry.gauge("kb.entities").value == 5
+
+
+class TestEngineKbGauges:
+    """The serving engine publishes KB/compiled-core gauges via /metrics."""
+
+    def test_gauges_populated_after_first_explain(self):
+        from repro.datasets.paper_example import paper_example_kb
+        from repro.service import ExplanationEngine
+
+        engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        try:
+            gauges = engine.metrics.snapshot()["gauges"]
+            # created eagerly, zero before any compile
+            assert gauges["kb.entities"] == 0
+            assert gauges["kb.compiled_plane_bytes"] == 0
+            engine.explain("tom_cruise", "nicole_kidman", k=1)
+            gauges = engine.metrics.snapshot()["gauges"]
+            assert gauges["kb.entities"] == engine.kb.num_entities
+            assert gauges["kb.edges"] == engine.kb.num_edges
+            assert gauges["kb.labels"] == len(engine.kb.relation_labels())
+            assert gauges["kb.compiled_plane_bytes"] > 0
+            assert gauges["kb.compile_seconds"] > 0
+            assert gauges["kb.compiled_versions_cached"] == 1
+            counters = engine.metrics.snapshot()["counters"]
+            assert counters["engine.kb_compiles"] == 1
+        finally:
+            engine.close()
+
+    def test_kb_update_purges_stale_compiles(self):
+        from repro.datasets.paper_example import paper_example_kb
+        from repro.service import ExplanationEngine
+
+        engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        try:
+            engine.explain("tom_cruise", "nicole_kidman", k=1)
+            engine.add_edges(
+                [{"source": "tom_cruise", "target": "top_gun_x", "label": "starring"}]
+            )
+            gauges = engine.metrics.snapshot()["gauges"]
+            assert gauges["kb.compiled_versions_cached"] == 0
+            engine.explain("tom_cruise", "nicole_kidman", k=1)
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["gauges"]["kb.compiled_versions_cached"] == 1
+            assert snapshot["counters"]["engine.kb_compiles"] == 2
+        finally:
+            engine.close()

@@ -1,0 +1,110 @@
+"""Property tests for snapshot payload format 2 (compiled array shipping).
+
+Replica determinism rests on the snapshot round-trip preserving *everything*
+observable: entity insertion order (handles, iteration order, ranking
+tie-breaks), edge insertion order with per-edge directionality, the full
+schema and the version label.  These tests pickle the payload (exactly what
+crosses the process boundary) and compare the restored replica field by
+field against the source across seeded workload generators; format-1
+payloads must be rejected with an upgrade message.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.kb.graph import KnowledgeBase
+from repro.kb.schema import Schema
+from repro.parallel.snapshot import PAYLOAD_FORMAT, kb_from_payload, kb_to_payload
+from repro.workloads import bipartite_kb, clustered_kb, scale_free_kb
+
+GENERATOR_CASES = [
+    lambda seed: scale_free_kb(num_entities=35, attach_per_entity=2, seed=seed),
+    lambda seed: bipartite_kb(
+        num_entities=30, num_attributes=8, attributes_per_entity=2, seed=seed
+    ),
+    lambda seed: clustered_kb(
+        num_communities=2, community_size=11, intra_degree=3, inter_edges=6, seed=seed
+    ),
+]
+
+
+def _random_mixed_kb(seed: int) -> KnowledgeBase:
+    """A hand-rolled KB with undirected labels, types and unused relations."""
+    rng = random.Random(seed)
+    schema = Schema()
+    schema.declare_relation("knows", directed=True)
+    schema.declare_relation("spouse", directed=False)
+    schema.declare_relation("declared_but_unused", directed=False)
+    kb = KnowledgeBase(schema=schema)
+    entities = [f"n{index}" for index in range(rng.randint(6, 14))]
+    for index, entity in enumerate(entities):
+        kb.add_entity(entity, "person" if index % 2 else None)
+    for _ in range(rng.randint(8, 25)):
+        source, target = rng.sample(entities, 2)
+        kb.add_edge(source, target, rng.choice(["knows", "spouse"]))
+    return kb
+
+
+def _payload_round_trip(kb: KnowledgeBase):
+    payload = kb_to_payload(kb)
+    return kb_from_payload(pickle.loads(pickle.dumps(payload)))
+
+
+class TestFormat2RoundTrip:
+    @pytest.mark.parametrize("factory_index", range(len(GENERATOR_CASES)))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_generator_kbs_round_trip(self, factory_index, seed):
+        kb = GENERATOR_CASES[factory_index](seed)
+        replica, version = _payload_round_trip(kb)
+        assert version == kb.version
+        # entity insertion order (drives handles and ranking tie-breaks)
+        assert list(replica.entities) == list(kb.entities)
+        for entity in kb.entities:
+            assert replica.handle_of(entity) == kb.handle_of(entity)
+            assert replica.entity_type(entity) == kb.entity_type(entity)
+        # edge insertion order with directionality
+        assert [
+            (e.source, e.target, e.label, e.directed) for e in replica.edges()
+        ] == [(e.source, e.target, e.label, e.directed) for e in kb.edges()]
+        # schema
+        for label in kb.relation_labels():
+            assert replica.schema.is_directed(label) == kb.schema.is_directed(label)
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_mixed_kbs_round_trip(self, seed):
+        kb = _random_mixed_kb(seed)
+        replica, version = _payload_round_trip(kb)
+        assert version == kb.version
+        assert list(replica.entities) == list(kb.entities)
+        assert [e.key() for e in replica.edges()] == [e.key() for e in kb.edges()]
+        assert replica.label_counts() == kb.label_counts()
+        # declared-but-unused relations survive via the schema tuples
+        assert replica.schema.has_relation("declared_but_unused")
+        assert not replica.schema.is_directed("declared_but_unused")
+        # adjacency answers (including undirected edges) are identical
+        for entity in kb.entities:
+            assert replica.traversal_steps(entity) == kb.traversal_steps(entity)
+
+    def test_payload_head_is_format_2(self):
+        payload = kb_to_payload(_random_mixed_kb(1))
+        assert payload[0] == PAYLOAD_FORMAT == 2
+
+
+class TestFormatRejection:
+    def test_format_1_rejected_with_upgrade_message(self):
+        kb = _random_mixed_kb(2)
+        payload = list(kb_to_payload(kb))
+        payload[0] = 1
+        with pytest.raises(ValueError, match="format 1.*Recycle"):
+            kb_from_payload(tuple(payload))
+
+    def test_unknown_format_rejected(self):
+        kb = _random_mixed_kb(3)
+        payload = list(kb_to_payload(kb))
+        payload[0] = 999
+        with pytest.raises(ValueError, match="payload format"):
+            kb_from_payload(tuple(payload))
