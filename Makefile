@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-parallel bench bench-core bench-smoke bench-check \
 	serve serve-smoke bench-service bench-service-check \
-	bench-parallel bench-parallel-check bench-compiled bench-compiled-check
+	bench-parallel bench-parallel-check bench-compiled bench-compiled-check \
+	bench-durability bench-durability-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -74,3 +75,15 @@ bench-compiled:
 bench-compiled-check:
 	REX_BENCH_COMPILED_FLOOR=2.0 REX_BENCH_SNAPSHOT_FLOOR=5.0 \
 		$(PYTHON) -m benchmarks --compiled-only --output bench_compiled_fresh.json
+
+# Durable-tier cold-boot benchmark; writes BENCH_pr6.json (checkpoint mmap
+# load vs TSV reload + full compile vs SQLite replay, on the ~52k-edge
+# clustered workload KB — see docs/durability.md).
+bench-durability:
+	$(PYTHON) -m benchmarks --durability-only --output BENCH_pr6.json
+
+# CI gate: fresh run asserting the 5x cold-boot floor (checkpoint load vs
+# TSV reload + compile).
+bench-durability-check:
+	REX_BENCH_DURABILITY_FLOOR=5.0 $(PYTHON) -m benchmarks --durability-only \
+		--output bench_durability_fresh.json

@@ -31,6 +31,8 @@ SERVICE_SELECTION = ["benchmarks/bench_service_throughput.py"]
 PARALLEL_SELECTION = ["benchmarks/bench_parallel.py"]
 #: The compiled array-backed core benchmark (PR 4, records into BENCH_pr4.json).
 COMPILED_SELECTION = ["benchmarks/bench_compiled.py"]
+#: The durable-tier cold-boot benchmark (PR 6, records into BENCH_pr6.json).
+DURABILITY_SELECTION = ["benchmarks/bench_durability.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -40,7 +42,9 @@ COMPILED_SELECTION = ["benchmarks/bench_compiled.py"]
 #: BENCH_pr1.json and subject the run to their own assertions.
 _SUBSYSTEM_FILES = {
     Path(entry).name
-    for entry in SERVICE_SELECTION + PARALLEL_SELECTION + COMPILED_SELECTION
+    for entry in (
+        SERVICE_SELECTION + PARALLEL_SELECTION + COMPILED_SELECTION + DURABILITY_SELECTION
+    )
 }
 DEFAULT_SELECTION = sorted(
     path.relative_to(REPO_ROOT).as_posix()
@@ -150,6 +154,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the compiled-core benchmark (BENCH_pr4.json)",
     )
+    subset.add_argument(
+        "--durability-only",
+        action="store_true",
+        help="run only the durable-tier cold-boot benchmark (BENCH_pr6.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -183,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = PARALLEL_SELECTION
     elif args.compiled_only:
         selection = COMPILED_SELECTION
+    elif args.durability_only:
+        selection = DURABILITY_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

@@ -1,0 +1,177 @@
+"""Cold-boot paths of the durable KB tier (PR 6, BENCH_pr6.json).
+
+One gated scenario on the ~52k-edge clustered workload KB the PR 3/4
+benchmarks standardised on: how fast can a serving process go from *empty*
+to *answering at the persisted KB version*?
+
+* **tsv+compile** (baseline) — the pre-durability boot: parse the TSV edge
+  list through ``load_tsv`` (N× ``add_edge`` replay) and compile the CSR
+  planes.  This is what every boot cost before this PR, and what a
+  checkpoint-less boot still costs.
+* **checkpoint** (gated) — ``load_checkpoint``: mmap the atomic checkpoint
+  file, sha256-verify the payload, unpickle the ``tobytes`` plane buffers
+  and rebuild the :class:`~repro.kb.compiled.CompiledKB` with bulk
+  ``frombytes`` — O(file size), no graph replay, no compile.  Gate:
+  ``checkpoint`` must beat ``tsv+compile`` by
+  ``REX_BENCH_DURABILITY_FLOOR`` (``make bench-durability-check`` sets 5.0).
+* **sqlite-replay** (recorded, ungated) — the middle rung of the recovery
+  ladder: ``KnowledgeBaseStore.load``.  It pays the same ``add_edge``
+  replay as TSV plus a compile on first use; it is the fallback, not the
+  fast path, so it is recorded for the ladder picture only.
+
+Before any timing is trusted, the three boots are asserted to produce
+byte-identical compiled planes at the same KB version.
+
+Environment knobs:
+
+* ``REX_BENCH_DURABILITY_FLOOR`` — when > 0, assert the checkpoint/TSV
+  speedup meets this floor (default 0 = record only).
+* ``REX_BENCH_DURABILITY_COMMUNITIES`` — KB scale (default 250 communities
+  of 40 ≈ 52k edges; CI smoke can shrink it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.kb import CompiledKB, KnowledgeBaseStore, load_checkpoint, save_checkpoint
+from repro.kb.io import load_tsv, save_tsv
+from repro.workloads import clustered_kb
+
+GROUP = "durability"
+ROUNDS = 3
+
+DURABILITY_FLOOR = float(os.environ.get("REX_BENCH_DURABILITY_FLOOR", "0"))
+COMMUNITIES = int(os.environ.get("REX_BENCH_DURABILITY_COMMUNITIES", "250"))
+WORKLOAD_SEED = int(os.environ.get("REX_BENCH_SEED", "7")) + 6
+
+
+@pytest.fixture(scope="module")
+def workload_kb():
+    """The standard ~52k-edge clustered workload KB."""
+    return clustered_kb(
+        num_communities=COMMUNITIES,
+        community_size=40,
+        intra_degree=5,
+        inter_edges=10 * COMMUNITIES,
+        seed=WORKLOAD_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def persisted(workload_kb, tmp_path_factory):
+    """The three on-disk representations a boot can start from."""
+    root = tmp_path_factory.mktemp("durability")
+    tsv_path = root / "kb.tsv"
+    ckpt_path = root / "kb.ckpt"
+    db_path = root / "kb.sqlite3"
+    save_tsv(workload_kb, tsv_path)
+    save_checkpoint(workload_kb, ckpt_path)
+    store = KnowledgeBaseStore(db_path)
+    store.bootstrap(workload_kb)
+    store.close()
+    return tsv_path, ckpt_path, db_path
+
+
+def _best_of(callable_, rounds: int = ROUNDS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_cold_boot_checkpoint_vs_tsv(benchmark, workload_kb, persisted):
+    tsv_path, ckpt_path, db_path = persisted
+    schema = workload_kb.schema.copy()
+
+    def tsv_boot() -> CompiledKB:
+        # the directionality column makes the TSV self-describing, but the
+        # declaration-order-sensitive schema still comes from configuration,
+        # exactly as the serve CLI passes it
+        return CompiledKB.compile(load_tsv(tsv_path, schema=schema))
+
+    def checkpoint_boot() -> CompiledKB:
+        return load_checkpoint(ckpt_path)
+
+    def sqlite_boot() -> CompiledKB:
+        with KnowledgeBaseStore(db_path) as store:
+            return CompiledKB.compile(store.load())
+
+    reference = CompiledKB.compile(workload_kb)
+    # the durable boots must be byte-identical to the source planes; the TSV
+    # baseline is only *equivalent* (an edge list cannot preserve entity
+    # insertion order, so its handle table is a permutation of the source's)
+    for boot in (checkpoint_boot, sqlite_boot):
+        booted = boot()
+        assert booted.version == workload_kb.version, boot.__name__
+        assert booted.to_buffers() == reference.to_buffers(), boot.__name__
+    tsv_booted = tsv_boot()
+    assert tsv_booted.version == workload_kb.version
+    assert tsv_booted.num_entities == workload_kb.num_entities
+    assert tsv_booted.num_edges == workload_kb.num_edges
+
+    tsv_s, _ = _best_of(tsv_boot)
+    sqlite_s, _ = _best_of(sqlite_boot)
+    benchmark.pedantic(checkpoint_boot, rounds=ROUNDS, iterations=1)
+    checkpoint_s = benchmark.stats.stats.min
+    speedup = tsv_s / checkpoint_s
+
+    benchmark.group = f"{GROUP}-cold-boot"
+    benchmark.extra_info.update(
+        {
+            "scenario": "cold-boot",
+            "communities": COMMUNITIES,
+            "entities": workload_kb.num_entities,
+            "edges": workload_kb.num_edges,
+            "kb_version": workload_kb.version,
+            "checkpoint_bytes": os.path.getsize(ckpt_path),
+            "tsv_compile_s": round(tsv_s, 6),
+            "sqlite_replay_compile_s": round(sqlite_s, 6),
+            "checkpoint_s": round(checkpoint_s, 6),
+            "speedup": round(speedup, 3),
+            "gated": True,
+            "floor": DURABILITY_FLOOR,
+        }
+    )
+    if DURABILITY_FLOOR > 0:
+        assert speedup >= DURABILITY_FLOOR, (
+            f"checkpoint cold boot speedup {speedup:.2f}x is below the "
+            f"{DURABILITY_FLOOR}x floor (tsv+compile {tsv_s:.3f}s vs "
+            f"checkpoint {checkpoint_s:.3f}s)"
+        )
+
+
+def test_append_batch_overhead(benchmark, workload_kb, persisted, tmp_path):
+    """Recorded, ungated: the per-batch durability tax on the write path."""
+    db_path = tmp_path / "append.sqlite3"
+    kb = workload_kb.copy()
+    store = KnowledgeBaseStore(db_path)
+    store.bootstrap(kb)
+    counter = iter(range(10_000_000))
+
+    def one_batch() -> None:
+        index = next(counter)
+        edge = kb.add_edge(f"bench_{index}_a", f"bench_{index}_b", "rel0")
+        store.append_batch(
+            [(edge.source, None), (edge.target, None)],
+            [edge],
+            kb.version,
+            schema=kb.schema,
+        )
+
+    benchmark.pedantic(one_batch, rounds=50, iterations=1)
+    store.close()
+    benchmark.group = f"{GROUP}-append"
+    benchmark.extra_info.update(
+        {
+            "scenario": "append-batch",
+            "batch_shape": "1 edge + 2 entities",
+            "gated": False,
+        }
+    )

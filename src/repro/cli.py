@@ -15,6 +15,14 @@ Usage examples::
     # one-shot smoke check: boot, hit /healthz and /explain, shut down
     rex-explain serve --demo --smoke
 
+    # durable serving: SQLite system of record + compiled-plane checkpoints
+    # (first boot seeds the store from --demo; later boots replay/restore)
+    rex-explain serve --demo --db kb.db --checkpoint-dir ./ckpt
+
+    # write or verify a compiled-plane checkpoint offline
+    rex-explain checkpoint --db kb.db --checkpoint-dir ./ckpt
+    rex-explain checkpoint --db kb.db --checkpoint-dir ./ckpt --verify
+
     # bulk-evaluate a JSON request file offline across 4 workers
     rex-explain batch --kb edges.tsv --requests requests.json --workers 4
 
@@ -51,10 +59,12 @@ __all__ = [
     "build_serve_parser",
     "build_batch_parser",
     "build_info_parser",
+    "build_checkpoint_parser",
     "main",
     "serve_main",
     "batch_main",
     "info_main",
+    "checkpoint_main",
 ]
 
 
@@ -152,6 +162,25 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for POST /explain/batch (default: "
             "REX_PARALLELISM or 0 = evaluate on the serving thread)"
+        ),
+    )
+    parser.add_argument(
+        "--db",
+        type=Path,
+        default=None,
+        help=(
+            "SQLite system-of-record path: every acknowledged POST /kb/edges "
+            "batch is committed in one WAL transaction and survives kill -9; "
+            "a non-empty store wins over the --kb/--demo/--synthetic seed"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for compiled-plane checkpoints: cold boots restore "
+            "from the checkpoint in O(file size) instead of replay+recompile"
         ),
     )
     parser.add_argument(
@@ -327,6 +356,98 @@ def info_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_checkpoint_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``checkpoint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="rex-checkpoint",
+        description=(
+            "Write (or verify) an atomic compiled-plane checkpoint so a "
+            "cold `rex-explain serve` reaches warm-compiled state in "
+            "O(file size) instead of O(edges).  The KB comes from a SQLite "
+            "store (--db, replayed) or from the usual KB source flags."
+        ),
+    )
+    _add_kb_source_arguments(parser)
+    parser.add_argument(
+        "--db",
+        type=Path,
+        default=None,
+        help="replay the KB from this SQLite store (wins over the KB flags)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        required=True,
+        help="directory holding the checkpoint file (created if missing)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "verify the existing checkpoint (magic, checksum, payload) "
+            "instead of writing one; with --db, also require its version to "
+            "match the store's last committed version"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the checkpoint report as a JSON object instead of text",
+    )
+    return parser
+
+
+def checkpoint_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``checkpoint`` subcommand; returns an exit code."""
+    import os
+
+    from repro.errors import CheckpointError, StoreError
+    from repro.kb.checkpoint import (
+        CHECKPOINT_FILENAME,
+        checkpoint_info,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from repro.kb.store import KnowledgeBaseStore
+
+    parser = build_checkpoint_parser()
+    args = parser.parse_args(argv)
+    path = args.checkpoint_dir / CHECKPOINT_FILENAME
+    try:
+        if args.verify:
+            expected = None
+            if args.db is not None:
+                with KnowledgeBaseStore(args.db) as store:
+                    expected = store.last_version()
+            # a full load, not just the header: verification must exercise
+            # the same checksum/payload path a booting server would
+            load_checkpoint(path, expected_version=expected)
+            report = checkpoint_info(path)
+            report["verified"] = True
+            report["expected_version"] = expected
+        else:
+            if args.db is not None:
+                with KnowledgeBaseStore(args.db) as store:
+                    kb = store.load()
+            else:
+                kb = _load_kb(args)
+            os.makedirs(args.checkpoint_dir, exist_ok=True)
+            compiled = save_checkpoint(kb, path)
+            report = checkpoint_info(path)
+            report["written"] = True
+            report["compile_ms"] = round(compiled.compile_seconds * 1000, 3)
+    except (CheckpointError, StoreError, RexError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        width = max(len(name) for name in report)
+        for name, value in report.items():
+            print(f"{name:<{width}}  {value}")
+    return 0
+
+
 def _load_batch_requests(args: argparse.Namespace, kb) -> list:
     """The request list for ``batch``: from a file, or freshly sampled."""
     if args.requests is not None:
@@ -479,6 +600,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                 cache_capacity=args.cache_capacity,
                 cache_ttl=args.cache_ttl,
                 parallelism=args.workers,
+                store_path=args.db,
+                checkpoint_dir=args.checkpoint_dir,
             )
             if args.warmup:
                 engine.warmup(PAPER_PAIRS)
@@ -496,6 +619,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             warmup_pairs=PAPER_PAIRS if args.warmup else None,
             verbose=not args.quiet,
             parallelism=args.workers,
+            store_path=args.db,
+            checkpoint_dir=args.checkpoint_dir,
         )
     except (RexError, ValueError, OverflowError, OSError) as error:
         # RexError: bad --size-limit; ValueError: bad cache knobs;
@@ -511,7 +636,8 @@ def main(argv: list[str] | None = None) -> int:
 
     ``rex-explain serve ...`` dispatches to the serving subcommand,
     ``rex-explain batch ...`` to offline bulk evaluation, ``rex-explain
-    info ...`` to knowledge-base statistics; anything else is the classic
+    info ...`` to knowledge-base statistics, ``rex-explain checkpoint ...``
+    to compiled-plane checkpoint management; anything else is the classic
     one-shot explain flow.
     """
     if argv is None:
@@ -522,6 +648,8 @@ def main(argv: list[str] | None = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "info":
         return info_main(argv[1:])
+    if argv and argv[0] == "checkpoint":
+        return checkpoint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

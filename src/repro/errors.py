@@ -41,6 +41,19 @@ class UnknownRelationError(KnowledgeBaseError):
         return (type(self), (self.relation,))
 
 
+class StoreError(KnowledgeBaseError):
+    """Raised by the durable SQLite knowledge-base store (open/replay/append)."""
+
+
+class CheckpointError(KnowledgeBaseError):
+    """Raised when a compiled-plane checkpoint cannot be written or loaded.
+
+    Loading raises this for every way a checkpoint file can be unusable —
+    missing, truncated, wrong magic, checksum mismatch, or version-stale —
+    and callers uniformly fall back to recompiling from the system of record.
+    """
+
+
 class PatternError(RexError):
     """Raised for malformed explanation patterns."""
 

@@ -1,0 +1,434 @@
+"""Durable SQLite system of record for the knowledge base.
+
+The serving stack treats the in-memory :class:`~repro.kb.graph.KnowledgeBase`
+(and its compiled CSR planes) as *derived, rebuildable* structures; this
+module provides the durable source they are rebuilt from.  The design follows
+the classic separation of a write-ahead-logged system of record from the
+serving structures derived from it:
+
+* **WAL journaling** (``journal_mode=WAL``, ``synchronous=NORMAL``) — commits
+  survive process death (``kill -9``) because SQLite replays the WAL on the
+  next open; readers never block the single writer.  ``synchronous=NORMAL``
+  trades power-loss durability of the last few commits for a large write
+  speedup, which matches the recovery contract here: the server process is
+  the failure domain, not the machine.
+* **Atomic batches** — every ``append_batch`` runs in one transaction tagged
+  with the knowledge-base version it produced, so a batch acknowledged to an
+  HTTP client is either fully present after a crash or (if the crash landed
+  mid-transaction) fully absent, never torn.
+* **Deterministic replay** — entities are replayed in handle order and edges
+  in sequence order with their explicit ``directed`` flags, so
+  :meth:`KnowledgeBaseStore.load` reconstructs a KB whose entity handles,
+  edge order and :attr:`~repro.kb.graph.KnowledgeBase.version` are identical
+  to the KB that was persisted.  The version invariant of this codebase
+  (``version == num_entities + num_edges``; re-adds never bump) is what makes
+  the replayed version checkable, and :meth:`load` does check it.
+
+Schema notes: the KB schema is persisted in full — relation declarations in
+declaration order (with directedness, domain and range) and entity-type
+declarations — because the compiled snapshot format serialises the schema
+tables verbatim, so replay must reproduce declaration *order*, not just edge
+facts, for the replica planes to come out byte-identical.  The ``meta`` table
+carries a format marker so a future schema migration can detect old stores.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import StoreError
+from repro.kb.graph import Edge, KnowledgeBase
+from repro.kb.schema import Schema
+
+__all__ = ["KnowledgeBaseStore", "SCHEMA_VERSION"]
+
+#: Store schema format, recorded in ``meta`` on creation and verified on open.
+SCHEMA_VERSION = 1
+
+# Pragmas applied to every fresh connection.  WAL + NORMAL is the
+# crash-consistent/fast-write recipe; the busy timeout keeps concurrent
+# openers (e.g. a checkpoint verifier CLI against a live server) from
+# failing fast with SQLITE_BUSY during WAL checkpointing.
+_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA busy_timeout=30000",
+    "PRAGMA foreign_keys=ON",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entities (
+    handle      INTEGER PRIMARY KEY,
+    id          TEXT NOT NULL UNIQUE,
+    entity_type TEXT
+);
+CREATE TABLE IF NOT EXISTS edges (
+    seq      INTEGER PRIMARY KEY,
+    source   TEXT NOT NULL REFERENCES entities(id),
+    target   TEXT NOT NULL REFERENCES entities(id),
+    label    TEXT NOT NULL,
+    directed INTEGER NOT NULL CHECK (directed IN (0, 1))
+);
+CREATE TABLE IF NOT EXISTS kb_versions (
+    version        INTEGER PRIMARY KEY,
+    batch          INTEGER NOT NULL,
+    entities_added INTEGER NOT NULL,
+    edges_added    INTEGER NOT NULL,
+    created_at     TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS schema_relations (
+    position INTEGER PRIMARY KEY,
+    name     TEXT NOT NULL UNIQUE,
+    directed INTEGER NOT NULL CHECK (directed IN (0, 1)),
+    domain   TEXT,
+    range    TEXT
+);
+CREATE TABLE IF NOT EXISTS schema_entity_types (
+    position    INTEGER PRIMARY KEY,
+    name        TEXT NOT NULL UNIQUE,
+    description TEXT NOT NULL
+);
+"""
+
+
+def _default_connect(path: str) -> sqlite3.Connection:
+    # The engine applies writes from whichever HTTP handler thread carries the
+    # request, so the connection must not be thread-bound; KnowledgeBaseStore
+    # serialises all access through its own lock.
+    return sqlite3.connect(path, check_same_thread=False)
+
+
+class KnowledgeBaseStore:
+    """WAL-backed SQLite persistence for a :class:`KnowledgeBase`.
+
+    Args:
+        path: database file path (parent directory must exist).
+        connection_factory: optional ``path -> sqlite3.Connection`` override,
+            used by the fault-injection harness to interpose failing
+            connections; defaults to a non-thread-bound :func:`sqlite3.connect`.
+
+    The store is safe for concurrent use from multiple threads of one
+    process: every operation runs under an internal lock, and every write
+    runs in a single transaction.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        connection_factory: Callable[[str], sqlite3.Connection] | None = None,
+    ) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._closed = False
+        factory = connection_factory or _default_connect
+        try:
+            self._conn = factory(self.path)
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot open KB store {self.path!r}: {error}") from error
+        try:
+            for pragma in _PRAGMAS:
+                self._conn.execute(pragma)
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+            recorded = self._meta("schema_version")
+            if recorded != str(SCHEMA_VERSION):
+                raise StoreError(
+                    f"KB store {self.path!r} has schema version {recorded}, "
+                    f"this build reads version {SCHEMA_VERSION}"
+                )
+        except sqlite3.Error as error:
+            self._conn.close()
+            raise StoreError(
+                f"cannot initialise KB store {self.path!r}: {error}"
+            ) from error
+        except StoreError:
+            self._conn.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()
+
+    def __enter__(self) -> "KnowledgeBaseStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"KB store {self.path!r} is closed")
+
+    def _meta(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    # -- inspection --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Whether the store has never been bootstrapped (no version rows)."""
+        with self._lock:
+            self._require_open()
+            row = self._conn.execute("SELECT 1 FROM kb_versions LIMIT 1").fetchone()
+            return row is None
+
+    def last_version(self) -> int:
+        """The knowledge-base version of the most recent committed batch."""
+        with self._lock:
+            self._require_open()
+            row = self._conn.execute("SELECT MAX(version) FROM kb_versions").fetchone()
+            if row is None or row[0] is None:
+                raise StoreError(f"KB store {self.path!r} is not bootstrapped")
+            return int(row[0])
+
+    def counts(self) -> tuple[int, int]:
+        """``(num_entities, num_edges)`` currently persisted."""
+        with self._lock:
+            self._require_open()
+            entities = self._conn.execute("SELECT COUNT(*) FROM entities").fetchone()[0]
+            edges = self._conn.execute("SELECT COUNT(*) FROM edges").fetchone()[0]
+            return int(entities), int(edges)
+
+    def versions(self) -> list[tuple[int, int, int, int]]:
+        """All committed batches as ``(version, batch, entities_added,
+        edges_added)`` rows in commit order."""
+        with self._lock:
+            self._require_open()
+            rows = self._conn.execute(
+                "SELECT version, batch, entities_added, edges_added "
+                "FROM kb_versions ORDER BY batch"
+            ).fetchall()
+            return [tuple(int(value) for value in row) for row in rows]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate persisted edges in append order (test/inspection helper)."""
+        with self._lock:
+            self._require_open()
+            rows = self._conn.execute(
+                "SELECT source, target, label, directed FROM edges ORDER BY seq"
+            ).fetchall()
+        for source, target, label, directed in rows:
+            yield Edge(source=source, target=target, label=label, directed=bool(directed))
+
+    # -- writes ------------------------------------------------------------
+
+    def bootstrap(self, kb: KnowledgeBase) -> None:
+        """Persist the full current contents of ``kb`` as batch 0.
+
+        Writes a version row even for an empty KB so that an initialised
+        store is distinguishable from a fresh file, and a restart of a server
+        that was seeded empty does not re-bootstrap from its ``--kb`` flags.
+        """
+        with self._lock:
+            self._require_open()
+            if self._conn.execute("SELECT 1 FROM kb_versions LIMIT 1").fetchone():
+                raise StoreError(
+                    f"KB store {self.path!r} is already bootstrapped; "
+                    "refusing to overwrite"
+                )
+            try:
+                with self._conn:
+                    self._sync_schema(kb.schema)
+                    self._conn.executemany(
+                        "INSERT INTO entities (handle, id, entity_type) VALUES (?, ?, ?)",
+                        (
+                            (handle, entity, kb.entity_type(entity))
+                            for handle, entity in enumerate(kb.entities)
+                        ),
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO edges (source, target, label, directed) "
+                        "VALUES (?, ?, ?, ?)",
+                        (
+                            (edge.source, edge.target, edge.label, int(edge.directed))
+                            for edge in kb.edges()
+                        ),
+                    )
+                    self._insert_version_row(
+                        kb.version, batch=0,
+                        entities_added=kb.num_entities, edges_added=kb.num_edges,
+                    )
+            except sqlite3.Error as error:
+                raise StoreError(
+                    f"bootstrap of KB store {self.path!r} failed: {error}"
+                ) from error
+
+    def append_batch(
+        self,
+        new_entities: Sequence[tuple[str, str | None]],
+        new_edges: Iterable[Edge],
+        version: int,
+        schema: Schema | None = None,
+    ) -> None:
+        """Durably record one applied ``add_edges`` batch in one transaction.
+
+        Args:
+            new_entities: ``(id, entity_type)`` pairs for entities this batch
+                created, in creation (= handle) order.
+            new_edges: the :class:`Edge` objects this batch added, in order.
+            version: the knowledge-base version *after* the batch; must be
+                strictly greater than the last committed version.
+            schema: the KB schema after the batch; pass it when a batch may
+                have auto-registered a new relation label so the declaration
+                lands in the same transaction.
+
+        The version row, entity rows and edge rows commit atomically: a crash
+        mid-call leaves the store exactly at the previous batch.
+        """
+        with self._lock:
+            self._require_open()
+            row = self._conn.execute(
+                "SELECT MAX(version), MAX(batch) FROM kb_versions"
+            ).fetchone()
+            if row is None or row[0] is None:
+                raise StoreError(
+                    f"KB store {self.path!r} is not bootstrapped; "
+                    "cannot append a batch"
+                )
+            last_version, last_batch = int(row[0]), int(row[1])
+            if version <= last_version:
+                raise StoreError(
+                    f"batch version {version} is not newer than the last "
+                    f"committed version {last_version} in {self.path!r}"
+                )
+            entity_rows = list(new_entities)
+            edge_rows = [
+                (edge.source, edge.target, edge.label, int(edge.directed))
+                for edge in new_edges
+            ]
+            try:
+                with self._conn:
+                    if schema is not None:
+                        self._sync_schema(schema)
+                    self._conn.executemany(
+                        "INSERT INTO entities (id, entity_type) VALUES (?, ?)",
+                        entity_rows,
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO edges (source, target, label, directed) "
+                        "VALUES (?, ?, ?, ?)",
+                        edge_rows,
+                    )
+                    self._insert_version_row(
+                        version, batch=last_batch + 1,
+                        entities_added=len(entity_rows),
+                        edges_added=len(edge_rows),
+                    )
+            except sqlite3.Error as error:
+                raise StoreError(
+                    f"append to KB store {self.path!r} failed: {error}"
+                ) from error
+
+    def _sync_schema(self, schema: Schema) -> None:
+        """Upsert the KB schema tables (call inside an open transaction).
+
+        New declarations append (rowid = next position, preserving
+        declaration order); re-declarations update in place and keep their
+        original position, matching :meth:`Schema.add_relation` semantics.
+        """
+        for relation in schema:
+            self._conn.execute(
+                "INSERT INTO schema_relations (name, directed, domain, range) "
+                "VALUES (?, ?, ?, ?) ON CONFLICT(name) DO UPDATE SET "
+                "directed=excluded.directed, domain=excluded.domain, "
+                "range=excluded.range",
+                (relation.name, int(relation.directed), relation.domain, relation.range),
+            )
+        for entity_type in schema.entity_types.values():
+            self._conn.execute(
+                "INSERT INTO schema_entity_types (name, description) "
+                "VALUES (?, ?) ON CONFLICT(name) DO UPDATE SET "
+                "description=excluded.description",
+                (entity_type.name, entity_type.description),
+            )
+
+    def _insert_version_row(
+        self, version: int, batch: int, entities_added: int, edges_added: int
+    ) -> None:
+        created_at = _datetime.datetime.now(_datetime.timezone.utc).isoformat()
+        self._conn.execute(
+            "INSERT INTO kb_versions "
+            "(version, batch, entities_added, edges_added, created_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (version, batch, entities_added, edges_added, created_at),
+        )
+
+    # -- replay ------------------------------------------------------------
+
+    def load(self) -> KnowledgeBase:
+        """Rebuild the knowledge base by replaying the store.
+
+        The schema is restored first (relation declarations in their original
+        declaration order — the compiled planes serialise the schema tables,
+        so order matters for byte-identical replicas), then entities replay
+        in handle order (so handles and ``kb.entities`` iteration order match
+        the persisted KB exactly) and edges in append order with their
+        persisted directedness.  The rebuilt version is
+        verified against the last committed version row; a mismatch means the
+        store is internally inconsistent and raises :class:`StoreError`
+        rather than silently serving a wrong-versioned KB.
+        """
+        with self._lock:
+            self._require_open()
+            version_row = self._conn.execute(
+                "SELECT MAX(version) FROM kb_versions"
+            ).fetchone()
+            if version_row is None or version_row[0] is None:
+                raise StoreError(f"KB store {self.path!r} is not bootstrapped")
+            expected_version = int(version_row[0])
+            entity_rows = self._conn.execute(
+                "SELECT id, entity_type FROM entities ORDER BY handle"
+            ).fetchall()
+            edge_rows = self._conn.execute(
+                "SELECT source, target, label, directed FROM edges ORDER BY seq"
+            ).fetchall()
+            relation_rows = self._conn.execute(
+                "SELECT name, directed, domain, range FROM schema_relations "
+                "ORDER BY position"
+            ).fetchall()
+            entity_type_rows = self._conn.execute(
+                "SELECT name, description FROM schema_entity_types "
+                "ORDER BY position"
+            ).fetchall()
+        schema = Schema()
+        for name, directed, domain, range_ in relation_rows:
+            schema.declare_relation(
+                name, directed=bool(directed), domain=domain, range=range_
+            )
+        for name, description in entity_type_rows:
+            schema.declare_entity_type(name, description)
+        kb = KnowledgeBase(schema=schema)
+        for entity, entity_type in entity_rows:
+            kb.add_entity(entity, entity_type)
+        for source, target, label, directed in edge_rows:
+            kb.add_edge(source, target, label, directed=bool(directed))
+        if kb.version != expected_version:
+            raise StoreError(
+                f"replay of KB store {self.path!r} produced version "
+                f"{kb.version}, but the last committed batch recorded "
+                f"{expected_version}; the store is inconsistent"
+            )
+        return kb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KnowledgeBaseStore({self.path!r})"

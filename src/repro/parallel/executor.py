@@ -50,7 +50,7 @@ from repro.errors import RexError
 from repro.kb.graph import KnowledgeBase
 from repro.kb.sql import sweep_position_count
 from repro.measures.base import Measure
-from repro.parallel.snapshot import kb_from_payload, kb_to_payload
+from repro.parallel.snapshot import checkpoint_payload, kb_from_payload, kb_to_payload
 
 __all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
 
@@ -156,6 +156,9 @@ class ExecutorStats:
     sweeps: int = 0
     recycles: int = 0
     worker_crashes: int = 0
+    #: pool (re)builds that shipped a checkpoint *path* to the workers
+    #: instead of the in-memory plane buffers.
+    checkpoint_ships: int = 0
     last_rebuild_s: float = 0.0
     #: pid -> cumulative in-worker CPU seconds (time.process_time).
     worker_cpu_s: dict[int, float] = field(default_factory=dict)
@@ -173,6 +176,7 @@ class ExecutorStats:
             "sweeps": self.sweeps,
             "recycles": self.recycles,
             "worker_crashes": self.worker_crashes,
+            "checkpoint_ships": self.checkpoint_ships,
             "last_rebuild_s": round(self.last_rebuild_s, 6),
             "worker_cpu_s": {
                 pid: round(seconds, 6) for pid, seconds in self.worker_cpu_s.items()
@@ -203,6 +207,16 @@ class ParallelBatchExecutor:
             snapshot guard; the serving engine passes its per-version
             compile cache so a pool rebuild ships the exact arrays already
             serving requests.
+        checkpoint_provider: optional callable returning ``(path, version)``
+            of an on-disk checkpoint, or ``None`` when no current one exists.
+            Invoked inside the snapshot guard; when the returned version
+            matches the live KB, the pool rebuild ships only the *path*
+            (snapshot format 3) and each worker mmap-loads the planes
+            itself — the parent pipes bytes to nobody.  A worker that finds
+            the file missing or corrupt fails pool initialisation, which
+            surfaces as :class:`WorkerCrashError` on the batch and a recycle
+            (falling back to byte shipping only if the provider stops
+            offering the path).
 
     The executor is thread-safe: concurrent batches share the pool, and
     recycling swaps the pool atomically while in-flight chunks finish on the
@@ -217,6 +231,7 @@ class ParallelBatchExecutor:
         chunk_size: int | None = None,
         snapshot_guard: Callable[[], ContextManager] | None = None,
         compiled_provider: Callable[[], Any] | None = None,
+        checkpoint_provider: Callable[[], tuple[str, int] | None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -228,6 +243,7 @@ class ParallelBatchExecutor:
         self.chunk_size = chunk_size
         self._snapshot_guard = snapshot_guard
         self._compiled_provider = compiled_provider
+        self._checkpoint_provider = checkpoint_provider
         self.stats = ExecutorStats()
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
@@ -269,16 +285,29 @@ class ParallelBatchExecutor:
         guard = (
             self._snapshot_guard() if self._snapshot_guard is not None else nullcontext()
         )
+        shipped_checkpoint = False
         with guard:
             # under the guard no writer can run: the payload and the version
             # it is labelled with are one consistent cut of the KB
-            source = (
-                self._compiled_provider()
-                if self._compiled_provider is not None
-                else self._kb
+            checkpoint = (
+                self._checkpoint_provider()
+                if self._checkpoint_provider is not None
+                else None
             )
-            payload = kb_to_payload(source)
-            version = source.version
+            if checkpoint is not None and checkpoint[1] == self._kb.version:
+                # ship the on-disk checkpoint by path: each worker loads and
+                # checksum-verifies the planes itself, nothing is piped
+                payload = checkpoint_payload(checkpoint[0])
+                version = checkpoint[1]
+                shipped_checkpoint = True
+            else:
+                source = (
+                    self._compiled_provider()
+                    if self._compiled_provider is not None
+                    else self._kb
+                )
+                payload = kb_to_payload(source)
+                version = source.version
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
@@ -287,6 +316,8 @@ class ParallelBatchExecutor:
         self._pool = pool
         self._pool_version = version
         self._broken = False
+        if shipped_checkpoint:
+            self.stats.checkpoint_ships += 1
         if old_pool is not None:
             self.stats.recycles += 1
             # chunks already submitted keep their own reference to the old
@@ -294,6 +325,19 @@ class ParallelBatchExecutor:
             old_pool.shutdown(wait=False)
         self.stats.last_rebuild_s = time.perf_counter() - rebuild_started
         return pool, version, True
+
+    def rebind(self, kb: KnowledgeBase) -> None:
+        """Point the executor at a different live-KB object.
+
+        The serving engine swaps its KB object (same logical content, same
+        version) when a checkpoint-restored read-only view is thawed for the
+        first write; the executor must follow, or its staleness check and
+        fallback snapshots would read the abandoned object forever.  Safe
+        while batches are in flight: the version check on the next batch
+        decides whether a recycle is needed.
+        """
+        with self._lock:
+            self._kb = kb
 
     def worker_pids(self) -> list[int]:
         """PIDs of the current pool's worker processes (spawning them first).

@@ -32,13 +32,26 @@ from typing import Any
 from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
 
-__all__ = ["kb_to_payload", "kb_from_payload", "PAYLOAD_FORMAT"]
+__all__ = [
+    "kb_to_payload",
+    "kb_from_payload",
+    "checkpoint_payload",
+    "PAYLOAD_FORMAT",
+    "CHECKPOINT_PAYLOAD_FORMAT",
+]
 
 #: Payload format version, bumped when the layout changes so a stale worker
 #: cannot silently misinterpret a newer snapshot.  Format 1 shipped plain
 #: entity/edge tuples replayed through ``add_edge``; format 2 ships the
 #: compiled array planes of :class:`~repro.kb.compiled.CompiledKB`.
 PAYLOAD_FORMAT = 2
+
+#: By-reference payload: ``(3, checkpoint_path)``.  Instead of piping the
+#: plane buffers to every worker, the parent ships the *path* of an on-disk
+#: checkpoint (:mod:`repro.kb.checkpoint`) at the snapshot version; each
+#: worker mmap-loads and checksum-verifies it independently.  Only valid on
+#: one machine — exactly the process-pool topology this package targets.
+CHECKPOINT_PAYLOAD_FORMAT = 3
 
 
 def kb_to_payload(kb: KnowledgeBase | CompiledKB) -> tuple[Any, ...]:
@@ -55,6 +68,18 @@ def kb_to_payload(kb: KnowledgeBase | CompiledKB) -> tuple[Any, ...]:
     """
     compiled = CompiledKB.compile(kb)
     return (PAYLOAD_FORMAT, *compiled.to_buffers())
+
+
+def checkpoint_payload(path: str) -> tuple[Any, ...]:
+    """A by-reference snapshot pointing at an on-disk checkpoint file.
+
+    The caller is responsible for the path naming a checkpoint taken at the
+    KB version it wants workers to serve; the executor only ships one when
+    the engine reports its checkpoint as current.  Workers verify the file's
+    checksum and version header on load, so a swapped or torn file surfaces
+    as a worker initialisation failure, never a silently wrong replica.
+    """
+    return (CHECKPOINT_PAYLOAD_FORMAT, str(path))
 
 
 def kb_from_payload(payload: tuple[Any, ...]) -> tuple[CompiledKB, int]:
@@ -78,10 +103,18 @@ def kb_from_payload(payload: tuple[Any, ...]) -> tuple[CompiledKB, int]:
             "workers agree on the snapshot format, or re-serialise the KB "
             "with the current kb_to_payload()."
         )
+    if format_version == CHECKPOINT_PAYLOAD_FORMAT:
+        # lazy import: checkpoint.py sits below this module in the import
+        # graph (repro.kb's init pulls it in while repro's own init is still
+        # running), so the reference must resolve at call time
+        from repro.kb.checkpoint import load_checkpoint
+
+        compiled = load_checkpoint(payload[1])
+        return compiled, compiled.version
     if format_version != PAYLOAD_FORMAT:
         raise ValueError(
             f"unsupported KB payload format {format_version!r} "
-            f"(expected {PAYLOAD_FORMAT})"
+            f"(expected {PAYLOAD_FORMAT} or {CHECKPOINT_PAYLOAD_FORMAT})"
         )
     compiled = CompiledKB.from_buffers(payload[1:])
     return compiled, compiled.version

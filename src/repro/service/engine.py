@@ -28,13 +28,17 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro import Rex, validate_k, validate_size_limit
 from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
-from repro.errors import RexError, UnknownEntityError
+from repro.errors import CheckpointError, RexError, StoreError, UnknownEntityError
+from repro.kb.checkpoint import CHECKPOINT_FILENAME, save_checkpoint
+from repro.kb.checkpoint import load_checkpoint as _load_checkpoint
 from repro.kb.compiled import CompiledKB
-from repro.kb.graph import KnowledgeBase
+from repro.kb.graph import Edge, KnowledgeBase
+from repro.kb.store import KnowledgeBaseStore
 from repro.measures.base import Measure
 from repro.parallel import ParallelBatchExecutor
 from repro.ranking.general import RankedExplanation
@@ -171,6 +175,20 @@ class ExplanationEngine:
             :meth:`explain_batch` shards cache misses across a
             :class:`~repro.parallel.ParallelBatchExecutor` whose worker
             replicas are recycled whenever the KB version moves.
+        store: an open :class:`~repro.kb.store.KnowledgeBaseStore` to use as
+            the durable system of record (mutually exclusive with
+            ``store_path``).  The engine closes it in :meth:`close`.
+        store_path: path of a SQLite store to open (created and bootstrapped
+            from ``kb`` when empty).  When the store already holds data it
+            *wins* over the passed ``kb``: the engine serves the persisted
+            KB, restored from a checkpoint when possible and replayed from
+            SQLite otherwise.
+        checkpoint_dir: directory for compiled-plane checkpoints.  On boot a
+            matching checkpoint short-circuits replay+recompile; at runtime a
+            checkpoint is written in the background after each fresh compile
+            (i.e. on version bumps), and :meth:`close` flushes a final one.
+            Checkpoint failures never fail requests — the engine degrades to
+            memory-only serving and reports it via :meth:`durability`.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -188,13 +206,49 @@ class ExplanationEngine:
         cache_ttl: float | None = None,
         metrics: MetricsRegistry | None = None,
         parallelism: int | None = None,
+        store: KnowledgeBaseStore | None = None,
+        store_path: str | Path | None = None,
+        checkpoint_dir: str | Path | None = None,
     ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # -- durability state (set up before boot so boot can record into it)
+        if store is not None and store_path is not None:
+            raise RexError("pass either store or store_path, not both")
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._durability_lock = threading.Lock()
+        self._checkpoint_write_lock = threading.Lock()
+        self._checkpoint_thread: threading.Thread | None = None
+        self._store_error: str | None = None
+        self._checkpoint_error: str | None = None
+        #: ``(kb_version, wall_time)`` of the newest checkpoint on disk.
+        self._last_checkpoint: tuple[int, float] | None = None
+        self._store_batches = self.metrics.counter("engine.store_batches")
+        self._store_failures = self.metrics.counter("engine.store_failures")
+        self._checkpoints_written = self.metrics.counter("engine.checkpoints_written")
+        self._checkpoint_failures = self.metrics.counter("engine.checkpoint_failures")
+        self._checkpoint_restores = self.metrics.counter("engine.checkpoint_restores")
+        self._checkpoint_rejected = self.metrics.counter("engine.checkpoint_rejected")
+        self._store = (
+            store if store is not None
+            else KnowledgeBaseStore(store_path) if store_path is not None
+            else None
+        )
+        self._checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self._checkpoint_path: Path | None = None
+        if self._checkpoint_dir is not None:
+            os.makedirs(self._checkpoint_dir, exist_ok=True)
+            self._checkpoint_path = self._checkpoint_dir / CHECKPOINT_FILENAME
+        #: How the served KB came to be: ``seed`` (the passed kb),
+        #: ``checkpoint`` (restored planes) or ``store`` (SQLite replay).
+        self.boot_info: dict[str, Any] = {"source": "seed"}
+        kb = self._resolve_boot_kb(kb)
+
         self._rex = Rex(kb, size_limit=size_limit)
         # one snapshot of the measure registry: _resolve_measure runs on every
         # request (including cache hits) and must not copy a dict each time
         self._measures = self._rex.measures()
         self.cache = VersionedLRUCache(capacity=cache_capacity, ttl_seconds=cache_ttl)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self._kb_lock = _ReadWriteLock()
@@ -229,6 +283,14 @@ class ExplanationEngine:
         self._gauge_plane_bytes = self.metrics.gauge("kb.compiled_plane_bytes")
         self._gauge_compile_s = self.metrics.gauge("kb.compile_seconds")
         self._gauge_compiled_versions = self.metrics.gauge("kb.compiled_versions_cached")
+        if isinstance(kb, CompiledKB):
+            # booted straight off checkpointed planes: the compiled view *is*
+            # the serving KB, so seed the per-version compile cache with it —
+            # the first explain after a cold boot pays zero recompilation.
+            # The KB stays compiled (read-only) until the first write batch
+            # thaws it back to a mutable KnowledgeBase.
+            self._compiled_versions[kb.version] = self._rex
+            self._gauge_compiled_versions.set(1)
 
     # -- accessors ---------------------------------------------------------
 
@@ -523,13 +585,16 @@ class ExplanationEngine:
         entries from older KB versions are purged eagerly.
 
         Returns:
-            ``{"added": n, "kb_version": v, "cache_purged": m}``.
+            ``{"added": n, "kb_version": v, "cache_purged": m, "durable": b}``
+            — ``durable`` is ``True`` when a configured store committed the
+            batch, ``False`` when no store is configured *or* the store write
+            failed (the engine keeps serving from memory and reports
+            ``degraded`` via :meth:`durability`).
 
         Raises:
             RexError: when any edge of the batch is malformed — in that case
-                *no* edge has been applied.
+                *no* edge has been applied (in memory or in the store).
         """
-        kb = self._rex.kb
         validated: list[tuple[str, str, str, bool | None]] = []
         for edge in edges:
             try:
@@ -543,18 +608,54 @@ class ExplanationEngine:
                 ) from None
             # the KB's own validator, run up front over the whole batch:
             # add_edge cannot fail once every edge passes, so atomicity holds
-            kb.validate_edge_args(source, target, label, edge.get("directed"))
+            KnowledgeBase.validate_edge_args(
+                source, target, label, edge.get("directed")
+            )
             validated.append((source, target, label, edge.get("directed")))
 
+        durable = False
         self._kb_lock.acquire_write()
         try:
+            # a checkpoint-restored engine serves a read-only CompiledKB
+            # until the first write, which lands here: thaw it back to a
+            # mutable KB at the same version before applying the batch
+            kb = self._thaw_for_write()
+            entities_before = kb.num_entities
             edges_before = kb.num_edges
+            new_edges: list[Edge] = []
             for source, target, label, directed in validated:
-                kb.add_edge(source, target, label, directed)
+                edge_count = kb.num_edges
+                applied = kb.add_edge(source, target, label, directed)
+                if kb.num_edges > edge_count:
+                    new_edges.append(applied)
             # duplicates of existing edges are deduplicated by the KB, so the
             # reported count is actual additions, not batch length
             added = kb.num_edges - edges_before
             version = kb.version
+            if self._store is not None:
+                if new_edges or kb.num_entities > entities_before:
+                    new_entities = [
+                        (entity, kb.entity_type(entity))
+                        for entity in kb.entities[entities_before:]
+                    ]
+                    try:
+                        # commit before acking: once this returns, the batch
+                        # survives kill -9 (WAL replay); if the process dies
+                        # first, the client never saw an ack for it
+                        self._store.append_batch(
+                            new_entities, new_edges, version, schema=kb.schema
+                        )
+                        durable = True
+                        self._store_batches.inc()
+                        with self._durability_lock:
+                            self._store_error = None
+                    except StoreError as error:
+                        self._record_store_error(error)
+                else:
+                    # all-duplicate batch: nothing new to persist, the store
+                    # already covers this version
+                    with self._durability_lock:
+                        durable = self._store_error is None
             purged = self.cache.purge_versions_except(version)
             with self._compile_lock:
                 for stale in [v for v in self._compiled_versions if v != version]:
@@ -563,7 +664,12 @@ class ExplanationEngine:
         finally:
             self._kb_lock.release_write()
         self._kb_updates.inc()
-        return {"added": added, "kb_version": version, "cache_purged": purged}
+        return {
+            "added": added,
+            "kb_version": version,
+            "cache_purged": purged,
+            "durable": durable,
+        }
 
     # -- warmup ------------------------------------------------------------
 
@@ -612,12 +718,41 @@ class ExplanationEngine:
         return self._executor
 
     def close(self) -> None:
-        """Release the worker pool (if any); idempotent.
+        """Flush durability state and release the worker pool; idempotent.
 
-        The HTTP server calls this from ``server_close`` so worker processes
-        never outlive the serving process; library users embedding an engine
-        with ``parallelism >= 2`` should do the same.
+        Order: flush a final checkpoint (so a graceful shutdown leaves the
+        next cold boot O(file size)), close the store, then the pool.  Safe
+        to call from a signal handler *and* atexit — the second call returns
+        immediately.  The HTTP server calls this from ``server_close`` so
+        worker processes never outlive the serving process.
         """
+        with self._close_lock:
+            if self._closed:
+                return
+            with self._durability_lock:
+                self._closed = True
+        if self._checkpoint_path is not None:
+            pending = self._checkpoint_thread
+            if pending is not None and pending.is_alive():
+                pending.join(timeout=30)
+            try:
+                with self._durability_lock:
+                    last = self._last_checkpoint
+                if last is None or last[0] != self._rex.kb.version:
+                    with self._kb_lock.read_locked():
+                        compiled = self._compiled_rex().kb
+                    with self._checkpoint_write_lock:
+                        save_checkpoint(compiled, self._checkpoint_path)
+                    self._checkpoints_written.inc()
+                    with self._durability_lock:
+                        self._checkpoint_error = None
+                        self._last_checkpoint = (compiled.version, time.time())
+            except (CheckpointError, RexError) as error:
+                with self._durability_lock:
+                    self._checkpoint_error = str(error)
+                self._checkpoint_failures.inc()
+        if self._store is not None:
+            self._store.close()
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
@@ -638,7 +773,257 @@ class ExplanationEngine:
         executor = self._executor
         if executor is not None:
             payload["parallel"].update(executor.snapshot())
+        payload["durability"] = self.durability()
         return payload
+
+    # -- durability internals ----------------------------------------------
+
+    def _resolve_boot_kb(self, kb: KnowledgeBase) -> KnowledgeBase | CompiledKB:
+        """Decide which KB this engine serves, per the recovery ladder.
+
+        With a non-empty store: try the checkpoint first (O(file size)), fall
+        back to SQLite replay (O(edges) + recompile on first request).  With
+        an empty store: bootstrap it from the seed ``kb``.  Without a store
+        but with a checkpoint matching the seed's version: restore the planes
+        to skip the first compile.  A corrupt or stale checkpoint is *never*
+        served — it is counted, reported, and replaced by replay.
+        """
+        if self._store is not None:
+            try:
+                store_empty = self._store.is_empty()
+            except StoreError as error:
+                self._record_store_error(error)
+                return kb
+            if store_empty:
+                try:
+                    self._store.bootstrap(kb)
+                    self._store_batches.inc()
+                except StoreError as error:
+                    self._record_store_error(error)
+                return kb
+            persisted_version = self._store.last_version()
+            restored = self._try_restore_checkpoint(persisted_version)
+            if restored is not None:
+                self.boot_info = {
+                    "source": "checkpoint",
+                    "kb_version": restored.version,
+                    "store_path": self._store.path,
+                }
+                return restored
+            loaded = self._store.load()
+            # update() rather than replace: _try_restore_checkpoint may have
+            # recorded a checkpoint_rejected reason that must stay visible
+            self.boot_info.update(
+                source="store",
+                kb_version=loaded.version,
+                store_path=self._store.path,
+            )
+            return loaded
+        if self._checkpoint_path is not None:
+            restored = self._try_restore_checkpoint(kb.version)
+            if restored is not None:
+                self.boot_info = {"source": "checkpoint", "kb_version": restored.version}
+                return restored
+        return kb
+
+    def _try_restore_checkpoint(self, expected_version: int) -> CompiledKB | None:
+        """Load the checkpoint if present and exactly at ``expected_version``."""
+        path = self._checkpoint_path
+        if path is None:
+            return None
+        existed = path.exists()
+        try:
+            compiled = _load_checkpoint(path, expected_version=expected_version)
+        except CheckpointError as error:
+            if existed:
+                # an unusable checkpoint (torn, corrupt, stale) is an event
+                # operators should see; a simply absent file is not
+                self._checkpoint_rejected.inc()
+                self.boot_info["checkpoint_rejected"] = str(error)
+            return None
+        self._checkpoint_restores.inc()
+        with self._durability_lock:
+            self._last_checkpoint = (compiled.version, time.time())
+        return compiled
+
+    def _record_store_error(self, error: StoreError) -> None:
+        with self._durability_lock:
+            self._store_error = str(error)
+        self._store_failures.inc()
+
+    def _thaw_for_write(self) -> KnowledgeBase:
+        """Swap a checkpoint-restored CompiledKB for a mutable KB (write lock).
+
+        The thawed KB replays entities then edges in snapshot order, so by
+        the version invariant (one bump per entity and per edge) it lands on
+        the same version — caches keyed on the version stay valid.  The
+        measure registry is kept (it is KB-independent) and a live executor
+        is re-pointed at the new KB object.
+        """
+        kb = self._rex.kb
+        if not isinstance(kb, CompiledKB):
+            return kb
+        thawed = kb.thaw()
+        assert thawed.version == kb.version
+        self._rex = Rex(thawed, size_limit=self.size_limit)
+        executor = self._executor
+        if executor is not None:
+            executor.rebind(thawed)
+        return thawed
+
+    def _schedule_checkpoint(self, compiled: CompiledKB) -> None:
+        """Write ``compiled`` to the checkpoint file on a background thread.
+
+        Called after a fresh compile (i.e. after every version bump reaches
+        the serving path).  The compiled view is immutable, so the writer
+        thread needs no KB lock; per-version dedup keeps one write per bump.
+        """
+        if self._checkpoint_path is None:
+            return
+        with self._durability_lock:
+            if self._closed:
+                return
+            last = self._last_checkpoint
+            if last is not None and last[0] >= compiled.version:
+                return
+            pending = self._checkpoint_thread
+            if pending is not None and pending.is_alive():
+                # one writer at a time; the close() flush catches anything
+                # this skip leaves behind
+                return
+            thread = threading.Thread(
+                target=self._write_checkpoint,
+                args=(compiled,),
+                name="rex-checkpoint",
+                daemon=True,
+            )
+            self._checkpoint_thread = thread
+        thread.start()
+
+    def _write_checkpoint(self, compiled: CompiledKB) -> None:
+        assert self._checkpoint_path is not None
+        try:
+            with self._checkpoint_write_lock:
+                with self._durability_lock:
+                    last = self._last_checkpoint
+                if last is not None and last[0] >= compiled.version:
+                    return
+                save_checkpoint(compiled, self._checkpoint_path)
+        except CheckpointError as error:
+            with self._durability_lock:
+                self._checkpoint_error = str(error)
+            self._checkpoint_failures.inc()
+            return
+        with self._durability_lock:
+            self._checkpoint_error = None
+            if self._last_checkpoint is None or compiled.version > self._last_checkpoint[0]:
+                self._last_checkpoint = (compiled.version, time.time())
+        self._checkpoints_written.inc()
+
+    # -- durability API ----------------------------------------------------
+
+    @property
+    def store(self) -> KnowledgeBaseStore | None:
+        """The durable system of record, if one is configured."""
+        return self._store
+
+    @property
+    def checkpoint_path(self) -> Path | None:
+        """Where compiled-plane checkpoints are written, if configured."""
+        return self._checkpoint_path
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Synchronously write a checkpoint of the current KB version.
+
+        Compiles the KB if no compile is cached for the current version.
+        Returns ``{"kb_version", "path", "written"}`` — ``written`` is
+        ``False`` when the on-disk checkpoint already covers this version.
+
+        Raises:
+            RexError: when no ``checkpoint_dir`` is configured.
+            CheckpointError: when the write fails (the engine also records
+                the failure and reports ``degraded``).
+        """
+        if self._checkpoint_path is None:
+            raise RexError("this engine has no checkpoint_dir configured")
+        with self._kb_lock.read_locked():
+            compiled = self._compiled_rex().kb
+        with self._durability_lock:
+            last = self._last_checkpoint
+        if last is not None and last[0] >= compiled.version:
+            return {
+                "kb_version": compiled.version,
+                "path": str(self._checkpoint_path),
+                "written": False,
+            }
+        try:
+            with self._checkpoint_write_lock:
+                save_checkpoint(compiled, self._checkpoint_path)
+        except CheckpointError as error:
+            with self._durability_lock:
+                self._checkpoint_error = str(error)
+            self._checkpoint_failures.inc()
+            raise
+        with self._durability_lock:
+            self._checkpoint_error = None
+            if self._last_checkpoint is None or compiled.version > self._last_checkpoint[0]:
+                self._last_checkpoint = (compiled.version, time.time())
+        self._checkpoints_written.inc()
+        return {
+            "kb_version": compiled.version,
+            "path": str(self._checkpoint_path),
+            "written": True,
+        }
+
+    def durability(self) -> dict[str, Any]:
+        """The engine's durability posture, for ``/healthz`` and operators.
+
+        ``mode`` is ``durable`` (a healthy store is recording every write),
+        ``degraded`` (a store or checkpoint path is configured but its last
+        disk operation failed — serving continues from memory), or
+        ``memory`` (no store configured; checkpoint-only engines also report
+        ``memory`` because posted edges do not survive a crash without the
+        system of record).
+        """
+        with self._durability_lock:
+            last = self._last_checkpoint
+            store_error = self._store_error
+            checkpoint_error = self._checkpoint_error
+        if store_error or checkpoint_error:
+            mode = "degraded"
+        elif self._store is not None:
+            mode = "durable"
+        else:
+            mode = "memory"
+        return {
+            "mode": mode,
+            "store_path": self._store.path if self._store is not None else None,
+            "store_error": store_error,
+            "checkpoint_dir": (
+                str(self._checkpoint_dir) if self._checkpoint_dir is not None else None
+            ),
+            "checkpoint_version": last[0] if last is not None else None,
+            "checkpoint_age_s": (
+                round(time.time() - last[1], 3) if last is not None else None
+            ),
+            "checkpoint_error": checkpoint_error,
+            "boot": dict(self.boot_info),
+        }
+
+    def _checkpoint_for_version(self) -> tuple[str, int] | None:
+        """The on-disk checkpoint as ``(path, version)`` if it is current.
+
+        The executor's snapshot path calls this (inside the KB read lock) to
+        hand workers a checkpoint *path* instead of reshipping plane bytes.
+        """
+        path = self._checkpoint_path
+        if path is None:
+            return None
+        with self._durability_lock:
+            last = self._last_checkpoint
+        if last is None or last[0] != self._rex.kb.version:
+            return None
+        return str(path), last[0]
 
     # -- internals ---------------------------------------------------------
 
@@ -652,24 +1037,30 @@ class ExplanationEngine:
         for it.
         """
         version = self._rex.kb.version
+        fresh: CompiledKB | None = None
         with self._compile_lock:
             entry = self._compiled_versions.get(version)
             if entry is None:
-                compiled = CompiledKB.compile(self._rex.kb)
-                entry = Rex(compiled, size_limit=self.size_limit)
+                fresh = CompiledKB.compile(self._rex.kb)
+                entry = Rex(fresh, size_limit=self.size_limit)
                 self._compiled_versions[version] = entry
                 # backstop cap: writers purge via add_edges, but an embedder
                 # mutating the KB directly must not leak old compiles
                 while len(self._compiled_versions) > 2:
                     del self._compiled_versions[min(self._compiled_versions)]
                 self._compiles.inc()
-                self._gauge_entities.set(compiled.num_entities)
-                self._gauge_edges.set(compiled.num_edges)
-                self._gauge_labels.set(len(compiled.label_of))
-                self._gauge_plane_bytes.set(compiled.plane_bytes())
-                self._gauge_compile_s.set(round(compiled.compile_seconds, 6))
+                self._gauge_entities.set(fresh.num_entities)
+                self._gauge_edges.set(fresh.num_edges)
+                self._gauge_labels.set(len(fresh.label_of))
+                self._gauge_plane_bytes.set(fresh.plane_bytes())
+                self._gauge_compile_s.set(round(fresh.compile_seconds, 6))
             self._gauge_compiled_versions.set(len(self._compiled_versions))
-            return entry
+        if fresh is not None:
+            # every version bump reaches here on its first serve, so this is
+            # the "checkpoint on version bumps" hook; the write happens on a
+            # background thread against the immutable compiled view
+            self._schedule_checkpoint(fresh)
+        return entry
 
     def _compiled_snapshot_source(self) -> CompiledKB:
         """The compiled view the executor snapshots worker payloads from.
@@ -692,6 +1083,9 @@ class ExplanationEngine:
                     # KB snapshots for pool rebuilds must exclude live writers
                     snapshot_guard=self._kb_lock.read_locked,
                     compiled_provider=self._compiled_snapshot_source,
+                    # when the on-disk checkpoint matches the current version,
+                    # workers boot from its path instead of reshipped bytes
+                    checkpoint_provider=self._checkpoint_for_version,
                 )
             return self._executor
 

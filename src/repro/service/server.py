@@ -7,7 +7,10 @@ enumeration while every other thread waits on the leader's result.
 Endpoints:
 
 ``GET /healthz``
-    Liveness plus KB shape: ``{"status", "kb_version", "entities", "edges"}``.
+    Liveness plus KB shape and durability posture: ``{"status", "kb_version",
+    "entities", "edges", "durability", "checkpoint_age_s",
+    "durability_detail"}`` — ``durability`` is ``durable`` / ``memory`` /
+    ``degraded`` (see ``docs/durability.md``).
 ``GET /explain``
     Query parameters: ``start``, ``end`` (required), ``measure``, ``k``,
     ``size_limit``, ``max_instances`` (optional).  Returns the envelope of
@@ -25,17 +28,25 @@ Endpoints:
 
 Error mapping: invalid parameters and malformed bodies are ``400``, unknown
 entities are ``404``, unknown routes are ``404`` with an ``error`` body, a
-batch larger than the server's ``max_batch_requests`` is ``413``, a crashed
-worker process is ``500``, and unexpected failures are ``500``.  Every error
-body is ``{"error": message}`` — a failure never leaves the client with a
-hung connection.
+batch larger than the server's ``max_batch_requests`` is ``413``, a body
+with a missing or over-limit ``Content-Length`` is ``413`` before a single
+body byte is read, a crashed worker process is ``500``, and unexpected
+failures are ``500``.  Every error body is ``{"error": message}`` — a
+failure never leaves the client with a hung connection.
+
+:func:`serve` installs SIGTERM/SIGINT handlers: instead of dying mid-write,
+the process stops accepting connections, flushes a final compiled-plane
+checkpoint and closes the store (``server_close`` → ``engine.close()``,
+which is idempotent, so a signal racing the ``finally`` block is safe).
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
@@ -134,11 +145,15 @@ class _ExplainHandler(BaseHTTPRequestHandler):
 
     def _healthz(self) -> tuple[int, dict[str, Any]]:
         kb = self.engine.kb
+        durability = self.engine.durability()
         return 200, {
             "status": "ok",
             "kb_version": kb.version,
             "entities": kb.num_entities,
             "edges": kb.num_edges,
+            "durability": durability["mode"],
+            "checkpoint_age_s": durability["checkpoint_age_s"],
+            "durability_detail": durability,
         }
 
     def _metrics(self) -> tuple[int, dict[str, Any]]:
@@ -218,6 +233,8 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             status, payload = func(*args)
         except _BadRequest as error:
             status, payload = 400, {"error": str(error)}
+        except _PayloadTooLarge as error:
+            status, payload = 413, {"error": str(error)}
         except UnknownEntityError as error:
             status, payload = 404, {"error": str(error)}
         except RexError as error:
@@ -241,10 +258,14 @@ class _ExplainHandler(BaseHTTPRequestHandler):
     def _read_json_body(self) -> dict[str, Any]:
         length_header = self.headers.get("Content-Length")
         if length_header is None:
-            # possibly chunked or stream we will not parse: the unread body
-            # would desync the persistent connection, so close it
+            # possibly chunked or an unbounded stream we will not parse:
+            # reject as unacceptably-sized before reading a byte, and close —
+            # the unread body would desync the persistent connection
             self.close_connection = True
-            raise _BadRequest("a JSON body with Content-Length is required")
+            raise _PayloadTooLarge(
+                "a JSON body with Content-Length is required; bodies without "
+                "a declared length are not accepted"
+            )
         try:
             length = int(length_header)
         except ValueError:
@@ -254,7 +275,7 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             # reject without reading; the connection must not be reused with
             # the unread body still in the stream (request-smuggling vector)
             self.close_connection = True
-            raise _BadRequest(
+            raise _PayloadTooLarge(
                 f"body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
             )
         raw = self.rfile.read(length)
@@ -281,6 +302,14 @@ class _ExplainHandler(BaseHTTPRequestHandler):
 
 class _BadRequest(Exception):
     """Raised by handlers for malformed requests; mapped to HTTP 400."""
+
+
+class _PayloadTooLarge(Exception):
+    """Raised for missing/oversized body declarations; mapped to HTTP 413.
+
+    Mirrors the ``max_batch_requests`` guard: the request is refused before
+    any body byte is read or any work is scheduled.
+    """
 
 
 def _single(query: dict[str, list[str]], name: str, default: str | None = None) -> str:
@@ -331,6 +360,33 @@ def create_server(
     )
 
 
+def _install_shutdown_handlers(server: ExplanationServer) -> dict[int, Any]:
+    """Route SIGTERM/SIGINT into a clean ``server.shutdown()``.
+
+    ``shutdown()`` must not run on the thread executing ``serve_forever`` (it
+    joins the serve loop), so the handler hands it to a one-shot daemon
+    thread and returns immediately; ``serve`` then falls through to its
+    ``finally`` block where ``server_close`` flushes the final checkpoint
+    and closes the store.  Returns the previous handlers so the caller can
+    restore them; an empty dict when not on the main thread (Python only
+    allows ``signal.signal`` there — tests embedding ``serve`` in a thread
+    simply keep their own handling).
+    """
+    previous: dict[int, Any] = {}
+
+    def _handle_signal(signum: int, frame: Any) -> None:
+        threading.Thread(
+            target=server.shutdown, name="rex-serve-shutdown", daemon=True
+        ).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handle_signal)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            break
+    return previous
+
+
 def serve(
     kb: KnowledgeBase,
     host: str = "127.0.0.1",
@@ -341,18 +397,29 @@ def serve(
     warmup_pairs: list[tuple[str, str]] | None = None,
     verbose: bool = True,
     parallelism: int | None = None,
+    store_path: str | Path | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> None:
-    """Blocking convenience entry point: build an engine and serve forever."""
+    """Blocking convenience entry point: build an engine and serve forever.
+
+    With ``store_path``/``checkpoint_dir`` the engine boots from the durable
+    tier (checkpoint first, SQLite replay second, the passed ``kb`` only as
+    bootstrap seed) and SIGTERM/SIGINT trigger a graceful shutdown that
+    flushes a final checkpoint instead of dying mid-write.
+    """
     engine_kwargs: dict[str, Any] = {
         "cache_capacity": cache_capacity,
         "cache_ttl": cache_ttl,
         "parallelism": parallelism,
+        "store_path": store_path,
+        "checkpoint_dir": checkpoint_dir,
     }
     if size_limit is not None:
         engine_kwargs["size_limit"] = size_limit
     engine = ExplanationEngine(kb, **engine_kwargs)
     # bind before the (potentially long) warmup so a taken port fails fast
     server = create_server(engine, host=host, port=port, verbose=verbose)
+    previous_handlers = _install_shutdown_handlers(server)
     if warmup_pairs:
         summary = engine.warmup(warmup_pairs)
         if verbose:
@@ -361,12 +428,23 @@ def serve(
                 f"{summary['skipped']} skipped in {summary['elapsed_s']:.3f}s"
             )
     if verbose:
+        boot = engine.boot_info
+        durability = engine.durability()
+        print(
+            f"durability: mode={durability['mode']} "
+            f"boot_source={boot.get('source')} kb_version={engine.kb_version}"
+        )
         print(f"rex-serve listening on {server.url}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - non-main-thread embedding
+                pass
         server.server_close()
 
 

@@ -1,0 +1,180 @@
+"""Crash-recovery tests: SIGKILL a real server, restart it, audit the disk.
+
+These are the end-to-end durability guarantees of the PR, asserted from the
+outside the way an operator would observe them:
+
+* **acknowledged means durable** — every ``POST /kb/edges`` the server
+  acknowledged before SIGKILL is present after restart, at the exact
+  acknowledged version;
+* **batches are atomic** — the store's per-batch version rows account for
+  its entity/edge counts exactly; a crash never leaves a torn batch;
+* **torn or corrupted checkpoints are never loaded** — the restarted server
+  falls back to SQLite replay and still reports the exact pre-crash
+  version;
+* **SIGTERM is graceful** — exit code 0 and a complete final checkpoint.
+
+Each test pays a couple of subprocess startups (~1-2 s each); the burst
+sizes are kept small so the whole module stays in tier-1 time budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from faultinject import ServerProcess
+from repro.kb import KnowledgeBaseStore, checkpoint_info, load_checkpoint
+from repro.errors import CheckpointError
+
+
+def _edge_batches(prefix: str, batches: int, edges_per_batch: int = 3):
+    """Distinct single-use edge batches: batch i links prefix_i_* nodes."""
+    for index in range(batches):
+        yield [
+            {
+                "source": f"{prefix}_{index}_{e}",
+                "target": f"{prefix}_{index}_{e + 1}",
+                "label": "spouse",
+            }
+            for e in range(edges_per_batch)
+        ]
+
+
+def _audit_store(db) -> tuple[int, int, int]:
+    """(last_version, entities, edges) with the batch-accounting invariant."""
+    with KnowledgeBaseStore(db) as store:
+        last_version = store.last_version()
+        entities, edges = store.counts()
+        rows = store.versions()
+    # per-batch all-or-none: the committed deltas explain the counts exactly
+    assert sum(row[2] for row in rows) == entities
+    assert sum(row[3] for row in rows) == edges
+    assert last_version == entities + edges
+    return last_version, entities, edges
+
+
+class TestKillMidBurst:
+    def test_acknowledged_batches_survive_sigkill(self, tmp_path):
+        db = tmp_path / "kb.sqlite3"
+        ckdir = tmp_path / "ck"
+        acked: list[tuple[int, list[dict]]] = []
+        stop = threading.Event()
+
+        with ServerProcess(db, ckdir) as server:
+            baseline = server.healthz()["kb_version"]
+
+            def burst() -> None:
+                for batch in _edge_batches("crash", batches=200):
+                    if stop.is_set():
+                        return
+                    try:
+                        status, payload = server.post_edges(batch)
+                    except OSError:
+                        return  # the kill landed mid-request: not acknowledged
+                    if status == 200:
+                        acked.append((payload["kb_version"], batch))
+
+            writer = threading.Thread(target=burst)
+            writer.start()
+            # let some writes through, then crash mid-burst
+            while len(acked) < 5:
+                time.sleep(0.001)
+            server.kill()
+            stop.set()
+            writer.join(timeout=30)
+
+        assert len(acked) >= 5
+        last_acked_version, _ = acked[-1]
+        assert last_acked_version > baseline
+
+        last_version, _, _ = _audit_store(db)
+        # acknowledged-means-durable: the store is at or past every ack
+        assert last_version >= last_acked_version
+        # and every acknowledged edge is really present
+        with KnowledgeBaseStore(db) as store:
+            replayed = store.load()
+        for _, batch in acked:
+            for edge in batch:
+                assert replayed.has_entity(edge["source"])
+                assert replayed.has_entity(edge["target"])
+
+        # a restarted server reports the exact recovered version
+        with ServerProcess(db, ckdir) as restarted:
+            health = restarted.healthz()
+            assert health["kb_version"] == last_version
+            assert health["durability"] == "durable"
+
+    def test_kill_during_single_posts_is_all_or_none(self, tmp_path):
+        db = tmp_path / "kb.sqlite3"
+        with ServerProcess(db) as server:
+            for batch in _edge_batches("atomic", batches=3):
+                server.post_edges(batch)
+            server.kill()
+        # audit invariants (inside _audit_store) prove no torn batch
+        _audit_store(db)
+
+
+class TestCheckpointSafety:
+    def _crashed_server_with_checkpoint(self, db, ckdir):
+        """Run a server, get a checkpoint on disk, SIGKILL it."""
+        with ServerProcess(db, ckdir) as server:
+            server.post_edges(next(_edge_batches("ck", 1)))
+            version = server.healthz()["kb_version"]
+            server.terminate()  # graceful: flushes the checkpoint
+        info = checkpoint_info(ckdir / "kb.ckpt")
+        assert info["complete"] and info["kb_version"] == version
+        return version
+
+    def test_torn_checkpoint_is_never_loaded(self, tmp_path):
+        db = tmp_path / "kb.sqlite3"
+        ckdir = tmp_path / "ck"
+        version = self._crashed_server_with_checkpoint(db, ckdir)
+
+        path = ckdir / "kb.ckpt"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn mid-write
+
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        with ServerProcess(db, ckdir) as server:
+            health = server.healthz()
+            assert health["kb_version"] == version
+            assert health["durability_detail"]["boot"]["source"] == "store"
+
+    def test_corrupted_checkpoint_falls_back_to_replay(self, tmp_path):
+        db = tmp_path / "kb.sqlite3"
+        ckdir = tmp_path / "ck"
+        version = self._crashed_server_with_checkpoint(db, ckdir)
+
+        path = ckdir / "kb.ckpt"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # bit rot in the payload
+        path.write_bytes(bytes(data))
+
+        with ServerProcess(db, ckdir) as server:
+            health = server.healthz()
+            assert health["kb_version"] == version
+            boot = health["durability_detail"]["boot"]
+            assert boot["source"] == "store"
+            assert "checkpoint_rejected" in boot
+
+
+class TestGracefulShutdown:
+    def test_sigterm_exits_zero_with_final_checkpoint(self, tmp_path):
+        db = tmp_path / "kb.sqlite3"
+        ckdir = tmp_path / "ck"
+        with ServerProcess(db, ckdir) as server:
+            status, payload = server.post_edges(next(_edge_batches("term", 1)))
+            assert status == 200 and payload["durable"] is True
+            version = payload["kb_version"]
+            assert server.terminate() == 0
+        info = checkpoint_info(ckdir / "kb.ckpt")
+        assert info["complete"] is True
+        assert info["kb_version"] == version
+        # and the next boot is the fast path: straight off the checkpoint
+        with ServerProcess(db, ckdir) as server:
+            health = server.healthz()
+            assert health["kb_version"] == version
+            assert health["durability_detail"]["boot"]["source"] == "checkpoint"

@@ -1,0 +1,189 @@
+"""The WAL-backed SQLite system of record (``repro.kb.store``).
+
+What must hold for the store to be a *system of record* rather than a cache:
+
+* a bootstrap + replay round-trip reproduces the knowledge base exactly —
+  same entities in the same insertion order, same edges, same version, so
+  the compiled planes come out byte-identical;
+* every ``append_batch`` is one transaction: a commit that fails leaves no
+  partial rows behind and the store keeps serving from its previous state;
+* version bookkeeping is strict — batches must move the version forward,
+  and the recorded per-batch deltas sum to the live counts.
+
+Round-trip properties run over every synthetic workload generator so the
+guarantees are not an artifact of one topology.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from faultinject import flaky_connection_factory
+from repro.errors import StoreError
+from repro.kb import CompiledKB, KnowledgeBase, KnowledgeBaseStore
+from repro.workloads import bipartite_kb, clustered_kb, scale_free_kb
+
+GENERATOR_CASES = [
+    pytest.param(lambda: scale_free_kb(num_entities=120, seed=5), id="scale-free"),
+    pytest.param(lambda: bipartite_kb(num_entities=60, num_attributes=12, seed=5), id="bipartite"),
+    pytest.param(
+        lambda: clustered_kb(num_communities=4, community_size=15, seed=5),
+        id="clustered",
+    ),
+]
+
+
+def _plane_bytes(kb) -> tuple:
+    return CompiledKB.compile(kb).to_buffers()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make_kb", GENERATOR_CASES)
+    def test_bootstrap_then_load_is_identity(self, make_kb, tmp_path):
+        kb = make_kb()
+        with KnowledgeBaseStore(tmp_path / "kb.sqlite3") as store:
+            store.bootstrap(kb)
+            loaded = store.load()
+        assert loaded.version == kb.version
+        assert loaded.entities == kb.entities
+        assert loaded.num_edges == kb.num_edges
+        assert _plane_bytes(loaded) == _plane_bytes(kb)
+
+    def test_load_preserves_entity_types(self, tmp_path):
+        kb = bipartite_kb(num_entities=30, num_attributes=8, seed=2)
+        with KnowledgeBaseStore(tmp_path / "kb.sqlite3") as store:
+            store.bootstrap(kb)
+            loaded = store.load()
+        for entity in kb.entities:
+            assert loaded.entity_type(entity) == kb.entity_type(entity)
+
+    def test_empty_kb_bootstraps(self, tmp_path):
+        with KnowledgeBaseStore(tmp_path / "kb.sqlite3") as store:
+            store.bootstrap(KnowledgeBase())
+            assert not store.is_empty()
+            assert store.last_version() == 0
+            assert store.load().version == 0
+
+
+class TestAppendBatch:
+    def _seeded(self, tmp_path):
+        kb = clustered_kb(num_communities=3, community_size=12, seed=9)
+        store = KnowledgeBaseStore(tmp_path / "kb.sqlite3")
+        store.bootstrap(kb)
+        return kb, store
+
+    def _apply_batch(self, kb, store, edges):
+        """Mirror the engine's write path: mutate the KB, persist the delta."""
+        entities_before = len(kb.entities)
+        new_edges = []
+        for source, target, label in edges:
+            edge_count = kb.num_edges
+            applied = kb.add_edge(source, target, label)
+            if kb.num_edges > edge_count:
+                new_edges.append(applied)
+        new_entities = [
+            (entity, kb.entity_type(entity))
+            for entity in kb.entities[entities_before:]
+        ]
+        store.append_batch(new_entities, new_edges, kb.version)
+
+    def test_batches_replay_identically(self, tmp_path):
+        kb, store = self._seeded(tmp_path)
+        self._apply_batch(kb, store, [("x1", "x2", "rel0"), ("x2", "x3", "rel1")])
+        self._apply_batch(kb, store, [("x3", "c00_n0000", "rel0")])
+        loaded = store.load()
+        assert loaded.version == kb.version
+        assert _plane_bytes(loaded) == _plane_bytes(kb)
+        store.close()
+
+    def test_version_rows_account_for_counts(self, tmp_path):
+        kb, store = self._seeded(tmp_path)
+        self._apply_batch(kb, store, [("y1", "y2", "rel0")])
+        rows = store.versions()
+        assert [batch for _, batch, _, _ in rows] == list(range(len(rows)))
+        entities, edges = store.counts()
+        assert sum(row[2] for row in rows) == entities
+        assert sum(row[3] for row in rows) == edges
+        # the version invariant the recovery ladder leans on
+        assert store.last_version() == entities + edges == kb.version
+        store.close()
+
+    def test_append_requires_version_progress(self, tmp_path):
+        kb, store = self._seeded(tmp_path)
+        with pytest.raises(StoreError, match="version"):
+            store.append_batch([], [], kb.version)  # not > last_version
+        store.close()
+
+    def test_append_before_bootstrap_rejected(self, tmp_path):
+        with KnowledgeBaseStore(tmp_path / "kb.sqlite3") as store:
+            with pytest.raises(StoreError, match="bootstrap"):
+                store.append_batch([], [], 1)
+
+    def test_double_bootstrap_rejected(self, tmp_path):
+        kb, store = self._seeded(tmp_path)
+        with pytest.raises(StoreError, match="bootstrap"):
+            store.bootstrap(kb)
+        store.close()
+
+
+class TestRollback:
+    def test_failed_commit_leaves_no_partial_batch(self, tmp_path):
+        path = tmp_path / "kb.sqlite3"
+        kb = clustered_kb(num_communities=2, community_size=10, seed=4)
+        # budget 2: schema init + bootstrap succeed, the append must fail
+        factory = flaky_connection_factory(2)
+        store = KnowledgeBaseStore(path, connection_factory=factory)
+        store.bootstrap(kb)
+        version_before = store.last_version()
+        counts_before = store.counts()
+
+        shadow = kb.copy()
+        edge = shadow.add_edge("zz1", "zz2", "rel0")
+        new_entities = [("zz1", None), ("zz2", None)]
+        with pytest.raises(StoreError, match="injected commit failure"):
+            store.append_batch(new_entities, [edge], shadow.version)
+
+        assert factory.connections[0].injected_failures == 1
+        assert store.last_version() == version_before
+        assert store.counts() == counts_before
+        store.close()
+
+        # a fresh, healthy connection sees the pre-failure state exactly
+        with KnowledgeBaseStore(path) as reopened:
+            loaded = reopened.load()
+        assert loaded.version == kb.version
+        assert CompiledKB.compile(loaded).to_buffers() == CompiledKB.compile(kb).to_buffers()
+
+
+class TestDurabilityConfiguration:
+    def test_wal_mode_and_sync_normal(self, tmp_path):
+        path = tmp_path / "kb.sqlite3"
+        with KnowledgeBaseStore(path):
+            pass
+        conn = sqlite3.connect(path)
+        try:
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        finally:
+            conn.close()
+
+    def test_schema_version_recorded(self, tmp_path):
+        path = tmp_path / "kb.sqlite3"
+        with KnowledgeBaseStore(path):
+            pass
+        conn = sqlite3.connect(path)
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            assert row == ("1",)
+        finally:
+            conn.close()
+
+    def test_closed_store_refuses_operations(self, tmp_path):
+        store = KnowledgeBaseStore(tmp_path / "kb.sqlite3")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            store.last_version()

@@ -259,7 +259,7 @@ class TestKbEdges:
         assert excinfo.value.code == 400
 
     def test_oversized_body_does_not_desync_keepalive(self, service):
-        """A 400 sent without reading the body must close the connection,
+        """A 413 sent without reading the body must close the connection,
         not let the unread bytes be parsed as the next request."""
         import http.client
         from urllib.parse import urlsplit
@@ -270,12 +270,12 @@ class TestKbEdges:
         try:
             big_body = b"x" * (2 << 20)  # 2 MiB, over the 1 MiB limit
             try:
-                # the server 400s without reading the body and closes the
+                # the server 413s without reading the body and closes the
                 # socket; depending on buffer timing the client may see the
                 # reset while still sending — an equally valid rejection
                 connection.request("POST", "/kb/edges", body=big_body)
                 response = connection.getresponse()
-                assert response.status == 400
+                assert response.status == 413
                 response.read()
             except (BrokenPipeError, ConnectionResetError):
                 return

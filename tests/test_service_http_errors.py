@@ -169,3 +169,63 @@ class TestWorkerCrash:
         assert status == 200
         assert payload["num_answered"] == 6
         assert executor.stats.recycles >= 1
+
+
+class TestBodyGuards:
+    """The Content-Length gate: reject unreadable bodies before reading them."""
+
+    def _host_port(self, url: str) -> tuple[str, int]:
+        stripped = url.removeprefix("http://")
+        host, _, port = stripped.rpartition(":")
+        return host, int(port.rstrip("/"))
+
+    def test_missing_content_length_is_413(self, parallel_service):
+        import socket
+
+        _, url = parallel_service
+        host, port = self._host_port(url)
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /kb/edges HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Type: application/json\r\n\r\n"
+            )
+            # the guard closes the connection after answering, so read to EOF
+            chunks = []
+            while chunk := sock.recv(65536):
+                chunks.append(chunk)
+            response = b"".join(chunks).decode()
+        status_line, _, rest = response.partition("\r\n")
+        assert " 413 " in status_line
+        body = json.loads(rest.split("\r\n\r\n", 1)[1])
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_content_length_is_413_without_reading(self, parallel_service):
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        _, url = parallel_service
+        host, port = self._host_port(url)
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            # declare a giant body but send none: the server must answer from
+            # the header alone instead of waiting for a megabyte that never comes
+            conn.request(
+                "POST",
+                "/kb/edges",
+                body=b"",
+                headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 413
+        assert "exceeds" in payload["error"]
+
+    def test_at_limit_body_is_still_processed(self, parallel_service):
+        _, url = parallel_service
+        # a legal, fully-sent body well under the cap still works end to end
+        status, payload = _post(url + "/explain/batch", {"requests": []})
+        assert status == 200  # a declared, sent, under-limit body passes
+        assert payload["num_requests"] == 0
