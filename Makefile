@@ -8,7 +8,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: test test-parallel bench bench-core bench-smoke bench-check \
 	serve serve-smoke bench-service bench-service-check \
 	bench-parallel bench-parallel-check bench-compiled bench-compiled-check \
-	bench-durability bench-durability-check
+	bench-durability bench-durability-check bench-obs bench-obs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -87,3 +87,15 @@ bench-durability:
 bench-durability-check:
 	REX_BENCH_DURABILITY_FLOOR=5.0 $(PYTHON) -m benchmarks --durability-only \
 		--output bench_durability_fresh.json
+
+# Observability overhead benchmark; writes BENCH_pr7.json (engine workloads
+# with tracing disabled vs armed at the default 1-in-100 sample rate, plus a
+# sample trace dump — see docs/observability.md).
+bench-obs:
+	$(PYTHON) -m benchmarks --obs-only --output BENCH_pr7.json
+
+# CI gate: fresh run asserting tracing stays within a 5% overhead budget on
+# every scenario (enumeration, distributional ranking, warm cache hits).
+bench-obs-check:
+	REX_BENCH_OBS_MAX_OVERHEAD=0.05 $(PYTHON) -m benchmarks --obs-only \
+		--output bench_obs_fresh.json

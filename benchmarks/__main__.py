@@ -33,6 +33,8 @@ PARALLEL_SELECTION = ["benchmarks/bench_parallel.py"]
 COMPILED_SELECTION = ["benchmarks/bench_compiled.py"]
 #: The durable-tier cold-boot benchmark (PR 6, records into BENCH_pr6.json).
 DURABILITY_SELECTION = ["benchmarks/bench_durability.py"]
+#: The observability overhead benchmark (PR 7, records into BENCH_pr7.json).
+OBS_SELECTION = ["benchmarks/bench_obs.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -43,7 +45,11 @@ DURABILITY_SELECTION = ["benchmarks/bench_durability.py"]
 _SUBSYSTEM_FILES = {
     Path(entry).name
     for entry in (
-        SERVICE_SELECTION + PARALLEL_SELECTION + COMPILED_SELECTION + DURABILITY_SELECTION
+        SERVICE_SELECTION
+        + PARALLEL_SELECTION
+        + COMPILED_SELECTION
+        + DURABILITY_SELECTION
+        + OBS_SELECTION
     )
 }
 DEFAULT_SELECTION = sorted(
@@ -159,6 +165,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the durable-tier cold-boot benchmark (BENCH_pr6.json)",
     )
+    subset.add_argument(
+        "--obs-only",
+        action="store_true",
+        help="run only the observability overhead benchmark (BENCH_pr7.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -194,6 +205,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = COMPILED_SELECTION
     elif args.durability_only:
         selection = DURABILITY_SELECTION
+    elif args.obs_only:
+        selection = OBS_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

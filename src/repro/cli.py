@@ -33,6 +33,10 @@ Usage examples::
     rex-explain info --kb edges.tsv
     rex-explain info --workload clustered --seed 7
 
+    # profile one explain request: per-phase span tree + timings
+    rex-explain profile --demo brad_pitt angelina_jolie
+    rex-explain profile --demo brad_pitt angelina_jolie --json
+
 The CLI is intentionally thin: it loads a knowledge base, invokes the same
 :class:`repro.Rex` facade (or :mod:`repro.service` engine) the examples use,
 and pretty-prints the result.
@@ -60,11 +64,13 @@ __all__ = [
     "build_batch_parser",
     "build_info_parser",
     "build_checkpoint_parser",
+    "build_profile_parser",
     "main",
     "serve_main",
     "batch_main",
     "info_main",
     "checkpoint_main",
+    "profile_main",
 ]
 
 
@@ -198,6 +204,38 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help=(
+            "enable structured logging on the 'rex' logger hierarchy at this "
+            "level (access log, slow-query log, server errors); default: off"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as JSON objects (one per line) instead of text",
+    )
+    parser.add_argument(
+        "--slow-query-s",
+        type=float,
+        default=None,
+        help=(
+            "requests slower than this many seconds log at WARNING "
+            "(default: REX_SLOW_QUERY_S or 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help=(
+            "fraction of requests to trace with phase spans, 0..1 "
+            "(default: REX_TRACE_SAMPLE or 0.01; 1.0 traces everything)"
+        ),
     )
     return parser
 
@@ -448,6 +486,98 @@ def checkpoint_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``profile`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="rex-profile",
+        description=(
+            "Run one explain request with tracing forced on and print the "
+            "per-phase span tree (cache lookup, KB compile, path enumeration, "
+            "union merge, matcher, ranking sweep) with wall-clock timings."
+        ),
+    )
+    parser.add_argument("v_start", help="the entity the user searched for")
+    parser.add_argument("v_end", help="the related entity to explain")
+    _add_kb_source_arguments(parser)
+    parser.add_argument(
+        "--measure",
+        default="size+monocount",
+        choices=sorted(default_measures()),
+        help="interestingness measure used for ranking (default: size+monocount)",
+    )
+    parser.add_argument("--top", type=int, default=5, help="k for the request")
+    parser.add_argument(
+        "--size-limit",
+        type=int,
+        default=5,
+        help="maximum number of pattern variables (paper default: 5)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help=(
+            "profile the request N times and print each trace; the second "
+            "run shows the warm-cache path (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trace(s) as JSON objects instead of the text tree",
+    )
+    return parser
+
+
+def profile_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``profile`` subcommand; returns an exit code."""
+    from repro.obs.trace import format_trace
+    from repro.service import ExplanationEngine
+
+    parser = build_profile_parser()
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        print("error: --repeat must be at least 1", file=sys.stderr)
+        return 1
+    engine = None
+    try:
+        kb = _load_kb(args)
+        engine = ExplanationEngine(kb, size_limit=args.size_limit)
+        traces = []
+        for _ in range(args.repeat):
+            outcome = engine.explain(
+                args.v_start,
+                args.v_end,
+                measure=args.measure,
+                k=args.top,
+                profile=True,
+            )
+            trace = engine.tracer.find(outcome.trace_id)
+            if trace is None:  # pragma: no cover - find follows a forced start
+                print("error: trace was not recorded", file=sys.stderr)
+                return 1
+            traces.append((outcome, trace))
+    except (RexError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if engine is not None:
+            engine.close()
+    if args.json:
+        print(json.dumps([trace for _, trace in traces], indent=2, sort_keys=True))
+        return 0
+    for index, (outcome, trace) in enumerate(traces):
+        if index:
+            print()
+        print(
+            f"explain({args.v_start!r}, {args.v_end!r}) "
+            f"measure={args.measure} k={args.top} "
+            f"results={len(outcome.ranked)} cached={outcome.cached}"
+        )
+        print(format_trace(trace))
+    return 0
+
+
 def _load_batch_requests(args: argparse.Namespace, kb) -> list:
     """The request list for ``batch``: from a file, or freshly sampled."""
     if args.requests is not None:
@@ -609,6 +739,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                 return _run_smoke(engine, verbose=not args.quiet)
             finally:
                 engine.close()
+        serve_kwargs = {}
+        if args.slow_query_s is not None:
+            serve_kwargs["slow_query_s"] = args.slow_query_s
         serve(
             kb,
             host=args.host,
@@ -621,6 +754,10 @@ def serve_main(argv: list[str] | None = None) -> int:
             parallelism=args.workers,
             store_path=args.db,
             checkpoint_dir=args.checkpoint_dir,
+            log_level=args.log_level,
+            log_json=args.log_json,
+            trace_sample=args.trace_sample,
+            **serve_kwargs,
         )
     except (RexError, ValueError, OverflowError, OSError) as error:
         # RexError: bad --size-limit; ValueError: bad cache knobs;
@@ -637,8 +774,9 @@ def main(argv: list[str] | None = None) -> int:
     ``rex-explain serve ...`` dispatches to the serving subcommand,
     ``rex-explain batch ...`` to offline bulk evaluation, ``rex-explain
     info ...`` to knowledge-base statistics, ``rex-explain checkpoint ...``
-    to compiled-plane checkpoint management; anything else is the classic
-    one-shot explain flow.
+    to compiled-plane checkpoint management, ``rex-explain profile ...`` to
+    a one-shot traced explain with a per-phase timing tree; anything else is
+    the classic one-shot explain flow.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -650,6 +788,8 @@ def main(argv: list[str] | None = None) -> int:
         return info_main(argv[1:])
     if argv and argv[0] == "checkpoint":
         return checkpoint_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -19,6 +19,7 @@ from repro.enumeration.path_union import PATH_UNION_ALGORITHMS, MergeStats
 from repro.errors import EnumerationError
 from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
+from repro.obs.trace import span
 
 __all__ = ["EnumerationResult", "enumerate_explanations", "DEFAULT_SIZE_LIMIT"]
 
@@ -103,14 +104,16 @@ def enumerate_explanations(
             f"choose from {sorted(PATH_UNION_ALGORITHMS)}"
         ) from None
 
-    path_result: PathEnumResult = path_enum(kb, v_start, v_end, size_limit - 1)
+    with span("path_enum"):
+        path_result: PathEnumResult = path_enum(kb, v_start, v_end, size_limit - 1)
     union_stats = MergeStats()
-    explanations = path_union(
-        path_result.explanations,
-        size_limit,
-        union_stats,
-        compiled=isinstance(kb, CompiledKB),
-    )
+    with span("union_merge"):
+        explanations = path_union(
+            path_result.explanations,
+            size_limit,
+            union_stats,
+            compiled=isinstance(kb, CompiledKB),
+        )
     return EnumerationResult(
         explanations=explanations,
         v_start=v_start,

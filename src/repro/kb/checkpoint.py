@@ -49,6 +49,7 @@ from typing import Any
 from repro.errors import CheckpointError
 from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
+from repro.obs.trace import span
 
 # NOTE: repro.parallel.snapshot is imported lazily inside the functions below.
 # This module is pulled in by the repro.kb package init, which runs while
@@ -90,7 +91,15 @@ def save_checkpoint(kb: KnowledgeBase | CompiledKB, path: str | Path) -> Compile
     the compiled form (so callers can reuse it for serving).  Raises
     :class:`CheckpointError` if any durability step fails; on failure the
     previous checkpoint at ``path`` (if any) is left untouched.
+
+    The whole write (compile, serialise, fsync, rename) records as one
+    ``checkpoint_io`` span when a trace is active.
     """
+    with span("checkpoint_io"):
+        return _save_checkpoint(kb, path)
+
+
+def _save_checkpoint(kb: KnowledgeBase | CompiledKB, path: str | Path) -> CompiledKB:
     from repro.parallel.snapshot import kb_to_payload
 
     path = Path(path)
@@ -175,7 +184,17 @@ def load_checkpoint(
             disagreement, or staleness against ``expected_version``.  The
             caller's recovery ladder is: fall back to replaying the system
             of record and recompiling.
+
+    The whole read (mmap, checksum, payload restore) records as one
+    ``checkpoint_io`` span when a trace is active.
     """
+    with span("checkpoint_io"):
+        return _load_checkpoint(path, expected_version)
+
+
+def _load_checkpoint(
+    path: str | Path, expected_version: int | None = None
+) -> CompiledKB:
     from repro.parallel.snapshot import kb_from_payload
 
     path = Path(path)

@@ -43,6 +43,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.errors import StoreError
 from repro.kb.graph import Edge, KnowledgeBase
 from repro.kb.schema import Schema
+from repro.obs.trace import span
 
 __all__ = ["KnowledgeBaseStore", "SCHEMA_VERSION"]
 
@@ -293,9 +294,11 @@ class KnowledgeBaseStore:
                 lands in the same transaction.
 
         The version row, entity rows and edge rows commit atomically: a crash
-        mid-call leaves the store exactly at the previous batch.
+        mid-call leaves the store exactly at the previous batch.  The whole
+        committed transaction records as one ``store_commit`` span when a
+        trace is active.
         """
-        with self._lock:
+        with span("store_commit"), self._lock:
             self._require_open()
             row = self._conn.execute(
                 "SELECT MAX(version), MAX(batch) FROM kb_versions"

@@ -26,6 +26,7 @@ from repro.core.matcher import match_pattern
 from repro.core.pattern import END, START
 from repro.kb.graph import KnowledgeBase
 from repro.measures.base import Measure, Monotonicity
+from repro.obs.trace import span
 
 __all__ = ["CountMeasure", "MonocountMeasure", "aggregate_for_pair"]
 
@@ -40,7 +41,8 @@ def _instances_for_pair(
     """
     if explanation.target_pair == (v_start, v_end):
         return explanation
-    instances = match_pattern(kb, explanation.pattern, v_start, v_end)
+    with span("matcher"):
+        instances = match_pattern(kb, explanation.pattern, v_start, v_end)
     return Explanation(explanation.pattern, instances)
 
 

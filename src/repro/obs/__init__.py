@@ -1,0 +1,62 @@
+"""Observability for the serving stack: tracing, exposition, logging.
+
+Three pieces, all pure stdlib (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — context-local phase spans, deterministic request
+  sampling, a bounded trace ring buffer, and cross-process span shipping for
+  the parallel batch executor;
+* :mod:`repro.obs.prometheus` — Prometheus text-format (0.0.4) exposition of
+  the metrics registry for ``GET /metrics?format=prometheus``;
+* :mod:`repro.obs.logging` — structured JSON-lines access/slow-query/error
+  logging with trace IDs.
+"""
+
+from repro.obs.logging import (
+    ACCESS_LOGGER_NAME,
+    ROOT_LOGGER_NAME,
+    SERVER_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    DEFAULT_BUFFER_CAPACITY,
+    DEFAULT_MAX_SPANS,
+    DEFAULT_SAMPLE_RATE,
+    PhaseTiming,
+    Span,
+    Trace,
+    Tracer,
+    activate_trace,
+    current_trace,
+    current_trace_id,
+    deactivate_trace,
+    format_trace,
+    span,
+)
+
+__all__ = [
+    "ACCESS_LOGGER_NAME",
+    "DEFAULT_BUFFER_CAPACITY",
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_SAMPLE_RATE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PhaseTiming",
+    "ROOT_LOGGER_NAME",
+    "SERVER_LOGGER_NAME",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate_trace",
+    "configure_logging",
+    "current_trace",
+    "current_trace_id",
+    "deactivate_trace",
+    "format_trace",
+    "get_logger",
+    "log_event",
+    "render_prometheus",
+    "span",
+]

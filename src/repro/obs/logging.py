@@ -1,0 +1,124 @@
+"""Structured (JSON-lines) logging for the serving stack.
+
+All serving-side loggers live under the ``rex`` hierarchy (``rex.server``
+for lifecycle and errors, ``rex.access`` for the access/slow-query log).  By
+default the hierarchy carries a ``NullHandler`` and stays silent — embedding
+the engine or server in tests costs nothing.  ``rex-explain serve`` calls
+:func:`configure_logging` to attach a real handler, either human-readable
+lines or one JSON object per line (``--log-json``), each carrying the
+request's trace ID when one exists.
+
+Events are emitted through :func:`log_event`, which stashes structured
+fields on the record so the JSON formatter can render them as first-class
+keys instead of interpolating them into the message.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = [
+    "ACCESS_LOGGER_NAME",
+    "JsonLineFormatter",
+    "ROOT_LOGGER_NAME",
+    "SERVER_LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER_NAME = "rex"
+SERVER_LOGGER_NAME = "rex.server"
+ACCESS_LOGGER_NAME = "rex.access"
+
+#: Accepted ``--log-level`` values, mapped to stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+# silent-by-default: importing this module must never print anything
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log line: ts, level, logger, event + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _LineFormatter(logging.Formatter):
+    """Human-readable lines that still append the structured fields."""
+
+    default_msec_format = "%s.%03d"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(fields.items())
+            )
+            base = f"{base} {rendered}"
+        return base
+
+
+def get_logger(name: str = ROOT_LOGGER_NAME) -> logging.Logger:
+    """A logger in the ``rex`` hierarchy."""
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Attach a real handler to the ``rex`` hierarchy; returns its root.
+
+    Idempotent: a second call replaces the previously attached handler (the
+    ``NullHandler`` installed at import time is left in place — it does
+    nothing once a real handler exists).
+    """
+    try:
+        resolved = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LOG_LEVELS)}"
+        ) from None
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            _LineFormatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    for existing in list(logger.handlers):
+        if not isinstance(existing, logging.NullHandler):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields: Any) -> None:
+    """Emit ``event`` with structured ``fields`` attached to the record."""
+    logger.log(level, event, extra={"fields": fields})

@@ -1,0 +1,133 @@
+"""Prometheus text-format (0.0.4) exposition for the metrics registry.
+
+The registry's JSON snapshot stays the serving default; this module renders
+the *same instruments* in the plain-text format a Prometheus scraper ingests:
+
+* every family is prefixed ``rex_`` and sanitised to ``[a-zA-Z0-9_:]``;
+* the repo's flat ``name{inner}`` naming convention becomes real labels —
+  ``engine.explain_latency{measure=size+monocount}`` renders as
+  ``rex_engine_explain_latency_seconds{measure="size+monocount"}``, and the
+  label-less HTTP per-endpoint form ``http.requests{GET /explain}`` gets an
+  ``endpoint`` label;
+* counters gain the conventional ``_total`` suffix, histograms render
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` with a
+  trailing ``+Inf`` bucket — exactly what ``histogram_quantile`` expects.
+
+The renderer reads raw bucket counts through
+:meth:`~repro.service.metrics.LatencyHistogram.buckets_snapshot`, not the
+JSON snapshot (which holds derived quantiles only).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The Content-Type a text-format scrape response must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _sanitize(name: str) -> str:
+    """A valid Prometheus metric-name fragment from a repo metric name."""
+    cleaned = "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Split the repo's flat ``base{inner}`` convention into (base, labels).
+
+    ``inner`` of the form ``key=value`` becomes that label; a bare inner
+    (the per-endpoint HTTP counters) becomes an ``endpoint`` label.
+    """
+    if "{" not in name or not name.endswith("}"):
+        return name, {}
+    base, _, inner = name.partition("{")
+    inner = inner[:-1]
+    if "=" in inner:
+        key, _, value = inner.partition("=")
+        return base, {_sanitize(key.strip()) or "label": value}
+    return base, {"endpoint": inner}
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):  # pragma: no cover
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: Any) -> str:
+    """Render every instrument of ``registry`` as Prometheus text format.
+
+    ``registry`` is a :class:`~repro.service.metrics.MetricsRegistry`; the
+    parameter is typed loosely so this module stays import-cycle-free.
+    """
+    counters, gauges, histograms = registry.instruments()
+    lines: list[str] = []
+
+    families: dict[str, list[tuple[dict[str, str], int]]] = {}
+    for name, counter in sorted(counters.items()):
+        base, labels = _split_labels(name)
+        families.setdefault(base, []).append((labels, counter.value))
+    for base, series in families.items():
+        family = f"rex_{_sanitize(base)}_total"
+        lines.append(f"# HELP {family} Counter {base!r} from the rex serving stack.")
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in series:
+            lines.append(f"{family}{_render_labels(labels)} {value}")
+
+    gauge_families: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for name, gauge in sorted(gauges.items()):
+        base, labels = _split_labels(name)
+        gauge_families.setdefault(base, []).append((labels, gauge.value))
+    for base, series in gauge_families.items():
+        family = f"rex_{_sanitize(base)}"
+        lines.append(f"# HELP {family} Gauge {base!r} from the rex serving stack.")
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in series:
+            lines.append(f"{family}{_render_labels(labels)} {_fmt(value)}")
+
+    hist_families: dict[str, list[tuple[dict[str, str], Any]]] = {}
+    for name, histogram in sorted(histograms.items()):
+        base, labels = _split_labels(name)
+        hist_families.setdefault(base, []).append((labels, histogram))
+    for base, series in hist_families.items():
+        family = f"rex_{_sanitize(base)}"
+        if not family.endswith("_seconds"):
+            family += "_seconds"
+        lines.append(
+            f"# HELP {family} Histogram {base!r} from the rex serving stack (seconds)."
+        )
+        lines.append(f"# TYPE {family} histogram")
+        for labels, histogram in series:
+            bounds, counts, count, total = histogram.buckets_snapshot()
+            cumulative = 0
+            for bound, bucket_count in zip(bounds, counts):
+                cumulative += bucket_count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt(bound)
+                lines.append(f"{family}_bucket{_render_labels(bucket_labels)} {cumulative}")
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{family}_bucket{_render_labels(inf_labels)} {count}")
+            lines.append(f"{family}_sum{_render_labels(labels)} {_fmt(total)}")
+            lines.append(f"{family}_count{_render_labels(labels)} {count}")
+
+    return "\n".join(lines) + "\n"

@@ -50,6 +50,7 @@ from repro.errors import RexError
 from repro.kb.graph import KnowledgeBase
 from repro.kb.sql import sweep_position_count
 from repro.measures.base import Measure
+from repro.obs.trace import Span, Trace, activate_trace, deactivate_trace
 from repro.parallel.snapshot import checkpoint_payload, kb_from_payload, kb_to_payload
 
 __all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
@@ -83,38 +84,66 @@ def _init_worker(payload: tuple, size_limit: int) -> None:
 
 def _run_chunk(
     chunk: Sequence[tuple[int, str, str, str, int, int]],
-) -> tuple[int, float, int, list[tuple[int, bool, Any]]]:
+    trace_id: str | None = None,
+) -> tuple[int, float, int, list[tuple[int, bool, Any]], tuple | None]:
     """Explain every item of one chunk against the worker's replica.
 
     Items are ``(index, v_start, v_end, measure_name, k, size_limit)``; the
     measure name was validated by the parent, so lookups cannot miss.  Returns
-    ``(pid, cpu_seconds, replica_version, results)`` where each result is
-    ``(index, ok, ranked_tuple | RexError)``.  CPU seconds are measured with
-    ``time.process_time`` so the number is meaningful even when the host
-    time-slices more workers than it has cores.
+    ``(pid, cpu_seconds, replica_version, results, trace_export)`` where each
+    result is ``(index, ok, ranked_tuple | RexError)``.  CPU seconds are
+    measured with ``time.process_time`` so the number is meaningful even when
+    the host time-slices more workers than it has cores.
+
+    With a ``trace_id`` (the coordinator's batch trace is sampled) the chunk
+    runs under a worker-local :class:`~repro.obs.trace.Trace`: the enumeration
+    and ranking span hooks record into it, and the spans come back as
+    ``trace_export = (worker_wall_start, exported_span_tuples)`` for the
+    coordinator to graft under its dispatch span — ``perf_counter`` offsets
+    do not survive a process boundary, the wall-clock start does.
     """
     rex: Rex = _WORKER["rex"]
     measures: dict[str, Measure] = _WORKER["measures"]
     results: list[tuple[int, bool, Any]] = []
+    worker_trace: Trace | None = None
+    token = None
+    root = None
+    if trace_id is not None:
+        worker_trace = Trace("worker", trace_id=trace_id)
+        token = activate_trace(worker_trace)
+        root = worker_trace.span("worker")
+        root.__enter__()
+        root.annotate(pid=os.getpid(), items=len(chunk))
     cpu_started = time.process_time()
-    for index, v_start, v_end, measure_name, k, size_limit in chunk:
-        try:
-            ranked = tuple(
-                rex.explain(
-                    v_start,
-                    v_end,
-                    measure=measures[measure_name],
-                    k=k,
-                    size_limit=size_limit,
+    try:
+        for index, v_start, v_end, measure_name, k, size_limit in chunk:
+            try:
+                ranked = tuple(
+                    rex.explain(
+                        v_start,
+                        v_end,
+                        measure=measures[measure_name],
+                        k=k,
+                        size_limit=size_limit,
+                    )
                 )
-            )
-            results.append((index, True, ranked))
-        except RexError as error:
-            # e.g. an entity newer than this replica: reported per item, the
-            # caller decides whether to retry against the live KB
-            results.append((index, False, error))
-    cpu_seconds = time.process_time() - cpu_started
-    return os.getpid(), cpu_seconds, _WORKER["version"], results
+                results.append((index, True, ranked))
+            except RexError as error:
+                # e.g. an entity newer than this replica: reported per item,
+                # the caller decides whether to retry against the live KB
+                results.append((index, False, error))
+    finally:
+        cpu_seconds = time.process_time() - cpu_started
+        if worker_trace is not None:
+            root.__exit__(None, None, None)
+            deactivate_trace(token)
+            worker_trace.finish()
+    trace_export = (
+        (worker_trace.started_wall, worker_trace.export_spans())
+        if worker_trace is not None
+        else None
+    )
+    return os.getpid(), cpu_seconds, _WORKER["version"], results, trace_export
 
 
 def _run_sweep(
@@ -373,7 +402,9 @@ class ParallelBatchExecutor:
     # -- batch execution ---------------------------------------------------
 
     def execute(
-        self, items: Sequence[tuple[int, str, str, str, int, int]]
+        self,
+        items: Sequence[tuple[int, str, str, str, int, int]],
+        trace: Trace | None = None,
     ) -> dict[int, tuple[bool, Any, int]]:
         """Explain every item on the pool; reassemble positionally.
 
@@ -382,6 +413,11 @@ class ParallelBatchExecutor:
                 tuples.  Indexes are caller-chosen and only used to key the
                 result mapping; entities and measure names must already be
                 validated against the live KB.
+            trace: optional batch trace.  When present the whole dispatch is
+                recorded as a ``dispatch`` span, the trace ID is propagated
+                into every worker chunk, and the workers' spans are shipped
+                back and grafted under the dispatch span — one trace covers
+                the fleet.
 
         Returns:
             ``{index: (ok, ranked_tuple | RexError, replica_version)}`` —
@@ -410,21 +446,43 @@ class ParallelBatchExecutor:
         ]
         results: dict[int, tuple[bool, Any, int]] = {}
         batch_cpu: dict[int, float] = {}
+        trace_id = trace.trace_id if trace is not None else None
+        dispatch_span = trace.span("dispatch") if trace is not None else None
         try:
+            if dispatch_span is not None:
+                dispatch_span.__enter__()
             # submit is inside the guard too: a pool whose worker already
             # died rejects new work with BrokenProcessPool right here
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            futures = [pool.submit(_run_chunk, chunk, trace_id) for chunk in chunks]
             for future in futures:
-                pid, cpu_seconds, replica_version, chunk_results = future.result()
+                pid, cpu_seconds, replica_version, chunk_results, export = future.result()
                 batch_cpu[pid] = batch_cpu.get(pid, 0.0) + cpu_seconds
                 for index, ok, value in chunk_results:
                     results[index] = (ok, value, replica_version)
+                if export is not None and trace is not None and isinstance(dispatch_span, Span):
+                    worker_wall_start, spans = export
+                    # rebase the worker's trace-relative offsets onto this
+                    # trace's timeline via the shared wall clock, clamped to
+                    # the dispatch span's start so minor clock skew cannot
+                    # make a child precede its parent
+                    offset = max(
+                        worker_wall_start - trace.started_wall,
+                        dispatch_span.start_s or 0.0,
+                    )
+                    trace.graft(
+                        spans,
+                        parent_index=dispatch_span.index,
+                        base_offset_s=offset,
+                    )
         except BrokenProcessPool as crash:
             self._poison(pool)
             raise WorkerCrashError(
                 f"a worker process died while executing a batch of "
                 f"{len(items)} items: {crash}"
             ) from crash
+        finally:
+            if dispatch_span is not None:
+                dispatch_span.__exit__(None, None, None)
         with self._lock:
             self.stats.chunks += len(chunks)
             self.stats.last_batch_worker_cpu_s = dict(batch_cpu)

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.kb.compiled import CompiledKB
 from repro.kb.graph import KnowledgeBase
+from repro.obs.trace import span
 
 __all__ = [
     "kb_to_payload",
@@ -66,8 +67,9 @@ def kb_to_payload(kb: KnowledgeBase | CompiledKB) -> tuple[Any, ...]:
     it was taken at; the executor keys worker replicas on it to decide when a
     pool must be recycled.
     """
-    compiled = CompiledKB.compile(kb)
-    return (PAYLOAD_FORMAT, *compiled.to_buffers())
+    with span("snapshot_build"):
+        compiled = CompiledKB.compile(kb)
+        return (PAYLOAD_FORMAT, *compiled.to_buffers())
 
 
 def checkpoint_payload(path: str) -> tuple[Any, ...]:

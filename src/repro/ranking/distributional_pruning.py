@@ -40,6 +40,7 @@ from repro.errors import RankingError
 from repro.kb.graph import KnowledgeBase
 from repro.kb.sql import count_qualifying_end_entities, sweep_position_count
 from repro.measures.aggregate import CountMeasure
+from repro.obs.trace import span
 from repro.ranking.general import RankedExplanation, RankingResult, _sort_key
 
 __all__ = ["PositionComputation", "rank_by_local_position", "rank_by_global_position"]
@@ -103,56 +104,65 @@ def _rank_by_position(
     total_bindings = 0
     pruned_out = 0
 
-    for explanation in explanations:
-        own_count = count_measure.raw_value(kb, explanation, v_start, v_end)
-        bound: int | None = None
-        if prune and len(scored) >= k:
-            # Current k-th best position (scores are negative positions).
-            bound = int(-scored[k - 1].value)
-        position = 0
-        exact = True
-        start_entities = start_entities_for(explanation)
-        if bound is None:
-            if executor is not None:
-                # shard the sweep's start entities across worker processes;
-                # partial positions sum because (start, end) groups are
-                # disjoint across start-entity shards
-                position, shard_bindings = executor.sweep_positions(
-                    explanation.pattern,
-                    list(start_entities),
-                    own_count,
-                    v_start,
-                    v_end,
-                )
-                total_bindings += shard_bindings
+    # One span covers the whole candidate sweep: per-candidate spans would
+    # aggregate anyway (same name, same parent) while costing a context
+    # manager entry per explanation on the hot loop.
+    with span("ranking_sweep"):
+        for explanation in explanations:
+            own_count = count_measure.raw_value(kb, explanation, v_start, v_end)
+            bound: int | None = None
+            if prune and len(scored) >= k:
+                # Current k-th best position (scores are negative positions).
+                bound = int(-scored[k - 1].value)
+            position = 0
+            exact = True
+            start_entities = start_entities_for(explanation)
+            if bound is None:
+                if executor is not None:
+                    # shard the sweep's start entities across worker processes;
+                    # partial positions sum because (start, end) groups are
+                    # disjoint across start-entity shards
+                    position, shard_bindings = executor.sweep_positions(
+                        explanation.pattern,
+                        list(start_entities),
+                        own_count,
+                        v_start,
+                        v_end,
+                    )
+                    total_bindings += shard_bindings
+                else:
+                    # No pruning bound applies: evaluate every start entity in
+                    # one batched sweep (the pattern is compiled once and the
+                    # traversal shared) instead of one matcher run per start.
+                    # On a compiled backend the tally never leaves handle space.
+                    position, swept_bindings = sweep_position_count(
+                        kb, explanation.pattern, start_entities, own_count, v_start, v_end
+                    )
+                    total_bindings += swept_bindings
             else:
-                # No pruning bound applies: evaluate every start entity in one
-                # batched sweep (the pattern is compiled once and the traversal
-                # shared) instead of one matcher run per start.  On a compiled
-                # backend the tally never leaves handle space.
-                position, swept_bindings = sweep_position_count(
-                    kb, explanation.pattern, start_entities, own_count, v_start, v_end
-                )
-                total_bindings += swept_bindings
-        else:
-            for start_entity in start_entities:
-                exclude_end = v_end if start_entity == v_start else None
-                remaining_bound = bound - position
-                if remaining_bound < 0:
-                    exact = False
-                    break
-                outcome = _position_for_start(
-                    kb, explanation, start_entity, own_count, exclude_end, remaining_bound
-                )
-                total_bindings += outcome.bindings_enumerated
-                position += outcome.position
-                if not outcome.exact:
-                    exact = False
-                    break
-        if not exact and bound is not None and position > bound:
-            pruned_out += 1
-            continue
-        insort(scored, RankedExplanation(explanation, float(-position)), key=_sort_key)
+                for start_entity in start_entities:
+                    exclude_end = v_end if start_entity == v_start else None
+                    remaining_bound = bound - position
+                    if remaining_bound < 0:
+                        exact = False
+                        break
+                    outcome = _position_for_start(
+                        kb,
+                        explanation,
+                        start_entity,
+                        own_count,
+                        exclude_end,
+                        remaining_bound,
+                    )
+                    total_bindings += outcome.bindings_enumerated
+                    position += outcome.position
+                    if not outcome.exact:
+                        exact = False
+                        break
+            if not exact and bound is not None and position > bound:
+                pruned_out += 1
+                continue
+            insort(scored, RankedExplanation(explanation, float(-position)), key=_sort_key)
 
     return RankingResult(
         ranked=scored[:k],

@@ -18,6 +18,7 @@ from repro.enumeration.framework import DEFAULT_SIZE_LIMIT, enumerate_explanatio
 from repro.errors import RankingError
 from repro.kb.graph import KnowledgeBase
 from repro.measures.base import Measure
+from repro.obs.trace import span
 
 __all__ = ["RankedExplanation", "RankingResult", "rank_explanations", "score_explanations"]
 
@@ -70,11 +71,12 @@ def score_explanations(
     v_end: str,
 ) -> list[RankedExplanation]:
     """Score every explanation with ``measure`` and sort descending."""
-    scored = [
-        RankedExplanation(explanation, measure.value(kb, explanation, v_start, v_end))
-        for explanation in explanations
-    ]
-    return sorted(scored, key=_sort_key)
+    with span("ranking_sweep"):
+        scored = [
+            RankedExplanation(explanation, measure.value(kb, explanation, v_start, v_end))
+            for explanation in explanations
+        ]
+        return sorted(scored, key=_sort_key)
 
 
 def rank_explanations(

@@ -184,6 +184,7 @@ class VersionedLRUCache:
             {
                 "size": size,
                 "capacity": self.capacity,
+                "occupancy": round(size / self.capacity, 4) if self.capacity else 0.0,
                 "ttl_seconds": self.ttl_seconds,
                 "hit_rate": round(self.stats.hit_rate, 4),
             }

@@ -27,7 +27,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -40,10 +40,11 @@ from repro.kb.compiled import CompiledKB
 from repro.kb.graph import Edge, KnowledgeBase
 from repro.kb.store import KnowledgeBaseStore
 from repro.measures.base import Measure
+from repro.obs.trace import PhaseTiming, Trace, Tracer, current_trace, span
 from repro.parallel import ParallelBatchExecutor
 from repro.ranking.general import RankedExplanation
 from repro.service.cache import VersionedLRUCache
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
 
 __all__ = ["ExplainOutcome", "ExplanationEngine", "DEFAULT_MEASURE"]
 
@@ -80,6 +81,14 @@ class ExplainOutcome:
         coalesced: ``True`` when this caller waited on another caller's
             in-flight computation instead of running its own.
         elapsed_s: wall time this caller spent inside the engine.
+        trace_id: ID of the trace this request recorded into, when it was
+            sampled (or forced via ``explain(..., profile=True)``); ``None``
+            otherwise.  The full span tree lives in the engine tracer's ring
+            buffer (``GET /debug/traces``).
+        phases: EXPLAIN-style per-phase timing breakdown — ``(name,
+            seconds, count)`` rows aggregated over the trace's spans — empty
+            when the request was not traced.  Excluded from the serialized
+            wire envelope so cached/uncached responses stay byte-identical.
     """
 
     ranked: tuple[RankedExplanation, ...]
@@ -92,6 +101,8 @@ class ExplainOutcome:
     cached: bool
     coalesced: bool
     elapsed_s: float
+    trace_id: str | None = field(default=None, compare=False)
+    phases: tuple[PhaseTiming, ...] = field(default=(), compare=False)
 
 
 class _InFlight:
@@ -189,6 +200,10 @@ class ExplanationEngine:
             (i.e. on version bumps), and :meth:`close` flushes a final one.
             Checkpoint failures never fail requests — the engine degrades to
             memory-only serving and reports it via :meth:`durability`.
+        tracer: optional :class:`~repro.obs.trace.Tracer` controlling request
+            tracing (sample rate, ring-buffer capacity).  Default: a tracer
+            configured from ``REX_TRACE_SAMPLE`` / ``REX_TRACE_BUFFER``
+            feeding per-phase histograms into this engine's registry.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -209,8 +224,15 @@ class ExplanationEngine:
         store: KnowledgeBaseStore | None = None,
         store_path: str | Path | None = None,
         checkpoint_dir: str | Path | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Request tracing: sampling, the trace ring buffer, phase histograms.
+        #: A default tracer reads REX_TRACE_SAMPLE / REX_TRACE_BUFFER; pass
+        #: one explicitly to force sampling (profiling, tests).
+        self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
+        if self.tracer.metrics is None:
+            self.tracer.metrics = self.metrics
         # -- durability state (set up before boot so boot can record into it)
         if store is not None and store_path is not None:
             raise RexError("pass either store or store_path, not both")
@@ -275,6 +297,11 @@ class ExplanationEngine:
         self._parallel_retries = self.metrics.counter("engine.parallel_retries")
         self._compiles = self.metrics.counter("engine.kb_compiles")
         self._latency = self.metrics.histogram("engine.explain_latency")
+        # per-measure labeled histograms, handle-cached so the hot path never
+        # takes the registry lock (entries appear on the first miss per
+        # measure; cache hits are excluded — their latency is the cache's,
+        # not the measure's)
+        self._latency_by_measure: dict[str, LatencyHistogram] = {}
         # KB / compiled-core gauges (created eagerly so /metrics shows zeros,
         # refreshed on every compile)
         self._gauge_entities = self.metrics.gauge("kb.entities")
@@ -319,8 +346,16 @@ class ExplanationEngine:
         measure: str | Measure = DEFAULT_MEASURE,
         k: int = 10,
         size_limit: int | None = None,
+        profile: bool = False,
     ) -> ExplainOutcome:
         """Answer one explain request, through cache and single-flight.
+
+        With ``profile=True`` the request is traced unconditionally (ignoring
+        the tracer's sample rate) and the returned outcome carries the
+        per-phase timing breakdown in ``phases`` — the EXPLAIN mode the
+        ``rex-explain profile`` subcommand builds on.  At the default sample
+        rate only 1-in-N requests pay for a trace; the rest touch a single
+        shared no-op span object.
 
         Raises:
             RexError: for invalid arguments (unknown measure, bad ``k``) or
@@ -328,6 +363,7 @@ class ExplanationEngine:
         """
         started = time.perf_counter()
         self._requests.inc()
+        trace = self.tracer.maybe_start("explain", force=profile)
         try:
             measure_obj, effective_limit = self._validate_request(
                 v_start, v_end, measure, k, size_limit
@@ -335,11 +371,20 @@ class ExplanationEngine:
             version = self._rex.kb.version
             key = (v_start, v_end, measure_obj.name, k, effective_limit)
 
-            ranked = self.cache.get(key, version)
+            # the active trace is either our own or an enclosing one (e.g. a
+            # batch trace); on the unsampled fast path both are None and the
+            # cache lookup runs bare
+            active = trace if trace is not None else current_trace()
+            if active is None:
+                ranked = self.cache.get(key, version)
+            else:
+                with active.span("cache_lookup"):
+                    ranked = self.cache.get(key, version)
             if ranked is not None:
                 self._cache_hits.inc()
                 return self._outcome(
-                    ranked, key, version, cached=True, coalesced=False, started=started
+                    ranked, key, version, cached=True, coalesced=False,
+                    started=started, trace=active,
                 )
             self._cache_misses.inc()
 
@@ -370,6 +415,7 @@ class ExplanationEngine:
                     cached=False,
                     coalesced=True,
                     started=started,
+                    trace=active,
                 )
 
             try:
@@ -392,11 +438,18 @@ class ExplanationEngine:
                     self._inflight.pop(flight_key, None)
                 flight.event.set()
             return self._outcome(
-                ranked, key, computed_version, cached=False, coalesced=False, started=started
+                ranked, key, computed_version, cached=False, coalesced=False,
+                started=started, trace=active,
             )
-        except Exception:
+        except Exception as error:
             self._errors.inc()
+            if trace is not None:
+                self.tracer.finish(trace, error=f"{type(error).__name__}: {error}")
+                trace = None
             raise
+        finally:
+            if trace is not None:
+                self.tracer.finish(trace)
 
     def explain_batch(
         self,
@@ -421,25 +474,33 @@ class ExplanationEngine:
                 mid-batch; no partial results are returned and the pool is
                 recycled on the next batch.
         """
-        use_parallel = self.parallelism >= 2 and parallel is not False
-        if use_parallel:
-            return self._explain_batch_parallel(requests)
-        results: list[ExplainOutcome | RexError] = []
-        for request in requests:
-            try:
-                self._validate_request_shape(request)
-                results.append(
-                    self.explain(
-                        request["start"],
-                        request["end"],
-                        measure=request.get("measure", DEFAULT_MEASURE),
-                        k=request.get("k", 10),
-                        size_limit=request.get("size_limit"),
+        # one trace covers the whole batch: per-item explain() calls (and, in
+        # parallel mode, the executor dispatch plus the workers' own spans)
+        # all nest under it instead of sampling individually
+        batch_trace = self.tracer.maybe_start("explain_batch")
+        try:
+            use_parallel = self.parallelism >= 2 and parallel is not False
+            if use_parallel:
+                return self._explain_batch_parallel(requests)
+            results: list[ExplainOutcome | RexError] = []
+            for request in requests:
+                try:
+                    self._validate_request_shape(request)
+                    results.append(
+                        self.explain(
+                            request["start"],
+                            request["end"],
+                            measure=request.get("measure", DEFAULT_MEASURE),
+                            k=request.get("k", 10),
+                            size_limit=request.get("size_limit"),
+                        )
                     )
-                )
-            except RexError as error:
-                results.append(error)
-        return results
+                except RexError as error:
+                    results.append(error)
+            return results
+        finally:
+            if batch_trace is not None:
+                self.tracer.finish(batch_trace)
 
     def _explain_batch_parallel(
         self, requests: Sequence[Mapping[str, Any]]
@@ -468,6 +529,7 @@ class ExplanationEngine:
         to a worker (which could not reconstruct them faithfully).
         """
         started = time.perf_counter()
+        active = current_trace()
         results: list[ExplainOutcome | RexError | None] = [None] * len(requests)
         positions_by_key: dict[tuple, list[int]] = {}
         for position, request in enumerate(requests):
@@ -510,11 +572,16 @@ class ExplanationEngine:
                 effective_limit,
             )
             version = self._rex.kb.version
-            ranked = self.cache.get(key, version)
+            if active is None:
+                ranked = self.cache.get(key, version)
+            else:
+                with active.span("cache_lookup"):
+                    ranked = self.cache.get(key, version)
             if ranked is not None:
                 self._cache_hits.inc()
                 results[position] = self._outcome(
-                    ranked, key, version, cached=True, coalesced=False, started=started
+                    ranked, key, version, cached=True, coalesced=False,
+                    started=started, trace=active,
                 )
                 continue
             self._cache_misses.inc()
@@ -525,7 +592,7 @@ class ExplanationEngine:
             executor = self._ensure_executor()
             keys = list(positions_by_key)
             items = [(index, *key) for index, key in enumerate(keys)]
-            outcomes = executor.execute(items)
+            outcomes = executor.execute(items, trace=active)
             for index, key in enumerate(keys):
                 ok, value, replica_version = outcomes[index]
                 positions = positions_by_key[key]
@@ -566,6 +633,7 @@ class ExplanationEngine:
                         cached=False,
                         coalesced=coalesced,
                         started=started,
+                        trace=active,
                     )
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -774,6 +842,7 @@ class ExplanationEngine:
         if executor is not None:
             payload["parallel"].update(executor.snapshot())
         payload["durability"] = self.durability()
+        payload["traces"] = self.tracer.snapshot()
         return payload
 
     # -- durability internals ----------------------------------------------
@@ -1041,7 +1110,8 @@ class ExplanationEngine:
         with self._compile_lock:
             entry = self._compiled_versions.get(version)
             if entry is None:
-                fresh = CompiledKB.compile(self._rex.kb)
+                with span("kb_compile"):
+                    fresh = CompiledKB.compile(self._rex.kb)
                 entry = Rex(fresh, size_limit=self.size_limit)
                 self._compiled_versions[version] = entry
                 # backstop cap: writers purge via add_edges, but an embedder
@@ -1178,10 +1248,21 @@ class ExplanationEngine:
         cached: bool,
         coalesced: bool,
         started: float,
+        trace: Trace | None = None,
     ) -> ExplainOutcome:
         elapsed = time.perf_counter() - started
         self._latency.observe(elapsed)
         v_start, v_end, measure_name, k, size_limit = key
+        if not cached:
+            # per-measure labeled histogram, excluding cache hits (their
+            # latency reflects the cache, not the measure's pipeline); the
+            # handle cache keeps the registry lock off the serving path
+            hist = self._latency_by_measure.get(measure_name)
+            if hist is None:
+                hist = self._latency_by_measure[measure_name] = self.metrics.histogram(
+                    f"engine.explain_latency{{measure={measure_name}}}"
+                )
+            hist.observe(elapsed)
         return ExplainOutcome(
             ranked=ranked,
             v_start=v_start,
@@ -1193,4 +1274,6 @@ class ExplanationEngine:
             cached=cached,
             coalesced=coalesced,
             elapsed_s=elapsed,
+            trace_id=trace.trace_id if trace is not None else None,
+            phases=trace.phase_breakdown() if trace is not None else (),
         )

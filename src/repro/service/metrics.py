@@ -133,14 +133,24 @@ class LatencyHistogram:
             return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (``0 < q <= 1``) of observed durations."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of observed durations.
+
+        Defined at the edges: an empty histogram and ``q = 0`` both return
+        ``0.0`` (there is no smaller observed duration), ``q = 1`` returns
+        the maximum observed duration.  A ``q`` outside ``[0, 1]`` — which
+        has no quantile interpretation at all — raises :class:`ValueError`.
+        """
+        if (
+            not isinstance(q, (int, float))
+            or isinstance(q, bool)
+            or not 0.0 <= q <= 1.0
+        ):
+            raise ValueError(f"quantile must be a number in [0, 1], got {q!r}")
         with self._lock:
             total = self._count
             counts = list(self._counts)
             maximum = self._max
-        if total == 0:
+        if total == 0 or q == 0.0:
             return 0.0
         target = q * total
         cumulative = 0
@@ -157,6 +167,16 @@ class LatencyHistogram:
                 fraction = (target - previous) / bucket_count
                 return min(lower + fraction * (upper - lower), maximum)
         return maximum  # pragma: no cover - cumulative always reaches total
+
+    def buckets_snapshot(self) -> tuple[tuple[float, ...], list[int], int, float]:
+        """Raw ``(bounds, per-bucket counts, total count, sum)`` of the data.
+
+        The Prometheus text renderer builds its cumulative ``_bucket`` series
+        from this; the final entry of the counts list is the overflow bucket
+        past the last bound (rendered as ``le="+Inf"``).
+        """
+        with self._lock:
+            return self._bounds, list(self._counts), self._count, self._sum
 
     def snapshot(self) -> dict[str, Any]:
         """Summary statistics for ``/metrics``."""
@@ -211,6 +231,18 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
             return histogram
+
+    def instruments(
+        self,
+    ) -> tuple[dict[str, Counter], dict[str, Gauge], dict[str, LatencyHistogram]]:
+        """Shallow copies of the live instrument maps (for other renderers).
+
+        The Prometheus exposition uses this instead of :meth:`snapshot`: it
+        needs the raw bucket counts, which the JSON summary deliberately
+        collapses into quantiles.
+        """
+        with self._lock:
+            return dict(self._counters), dict(self._gauges), dict(self._histograms)
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments rendered to plain JSON-ready values."""

@@ -24,7 +24,19 @@ Endpoints:
     stale cache entries were purged.
 ``GET /metrics``
     Engine counters, latency histograms, cache statistics and per-endpoint
-    HTTP counters as one JSON document.
+    HTTP counters as one JSON document.  ``?format=prometheus`` renders the
+    same registry in the Prometheus text exposition format 0.0.4 instead.
+``GET /debug/traces``
+    The most recent sampled traces (``?limit=N``, newest first) plus tracer
+    buffer statistics — the HTTP view of ``rex-explain profile``.
+
+Observability: every request gets a ``request_id`` (the trace id when the
+request was sampled by the engine's tracer); responses that are JSON objects
+carry it as ``request_id`` so a client can quote it back.  Completed requests
+emit one structured access-log line on the ``rex.access`` logger, upgraded to
+a warning once the wall time crosses the server's ``slow_query_s`` threshold.
+Loggers are silent until :func:`repro.obs.logging.configure_logging` runs
+(the ``serve`` entry point wires ``--log-level``/``--log-json`` into it).
 
 Error mapping: invalid parameters and malformed bodies are ``400``, unknown
 entities are ``404``, unknown routes are ``404`` with an ``error`` body, a
@@ -32,7 +44,9 @@ batch larger than the server's ``max_batch_requests`` is ``413``, a body
 with a missing or over-limit ``Content-Length`` is ``413`` before a single
 body byte is read, a crashed worker process is ``500``, and unexpected
 failures are ``500``.  Every error body is ``{"error": message}`` — a
-failure never leaves the client with a hung connection.
+failure never leaves the client with a hung connection, and an unhandled
+exception is logged with its traceback and request id on ``rex.server``
+instead of being swallowed or dumped bare to stderr.
 
 :func:`serve` installs SIGTERM/SIGINT handlers: instead of dying mid-write,
 the process stops accepting connections, flushes a final compiled-plane
@@ -43,8 +57,13 @@ which is idempotent, so a signal racing the ``finally`` block is safe).
 from __future__ import annotations
 
 import json
+import logging
+import os
 import signal
+import sys
 import threading
+import time
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
@@ -52,6 +71,18 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import RexError, UnknownEntityError
 from repro.kb.graph import KnowledgeBase
+from repro.obs.logging import (
+    ACCESS_LOGGER_NAME,
+    SERVER_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.obs.trace import Tracer
 from repro.parallel import WorkerCrashError
 from repro.service.engine import DEFAULT_MEASURE, ExplanationEngine
 from repro.service.serialize import outcome_to_dict
@@ -67,6 +98,9 @@ MAX_BODY_BYTES = 1 << 20
 #: one runaway client must not monopolise the worker pool for minutes.
 MAX_BATCH_REQUESTS = 1024
 
+#: Requests slower than this (seconds) log at WARNING on ``rex.access``.
+DEFAULT_SLOW_QUERY_S = float(os.environ.get("REX_SLOW_QUERY_S", "1.0"))
+
 
 class ExplanationServer(ThreadingHTTPServer):
     """A threading HTTP server that owns an :class:`ExplanationEngine`."""
@@ -80,12 +114,15 @@ class ExplanationServer(ThreadingHTTPServer):
         engine: ExplanationEngine,
         verbose: bool = False,
         max_batch_requests: int = MAX_BATCH_REQUESTS,
+        slow_query_s: float = DEFAULT_SLOW_QUERY_S,
     ) -> None:
         # assigned before binding: a failed bind runs server_close, which
         # must already see the engine to release its worker pool
         self.engine = engine
         self.verbose = verbose
         self.max_batch_requests = max_batch_requests
+        self.slow_query_s = slow_query_s
+        self.started_at = time.time()
         super().__init__(address, _ExplainHandler)
 
     @property
@@ -98,6 +135,26 @@ class ExplanationServer(ThreadingHTTPServer):
         """Close the listening socket and release the engine's worker pool."""
         super().server_close()
         self.engine.close()
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        """Log per-connection failures instead of dumping a bare traceback.
+
+        Clients hanging up mid-response (``BrokenPipeError``,
+        ``ConnectionResetError``) are routine for a keep-alive server and are
+        dropped silently; anything else is a server bug and is logged with
+        its traceback on ``rex.server``.
+        """
+        exc_type, exc, _ = sys.exc_info()
+        if exc_type is not None and issubclass(exc_type, ConnectionError):
+            return
+        log_event(
+            get_logger(SERVER_LOGGER_NAME),
+            logging.ERROR,
+            "connection_error",
+            client=str(client_address),
+            error=f"{exc_type.__name__}: {exc}" if exc_type else "unknown",
+            trace="".join(traceback.format_exc()),
+        )
 
 
 class _ExplainHandler(BaseHTTPRequestHandler):
@@ -120,7 +177,9 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         if parts.path == "/healthz":
             self._handle("GET /healthz", self._healthz)
         elif parts.path == "/metrics":
-            self._handle("GET /metrics", self._metrics)
+            self._handle("GET /metrics", self._metrics, parse_qs(parts.query))
+        elif parts.path == "/debug/traces":
+            self._handle("GET /debug/traces", self._debug_traces, parse_qs(parts.query))
         elif parts.path == "/explain":
             self._handle("GET /explain", self._explain, parse_qs(parts.query))
         else:
@@ -146,6 +205,7 @@ class _ExplainHandler(BaseHTTPRequestHandler):
     def _healthz(self) -> tuple[int, dict[str, Any]]:
         kb = self.engine.kb
         durability = self.engine.durability()
+        traces = self.engine.tracer.snapshot()
         return 200, {
             "status": "ok",
             "kb_version": kb.version,
@@ -154,10 +214,39 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             "durability": durability["mode"],
             "checkpoint_age_s": durability["checkpoint_age_s"],
             "durability_detail": durability,
+            "uptime_s": round(
+                time.time() - getattr(self.server, "started_at", time.time()), 3
+            ),
+            "traces": {
+                "occupancy": traces["occupancy"],
+                "capacity": traces["capacity"],
+                "sample_rate": traces["sample_rate"],
+            },
         }
 
-    def _metrics(self) -> tuple[int, dict[str, Any]]:
+    def _metrics(self, query: dict[str, list[str]]) -> tuple[int, Any]:
+        exposition = _single(query, "format", "json")
+        if exposition == "prometheus":
+            # a str payload routes through _send_json's text branch with the
+            # Prometheus content type
+            return 200, render_prometheus(self.engine.metrics)
+        if exposition != "json":
+            return 400, {
+                "error": f"unknown metrics format {exposition!r}; "
+                "choose 'json' or 'prometheus'"
+            }
         return 200, self.engine.stats()
+
+    def _debug_traces(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
+        try:
+            limit = _int_param(query, "limit", 20, minimum=1)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        tracer = self.engine.tracer
+        return 200, {
+            "tracer": tracer.snapshot(),
+            "traces": tracer.recent(limit),
+        }
 
     def _explain(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
         try:
@@ -226,9 +315,24 @@ class _ExplainHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
+    #: Endpoints whose work is worth a request trace.  Read-only probes
+    #: (healthz, metrics, debug) stay out of the sampling budget.
+    _TRACED_ENDPOINTS = frozenset(
+        {"GET /explain", "POST /explain/batch", "POST /kb/edges"}
+    )
+
     def _handle(self, endpoint: str, func, *args) -> None:
         metrics = self.engine.metrics
         metrics.counter(f"http.requests{{{endpoint}}}").inc()
+        tracer = self.engine.tracer
+        trace = (
+            tracer.maybe_start(endpoint)
+            if endpoint in self._TRACED_ENDPOINTS
+            else None
+        )
+        request_id = trace.trace_id if trace is not None else os.urandom(8).hex()
+        started = time.perf_counter()
+        error_note: str | None = None
         try:
             status, payload = func(*args)
         except _BadRequest as error:
@@ -245,15 +349,69 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             # engine recycles the pool on the next batch
             self.close_connection = True
             metrics.counter("http.worker_crashes").inc()
+            error_note = f"WorkerCrashError: {error}"
             status, payload = 500, {"error": f"worker crash: {error}"}
-        except Exception as error:  # pragma: no cover - defensive 500 path
+        except Exception as error:
             # unknown failure state (possibly mid-read): do not reuse the
-            # connection
+            # connection; the traceback goes to the server log with the
+            # request id, never bare to stderr and never into the response
             self.close_connection = True
-            status, payload = 500, {"error": f"internal error: {error}"}
+            error_note = f"{type(error).__name__}: {error}"
+            log_event(
+                get_logger(SERVER_LOGGER_NAME),
+                logging.ERROR,
+                "unhandled_exception",
+                endpoint=endpoint,
+                request_id=request_id,
+                error=error_note,
+                trace=traceback.format_exc(),
+            )
+            status, payload = 500, {
+                "error": f"internal error: {error}",
+                "request_id": request_id,
+            }
+        finally:
+            if trace is not None:
+                tracer.finish(trace, error=error_note)
+        elapsed = time.perf_counter() - started
         if status >= 400:
             metrics.counter("http.errors").inc()
+        if isinstance(payload, dict):
+            payload.setdefault("request_id", request_id)
+        self._access_log(endpoint, status, elapsed, request_id, trace is not None)
         self._send_json(status, payload)
+
+    def _access_log(
+        self,
+        endpoint: str,
+        status: int,
+        elapsed: float,
+        request_id: str,
+        sampled: bool,
+    ) -> None:
+        """One structured line per completed request on ``rex.access``.
+
+        Slow requests (wall time past the server's ``slow_query_s``) upgrade
+        to WARNING with an explicit ``slow`` marker so they stand out of an
+        INFO-level stream and survive a WARNING-level one.
+        """
+        slow_after = getattr(self.server, "slow_query_s", DEFAULT_SLOW_QUERY_S)
+        slow = slow_after is not None and elapsed >= slow_after
+        logger = get_logger(ACCESS_LOGGER_NAME)
+        level = logging.WARNING if slow else logging.INFO
+        if not logger.isEnabledFor(level):
+            return
+        fields = {
+            "endpoint": endpoint,
+            "status": status,
+            "duration_ms": round(elapsed * 1000.0, 3),
+            "request_id": request_id,
+            "sampled": sampled,
+        }
+        if slow:
+            fields["slow"] = True
+            fields["slow_query_s"] = slow_after
+        log_event(logger, level, "request", **fields)
 
     def _read_json_body(self) -> dict[str, Any]:
         length_header = self.headers.get("Content-Length")
@@ -287,10 +445,22 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             raise _BadRequest("the JSON body must be an object")
         return document
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(self, status: int, payload: dict[str, Any] | str) -> None:
+        if isinstance(payload, str):
+            # pre-rendered text exposition (Prometheus format)
+            self._send_text(status, payload, PROMETHEUS_CONTENT_TYPE)
+            return
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -349,6 +519,7 @@ def create_server(
     port: int = 0,
     verbose: bool = False,
     max_batch_requests: int = MAX_BATCH_REQUESTS,
+    slow_query_s: float = DEFAULT_SLOW_QUERY_S,
 ) -> ExplanationServer:
     """Bind an :class:`ExplanationServer` (``port=0`` picks an ephemeral port).
 
@@ -356,7 +527,11 @@ def create_server(
     on a background thread) and ``shutdown()`` when done.
     """
     return ExplanationServer(
-        (host, port), engine, verbose=verbose, max_batch_requests=max_batch_requests
+        (host, port),
+        engine,
+        verbose=verbose,
+        max_batch_requests=max_batch_requests,
+        slow_query_s=slow_query_s,
     )
 
 
@@ -399,6 +574,10 @@ def serve(
     parallelism: int | None = None,
     store_path: str | Path | None = None,
     checkpoint_dir: str | Path | None = None,
+    log_level: str | None = None,
+    log_json: bool = False,
+    slow_query_s: float = DEFAULT_SLOW_QUERY_S,
+    trace_sample: float | None = None,
 ) -> None:
     """Blocking convenience entry point: build an engine and serve forever.
 
@@ -406,7 +585,14 @@ def serve(
     tier (checkpoint first, SQLite replay second, the passed ``kb`` only as
     bootstrap seed) and SIGTERM/SIGINT trigger a graceful shutdown that
     flushes a final checkpoint instead of dying mid-write.
+
+    ``log_level``/``log_json`` configure the ``rex`` logger hierarchy (access
+    and server logs are silent unless a level is given); ``slow_query_s``
+    sets the access-log slow-request threshold and ``trace_sample``
+    overrides the tracer's sampling rate (1.0 traces every request).
     """
+    if log_level is not None:
+        configure_logging(level=log_level, json_lines=log_json)
     engine_kwargs: dict[str, Any] = {
         "cache_capacity": cache_capacity,
         "cache_ttl": cache_ttl,
@@ -416,9 +602,13 @@ def serve(
     }
     if size_limit is not None:
         engine_kwargs["size_limit"] = size_limit
+    if trace_sample is not None:
+        engine_kwargs["tracer"] = Tracer(sample_rate=trace_sample)
     engine = ExplanationEngine(kb, **engine_kwargs)
     # bind before the (potentially long) warmup so a taken port fails fast
-    server = create_server(engine, host=host, port=port, verbose=verbose)
+    server = create_server(
+        engine, host=host, port=port, verbose=verbose, slow_query_s=slow_query_s
+    )
     previous_handlers = _install_shutdown_handlers(server)
     if warmup_pairs:
         summary = engine.warmup(warmup_pairs)

@@ -1,0 +1,252 @@
+"""HTTP-level observability tests: Prometheus exposition, /debug/traces,
+request IDs, structured error/access logging, healthz uptime."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets.paper_example import paper_example_kb
+from repro.obs.logging import (
+    ACCESS_LOGGER_NAME,
+    ROOT_LOGGER_NAME,
+    SERVER_LOGGER_NAME,
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.trace import Tracer
+from repro.service import ExplanationEngine, create_server, run_in_thread
+
+from test_obs_prometheus import parse_exposition
+
+
+@pytest.fixture()
+def traced_service():
+    """A live server whose engine traces every request."""
+    engine = ExplanationEngine(
+        paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=1.0)
+    )
+    server = create_server(engine, port=0)
+    run_in_thread(server)
+    try:
+        yield engine, server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+@pytest.fixture()
+def capture_logs():
+    """Capture `rex.*` log records as JSON lines; restores logger state."""
+    stream = io.StringIO()
+    root = get_logger(ROOT_LOGGER_NAME)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    previous_level = root.level
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG)
+    try:
+        yield stream
+    finally:
+        root.removeHandler(handler)
+        root.setLevel(previous_level)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _log_events(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines() if line]
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_parses_with_declared_content_type(self, traced_service):
+        engine, server = traced_service
+        engine.explain("brad_pitt", "angelina_jolie", k=3)
+        with urllib.request.urlopen(
+            server.url + "/metrics?format=prometheus", timeout=30
+        ) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        parsed = parse_exposition(body)
+        samples = parsed["samples"]
+        assert any(value >= 1 for _, value in samples["rex_engine_requests_total"])
+        # the per-phase trace histograms made it into the exposition
+        assert "rex_obs_phase_seconds_bucket" in samples
+
+    def test_json_remains_the_default(self, traced_service):
+        _, server = traced_service
+        status, payload = _get(server.url + "/metrics")
+        assert status == 200
+        assert "counters" in payload and "cache" in payload
+
+    def test_unknown_format_is_rejected(self, traced_service):
+        _, server = traced_service
+        status, payload = _get(server.url + "/metrics?format=xml")
+        assert status == 400
+        assert "unknown metrics format" in payload["error"]
+
+
+class TestDebugTraces:
+    def test_recent_traces_visible(self, traced_service):
+        engine, server = traced_service
+        outcome = engine.explain("brad_pitt", "angelina_jolie", k=3)
+        assert outcome.trace_id is not None
+        status, payload = _get(server.url + "/debug/traces?limit=5")
+        assert status == 200
+        assert payload["tracer"]["occupancy"] >= 1
+        trace_ids = {trace["trace_id"] for trace in payload["traces"]}
+        assert outcome.trace_id in trace_ids
+        phases = {
+            span["name"]
+            for trace in payload["traces"]
+            for span in trace["spans"]
+        }
+        assert "path_enum" in phases
+
+    def test_limit_validated(self, traced_service):
+        _, server = traced_service
+        status, payload = _get(server.url + "/debug/traces?limit=0")
+        assert status == 400
+        assert "limit" in payload["error"]
+
+
+class TestHealthzObservability:
+    def test_uptime_and_trace_buffer(self, traced_service):
+        _, server = traced_service
+        status, payload = _get(server.url + "/healthz")
+        assert status == 200
+        assert payload["uptime_s"] >= 0.0
+        assert payload["traces"]["capacity"] >= 1
+        assert payload["traces"]["sample_rate"] == 1.0
+        assert payload["traces"]["occupancy"] >= 0
+
+
+class TestRequestIds:
+    def test_every_json_response_carries_a_request_id(self, traced_service):
+        _, server = traced_service
+        for path in ("/healthz", "/metrics", "/explain?start=brad_pitt&end=angelina_jolie"):
+            _, payload = _get(server.url + path)
+            assert payload["request_id"], path
+
+    def test_traced_request_id_is_the_trace_id(self, traced_service):
+        _, server = traced_service
+        _, payload = _get(server.url + "/explain?start=brad_pitt&end=angelina_jolie")
+        status, debug = _get(server.url + "/debug/traces?limit=10")
+        assert status == 200
+        trace_ids = {trace["trace_id"] for trace in debug["traces"]}
+        assert payload["request_id"] in trace_ids
+
+
+class TestStructuredErrors:
+    def test_unhandled_exception_logs_traceback_and_returns_json_500(
+        self, traced_service, capture_logs
+    ):
+        engine, server = traced_service
+        original = engine.stats
+        engine.stats = lambda: (_ for _ in ()).throw(RuntimeError("kaput"))
+        try:
+            status, payload = _get(server.url + "/metrics")
+        finally:
+            engine.stats = original
+        assert status == 500
+        assert "internal error" in payload["error"]
+        assert payload["request_id"]
+        events = [
+            event
+            for event in _log_events(capture_logs)
+            if event["event"] == "unhandled_exception"
+        ]
+        assert len(events) == 1
+        event = events[0]
+        assert event["logger"] == SERVER_LOGGER_NAME
+        assert event["request_id"] == payload["request_id"]
+        assert "RuntimeError: kaput" in event["error"]
+        assert "Traceback" in event["trace"]
+
+    def test_client_error_is_not_an_unhandled_exception(
+        self, traced_service, capture_logs
+    ):
+        _, server = traced_service
+        status, _ = _get(server.url + "/explain?start=nobody&end=nothing")
+        assert status == 404
+        assert not [
+            event
+            for event in _log_events(capture_logs)
+            if event["event"] == "unhandled_exception"
+        ]
+
+
+class TestAccessLog:
+    def test_one_structured_line_per_request(self, traced_service, capture_logs):
+        _, server = traced_service
+        _get(server.url + "/healthz")
+        _get(server.url + "/explain?start=brad_pitt&end=angelina_jolie")
+        events = [
+            event for event in _log_events(capture_logs) if event["event"] == "request"
+        ]
+        assert len(events) == 2
+        by_endpoint = {event["endpoint"]: event for event in events}
+        assert by_endpoint["GET /healthz"]["status"] == 200
+        explain = by_endpoint["GET /explain"]
+        assert explain["logger"] == ACCESS_LOGGER_NAME
+        assert explain["duration_ms"] >= 0.0
+        assert explain["sampled"] is True
+        assert explain["request_id"]
+
+    def test_slow_requests_upgrade_to_warning(self, capture_logs):
+        engine = ExplanationEngine(
+            paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=0.0)
+        )
+        # a zero threshold marks every request slow
+        server = create_server(engine, port=0, slow_query_s=0.0)
+        run_in_thread(server)
+        try:
+            _get(server.url + "/healthz")
+        finally:
+            server.shutdown()
+            server.server_close()
+        events = [
+            event for event in _log_events(capture_logs) if event["event"] == "request"
+        ]
+        assert events and all(event["level"] == "warning" for event in events)
+        assert all(event["slow"] is True for event in events)
+
+
+class TestConfigureLogging:
+    def test_levels_and_json_lines(self):
+        stream = io.StringIO()
+        root = get_logger(ROOT_LOGGER_NAME)
+        saved_handlers = list(root.handlers)
+        saved_level = root.level
+        saved_propagate = root.propagate
+        try:
+            configure_logging(level="warning", json_lines=True, stream=stream)
+            logger = get_logger(SERVER_LOGGER_NAME)
+            logger.info("invisible")
+            logger.warning("visible")
+            lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+            assert len(lines) == 1
+            assert lines[0]["level"] == "warning"
+            with pytest.raises(ValueError):
+                configure_logging(level="verbose")
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            for handler in saved_handlers:
+                root.addHandler(handler)
+            root.setLevel(saved_level)
+            root.propagate = saved_propagate

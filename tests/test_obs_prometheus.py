@@ -1,0 +1,158 @@
+"""Tests for the Prometheus text exposition (`repro.obs.prometheus`).
+
+Includes a miniature text-format (0.0.4) parser: every sample line must be
+``name{labels} value`` with a valid metric name, every family must be
+announced by ``# HELP``/``# TYPE``, and histograms must render monotone
+cumulative buckets capped by a ``+Inf`` bucket equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.service.metrics import MetricsRegistry
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text format into {metric_name: [(labels, value)]}.
+
+    Raises AssertionError on any line that is not valid exposition — the
+    test-suite equivalent of a scraper rejecting the endpoint.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            assert kind in {"counter", "gauge", "histogram"}, line
+            typed[family] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name = match.group("name")
+        assert _NAME.match(name), name
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for part in raw.split(","):
+                label = _LABEL.match(part)
+                assert label, f"bad label pair {part!r} in {line!r}"
+                labels[label.group("key")] = label.group("value")
+        value = float(match.group("value").replace("+Inf", "inf"))
+        samples.setdefault(name, []).append((labels, value))
+    for family, kind in typed.items():
+        assert family in helped, f"# TYPE without # HELP for {family}"
+        if kind == "histogram":
+            assert f"{family}_bucket" in samples, family
+            assert f"{family}_sum" in samples, family
+            assert f"{family}_count" in samples, family
+        else:
+            assert family in samples, family
+    return {"samples": samples, "types": typed}
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.requests").inc(5)
+    registry.counter("http.requests{GET /explain}").inc(3)
+    registry.counter('http.requests{POST /explain/batch}').inc(2)
+    registry.gauge("engine.kb_entities").set(42)
+    hist = registry.histogram("engine.explain_latency{measure=size+monocount}")
+    for value in (0.0002, 0.004, 0.02, 1.7):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderer:
+    def test_output_parses_and_declares_content_type(self):
+        text = render_prometheus(_populated_registry())
+        parsed = parse_exposition(text)
+        assert "version=0.0.4" in CONTENT_TYPE
+        assert parsed["types"]["rex_engine_requests_total"] == "counter"
+        assert parsed["types"]["rex_engine_kb_entities"] == "gauge"
+        assert (
+            parsed["types"]["rex_engine_explain_latency_seconds"] == "histogram"
+        )
+
+    def test_flat_names_become_labels(self):
+        text = render_prometheus(_populated_registry())
+        samples = parse_exposition(text)["samples"]
+        endpoints = {
+            labels["endpoint"]: value
+            for labels, value in samples["rex_http_requests_total"]
+        }
+        assert endpoints == {"GET /explain": 3.0, "POST /explain/batch": 2.0}
+        measure_labels = [
+            labels for labels, _ in samples["rex_engine_explain_latency_seconds_count"]
+        ]
+        assert measure_labels == [{"measure": "size+monocount"}]
+
+    def test_histogram_buckets_cumulative_and_capped(self):
+        text = render_prometheus(_populated_registry())
+        samples = parse_exposition(text)["samples"]
+        buckets = samples["rex_engine_explain_latency_seconds_bucket"]
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "bucket counts must be cumulative"
+        inf = next(value for labels, value in buckets if labels["le"] == "+Inf")
+        (_, count) = samples["rex_engine_explain_latency_seconds_count"][0]
+        assert inf == count == 4.0
+        (_, total) = samples["rex_engine_explain_latency_seconds_sum"][0]
+        assert total == pytest.approx(0.0002 + 0.004 + 0.02 + 1.7)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter('weird.counter{key=va"lue\\x}').inc()
+        text = render_prometheus(registry)
+        parsed = parse_exposition(text)
+        (labels, value) = parsed["samples"]["rex_weird_counter_total"][0]
+        assert value == 1.0
+        assert labels["key"] == 'va\\"lue\\\\x'
+
+    def test_empty_registry_renders_empty_document(self):
+        text = render_prometheus(MetricsRegistry())
+        assert text == "\n"
+
+    def test_json_and_prometheus_snapshots_agree(self):
+        """The two expositions are views of the same instruments."""
+        registry = _populated_registry()
+        snapshot = registry.snapshot()
+        samples = parse_exposition(render_prometheus(registry))["samples"]
+
+        # every JSON counter appears with the same value
+        for name, value in snapshot["counters"].items():
+            base = name.split("{")[0].replace(".", "_")
+            family = f"rex_{base}_total"
+            assert any(
+                sample == float(value) for _, sample in samples[family]
+            ), name
+        # every JSON histogram count matches the _count series
+        for name, hist_snapshot in snapshot["histograms"].items():
+            base = name.split("{")[0].replace(".", "_")
+            family = f"rex_{base}_seconds_count"
+            assert any(
+                sample == float(hist_snapshot["count"])
+                for _, sample in samples[family]
+            ), name
+        for name, value in snapshot["gauges"].items():
+            base = name.split("{")[0].replace(".", "_")
+            family = f"rex_{base}"
+            assert any(sample == float(value) for _, sample in samples[family]), name

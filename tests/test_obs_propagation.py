@@ -1,0 +1,219 @@
+"""Cross-process trace propagation and tracing/output equivalence tests.
+
+The batch executor ships the coordinator's trace ID into each worker, the
+workers record their own span trees, and the coordinator grafts them back
+under its ``dispatch`` span.  These tests pin that whole loop — plus the
+invariant that tracing never changes the answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
+from repro.obs.trace import Tracer
+from repro.service.engine import ExplanationEngine
+from repro.service.serialize import outcome_to_dict
+
+REQUESTS = [{"start": start, "end": end, "k": 5} for start, end in PAPER_PAIRS[:4]]
+
+
+def _canonical(outcomes) -> str:
+    """Serialized outcomes minus ``elapsed_s`` (wall time differs run to run)."""
+    documents = []
+    for outcome in outcomes:
+        document = outcome_to_dict(outcome)
+        document.pop("elapsed_s", None)
+        documents.append(document)
+    return json.dumps(documents, sort_keys=True)
+
+
+@pytest.fixture()
+def traced_parallel_engine():
+    engine = ExplanationEngine(
+        paper_example_kb(),
+        size_limit=4,
+        parallelism=2,
+        tracer=Tracer(sample_rate=1.0),
+    )
+    try:
+        yield engine
+    finally:
+        engine.close()
+
+
+class TestWorkerSpanPropagation:
+    def test_batch_yields_one_trace_with_worker_spans(self, traced_parallel_engine):
+        engine = traced_parallel_engine
+        outcomes = engine.explain_batch(REQUESTS)
+        assert len(outcomes) == len(REQUESTS)
+
+        batch_traces = [
+            trace
+            for trace in engine.tracer.recent()
+            if trace["name"] == "explain_batch"
+        ]
+        assert len(batch_traces) == 1, "one batch must record exactly one trace"
+        trace = batch_traces[0]
+        spans = trace["spans"]
+        by_index = {index: node for index, node in enumerate(spans)}
+
+        dispatch_indices = [
+            index for index, node in enumerate(spans) if node["name"] == "dispatch"
+        ]
+        assert len(dispatch_indices) == 1
+        dispatch_index = dispatch_indices[0]
+        dispatch = by_index[dispatch_index]
+
+        workers = [node for node in spans if node["name"] == "worker"]
+        assert workers, "worker spans must be shipped back to the coordinator"
+        assert all(node["parent"] == dispatch_index for node in workers)
+        # at least one worker annotated its pid (they may share one process)
+        pids = {node["meta"]["pid"] for node in workers if node.get("meta")}
+        assert pids
+
+        # worker phase spans are parented under their worker span, and the
+        # paper's phases actually appear
+        worker_indices = {
+            index for index, node in enumerate(spans) if node["name"] == "worker"
+        }
+        child_phases = {
+            node["name"] for node in spans if node["parent"] in worker_indices
+        }
+        assert "path_enum" in child_phases
+        assert "union_merge" in child_phases
+
+    def test_worker_spans_contained_in_dispatch_window(self, traced_parallel_engine):
+        engine = traced_parallel_engine
+        engine.explain_batch(REQUESTS)
+        (trace,) = [
+            trace
+            for trace in engine.tracer.recent()
+            if trace["name"] == "explain_batch"
+        ]
+        spans = trace["spans"]
+        dispatch = next(node for node in spans if node["name"] == "dispatch")
+        dispatch_start = dispatch["start_s"]
+        dispatch_end = dispatch_start + dispatch["duration_s"]
+        workers = [node for node in spans if node["name"] == "worker"]
+        for node in workers:
+            # the graft clamps clock skew: a worker can never appear to start
+            # before the dispatch that launched it
+            assert node["start_s"] >= dispatch_start
+            # wall-clock rebasing across processes is approximate; allow a
+            # generous skew bound but require containment to first order
+            assert node["start_s"] + node["duration_s"] <= dispatch_end + 0.25
+
+    def test_worker_pool_untraced_without_sampling(self):
+        engine = ExplanationEngine(
+            paper_example_kb(),
+            size_limit=4,
+            parallelism=2,
+            tracer=Tracer(sample_rate=0.0),
+        )
+        try:
+            engine.explain_batch(REQUESTS)
+            assert engine.tracer.snapshot()["finished"] == 0
+        finally:
+            engine.close()
+
+
+class TestTracingEquivalence:
+    def test_outputs_byte_identical_with_and_without_tracing(self):
+        """The span hooks must not change a single serialized byte."""
+        engines = {
+            "off": ExplanationEngine(
+                paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=0.0)
+            ),
+            "on": ExplanationEngine(
+                paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=1.0)
+            ),
+        }
+        try:
+            rendered = {
+                key: _canonical(engine.explain_batch(REQUESTS))
+                for key, engine in engines.items()
+            }
+            assert rendered["on"] == rendered["off"]
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+    def test_parallel_outputs_byte_identical_when_traced(self):
+        sequential = ExplanationEngine(
+            paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=0.0)
+        )
+        parallel = ExplanationEngine(
+            paper_example_kb(),
+            size_limit=4,
+            parallelism=2,
+            tracer=Tracer(sample_rate=1.0),
+        )
+        try:
+            expected = _canonical(sequential.explain_batch(REQUESTS))
+            actual = _canonical(parallel.explain_batch(REQUESTS))
+            assert actual == expected
+        finally:
+            sequential.close()
+            parallel.close()
+
+    def test_trace_fields_stay_out_of_the_wire_envelope(self):
+        engine = ExplanationEngine(
+            paper_example_kb(), size_limit=4, tracer=Tracer(sample_rate=1.0)
+        )
+        try:
+            outcome = engine.explain("brad_pitt", "angelina_jolie", k=3)
+            assert outcome.trace_id is not None
+            envelope = outcome_to_dict(outcome)
+            assert "trace_id" not in envelope
+            assert "phases" not in envelope
+        finally:
+            engine.close()
+
+
+class TestProfileCli:
+    def test_phase_tree_sums_within_wall_time(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["profile", "--demo", "brad_pitt", "angelina_jolie", "--top", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "trace " in output
+        assert "path_enum" in output
+        footer = next(
+            line for line in output.splitlines() if line.startswith("phases:")
+        )
+        # "phases: X.XXXms of Y.YYYms wall"
+        phase_ms = float(footer.split()[1].rstrip("ms"))
+        wall_ms = float(footer.split()[3].rstrip("ms"))
+        assert 0.0 < phase_ms <= wall_ms + 1e-6
+
+    def test_repeat_shows_the_warm_cache_path(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["profile", "--demo", "brad_pitt", "angelina_jolie", "--repeat", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cached=False" in output
+        assert "cached=True" in output
+
+    def test_json_mode_emits_trace_documents(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["profile", "--demo", "brad_pitt", "angelina_jolie", "--json"]
+        )
+        assert exit_code == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 1
+        assert documents[0]["name"] == "explain"
+        assert {span["name"] for span in documents[0]["spans"]} >= {
+            "cache_lookup",
+            "path_enum",
+        }

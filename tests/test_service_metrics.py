@@ -92,9 +92,29 @@ class TestLatencyHistogram:
 
     def test_invalid_quantile_rejected(self):
         with pytest.raises(ValueError):
-            LatencyHistogram().quantile(0.0)
+            LatencyHistogram().quantile(-0.1)
         with pytest.raises(ValueError):
             LatencyHistogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile("p95")
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(True)
+
+    def test_quantile_edges_are_defined(self):
+        empty = LatencyHistogram()
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(1.0) == 0.0
+        histogram = LatencyHistogram()
+        histogram.observe(0.004)
+        # q=0 has no smaller observation; q=1 is the maximum observed
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == pytest.approx(0.004)
+
+    def test_single_observation_quantiles_bounded_by_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0042)
+        for q in (0.1, 0.5, 0.95, 0.99, 1.0):
+            assert 0.0 < histogram.quantile(q) <= 0.0042 + 1e-12
 
     def test_invalid_buckets_rejected(self):
         with pytest.raises(ValueError):
