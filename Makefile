@@ -8,7 +8,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: test test-parallel bench bench-core bench-smoke bench-check \
 	serve serve-smoke bench-service bench-service-check \
 	bench-parallel bench-parallel-check bench-compiled bench-compiled-check \
-	bench-durability bench-durability-check bench-obs bench-obs-check
+	bench-durability bench-durability-check bench-obs bench-obs-check \
+	bench-delta bench-delta-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -99,3 +100,16 @@ bench-obs:
 bench-obs-check:
 	REX_BENCH_OBS_MAX_OVERHEAD=0.05 $(PYTHON) -m benchmarks --obs-only \
 		--output bench_obs_fresh.json
+
+# Delta-overlay benchmark; writes BENCH_pr8.json (warm read set interleaved
+# with 1%-edge write batches on the clustered workload KB — see
+# docs/serving.md for the overlay/scoped-invalidation story).
+bench-delta:
+	$(PYTHON) -m benchmarks --delta-only --output BENCH_pr8.json
+
+# CI gate: fresh run asserting overlay-sized writes never trigger a full
+# recompile (kb_compiles stays at 1) and scoped invalidation retains at
+# least 50% of the cache under 1%-edge writes.
+bench-delta-check:
+	REX_BENCH_DELTA_MIN_RETENTION=0.5 $(PYTHON) -m benchmarks --delta-only \
+		--output bench_delta_fresh.json

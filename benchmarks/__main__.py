@@ -35,6 +35,8 @@ COMPILED_SELECTION = ["benchmarks/bench_compiled.py"]
 DURABILITY_SELECTION = ["benchmarks/bench_durability.py"]
 #: The observability overhead benchmark (PR 7, records into BENCH_pr7.json).
 OBS_SELECTION = ["benchmarks/bench_obs.py"]
+#: The delta-overlay mixed read/write benchmark (PR 8, BENCH_pr8.json).
+DELTA_SELECTION = ["benchmarks/bench_delta.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -50,6 +52,7 @@ _SUBSYSTEM_FILES = {
         + COMPILED_SELECTION
         + DURABILITY_SELECTION
         + OBS_SELECTION
+        + DELTA_SELECTION
     )
 }
 DEFAULT_SELECTION = sorted(
@@ -170,6 +173,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the observability overhead benchmark (BENCH_pr7.json)",
     )
+    subset.add_argument(
+        "--delta-only",
+        action="store_true",
+        help="run only the delta-overlay mixed read/write benchmark (BENCH_pr8.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -207,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = DURABILITY_SELECTION
     elif args.obs_only:
         selection = OBS_SELECTION
+    elif args.delta_only:
+        selection = DELTA_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

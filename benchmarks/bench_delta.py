@@ -1,0 +1,227 @@
+"""Delta-versioned writes under a mixed serving load (PR 8, BENCH_pr8.json).
+
+Before this PR a single ``add_edges`` call nuked the world: every compiled
+CSR plane was dropped (the next read paid a full recompile) and every cache
+entry was purged.  This benchmark drives the serving engine with the mixed
+workload that behaviour punished — a warmed read set interleaved with small
+writes — and gates the two properties the delta overlay is for:
+
+* **no full recompile on overlay-sized writes** — ``engine.kb_compiles``
+  must stay at 1 (the initial compile) across every write round; each write
+  is absorbed as a ``delta_merge`` and the overlay stays below the
+  compaction threshold;
+* **scoped invalidation keeps the cache warm** — with writes confined to one
+  community of a clustered KB (batches sized at ~1% of the edge count), the
+  fraction of cache entries retained across all write rounds must stay at or
+  above ``REX_BENCH_DELTA_MIN_RETENTION`` (``make bench-delta-check`` sets
+  0.5; default 0 records without gating).
+
+A second benchmark records the write-round latency of the overlay path
+against an engine forced to compact on every write
+(``delta_compact_edges=0``, the closest in-API stand-in for the old
+rebuild-the-world cost), as documentation of what an overlay-sized write
+saves.
+
+Environment knobs:
+
+* ``REX_BENCH_DELTA_MIN_RETENTION`` — minimum cache retention fraction
+  (default 0 = record only).
+* ``REX_BENCH_DELTA_WRITE_ROUNDS`` — write/read rounds (default 10).
+* ``REX_BENCH_DELTA_WRITE_BATCH`` — edges per write batch (default 15,
+  ~1% of the workload KB's ~1.5k edges).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.service.engine import ExplanationEngine
+from repro.workloads import clustered_kb
+
+GROUP = "delta-overlay"
+
+MIN_RETENTION = float(os.environ.get("REX_BENCH_DELTA_MIN_RETENTION", "0"))
+WRITE_ROUNDS = int(os.environ.get("REX_BENCH_DELTA_WRITE_ROUNDS", "10"))
+WRITE_BATCH = int(os.environ.get("REX_BENCH_DELTA_WRITE_BATCH", "15"))
+
+SIZE_LIMIT = 3
+TOP_K = 5
+NUM_COMMUNITIES = 8
+COMMUNITY_SIZE = 50
+#: community every write lands in; pairs from the other 7 are candidates to
+#: survive scoped invalidation
+WRITE_COMMUNITY = 0
+
+
+def _workload_kb():
+    return clustered_kb(
+        num_communities=NUM_COMMUNITIES,
+        community_size=COMMUNITY_SIZE,
+        intra_degree=4,
+        inter_edges=16,
+        seed=7,
+    )
+
+
+def _member(community: int, index: int) -> str:
+    return f"c{community:02d}_n{index:04d}"
+
+
+def _warm_pairs() -> list[tuple[str, str]]:
+    """Four in-community pairs per community (32 cache entries)."""
+    return [
+        (_member(community, offset), _member(community, offset + 5))
+        for community in range(NUM_COMMUNITIES)
+        for offset in (0, 10, 20, 30)
+    ]
+
+
+def _write_batches(rng: random.Random) -> list[list[dict]]:
+    """WRITE_ROUNDS batches of WRITE_BATCH new edges, all in one community.
+
+    Every edge attaches a brand-new entity to an existing community member,
+    so no write is ever a duplicate and the dirty frontier stays inside the
+    written community (plus whatever the inter-community bridges reach).
+    """
+    batches = []
+    serial = 0
+    for _ in range(WRITE_ROUNDS):
+        batch = []
+        for _ in range(WRITE_BATCH):
+            batch.append(
+                {
+                    "source": _member(WRITE_COMMUNITY, rng.randrange(COMMUNITY_SIZE)),
+                    "target": f"delta_w{serial:05d}",
+                    "label": "rel0",
+                }
+            )
+            serial += 1
+        batches.append(batch)
+    return batches
+
+
+def test_delta_mixed_read_write(benchmark):
+    """The headline workload: warm reads interleaved with 1%-edge writes."""
+    kb = _workload_kb()
+    edges_before = kb.num_edges
+    engine = ExplanationEngine(kb, size_limit=SIZE_LIMIT)
+    totals = {"purged": 0, "retained": 0, "hits": 0, "reads": 0}
+    try:
+        pairs = _warm_pairs()
+        engine.warmup(pairs, k=TOP_K)
+        batches = _write_batches(random.Random(99))
+
+        def run():
+            for batch in batches:
+                summary = engine.add_edges(batch)
+                totals["purged"] += summary["cache_purged"]
+                totals["retained"] += summary["cache_retained"]
+                for start, end in pairs:
+                    outcome = engine.explain(start, end, k=TOP_K)
+                    totals["reads"] += 1
+                    totals["hits"] += 1 if outcome.cached else 0
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+        counters = engine.metrics.snapshot()["counters"]
+        gauges = engine.metrics.snapshot()["gauges"]
+        decided = totals["purged"] + totals["retained"]
+        retention = totals["retained"] / decided if decided else 0.0
+        write_fraction = WRITE_BATCH / edges_before
+
+        benchmark.group = f"{GROUP}-mixed"
+        benchmark.extra_info.update(
+            {
+                "write_rounds": WRITE_ROUNDS,
+                "write_batch_edges": WRITE_BATCH,
+                "write_batch_fraction_of_kb": round(write_fraction, 4),
+                "warm_pairs": len(pairs),
+                "cache_retained": totals["retained"],
+                "cache_purged": totals["purged"],
+                "retention_fraction": round(retention, 4),
+                "read_hit_fraction": round(totals["hits"] / totals["reads"], 4),
+                "kb_compiles": counters["engine.kb_compiles"],
+                "delta_merges": counters["engine.delta_merges"],
+                "delta_compactions": counters.get("engine.delta_compactions", 0),
+                "overlay_edges_final": gauges["kb.overlay_edges"],
+                "min_retention": MIN_RETENTION,
+            }
+        )
+
+        # overlay-sized writes must never trigger a full recompile: the one
+        # compile is the initial warmup compile, every write is a delta merge
+        assert counters["engine.kb_compiles"] == 1, (
+            f"full recompile on an overlay-sized write: "
+            f"{counters['engine.kb_compiles']} compiles after {WRITE_ROUNDS} writes"
+        )
+        assert counters["engine.delta_merges"] == WRITE_ROUNDS
+        assert counters.get("engine.delta_compactions", 0) == 0, (
+            "workload was meant to stay overlay-sized"
+        )
+        assert write_fraction <= 0.015, "write batches drifted past ~1% of edges"
+        if MIN_RETENTION > 0:
+            assert retention >= MIN_RETENTION, (
+                f"scoped invalidation retained only {retention:.1%} of the cache "
+                f"(floor {MIN_RETENTION:.0%}) under {WRITE_BATCH}-edge writes"
+            )
+    finally:
+        engine.close()
+
+
+def test_delta_write_latency_overlay_vs_compact(benchmark):
+    """Write-round latency: overlay absorption vs compact-on-every-write."""
+    batches = _write_batches(random.Random(17))
+    overlay_engine = ExplanationEngine(_workload_kb(), size_limit=SIZE_LIMIT)
+    compact_engine = ExplanationEngine(
+        _workload_kb(), size_limit=SIZE_LIMIT, delta_compact_edges=0
+    )
+    try:
+        import time
+
+        pair = (_member(3, 0), _member(3, 5))
+        for engine in (overlay_engine, compact_engine):
+            engine.explain(*pair, k=TOP_K)  # prime the compile
+
+        def timed(engine):
+            t0 = time.perf_counter()
+            for batch in batches:
+                engine.add_edges(batch)
+                engine.explain(*pair, k=TOP_K)
+            return time.perf_counter() - t0
+
+        samples = {"overlay": [], "compact": []}
+
+        def run():
+            # interleaved so machine-state drift hits both sides equally
+            samples["overlay"].append(timed(overlay_engine))
+            samples["compact"].append(timed(compact_engine))
+
+        # mutating workload: fresh edge names per round keep writes real
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        overlay_s = min(samples["overlay"])
+        compact_s = min(samples["compact"])
+        benchmark.group = f"{GROUP}-write-latency"
+        benchmark.extra_info.update(
+            {
+                "write_rounds": WRITE_ROUNDS,
+                "write_batch_edges": WRITE_BATCH,
+                "overlay_s": round(overlay_s, 6),
+                "compact_every_write_s": round(compact_s, 6),
+                "overlay_speedup": round(compact_s / overlay_s, 2)
+                if overlay_s > 0
+                else None,
+                "overlay_compactions": overlay_engine.metrics.snapshot()["counters"][
+                    "engine.delta_compactions"
+                ],
+                "forced_compactions": compact_engine.metrics.snapshot()["counters"][
+                    "engine.delta_compactions"
+                ],
+            }
+        )
+        assert (
+            overlay_engine.metrics.snapshot()["counters"]["engine.kb_compiles"] == 1
+        )
+    finally:
+        overlay_engine.close()
+        compact_engine.close()

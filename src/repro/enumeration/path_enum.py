@@ -162,12 +162,8 @@ def _compiled_steps_of(ckb: CompiledKB, h: int) -> tuple[tuple[int, PathStep], .
     if steps is None:
         names = ckb.names
         label_of = ckb.label_of
-        neighbors = ckb.adj_neighbors
-        codes = ckb.adj_codes
         built = []
-        for position in range(ckb.adj_offsets[h], ckb.adj_offsets[h + 1]):
-            nh = neighbors[position]
-            code = codes[position]
+        for nh, code in ckb.adj_pairs(h):
             built.append(
                 (
                     nh,

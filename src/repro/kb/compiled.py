@@ -55,7 +55,13 @@ from repro.errors import KnowledgeBaseError, UnknownEntityError
 from repro.kb.graph import IN, OUT, UNDIRECTED, Edge, KnowledgeBase, NeighborEntry
 from repro.kb.schema import EntityType, RelationType, Schema
 
-__all__ = ["CompiledKB", "compile_kb", "ORIENT_CODE"]
+__all__ = [
+    "CompiledKB",
+    "OverlayCompiledKB",
+    "compile_kb",
+    "extend_compiled",
+    "ORIENT_CODE",
+]
 
 #: Orientation codes of the CSR planes (relative to the row's owning node).
 #: A ``(label, orientation)`` plane lives at ``label_code * 3 + orientation``;
@@ -106,6 +112,17 @@ class CompiledKB:
         self.degrees: array = array("i")
         self.sort_rank: array = array("i")
         self.presence: set[int] = set()
+        # -- presence packing parameters ------------------------------------
+        # The packed keys in ``presence`` were minted against a specific
+        # entity count and plane count; an overlay view shares its base's
+        # ``presence`` set untouched, so probes must pack with the *base's*
+        # parameters and fall through to ``presence_delta`` (plain
+        # ``(src, dst, plane)`` tuples) for edges the delta added.  A regular
+        # compile sets these to its own dimensions and an empty delta.
+        self.presence_n: int = 0
+        self.presence_planes: int = 0
+        self._presence_stride: int = 1
+        self.presence_delta: frozenset[tuple[int, int, int]] = frozenset()
         self.edge_src: array = array("i")
         self.edge_dst: array = array("i")
         self.edge_label: array = array("i")
@@ -161,6 +178,9 @@ class CompiledKB:
         }
         num_planes = len(labels) * 3
         stride = num_planes if num_planes else 1
+        compiled.presence_n = n
+        compiled.presence_planes = num_planes
+        compiled._presence_stride = stride
 
         adj_offsets = array("i", bytes(4 * (n + 1)))
         adj_neighbors = array("i")
@@ -339,6 +359,9 @@ class CompiledKB:
         compiled.types = json.loads(types_json)
         compiled.label_of = labels = json.loads(labels_json)
         compiled.label_code = {label: code for code, label in enumerate(labels)}
+        compiled.presence_n = n
+        compiled.presence_planes = len(labels) * 3
+        compiled._presence_stride = compiled.presence_planes or 1
 
         def restore(typecode: str, blob: bytes) -> array:
             arr = array(typecode)
@@ -395,8 +418,14 @@ class CompiledKB:
 
     @property
     def presence_stride(self) -> int:
-        """Multiplier of the packed presence keys (``num_labels * 3``)."""
-        return self.num_planes if self.num_planes else 1
+        """Multiplier of the packed presence keys.
+
+        Fixed at compile time (``num_labels * 3`` of the compile that built
+        ``presence``); an overlay view keeps its base's stride even after the
+        delta introduced new labels, because the shared ``presence`` set was
+        packed with the base's dimensions.
+        """
+        return self._presence_stride
 
     def _plane_lists(self, plane: int) -> tuple[list | None, list | None]:
         """The (shared, canonical) lazy row/row-set tables of one plane.
@@ -465,8 +494,13 @@ class CompiledKB:
         return rows, sets, self.plane_offsets[plane], self.plane_neighbors[plane]
 
     def pack_edge(self, src: int, dst: int, plane: int) -> int:
-        """The packed presence key of ``(src, dst, plane)``."""
-        return (src * len(self.names) + dst) * self.presence_stride + plane
+        """The packed presence key of ``(src, dst, plane)``.
+
+        Only meaningful for handles/planes within the presence packing
+        dimensions (``presence_n`` / ``presence_planes``); overlay-added
+        edges live in :attr:`presence_delta` instead.
+        """
+        return (src * self.presence_n + dst) * self._presence_stride + plane
 
     def plane_tables(
         self, plane: int, with_sets: bool = False
@@ -558,14 +592,27 @@ class CompiledKB:
             )
         return iter(view)
 
+    def adj_pairs(self, h: int) -> tuple[tuple[int, int], ...]:
+        """Row ``h`` of the traversal CSR as ``(neighbor_handle, step_code)``.
+
+        The one accessor hot paths use to walk the full adjacency of a node,
+        overridable by delta views that splice overlay entries onto the base
+        arrays.  Entries come in edge-insertion order, the same order the
+        dict KB's adjacency lists hold.
+        """
+        start = self.adj_offsets[h]
+        end = self.adj_offsets[h + 1]
+        return tuple(
+            zip(self.adj_neighbors[start:end], self.adj_codes[start:end])
+        )
+
     def _entries_of(self, h: int) -> list[NeighborEntry]:
         entries = self._neighbor_entries.get(h)
         if entries is None:
             names = self.names
             label_of = self.label_of
             entries = []
-            for position in range(self.adj_offsets[h], self.adj_offsets[h + 1]):
-                code = self.adj_codes[position]
+            for nh, code in self.adj_pairs(h):
                 if not code & 2:
                     orientation = UNDIRECTED
                 elif code & 1:
@@ -573,11 +620,7 @@ class CompiledKB:
                 else:
                     orientation = IN
                 entries.append(
-                    NeighborEntry(
-                        names[self.adj_neighbors[position]],
-                        label_of[code >> 2],
-                        orientation,
-                    )
+                    NeighborEntry(names[nh], label_of[code >> 2], orientation)
                 )
             self._neighbor_entries[h] = entries
         return entries
@@ -640,8 +683,8 @@ class CompiledKB:
     def neighbor_entities(self, entity: str) -> list[str]:
         h = self._require_handle(entity)
         seen: dict[int, None] = {}
-        for position in range(self.adj_offsets[h], self.adj_offsets[h + 1]):
-            seen.setdefault(self.adj_neighbors[position], None)
+        for nh, _code in self.adj_pairs(h):
+            seen.setdefault(nh, None)
         names = self.names
         return [names[nh] for nh in seen]
 
@@ -656,18 +699,36 @@ class CompiledKB:
         code = self.label_code.get(label)
         if src is None or dst is None or code is None:
             return False
-        presence = self.presence
-        base = (src * len(self.names) + dst) * self.presence_stride
+        if direction != "any":
+            orient = _ORIENT_CODE.get(direction)
+            if orient is None:
+                return False
         plane = code * 3
-        if base + plane + ORIENT_UNDIRECTED in presence:
+        pn = self.presence_n
+        # Probe the packed base set only for keys its packing can express;
+        # overlay-added entities/labels fall outside it by construction.
+        if src < pn and dst < pn and plane + 3 <= self.presence_planes:
+            presence = self.presence
+            packed = (src * pn + dst) * self._presence_stride + plane
+            if packed + ORIENT_UNDIRECTED in presence:
+                return True
+            if direction == "any":
+                if packed + ORIENT_OUT in presence or packed + ORIENT_IN in presence:
+                    return True
+            elif packed + orient in presence:
+                return True
+        delta = self.presence_delta
+        if not delta:
+            return False
+        if (src, dst, plane + ORIENT_UNDIRECTED) in delta:
             return True
         if direction == "any":
-            return (
-                base + plane + ORIENT_OUT in presence
-                or base + plane + ORIENT_IN in presence
-            )
-        orient = _ORIENT_CODE.get(direction)
-        return orient is not None and base + plane + orient in presence
+            return (src, dst, plane + ORIENT_OUT) in delta or (
+                src,
+                dst,
+                plane + ORIENT_IN,
+            ) in delta
+        return (src, dst, plane + orient) in delta
 
     def edges_between(self, source: str, target: str) -> list[NeighborEntry]:
         entries = self._entries_of(self._require_handle(source))
@@ -754,6 +815,573 @@ class CompiledKB:
             f"CompiledKB({self.num_entities} entities, {self.num_edges} edges, "
             f"{len(self.label_of)} labels, version={self.version})"
         )
+
+
+class OverlayCompiledKB(CompiledKB):
+    """A compiled view expressed as a root base plus a small sorted delta.
+
+    Instead of recompiling every CSR plane when a write batch lands, the
+    engine extends the previous compiled view with the KB's append-only tail:
+    the base's big structures (plane CSR arrays, the packed presence set, the
+    traversal CSR) are **shared untouched**, and the delta lives in small
+    side structures merged at probe time —
+
+    * ``presence_delta`` — plain ``(src, dst, plane)`` tuples probed after
+      the base's packed set misses;
+    * ``_plane_appends`` — per-plane ``{handle: [appended neighbors]}``,
+      spliced onto base rows when a plane's row tables are first requested;
+    * ``_adj_appends`` / ``_adj_new`` — traversal-CSR row extensions served
+      through :meth:`adj_pairs`.
+
+    Because :class:`~repro.kb.graph.KnowledgeBase` is append-only (entities
+    keep their dense insertion-order handles, labels their first-use codes,
+    adjacency rows their insertion order), base row + appended tail is
+    *exactly* the row a from-scratch compile would produce — enumeration
+    orders, and therefore every downstream ranking, stay byte-identical.
+    The delta is always **cumulative relative to a root (non-overlay) base**:
+    extending an overlay re-derives from its root, so chains never nest and
+    probe cost stays one extra set lookup.  :meth:`compact` folds the delta
+    back into a full :class:`CompiledKB` (byte-identical to a fresh compile)
+    once the overlay outgrows its threshold.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._base: CompiledKB = self  # replaced by _from_parts
+        self._base_n: int = 0
+        self._new_n: int = 0
+        self._delta_edges: list[tuple[int, int, int, int]] = []
+        # plane -> {owner handle -> [appended neighbor handles]}
+        self._plane_appends: dict[int, dict[int, list[int]]] = {}
+        # traversal-CSR extensions: base handles -> appended (nh, code) pairs,
+        # and one full row per overlay-added handle
+        self._adj_appends: dict[int, list[tuple[int, int]]] = {}
+        self._adj_new: list[list[tuple[int, int]]] = []
+        self._adj_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._compacted: CompiledKB | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        base: CompiledKB,
+        new_names: list[str],
+        new_types: list[str | None],
+        new_labels: list[str],
+        schema: Schema,
+        version: int,
+        delta_edges: list[tuple[int, int, int, int]],
+    ) -> "OverlayCompiledKB":
+        """Assemble an overlay from a root base and its append-only tail.
+
+        ``delta_edges`` are ``(src, dst, label_code, directed)`` in the
+        *extended* handle/label space, in KB insertion order.
+        """
+        if isinstance(base, OverlayCompiledKB):
+            raise KnowledgeBaseError(
+                "overlay base must be a root CompiledKB; compact the previous "
+                "overlay or extend from its root"
+            )
+        started = time.perf_counter()
+        overlay = cls()
+        overlay._base = base
+        base_n = base.num_entities
+        overlay._base_n = base_n
+        overlay._new_n = len(new_names)
+        overlay.schema = schema
+        overlay.version = version
+        overlay.names = base.names + new_names
+        handles = dict(base.handles)
+        for offset, name in enumerate(new_names):
+            handles[name] = base_n + offset
+        overlay.handles = handles
+        overlay.types = base.types + new_types
+        overlay.label_of = base.label_of + new_labels
+        label_code = dict(base.label_code)
+        for offset, label in enumerate(new_labels):
+            label_code[label] = len(base.label_of) + offset
+        overlay.label_code = label_code
+
+        # shared base structures + packing parameters of the base's presence
+        overlay.presence = base.presence
+        overlay.presence_n = base.presence_n
+        overlay.presence_planes = base.presence_planes
+        overlay._presence_stride = base._presence_stride
+        overlay.adj_offsets = base.adj_offsets
+        overlay.adj_neighbors = base.adj_neighbors
+        overlay.adj_codes = base.adj_codes
+
+        degrees = base.degrees[:]
+        if new_names:
+            degrees.extend(array("i", bytes(4 * len(new_names))))
+        overlay.degrees = degrees
+
+        overlay.edge_src = base.edge_src[:]
+        overlay.edge_dst = base.edge_dst[:]
+        overlay.edge_label = base.edge_label[:]
+        overlay.edge_directed = base.edge_directed[:]
+
+        overlay._delta_edges = list(delta_edges)
+        overlay._adj_new = [[] for _ in range(len(new_names))]
+        plane_appends = overlay._plane_appends
+        adj_appends = overlay._adj_appends
+        adj_new = overlay._adj_new
+        presence_delta: set[tuple[int, int, int]] = set()
+        for src, dst, code, directed in delta_edges:
+            overlay.edge_src.append(src)
+            overlay.edge_dst.append(dst)
+            overlay.edge_label.append(code)
+            overlay.edge_directed.append(1 if directed else 0)
+            if directed:
+                owner_entries = (
+                    (src, dst, ORIENT_OUT, code * 4 + 3),
+                    (dst, src, ORIENT_IN, code * 4 + 2),
+                )
+            else:
+                owner_entries = (
+                    (src, dst, ORIENT_UNDIRECTED, code * 4 + 1),
+                    (dst, src, ORIENT_UNDIRECTED, code * 4 + 1),
+                )
+            for owner, neighbor, orient, step in owner_entries:
+                plane = code * 3 + orient
+                presence_delta.add((owner, neighbor, plane))
+                plane_appends.setdefault(plane, {}).setdefault(owner, []).append(
+                    neighbor
+                )
+                if owner < base_n:
+                    adj_appends.setdefault(owner, []).append((neighbor, step))
+                else:
+                    adj_new[owner - base_n].append((neighbor, step))
+                degrees[owner] += 1
+        overlay.presence_delta = frozenset(presence_delta)
+
+        num_planes = len(overlay.label_of) * 3
+        plane_offsets: list[array | None] = [None] * num_planes
+        plane_neighbors: list[array | None] = [None] * num_planes
+        for plane in range(len(base.plane_offsets)):
+            plane_offsets[plane] = base.plane_offsets[plane]
+            plane_neighbors[plane] = base.plane_neighbors[plane]
+        overlay.plane_offsets = plane_offsets
+        overlay.plane_neighbors = plane_neighbors
+
+        if new_names:
+            n = len(overlay.names)
+            rank = array("i", bytes(4 * n))
+            names = overlay.names
+            for position, h in enumerate(sorted(range(n), key=names.__getitem__)):
+                rank[h] = position
+            overlay.sort_rank = rank
+        else:
+            overlay.sort_rank = base.sort_rank
+
+        overlay.compile_seconds = time.perf_counter() - started
+        return overlay
+
+    # -- delta introspection -------------------------------------------------
+
+    @property
+    def base(self) -> CompiledKB:
+        """The root compiled view this overlay extends."""
+        return self._base
+
+    @property
+    def overlay_edges(self) -> int:
+        """Number of edges in the delta (the compaction-threshold input)."""
+        return len(self._delta_edges)
+
+    def dirty_handles(self) -> set[int]:
+        """Handles whose adjacency the delta touched (endpoints of new edges)."""
+        dirty: set[int] = set()
+        for src, dst, _code, _directed in self._delta_edges:
+            dirty.add(src)
+            dirty.add(dst)
+        dirty.update(range(self._base_n, len(self.names)))
+        return dirty
+
+    # -- merged probe surface ------------------------------------------------
+
+    def adj_pairs(self, h: int) -> tuple[tuple[int, int], ...]:
+        cached = self._adj_cache.get(h)
+        if cached is not None:
+            return cached
+        if h < self._base_n:
+            pairs = self._base.adj_pairs(h)
+            extra = self._adj_appends.get(h)
+            if extra:
+                pairs = pairs + tuple(extra)
+        else:
+            pairs = tuple(self._adj_new[h - self._base_n])
+        self._adj_cache[h] = pairs
+        return pairs
+
+    def _plane_mode(self, plane: int) -> str:
+        """How this plane is served: ``delegate`` | ``merge`` | ``empty``."""
+        if plane in self._plane_appends:
+            return "merge"
+        base_offsets = self._base.plane_offsets
+        if plane >= len(base_offsets) or base_offsets[plane] is None:
+            return "empty"
+        return "delegate" if not self._new_n else "merge"
+
+    def _plane_lists(self, plane: int) -> tuple[list | None, list | None]:
+        rows = self._plane_rows.get(plane)
+        if rows is not None:
+            return rows, self._plane_row_sets[plane]
+        mode = self._plane_mode(plane)
+        if mode == "empty":
+            return None, None
+        if mode == "delegate":
+            return self._base._plane_lists(plane)
+        with self._plane_lock:
+            rows = self._plane_rows.get(plane)
+            if rows is not None:
+                return rows, self._plane_row_sets[plane]
+            base = self._base
+            base_offsets = base.plane_offsets
+            if plane < len(base_offsets) and base_offsets[plane] is not None:
+                base_rows, _ = base.plane_tables(plane)
+                merged: list = list(base_rows)
+            else:
+                merged = [()] * self._base_n
+            if self._new_n:
+                merged.extend([()] * self._new_n)
+            appends = self._plane_appends.get(plane)
+            if appends:
+                for h, extra in appends.items():
+                    merged[h] = merged[h] + tuple(extra)
+            sets: list = [None] * len(self.names)
+            self._plane_row_sets[plane] = sets
+            self._plane_rows[plane] = merged
+            self._plane_rows_complete[plane] = True
+        return merged, sets
+
+    def plane_tables(
+        self, plane: int, with_sets: bool = False
+    ) -> tuple[list | None, list | None]:
+        if self._plane_mode(plane) == "delegate":
+            return self._base.plane_tables(plane, with_sets)
+        rows, sets = self._plane_lists(plane)
+        if rows is None:
+            return None, None
+        # rows are fully materialised at merge time; only sets may lag
+        if with_sets and not self._plane_sets_complete.get(plane):
+            with self._plane_lock:
+                if not self._plane_sets_complete.get(plane):
+                    for h, row_set in enumerate(sets):
+                        if row_set is None:
+                            sets[h] = frozenset(rows[h])
+                    self._plane_sets_complete[plane] = True
+        return rows, sets
+
+    def plane_buffers(
+        self, plane: int
+    ) -> tuple[list | None, list | None, array | None, array | None]:
+        if self._plane_mode(plane) == "delegate":
+            return self._base.plane_buffers(plane)
+        rows, sets = self._plane_lists(plane)
+        if rows is None:
+            return None, None, None, None
+        # merged rows are complete, so kernels never need the raw CSR arrays
+        return rows, sets, None, None
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> CompiledKB:
+        """Fold the delta into a full :class:`CompiledKB`.
+
+        The result is byte-identical (``to_buffers``) to compiling the source
+        KB from scratch at this version, but built from array splices instead
+        of per-edge Python work.  Cached: repeated calls return the same
+        object.
+        """
+        compacted = self._compacted
+        if compacted is None:
+            compacted = self._compacted = self._build_compact()
+        return compacted
+
+    def _build_compact(self) -> CompiledKB:
+        started = time.perf_counter()
+        base = self._base
+        base_n = self._base_n
+        n = len(self.names)
+        full = CompiledKB()
+        full.schema = self.schema.copy()
+        full.version = self.version
+        full.names = list(self.names)
+        full.handles = dict(self.handles)
+        full.types = list(self.types)
+        full.label_of = list(self.label_of)
+        full.label_code = dict(self.label_code)
+        num_planes = len(full.label_of) * 3
+        stride = num_planes if num_planes else 1
+        full.presence_n = n
+        full.presence_planes = num_planes
+        full._presence_stride = stride
+
+        # traversal CSR: splice per-row appends into the base arrays
+        if not self._adj_appends and not self._new_n:
+            full.adj_offsets = base.adj_offsets
+            full.adj_neighbors = base.adj_neighbors
+            full.adj_codes = base.adj_codes
+        else:
+            offsets = array("i", bytes(4 * (n + 1)))
+            neighbors = array("i")
+            codes = array("i")
+            base_off = base.adj_offsets
+            base_nbr = base.adj_neighbors
+            base_codes = base.adj_codes
+            total = 0
+            for h in range(n):
+                if h < base_n:
+                    start, end = base_off[h], base_off[h + 1]
+                    if end > start:
+                        neighbors.extend(base_nbr[start:end])
+                        codes.extend(base_codes[start:end])
+                        total += end - start
+                    extra = self._adj_appends.get(h)
+                else:
+                    extra = self._adj_new[h - base_n]
+                if extra:
+                    for nh, code in extra:
+                        neighbors.append(nh)
+                        codes.append(code)
+                    total += len(extra)
+                offsets[h + 1] = total
+            full.adj_offsets = offsets
+            full.adj_neighbors = neighbors
+            full.adj_codes = codes
+
+        plane_offsets: list[array | None] = [None] * num_planes
+        plane_neighbors: list[array | None] = [None] * num_planes
+        for plane in range(num_planes):
+            in_base = (
+                plane < len(base.plane_offsets)
+                and base.plane_offsets[plane] is not None
+            )
+            appends = self._plane_appends.get(plane)
+            if appends is None and not in_base:
+                continue
+            if appends is None and not self._new_n:
+                plane_offsets[plane] = base.plane_offsets[plane]
+                plane_neighbors[plane] = base.plane_neighbors[plane]
+                continue
+            if appends is None:
+                # untouched plane, but the handle space grew: pad the offsets
+                base_offsets = base.plane_offsets[plane]
+                padded = base_offsets[:]
+                last = base_offsets[base_n]
+                padded.extend(array("i", [last] * self._new_n))
+                plane_offsets[plane] = padded
+                plane_neighbors[plane] = base.plane_neighbors[plane]
+                continue
+            offsets = array("i", bytes(4 * (n + 1)))
+            neighbors = array("i")
+            base_offsets = base.plane_offsets[plane] if in_base else None
+            base_nbrs = base.plane_neighbors[plane] if in_base else None
+            total = 0
+            for h in range(n):
+                if base_offsets is not None and h < base_n:
+                    start, end = base_offsets[h], base_offsets[h + 1]
+                    if end > start:
+                        neighbors.extend(base_nbrs[start:end])
+                        total += end - start
+                extra = appends.get(h)
+                if extra:
+                    neighbors.extend(array("i", extra))
+                    total += len(extra)
+                offsets[h + 1] = total
+            plane_offsets[plane] = offsets
+            plane_neighbors[plane] = neighbors
+        full.plane_offsets = plane_offsets
+        full.plane_neighbors = plane_neighbors
+
+        # presence: re-key only when the packing dimensions changed
+        old_n = base.presence_n
+        old_stride = base._presence_stride
+        if old_n == n and old_stride == stride:
+            presence = set(base.presence)
+        else:
+            presence = set()
+            for key in base.presence:
+                pair, plane = divmod(key, old_stride)
+                src, dst = divmod(pair, old_n)
+                presence.add((src * n + dst) * stride + plane)
+        for src, dst, plane in self.presence_delta:
+            presence.add((src * n + dst) * stride + plane)
+        full.presence = presence
+
+        full.degrees = self.degrees
+        full.sort_rank = self.sort_rank
+        full.edge_src = self.edge_src
+        full.edge_dst = self.edge_dst
+        full.edge_label = self.edge_label
+        full.edge_directed = self.edge_directed
+        full.compile_seconds = time.perf_counter() - started
+        return full
+
+    # -- shipping ------------------------------------------------------------
+
+    def to_buffers(self) -> tuple[Any, ...]:
+        """Format-2 body of the *merged* view (via :meth:`compact`)."""
+        return self.compact().to_buffers()
+
+    def delta_buffers(self) -> tuple[Any, ...]:
+        """The delta alone, as plain bytes/str/int values (format-4 body).
+
+        Together with the root base — shipped once as a checkpoint path —
+        this reconstructs the overlay in a worker without re-sending the full
+        planes per write.
+        """
+        relations = tuple(
+            (relation.name, relation.directed, relation.domain, relation.range)
+            for relation in self.schema
+        )
+        entity_types = tuple(
+            (entity_type.name, entity_type.description)
+            for entity_type in self.schema.entity_types.values()
+        )
+        src = array("i", [edge[0] for edge in self._delta_edges])
+        dst = array("i", [edge[1] for edge in self._delta_edges])
+        label = array("i", [edge[2] for edge in self._delta_edges])
+        directed = array("b", [edge[3] for edge in self._delta_edges])
+        return (
+            self.version,
+            self._base.version,
+            self._base_n,
+            self._base.num_edges,
+            relations,
+            entity_types,
+            json.dumps(self.names[self._base_n :], ensure_ascii=False),
+            json.dumps(self.types[self._base_n :], ensure_ascii=False),
+            json.dumps(self.label_of[len(self._base.label_of) :], ensure_ascii=False),
+            src.tobytes(),
+            dst.tobytes(),
+            label.tobytes(),
+            directed.tobytes(),
+        )
+
+    @classmethod
+    def from_delta_buffers(
+        cls, base: CompiledKB, buffers: tuple[Any, ...]
+    ) -> "OverlayCompiledKB":
+        """Rebuild an overlay from :meth:`delta_buffers` output atop ``base``."""
+        (
+            version,
+            base_version,
+            base_entities,
+            base_edges,
+            relations,
+            entity_types,
+            names_json,
+            types_json,
+            labels_json,
+            src_b,
+            dst_b,
+            label_b,
+            directed_b,
+        ) = buffers
+        if (
+            base.version != base_version
+            or base.num_entities != base_entities
+            or base.num_edges != base_edges
+        ):
+            raise KnowledgeBaseError(
+                f"overlay delta was built against base version {base_version} "
+                f"({base_entities} entities, {base_edges} edges); got base "
+                f"version {base.version} ({base.num_entities} entities, "
+                f"{base.num_edges} edges)"
+            )
+        schema = Schema(
+            relations=(
+                RelationType(name=name, directed=directed, domain=domain, range=range_)
+                for name, directed, domain, range_ in relations
+            ),
+            entity_types=(
+                EntityType(name=name, description=description)
+                for name, description in entity_types
+            ),
+        )
+        src = array("i")
+        src.frombytes(src_b)
+        dst = array("i")
+        dst.frombytes(dst_b)
+        label = array("i")
+        label.frombytes(label_b)
+        directed = array("b")
+        directed.frombytes(directed_b)
+        delta_edges = [
+            (s, d, c, int(flag)) for s, d, c, flag in zip(src, dst, label, directed)
+        ]
+        return cls._from_parts(
+            base,
+            json.loads(names_json),
+            json.loads(types_json),
+            json.loads(labels_json),
+            schema,
+            version,
+            delta_edges,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OverlayCompiledKB({self.num_entities} entities, "
+            f"{self.num_edges} edges, +{self.overlay_edges} overlay, "
+            f"base version={self._base.version}, version={self.version})"
+        )
+
+
+def extend_compiled(prev: CompiledKB, kb: KnowledgeBase) -> OverlayCompiledKB:
+    """Extend a compiled view with ``kb``'s append-only tail as an overlay.
+
+    ``prev`` is the compiled view of an earlier version of ``kb`` (a root
+    compile or a previous overlay — overlays always re-derive from their
+    root, so deltas accumulate without nesting).  ``kb`` must be the *same*
+    knowledge base later in its append-only history: entities, labels and
+    edges of the base are an exact prefix.  Call under the engine's KB write
+    lock, like :meth:`CompiledKB.compile`.
+    """
+    if isinstance(kb, CompiledKB):
+        raise KnowledgeBaseError("extend_compiled needs the mutable source KB")
+    base = prev.base if isinstance(prev, OverlayCompiledKB) else prev
+    base_n = base.num_entities
+    base_edges = base.num_edges
+    entities = kb.entities
+    labels = kb.relation_labels()
+    if (
+        len(entities) < base_n
+        or kb.num_edges < base_edges
+        or len(labels) < len(base.label_of)
+        or (base_n and entities[base_n - 1] != base.names[base_n - 1])
+        or (base.label_of and labels[len(base.label_of) - 1] != base.label_of[-1])
+    ):
+        raise KnowledgeBaseError(
+            "extend_compiled: KB is not an append-only extension of the base "
+            f"(base version {base.version}, kb version {kb.version})"
+        )
+    new_names = list(entities[base_n:])
+    new_types = [kb._entity_types[name] for name in new_names]  # noqa: SLF001
+    new_labels = labels[len(base.label_of) :]
+    label_code = {label: code for code, label in enumerate(labels)}
+    handle_of = kb._handles  # noqa: SLF001 - dense handles match by prefix
+    delta_edges = [
+        (
+            handle_of[edge.source],
+            handle_of[edge.target],
+            label_code[edge.label],
+            1 if edge.directed else 0,
+        )
+        for edge in kb._edges[base_edges:]  # noqa: SLF001
+    ]
+    return OverlayCompiledKB._from_parts(
+        base,
+        new_names,
+        new_types,
+        new_labels,
+        kb.schema.copy(),
+        kb.version,
+        delta_edges,
+    )
 
 
 def compile_kb(kb: KnowledgeBase) -> CompiledKB:

@@ -742,8 +742,10 @@ class _CompiledSweepPlan:
     ``steps`` entries are plain tuples for speed:
 
     * check step (both endpoints bound): ``(anchor_slot, None, check_slot,
-      check_planes)`` — the edge is present when the packed key hits any of
-      ``check_planes`` (undirected first, mirroring the dict kernel);
+      check_planes, base_ok)`` — the edge is present when the packed key hits
+      any of ``check_planes`` (undirected first, mirroring the dict kernel)
+      in the base presence set (``base_ok`` = the packing covers these
+      planes) or when the overlay delta holds the plain tuple;
     * expansion step: ``(anchor_slot, free_slot, rows, row_sets, offsets,
       neighbors)`` — the plane's shared lazy row caches plus the raw arrays
       to materialise missing rows inline.
@@ -794,9 +796,17 @@ def _generate_count_kernel(
     The generated source depends only on the plan shape and the plane
     literals, so its code object is cached and shared; binding the runtime
     tables happens in a tiny generated factory.
+
+    Against an :class:`~repro.kb.compiled.OverlayCompiledKB` the presence
+    probes are widened at generation time: the packed base set is consulted
+    only for handles/planes its packing covers, then the overlay's
+    ``(src, dst, plane)`` delta set.  A plain compiled view generates the
+    bare packed probe, so the base hot path is unchanged.
     """
+    has_delta = bool(ckb.presence_delta)
+    grew = len(ckb.names) != ckb.presence_n
     lines: list[str] = [
-        "def _factory(tables, presence, n, stride, fold):",
+        "def _factory(tables, presence, n, stride, fold, ovp):",
     ]
     expansion_ordinals: list[int] = []
     for index, step in enumerate(steps):
@@ -819,12 +829,30 @@ def _generate_count_kernel(
             return
         step = steps[index]
         if step.free_slot is None:
-            lines.append(
-                f"{indent}t = (b{step.anchor_slot} * n + b{step.check_slot}) * stride"
-            )
             planes = _check_planes_of(ckb, step)
-            probe = " or ".join(f"t + {plane} in presence" for plane in planes)
-            lines.append(f"{indent}if {probe}:")
+            # Base probes are only valid for keys the packed set can express:
+            # planes minted before the overlay, handles below presence_n.
+            base_ok = max(planes) < ckb.presence_planes
+            clauses: list[str] = []
+            if base_ok:
+                lines.append(
+                    f"{indent}t = (b{step.anchor_slot} * n "
+                    f"+ b{step.check_slot}) * stride"
+                )
+                base_probe = " or ".join(f"t + {plane} in presence" for plane in planes)
+                if grew:
+                    guard = f"b{step.anchor_slot} < n and b{step.check_slot} < n"
+                    clauses.append(f"({guard} and ({base_probe}))")
+                else:
+                    clauses.append(
+                        base_probe if not has_delta else f"({base_probe})"
+                    )
+            if has_delta or not base_ok:
+                clauses.extend(
+                    f"(b{step.anchor_slot}, b{step.check_slot}, {plane}) in ovp"
+                    for plane in planes
+                )
+            lines.append(f"{indent}if {' or '.join(clauses)}:")
             emit(index + 1, indent + "    ")
             return
         this_ordinal = ordinal
@@ -913,7 +941,12 @@ def _generate_count_kernel(
         is_leaf = index == num_steps - 1
         tables.append(ckb.plane_tables(plane, with_sets=is_leaf))
     return namespace["_factory"](
-        tables, ckb.presence, len(ckb.names), ckb.presence_stride, _count_elements
+        tables,
+        ckb.presence,
+        ckb.presence_n,
+        ckb.presence_stride,
+        _count_elements,
+        ckb.presence_delta,
     )
 
 
@@ -956,8 +989,15 @@ def _compiled_sweep_plan(ckb: CompiledKB, pattern: ExplanationPattern) -> _Compi
             break
         plane = code * 3
         if step.free_slot is None:
+            planes = _check_planes_of(ckb, step)
             steps.append(
-                (step.anchor_slot, None, step.check_slot, _check_planes_of(ckb, step))
+                (
+                    step.anchor_slot,
+                    None,
+                    step.check_slot,
+                    planes,
+                    max(planes) < ckb.presence_planes,
+                )
             )
         else:
             rows, row_sets, offsets, neighbors = ckb.plane_buffers(
@@ -1006,6 +1046,8 @@ def _sweep_compiled(
     vnames = plan.variable_names
     presence = ckb.presence
     stride = ckb.presence_stride
+    pn = ckb.presence_n
+    delta = ckb.presence_delta
     n = len(names)
     counts_h: dict[int, dict[int, int]] = {}
     bindings_enumerated = 0
@@ -1027,11 +1069,19 @@ def _sweep_compiled(
             return
         step = steps[index]
         if step[1] is None:
-            base = (binding[step[0]] * n + binding[step[2]]) * stride
-            for plane in step[3]:
-                if base + plane in presence:
-                    run_full(index + 1, per_start, start)
-                    return
+            anchor = binding[step[0]]
+            check = binding[step[2]]
+            if step[4] and anchor < pn and check < pn:
+                base = (anchor * pn + check) * stride
+                for plane in step[3]:
+                    if base + plane in presence:
+                        run_full(index + 1, per_start, start)
+                        return
+            if delta:
+                for plane in step[3]:
+                    if (anchor, check, plane) in delta:
+                        run_full(index + 1, per_start, start)
+                        return
             return
         anchor_slot, free_slot, rows, _, offsets, neighbors = step
         anchor = binding[anchor_slot]
@@ -1173,7 +1223,8 @@ def _count_qualifying_compiled(
     end_slot = plan.end_slot
     presence = ckb.presence
     stride = ckb.presence_stride
-    n = len(ckb.names)
+    pn = ckb.presence_n
+    delta = ckb.presence_delta
     exclude_h = ckb.handles.get(exclude_end, -1) if exclude_end is not None else -1
     binding: list[int] = [0] * len(plan.variable_names)
     binding[0] = start_h
@@ -1205,16 +1256,27 @@ def _count_qualifying_compiled(
         num_steps: int = num_steps,
         last_step: int = last_step,
         end_slot: int = end_slot,
-        n: int = n,
+        pn: int = pn,
         stride: int = stride,
+        delta: frozenset = delta,
     ) -> bool:
         step = steps[index]
         while step[1] is None:
-            base = (binding[step[0]] * n + binding[step[2]]) * stride
-            for plane in step[3]:
-                if base + plane in presence:
-                    break
-            else:
+            anchor = binding[step[0]]
+            check = binding[step[2]]
+            hit = False
+            if step[4] and anchor < pn and check < pn:
+                base = (anchor * pn + check) * stride
+                for plane in step[3]:
+                    if base + plane in presence:
+                        hit = True
+                        break
+            if not hit and delta:
+                for plane in step[3]:
+                    if (anchor, check, plane) in delta:
+                        hit = True
+                        break
+            if not hit:
                 return False
             index += 1
             if index == num_steps:

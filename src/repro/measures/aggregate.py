@@ -52,6 +52,9 @@ class CountMeasure(Measure):
     name = "count"
     monotonicity = Monotonicity.NONE
     higher_raw_is_better = True
+    # instances are connected subgraphs through the start pair, so the value
+    # only sees the size_limit neighborhood
+    local_scope = True
 
     def raw_value(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str
@@ -65,6 +68,8 @@ class MonocountMeasure(Measure):
     name = "monocount"
     monotonicity = Monotonicity.ANTI_MONOTONIC
     higher_raw_is_better = True
+    # same instance set as count: confined to the pair's neighborhood
+    local_scope = True
 
     def raw_value(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str

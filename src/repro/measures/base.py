@@ -47,6 +47,16 @@ class Measure(abc.ABC):
     monotonicity: str = Monotonicity.NONE
     #: Whether larger :meth:`raw_value` means more interesting.
     higher_raw_is_better: bool = True
+    #: Whether the measure's value for ``(v_start, v_end)`` depends only on
+    #: the ``size_limit``-neighborhood of the pair (pattern instances touch at
+    #: most ``size_limit`` edges around the start, so local measures cannot
+    #: observe edges farther away).  The serving engine's scoped cache
+    #: invalidation keeps a cached ranking across a KB write only when every
+    #: measure it used is local *and* the write landed outside the pair's
+    #: neighborhood; measures that consult global state (distributional
+    #: sweeps over all pairs, whole-graph random walks) must declare ``False``
+    #: — the conservative default.
+    local_scope: bool = False
 
     @abc.abstractmethod
     def raw_value(

@@ -48,6 +48,10 @@ class LexicographicMeasure(Measure):
         # the pattern then lowers every level of the key.
         if all(component.is_anti_monotonic for component in self.components):
             self.monotonicity = Monotonicity.ANTI_MONOTONIC
+        # The key is local only if every level of it is.
+        self.local_scope = all(
+            component.local_scope for component in self.components
+        )
 
     def key(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str

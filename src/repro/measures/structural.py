@@ -34,6 +34,9 @@ class SizeMeasure(Measure):
     name = "size"
     monotonicity = Monotonicity.ANTI_MONOTONIC
     higher_raw_is_better = False
+    # depends only on the pattern, which enumeration confines to the pair's
+    # size_limit neighborhood
+    local_scope = True
 
     def raw_value(
         self, kb: KnowledgeBase, explanation: Explanation, v_start: str, v_end: str

@@ -51,7 +51,12 @@ from repro.kb.graph import KnowledgeBase
 from repro.kb.sql import sweep_position_count
 from repro.measures.base import Measure
 from repro.obs.trace import Span, Trace, activate_trace, deactivate_trace
-from repro.parallel.snapshot import checkpoint_payload, kb_from_payload, kb_to_payload
+from repro.parallel.snapshot import (
+    checkpoint_payload,
+    kb_from_payload,
+    kb_to_payload,
+    overlay_payload,
+)
 
 __all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
 
@@ -188,6 +193,9 @@ class ExecutorStats:
     #: pool (re)builds that shipped a checkpoint *path* to the workers
     #: instead of the in-memory plane buffers.
     checkpoint_ships: int = 0
+    #: pool (re)builds that shipped a base checkpoint path plus an overlay
+    #: delta (snapshot format 4) instead of the full plane buffers.
+    overlay_ships: int = 0
     last_rebuild_s: float = 0.0
     #: pid -> cumulative in-worker CPU seconds (time.process_time).
     worker_cpu_s: dict[int, float] = field(default_factory=dict)
@@ -206,6 +214,7 @@ class ExecutorStats:
             "recycles": self.recycles,
             "worker_crashes": self.worker_crashes,
             "checkpoint_ships": self.checkpoint_ships,
+            "overlay_ships": self.overlay_ships,
             "last_rebuild_s": round(self.last_rebuild_s, 6),
             "worker_cpu_s": {
                 pid: round(seconds, 6) for pid, seconds in self.worker_cpu_s.items()
@@ -246,6 +255,14 @@ class ParallelBatchExecutor:
             surfaces as :class:`WorkerCrashError` on the batch and a recycle
             (falling back to byte shipping only if the provider stops
             offering the path).
+        overlay_provider: optional callable returning ``(base_checkpoint_path,
+            delta_buffers, version)`` when the engine currently serves an
+            overlay view whose *root base* matches the on-disk checkpoint, or
+            ``None``.  Invoked inside the snapshot guard, tried after the
+            exact-version checkpoint (format 3) and before full byte shipping
+            (format 2): a recycle after an overlay-sized write then ships the
+            delta buffers only, with each worker loading and
+            version-validating the shared base checkpoint itself.
 
     The executor is thread-safe: concurrent batches share the pool, and
     recycling swaps the pool atomically while in-flight chunks finish on the
@@ -261,6 +278,7 @@ class ParallelBatchExecutor:
         snapshot_guard: Callable[[], ContextManager] | None = None,
         compiled_provider: Callable[[], Any] | None = None,
         checkpoint_provider: Callable[[], tuple[str, int] | None] | None = None,
+        overlay_provider: Callable[[], tuple[str, tuple, int] | None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -273,6 +291,7 @@ class ParallelBatchExecutor:
         self._snapshot_guard = snapshot_guard
         self._compiled_provider = compiled_provider
         self._checkpoint_provider = checkpoint_provider
+        self._overlay_provider = overlay_provider
         self.stats = ExecutorStats()
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
@@ -315,6 +334,7 @@ class ParallelBatchExecutor:
             self._snapshot_guard() if self._snapshot_guard is not None else nullcontext()
         )
         shipped_checkpoint = False
+        shipped_overlay = False
         with guard:
             # under the guard no writer can run: the payload and the version
             # it is labelled with are one consistent cut of the KB
@@ -323,12 +343,24 @@ class ParallelBatchExecutor:
                 if self._checkpoint_provider is not None
                 else None
             )
+            overlay = (
+                self._overlay_provider()
+                if self._overlay_provider is not None
+                else None
+            )
             if checkpoint is not None and checkpoint[1] == self._kb.version:
                 # ship the on-disk checkpoint by path: each worker loads and
                 # checksum-verifies the planes itself, nothing is piped
                 payload = checkpoint_payload(checkpoint[0])
                 version = checkpoint[1]
                 shipped_checkpoint = True
+            elif overlay is not None and overlay[2] == self._kb.version:
+                # ship the root base by checkpoint path plus the small delta
+                # by value: an overlay-sized write recycles the pool without
+                # re-piping the full planes
+                payload = overlay_payload(overlay[0], overlay[1])
+                version = overlay[2]
+                shipped_overlay = True
             else:
                 source = (
                     self._compiled_provider()
@@ -347,6 +379,8 @@ class ParallelBatchExecutor:
         self._broken = False
         if shipped_checkpoint:
             self.stats.checkpoint_ships += 1
+        if shipped_overlay:
+            self.stats.overlay_ships += 1
         if old_pool is not None:
             self.stats.recycles += 1
             # chunks already submitted keep their own reference to the old

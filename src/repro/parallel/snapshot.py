@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.kb.compiled import CompiledKB
+from repro.kb.compiled import CompiledKB, OverlayCompiledKB
 from repro.kb.graph import KnowledgeBase
 from repro.obs.trace import span
 
@@ -37,8 +37,10 @@ __all__ = [
     "kb_to_payload",
     "kb_from_payload",
     "checkpoint_payload",
+    "overlay_payload",
     "PAYLOAD_FORMAT",
     "CHECKPOINT_PAYLOAD_FORMAT",
+    "OVERLAY_PAYLOAD_FORMAT",
 ]
 
 #: Payload format version, bumped when the layout changes so a stale worker
@@ -53,6 +55,16 @@ PAYLOAD_FORMAT = 2
 #: worker mmap-loads and checksum-verifies it independently.  Only valid on
 #: one machine — exactly the process-pool topology this package targets.
 CHECKPOINT_PAYLOAD_FORMAT = 3
+
+#: Delta payload: ``(4, base_checkpoint_path, delta_buffers)``.  Ships the
+#: *root base* by reference (an on-disk checkpoint, loaded and
+#: checksum-verified per worker like format 3) plus the overlay's small
+#: delta as plain buffers — a pool recycle after an overlay-sized write
+#: pipes kilobytes, not the full planes.  The worker validates that the
+#: checkpoint's version matches the delta's recorded base version, so a
+#: checkpoint swapped underneath surfaces as an initialisation failure,
+#: never a replica silently missing (or double-counting) edges.
+OVERLAY_PAYLOAD_FORMAT = 4
 
 
 def kb_to_payload(kb: KnowledgeBase | CompiledKB) -> tuple[Any, ...]:
@@ -84,6 +96,18 @@ def checkpoint_payload(path: str) -> tuple[Any, ...]:
     return (CHECKPOINT_PAYLOAD_FORMAT, str(path))
 
 
+def overlay_payload(base_checkpoint_path: str, delta_buffers: tuple) -> tuple[Any, ...]:
+    """A base-by-reference + delta-by-value snapshot (format 4).
+
+    ``base_checkpoint_path`` must name a checkpoint of the overlay's *root*
+    base (the engine only offers one when its on-disk checkpoint version
+    equals ``overlay.base.version``); ``delta_buffers`` is
+    :meth:`~repro.kb.compiled.OverlayCompiledKB.delta_buffers` output, which
+    carries the base version and prefix counts the worker re-validates.
+    """
+    return (OVERLAY_PAYLOAD_FORMAT, str(base_checkpoint_path), tuple(delta_buffers))
+
+
 def kb_from_payload(payload: tuple[Any, ...]) -> tuple[CompiledKB, int]:
     """Rebuild a read-only KB replica (and its snapshot version) from a payload.
 
@@ -113,10 +137,21 @@ def kb_from_payload(payload: tuple[Any, ...]) -> tuple[CompiledKB, int]:
 
         compiled = load_checkpoint(payload[1])
         return compiled, compiled.version
+    if format_version == OVERLAY_PAYLOAD_FORMAT:
+        from repro.kb.checkpoint import load_checkpoint
+
+        delta = payload[2]
+        # delta_buffers[1] is the root base version the overlay was derived
+        # from; loading with expected_version rejects a stale or newer
+        # checkpoint before any plane is trusted
+        base = load_checkpoint(payload[1], expected_version=delta[1])
+        compiled = OverlayCompiledKB.from_delta_buffers(base, delta)
+        return compiled, compiled.version
     if format_version != PAYLOAD_FORMAT:
         raise ValueError(
             f"unsupported KB payload format {format_version!r} "
-            f"(expected {PAYLOAD_FORMAT} or {CHECKPOINT_PAYLOAD_FORMAT})"
+            f"(expected {PAYLOAD_FORMAT}, {CHECKPOINT_PAYLOAD_FORMAT} "
+            f"or {OVERLAY_PAYLOAD_FORMAT})"
         )
     compiled = CompiledKB.from_buffers(payload[1:])
     return compiled, compiled.version

@@ -35,6 +35,8 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     purged: int = 0
+    retained: int = 0
+    scoped_purges: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -44,6 +46,8 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "purged": self.purged,
+            "retained": self.retained,
+            "scoped_purges": self.scoped_purges,
         }
 
     @property
@@ -146,18 +150,89 @@ class VersionedLRUCache:
     def purge_versions_except(self, version: int) -> int:
         """Eagerly drop entries stored under any version other than ``version``.
 
-        Returns the number of entries dropped.  Called by the engine after KB
-        mutations so stale results do not occupy capacity until LRU pressure
-        reclaims them.
+        Returns the number of live entries dropped.  Called by the engine
+        after KB mutations so stale results do not occupy capacity until LRU
+        pressure reclaims them.  Entries that had already outlived the TTL
+        are dropped too, but counted as expirations, not purges — they were
+        dead before the version moved.
         """
         with self._lock:
+            now = self._clock() if self.ttl_seconds is not None else 0.0
+            purged = 0
             stale = [
                 full_key for full_key in self._entries if full_key[0] != version
             ]
             for full_key in stale:
-                del self._entries[full_key]
-            self.stats.purged += len(stale)
-            return len(stale)
+                _value, inserted_at = self._entries.pop(full_key)
+                if (
+                    self.ttl_seconds is not None
+                    and now - inserted_at > self.ttl_seconds
+                ):
+                    self.stats.expirations += 1
+                else:
+                    purged += 1
+            self.stats.purged += purged
+            return purged
+
+    def purge_touched(
+        self,
+        version: int,
+        dirty_entities: frozenset | set,
+        *,
+        prev_version: int,
+        survives: Callable[[Hashable, frozenset | set], bool] | None = None,
+    ) -> tuple[int, int]:
+        """Scoped invalidation: drop touched entries, carry the rest forward.
+
+        After a write moved the KB from ``prev_version`` to ``version``, an
+        entry cached at ``prev_version`` whose result provably cannot observe
+        the delta (as decided by ``survives(key, dirty_entities)``) is still
+        correct — it is re-keyed to ``version`` in place, preserving both its
+        recency position and its original ``inserted_at`` (so the TTL clock
+        keeps running from first insert; surviving a purge never refreshes an
+        entry).  Everything else stale is dropped:
+
+        * entries at ``prev_version`` that ``survives`` rejects (purged);
+        * entries at any *older* version — they were inserted after an
+          earlier purge decided the then-current delta and were never vetted
+          against it, so they can never be carried forward (purged);
+        * entries already past the TTL (counted as expirations, never
+          resurrected).
+
+        ``survives`` runs under the cache lock and must not call back into
+        the cache.  ``None`` means nothing survives, degenerating to
+        :meth:`purge_versions_except`.  Returns ``(purged, retained)``.
+        """
+        with self._lock:
+            now = self._clock() if self.ttl_seconds is not None else 0.0
+            purged = retained = 0
+            rebuilt: "OrderedDict[tuple[int, Hashable], tuple[Any, float]]" = (
+                OrderedDict()
+            )
+            for (entry_version, key), entry in self._entries.items():
+                if entry_version == version:
+                    rebuilt[(entry_version, key)] = entry
+                    continue
+                if (
+                    self.ttl_seconds is not None
+                    and now - entry[1] > self.ttl_seconds
+                ):
+                    self.stats.expirations += 1
+                    continue
+                if (
+                    entry_version == prev_version
+                    and survives is not None
+                    and survives(key, dirty_entities)
+                ):
+                    rebuilt[(version, key)] = entry
+                    retained += 1
+                else:
+                    purged += 1
+            self._entries = rebuilt
+            self.stats.purged += purged
+            self.stats.retained += retained
+            self.stats.scoped_purges += 1
+            return purged, retained
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

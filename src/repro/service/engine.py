@@ -23,33 +23,51 @@ component designed for a *request stream*:
 from __future__ import annotations
 
 import copy
+import logging
 import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro import Rex, validate_k, validate_size_limit
 from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
-from repro.errors import CheckpointError, RexError, StoreError, UnknownEntityError
+from repro.errors import CheckpointError, KnowledgeBaseError, RexError, StoreError, UnknownEntityError
 from repro.kb.checkpoint import CHECKPOINT_FILENAME, save_checkpoint
 from repro.kb.checkpoint import load_checkpoint as _load_checkpoint
-from repro.kb.compiled import CompiledKB
+from repro.kb.compiled import CompiledKB, OverlayCompiledKB, extend_compiled
 from repro.kb.graph import Edge, KnowledgeBase
 from repro.kb.store import KnowledgeBaseStore
 from repro.measures.base import Measure
+from repro.obs.logging import get_logger, log_event
 from repro.obs.trace import PhaseTiming, Trace, Tracer, current_trace, span
 from repro.parallel import ParallelBatchExecutor
 from repro.ranking.general import RankedExplanation
 from repro.service.cache import VersionedLRUCache
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 
-__all__ = ["ExplainOutcome", "ExplanationEngine", "DEFAULT_MEASURE"]
+__all__ = [
+    "ExplainOutcome",
+    "ExplanationEngine",
+    "DEFAULT_MEASURE",
+    "DEFAULT_DELTA_COMPACT_EDGES",
+]
 
 #: The measure the paper's user study favours; the serving default.
 DEFAULT_MEASURE = "size+monocount"
+
+#: Overlay size (delta edges) past which a write folds the delta back into a
+#: full compiled base instead of growing the merge-at-probe-time tail.
+DEFAULT_DELTA_COMPACT_EDGES = 1024
+
+#: Depth bound for the dirty-frontier BFS behind scoped cache invalidation.
+#: Cached entries with a ``size_limit`` beyond this are purged rather than
+#: classified (the walk would cost more than re-enumerating them).
+_SCOPE_MAX_DEPTH = 32
+
+_LOG = get_logger("rex.engine")
 
 
 def _parallelism_from_env() -> int:
@@ -62,6 +80,19 @@ def _parallelism_from_env() -> int:
     except ValueError:
         raise RexError(
             f"REX_PARALLELISM must be an integer worker count, got {raw!r}"
+        ) from None
+
+
+def _delta_compact_from_env() -> int:
+    """The ``REX_DELTA_COMPACT_EDGES`` default (0 = compact on every write)."""
+    raw = os.environ.get("REX_DELTA_COMPACT_EDGES", "").strip()
+    if not raw:
+        return DEFAULT_DELTA_COMPACT_EDGES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise RexError(
+            f"REX_DELTA_COMPACT_EDGES must be an integer edge count, got {raw!r}"
         ) from None
 
 
@@ -204,6 +235,11 @@ class ExplanationEngine:
             tracing (sample rate, ring-buffer capacity).  Default: a tracer
             configured from ``REX_TRACE_SAMPLE`` / ``REX_TRACE_BUFFER``
             feeding per-phase histograms into this engine's registry.
+        delta_compact_edges: overlay size (accumulated delta edges) past
+            which a write folds the delta back into a full compiled base
+            instead of keeping the merge-at-probe-time overlay.  ``None``
+            reads ``REX_DELTA_COMPACT_EDGES`` (default 1024); 0 compacts on
+            every write.  See ``docs/performance.md`` for tuning guidance.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -225,6 +261,7 @@ class ExplanationEngine:
         store_path: str | Path | None = None,
         checkpoint_dir: str | Path | None = None,
         tracer: Tracer | None = None,
+        delta_compact_edges: int | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Request tracing: sampling, the trace ring buffer, phase histograms.
@@ -274,6 +311,16 @@ class ExplanationEngine:
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self._kb_lock = _ReadWriteLock()
+        #: Serialises SQLite commits *outside* the KB write lock: a writer
+        #: acquires this while still holding the write lock (so commits apply
+        #: in version order) and fsyncs after releasing it (so readers are
+        #: not blocked behind disk latency).
+        self._store_commit_lock = threading.Lock()
+        self.delta_compact_edges = (
+            max(0, delta_compact_edges)
+            if delta_compact_edges is not None
+            else _delta_compact_from_env()
+        )
         self.parallelism = (
             max(0, parallelism) if parallelism is not None else _parallelism_from_env()
         )
@@ -296,6 +343,12 @@ class ExplanationEngine:
         self._parallel_batches = self.metrics.counter("engine.parallel_batches")
         self._parallel_retries = self.metrics.counter("engine.parallel_retries")
         self._compiles = self.metrics.counter("engine.kb_compiles")
+        self._delta_merges = self.metrics.counter("engine.delta_merges")
+        self._delta_compactions = self.metrics.counter("engine.delta_compactions")
+        self._scoped_purge_fallbacks = self.metrics.counter(
+            "engine.scoped_purge_fallbacks"
+        )
+        self._warmup_restarts = self.metrics.counter("engine.warmup_restarts")
         self._latency = self.metrics.histogram("engine.explain_latency")
         # per-measure labeled histograms, handle-cached so the hot path never
         # takes the registry lock (entries appear on the first miss per
@@ -310,6 +363,8 @@ class ExplanationEngine:
         self._gauge_plane_bytes = self.metrics.gauge("kb.compiled_plane_bytes")
         self._gauge_compile_s = self.metrics.gauge("kb.compile_seconds")
         self._gauge_compiled_versions = self.metrics.gauge("kb.compiled_versions_cached")
+        self._gauge_overlay_edges = self.metrics.gauge("kb.overlay_edges")
+        self._gauge_scoped_purges = self.metrics.gauge("cache.scoped_purges")
         if isinstance(kb, CompiledKB):
             # booted straight off checkpointed planes: the compiled view *is*
             # the serving KB, so seed the per-version compile cache with it —
@@ -649,15 +704,29 @@ class ExplanationEngine:
         ``directed`` (optional, schema decides when absent).  The whole batch
         is validated before any edge is applied, so a rejected batch leaves
         the KB untouched; writers exclude in-flight enumerations (and each
-        other) via the KB readers-writer lock.  After the batch, cache
-        entries from older KB versions are purged eagerly.
+        other) via the KB readers-writer lock.
+
+        Instead of discarding the compiled planes and nuking the result
+        cache, a write extends the previous version's compiled view with a
+        sorted overlay delta (folded back into a full base once it outgrows
+        ``delta_compact_edges``) and purges *scoped*: cached rankings whose
+        measures are local and whose start entity lies farther than their
+        ``size_limit`` from every entity the delta touched are carried
+        forward to the new version — see ``docs/serving.md``.
+
+        Durability: the SQLite commit runs *after* the KB write lock is
+        released, under a dedicated commit lock acquired while still holding
+        it — commits stay version-ordered and the ack (this method
+        returning) still happens only after the fsync, but readers are never
+        blocked behind disk latency.
 
         Returns:
-            ``{"added": n, "kb_version": v, "cache_purged": m, "durable": b}``
-            — ``durable`` is ``True`` when a configured store committed the
-            batch, ``False`` when no store is configured *or* the store write
-            failed (the engine keeps serving from memory and reports
-            ``degraded`` via :meth:`durability`).
+            ``{"added": n, "kb_version": v, "cache_purged": m,
+            "cache_retained": r, "durable": b}`` — ``durable`` is ``True``
+            when a configured store committed the batch, ``False`` when no
+            store is configured *or* the store write failed (the engine
+            keeps serving from memory and reports ``degraded`` via
+            :meth:`durability`).
 
         Raises:
             RexError: when any edge of the batch is malformed — in that case
@@ -682,12 +751,16 @@ class ExplanationEngine:
             validated.append((source, target, label, edge.get("directed")))
 
         durable = False
+        store_batch: tuple[list, list[Edge], int, Any] | None = None
+        commit_locked = False
+        compacted: CompiledKB | None = None
         self._kb_lock.acquire_write()
         try:
             # a checkpoint-restored engine serves a read-only CompiledKB
             # until the first write, which lands here: thaw it back to a
             # mutable KB at the same version before applying the batch
             kb = self._thaw_for_write()
+            prev_version = kb.version
             entities_before = kb.num_entities
             edges_before = kb.num_edges
             new_edges: list[Edge] = []
@@ -700,44 +773,228 @@ class ExplanationEngine:
             # reported count is actual additions, not batch length
             added = kb.num_edges - edges_before
             version = kb.version
+            purged = retained = 0
+            if version != prev_version:
+                overlay, view, compacted = self._apply_delta_compiled(
+                    prev_version, kb
+                )
+                purged, retained = self._purge_after_write(
+                    prev_version, version, overlay, view
+                )
             if self._store is not None:
                 if new_edges or kb.num_entities > entities_before:
                     new_entities = [
                         (entity, kb.entity_type(entity))
                         for entity in kb.entities[entities_before:]
                     ]
-                    try:
-                        # commit before acking: once this returns, the batch
-                        # survives kill -9 (WAL replay); if the process dies
-                        # first, the client never saw an ack for it
-                        self._store.append_batch(
-                            new_entities, new_edges, version, schema=kb.schema
-                        )
-                        durable = True
-                        self._store_batches.inc()
-                        with self._durability_lock:
-                            self._store_error = None
-                    except StoreError as error:
-                        self._record_store_error(error)
+                    store_batch = (new_entities, new_edges, version, kb.schema)
+                    # taken while still writing: concurrent writers reach the
+                    # commit section below in version order
+                    self._store_commit_lock.acquire()
+                    commit_locked = True
                 else:
                     # all-duplicate batch: nothing new to persist, the store
                     # already covers this version
                     with self._durability_lock:
                         durable = self._store_error is None
-            purged = self.cache.purge_versions_except(version)
-            with self._compile_lock:
-                for stale in [v for v in self._compiled_versions if v != version]:
-                    del self._compiled_versions[stale]
-                self._gauge_compiled_versions.set(len(self._compiled_versions))
         finally:
             self._kb_lock.release_write()
+        if commit_locked:
+            assert store_batch is not None and self._store is not None
+            try:
+                # commit before acking: once this returns, the batch survives
+                # kill -9 (WAL replay); if the process dies first, the client
+                # never saw an ack for it.  Readers proceed meanwhile — they
+                # see the applied-but-unacked batch, which is exactly what
+                # the writer will be told succeeded (or, on failure, what
+                # degraded memory-only serving keeps serving anyway).
+                self._store.append_batch(
+                    store_batch[0], store_batch[1], store_batch[2],
+                    schema=store_batch[3],
+                )
+                durable = True
+                self._store_batches.inc()
+                with self._durability_lock:
+                    self._store_error = None
+            except StoreError as error:
+                self._record_store_error(error)
+            finally:
+                self._store_commit_lock.release()
+        if compacted is not None:
+            # a compaction produced a full immutable base at the new version:
+            # persist it in the background so the next overlay chain (and the
+            # workers' format-4 snapshots) anchor on a current checkpoint
+            self._schedule_checkpoint(compacted)
         self._kb_updates.inc()
         return {
             "added": added,
             "kb_version": version,
             "cache_purged": purged,
+            "cache_retained": retained,
             "durable": durable,
         }
+
+    def _apply_delta_compiled(
+        self, prev_version: int, kb: KnowledgeBase
+    ) -> tuple[OverlayCompiledKB | None, CompiledKB | None, CompiledKB | None]:
+        """Extend the cached compile across this write (KB write lock held).
+
+        Returns ``(overlay, view, compacted)``: ``overlay`` is the delta view
+        over the root base (the dirty-frontier source), ``view`` is what got
+        installed in the per-version compile cache (the overlay itself, or
+        its compacted base when the delta outgrew ``delta_compact_edges``,
+        in which case ``compacted`` is that base).  All ``None`` when no
+        compile was cached at ``prev_version`` — nothing to extend; the next
+        read pays one full compile, exactly the pre-overlay behaviour.
+        """
+        with self._compile_lock:
+            prev_entry = self._compiled_versions.get(prev_version)
+            overlay: OverlayCompiledKB | None = None
+            if prev_entry is not None:
+                try:
+                    with span("delta_merge"):
+                        overlay = extend_compiled(prev_entry.kb, kb)
+                except (KnowledgeBaseError, RexError) as error:
+                    # a base that is not a prefix of the live KB (an embedder
+                    # mutated it out-of-band): fall back to a full recompile
+                    log_event(
+                        _LOG, logging.WARNING, "delta_merge_failed",
+                        kb_version=kb.version, error=str(error),
+                    )
+            if overlay is None:
+                self._compiled_versions.clear()
+                self._gauge_compiled_versions.set(0)
+                self._gauge_overlay_edges.set(0)
+                return None, None, None
+            self._delta_merges.inc()
+            view: CompiledKB = overlay
+            compacted: CompiledKB | None = None
+            if overlay.overlay_edges > self.delta_compact_edges:
+                with span("compact"):
+                    view = compacted = overlay.compact()
+                self._delta_compactions.inc()
+            self._compiled_versions.clear()
+            self._compiled_versions[kb.version] = Rex(
+                view, size_limit=self.size_limit
+            )
+            self._gauge_compiled_versions.set(1)
+            self._gauge_overlay_edges.set(
+                overlay.overlay_edges if compacted is None else 0
+            )
+            self._gauge_entities.set(view.num_entities)
+            self._gauge_edges.set(view.num_edges)
+            self._gauge_labels.set(len(view.label_of))
+            return overlay, view, compacted
+
+    def _purge_after_write(
+        self,
+        prev_version: int,
+        version: int,
+        overlay: OverlayCompiledKB | None,
+        view: CompiledKB | None,
+    ) -> tuple[int, int]:
+        """Invalidate the result cache for this write (KB write lock held).
+
+        With an overlay in hand the purge is *scoped*: a cached ranking at
+        ``prev_version`` survives (re-keyed to ``version``) when its measure
+        is declared :attr:`~repro.measures.base.Measure.local_scope` and its
+        start entity lies farther than its ``size_limit`` from every entity
+        the delta touched — every explanation instance contains the start
+        entity and spans at most ``size_limit`` edges, so no instance of
+        such an entry can reach a new edge, in the old graph or the new.
+        Anything else (and every write without an overlay) falls back to the
+        full version purge.
+        """
+        survives = None
+        dirty_entities: frozenset[str] = frozenset()
+        if overlay is not None and view is not None:
+            dirty_entities = frozenset(
+                view.names[handle] for handle in overlay.dirty_handles()
+            )
+            survives = self._scope_classifier(overlay, view)
+        if survives is None:
+            if overlay is not None:
+                self._scoped_purge_fallbacks.inc()
+            purged = self.cache.purge_versions_except(version)
+            retained = 0
+        else:
+            purged, retained = self.cache.purge_touched(
+                version, dirty_entities,
+                prev_version=prev_version, survives=survives,
+            )
+        self._gauge_scoped_purges.set(self.cache.stats.scoped_purges)
+        return purged, retained
+
+    def _scope_classifier(
+        self, overlay: OverlayCompiledKB, view: CompiledKB
+    ) -> Callable[[Hashable, frozenset | set], bool] | None:
+        """A ``survives`` predicate for :meth:`VersionedLRUCache.purge_touched`.
+
+        Runs a bounded multi-source BFS from the delta's dirty handles over
+        the *merged* adjacency (new edges included — a delta edge can pull a
+        previously distant entity into a pair's neighborhood), out to the
+        largest ``size_limit`` any cached entry could claim.  Returns ``None``
+        when no cached entry can survive anyway (or the required depth
+        exceeds ``_SCOPE_MAX_DEPTH``) so the caller takes the cheap full
+        purge instead of walking the graph for nothing.
+        """
+        measures = self._measures
+        max_depth = 0
+        candidates = False
+        for entry_version, key in self.cache.keys():
+            if entry_version == self.kb_version:
+                continue
+            try:
+                _vs, _ve, measure_name, _k, size_limit = key
+            except (TypeError, ValueError):
+                continue
+            measure = (
+                measures.get(measure_name)
+                if isinstance(measure_name, str)
+                else None
+            )
+            if measure is None or not measure.local_scope:
+                continue
+            if not isinstance(size_limit, int) or size_limit > _SCOPE_MAX_DEPTH:
+                continue
+            candidates = True
+            max_depth = max(max_depth, size_limit)
+        if not candidates:
+            return None
+        distance: dict[int, int] = {h: 0 for h in overlay.dirty_handles()}
+        frontier = list(distance)
+        for hops in range(1, max_depth + 1):
+            next_frontier: list[int] = []
+            for handle in frontier:
+                for neighbor, _code in view.adj_pairs(handle):
+                    if neighbor not in distance:
+                        distance[neighbor] = hops
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        handles = view.handles
+
+        def survives(key: Hashable, _dirty: frozenset | set) -> bool:
+            try:
+                v_start, _v_end, measure_name, _k, size_limit = key  # type: ignore[misc]
+            except (TypeError, ValueError):
+                return False
+            measure = (
+                measures.get(measure_name)
+                if isinstance(measure_name, str)
+                else None
+            )
+            if measure is None or not measure.local_scope:
+                return False
+            if not isinstance(size_limit, int) or size_limit > max_depth:
+                return False
+            start = handles.get(v_start)
+            if start is None:
+                return False
+            return distance.get(start, _SCOPE_MAX_DEPTH + 1) > size_limit
+
+        return survives
 
     # -- warmup ------------------------------------------------------------
 
@@ -748,8 +1005,17 @@ class ExplanationEngine:
         k: int = 10,
         size_limit: int | None = None,
         skip_missing: bool = True,
+        max_restarts: int = 3,
     ) -> dict[str, Any]:
         """Precompute explanations for a seed pair list (e.g. ``PAPER_PAIRS``).
+
+        A KB write landing mid-warmup used to silently waste the pass:
+        entries computed before the write were purged, yet warmup marched on
+        and finished with a half-cold cache.  Now a version bump observed at
+        the end of a pass triggers a *restart* over exactly the pairs whose
+        entry no longer exists at the current version (survivors of a scoped
+        purge are not recomputed), logged as a ``warmup_restart`` event and
+        bounded by ``max_restarts``.
 
         Args:
             pairs: ``(v_start, v_end)`` tuples to precompute.
@@ -757,24 +1023,62 @@ class ExplanationEngine:
                 only serve requests with the same parameters.
             skip_missing: silently skip pairs whose entities are not in the
                 KB (seed lists often outlive dataset variants).
+            max_restarts: how many re-passes concurrent writes may trigger
+                before warmup gives up and returns (a write-heavy stream
+                would otherwise pin warmup forever).
 
         Returns:
-            ``{"warmed": n, "skipped": m, "elapsed_s": seconds}``.
+            ``{"warmed": n, "skipped": m, "restarts": r, "elapsed_s": s}`` —
+            ``warmed`` counts explain calls, so re-warmed pairs count twice.
         """
         started = time.perf_counter()
         warmed = 0
         skipped = 0
-        kb = self._rex.kb
-        for v_start, v_end in pairs:
-            if skip_missing and not (kb.has_entity(v_start) and kb.has_entity(v_end)):
-                skipped += 1
-                continue
-            self.explain(v_start, v_end, measure=measure, k=k, size_limit=size_limit)
-            warmed += 1
+        restarts = 0
+        measure_name = (
+            measure.name if isinstance(measure, Measure)
+            else self._resolve_measure(measure).name
+        )
+        effective_limit = size_limit if size_limit is not None else self.size_limit
+        pending = list(pairs)
+        while pending:
+            version_at_start = self._rex.kb.version
+            for v_start, v_end in pending:
+                kb = self._rex.kb
+                if skip_missing and not (
+                    kb.has_entity(v_start) and kb.has_entity(v_end)
+                ):
+                    skipped += 1
+                    continue
+                self.explain(
+                    v_start, v_end, measure=measure, k=k, size_limit=size_limit
+                )
+                warmed += 1
+            current = self._rex.kb.version
+            if current == version_at_start or restarts >= max_restarts:
+                break
+            restarts += 1
+            self._warmup_restarts.inc()
+            kb = self._rex.kb
+            pending = [
+                (v_start, v_end)
+                for v_start, v_end in pending
+                if kb.has_entity(v_start)
+                and kb.has_entity(v_end)
+                and not self.cache.contains(
+                    (v_start, v_end, measure_name, k, effective_limit), current
+                )
+            ]
+            log_event(
+                _LOG, logging.INFO, "warmup_restart",
+                kb_version=current, warmed_version=version_at_start,
+                restart=restarts, stale_pairs=len(pending),
+            )
         self._warmed_pairs.inc(warmed)
         return {
             "warmed": warmed,
             "skipped": skipped,
+            "restarts": restarts,
             "elapsed_s": round(time.perf_counter() - started, 6),
         }
 
@@ -1094,6 +1398,30 @@ class ExplanationEngine:
             return None
         return str(path), last[0]
 
+    def _overlay_for_version(self) -> tuple[str, tuple, int] | None:
+        """The served overlay as ``(base_checkpoint_path, delta, version)``.
+
+        The executor's snapshot path calls this (inside the KB read lock)
+        when no exact-version checkpoint exists: if the current compiled view
+        is an overlay whose *root base* version matches the on-disk
+        checkpoint, workers can rebuild the replica from the shared base
+        file plus these delta buffers (snapshot format 4) instead of
+        receiving the full planes.
+        """
+        path = self._checkpoint_path
+        if path is None:
+            return None
+        with self._compile_lock:
+            entry = self._compiled_versions.get(self._rex.kb.version)
+        if entry is None or not isinstance(entry.kb, OverlayCompiledKB):
+            return None
+        view = entry.kb
+        with self._durability_lock:
+            last = self._last_checkpoint
+        if last is None or last[0] != view.base.version:
+            return None
+        return str(path), view.delta_buffers(), view.version
+
     # -- internals ---------------------------------------------------------
 
     def _compiled_rex(self) -> Rex:
@@ -1124,6 +1452,7 @@ class ExplanationEngine:
                 self._gauge_labels.set(len(fresh.label_of))
                 self._gauge_plane_bytes.set(fresh.plane_bytes())
                 self._gauge_compile_s.set(round(fresh.compile_seconds, 6))
+                self._gauge_overlay_edges.set(0)
             self._gauge_compiled_versions.set(len(self._compiled_versions))
         if fresh is not None:
             # every version bump reaches here on its first serve, so this is
@@ -1156,6 +1485,9 @@ class ExplanationEngine:
                     # when the on-disk checkpoint matches the current version,
                     # workers boot from its path instead of reshipped bytes
                     checkpoint_provider=self._checkpoint_for_version,
+                    # when serving an overlay over a checkpointed base,
+                    # workers boot from the base path + the delta buffers
+                    overlay_provider=self._overlay_for_version,
                 )
             return self._executor
 

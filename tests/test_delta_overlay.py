@@ -1,0 +1,532 @@
+"""Delta-versioned KB: overlay views, incremental compile, scoped invalidation.
+
+The property at the heart of this file: serving a version through
+``base + overlay delta`` must be **byte-identical** to a from-scratch compile
+of the same KB at every version, across random write interleavings — both on
+the sequential serving path and with the parallel batch executor.  On top of
+that sit the engine-level guarantees: writes extend the compiled view instead
+of dropping it, scoped cache invalidation keeps provably unaffected rankings,
+the SQLite fsync happens outside the read-blocking critical section, and a
+mid-warmup write restarts the stale part of the warmup pass.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import Rex
+from repro.datasets.paper_example import paper_example_kb
+from repro.errors import KnowledgeBaseError
+from repro.kb.compiled import CompiledKB, OverlayCompiledKB, extend_compiled
+from repro.kb.graph import KnowledgeBase
+from repro.kb.store import KnowledgeBaseStore
+from repro.service.engine import ExplanationEngine
+from repro.workloads import clustered_kb
+
+
+def _comparable(ranked) -> list[tuple[str, float]]:
+    return [(repr(entry.explanation.pattern), round(entry.value, 9)) for entry in ranked]
+
+
+def _apply_random_writes(kb: KnowledgeBase, rng: random.Random, count: int) -> int:
+    """Mutate ``kb`` with a mix of edge flavours; returns edges added."""
+    labels = list(kb.relation_labels())
+    added = 0
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.6:
+            # edge between existing entities
+            src, dst = rng.sample(list(kb.entities), 2)
+            label = rng.choice(labels)
+        elif roll < 0.9:
+            # edge attaching a brand-new entity
+            src = rng.choice(list(kb.entities))
+            dst = f"delta_entity_{kb.num_entities}_{rng.randrange(10_000)}"
+            label = rng.choice(labels)
+        else:
+            # edge introducing a brand-new label
+            src, dst = rng.sample(list(kb.entities), 2)
+            label = f"delta_label_{rng.randrange(10_000)}"
+        before = kb.num_edges
+        kb.add_edge(src, dst, label)
+        added += kb.num_edges - before
+    return added
+
+
+@pytest.fixture(scope="module")
+def small_kb() -> KnowledgeBase:
+    return clustered_kb(
+        num_communities=4, community_size=12, intra_degree=3, inter_edges=10, seed=11
+    )
+
+
+class TestOverlayCore:
+    def test_extend_matches_full_recompile_bytes(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        _apply_random_writes(kb, random.Random(1), 12)
+        overlay = extend_compiled(base, kb)
+        assert isinstance(overlay, OverlayCompiledKB)
+        assert overlay.version == kb.version
+        assert overlay.compact().to_buffers() == CompiledKB.compile(kb).to_buffers()
+
+    def test_second_generation_overlay_rederives_from_root(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        _apply_random_writes(kb, random.Random(2), 5)
+        first = extend_compiled(base, kb)
+        _apply_random_writes(kb, random.Random(3), 5)
+        second = extend_compiled(first, kb)
+        # the chain never nests: the second overlay's base is the root
+        assert second.base is base
+        assert second.overlay_edges > first.overlay_edges
+        assert second.compact().to_buffers() == CompiledKB.compile(kb).to_buffers()
+
+    def test_extend_rejects_non_prefix_base(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        other = small_kb.copy()
+        other.add_edge("divergent_a", "divergent_b", "rel0")
+        other.add_edge(list(other.entities)[0], "divergent_c", "rel1")
+        # rebuild a "base" whose prefix disagrees with other's history
+        divergent = KnowledgeBase()
+        divergent.add_edge("x", "y", "rel0")
+        with pytest.raises(KnowledgeBaseError):
+            extend_compiled(CompiledKB.compile(divergent), kb)
+        del base
+
+    def test_read_api_parity_with_fresh_compile(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        _apply_random_writes(kb, random.Random(4), 15)
+        overlay = extend_compiled(base, kb)
+        fresh = CompiledKB.compile(kb)
+        assert overlay.entities == fresh.entities
+        for entity in kb.entities:
+            assert overlay.degree(entity) == fresh.degree(entity)
+            assert overlay.neighbors(entity) == fresh.neighbors(entity)
+            assert overlay.traversal_steps(entity) == fresh.traversal_steps(entity)
+            assert overlay.neighbor_entities(entity) == fresh.neighbor_entities(entity)
+        for edge in kb.edges():
+            for orient in ("any", "out", "undirected"):
+                assert overlay.has_edge(
+                    edge.source, edge.target, edge.label, orient
+                ) == fresh.has_edge(edge.source, edge.target, edge.label, orient)
+
+    def test_delta_buffers_roundtrip(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        _apply_random_writes(kb, random.Random(5), 8)
+        overlay = extend_compiled(base, kb)
+        rebuilt = OverlayCompiledKB.from_delta_buffers(base, overlay.delta_buffers())
+        assert rebuilt.version == overlay.version
+        assert rebuilt.compact().to_buffers() == overlay.compact().to_buffers()
+
+    def test_delta_buffers_reject_mismatched_base(self, small_kb):
+        kb = small_kb.copy()
+        base = CompiledKB.compile(kb)
+        _apply_random_writes(kb, random.Random(6), 4)
+        overlay = extend_compiled(base, kb)
+        buffers = overlay.delta_buffers()
+        wrong = CompiledKB.compile(kb)  # newer version than the recorded base
+        with pytest.raises(KnowledgeBaseError):
+            OverlayCompiledKB.from_delta_buffers(wrong, buffers)
+
+
+class TestByteIdentityProperty:
+    """The acceptance property: overlay + base == full recompile, always."""
+
+    @pytest.mark.parametrize("seed", [7, 23, 91])
+    @pytest.mark.parametrize("compact_edges", [0, 3, 10_000])
+    def test_every_version_matches_scratch_compile(self, seed, compact_edges):
+        """Random write interleavings through the engine: at every produced
+        version the *served* compiled view must serialize byte-identically to
+        compiling the live KB from scratch — with compaction forced on every
+        write (0), kicking in mid-run (3) and never kicking in (10k)."""
+        rng = random.Random(seed)
+        kb = clustered_kb(
+            num_communities=3, community_size=10, intra_degree=3,
+            inter_edges=8, seed=seed,
+        )
+        engine = ExplanationEngine(
+            kb, size_limit=3, delta_compact_edges=compact_edges
+        )
+        try:
+            entities = list(kb.entities)
+            pair = (entities[0], entities[5])
+            engine.explain(*pair, k=3)  # prime the compile cache
+            for _ in range(6):
+                batch_kb = KnowledgeBase()  # scratch pad for edge specs
+                del batch_kb
+                batch = []
+                for _ in range(rng.randrange(1, 4)):
+                    src, dst = rng.sample(entities, 2)
+                    batch.append(
+                        {"source": src, "target": dst, "label": "rel0"}
+                    )
+                if rng.random() < 0.5:
+                    batch.append(
+                        {
+                            "source": rng.choice(entities),
+                            "target": f"novel_{rng.randrange(100_000)}",
+                            "label": "rel1",
+                        }
+                    )
+                engine.add_edges(batch)
+                version = engine.kb_version
+                with engine._compile_lock:
+                    entry = engine._compiled_versions.get(version)
+                if entry is None:
+                    continue  # all-duplicate batch before any compile
+                served = entry.kb
+                scratch = CompiledKB.compile(engine.kb)
+                assert served.to_buffers() == scratch.to_buffers()
+                if compact_edges == 0:
+                    assert not isinstance(served, OverlayCompiledKB)
+                # the served view answers exactly like a scratch facade
+                outcome = engine.explain(*pair, k=3)
+                fresh = Rex(scratch, size_limit=3).explain(*pair, k=3)
+                assert _comparable(outcome.ranked) == _comparable(fresh)
+        finally:
+            engine.close()
+
+    def test_parallel_replicas_match_sequential(self):
+        """With parallelism=2 the worker replicas (rebuilt across writes,
+        potentially from overlay payloads) must answer byte-identically to a
+        sequential engine over the same KB history."""
+        kb = clustered_kb(
+            num_communities=3, community_size=10, intra_degree=3,
+            inter_edges=8, seed=42,
+        )
+        entities = list(kb.entities)
+        requests = [
+            {"start": entities[i], "end": entities[i + 7], "k": 3}
+            for i in range(0, 12, 2)
+        ]
+        writes = [
+            [{"source": entities[1], "target": entities[20], "label": "rel0"}],
+            [
+                {"source": entities[3], "target": "par_novel_1", "label": "rel1"},
+                {"source": "par_novel_1", "target": entities[9], "label": "rel1"},
+            ],
+        ]
+        parallel = ExplanationEngine(kb.copy(), size_limit=3, parallelism=2)
+        sequential = ExplanationEngine(kb.copy(), size_limit=3, parallelism=0)
+        try:
+            for batch in [None, *writes]:
+                if batch is not None:
+                    parallel.add_edges(batch)
+                    sequential.add_edges(batch)
+                par_results = parallel.explain_batch(requests)
+                seq_results = sequential.explain_batch(requests)
+                for par, seq in zip(par_results, seq_results):
+                    assert _comparable(par.ranked) == _comparable(seq.ranked)
+                    assert par.kb_version == seq.kb_version
+        finally:
+            parallel.close()
+            sequential.close()
+
+
+def _chain_kb(prefix: str, length: int, kb: KnowledgeBase | None = None) -> KnowledgeBase:
+    kb = kb if kb is not None else KnowledgeBase()
+    for i in range(length - 1):
+        kb.add_edge(f"{prefix}{i}", f"{prefix}{i + 1}", "linked")
+    return kb
+
+
+class TestScopedInvalidation:
+    def test_far_write_retains_cached_ranking(self):
+        """A write beyond a cached pair's size_limit neighborhood must not
+        cost that pair its cache entry — and the survivor must keep serving
+        hits (no re-enumeration) at the new version."""
+        kb = _chain_kb("a", 12)
+        _chain_kb("b", 12, kb)
+        engine = ExplanationEngine(kb, size_limit=3)
+        try:
+            engine.explain("a0", "a2", k=3)
+            engine.explain("b0", "b2", k=3)
+            enumerations = engine.metrics.counter("engine.enumerations").value
+            # touches b10/b_far: 10 hops from b0, unreachable within size_limit 3
+            summary = engine.add_edges(
+                [{"source": "b10", "target": "b_far", "label": "linked"}]
+            )
+            assert summary["cache_retained"] == 2
+            assert summary["cache_purged"] == 0
+            for pair in (("a0", "a2"), ("b0", "b2")):
+                outcome = engine.explain(*pair, k=3)
+                assert outcome.cached is True
+                assert outcome.kb_version == summary["kb_version"]
+            assert (
+                engine.metrics.counter("engine.enumerations").value == enumerations
+            )
+        finally:
+            engine.close()
+
+    def test_near_write_purges_only_the_touched_neighborhood(self):
+        kb = _chain_kb("a", 12)
+        _chain_kb("b", 12, kb)
+        engine = ExplanationEngine(kb, size_limit=3)
+        try:
+            engine.explain("a0", "a2", k=3)
+            engine.explain("b0", "b2", k=3)
+            # a1 is 1 hop from a0: inside the a-pair's neighborhood
+            summary = engine.add_edges(
+                [{"source": "a1", "target": "a_new", "label": "linked"}]
+            )
+            assert summary["cache_purged"] == 1
+            assert summary["cache_retained"] == 1
+            assert engine.explain("b0", "b2", k=3).cached is True
+            assert engine.explain("a0", "a2", k=3).cached is False
+        finally:
+            engine.close()
+
+    def test_write_creating_a_shortcut_invalidates_through_new_edges(self):
+        """The dirty frontier must be walked over the *merged* graph: a new
+        edge can pull a previously distant region into a pair's
+        neighborhood, and a second write there must purge the pair."""
+        kb = _chain_kb("a", 12)
+        _chain_kb("b", 12, kb)
+        engine = ExplanationEngine(kb, size_limit=3)
+        try:
+            engine.explain("a0", "a2", k=3)
+            # shortcut lands directly on a0: purges the pair outright
+            first = engine.add_edges(
+                [{"source": "a0", "target": "b6", "label": "linked"}]
+            )
+            assert first["cache_purged"] == 1
+            engine.explain("a0", "a2", k=3)
+            # b7 is now 2 hops from a0 *via the shortcut*; without merging
+            # the delta into the BFS this write would wrongly be "far"
+            second = engine.add_edges(
+                [{"source": "b7", "target": "b_new", "label": "linked"}]
+            )
+            assert second["cache_purged"] == 1
+            assert engine.explain("a0", "a2", k=3).cached is False
+        finally:
+            engine.close()
+
+    def test_global_measure_entries_never_survive(self):
+        kb = _chain_kb("a", 12)
+        _chain_kb("b", 12, kb)
+        engine = ExplanationEngine(kb, size_limit=3)
+        try:
+            engine.explain("a0", "a2", measure="random-walk", k=3)
+            engine.explain("b0", "b2", measure="size", k=3)
+            summary = engine.add_edges(
+                [{"source": "b10", "target": "b_far", "label": "linked"}]
+            )
+            # the local "size" entry survives; the global random-walk cannot
+            assert summary["cache_retained"] == 1
+            assert summary["cache_purged"] == 1
+            assert engine.explain("b0", "b2", measure="size", k=3).cached is True
+            assert (
+                engine.explain("a0", "a2", measure="random-walk", k=3).cached is False
+            )
+        finally:
+            engine.close()
+
+    def test_surviving_entries_match_scratch_results(self):
+        """Retention is only sound if the retained ranking equals what a
+        from-scratch engine would compute at the new version."""
+        kb = _chain_kb("a", 12)
+        _chain_kb("b", 12, kb)
+        engine = ExplanationEngine(kb, size_limit=3)
+        try:
+            engine.explain("b0", "b2", k=3)
+            engine.add_edges([{"source": "b10", "target": "b_far", "label": "linked"}])
+            outcome = engine.explain("b0", "b2", k=3)
+            assert outcome.cached is True
+            fresh = Rex(engine.kb.copy(), size_limit=3).explain("b0", "b2", k=3)
+            assert _comparable(outcome.ranked) == _comparable(fresh)
+        finally:
+            engine.close()
+
+
+class _GatedStore(KnowledgeBaseStore):
+    """A store whose commits block until the test releases them."""
+
+    def __init__(self, path):
+        super().__init__(path)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.gate_next = False
+
+    def append_batch(self, *args, **kwargs):
+        if self.gate_next:
+            self.gate_next = False
+            self.entered.set()
+            assert self.release.wait(timeout=30), "test never released the commit"
+        return super().append_batch(*args, **kwargs)
+
+
+class TestCommitOutsideReadPath:
+    def test_readers_proceed_while_commit_is_in_flight(self, tmp_path):
+        """Satellite: the SQLite fsync must not run inside the KB write lock.
+        While one writer's commit is blocked on (simulated) disk, a reader
+        must still be answered — against the already-applied new version."""
+        store = _GatedStore(tmp_path / "kb.sqlite3")
+        engine = ExplanationEngine(paper_example_kb(), store=store, size_limit=4)
+        try:
+            engine.explain("brad_pitt", "angelina_jolie", k=3)
+            store.gate_next = True
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                writer = pool.submit(
+                    engine.add_edges,
+                    [{"source": "gate_a", "target": "gate_b", "label": "award_won"}],
+                )
+                assert store.entered.wait(timeout=30)
+                # the batch is applied and visible...
+                assert engine.kb.has_entity("gate_a")
+                # ...and reads complete while the commit is still in flight
+                outcome = engine.explain("gate_a", "gate_b", k=3)
+                assert outcome.kb_version == engine.kb_version
+                assert not writer.done(), "ack must wait for the commit"
+                store.release.set()
+                result = writer.result(timeout=30)
+            assert result["durable"] is True
+            assert store.last_version() == result["kb_version"]
+        finally:
+            engine.close()
+
+    def test_concurrent_writers_commit_in_version_order(self, tmp_path):
+        store = KnowledgeBaseStore(tmp_path / "kb.sqlite3")
+        engine = ExplanationEngine(paper_example_kb(), store=store, size_limit=4)
+        try:
+            def write(i):
+                return engine.add_edges(
+                    [{"source": f"w{i}_a", "target": f"w{i}_b", "label": "award_won"}]
+                )
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = [f.result() for f in [pool.submit(write, i) for i in range(8)]]
+            assert all(r["durable"] for r in results)
+            assert store.last_version() == engine.kb_version
+            # the store replays to exactly the live KB
+            replayed = store.load()
+            assert replayed.version == engine.kb_version
+            assert [e.key() for e in replayed.edges()] == [
+                e.key() for e in engine.kb.edges()
+            ]
+        finally:
+            engine.close()
+
+
+class TestSingleFlightUnderWrites:
+    def test_hammer_readers_against_writer(self):
+        """Coalesced readers racing a writer must always observe a ranking
+        consistent with *some* KB version that actually existed — never a
+        torn result or a stale entry served beyond its version."""
+        engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        snapshots: dict[int, KnowledgeBase] = {}
+        snapshots[engine.kb_version] = engine.kb.copy()
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    outcome = engine.explain("brad_pitt", "angelina_jolie", k=3)
+                    with outcomes_lock:
+                        outcomes.append((outcome.kb_version, _comparable(outcome.ranked)))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def writer():
+            try:
+                for i in range(12):
+                    engine.add_edges(
+                        [
+                            {
+                                "source": "brad_pitt",
+                                "target": f"hammer_{i}",
+                                "label": "award_won",
+                            }
+                        ]
+                    )
+                    snapshots[engine.kb_version] = engine.kb.copy()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        write_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        write_thread.start()
+        write_thread.join(timeout=60)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert engine._inflight == {}, "in-flight slots must not leak"
+        expected_cache: dict[int, list] = {}
+        for version, ranked in outcomes:
+            assert version in snapshots, "outcome labelled with a phantom version"
+            if version not in expected_cache:
+                expected_cache[version] = _comparable(
+                    Rex(snapshots[version], size_limit=4).explain(
+                        "brad_pitt", "angelina_jolie", k=3
+                    )
+                )
+            assert ranked == expected_cache[version]
+        engine.close()
+
+
+class TestWarmupRestart:
+    def test_mid_warmup_write_restarts_stale_pairs(self):
+        pairs = [
+            ("tom_cruise", "nicole_kidman"),
+            ("brad_pitt", "angelina_jolie"),
+            ("kate_winslet", "leonardo_dicaprio"),
+        ]
+
+        class _WriteOnce(ExplanationEngine):
+            wrote = False
+
+            def explain(self, *args, **kwargs):
+                outcome = super().explain(*args, **kwargs)
+                if not self.wrote:
+                    # lands between warmup pairs: bumps the version and (the
+                    # edge hits tom_cruise directly) purges the first entry
+                    type(self).wrote = True
+                    self.add_edges(
+                        [
+                            {
+                                "source": "tom_cruise",
+                                "target": "warmup_intruder",
+                                "label": "award_won",
+                            }
+                        ]
+                    )
+                return outcome
+
+        engine = _WriteOnce(paper_example_kb(), size_limit=4)
+        try:
+            summary = engine.warmup(pairs, k=3)
+            assert summary["restarts"] == 1
+            # 3 first-pass warms + 1 re-warm of the purged first pair
+            assert summary["warmed"] == 4
+            assert engine.metrics.counter("engine.warmup_restarts").value == 1
+            enumerations = engine.metrics.counter("engine.enumerations").value
+            for pair in pairs:
+                assert engine.explain(*pair, k=3).cached is True
+            assert engine.metrics.counter("engine.enumerations").value == enumerations
+        finally:
+            engine.close()
+
+    def test_write_free_warmup_never_restarts(self):
+        engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        try:
+            summary = engine.warmup(
+                [("tom_cruise", "nicole_kidman"), ("brad_pitt", "angelina_jolie")],
+                k=3,
+            )
+            assert summary["restarts"] == 0
+            assert engine.metrics.counter("engine.warmup_restarts").value == 0
+        finally:
+            engine.close()

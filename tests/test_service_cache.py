@@ -121,6 +121,109 @@ class TestPurge:
         assert cache.stats.inserts == 1
 
 
+class TestScopedPurge:
+    def test_survivors_are_rekeyed_everything_else_drops(self):
+        cache = VersionedLRUCache(capacity=8)
+        cache.put(("far", "x"), version=3, value="keep")
+        cache.put(("near", "x"), version=3, value="drop")
+        cache.put(("old", "x"), version=1, value="too old")
+        purged, retained = cache.purge_touched(
+            4,
+            frozenset({"near"}),
+            prev_version=3,
+            survives=lambda key, dirty: key[0] not in dirty,
+        )
+        assert (purged, retained) == (2, 1)
+        assert cache.get(("far", "x"), version=4) == "keep"
+        assert cache.get(("far", "x"), version=3) is None
+        assert cache.get(("near", "x"), version=4) is None
+        assert cache.stats.retained == 1
+        assert cache.stats.scoped_purges == 1
+
+    def test_older_versions_never_survive(self):
+        """Only prev_version entries were vetted against this delta; an entry
+        two writes old must purge even if the classifier would accept it."""
+        cache = VersionedLRUCache(capacity=8)
+        cache.put("stale", version=2, value=1)
+        purged, retained = cache.purge_touched(
+            4, frozenset(), prev_version=3, survives=lambda key, dirty: True
+        )
+        assert (purged, retained) == (1, 0)
+        assert cache.get("stale", version=4) is None
+
+    def test_none_survivor_fn_purges_everything_stale(self):
+        cache = VersionedLRUCache(capacity=8)
+        cache.put("a", version=3, value=1)
+        cache.put("b", version=4, value=2)
+        purged, retained = cache.purge_touched(
+            4, frozenset({"a"}), prev_version=3, survives=None
+        )
+        assert (purged, retained) == (1, 0)
+        assert cache.get("b", version=4) == 2
+
+    def test_surviving_preserves_inserted_at_and_recency(self):
+        """Re-keying must not refresh the TTL clock or recency: a carried
+        entry keeps its original insertion time and LRU position."""
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=2, ttl_seconds=10, clock=clock)
+        cache.put("elder", version=3, value="old timer")
+        clock.advance(6)
+        cache.put("younger", version=3, value="fresh")
+        cache.purge_touched(
+            4, frozenset(), prev_version=3, survives=lambda key, dirty: True
+        )
+        # TTL continues from the original insert: 6 + 5 > 10 only for elder
+        clock.advance(5)
+        assert cache.get("elder", version=4) is None
+        assert cache.stats.expirations == 1
+        assert cache.get("younger", version=4) == "fresh"
+        # recency kept: elder (never re-put) would have been LRU-first
+        cache.put("c", version=4, value=3)
+        cache.put("d", version=4, value=4)
+        assert cache.get("younger", version=4) is None  # evicted before d
+        assert cache.get("d", version=4) == 4
+
+    def test_expired_entries_count_as_expirations_not_purges(self):
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=4, ttl_seconds=10, clock=clock)
+        cache.put("dead", version=3, value=1)
+        clock.advance(11)
+        cache.put("alive", version=3, value=2)
+        purged, retained = cache.purge_touched(
+            4, frozenset(), prev_version=3, survives=lambda key, dirty: True
+        )
+        assert (purged, retained) == (0, 1)
+        assert cache.stats.expirations == 1
+        assert cache.stats.purged == 0
+        # the expired entry is gone for good, not resurrected at any version
+        assert cache.get("dead", version=4) is None
+        assert cache.get("dead", version=3) is None
+        assert len(cache) == 1
+
+    def test_expired_entries_do_not_survive_even_when_classifier_says_yes(self):
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=4, ttl_seconds=10, clock=clock)
+        cache.put("dead", version=3, value=1)
+        clock.advance(20)
+        purged, retained = cache.purge_touched(
+            4, frozenset(), prev_version=3, survives=lambda key, dirty: True
+        )
+        assert (purged, retained) == (0, 0)
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_ttl_expiry_under_full_purge_counts_as_expiration(self):
+        clock = FakeClock()
+        cache = VersionedLRUCache(capacity=4, ttl_seconds=10, clock=clock)
+        cache.put("dead", version=0, value=1)
+        clock.advance(11)
+        cache.put("live", version=0, value=2)
+        purged = cache.purge_versions_except(1)
+        assert purged == 1
+        assert cache.stats.expirations == 1
+        assert cache.stats.purged == 1
+
+
 class TestObservability:
     def test_snapshot_shape(self):
         cache = VersionedLRUCache(capacity=4)

@@ -257,6 +257,7 @@ class TestWarmup:
         assert summary == {
             "warmed": 0,
             "skipped": 1,
+            "restarts": 0,
             "elapsed_s": summary["elapsed_s"],
         }
 

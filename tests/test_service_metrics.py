@@ -186,7 +186,10 @@ class TestEngineKbGauges:
         finally:
             engine.close()
 
-    def test_kb_update_purges_stale_compiles(self):
+    def test_kb_update_extends_compile_instead_of_dropping_it(self):
+        """A write no longer nukes the compiled view: the previous version's
+        compile is extended with an overlay delta, so the next read pays no
+        recompile and the gauges reflect the grown KB."""
         from repro.datasets.paper_example import paper_example_kb
         from repro.service import ExplanationEngine
 
@@ -196,11 +199,35 @@ class TestEngineKbGauges:
             engine.add_edges(
                 [{"source": "tom_cruise", "target": "top_gun_x", "label": "starring"}]
             )
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["gauges"]["kb.compiled_versions_cached"] == 1
+            assert snapshot["gauges"]["kb.overlay_edges"] == 1
+            assert snapshot["gauges"]["kb.entities"] == engine.kb.num_entities
+            assert snapshot["gauges"]["kb.edges"] == engine.kb.num_edges
+            assert snapshot["counters"]["engine.delta_merges"] == 1
+            engine.explain("tom_cruise", "nicole_kidman", k=1)
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["gauges"]["kb.compiled_versions_cached"] == 1
+            assert snapshot["counters"]["engine.kb_compiles"] == 1
+        finally:
+            engine.close()
+
+    def test_kb_update_without_prior_compile_still_serves(self):
+        """A write before any read (nothing compiled yet) keeps the old
+        semantics: the first read after it pays the one full compile."""
+        from repro.datasets.paper_example import paper_example_kb
+        from repro.service import ExplanationEngine
+
+        engine = ExplanationEngine(paper_example_kb(), size_limit=4)
+        try:
+            engine.add_edges(
+                [{"source": "tom_cruise", "target": "top_gun_x", "label": "starring"}]
+            )
             gauges = engine.metrics.snapshot()["gauges"]
             assert gauges["kb.compiled_versions_cached"] == 0
             engine.explain("tom_cruise", "nicole_kidman", k=1)
             snapshot = engine.metrics.snapshot()
             assert snapshot["gauges"]["kb.compiled_versions_cached"] == 1
-            assert snapshot["counters"]["engine.kb_compiles"] == 2
+            assert snapshot["counters"]["engine.kb_compiles"] == 1
         finally:
             engine.close()
