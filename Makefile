@@ -9,7 +9,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 	serve serve-smoke bench-service bench-service-check \
 	bench-parallel bench-parallel-check bench-compiled bench-compiled-check \
 	bench-durability bench-durability-check bench-obs bench-obs-check \
-	bench-delta bench-delta-check
+	bench-delta bench-delta-check bench-resilience bench-resilience-check \
+	soak-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -113,3 +114,23 @@ bench-delta:
 bench-delta-check:
 	REX_BENCH_DELTA_MIN_RETENTION=0.5 $(PYTHON) -m benchmarks --delta-only \
 		--output bench_delta_fresh.json
+
+# Request-lifecycle resilience benchmark; writes BENCH_pr9.json (deadline
+# checkpoint overhead on the fig7/fig11 shapes + availability under injected
+# worker-pool kills at Zipf load — see docs/robustness.md).
+bench-resilience:
+	$(PYTHON) -m benchmarks --resilience-only --output BENCH_pr9.json
+
+# CI gate: fresh run asserting <=3% deadline-checkpoint overhead with
+# byte-identical answers, >=99% availability under chaos and zero batches
+# past deadline+grace.
+bench-resilience-check:
+	REX_BENCH_RESILIENCE_MAX_OVERHEAD=0.03 \
+	REX_BENCH_RESILIENCE_MIN_AVAILABILITY=0.99 \
+		$(PYTHON) -m benchmarks --resilience-only \
+		--output bench_resilience_fresh.json
+
+# Chaos soak (~30s): Zipf traffic with periodic whole-pool SIGKILLs and KB
+# writes, asserting bounded latency drift and RSS growth (tests/soak.py).
+soak-smoke:
+	$(PYTHON) tests/soak.py --duration 30

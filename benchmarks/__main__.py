@@ -37,6 +37,8 @@ DURABILITY_SELECTION = ["benchmarks/bench_durability.py"]
 OBS_SELECTION = ["benchmarks/bench_obs.py"]
 #: The delta-overlay mixed read/write benchmark (PR 8, BENCH_pr8.json).
 DELTA_SELECTION = ["benchmarks/bench_delta.py"]
+#: The request-lifecycle resilience benchmark (PR 9, BENCH_pr9.json).
+RESILIENCE_SELECTION = ["benchmarks/bench_resilience.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -53,6 +55,7 @@ _SUBSYSTEM_FILES = {
         + DURABILITY_SELECTION
         + OBS_SELECTION
         + DELTA_SELECTION
+        + RESILIENCE_SELECTION
     )
 }
 DEFAULT_SELECTION = sorted(
@@ -178,6 +181,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the delta-overlay mixed read/write benchmark (BENCH_pr8.json)",
     )
+    subset.add_argument(
+        "--resilience-only",
+        action="store_true",
+        help="run only the request-lifecycle resilience benchmark (BENCH_pr9.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -217,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = OBS_SELECTION
     elif args.delta_only:
         selection = DELTA_SELECTION
+    elif args.resilience_only:
+        selection = RESILIENCE_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

@@ -1,0 +1,259 @@
+"""Request-lifecycle resilience discipline (PR 9, BENCH_pr9.json).
+
+Two properties are recorded (and gated by ``make bench-resilience-check``):
+
+* **Deadline-checkpoint overhead** — the cooperative cancellation
+  checkpoints run inside the enumeration/matching/sweep hot loops on every
+  request, so arming a (generous) deadline must cost ≤3% on the uninjected
+  fig7/fig11 shapes, with byte-identical answers.  The armed/unarmed pair is
+  timed in interleaved rounds and the gated statistic is the median of
+  per-round ratios, exactly as ``bench_obs.py`` does for tracing.
+* **Availability under chaos** — a Zipf-skewed request stream is served in
+  deadline-armed batches while the whole worker pool is SIGKILLed at fixed
+  intervals.  The retry-with-backoff loop must absorb the kills: the gate
+  asserts ≥99% of admitted requests are answered and **zero** batches run
+  past their deadline budget plus a 0.5s cooperative-checkpoint grace
+  window.
+
+Environment knobs:
+
+* ``REX_BENCH_RESILIENCE_MAX_OVERHEAD`` — when > 0, gate the armed/unarmed
+  slowdown at this fraction (the check target sets 0.03); default 0 records
+  without gating.
+* ``REX_BENCH_RESILIENCE_MIN_AVAILABILITY`` — when > 0, gate chaos-run
+  availability at this fraction (the check target sets 0.99).
+* ``REX_BENCH_RESILIENCE_REQUESTS`` — chaos-stream length (default 200).
+* ``REX_BENCH_RESILIENCE_DEADLINE_S`` — per-batch deadline budget under
+  chaos (default 5.0).
+* ``REX_BENCH_RESILIENCE_GRACE_S`` — allowed overshoot past the budget, one
+  work quantum of cooperative cancellation (default 0.5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+from repro.datasets.paper_example import PAPER_PAIRS, paper_example_kb
+from repro.errors import RexError
+from repro.resilience import RetryPolicy, deadline_scope
+from repro.service.engine import ExplanationEngine
+from repro.service.serialize import outcome_to_dict
+from repro.workloads import clustered_kb, sample_request_stream
+
+from conftest import SIZE_LIMIT
+
+GROUP = "resilience"
+ROUNDS = 9
+TOP_K = 5
+
+MAX_OVERHEAD = float(os.environ.get("REX_BENCH_RESILIENCE_MAX_OVERHEAD", "0"))
+MIN_AVAILABILITY = float(
+    os.environ.get("REX_BENCH_RESILIENCE_MIN_AVAILABILITY", "0")
+)
+CHAOS_REQUESTS = int(os.environ.get("REX_BENCH_RESILIENCE_REQUESTS", "200"))
+DEADLINE_S = float(os.environ.get("REX_BENCH_RESILIENCE_DEADLINE_S", "5.0"))
+GRACE_S = float(os.environ.get("REX_BENCH_RESILIENCE_GRACE_S", "0.5"))
+# inner repeats per overhead round, for the same reason as bench_obs: a
+# single pair-sweep is milliseconds, too short for stable round timings
+COLD_REPEATS = int(os.environ.get("REX_BENCH_RESILIENCE_COLD_REPEATS", "5"))
+BATCH_SIZE = 8
+KILL_EVERY_BATCHES = 5
+
+
+def _canonical(outcomes) -> str:
+    documents = []
+    for outcome in outcomes:
+        document = outcome_to_dict(outcome)
+        document.pop("elapsed_s", None)
+        documents.append(document)
+    return json.dumps(documents, sort_keys=True)
+
+
+def _paired_round(off_run, on_run, samples: list):
+    def run():
+        t0 = time.perf_counter()
+        off_run()
+        t1 = time.perf_counter()
+        on_run()
+        t2 = time.perf_counter()
+        samples.append((t1 - t0, t2 - t1))
+
+    return run
+
+
+def _gate_and_record(benchmark, scenario: str, samples: list) -> None:
+    samples = samples[-ROUNDS:]
+    ratios = sorted(on / off for off, on in samples if off > 0)
+    overhead = ratios[len(ratios) // 2] - 1.0
+    off_s = min(off for off, _ in samples)
+    on_s = min(on for _, on in samples)
+    benchmark.group = f"{GROUP}-{scenario}"
+    benchmark.extra_info.update(
+        {
+            "scenario": scenario,
+            "deadline_off_s": round(off_s, 6),
+            "deadline_on_s": round(on_s, 6),
+            "overhead_fraction": round(overhead, 4),
+            "max_overhead": MAX_OVERHEAD,
+        }
+    )
+    if MAX_OVERHEAD > 0:
+        assert overhead <= MAX_OVERHEAD, (
+            f"{scenario}: deadline-checkpoint overhead {overhead:.2%} exceeds "
+            f"the {MAX_OVERHEAD:.0%} budget "
+            f"(best off={off_s:.6f}s on={on_s:.6f}s)"
+        )
+
+
+def _cold_workload(engine: ExplanationEngine, measure: str, deadline_s):
+    def run():
+        for _ in range(COLD_REPEATS):
+            for start, end in PAPER_PAIRS:
+                engine.cache.clear()
+                engine.explain(
+                    start, end, measure=measure, k=TOP_K, deadline_s=deadline_s
+                )
+
+    return run
+
+
+def _overhead_scenario(benchmark, scenario: str, measure: str) -> None:
+    engine = ExplanationEngine(paper_example_kb(), size_limit=SIZE_LIMIT)
+    try:
+        requests = [
+            {"start": s, "end": e, "k": TOP_K, "measure": measure}
+            for s, e in PAPER_PAIRS
+        ]
+        unarmed = engine.explain_batch(requests)
+        engine.cache.clear()
+        with deadline_scope(3600.0):
+            armed = engine.explain_batch(requests)
+        assert _canonical(armed) == _canonical(unarmed), (
+            "an armed deadline changed the answers"
+        )
+        engine.cache.clear()
+        samples: list = []
+        benchmark.pedantic(
+            _paired_round(
+                _cold_workload(engine, measure, None),
+                _cold_workload(engine, measure, 3600.0),
+                samples,
+            ),
+            rounds=ROUNDS,
+            iterations=1,
+            warmup_rounds=1,
+        )
+        _gate_and_record(benchmark, scenario, samples)
+    finally:
+        engine.close()
+
+
+def test_resilience_overhead_fig7_enum(benchmark):
+    """Cold enumeration+ranking: checkpoints on the Figure 7 surface."""
+    _overhead_scenario(benchmark, "fig7-enum", "size+monocount")
+
+
+def test_resilience_overhead_fig11_dist(benchmark):
+    """Distributional ranking: checkpoints inside the Figure 11 sweep."""
+    _overhead_scenario(benchmark, "fig11-dist", "local-dist")
+
+
+def test_resilience_chaos_availability(benchmark):
+    """Zipf load with periodic whole-pool SIGKILLs: availability + deadlines.
+
+    Every batch runs under a fresh deadline budget; the pool is killed every
+    ``KILL_EVERY_BATCHES`` batches once it exists.  The retry loop must keep
+    every admitted request inside budget+grace, and at most 1% of requests
+    may fail for any reason.
+    """
+    kb = clustered_kb(
+        num_communities=4, community_size=24, inter_edges=18, seed=53
+    )
+    engine = ExplanationEngine(
+        kb,
+        size_limit=4,
+        parallelism=2,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.02),
+    )
+    try:
+        stream = sample_request_stream(
+            kb,
+            CHAOS_REQUESTS,
+            seed=31,
+            unique_pairs=max(10, CHAOS_REQUESTS // 8),
+            size_limit=4,
+        )
+        answered = 0
+        failed = 0
+        kills = 0
+        worst_batch_s = 0.0
+        deadline_violations = 0
+        batches = [
+            stream[offset : offset + BATCH_SIZE]
+            for offset in range(0, len(stream), BATCH_SIZE)
+        ]
+
+        def chaos_run():
+            nonlocal answered, failed, kills, worst_batch_s
+            nonlocal deadline_violations
+            for index, batch in enumerate(batches):
+                if index % KILL_EVERY_BATCHES == 0 and engine.executor is not None:
+                    for pid in engine.executor.worker_pids():
+                        os.kill(pid, signal.SIGKILL)
+                    kills += 1
+                started = time.perf_counter()
+                with deadline_scope(DEADLINE_S):
+                    results = engine.explain_batch(batch)
+                elapsed = time.perf_counter() - started
+                worst_batch_s = max(worst_batch_s, elapsed)
+                if elapsed > DEADLINE_S + GRACE_S:
+                    deadline_violations += 1
+                for result in results:
+                    if isinstance(result, RexError):
+                        failed += 1
+                    else:
+                        answered += 1
+
+        benchmark.pedantic(chaos_run, rounds=1, iterations=1)
+        total = answered + failed
+        availability = answered / total if total else 0.0
+        benchmark.group = f"{GROUP}-chaos"
+        benchmark.extra_info.update(
+            {
+                "scenario": "chaos-availability",
+                "requests": total,
+                "answered": answered,
+                "failed": failed,
+                "pool_kills": kills,
+                "worker_crash_retries": engine.metrics.counter(
+                    "engine.worker_crash_retries"
+                ).value,
+                "pool_recycles": (
+                    engine.executor.stats.recycles if engine.executor else 0
+                ),
+                "availability": round(availability, 4),
+                "deadline_s": DEADLINE_S,
+                "grace_s": GRACE_S,
+                "worst_batch_s": round(worst_batch_s, 4),
+                "deadline_violations": deadline_violations,
+                "min_availability": MIN_AVAILABILITY,
+                "breaker_state": engine.breaker.state,
+            }
+        )
+        assert kills >= 2, "the chaos schedule never actually killed the pool"
+        assert deadline_violations == 0, (
+            f"{deadline_violations} batches ran past the "
+            f"{DEADLINE_S}s budget + {GRACE_S}s grace "
+            f"(worst {worst_batch_s:.3f}s)"
+        )
+        if MIN_AVAILABILITY > 0:
+            assert availability >= MIN_AVAILABILITY, (
+                f"availability {availability:.2%} under injected kills is "
+                f"below the {MIN_AVAILABILITY:.0%} floor "
+                f"({failed}/{total} failed)"
+            )
+    finally:
+        engine.close()

@@ -237,6 +237,53 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "(default: REX_TRACE_SAMPLE or 0.01; 1.0 traces everything)"
         ),
     )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help=(
+            "default per-request compute budget in seconds; an exceeded "
+            "budget answers 504 with Retry-After (default: REX_DEADLINE_S "
+            "or no deadline; clients can override per request via "
+            "?timeout_s=)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "admission control: concurrent requests computing at once "
+            "(default: REX_MAX_INFLIGHT or 64; excess load sheds 429)"
+        ),
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=(
+            "admission control: requests allowed to wait for a slot "
+            "(default: REX_MAX_QUEUE or 128)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-timeout-s",
+        type=float,
+        default=None,
+        help=(
+            "admission control: how long a queued request waits before it "
+            "is shed with 429 (default: REX_QUEUE_TIMEOUT_S or 5.0)"
+        ),
+    )
+    parser.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=None,
+        help=(
+            "per-connection socket timeout for idle or trickling clients "
+            "(default: 30)"
+        ),
+    )
     return parser
 
 
@@ -742,6 +789,16 @@ def serve_main(argv: list[str] | None = None) -> int:
         serve_kwargs = {}
         if args.slow_query_s is not None:
             serve_kwargs["slow_query_s"] = args.slow_query_s
+        for knob in (
+            "deadline_s",
+            "max_inflight",
+            "max_queue",
+            "queue_timeout_s",
+            "request_timeout_s",
+        ):
+            value = getattr(args, knob)
+            if value is not None:
+                serve_kwargs[knob] = value
         serve(
             kb,
             host=args.host,

@@ -29,6 +29,7 @@ from repro.core.instance import ExplanationInstance
 from repro.core.pattern import END, START, ExplanationPattern
 from repro.kb.compiled import ORIENT_CODE, CompiledKB
 from repro.kb.graph import KnowledgeBase
+from repro.resilience.deadline import current_deadline
 
 __all__ = ["match_pattern", "iter_matches", "count_matches", "has_match"]
 
@@ -145,6 +146,7 @@ def iter_matches(
     binding: dict[str, str] = {START: v_start, END: v_end}
     steps = plan.steps
     produced = 0
+    deadline = current_deadline()
     # Memo shared across sibling branches: raw candidate sets depend only on
     # the step and the entities bound to its anchor variables — not on the
     # rest of the frontier — so branches differing elsewhere reuse them.
@@ -175,6 +177,8 @@ def iter_matches(
         nonlocal produced
         if limit is not None and produced >= limit:
             return
+        if deadline is not None:
+            deadline.tick()
         if index == len(steps):
             produced += 1
             yield ExplanationInstance(binding)
@@ -233,6 +237,7 @@ def _iter_matches_compiled(
     binding: dict[str, int] = {START: start_h, END: end_h}
     steps = plan.steps
     produced = 0
+    deadline = current_deadline()
     memo: dict[tuple, frozenset[int]] = {}
 
     def raw_candidates(index: int) -> frozenset[int] | None:
@@ -266,6 +271,8 @@ def _iter_matches_compiled(
         nonlocal produced
         if limit is not None and produced >= limit:
             return
+        if deadline is not None:
+            deadline.tick()
         if index == len(steps):
             produced += 1
             yield ExplanationInstance(

@@ -30,6 +30,7 @@ from repro.core.instance import ExplanationInstance
 from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
 from repro.errors import EnumerationError
 from repro.kb.compiled import CompiledKB
+from repro.resilience.deadline import current_deadline
 from repro.kb.graph import KnowledgeBase, NeighborEntry
 from repro.kb.schema import Schema
 
@@ -258,11 +259,14 @@ def path_enum_naive(
         return _path_enum_naive_compiled(kb, v_start, v_end, length_limit)
     paths: list[PathInstance] = []
     expansions = 0
+    deadline = current_deadline()
 
     def extend(current: str, visited: set[str], steps: list[PathStep]) -> None:
         nonlocal expansions
         if len(steps) >= length_limit:
             return
+        if deadline is not None:
+            deadline.tick()
         for neighbor, step in _steps_of(kb, current):
             expansions += 1
             if neighbor in visited:
@@ -298,11 +302,14 @@ def _path_enum_naive_compiled(
     end_h = ckb.handles[v_end]
     paths: list[PathInstance] = []
     expansions = 0
+    deadline = current_deadline()
 
     def extend(current: int, visited: set[int], steps: list[PathStep]) -> None:
         nonlocal expansions
         if len(steps) >= length_limit:
             return
+        if deadline is not None:
+            deadline.tick()
         for neighbor, step in _compiled_steps_of(ckb, current):
             expansions += 1
             if neighbor in visited:
@@ -422,9 +429,12 @@ def _collect_full_paths(
     """Join all compatible partial-path pairs into full simple paths."""
     seen: set[tuple] = set()
     paths: list[PathInstance] = []
+    deadline = current_deadline()
     for terminal, forwards in start_side.items():
         backwards = end_side.get(terminal, [])
         for forward in forwards:
+            if deadline is not None:
+                deadline.tick()
             for backward in backwards:
                 if forward.length + backward.length > length_limit:
                     continue
@@ -525,9 +535,12 @@ def _collect_full_paths_compiled(
     """Handle twin of :func:`_collect_full_paths`."""
     seen: set[tuple] = set()
     paths: list[PathInstance] = []
+    deadline = current_deadline()
     for terminal, forwards in start_side.items():
         backwards = end_side.get(terminal, [])
         for forward in forwards:
+            if deadline is not None:
+                deadline.tick()
             for backward in backwards:
                 if forward.length + backward.length > length_limit:
                     continue
@@ -553,6 +566,7 @@ def _path_enum_basic_compiled(
     forward_limit = math.ceil(length_limit / 2)
     backward_limit = length_limit // 2
     expansions = 0
+    deadline = current_deadline()
 
     start_side: dict[int, list[_PartialPathH]] = {}
     end_side: dict[int, list[_PartialPathH]] = {}
@@ -567,6 +581,8 @@ def _path_enum_basic_compiled(
         while frontier and depth < limit:
             next_frontier: list[_PartialPathH] = []
             for partial in frontier:
+                if deadline is not None:
+                    deadline.tick()
                 for extension in _expand_partial_compiled(
                     ckb, partial, start_h, end_h
                 ):
@@ -601,6 +617,7 @@ def _path_enum_prioritized_compiled(
     limits = {"start": forward_limit, "end": backward_limit}
     expansions = 0
     degrees = ckb.degrees
+    deadline = current_deadline()
 
     start_side: dict[int, list[_PartialPathH]] = {
         start_h: [_PartialPathH("start", (start_h,), ())]
@@ -628,6 +645,8 @@ def _path_enum_prioritized_compiled(
 
     while heap:
         negative_score, _, origin, node = heapq.heappop(heap)
+        if deadline is not None:
+            deadline.tick()
         pending = pendings[origin]
         waiting = pending.pop(node, None)
         if not waiting:
@@ -678,6 +697,7 @@ def path_enum_basic(
     forward_limit = math.ceil(length_limit / 2)
     backward_limit = length_limit // 2
     expansions = 0
+    deadline = current_deadline()
 
     start_side: dict[str, list[_PartialPath]] = {}
     end_side: dict[str, list[_PartialPath]] = {}
@@ -692,6 +712,8 @@ def path_enum_basic(
         while frontier and depth < limit:
             next_frontier: list[_PartialPath] = []
             for partial in frontier:
+                if deadline is not None:
+                    deadline.tick()
                 for extension in _expand_partial(kb, partial, v_start, v_end):
                     expansions += 1
                     store.setdefault(extension.terminal, []).append(extension)
@@ -727,6 +749,7 @@ def path_enum_prioritized(
     backward_limit = length_limit // 2
     limits = {"start": forward_limit, "end": backward_limit}
     expansions = 0
+    deadline = current_deadline()
 
     start_side: dict[str, list[_PartialPath]] = {v_start: [_PartialPath("start", (v_start,), ())]}
     end_side: dict[str, list[_PartialPath]] = {v_end: [_PartialPath("end", (v_end,), ())]}
@@ -753,6 +776,8 @@ def path_enum_prioritized(
 
     while heap:
         negative_score, _, origin, node = heapq.heappop(heap)
+        if deadline is not None:
+            deadline.tick()
         pending = pendings[origin]
         waiting = pending.pop(node, None)
         if not waiting:

@@ -36,6 +36,7 @@ from repro.core.instance import ExplanationInstance
 from repro.core.isomorphism import DuplicateRegistry
 from repro.core.pattern import END, START, ExplanationPattern, PatternEdge, fresh_variable
 from repro.errors import EnumerationError
+from repro.resilience.deadline import current_deadline
 
 __all__ = [
     "MergeStats",
@@ -713,6 +714,7 @@ def path_union_basic(
     ]
 
     join_index_cache: dict = {}
+    deadline = current_deadline()
     expand_queue = list(results)
     while expand_queue:
         stats.rounds += 1
@@ -720,6 +722,8 @@ def path_union_basic(
         for explanation in expand_queue:
             left_info = _fast_info(explanation) if compiled else None
             for path_explanation, right_info in eligible:
+                if deadline is not None:
+                    deadline.tick()
                 if compiled and left_info[5].isdisjoint(right_info[5]):
                     # No variable pair can share an entity: the merge cannot
                     # produce a joinable candidate, so skip the kernel call.
@@ -788,6 +792,7 @@ def path_union_prune(
     ]
 
     join_index_cache: dict = {}
+    deadline = current_deadline()
     expand_queue: list[Explanation] = list(seeds)
     expand_history: list[list[tuple[int, int]]] = [[] for _ in seeds]
     first_round = True
@@ -817,6 +822,8 @@ def path_union_prune(
 
             left_info = _fast_info(explanation) if compiled else None
             for path_index in sorted(candidate_paths):
+                if deadline is not None:
+                    deadline.tick()
                 if not path_ok[path_index]:
                     continue
                 path_explanation = path_explanations[path_index]

@@ -78,5 +78,26 @@ class RelationalError(RexError):
     """Raised by the mini relational engine for malformed queries."""
 
 
+class DeadlineExceeded(RexError):
+    """Raised when a request's deadline budget expires mid-computation.
+
+    Enumeration, matching and ranking sweeps poll the ambient deadline
+    (:func:`repro.resilience.current_deadline`) at loop checkpoints and raise
+    this to unwind cooperatively.  The HTTP layer maps it to ``504`` with a
+    ``Retry-After`` hint; it lives here (not in ``repro.resilience``) so the
+    import-light enumeration layers can raise it without new dependencies.
+    """
+
+    def __init__(self, budget_s: float | None = None) -> None:
+        if budget_s is None:
+            super().__init__("deadline exceeded")
+        else:
+            super().__init__(f"deadline exceeded (budget {budget_s:.3f}s)")
+        self.budget_s = budget_s
+
+    def __reduce__(self):
+        return (type(self), (self.budget_s,))
+
+
 class DatasetError(RexError):
     """Raised by dataset generators or loaders for invalid parameters."""

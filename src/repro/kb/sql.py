@@ -35,6 +35,19 @@ from repro.core.pattern import END, START, ExplanationPattern, PatternEdge
 from repro.errors import RelationalError
 from repro.kb.compiled import ORIENT_CODE, CompiledKB
 from repro.kb.graph import KnowledgeBase
+from repro.resilience.deadline import current_deadline
+
+
+def _deadline_poll() -> None:
+    """Per-start cancellation checkpoint for the sweep kernels.
+
+    Resolved at call time (not kernel-build time) because the ambient
+    deadline is per-request while kernels are cached per compiled view.
+    One ContextVar read per sweep start; a strided clock probe when armed.
+    """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.tick()
 
 __all__ = [
     "CompiledSQL",
@@ -547,6 +560,7 @@ def sweep_local_count_distributions(
         kb.entities if start_entities is None else start_entities
     )
     for start in starts:
+        _deadline_poll()
         # Each distinct start is evaluated once; a duplicated entry in
         # ``start_entities`` must not double its groups or binding count.
         if start in counts or not kb.has_entity(start):
@@ -591,6 +605,7 @@ def count_qualifying_end_entities(
     applied to the other — ``tests/test_indexed_equivalence.py`` pins their
     agreement on random knowledge bases.
     """
+    _deadline_poll()
     if isinstance(kb, CompiledKB):
         return _count_qualifying_compiled(
             kb, pattern, v_start, threshold, exclude_end, bound
@@ -806,7 +821,7 @@ def _generate_count_kernel(
     has_delta = bool(ckb.presence_delta)
     grew = len(ckb.names) != ckb.presence_n
     lines: list[str] = [
-        "def _factory(tables, presence, n, stride, fold, ovp):",
+        "def _factory(tables, presence, n, stride, fold, ovp, dl):",
     ]
     expansion_ordinals: list[int] = []
     for index, step in enumerate(steps):
@@ -914,6 +929,9 @@ def _generate_count_kernel(
     lines.append("        position = 0")
     lines.append("        bindings = 0")
     lines.append("        for b0 in starts:")
+    # Per-start cancellation checkpoint: resolved through the ambient
+    # deadline at call time, a no-op context-variable read when unarmed.
+    lines.append("            dl()")
     lines.append("            per_start = {}")
     lines.append("            get = per_start.get")
     emit(0, "            ")
@@ -947,6 +965,7 @@ def _generate_count_kernel(
         ckb.presence_stride,
         _count_elements,
         ckb.presence_delta,
+        _deadline_poll,
     )
 
 
@@ -1109,6 +1128,7 @@ def _sweep_compiled(
     seen: set[int] = set()
     count_kernel = plan.count_kernel
     for start_h in start_iter:
+        _deadline_poll()
         # Each distinct start is evaluated once (duplicates must not double
         # their groups or the binding count), matching the dict evaluator.
         if start_h in seen:
@@ -1211,6 +1231,7 @@ def _count_qualifying_compiled(
     are folded — so the early-termination bound aborts after exactly the same
     amount of enumerated work and the returned counters agree bit for bit.
     """
+    _deadline_poll()
     start_h = ckb.handles.get(v_start)
     if start_h is None:
         return (0, True, 0)

@@ -57,6 +57,12 @@ from repro.parallel.snapshot import (
     kb_to_payload,
     overlay_payload,
 )
+from repro.resilience.deadline import (
+    Deadline,
+    activate_deadline,
+    current_deadline,
+    deactivate_deadline,
+)
 
 __all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
 
@@ -90,6 +96,7 @@ def _init_worker(payload: tuple, size_limit: int) -> None:
 def _run_chunk(
     chunk: Sequence[tuple[int, str, str, str, int, int]],
     trace_id: str | None = None,
+    deadline_s: float | None = None,
 ) -> tuple[int, float, int, list[tuple[int, bool, Any]], tuple | None]:
     """Explain every item of one chunk against the worker's replica.
 
@@ -106,6 +113,11 @@ def _run_chunk(
     ``trace_export = (worker_wall_start, exported_span_tuples)`` for the
     coordinator to graft under its dispatch span — ``perf_counter`` offsets
     do not survive a process boundary, the wall-clock start does.
+
+    ``deadline_s`` is the coordinator's *remaining* budget at dispatch time;
+    the chunk re-arms it as a worker-local deadline, so the enumeration
+    checkpoints fire inside the worker too.  Expiry surfaces per item as a
+    :class:`~repro.errors.DeadlineExceeded` (a ``RexError``), never a crash.
     """
     rex: Rex = _WORKER["rex"]
     measures: dict[str, Measure] = _WORKER["measures"]
@@ -113,6 +125,11 @@ def _run_chunk(
     worker_trace: Trace | None = None
     token = None
     root = None
+    deadline_token = None
+    if deadline_s is not None:
+        # a budget already spent at dispatch time still arms (clamped to an
+        # epsilon), so every item reports expiry instead of crashing here
+        deadline_token = activate_deadline(Deadline(max(deadline_s, 1e-9)))
     if trace_id is not None:
         worker_trace = Trace("worker", trace_id=trace_id)
         token = activate_trace(worker_trace)
@@ -139,6 +156,8 @@ def _run_chunk(
                 results.append((index, False, error))
     finally:
         cpu_seconds = time.process_time() - cpu_started
+        if deadline_token is not None:
+            deactivate_deadline(deadline_token)
         if worker_trace is not None:
             root.__exit__(None, None, None)
             deactivate_trace(token)
@@ -157,6 +176,7 @@ def _run_sweep(
     own_count: float,
     v_start: str,
     v_end: str,
+    deadline_s: float | None = None,
 ) -> tuple[int, float, int, int]:
     """One shard of a distributional position computation.
 
@@ -168,9 +188,16 @@ def _run_sweep(
     """
     rex: Rex = _WORKER["rex"]
     cpu_started = time.process_time()
-    position, bindings_enumerated = sweep_position_count(
-        rex.kb, pattern, start_entities, own_count, v_start, v_end
-    )
+    deadline_token = None
+    if deadline_s is not None:
+        deadline_token = activate_deadline(Deadline(max(deadline_s, 1e-9)))
+    try:
+        position, bindings_enumerated = sweep_position_count(
+            rex.kb, pattern, start_entities, own_count, v_start, v_end
+        )
+    finally:
+        if deadline_token is not None:
+            deactivate_deadline(deadline_token)
     cpu_seconds = time.process_time() - cpu_started
     return os.getpid(), cpu_seconds, position, bindings_enumerated
 
@@ -482,12 +509,19 @@ class ParallelBatchExecutor:
         batch_cpu: dict[int, float] = {}
         trace_id = trace.trace_id if trace is not None else None
         dispatch_span = trace.span("dispatch") if trace is not None else None
+        # Ship the coordinator's remaining budget into every chunk so the
+        # cooperative checkpoints keep firing across the process boundary.
+        ambient = current_deadline()
+        deadline_s = ambient.remaining() if ambient is not None else None
         try:
             if dispatch_span is not None:
                 dispatch_span.__enter__()
             # submit is inside the guard too: a pool whose worker already
             # died rejects new work with BrokenProcessPool right here
-            futures = [pool.submit(_run_chunk, chunk, trace_id) for chunk in chunks]
+            futures = [
+                pool.submit(_run_chunk, chunk, trace_id, deadline_s)
+                for chunk in chunks
+            ]
             for future in futures:
                 pid, cpu_seconds, replica_version, chunk_results, export = future.result()
                 batch_cpu[pid] = batch_cpu.get(pid, 0.0) + cpu_seconds
@@ -559,9 +593,13 @@ class ParallelBatchExecutor:
         ]
         position = 0
         bindings = 0
+        ambient = current_deadline()
+        deadline_s = ambient.remaining() if ambient is not None else None
         try:
             futures = [
-                pool.submit(_run_sweep, pattern, shard, own_count, v_start, v_end)
+                pool.submit(
+                    _run_sweep, pattern, shard, own_count, v_start, v_end, deadline_s
+                )
                 for shard in shards
             ]
             for future in futures:

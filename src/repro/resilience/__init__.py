@@ -1,0 +1,50 @@
+"""Request-lifecycle resilience: deadlines, admission, retries, breaking.
+
+This package holds the mechanisms that keep the serving stack operable under
+overload and partial failure — the difference between a prototype that
+benchmarks well and a service that survives a bad afternoon:
+
+* :mod:`repro.resilience.deadline` — per-request deadline budgets carried in
+  a context variable and polled at cooperative checkpoints inside the
+  enumeration, matching and sweep hot loops;
+* :mod:`repro.resilience.admission` — a fixed-size in-flight gate with a
+  bounded, timed wait queue; excess load is shed as HTTP 429;
+* :mod:`repro.resilience.retry` — bounded exponential backoff with jitter
+  for retrying crashed worker batches against a recycled pool;
+* :mod:`repro.resilience.breaker` — a circuit breaker that degrades the
+  engine to cached-only serving after repeated worker/store failures.
+
+Nothing here imports from :mod:`repro.service` (the service layer imports
+*us*); the only internal dependency is :mod:`repro.errors`.  See
+``docs/robustness.md`` for the operator-facing semantics.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, AdmissionRejected
+from .breaker import CircuitBreaker, CircuitOpenError
+from .deadline import (
+    DEFAULT_TICK_STRIDE,
+    Deadline,
+    activate_deadline,
+    current_deadline,
+    deactivate_deadline,
+    deadline_scope,
+)
+from .retry import RetryPolicy
+from ..errors import DeadlineExceeded
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEFAULT_TICK_STRIDE",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "activate_deadline",
+    "current_deadline",
+    "deactivate_deadline",
+    "deadline_scope",
+]

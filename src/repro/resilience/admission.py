@@ -1,0 +1,167 @@
+"""Bounded admission control: an in-flight gate with a load-shedding queue.
+
+``ThreadingHTTPServer`` happily accepts one thread per connection until the
+machine falls over.  :class:`AdmissionController` puts a hard bound in front
+of the work endpoints: at most ``max_inflight`` requests execute at once, at
+most ``max_queue`` more wait (each for at most ``queue_timeout_s``), and
+everything beyond that is shed immediately with :class:`AdmissionRejected`
+— which the HTTP layer maps to ``429`` with a ``Retry-After`` hint.
+
+Shedding at the door is the point: a request that would only time out in a
+queue is cheaper for everyone as an instant 429 the client can back off on.
+
+The controller takes an optional metrics registry (duck-typed
+``counter(name)``/``gauge(name)``, matching
+:class:`repro.service.metrics.MetricsRegistry` — not imported here to keep
+this layer service-free) and maintains:
+
+* ``admission.admitted`` / ``admission.shed_queue_full`` /
+  ``admission.shed_timeout`` counters,
+* ``admission.inflight`` / ``admission.queue_depth`` gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+from contextlib import contextmanager
+
+from ..errors import RexError
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(RexError):
+    """Raised when a request is shed instead of admitted (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(f"request shed: {reason} (retry after {retry_after_s:.1f}s)")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.retry_after_s))
+
+
+class AdmissionController:
+    """Fixed-size in-flight gate plus a bounded, timed wait queue."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        max_queue: int = 128,
+        queue_timeout_s: float = 5.0,
+        metrics: Any | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout_s < 0:
+            raise ValueError("queue_timeout_s must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self._lock = threading.Lock()
+        self._slot_free = threading.Condition(self._lock)
+        self._inflight = 0
+        self._queued = 0
+        self._admitted = 0
+        self._shed_queue_full = 0
+        self._shed_timeout = 0
+        if metrics is not None:
+            self._admitted_counter = metrics.counter("admission.admitted")
+            self._shed_full_counter = metrics.counter("admission.shed_queue_full")
+            self._shed_timeout_counter = metrics.counter("admission.shed_timeout")
+            self._inflight_gauge = metrics.gauge("admission.inflight")
+            self._queue_gauge = metrics.gauge("admission.queue_depth")
+        else:
+            self._admitted_counter = None
+            self._shed_full_counter = None
+            self._shed_timeout_counter = None
+            self._inflight_gauge = None
+            self._queue_gauge = None
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold an execution slot for the block, or raise AdmissionRejected."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def acquire(self) -> None:
+        with self._slot_free:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._admitted += 1
+                self._publish_locked(admitted=True)
+                return
+            if self._queued >= self.max_queue:
+                self._shed_queue_full += 1
+                self._publish_locked(shed_full=True)
+                raise AdmissionRejected("queue full", self._retry_after_locked())
+            self._queued += 1
+            self._publish_locked()
+            deadline = time.monotonic() + self.queue_timeout_s
+            admitted = False
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._slot_free.wait(remaining):
+                        if self._inflight >= self.max_inflight:
+                            self._shed_timeout += 1
+                            self._publish_locked(shed_timeout=True)
+                            raise AdmissionRejected(
+                                "queue wait timed out", self._retry_after_locked()
+                            )
+                self._inflight += 1
+                self._admitted += 1
+                admitted = True
+            finally:
+                self._queued -= 1
+                self._publish_locked(admitted=admitted)
+
+    def release(self) -> None:
+        with self._slot_free:
+            self._inflight -= 1
+            self._publish_locked()
+            self._slot_free.notify()
+
+    def _retry_after_locked(self) -> float:
+        # A full gate suggests waiting about one queue-drain interval; keep
+        # it simple and bounded so Retry-After headers stay sane.
+        return min(5.0, max(0.5, self.queue_timeout_s / 2.0))
+
+    def _publish_locked(
+        self,
+        *,
+        admitted: bool = False,
+        shed_full: bool = False,
+        shed_timeout: bool = False,
+    ) -> None:
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.set(self._inflight)
+            self._queue_gauge.set(self._queued)
+            if admitted and self._admitted_counter is not None:
+                self._admitted_counter.inc()
+            if shed_full:
+                self._shed_full_counter.inc()
+            if shed_timeout:
+                self._shed_timeout_counter.inc()
+
+    def snapshot(self) -> dict:
+        """Live occupancy and totals for ``/healthz`` and tests."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_timeout": self._shed_timeout,
+            }

@@ -1,0 +1,202 @@
+"""Circuit breaker: degrade to cached-only serving instead of failing hard.
+
+When the worker pool keeps crashing or the durable store keeps erroring,
+every fresh computation is likely to fail too — and each failed attempt costs
+a pool rebuild or an fsync timeout.  The breaker turns that repeated pain
+into a fast, observable mode switch:
+
+* **closed** — normal serving; failures are counted, any success resets the
+  streak.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  opens for ``recovery_time_s``.  The engine keeps serving cache hits but
+  refuses fresh computation with :class:`CircuitOpenError` (HTTP 503 with a
+  ``Retry-After`` hint).
+* **half_open** — once the recovery window elapses, up to
+  ``half_open_probes`` requests are let through as probes.  A probe failure
+  re-opens the breaker (with a fresh window); once ``half_open_probes``
+  probes succeed it closes.
+
+The clock is injectable so the state machine is property-testable with a
+scripted virtual clock (see ``tests/test_resilience_breaker.py``); production
+uses ``time.monotonic``.  All methods take a single internal lock — callers
+on the serving path only ever pay an uncontended lock acquire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import RexError
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker", "CircuitOpenError"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Prometheus gauge encoding of the states (0 is healthy; higher is worse).
+STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitOpenError(RexError):
+    """Raised when fresh computation is refused because the breaker is open."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit breaker open: serving cached results only "
+            f"(retry after {retry_after_s:.1f}s)"
+        )
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (type(self), (self.retry_after_s,))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe phase."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 10.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time_s <= 0:
+            raise ValueError("recovery_time_s must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failure_streak = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._transitions: dict[str, int] = {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}
+
+    # -- state inspection --------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open→half_open if the window elapsed."""
+        with self._lock:
+            self._advance_locked()
+            return self._state
+
+    def state_gauge(self) -> int:
+        """Numeric state for the Prometheus gauge (0/1/2)."""
+        return STATE_GAUGE[self.state]
+
+    def snapshot(self) -> dict:
+        """State + counters for ``/healthz`` and ``engine.stats()``."""
+        with self._lock:
+            self._advance_locked()
+            remaining = 0.0
+            if self._state == OPEN:
+                remaining = max(
+                    0.0, self._opened_at + self.recovery_time_s - self._clock()
+                )
+            return {
+                "state": self._state,
+                "failure_streak": self._failure_streak,
+                "failure_threshold": self.failure_threshold,
+                "recovery_remaining_s": round(remaining, 3),
+                "transitions": dict(self._transitions),
+            }
+
+    # -- serving-path hooks ------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a fresh computation proceed right now?
+
+        In ``half_open`` this *claims* a probe slot; the caller must report
+        the outcome via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def retry_after_s(self) -> float:
+        """Suggested client backoff while open (floor 0.1s for headers)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.1
+            return max(
+                0.1, self._opened_at + self.recovery_time_s - self._clock()
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._advance_locked()
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._to_locked(CLOSED)
+            else:
+                self._failure_streak = 0
+
+    def cancel_probe(self) -> None:
+        """Release a claimed probe slot without recording an outcome.
+
+        For half-open probes that end in a failure the *dependency* had no
+        part in (a bad request, a deadline the caller set) — the probe slot
+        must be given back so real probes can still run, but the breaker
+        should learn nothing from it.  No-op outside ``half_open``.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._advance_locked()
+            if self._state == HALF_OPEN:
+                # A probe failed: the dependency is still sick, re-open with
+                # a fresh recovery window.
+                self._to_locked(OPEN)
+            elif self._state == CLOSED:
+                self._failure_streak += 1
+                if self._failure_streak >= self.failure_threshold:
+                    self._to_locked(OPEN)
+            # Failures while already OPEN (e.g. in-flight work finishing
+            # after the trip) don't extend the window.
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance_locked(self) -> None:
+        if self._state == OPEN and (
+            self._clock() >= self._opened_at + self.recovery_time_s
+        ):
+            self._to_locked(HALF_OPEN)
+
+    def _to_locked(self, state: str) -> None:
+        self._state = state
+        self._transitions[state] += 1
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        elif state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        else:  # CLOSED
+            self._failure_streak = 0
+            self._probes_in_flight = 0
+            self._probe_successes = 0

@@ -1,0 +1,136 @@
+"""Per-request deadline budgets with cooperative cancellation checkpoints.
+
+A request that cannot finish in time should stop burning a core, not keep
+running to completion for a client that has already given up.  The design
+mirrors :mod:`repro.obs.trace`: the budget travels in a context variable, the
+hot paths read it **once** into a local at function entry, and when no
+deadline is armed that read is the entire cost — enumeration output stays
+byte-identical and effectively free.
+
+* :class:`Deadline` wraps a monotonic expiry.  :meth:`Deadline.check` raises
+  :class:`~repro.errors.DeadlineExceeded` once expired; :meth:`Deadline.tick`
+  amortises the clock read over ``stride`` calls for the innermost loops
+  (frontier expansions, matcher backtracking steps, sweep starts).
+* :func:`current_deadline` returns the ambient deadline or ``None``.  Hot
+  paths use the idiom::
+
+      deadline = current_deadline()
+      ...
+      if deadline is not None:
+          deadline.tick()
+
+* :func:`deadline_scope` arms a budget for a ``with`` block;
+  :func:`activate_deadline` / :func:`deactivate_deadline` are the token form
+  used when entry and exit are in different frames (worker processes).
+
+Checkpoints are *cooperative*: a C-level sort or a SQLite query runs to
+completion before the next checkpoint fires, so callers get "deadline plus
+one work quantum", not preemption.  The serving layer adds a grace window on
+top (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from ..errors import DeadlineExceeded
+
+__all__ = [
+    "DEFAULT_TICK_STRIDE",
+    "Deadline",
+    "activate_deadline",
+    "current_deadline",
+    "deactivate_deadline",
+    "deadline_scope",
+]
+
+#: Clock reads are amortised over this many :meth:`Deadline.tick` calls.
+#: At ~10M ticks/s of enumeration work a stride of 64 bounds the detection
+#: lag to microseconds while keeping the common case a single decrement.
+DEFAULT_TICK_STRIDE = 64
+
+_ACTIVE: ContextVar["Deadline | None"] = ContextVar("rex_active_deadline", default=None)
+
+
+class Deadline:
+    """A monotonic expiry shared by every layer that serves one request."""
+
+    __slots__ = ("budget_s", "expires_at", "_countdown", "_stride")
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        clock: float | None = None,
+        stride: int = DEFAULT_TICK_STRIDE,
+    ) -> None:
+        if budget_s <= 0:
+            raise DeadlineExceeded(budget_s)
+        self.budget_s = float(budget_s)
+        start = time.monotonic() if clock is None else clock
+        self.expires_at = start + self.budget_s
+        self._stride = max(1, int(stride))
+        # the first tick reads the clock (an already-spent budget must trip
+        # even when the whole computation makes fewer than `stride` ticks);
+        # after that, every stride-th tick does
+        self._countdown = 1
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if time.monotonic() >= self.expires_at:
+            raise DeadlineExceeded(self.budget_s)
+
+    def tick(self) -> None:
+        """Strided :meth:`check` for the innermost loops.
+
+        Only every ``stride``-th call reads the clock; the rest are a single
+        integer decrement, which keeps armed-deadline overhead inside the
+        3% envelope the resilience benchmark gates.
+        """
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._stride
+            if time.monotonic() >= self.expires_at:
+                raise DeadlineExceeded(self.budget_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.3f})"
+
+
+def current_deadline() -> "Deadline | None":
+    """The deadline armed in this context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def activate_deadline(deadline: "Deadline") -> object:
+    """Arm ``deadline`` for this context; returns a reset token."""
+    return _ACTIVE.set(deadline)
+
+
+def deactivate_deadline(token: object) -> None:
+    """Undo :func:`activate_deadline` with the token it returned."""
+    _ACTIVE.reset(token)  # type: ignore[arg-type]
+
+
+@contextmanager
+def deadline_scope(budget_s: float | None) -> Iterator["Deadline | None"]:
+    """Arm a fresh deadline for the block; ``None`` budget is a no-op scope."""
+    if budget_s is None:
+        yield None
+        return
+    deadline = Deadline(budget_s)
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,75 @@
+"""Bounded retry with exponential backoff and full jitter.
+
+The process-pool executor deliberately leaves crash retry "to the caller": a
+``WorkerCrashError`` poisons the pool and the next acquisition builds a fresh
+one, so a retried batch lands on recycled workers.  :class:`RetryPolicy`
+encodes the caller side — how many attempts, how long to sleep between them —
+as data, so the engine's retry loop, the tests and the docs all read the same
+numbers.
+
+Full jitter (``random.uniform(0, capped_delay)``) rather than a fixed
+exponential schedule: when a crash takes out several in-flight batches at
+once, jitter keeps their retries from resynchronising into a thundering herd
+against the freshly built pool.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for retrying crashed worker batches.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` is one attempt
+    plus two retries.  Delay before retry ``n`` (1-based) is drawn uniformly
+    from ``[0, min(max_delay_s, base_delay_s * 2**(n-1))]`` when ``jitter``
+    is on, or exactly the capped exponential when off (tests pin it off for
+    determinism).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    def backoff_s(self, attempt: int, *, rng: random.Random | None = None) -> float:
+        """Sleep before retry ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        capped = min(self.max_delay_s, self.base_delay_s * (2.0 ** (attempt - 1)))
+        if not self.jitter:
+            return capped
+        draw = rng.uniform if rng is not None else random.uniform
+        return draw(0.0, capped)
+
+    def sleep_before_retry(
+        self,
+        attempt: int,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        max_sleep_s: float | None = None,
+    ) -> float:
+        """Compute and perform the backoff sleep; returns the slept seconds.
+
+        ``max_sleep_s`` clamps the sleep to a remaining deadline budget so a
+        retry never blows through the request's deadline just waiting.
+        """
+        delay = self.backoff_s(attempt)
+        if max_sleep_s is not None:
+            delay = max(0.0, min(delay, max_sleep_s))
+        if delay > 0:
+            sleep(delay)
+        return delay

@@ -34,7 +34,14 @@ from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro import Rex, validate_k, validate_size_limit
 from repro.enumeration.framework import DEFAULT_SIZE_LIMIT
-from repro.errors import CheckpointError, KnowledgeBaseError, RexError, StoreError, UnknownEntityError
+from repro.errors import (
+    CheckpointError,
+    DeadlineExceeded,
+    KnowledgeBaseError,
+    RexError,
+    StoreError,
+    UnknownEntityError,
+)
 from repro.kb.checkpoint import CHECKPOINT_FILENAME, save_checkpoint
 from repro.kb.checkpoint import load_checkpoint as _load_checkpoint
 from repro.kb.compiled import CompiledKB, OverlayCompiledKB, extend_compiled
@@ -43,8 +50,17 @@ from repro.kb.store import KnowledgeBaseStore
 from repro.measures.base import Measure
 from repro.obs.logging import get_logger, log_event
 from repro.obs.trace import PhaseTiming, Trace, Tracer, current_trace, span
-from repro.parallel import ParallelBatchExecutor
+from repro.parallel import ParallelBatchExecutor, WorkerCrashError
 from repro.ranking.general import RankedExplanation
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    RetryPolicy,
+    activate_deadline,
+    current_deadline,
+    deactivate_deadline,
+)
 from repro.service.cache import VersionedLRUCache
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 
@@ -96,6 +112,25 @@ def _delta_compact_from_env() -> int:
         ) from None
 
 
+def _deadline_from_env() -> float | None:
+    """The ``REX_DEADLINE_S`` default (unset/0 = no deadline, seed semantics)."""
+    raw = os.environ.get("REX_DEADLINE_S", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise RexError(
+            f"REX_DEADLINE_S must be a budget in seconds, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+#: How long a coalesced follower waits on the leader's event per slice before
+#: re-checking the leader thread's liveness (and its own deadline).
+_FOLLOWER_WAIT_SLICE_S = 0.1
+
+
 @dataclass(frozen=True)
 class ExplainOutcome:
     """One answered explain request plus how it was answered.
@@ -139,7 +174,8 @@ class ExplainOutcome:
 class _InFlight:
     """Shared state of one in-progress computation (single-flight slot)."""
 
-    __slots__ = ("event", "outcome", "error", "version")
+    __slots__ = ("event", "outcome", "error", "version", "leader_thread",
+                 "takeover_claimed")
 
     def __init__(self) -> None:
         self.event = threading.Event()
@@ -149,6 +185,14 @@ class _InFlight:
         #: the version the flight was registered under, if a write landed
         #: between registration and the leader taking the KB read lock).
         self.version: int | None = None
+        #: The thread computing this flight.  Followers poll its liveness so
+        #: a leader that dies without publishing (killed thread, interpreter
+        #: teardown mid-compute) cannot strand them forever.
+        self.leader_thread: threading.Thread | None = None
+        #: Set (under the engine's in-flight lock) by the first follower that
+        #: detects a dead leader and takes the computation over, so the rest
+        #: keep waiting on the event instead of stampeding.
+        self.takeover_claimed = False
 
 
 class _ReadWriteLock:
@@ -240,6 +284,22 @@ class ExplanationEngine:
             instead of keeping the merge-at-probe-time overlay.  ``None``
             reads ``REX_DELTA_COMPACT_EDGES`` (default 1024); 0 compacts on
             every write.  See ``docs/performance.md`` for tuning guidance.
+        deadline_s: default per-request compute budget in seconds, armed
+            around every :meth:`explain` / :meth:`explain_batch` call that
+            does not carry its own (explicit ``deadline_s`` argument or an
+            ambient deadline from the HTTP layer).  ``None`` reads
+            ``REX_DEADLINE_S`` (unset/0 = no deadline — the seed semantics).
+            An exceeded budget raises
+            :class:`~repro.errors.DeadlineExceeded` (HTTP 504).
+        retry_policy: backoff schedule for retrying a batch whose worker
+            pool crashed mid-flight (the pool is recycled between attempts).
+            Default: 3 attempts, 50ms base full-jitter exponential backoff.
+        breaker: circuit breaker guarding fresh computation.  Default: trips
+            after 5 consecutive worker/store failures, recovers through a
+            2-probe half-open phase after 10s.  While open, cache hits are
+            still served; misses raise
+            :class:`~repro.resilience.CircuitOpenError` (HTTP 503).
+            See ``docs/robustness.md``.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -262,6 +322,9 @@ class ExplanationEngine:
         checkpoint_dir: str | Path | None = None,
         tracer: Tracer | None = None,
         delta_compact_edges: int | None = None,
+        deadline_s: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Request tracing: sampling, the trace ring buffer, phase histograms.
@@ -324,6 +387,17 @@ class ExplanationEngine:
         self.parallelism = (
             max(0, parallelism) if parallelism is not None else _parallelism_from_env()
         )
+        # -- resilience: deadlines, retry, circuit breaking
+        if deadline_s is not None and deadline_s <= 0:
+            raise RexError(f"deadline_s must be positive, got {deadline_s!r}")
+        self.default_deadline_s = (
+            deadline_s if deadline_s is not None else _deadline_from_env()
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._leaked_threads: list[str] = []
         self._executor: ParallelBatchExecutor | None = None
         self._executor_lock = threading.Lock()
         # version -> Rex over the CompiledKB of that version.  One compile is
@@ -349,6 +423,13 @@ class ExplanationEngine:
             "engine.scoped_purge_fallbacks"
         )
         self._warmup_restarts = self.metrics.counter("engine.warmup_restarts")
+        self._deadline_exceeded = self.metrics.counter("engine.deadline_exceeded")
+        self._worker_crash_retries = self.metrics.counter(
+            "engine.worker_crash_retries"
+        )
+        self._breaker_rejected = self.metrics.counter("engine.breaker_rejected")
+        self._leader_takeovers = self.metrics.counter("engine.leader_takeovers")
+        self._gauge_breaker = self.metrics.gauge("engine.breaker_state")
         self._latency = self.metrics.histogram("engine.explain_latency")
         # per-measure labeled histograms, handle-cached so the hot path never
         # takes the registry lock (entries appear on the first miss per
@@ -402,6 +483,7 @@ class ExplanationEngine:
         k: int = 10,
         size_limit: int | None = None,
         profile: bool = False,
+        deadline_s: float | None = None,
     ) -> ExplainOutcome:
         """Answer one explain request, through cache and single-flight.
 
@@ -412,14 +494,37 @@ class ExplanationEngine:
         rate only 1-in-N requests pay for a trace; the rest touch a single
         shared no-op span object.
 
+        ``deadline_s`` arms a compute budget for this call (overriding both
+        the engine default and any ambient deadline); with it ``None`` the
+        call inherits whatever deadline the caller armed (e.g. the HTTP
+        layer's ``timeout_s``), falling back to the engine's
+        ``default_deadline_s``.
+
         Raises:
             RexError: for invalid arguments (unknown measure, bad ``k``) or
                 unknown entities — the same validation the facade applies.
+            DeadlineExceeded: the armed budget ran out mid-computation.
+            CircuitOpenError: the breaker is open and the result was not
+                cached.
         """
         started = time.perf_counter()
         self._requests.inc()
         trace = self.tracer.maybe_start("explain", force=profile)
+        deadline_token = None
         try:
+            if deadline_s is not None:
+                if not isinstance(deadline_s, (int, float)) or isinstance(
+                    deadline_s, bool
+                ) or deadline_s <= 0:
+                    raise RexError(
+                        f"deadline_s must be a positive number of seconds, "
+                        f"got {deadline_s!r}"
+                    )
+                deadline_token = activate_deadline(Deadline(deadline_s))
+            elif current_deadline() is None and self.default_deadline_s is not None:
+                deadline_token = activate_deadline(
+                    Deadline(self.default_deadline_s)
+                )
             measure_obj, effective_limit = self._validate_request(
                 v_start, v_end, measure, k, size_limit
             )
@@ -446,31 +551,30 @@ class ExplanationEngine:
             flight: _InFlight
             flight_key = (version, *key)
             leader = False
+            rejected = False
             with self._inflight_lock:
                 existing = self._inflight.get(flight_key)
                 if existing is None:
-                    flight = _InFlight()
-                    self._inflight[flight_key] = flight
-                    leader = True
+                    # fresh computation: it must pass the circuit breaker
+                    # (followers ride an already-admitted flight for free)
+                    if self.breaker.allow():
+                        flight = _InFlight()
+                        flight.leader_thread = threading.current_thread()
+                        self._inflight[flight_key] = flight
+                        leader = True
+                    else:
+                        rejected = True
                 else:
                     flight = existing
+            if rejected:
+                self._breaker_rejected.inc()
+                self._publish_breaker()
+                raise CircuitOpenError(self.breaker.retry_after_s())
             if not leader:
                 self._coalesced.inc()
-                flight.event.wait()
-                if flight.error is not None:
-                    # raise a per-thread copy: N waiters raising the same
-                    # instance concurrently would race on its __traceback__
-                    raise copy.copy(flight.error) from flight.error
-                assert flight.outcome is not None
-                assert flight.version is not None
-                return self._outcome(
-                    flight.outcome,
-                    key,
-                    flight.version,
-                    cached=False,
-                    coalesced=True,
-                    started=started,
-                    trace=active,
+                return self._await_leader(
+                    flight, flight_key, key, v_start, v_end, measure_obj, k,
+                    effective_limit, started, active,
                 )
 
             try:
@@ -487,24 +591,163 @@ class ExplanationEngine:
                 flight.version = computed_version
             except BaseException as error:
                 flight.error = error
+                if isinstance(error, (WorkerCrashError, StoreError)):
+                    self.breaker.record_failure()
+                else:
+                    # a failure the dependency had no part in (bad request
+                    # validated late, deadline): give a half-open probe back
+                    self.breaker.cancel_probe()
+                self._publish_breaker()
                 raise
             finally:
                 with self._inflight_lock:
                     self._inflight.pop(flight_key, None)
                 flight.event.set()
+            self.breaker.record_success()
+            self._publish_breaker()
             return self._outcome(
                 ranked, key, computed_version, cached=False, coalesced=False,
                 started=started, trace=active,
             )
         except Exception as error:
             self._errors.inc()
+            if isinstance(error, DeadlineExceeded):
+                self._deadline_exceeded.inc()
             if trace is not None:
                 self.tracer.finish(trace, error=f"{type(error).__name__}: {error}")
                 trace = None
             raise
         finally:
+            if deadline_token is not None:
+                deactivate_deadline(deadline_token)
             if trace is not None:
                 self.tracer.finish(trace)
+
+    def _await_leader(
+        self,
+        flight: _InFlight,
+        flight_key: tuple,
+        key: tuple,
+        v_start: str,
+        v_end: str,
+        measure_obj: Measure,
+        k: int,
+        effective_limit: int,
+        started: float,
+        trace: Trace | None,
+    ) -> ExplainOutcome:
+        """Wait (boundedly) on the leader's flight; recover if it dies.
+
+        The naive ``event.wait()`` here was a hang: a leader thread that dies
+        without publishing (hard-killed, interpreter teardown) leaves its
+        followers blocked forever on an event nobody will set.  Followers now
+        wait in slices, and between slices check (a) their own deadline and
+        (b) the leader thread's liveness.  The first follower to observe a
+        dead leader claims the slot (under the in-flight lock, so exactly one
+        claims) and computes the result itself, publishing it to the rest.
+
+        A leader that *publishes* a :class:`DeadlineExceeded` is handled too:
+        that error describes the leader's budget, not ours — a follower whose
+        own deadline still has headroom recomputes instead of inheriting a
+        504 it had time to avoid.
+        """
+        deadline = current_deadline()
+        while not flight.event.is_set():
+            timeout = _FOLLOWER_WAIT_SLICE_S
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise DeadlineExceeded(deadline.budget_s)
+                timeout = min(timeout, remaining)
+            if flight.event.wait(timeout):
+                break
+            leader_thread = flight.leader_thread
+            if leader_thread is None or leader_thread.is_alive():
+                continue
+            claimed = False
+            with self._inflight_lock:
+                if not flight.takeover_claimed and not flight.event.is_set():
+                    flight.takeover_claimed = True
+                    claimed = True
+            if claimed:
+                return self._takeover(
+                    flight, flight_key, key, v_start, v_end, measure_obj, k,
+                    effective_limit, started, trace,
+                )
+            # another follower claimed the takeover: keep waiting on the
+            # event — it will publish (or fail) on our behalf
+        error = flight.error
+        if error is not None:
+            if isinstance(error, DeadlineExceeded):
+                own = current_deadline()
+                if own is None or not own.expired():
+                    self._leader_takeovers.inc()
+                    ranked, computed_version = self._compute(
+                        v_start, v_end, measure_obj, k, effective_limit
+                    )
+                    self.cache.put(key, computed_version, ranked)
+                    return self._outcome(
+                        ranked, key, computed_version, cached=False,
+                        coalesced=True, started=started, trace=trace,
+                    )
+            # raise a per-thread copy: N waiters raising the same instance
+            # concurrently would race on its __traceback__
+            raise copy.copy(error) from error
+        assert flight.outcome is not None
+        assert flight.version is not None
+        return self._outcome(
+            flight.outcome,
+            key,
+            flight.version,
+            cached=False,
+            coalesced=True,
+            started=started,
+            trace=trace,
+        )
+
+    def _takeover(
+        self,
+        flight: _InFlight,
+        flight_key: tuple,
+        key: tuple,
+        v_start: str,
+        v_end: str,
+        measure_obj: Measure,
+        k: int,
+        effective_limit: int,
+        started: float,
+        trace: Trace | None,
+    ) -> ExplainOutcome:
+        """Compute a dead leader's flight on this (follower) thread."""
+        self._leader_takeovers.inc()
+        log_event(
+            _LOG, logging.WARNING, "single_flight_takeover",
+            v_start=v_start, v_end=v_end, measure=measure_obj.name,
+        )
+        try:
+            ranked, computed_version = self._compute(
+                v_start, v_end, measure_obj, k, effective_limit
+            )
+            self.cache.put(key, computed_version, ranked)
+            flight.error = None
+            flight.outcome = ranked
+            flight.version = computed_version
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._inflight_lock:
+                if self._inflight.get(flight_key) is flight:
+                    self._inflight.pop(flight_key, None)
+            flight.event.set()
+        return self._outcome(
+            ranked, key, computed_version, cached=False, coalesced=True,
+            started=started, trace=trace,
+        )
+
+    def _publish_breaker(self) -> None:
+        """Refresh the ``engine.breaker_state`` gauge (0/1/2)."""
+        self._gauge_breaker.set(self.breaker.state_gauge())
 
     def explain_batch(
         self,
@@ -533,6 +776,12 @@ class ExplanationEngine:
         # parallel mode, the executor dispatch plus the workers' own spans)
         # all nest under it instead of sampling individually
         batch_trace = self.tracer.maybe_start("explain_batch")
+        # one deadline covers the whole batch too (it is one request): armed
+        # here so both the sequential per-item explains and the executor
+        # dispatch inherit it; an ambient deadline (HTTP timeout_s) wins
+        deadline_token = None
+        if current_deadline() is None and self.default_deadline_s is not None:
+            deadline_token = activate_deadline(Deadline(self.default_deadline_s))
         try:
             use_parallel = self.parallelism >= 2 and parallel is not False
             if use_parallel:
@@ -554,6 +803,8 @@ class ExplanationEngine:
                     results.append(error)
             return results
         finally:
+            if deadline_token is not None:
+                deactivate_deadline(deadline_token)
             if batch_trace is not None:
                 self.tracer.finish(batch_trace)
 
@@ -643,11 +894,23 @@ class ExplanationEngine:
             positions_by_key.setdefault(key, []).append(position)
 
         if positions_by_key:
+            if not self.breaker.allow():
+                # degraded mode: hits above were served, every miss gets the
+                # same structured refusal (copies — per-item tracebacks)
+                self._breaker_rejected.inc()
+                self._publish_breaker()
+                open_error = CircuitOpenError(self.breaker.retry_after_s())
+                for positions in positions_by_key.values():
+                    for position in positions:
+                        self._errors.inc()
+                        results[position] = copy.copy(open_error)
+                assert all(result is not None for result in results)
+                return results  # type: ignore[return-value]
             self._parallel_batches.inc()
             executor = self._ensure_executor()
             keys = list(positions_by_key)
             items = [(index, *key) for index, key in enumerate(keys)]
-            outcomes = executor.execute(items, trace=active)
+            outcomes = self._execute_with_retry(executor, items, active)
             for index, key in enumerate(keys):
                 ok, value, replica_version = outcomes[index]
                 positions = positions_by_key[key]
@@ -692,6 +955,52 @@ class ExplanationEngine:
                     )
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
+
+    def _execute_with_retry(
+        self,
+        executor: ParallelBatchExecutor,
+        items: list[tuple],
+        trace: Trace | None,
+    ) -> list:
+        """Dispatch a miss batch, retrying with backoff if the pool crashes.
+
+        A :class:`WorkerCrashError` poisons the pool, and the executor
+        rebuilds it on the next ``execute`` — so a retry is simply another
+        call, against fresh workers.  Attempts are bounded by the engine's
+        :class:`RetryPolicy`; the backoff sleep never exceeds the remaining
+        request deadline.  Each crash feeds the circuit breaker; a batch that
+        exhausts its attempts re-raises the last crash (HTTP 500 with the
+        structured ``worker_crash`` error).
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                outcomes = executor.execute(items, trace=trace)
+            except WorkerCrashError as error:
+                self.breaker.record_failure()
+                self._publish_breaker()
+                if attempt >= policy.max_attempts:
+                    raise
+                max_sleep = None
+                deadline = current_deadline()
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(deadline.budget_s) from error
+                    max_sleep = remaining
+                self._worker_crash_retries.inc()
+                log_event(
+                    _LOG, logging.WARNING, "worker_crash_retry",
+                    attempt=attempt, max_attempts=policy.max_attempts,
+                    error=str(error),
+                )
+                policy.sleep_before_retry(attempt, max_sleep_s=max_sleep)
+                attempt += 1
+            else:
+                self.breaker.record_success()
+                self._publish_breaker()
+                return outcomes
 
     # -- live updates ------------------------------------------------------
 
@@ -816,10 +1125,13 @@ class ExplanationEngine:
                 self._store_batches.inc()
                 with self._durability_lock:
                     self._store_error = None
+                self.breaker.record_success()
             except StoreError as error:
                 self._record_store_error(error)
+                self.breaker.record_failure()
             finally:
                 self._store_commit_lock.release()
+                self._publish_breaker()
         if compacted is not None:
             # a compaction produced a full immutable base at the new version:
             # persist it in the background so the next overlay chain (and the
@@ -1107,6 +1419,16 @@ class ExplanationEngine:
             pending = self._checkpoint_thread
             if pending is not None and pending.is_alive():
                 pending.join(timeout=30)
+                if pending.is_alive():
+                    # the daemon writer is wedged (stalled fsync, hung disk):
+                    # shutting down must not hang behind it, but leaking a
+                    # thread is an event operators should see — loudly, and
+                    # in stats()
+                    log_event(
+                        _LOG, logging.WARNING, "checkpoint_thread_leaked",
+                        thread=pending.name, join_timeout_s=30,
+                    )
+                    self._leaked_threads.append(pending.name)
             try:
                 with self._durability_lock:
                     last = self._last_checkpoint
@@ -1146,8 +1468,30 @@ class ExplanationEngine:
         if executor is not None:
             payload["parallel"].update(executor.snapshot())
         payload["durability"] = self.durability()
+        payload["resilience"] = self.resilience()
         payload["traces"] = self.tracer.snapshot()
         return payload
+
+    def resilience(self) -> dict[str, Any]:
+        """The engine's resilience posture, for ``/healthz`` and operators.
+
+        Covers the circuit breaker (state machine snapshot), the default
+        deadline, the worker-crash retry policy, and any threads ``close()``
+        had to abandon.  Reading it also refreshes the
+        ``engine.breaker_state`` gauge, so scrapes observe open→half_open
+        transitions that no request has triggered yet.
+        """
+        self._publish_breaker()
+        return {
+            "breaker": self.breaker.snapshot(),
+            "default_deadline_s": self.default_deadline_s,
+            "retry": {
+                "max_attempts": self.retry_policy.max_attempts,
+                "base_delay_s": self.retry_policy.base_delay_s,
+                "max_delay_s": self.retry_policy.max_delay_s,
+            },
+            "leaked_threads": list(self._leaked_threads),
+        }
 
     # -- durability internals ----------------------------------------------
 

@@ -69,7 +69,7 @@ from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import RexError, UnknownEntityError
+from repro.errors import DeadlineExceeded, RexError, UnknownEntityError
 from repro.kb.graph import KnowledgeBase
 from repro.obs.logging import (
     ACCESS_LOGGER_NAME,
@@ -84,6 +84,12 @@ from repro.obs.prometheus import (
 )
 from repro.obs.trace import Tracer
 from repro.parallel import WorkerCrashError
+from repro.resilience import (
+    AdmissionController,
+    AdmissionRejected,
+    CircuitOpenError,
+    deadline_scope,
+)
 from repro.service.engine import DEFAULT_MEASURE, ExplanationEngine
 from repro.service.serialize import outcome_to_dict
 
@@ -102,6 +108,35 @@ MAX_BATCH_REQUESTS = 1024
 DEFAULT_SLOW_QUERY_S = float(os.environ.get("REX_SLOW_QUERY_S", "1.0"))
 
 
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise RexError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise RexError(f"{name} must be a number, got {raw!r}") from None
+
+
+#: Admission-control defaults (``REX_MAX_INFLIGHT`` / ``REX_MAX_QUEUE`` /
+#: ``REX_QUEUE_TIMEOUT_S``): at most this many requests compute concurrently,
+#: this many more wait in line (bounded — beyond it the server sheds 429
+#: immediately), and a queued request gives up with 429 after this long.
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUE = 128
+DEFAULT_QUEUE_TIMEOUT_S = 5.0
+
+
 class ExplanationServer(ThreadingHTTPServer):
     """A threading HTTP server that owns an :class:`ExplanationEngine`."""
 
@@ -115,6 +150,8 @@ class ExplanationServer(ThreadingHTTPServer):
         verbose: bool = False,
         max_batch_requests: int = MAX_BATCH_REQUESTS,
         slow_query_s: float = DEFAULT_SLOW_QUERY_S,
+        admission: AdmissionController | None = None,
+        request_timeout_s: float | None = None,
     ) -> None:
         # assigned before binding: a failed bind runs server_close, which
         # must already see the engine to release its worker pool
@@ -122,6 +159,24 @@ class ExplanationServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.max_batch_requests = max_batch_requests
         self.slow_query_s = slow_query_s
+        #: Bounded admission for the work endpoints (explain, batch, edges);
+        #: liveness probes and metrics scrapes are never queued or shed.
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                max_inflight=_env_int("REX_MAX_INFLIGHT", DEFAULT_MAX_INFLIGHT),
+                max_queue=_env_int("REX_MAX_QUEUE", DEFAULT_MAX_QUEUE),
+                queue_timeout_s=_env_float(
+                    "REX_QUEUE_TIMEOUT_S", DEFAULT_QUEUE_TIMEOUT_S
+                ),
+                metrics=engine.metrics,
+            )
+        )
+        #: Per-connection socket timeout (idle/partial reads); overrides the
+        #: handler's 30s class default when set — slow-client tests and
+        #: aggressive operators dial it down.
+        self.request_timeout_s = request_timeout_s
         self.started_at = time.time()
         super().__init__(address, _ExplainHandler)
 
@@ -140,12 +195,22 @@ class ExplanationServer(ThreadingHTTPServer):
         """Log per-connection failures instead of dumping a bare traceback.
 
         Clients hanging up mid-response (``BrokenPipeError``,
-        ``ConnectionResetError``) are routine for a keep-alive server and are
-        dropped silently; anything else is a server bug and is logged with
-        its traceback on ``rex.server``.
+        ``ConnectionResetError``) are routine for a keep-alive server: they
+        emit exactly one structured ``client_disconnect`` event (INFO) and
+        bump ``http.client_disconnects`` — silently swallowing them hid real
+        mid-response abort rates from operators.  Anything else is a server
+        bug and is logged with its traceback on ``rex.server``.
         """
         exc_type, exc, _ = sys.exc_info()
         if exc_type is not None and issubclass(exc_type, ConnectionError):
+            self.engine.metrics.counter("http.client_disconnects").inc()
+            log_event(
+                get_logger(SERVER_LOGGER_NAME),
+                logging.INFO,
+                "client_disconnect",
+                client=str(client_address),
+                error=exc_type.__name__,
+            )
             return
         log_event(
             get_logger(SERVER_LOGGER_NAME),
@@ -170,6 +235,12 @@ class _ExplainHandler(BaseHTTPRequestHandler):
     def engine(self) -> ExplanationEngine:
         return self.server.engine  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        override = getattr(self.server, "request_timeout_s", None)
+        if override is not None:
+            self.timeout = override
+        super().setup()
+
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
@@ -188,7 +259,9 @@ class _ExplainHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
         parts = urlsplit(self.path)
         if parts.path == "/explain/batch":
-            self._handle("POST /explain/batch", self._explain_batch)
+            self._handle(
+                "POST /explain/batch", self._explain_batch, parse_qs(parts.query)
+            )
         elif parts.path == "/kb/edges":
             self._handle("POST /kb/edges", self._kb_edges)
         else:
@@ -205,6 +278,10 @@ class _ExplainHandler(BaseHTTPRequestHandler):
     def _healthz(self) -> tuple[int, dict[str, Any]]:
         kb = self.engine.kb
         durability = self.engine.durability()
+        resilience = self.engine.resilience()
+        admission = getattr(self.server, "admission", None)
+        if admission is not None:
+            resilience["admission"] = admission.snapshot()
         traces = self.engine.tracer.snapshot()
         return 200, {
             "status": "ok",
@@ -214,6 +291,8 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             "durability": durability["mode"],
             "checkpoint_age_s": durability["checkpoint_age_s"],
             "durability_detail": durability,
+            "breaker": resilience["breaker"]["state"],
+            "resilience": resilience,
             "uptime_s": round(
                 time.time() - getattr(self.server, "started_at", time.time()), 3
             ),
@@ -259,14 +338,20 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             k = _int_param(query, "k", 10)
             size_limit = _int_param(query, "size_limit", None)
             max_instances = _int_param(query, "max_instances", 3, minimum=0)
+            timeout_s = _float_param(query, "timeout_s")
         except ValueError as error:
             return 400, {"error": str(error)}
         outcome = self.engine.explain(
-            start, end, measure=measure, k=k, size_limit=size_limit
+            start, end, measure=measure, k=k, size_limit=size_limit,
+            deadline_s=timeout_s,
         )
         return 200, outcome_to_dict(outcome, max_instances=max_instances)
 
-    def _explain_batch(self) -> tuple[int, dict[str, Any]]:
+    def _explain_batch(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
+        try:
+            timeout_s = _float_param(query, "timeout_s")
+        except ValueError as error:
+            return 400, {"error": str(error)}
         document = self._read_json_body()
         requests = document.get("requests")
         if not isinstance(requests, list):
@@ -290,7 +375,11 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             )
         results: list[dict[str, Any]] = []
         answered = 0
-        for item in self.engine.explain_batch(requests):
+        # one budget spans the whole batch (it is one request): per-item
+        # expiries surface as inline item errors, not a whole-batch 504
+        with deadline_scope(timeout_s):
+            batch_results = self.engine.explain_batch(requests)
+        for item in batch_results:
             if isinstance(item, RexError):
                 results.append({"error": str(item)})
             else:
@@ -321,6 +410,11 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         {"GET /explain", "POST /explain/batch", "POST /kb/edges"}
     )
 
+    #: Endpoints that compete for engine capacity and therefore pass through
+    #: the admission controller.  Probes and scrapes must stay answerable
+    #: even when the work queue is saturated — that is when operators look.
+    _WORK_ENDPOINTS = _TRACED_ENDPOINTS
+
     def _handle(self, endpoint: str, func, *args) -> None:
         metrics = self.engine.metrics
         metrics.counter(f"http.requests{{{endpoint}}}").inc()
@@ -333,14 +427,45 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         request_id = trace.trace_id if trace is not None else os.urandom(8).hex()
         started = time.perf_counter()
         error_note: str | None = None
+        retry_after: float | None = None
+        admission = (
+            getattr(self.server, "admission", None)
+            if endpoint in self._WORK_ENDPOINTS
+            else None
+        )
         try:
-            status, payload = func(*args)
+            if admission is not None:
+                with admission.admit():
+                    status, payload = func(*args)
+            else:
+                status, payload = func(*args)
         except _BadRequest as error:
             status, payload = 400, {"error": str(error)}
         except _PayloadTooLarge as error:
             status, payload = 413, {"error": str(error)}
         except UnknownEntityError as error:
             status, payload = 404, {"error": str(error)}
+        except DeadlineExceeded as error:
+            # mapped before the RexError catch-all (it subclasses it): the
+            # request's budget ran out — tell the client when to come back
+            metrics.counter("http.deadline_exceeded").inc()
+            error_note = f"DeadlineExceeded: {error}"
+            retry_after = 1.0
+            status, payload = 504, {"error": str(error)}
+        except AdmissionRejected as error:
+            # load shed: the server is saturated and queuing longer would
+            # only grow the backlog — fast 429 with a backoff hint
+            metrics.counter("http.load_shed").inc()
+            error_note = f"AdmissionRejected: {error}"
+            retry_after = error.retry_after_s
+            status, payload = 429, {"error": str(error)}
+        except CircuitOpenError as error:
+            # degraded mode: fresh computation refused, cached answers still
+            # flow — surface the breaker's own recovery estimate
+            metrics.counter("http.circuit_open").inc()
+            error_note = f"CircuitOpenError: {error}"
+            retry_after = error.retry_after_s
+            status, payload = 503, {"error": str(error)}
         except RexError as error:
             status, payload = 400, {"error": str(error)}
         except WorkerCrashError as error:
@@ -351,6 +476,14 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             metrics.counter("http.worker_crashes").inc()
             error_note = f"WorkerCrashError: {error}"
             status, payload = 500, {"error": f"worker crash: {error}"}
+        except TimeoutError:
+            # the socket timed out mid-body (a trickling or stalled client):
+            # the read position is undefined, so answer 408 and close instead
+            # of letting the connection desync or hold its slot forever
+            self.close_connection = True
+            metrics.counter("http.request_timeouts").inc()
+            error_note = "TimeoutError: timed out reading the request"
+            status, payload = 408, {"error": "timed out reading the request body"}
         except Exception as error:
             # unknown failure state (possibly mid-read): do not reuse the
             # connection; the traceback goes to the server log with the
@@ -379,7 +512,7 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         if isinstance(payload, dict):
             payload.setdefault("request_id", request_id)
         self._access_log(endpoint, status, elapsed, request_id, trace is not None)
-        self._send_json(status, payload)
+        self._send_json(status, payload, retry_after=retry_after)
 
     def _access_log(
         self,
@@ -445,7 +578,12 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             raise _BadRequest("the JSON body must be an object")
         return document
 
-    def _send_json(self, status: int, payload: dict[str, Any] | str) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any] | str,
+        retry_after: float | None = None,
+    ) -> None:
         if isinstance(payload, str):
             # pre-rendered text exposition (Prometheus format)
             self._send_text(status, payload, PROMETHEUS_CONTENT_TYPE)
@@ -454,6 +592,10 @@ class _ExplainHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # integer seconds per RFC 9110, floored at 1 so "soon" is never
+            # rendered as an instant retry invitation
+            self.send_header("Retry-After", str(max(1, int(round(retry_after)))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -513,6 +655,24 @@ def _int_param(
     return value
 
 
+def _float_param(
+    query: dict[str, list[str]], name: str, default: float | None = None
+) -> float | None:
+    """An optional positive float query parameter (``timeout_s``)."""
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = float(values[-1])
+    except ValueError:
+        raise ValueError(
+            f"query parameter {name!r} must be a number, got {values[-1]!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"query parameter {name!r} must be positive, got {value}")
+    return value
+
+
 def create_server(
     engine: ExplanationEngine,
     host: str = "127.0.0.1",
@@ -520,6 +680,8 @@ def create_server(
     verbose: bool = False,
     max_batch_requests: int = MAX_BATCH_REQUESTS,
     slow_query_s: float = DEFAULT_SLOW_QUERY_S,
+    admission: AdmissionController | None = None,
+    request_timeout_s: float | None = None,
 ) -> ExplanationServer:
     """Bind an :class:`ExplanationServer` (``port=0`` picks an ephemeral port).
 
@@ -532,6 +694,8 @@ def create_server(
         verbose=verbose,
         max_batch_requests=max_batch_requests,
         slow_query_s=slow_query_s,
+        admission=admission,
+        request_timeout_s=request_timeout_s,
     )
 
 
@@ -578,6 +742,11 @@ def serve(
     log_json: bool = False,
     slow_query_s: float = DEFAULT_SLOW_QUERY_S,
     trace_sample: float | None = None,
+    deadline_s: float | None = None,
+    max_inflight: int | None = None,
+    max_queue: int | None = None,
+    queue_timeout_s: float | None = None,
+    request_timeout_s: float | None = None,
 ) -> None:
     """Blocking convenience entry point: build an engine and serve forever.
 
@@ -590,6 +759,13 @@ def serve(
     and server logs are silent unless a level is given); ``slow_query_s``
     sets the access-log slow-request threshold and ``trace_sample``
     overrides the tracer's sampling rate (1.0 traces every request).
+
+    Resilience knobs (all optional, env-backed — ``docs/robustness.md``):
+    ``deadline_s`` is the default per-request compute budget (504 past it,
+    ``REX_DEADLINE_S``); ``max_inflight``/``max_queue``/``queue_timeout_s``
+    bound admission (429 beyond them, ``REX_MAX_INFLIGHT`` / ``REX_MAX_QUEUE``
+    / ``REX_QUEUE_TIMEOUT_S``); ``request_timeout_s`` overrides the 30s
+    per-connection socket timeout for idle or trickling clients.
     """
     if log_level is not None:
         configure_logging(level=log_level, json_lines=log_json)
@@ -604,10 +780,28 @@ def serve(
         engine_kwargs["size_limit"] = size_limit
     if trace_sample is not None:
         engine_kwargs["tracer"] = Tracer(sample_rate=trace_sample)
+    if deadline_s is not None:
+        engine_kwargs["deadline_s"] = deadline_s
     engine = ExplanationEngine(kb, **engine_kwargs)
+    admission = AdmissionController(
+        max_inflight=(
+            max_inflight if max_inflight is not None
+            else _env_int("REX_MAX_INFLIGHT", DEFAULT_MAX_INFLIGHT)
+        ),
+        max_queue=(
+            max_queue if max_queue is not None
+            else _env_int("REX_MAX_QUEUE", DEFAULT_MAX_QUEUE)
+        ),
+        queue_timeout_s=(
+            queue_timeout_s if queue_timeout_s is not None
+            else _env_float("REX_QUEUE_TIMEOUT_S", DEFAULT_QUEUE_TIMEOUT_S)
+        ),
+        metrics=engine.metrics,
+    )
     # bind before the (potentially long) warmup so a taken port fails fast
     server = create_server(
-        engine, host=host, port=port, verbose=verbose, slow_query_s=slow_query_s
+        engine, host=host, port=port, verbose=verbose, slow_query_s=slow_query_s,
+        admission=admission, request_timeout_s=request_timeout_s,
     )
     previous_handlers = _install_shutdown_handlers(server)
     if warmup_pairs:

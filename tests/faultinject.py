@@ -1,7 +1,7 @@
-"""Fault-injection utilities for the durability test suite.
+"""Fault-injection utilities for the durability and resilience test suites.
 
-Three layers of induced failure, matching the three layers of the durable
-KB tier:
+Four layers of induced failure, matching the layers that can actually fail
+in production:
 
 * :func:`flaky_connection_factory` — a ``KnowledgeBaseStore`` connection
   factory whose transactions start failing at commit time after a budget of
@@ -10,6 +10,10 @@ KB tier:
 * :func:`broken_checkpoint_fs` — a context manager that swaps the
   checkpoint module's ``fsync``/``replace`` seams for ones that raise
   ``EIO``, for exercising checkpoint-write failure handling;
+* :func:`kill_worker_pool` — SIGKILL every live worker of an engine's
+  parallel batch executor, for exercising the retry-with-backoff and
+  circuit-breaker paths (``tests/test_resilience_chaos.py`` and the
+  resilience benchmark's chaos gate);
 * :class:`ServerProcess` — a subprocess driver around ``rex-explain serve``
   that the crash tests SIGKILL mid-write-burst and then restart against the
   same database, asserting recovery from the outside like an operator would.
@@ -39,8 +43,29 @@ __all__ = [
     "FlakyConnection",
     "flaky_connection_factory",
     "broken_checkpoint_fs",
+    "kill_worker_pool",
     "ServerProcess",
 ]
+
+
+# -- worker-pool chaos -------------------------------------------------------
+
+
+def kill_worker_pool(engine: Any) -> list[int]:
+    """SIGKILL every live worker process of ``engine``'s batch executor.
+
+    The pool must already be spun up (dispatch one batch first); returns the
+    pids that were killed.  No Python cleanup of any kind runs in the
+    workers — the next dispatch observes the crash, and what happens then
+    (transparent retry, structured failure, breaker trip) is exactly what
+    the resilience tests assert.
+    """
+    executor = engine.executor
+    assert executor is not None, "the pool must be spun up before the kill"
+    pids = list(executor.worker_pids())
+    for pid in pids:
+        os.kill(pid, signal.SIGKILL)
+    return pids
 
 
 # -- failing SQLite connections ---------------------------------------------

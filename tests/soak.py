@@ -1,0 +1,179 @@
+"""Chaos soak: sustained Zipf traffic with injected faults, bounded drift.
+
+``make soak-smoke`` runs this for ~30 seconds in CI.  The loop serves
+deadline-armed explain batches against a clustered workload KB while
+periodically SIGKILLing the whole worker pool and landing KB writes, then
+asserts the two slow-leak symptoms a short functional test cannot see:
+
+* **latency drift** — the median batch latency of the final third of the
+  run must stay within ``--max-drift`` (default 3x) of the first third's
+  median: a leaked in-flight slot, an unbounded retry queue or a
+  never-recycled pool all show up here;
+* **RSS growth** — resident set size may grow at most ``--max-rss-growth-mb``
+  (default 128 MB) between the post-warmup baseline and the end of the run:
+  leaked worker processes, traces or cache entries show up here.
+
+Exit code 0 on success; an assertion failure (non-zero exit) prints the
+offending numbers.  A JSON summary goes to stdout either way.
+
+Usage::
+
+    PYTHONPATH=src python tests/soak.py --duration 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.resilience import RetryPolicy, deadline_scope  # noqa: E402
+from repro.service.engine import ExplanationEngine  # noqa: E402
+from repro.workloads import clustered_kb, sample_request_stream  # noqa: E402
+
+BATCH_SIZE = 8
+DEADLINE_S = 5.0
+KILL_EVERY_BATCHES = 25
+WRITE_EVERY_BATCHES = 40
+
+
+def _rss_mb() -> float:
+    """Resident set size in MB, via /proc (Linux) or resource as fallback."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+
+    # ru_maxrss is the peak, not current — still catches unbounded growth
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="soak length in seconds (default 30)")
+    parser.add_argument("--max-drift", type=float, default=3.0,
+                        help="last-third/first-third median latency bound")
+    parser.add_argument("--max-rss-growth-mb", type=float, default=128.0,
+                        help="RSS growth bound after warmup, in MB")
+    parser.add_argument("--parallelism", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=67)
+    args = parser.parse_args(argv)
+
+    kb = clustered_kb(
+        num_communities=4, community_size=24, inter_edges=18, seed=args.seed
+    )
+    engine = ExplanationEngine(
+        kb,
+        size_limit=4,
+        parallelism=args.parallelism,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.02),
+    )
+    stream = sample_request_stream(
+        kb, 400, seed=args.seed + 1, unique_pairs=40, size_limit=4
+    )
+    latencies: list[float] = []
+    answered = failed = kills = writes = 0
+    try:
+        # warmup: one pass over the unique pairs, then the RSS baseline
+        engine.explain_batch(stream[:BATCH_SIZE])
+        rss_base = _rss_mb()
+        soak_until = time.monotonic() + args.duration
+        batch_index = 0
+        while time.monotonic() < soak_until:
+            batch_index += 1
+            offset = (batch_index * BATCH_SIZE) % (len(stream) - BATCH_SIZE)
+            batch = stream[offset : offset + BATCH_SIZE]
+            if batch_index % KILL_EVERY_BATCHES == 0 and engine.executor is not None:
+                try:
+                    pids = engine.executor.worker_pids()
+                except Exception:
+                    # the pool is still broken from the previous kill (every
+                    # batch since was served from cache): already chaos'd
+                    pids = []
+                for pid in pids:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                if pids:
+                    kills += 1
+            if batch_index % WRITE_EVERY_BATCHES == 0:
+                writes += 1
+                engine.add_edges([{
+                    "source": f"soak_{writes}_a",
+                    "target": f"soak_{writes}_b",
+                    "label": "soak_edge",
+                }])
+            started = time.perf_counter()
+            with deadline_scope(DEADLINE_S):
+                results = engine.explain_batch(batch)
+            latencies.append(time.perf_counter() - started)
+            for result in results:
+                if isinstance(result, Exception):
+                    failed += 1
+                else:
+                    answered += 1
+        rss_end = _rss_mb()
+    finally:
+        engine.close()
+
+    third = max(1, len(latencies) // 3)
+    first_median = statistics.median(latencies[:third])
+    last_median = statistics.median(latencies[-third:])
+    # floor the denominator: sub-ms warm medians would make the ratio noise
+    drift = last_median / max(first_median, 1e-3)
+    rss_growth = rss_end - rss_base
+    summary = {
+        "duration_s": round(args.duration, 1),
+        "batches": len(latencies),
+        "answered": answered,
+        "failed": failed,
+        "pool_kills": kills,
+        "kb_writes": writes,
+        "first_third_median_s": round(first_median, 5),
+        "last_third_median_s": round(last_median, 5),
+        "latency_drift": round(drift, 3),
+        "max_drift": args.max_drift,
+        "rss_base_mb": round(rss_base, 1),
+        "rss_end_mb": round(rss_end, 1),
+        "rss_growth_mb": round(rss_growth, 1),
+        "max_rss_growth_mb": args.max_rss_growth_mb,
+        "breaker_state": engine.breaker.state,
+        "worker_crash_retries": engine.metrics.counter(
+            "engine.worker_crash_retries"
+        ).value,
+    }
+    print(json.dumps(summary, indent=2))
+    failures = []
+    if failed:
+        failures.append(f"{failed} requests failed under soak")
+    if kills < 1:
+        failures.append("the soak never killed the pool (duration too short?)")
+    if drift > args.max_drift:
+        failures.append(
+            f"latency drifted {drift:.2f}x (> {args.max_drift}x): "
+            f"{first_median * 1000:.2f}ms -> {last_median * 1000:.2f}ms"
+        )
+    if rss_growth > args.max_rss_growth_mb:
+        failures.append(
+            f"RSS grew {rss_growth:.1f}MB (> {args.max_rss_growth_mb}MB)"
+        )
+    for failure in failures:
+        print(f"SOAK FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

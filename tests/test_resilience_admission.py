@@ -1,0 +1,153 @@
+"""Admission control: the in-flight gate, the bounded queue, load shedding."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import RexError
+from repro.resilience import AdmissionController, AdmissionRejected
+from repro.service.metrics import MetricsRegistry
+
+
+class TestFastPath:
+    def test_admits_below_the_limit(self):
+        gate = AdmissionController(max_inflight=2, max_queue=0)
+        with gate.admit():
+            with gate.admit():
+                snap = gate.snapshot()
+                assert snap["inflight"] == 2
+        assert gate.snapshot()["inflight"] == 0
+        assert gate.snapshot()["admitted"] == 2
+
+    def test_release_frees_the_slot(self):
+        gate = AdmissionController(max_inflight=1, max_queue=0)
+        for _ in range(5):
+            with gate.admit():
+                pass
+        assert gate.snapshot()["admitted"] == 5
+
+    def test_rejection_error_pickles(self):
+        error = AdmissionRejected("queue full", 1.5)
+        assert isinstance(error, RexError)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.reason == "queue full"
+        assert clone.retry_after_s == 1.5
+
+
+class TestShedding:
+    def test_full_queue_sheds_immediately(self):
+        gate = AdmissionController(max_inflight=1, max_queue=0)
+        gate.acquire()
+        try:
+            started = time.perf_counter()
+            with pytest.raises(AdmissionRejected) as caught:
+                gate.acquire()
+            # zero queue: the shed must be instant, not a timeout
+            assert time.perf_counter() - started < 0.5
+            assert "queue full" in str(caught.value)
+            assert caught.value.retry_after_s > 0
+        finally:
+            gate.release()
+        assert gate.snapshot()["shed_queue_full"] == 1
+
+    def test_queue_wait_times_out(self):
+        gate = AdmissionController(
+            max_inflight=1, max_queue=4, queue_timeout_s=0.05
+        )
+        gate.acquire()
+        try:
+            with pytest.raises(AdmissionRejected) as caught:
+                gate.acquire()
+            assert "timed out" in str(caught.value)
+        finally:
+            gate.release()
+        snap = gate.snapshot()
+        assert snap["shed_timeout"] == 1
+        assert snap["queued"] == 0
+
+    def test_queued_request_admits_when_a_slot_frees(self):
+        gate = AdmissionController(
+            max_inflight=1, max_queue=4, queue_timeout_s=5.0
+        )
+        gate.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            gate.acquire()
+            admitted.set()
+            gate.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        gate.release()
+        thread.join(timeout=5)
+        assert admitted.is_set()
+        assert gate.snapshot()["admitted"] == 2
+        assert gate.snapshot()["shed_timeout"] == 0
+
+    def test_hammer_never_exceeds_the_inflight_bound(self):
+        gate = AdmissionController(
+            max_inflight=3, max_queue=64, queue_timeout_s=5.0
+        )
+        lock = threading.Lock()
+        observed_max = 0
+        current = 0
+
+        def work(_):
+            nonlocal observed_max, current
+            with gate.admit():
+                with lock:
+                    current += 1
+                    observed_max = max(observed_max, current)
+                time.sleep(0.002)
+                with lock:
+                    current -= 1
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            list(pool.map(work, range(64)))
+        assert observed_max <= 3
+        assert gate.snapshot()["admitted"] == 64
+
+
+class TestMetricsIntegration:
+    def test_counters_and_gauges_publish(self):
+        metrics = MetricsRegistry()
+        gate = AdmissionController(
+            max_inflight=1, max_queue=0, metrics=metrics
+        )
+        with gate.admit():
+            assert metrics.gauge("admission.inflight").value == 1
+            with pytest.raises(AdmissionRejected):
+                gate.acquire()
+        assert metrics.gauge("admission.inflight").value == 0
+        assert metrics.counter("admission.admitted").value == 1
+        assert metrics.counter("admission.shed_queue_full").value == 1
+
+    def test_shed_is_not_counted_admitted(self):
+        metrics = MetricsRegistry()
+        gate = AdmissionController(
+            max_inflight=1, max_queue=2, queue_timeout_s=0.02, metrics=metrics
+        )
+        gate.acquire()
+        with pytest.raises(AdmissionRejected):
+            gate.acquire()
+        gate.release()
+        assert metrics.counter("admission.admitted").value == 1
+        assert metrics.counter("admission.shed_timeout").value == 1
+
+
+class TestValidation:
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_timeout_s=-1)

@@ -1,0 +1,265 @@
+"""Circuit breaker state machine, property-tested with a scripted clock."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import RexError
+from repro.resilience import CircuitBreaker, CircuitOpenError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, STATE_GAUGE
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_breaker(clock: FakeClock, **kwargs) -> CircuitBreaker:
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("recovery_time_s", 10.0)
+    kwargs.setdefault("half_open_probes", 2)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_the_recovery_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_only_probe_quota(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        # quota of 2 claimed, the third caller is refused
+        assert not breaker.allow()
+
+    def test_probe_failure_reopens_with_a_fresh_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # the window restarted: 9s later it is still open, 10s later half-open
+        clock.advance(9.0)
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_enough_probe_successes_close(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_cancel_probe_returns_the_slot_without_learning(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.cancel_probe()
+        # the slot came back, the state did not move
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_failures_while_open_do_not_extend_the_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.record_failure()  # straggler from in-flight work
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestObservability:
+    def test_snapshot_shape(self, clock):
+        breaker = make_breaker(clock)
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["failure_streak"] == 0
+        assert snap["failure_threshold"] == 3
+        assert snap["transitions"] == {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}
+
+    def test_snapshot_counts_transitions_and_recovery(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["transitions"][OPEN] == 1
+        assert 0 < snap["recovery_remaining_s"] <= 10.0
+
+    def test_state_gauge_encoding(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state_gauge() == STATE_GAUGE[CLOSED] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state_gauge() == STATE_GAUGE[OPEN] == 2
+        clock.advance(10.0)
+        assert breaker.state_gauge() == STATE_GAUGE[HALF_OPEN] == 1
+
+    def test_retry_after_tracks_the_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.retry_after_s() == pytest.approx(6.0)
+
+    def test_circuit_open_error_pickles(self):
+        error = CircuitOpenError(2.5)
+        assert isinstance(error, RexError)
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, CircuitOpenError)
+        assert clone.retry_after_s == 2.5
+
+
+class TestScriptedSequences:
+    """Property-style check: a reference state machine replayed over random
+    scripted event sequences must agree with the breaker at every step."""
+
+    def _reference_step(self, state, event, clock_now):
+        """A deliberately naive re-implementation used as the oracle."""
+        kind, streak, opened_at, probes, probe_ok = state
+        threshold, window, quota = 3, 10.0, 2
+        # time-based advance first, as the breaker does on observation
+        if kind == OPEN and clock_now >= opened_at + window:
+            kind, probes, probe_ok = HALF_OPEN, 0, 0
+        if event == "failure":
+            if kind == HALF_OPEN:
+                kind, opened_at, probes, probe_ok = OPEN, clock_now, 0, 0
+            elif kind == CLOSED:
+                streak += 1
+                if streak >= threshold:
+                    kind, opened_at, probes, probe_ok = OPEN, clock_now, 0, 0
+        elif event == "success":
+            if kind == HALF_OPEN:
+                probes = max(0, probes - 1)
+                probe_ok += 1
+                if probe_ok >= quota:
+                    kind, streak, probes, probe_ok = CLOSED, 0, 0, 0
+            else:
+                streak = 0
+        elif event == "allow":
+            if kind == HALF_OPEN and probes < quota:
+                probes += 1
+        return (kind, streak, opened_at, probes, probe_ok)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_event_scripts_match_the_oracle(self, seed, clock):
+        rng = random.Random(seed)
+        breaker = make_breaker(clock)
+        state = (CLOSED, 0, 0.0, 0, 0)
+        for _ in range(300):
+            event = rng.choice(["failure", "success", "allow", "advance"])
+            if event == "advance":
+                clock.advance(rng.choice([0.5, 3.0, 10.0]))
+                # observation advances open -> half_open in both machines
+                if state[0] == OPEN and clock() >= state[2] + 10.0:
+                    state = (HALF_OPEN, state[1], state[2], 0, 0)
+                assert breaker.state == state[0]
+                continue
+            if event == "failure":
+                breaker.record_failure()
+            elif event == "success":
+                breaker.record_success()
+            else:
+                allowed = breaker.allow()
+                expected_kind = self._reference_step(state, "noop", clock())[0]
+                if expected_kind == CLOSED:
+                    assert allowed
+                elif expected_kind == OPEN:
+                    assert not allowed
+            state = self._reference_step(state, event, clock())
+            assert breaker.state == state[0], (seed, event)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_breaker_always_recovers_when_the_dependency_heals(self, seed, clock):
+        """From any scripted chaos prefix, a healthy dependency closes it."""
+        rng = random.Random(1000 + seed)
+        breaker = make_breaker(clock)
+        for _ in range(100):
+            action = rng.choice(["failure", "success", "advance", "allow"])
+            if action == "failure":
+                breaker.record_failure()
+            elif action == "success":
+                breaker.record_success()
+            elif action == "allow":
+                breaker.allow()
+            else:
+                clock.advance(rng.uniform(0, 12))
+        # dependency heals: every outstanding or new probe now succeeds
+        # (record_success also completes slots the chaos prefix claimed)
+        for _ in range(30):
+            if breaker.state == CLOSED:
+                break
+            clock.advance(10.0)
+            breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestValidation:
+    def test_rejects_nonsense_parameters(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time_s=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0, clock=clock)

@@ -1,0 +1,159 @@
+"""Engine-level chaos: worker kills under traffic, retry exhaustion, and
+degraded cached-only serving behind the circuit breaker.
+
+The HTTP-level crash test (``test_service_http_errors.py``) shows a single
+pool kill is invisible to clients; this suite pins the retry machinery's
+edges directly on the engine, where attempt counts and breaker windows can
+be made small and deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from faultinject import kill_worker_pool
+
+from repro.parallel import WorkerCrashError
+from repro.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.resilience.breaker import CLOSED, OPEN
+from repro.service.engine import ExplanationEngine
+from repro.workloads import clustered_kb, sample_request_stream
+
+SIZE_LIMIT = 4
+
+
+@pytest.fixture(scope="module")
+def chaos_kb():
+    return clustered_kb(
+        num_communities=3, community_size=20, inter_edges=15, seed=41
+    )
+
+
+def _make_engine(chaos_kb, **kwargs) -> ExplanationEngine:
+    kwargs.setdefault("size_limit", SIZE_LIMIT)
+    kwargs.setdefault("parallelism", 2)
+    return ExplanationEngine(chaos_kb.copy(), **kwargs)
+
+
+class TestWorkerKillRetry:
+    def test_single_kill_is_absorbed_by_the_retry_loop(self, chaos_kb):
+        engine = _make_engine(
+            chaos_kb,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+        )
+        try:
+            requests = sample_request_stream(
+                chaos_kb, 6, seed=11, size_limit=SIZE_LIMIT
+            )
+            warm = engine.explain_batch(requests)
+            assert not any(isinstance(r, Exception) for r in warm)
+            kill_worker_pool(engine)
+            # fresh request shapes force misses through the dead pool
+            results = engine.explain_batch([dict(r, k=9) for r in requests])
+            assert not any(isinstance(r, Exception) for r in results)
+            assert (
+                engine.metrics.counter("engine.worker_crash_retries").value >= 1
+            )
+            assert engine.executor.stats.recycles >= 1
+            # the crash fed the breaker but the retry's success reset it
+            assert engine.breaker.state == CLOSED
+        finally:
+            engine.close()
+
+    def test_retry_exhaustion_surfaces_the_worker_crash(self, chaos_kb):
+        engine = _make_engine(chaos_kb, retry_policy=RetryPolicy(max_attempts=1))
+        try:
+            requests = sample_request_stream(
+                chaos_kb, 4, seed=12, size_limit=SIZE_LIMIT
+            )
+            engine.explain_batch(requests)  # spin the pool up
+            kill_worker_pool(engine)
+            with pytest.raises(WorkerCrashError):
+                engine.explain_batch([dict(r, k=9) for r in requests])
+            # one attempt only: the failure surfaced instead of retrying
+            assert (
+                engine.metrics.counter("engine.worker_crash_retries").value == 0
+            )
+            assert engine.breaker.snapshot()["failure_streak"] >= 1
+            # the poisoned pool recycles on the next dispatch and recovers
+            results = engine.explain_batch([dict(r, k=9) for r in requests])
+            assert not any(isinstance(r, Exception) for r in results)
+        finally:
+            engine.close()
+
+
+class TestDegradedServing:
+    def test_breaker_trips_to_cached_only_and_recovers(self, chaos_kb):
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time_s=0.3, half_open_probes=1
+        )
+        engine = _make_engine(
+            chaos_kb,
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker=breaker,
+        )
+        try:
+            requests = sample_request_stream(
+                chaos_kb, 4, seed=13, size_limit=SIZE_LIMIT
+            )
+            engine.explain_batch(requests)  # warm the cache and the pool
+            warm = requests[0]
+            kill_worker_pool(engine)
+            with pytest.raises(WorkerCrashError):
+                engine.explain_batch([dict(r, k=9) for r in requests])
+            assert engine.breaker.state == OPEN
+            assert engine.resilience()["breaker"]["state"] == OPEN
+            assert engine.metrics.gauge("engine.breaker_state").value == 2
+
+            # degraded mode: cached answers still flow...
+            hit = engine.explain(
+                warm["start"], warm["end"], measure=warm["measure"], k=warm["k"]
+            )
+            assert hit.cached is True
+            # ...fresh computation is refused with a recovery estimate...
+            with pytest.raises(CircuitOpenError) as caught:
+                engine.explain(warm["start"], warm["end"], k=9)
+            assert caught.value.retry_after_s > 0
+            assert engine.metrics.counter("engine.breaker_rejected").value >= 1
+            # ...and a degraded batch mixes hits with inline refusals
+            degraded = engine.explain_batch([warm, dict(warm, k=9)])
+            assert degraded[0].cached is True
+            assert isinstance(degraded[1], CircuitOpenError)
+
+            # the recovery window elapses: the first probe (computed
+            # in-process, no pool involved) succeeds and closes the breaker
+            time.sleep(0.35)
+            probe = engine.explain(warm["start"], warm["end"], k=9)
+            assert probe.ranked
+            assert engine.breaker.state == CLOSED
+            assert engine.metrics.gauge("engine.breaker_state").value == 0
+        finally:
+            engine.close()
+
+
+class TestChaosTraffic:
+    def test_zipf_traffic_survives_a_mid_run_kill(self, chaos_kb):
+        """Availability under chaos: every admitted request is answered even
+        when the whole pool is SIGKILLed mid-run (the bench gates the same
+        property at scale; this is the fast deterministic core)."""
+        engine = _make_engine(
+            chaos_kb,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.01),
+        )
+        try:
+            stream = sample_request_stream(
+                chaos_kb, 40, seed=29, unique_pairs=10, size_limit=SIZE_LIMIT
+            )
+            answered = 0
+            for offset in range(0, len(stream), 5):
+                if offset == 20:
+                    kill_worker_pool(engine)
+                results = engine.explain_batch(stream[offset : offset + 5])
+                assert not any(isinstance(r, Exception) for r in results)
+                answered += len(results)
+            assert answered == len(stream)
+            assert engine.breaker.state == CLOSED
+        finally:
+            engine.close()

@@ -378,6 +378,105 @@ class TestSingleFlight:
         assert str(clone) == str(original)
 
 
+class TestDeadLeaderRecovery:
+    """Regression: a leader that dies without publishing must not strand
+    its followers on an event nobody will ever set."""
+
+    PAIR = ("brad_pitt", "angelina_jolie")
+
+    def _plant_flight(self, engine, leader_thread):
+        """Register an in-flight slot for PAIR/k=3 exactly as explain would."""
+        from repro.service.engine import _InFlight
+
+        from repro.service.engine import DEFAULT_MEASURE
+
+        measure_obj, effective_limit = engine._validate_request(
+            *self.PAIR, DEFAULT_MEASURE, 3, None
+        )
+        key = (*self.PAIR, measure_obj.name, 3, effective_limit)
+        flight_key = (engine.kb_version, *key)
+        flight = _InFlight()
+        flight.leader_thread = leader_thread
+        engine._inflight[flight_key] = flight
+        return flight, flight_key
+
+    def test_follower_takes_over_a_dead_leader(self, engine):
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        assert not dead.is_alive()
+        flight, _ = self._plant_flight(engine, dead)
+
+        # this call coalesces onto the planted flight, detects the dead
+        # leader within one wait slice, and computes the answer itself
+        outcome = engine.explain(*self.PAIR, k=3)
+        assert outcome.ranked
+        assert outcome.coalesced is True
+        assert _counter(engine, "engine.leader_takeovers") == 1
+        assert flight.event.is_set()
+        assert flight.outcome == outcome.ranked
+        assert engine._inflight == {}, "the dead flight's slot must be freed"
+
+    def test_exactly_one_follower_takes_over(self, engine):
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        self._plant_flight(engine, dead)
+
+        followers = 4
+        with ThreadPoolExecutor(max_workers=followers) as pool:
+            futures = [
+                pool.submit(engine.explain, *self.PAIR, k=3)
+                for _ in range(followers)
+            ]
+            outcomes = [f.result(timeout=30) for f in futures]
+        reference = outcomes[0].ranked
+        assert all(outcome.ranked == reference for outcome in outcomes)
+        # one follower recomputed, the rest consumed its published result
+        assert _counter(engine, "engine.leader_takeovers") == 1
+        assert _counter(engine, "engine.enumerations") == 1
+        assert engine._inflight == {}
+
+    def test_follower_recomputes_when_leader_died_of_its_own_deadline(
+        self, engine
+    ):
+        from repro.errors import DeadlineExceeded
+
+        # the main thread plays a live leader so the follower keeps waiting
+        flight, flight_key = self._plant_flight(
+            engine, threading.current_thread()
+        )
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            follower = pool.submit(engine.explain, *self.PAIR, k=3)
+            for _ in range(500):
+                if _counter(engine, "engine.coalesced") == 1:
+                    break
+                threading.Event().wait(0.01)
+            # leader publishes a deadline failure — but that 504 describes
+            # the *leader's* budget; the follower has no deadline at all
+            flight.error = DeadlineExceeded(1e-9)
+            engine._inflight.pop(flight_key, None)
+            flight.event.set()
+            outcome = follower.result(timeout=30)
+        assert outcome.ranked
+        assert outcome.coalesced is True
+        assert _counter(engine, "engine.leader_takeovers") == 1
+
+    def test_follower_with_spent_budget_gives_up_without_waiting(self, engine):
+        from repro.errors import DeadlineExceeded
+
+        flight, flight_key = self._plant_flight(
+            engine, threading.current_thread()
+        )
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.explain(*self.PAIR, k=3, deadline_s=1e-9)
+        finally:
+            engine._inflight.pop(flight_key, None)
+            flight.event.set()
+        assert _counter(engine, "engine.deadline_exceeded") == 1
+
+
 class TestStats:
     def test_stats_shape(self, engine):
         engine.explain("brad_pitt", "angelina_jolie", k=2)

@@ -60,6 +60,18 @@ class TestHealthz:
         assert payload["entities"] == engine.kb.num_entities
         assert payload["edges"] == engine.kb.num_edges
 
+    def test_reports_resilience_state(self, service):
+        """The breaker and the admission gate are operator-visible."""
+        _, url = service
+        status, payload = _get(url + "/healthz")
+        assert status == 200
+        assert payload["breaker"] == "closed"
+        resilience = payload["resilience"]
+        assert resilience["breaker"]["state"] == "closed"
+        assert resilience["admission"]["inflight"] >= 0
+        assert resilience["admission"]["max_inflight"] >= 1
+        assert resilience["leaked_threads"] == []
+
 
 class TestExplain:
     def test_end_to_end_json_shape(self, service):
