@@ -10,7 +10,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 	bench-parallel bench-parallel-check bench-compiled bench-compiled-check \
 	bench-durability bench-durability-check bench-obs bench-obs-check \
 	bench-delta bench-delta-check bench-resilience bench-resilience-check \
-	soak-smoke
+	bench-fleet bench-fleet-check soak-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -130,7 +130,24 @@ bench-resilience-check:
 		$(PYTHON) -m benchmarks --resilience-only \
 		--output bench_resilience_fresh.json
 
+# Replica-fleet benchmark; writes BENCH_pr10.json (availability + p99 with
+# one replica SIGSTOPped mid-run, byte-identity against a sequential engine,
+# and a rolling restart under live load — see docs/robustness.md).
+bench-fleet:
+	$(PYTHON) -m benchmarks --fleet-only --output BENCH_pr10.json
+
+# CI gate: fresh run asserting >=99% availability with a gray-failed
+# replica, stalled-phase p99 <= max(3x healthy p99, 1s floor), answers
+# byte-identical to sequential, and a zero-failure rolling restart.
+bench-fleet-check:
+	REX_BENCH_FLEET_MIN_AVAILABILITY=0.99 \
+	REX_BENCH_FLEET_MAX_P99X=3.0 \
+		$(PYTHON) -m benchmarks --fleet-only \
+		--output bench_fleet_fresh.json
+
 # Chaos soak (~30s): Zipf traffic with periodic whole-pool SIGKILLs and KB
 # writes, asserting bounded latency drift and RSS growth (tests/soak.py).
+# Duration/rate/summary are env-tunable: REX_SOAK_S, REX_SOAK_RPS,
+# REX_SOAK_SUMMARY (CI archives the summary JSON as an artifact).
 soak-smoke:
-	$(PYTHON) tests/soak.py --duration 30
+	$(PYTHON) tests/soak.py --duration $${REX_SOAK_S:-30}

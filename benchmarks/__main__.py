@@ -39,6 +39,8 @@ OBS_SELECTION = ["benchmarks/bench_obs.py"]
 DELTA_SELECTION = ["benchmarks/bench_delta.py"]
 #: The request-lifecycle resilience benchmark (PR 9, BENCH_pr9.json).
 RESILIENCE_SELECTION = ["benchmarks/bench_resilience.py"]
+#: The replica-fleet gray-failure benchmark (PR 10, BENCH_pr10.json).
+FLEET_SELECTION = ["benchmarks/bench_fleet.py"]
 #: The default selection: every figure/table benchmark in this directory,
 #: listed explicitly — ``bench_*.py`` does not match pytest's default
 #: ``test_*.py`` collection pattern, so a bare directory argument collects
@@ -56,6 +58,7 @@ _SUBSYSTEM_FILES = {
         + OBS_SELECTION
         + DELTA_SELECTION
         + RESILIENCE_SELECTION
+        + FLEET_SELECTION
     )
 }
 DEFAULT_SELECTION = sorted(
@@ -186,6 +189,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the request-lifecycle resilience benchmark (BENCH_pr9.json)",
     )
+    subset.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="run only the replica-fleet gray-failure benchmark (BENCH_pr10.json)",
+    )
     parser.add_argument(
         "selection",
         nargs="*",
@@ -227,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
         selection = DELTA_SELECTION
     elif args.resilience_only:
         selection = RESILIENCE_SELECTION
+    elif args.fleet_only:
+        selection = FLEET_SELECTION
     else:
         selection = DEFAULT_SELECTION
     exit_code = pytest.main(["-q", "--benchmark-disable-gc", *selection])

@@ -1,0 +1,296 @@
+"""Supervised replica fleet under gray failure (PR 10, BENCH_pr10.json).
+
+Two scenarios are recorded (and gated by ``make bench-fleet-check``):
+
+* **Gray-failure availability** — a Zipf-skewed cache-missing request
+  stream is served in batches; mid-run, one replica's worker process is
+  SIGSTOPped.  A stopped process is the failure SIGKILL chaos cannot
+  produce: its pool never breaks and its submissions never error — work
+  sent to it simply hangs.  Only the fleet's probe loop (liveness misses →
+  SUSPECT → DEAD → SIGKILL + replace) and hedged dispatch (straggling
+  batches get a backup on a healthy replica, first result wins) can save
+  the run.  The gates assert availability stays ≥99%, that the stalled
+  phase's p99 batch latency stays within a small multiple of the healthy
+  phase's (floored — see below), and that every answered request is
+  byte-identical to a sequential engine's answer for the same request.
+* **Rolling restart under load** — a background thread serves batches
+  continuously while ``engine.rolling_restart()`` replaces every replica
+  make-before-break.  The gate is absolute: zero failed requests.
+
+The p99 gate needs a floor: on a healthy run the p99 batch is
+milliseconds, and 3x milliseconds is still noise — any real probe window
+(the time a gray failure is *allowed* to hurt) would fail it.  The
+effective limit is ``max(multiplier x healthy p99, floor_s)``; the floor
+defaults to 1.0s, roughly one probe-miss detection cycle under the
+benchmark's fast-probe knobs.
+
+Environment knobs:
+
+* ``REX_BENCH_FLEET_MIN_AVAILABILITY`` — when > 0, gate gray-failure
+  availability at this fraction (the check target sets 0.99).
+* ``REX_BENCH_FLEET_MAX_P99X`` — when > 0, gate the stalled-phase p99 at
+  this multiple of the healthy p99, subject to the floor (check: 3.0).
+* ``REX_BENCH_FLEET_P99_FLOOR_S`` — the p99 gate's absolute floor in
+  seconds (default 1.0).
+* ``REX_BENCH_FLEET_BATCHES`` — batches per phase (default 12).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+from repro.service.engine import ExplanationEngine
+from repro.service.serialize import outcome_to_dict
+from repro.workloads import clustered_kb, sample_request_stream
+
+GROUP = "fleet"
+BATCH_SIZE = 8
+
+MIN_AVAILABILITY = float(os.environ.get("REX_BENCH_FLEET_MIN_AVAILABILITY", "0"))
+MAX_P99X = float(os.environ.get("REX_BENCH_FLEET_MAX_P99X", "0"))
+P99_FLOOR_S = float(os.environ.get("REX_BENCH_FLEET_P99_FLOOR_S", "1.0"))
+BATCHES_PER_PHASE = int(os.environ.get("REX_BENCH_FLEET_BATCHES", "12"))
+
+#: Probe/hedge knobs for the benchmark engines: a stalled replica is DEAD
+#: (and SIGKILLed + replaced) within ~1s, hedges fire after 3 warm samples.
+FLEET_OPTIONS = dict(
+    probe_interval_s=0.2,
+    probe_timeout_s=0.3,
+    suspect_after=1,
+    dead_after=2,
+    hedge_min_s=0.05,
+    hedge_warmup=3,
+    restart_backoff_s=0.05,
+)
+
+
+def _canonical_one(outcome) -> str:
+    document = outcome_to_dict(outcome)
+    # timing and serving provenance (cache hits, duplicate-request
+    # coalescing) legitimately differ between engines; everything else
+    # (instances, scores, ranks) must be byte-identical
+    document.pop("elapsed_s", None)
+    document.pop("cached", None)
+    document.pop("coalesced", None)
+    return json.dumps(document, sort_keys=True)
+
+
+def _fresh_batches(kb, *, seed: int, phases: int):
+    """Zipf-ordered batches whose request shapes never repeat.
+
+    Every request carries a phase/batch-specific ``k`` so nothing is served
+    from the result cache — a cache hit would bypass the fleet entirely and
+    hide the gray failure this benchmark exists to measure.
+    """
+    stream = sample_request_stream(
+        kb,
+        BATCHES_PER_PHASE * BATCH_SIZE * phases,
+        seed=seed,
+        unique_pairs=max(10, BATCHES_PER_PHASE * BATCH_SIZE // 4),
+        size_limit=4,
+    )
+    batches = []
+    for index in range(BATCHES_PER_PHASE * phases):
+        chunk = stream[index * BATCH_SIZE : (index + 1) * BATCH_SIZE]
+        batches.append([dict(request, k=3 + index) for request in chunk])
+    return batches
+
+
+def _p99(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+
+
+def _stop_one_replica(engine) -> int:
+    engine.executor.worker_pids()  # force lazy replicas to spawn
+    for replica in engine.executor.fleet_snapshot()["replicas"]:
+        pids = replica.get("pids") or []
+        if pids:
+            os.kill(pids[0], signal.SIGSTOP)
+            return pids[0]
+    raise AssertionError("no live replica pid to stop")
+
+
+def test_fleet_gray_failure_availability(benchmark):
+    """Zipf load with one replica SIGSTOPped mid-run: availability + p99."""
+    kb = clustered_kb(
+        num_communities=4, community_size=24, inter_edges=18, seed=59
+    )
+    batches = _fresh_batches(kb, seed=37, phases=2)
+    healthy_batches = batches[:BATCHES_PER_PHASE]
+    stalled_batches = batches[BATCHES_PER_PHASE:]
+
+    # sequential reference answers for the byte-identity gate
+    reference = ExplanationEngine(kb.copy(), size_limit=4, parallelism=0)
+    try:
+        expected = {}
+        for batch in batches:
+            for request, outcome in zip(batch, reference.explain_batch(batch)):
+                assert not isinstance(outcome, Exception), outcome
+                expected[json.dumps(request, sort_keys=True)] = _canonical_one(
+                    outcome
+                )
+    finally:
+        reference.close()
+
+    engine = ExplanationEngine(
+        kb.copy(),
+        size_limit=4,
+        parallelism=2,
+        fleet_options=dict(FLEET_OPTIONS),
+    )
+    answered = failed = mismatches = 0
+    healthy_lat: list[float] = []
+    stalled_lat: list[float] = []
+    stopped_pid = None
+
+    def serve(batch, latencies):
+        nonlocal answered, failed, mismatches
+        started = time.perf_counter()
+        results = engine.explain_batch(batch)
+        latencies.append(time.perf_counter() - started)
+        for request, result in zip(batch, results):
+            if isinstance(result, Exception):
+                failed += 1
+                continue
+            answered += 1
+            key = json.dumps(request, sort_keys=True)
+            if _canonical_one(result) != expected[key]:
+                mismatches += 1
+
+    def gray_failure_run():
+        nonlocal stopped_pid
+        for batch in healthy_batches:
+            serve(batch, healthy_lat)
+        stopped_pid = _stop_one_replica(engine)
+        for batch in stalled_batches:
+            serve(batch, stalled_lat)
+
+    try:
+        benchmark.pedantic(gray_failure_run, rounds=1, iterations=1)
+        fleet = engine.executor.fleet_snapshot()
+    finally:
+        if stopped_pid is not None:
+            try:
+                os.kill(stopped_pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass  # the fleet already declared it DEAD and SIGKILLed it
+        engine.close()
+
+    total = answered + failed
+    availability = answered / total if total else 0.0
+    healthy_p99 = _p99(healthy_lat)
+    stalled_p99 = _p99(stalled_lat)
+    p99_limit = max(MAX_P99X * healthy_p99, P99_FLOOR_S)
+    benchmark.group = f"{GROUP}-gray-failure"
+    benchmark.extra_info.update(
+        {
+            "scenario": "gray-failure",
+            "requests": total,
+            "answered": answered,
+            "failed": failed,
+            "canonical_mismatches": mismatches,
+            "availability": round(availability, 4),
+            "healthy_p99_s": round(healthy_p99, 4),
+            "stalled_p99_s": round(stalled_p99, 4),
+            "p99_limit_s": round(p99_limit, 4) if MAX_P99X > 0 else None,
+            "min_availability": MIN_AVAILABILITY,
+            "max_p99x": MAX_P99X,
+            "p99_floor_s": P99_FLOOR_S,
+            "fleet_counters": fleet["counters"],
+        }
+    )
+    detected = (
+        fleet["counters"]["restarts"]
+        + fleet["counters"]["hedges"]
+        + fleet["counters"]["probe_misses"]
+    )
+    assert detected >= 1, (
+        f"the stopped replica went unnoticed: {fleet['counters']}"
+    )
+    assert mismatches == 0, (
+        f"{mismatches} answers diverged from the sequential reference"
+    )
+    if MIN_AVAILABILITY > 0:
+        assert availability >= MIN_AVAILABILITY, (
+            f"availability {availability:.2%} with a stalled replica is "
+            f"below the {MIN_AVAILABILITY:.0%} floor ({failed}/{total} failed)"
+        )
+    if MAX_P99X > 0:
+        assert stalled_p99 <= p99_limit, (
+            f"stalled-phase p99 {stalled_p99:.3f}s exceeds "
+            f"max({MAX_P99X}x healthy p99 {healthy_p99:.3f}s, "
+            f"{P99_FLOOR_S}s floor) = {p99_limit:.3f}s"
+        )
+
+
+def test_fleet_rolling_restart_under_load(benchmark):
+    """Every replica replaced make-before-break while traffic flows: zero
+    failed requests, by construction, not by luck."""
+    kb = clustered_kb(
+        num_communities=4, community_size=24, inter_edges=18, seed=61
+    )
+    engine = ExplanationEngine(
+        kb.copy(),
+        size_limit=4,
+        parallelism=2,
+        fleet_options=dict(FLEET_OPTIONS),
+    )
+    answered = failed = 0
+    restart_summary = {}
+    try:
+        warm = _fresh_batches(kb, seed=43, phases=1)
+        engine.explain_batch(warm[0])  # spin the fleet up
+
+        def rolling_restart_run():
+            nonlocal answered, failed, restart_summary
+            stop = threading.Event()
+
+            def hammer():
+                nonlocal answered, failed
+                round_no = 0
+                while not stop.is_set():
+                    round_no += 1
+                    batch = [
+                        dict(request, k=3 + round_no) for request in warm[0]
+                    ]
+                    for result in engine.explain_batch(batch):
+                        if isinstance(result, Exception):
+                            failed += 1
+                        else:
+                            answered += 1
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                restart_summary = engine.rolling_restart(drain_timeout_s=30.0)
+            finally:
+                stop.set()
+                thread.join(timeout=60.0)
+
+        benchmark.pedantic(rolling_restart_run, rounds=1, iterations=1)
+        fleet = engine.executor.fleet_snapshot()
+    finally:
+        engine.close()
+
+    benchmark.group = f"{GROUP}-rolling-restart"
+    benchmark.extra_info.update(
+        {
+            "scenario": "rolling-restart",
+            "answered": answered,
+            "failed": failed,
+            "replaced": restart_summary.get("replaced"),
+            "rolling_restarts": fleet["counters"]["rolling_restarts"],
+        }
+    )
+    assert restart_summary.get("replaced") == 2
+    assert fleet["counters"]["rolling_restarts"] == 1
+    assert answered >= 1, "the load thread never served a batch"
+    assert failed == 0, (
+        f"{failed} requests failed during a rolling restart "
+        f"(zero-downtime contract broken)"
+    )

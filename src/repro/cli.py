@@ -284,6 +284,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "(default: 30)"
         ),
     )
+    parser.add_argument(
+        "--rolling-restart-s",
+        type=float,
+        default=None,
+        help=(
+            "roll the worker fleet every N seconds with zero downtime "
+            "(replicas replaced one at a time, make-before-break; default: "
+            "REX_ROLLING_RESTART_S or off)"
+        ),
+    )
     return parser
 
 
@@ -795,6 +805,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             "max_queue",
             "queue_timeout_s",
             "request_timeout_s",
+            "rolling_restart_s",
         ):
             value = getattr(args, knob)
             if value is not None:

@@ -4,23 +4,31 @@ The serving engine of :mod:`repro.service` answers a batch one request at a
 time on the calling thread; every explanation is CPU-bound pure Python, so a
 single process cannot use more than one core no matter how many server threads
 accept connections.  :class:`ParallelBatchExecutor` shards that work across
-worker *processes*:
+worker *processes*, organised as a **supervised replica fleet**
+(:class:`~repro.resilience.supervisor.ReplicaFleet`):
 
-* each worker holds a **read-only KB replica** built once from a
-  :func:`~repro.parallel.snapshot.kb_to_payload` snapshot and keyed by the
-  source KB's :attr:`~repro.kb.graph.KnowledgeBase.version`;
+* each worker replica is its own single-worker pool holding a **read-only KB
+  replica** built once from a :func:`~repro.parallel.snapshot.kb_to_payload`
+  snapshot and keyed by the source KB's
+  :attr:`~repro.kb.graph.KnowledgeBase.version`;
 * batches are **chunked** and dispatched longest-expected-first (endpoint
-  degree is the cost proxy), which is greedy LPT scheduling — free workers
-  pull the next chunk, so per-item cost skew balances out;
+  degree is the cost proxy) to the least-loaded healthy replica — greedy LPT
+  scheduling with health-aware routing: SUSPECT replicas are routed around,
+  DEAD ones are killed and replaced (hot standby first, so a replica death
+  costs no cold start);
+* a **straggling chunk** past the fleet's p95-based hedge threshold gets a
+  backup submission on another healthy replica; the first result wins, the
+  loser is cancelled, and completed hedge pairs are asserted byte-identical;
 * results are **reassembled in submission order** regardless of completion
   order, so callers observe exactly the sequential result list;
-* a KB mutation bumps the version and the next batch **recycles** the pool:
-  a fresh snapshot is taken and new workers are spawned, while chunks already
-  in flight on the old pool finish against their (still internally
-  consistent) old replica and stay labelled with the old version;
-* an abruptly dying worker (OOM-kill, segfault, ``kill -9``) surfaces as
-  :class:`WorkerCrashError` — never a hang — and poisons the pool so the next
-  batch recycles it.
+* a KB mutation bumps the version and the next batch **recycles** the fleet:
+  a fresh snapshot is taken and new replicas are spawned, while chunks
+  already in flight on the old fleet finish against their (still internally
+  consistent) old replicas and stay labelled with the old version;
+* a dying worker (OOM-kill, segfault, ``kill -9``) triggers transparent
+  **failover** to a surviving replica; only when *every* replica has failed
+  does the batch surface :class:`WorkerCrashError` — never a hang — and
+  poison the fleet so the next batch recycles it.
 
 Besides whole requests, the executor also shards the *per-pair distributional
 sweeps* of :mod:`repro.ranking.distributional_pruning`:
@@ -29,16 +37,18 @@ one position computation across workers and merges the partial positions.
 
 The executor is deliberately independent of the serving engine: it maps plain
 request tuples to ranked tuples and leaves caching, single-flight and outcome
-envelopes to the caller.
+envelopes to the caller.  Fleet operations (:meth:`fleet_snapshot`,
+:meth:`drain`, :meth:`rolling_restart`) back the engine's ``fleet()`` status
+and the server's ``/admin/drain`` + rolling-restart endpoints.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Sequence
@@ -63,16 +73,20 @@ from repro.resilience.deadline import (
     current_deadline,
     deactivate_deadline,
 )
+from repro.resilience.supervisor import FleetExhausted, ReplicaFleet
 
 __all__ = ["ExecutorStats", "ParallelBatchExecutor", "WorkerCrashError"]
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died abruptly; the batch could not be completed.
+    """Every replica failed; the batch could not be completed.
 
-    Raised instead of hanging or returning partial results.  The pool is
-    poisoned: the next batch transparently recycles it with fresh workers, so
-    a single crash costs one failed batch, not a dead executor.
+    A single worker death no longer surfaces here — the fleet fails the
+    chunk over to a surviving replica.  This is raised only when the whole
+    fleet is gone (or failover itself keeps crashing), instead of hanging or
+    returning partial results.  The fleet is poisoned: the next batch
+    transparently recycles it with fresh replicas, so even a total loss
+    costs one failed batch, not a dead executor.
     """
 
 
@@ -203,6 +217,32 @@ def _run_sweep(
 
 
 # ---------------------------------------------------------------------------
+# Hedge byte-identity.  A hedged chunk runs on two replicas built from the
+# same snapshot, so their *payload* bytes must match; the canonical form
+# excludes what legitimately differs between replicas (pid, cpu seconds,
+# trace spans) and opts out entirely when any item errored — error messages
+# may embed timing (deadline budgets) that two runs will not share.
+# ---------------------------------------------------------------------------
+
+
+def _chunk_canonical(result: tuple) -> bytes | None:
+    _pid, _cpu, replica_version, results, _export = result
+    if any(not ok for _, ok, _ in results):
+        return None
+    try:
+        return pickle.dumps(
+            (replica_version, results), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:  # pragma: no cover - unpicklable result: skip compare
+        return None
+
+
+def _sweep_canonical(result: tuple) -> tuple[int, int]:
+    _pid, _cpu, position, bindings = result
+    return (position, bindings)
+
+
+# ---------------------------------------------------------------------------
 # Parent-process side.
 # ---------------------------------------------------------------------------
 
@@ -217,10 +257,10 @@ class ExecutorStats:
     sweeps: int = 0
     recycles: int = 0
     worker_crashes: int = 0
-    #: pool (re)builds that shipped a checkpoint *path* to the workers
+    #: fleet (re)builds that shipped a checkpoint *path* to the workers
     #: instead of the in-memory plane buffers.
     checkpoint_ships: int = 0
-    #: pool (re)builds that shipped a base checkpoint path plus an overlay
+    #: fleet (re)builds that shipped a base checkpoint path plus an overlay
     #: delta (snapshot format 4) instead of the full plane buffers.
     overlay_ships: int = 0
     last_rebuild_s: float = 0.0
@@ -250,35 +290,36 @@ class ExecutorStats:
 
 
 class ParallelBatchExecutor:
-    """Shard independent explanation work across a pool of worker processes.
+    """Shard independent explanation work across a supervised replica fleet.
 
     Args:
         kb: the live knowledge base; snapshots are taken from it lazily.
-        workers: number of worker processes (>= 1).
+        workers: number of worker replicas (>= 1); each replica is one
+            worker process supervised by the fleet.
         size_limit: default pattern size limit the worker facades are built
             with (per-item overrides still apply).
         chunk_size: items per dispatched chunk; default balances dispatch
             overhead against scheduling granularity
             (``max(1, n // (workers * 4))``).
         snapshot_guard: optional factory of a context manager held while the
-            KB is snapshotted for a pool rebuild.  A *mutable* KB shared with
-            writers (the serving engine's live-update path) must pass its
-            read lock here — snapshotting iterates every adjacency dict, and
-            a concurrent writer would tear the replica or crash the
+            KB is snapshotted for a fleet rebuild.  A *mutable* KB shared
+            with writers (the serving engine's live-update path) must pass
+            its read lock here — snapshotting iterates every adjacency dict,
+            and a concurrent writer would tear the replica or crash the
             iteration.
         compiled_provider: optional callable returning the
             :class:`~repro.kb.compiled.CompiledKB` to snapshot instead of
             compiling the live KB from scratch.  Invoked *inside* the
             snapshot guard; the serving engine passes its per-version
-            compile cache so a pool rebuild ships the exact arrays already
+            compile cache so a fleet rebuild ships the exact arrays already
             serving requests.
         checkpoint_provider: optional callable returning ``(path, version)``
             of an on-disk checkpoint, or ``None`` when no current one exists.
             Invoked inside the snapshot guard; when the returned version
-            matches the live KB, the pool rebuild ships only the *path*
+            matches the live KB, the fleet rebuild ships only the *path*
             (snapshot format 3) and each worker mmap-loads the planes
             itself — the parent pipes bytes to nobody.  A worker that finds
-            the file missing or corrupt fails pool initialisation, which
+            the file missing or corrupt fails replica initialisation, which
             surfaces as :class:`WorkerCrashError` on the batch and a recycle
             (falling back to byte shipping only if the provider stops
             offering the path).
@@ -290,10 +331,16 @@ class ParallelBatchExecutor:
             (format 2): a recycle after an overlay-sized write then ships the
             delta buffers only, with each worker loading and
             version-validating the shared base checkpoint itself.
+        metrics: optional duck-typed metrics registry (``counter``/``gauge``)
+            the fleet mirrors its restart/hedge/probe counters and
+            per-state replica gauges into.
+        fleet_options: optional keyword overrides forwarded to
+            :class:`~repro.resilience.supervisor.ReplicaFleet` (probe
+            cadence, hedge policy, standby, restart backoff, ...).
 
-    The executor is thread-safe: concurrent batches share the pool, and
-    recycling swaps the pool atomically while in-flight chunks finish on the
-    old one.
+    The executor is thread-safe: concurrent batches share the fleet, and
+    recycling swaps the fleet atomically while in-flight chunks finish on
+    the old one.
     """
 
     def __init__(
@@ -306,6 +353,8 @@ class ParallelBatchExecutor:
         compiled_provider: Callable[[], Any] | None = None,
         checkpoint_provider: Callable[[], tuple[str, int] | None] | None = None,
         overlay_provider: Callable[[], tuple[str, tuple, int] | None] | None = None,
+        metrics: Any | None = None,
+        fleet_options: dict[str, Any] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -319,43 +368,45 @@ class ParallelBatchExecutor:
         self._compiled_provider = compiled_provider
         self._checkpoint_provider = checkpoint_provider
         self._overlay_provider = overlay_provider
+        self._metrics = metrics
+        self._fleet_options = dict(fleet_options or {})
         self.stats = ExecutorStats()
         self._lock = threading.Lock()
-        self._pool: ProcessPoolExecutor | None = None
-        self._pool_version: int | None = None
+        self._fleet: ReplicaFleet | None = None
+        self._fleet_version: int | None = None
         self._broken = False
         self._closed = False
 
-    # -- pool lifecycle ----------------------------------------------------
+    # -- fleet lifecycle ---------------------------------------------------
 
     @property
     def pool_version(self) -> int | None:
         """KB version the current worker replicas were snapshotted at."""
-        return self._pool_version
+        return self._fleet_version
 
     def ensure_fresh(self) -> bool:
-        """Recycle the pool if the KB moved on (or a worker crashed).
+        """Recycle the fleet if the KB moved on (or the fleet collapsed).
 
         Returns ``True`` when a (re)build happened.  Called implicitly at the
         start of every batch, so recycling needs no signal from the writer:
         the KB version check *is* the signal.
         """
         with self._lock:
-            return self._acquire_pool()[2]
+            return self._acquire_fleet()[2]
 
-    def _acquire_pool(self) -> tuple[ProcessPoolExecutor, int, bool]:
-        """Return ``(pool, replica_version, rebuilt)``; caller holds the lock."""
+    def _acquire_fleet(self) -> tuple[ReplicaFleet, int, bool]:
+        """Return ``(fleet, replica_version, rebuilt)``; caller holds the lock."""
         if self._closed:
             raise RuntimeError("executor is closed")
         stale = (
-            self._pool is None
+            self._fleet is None
             or self._broken
-            or self._pool_version != self._kb.version
+            or self._fleet_version != self._kb.version
         )
         if not stale:
-            assert self._pool is not None and self._pool_version is not None
-            return self._pool, self._pool_version, False
-        old_pool = self._pool
+            assert self._fleet is not None and self._fleet_version is not None
+            return self._fleet, self._fleet_version, False
+        old_fleet = self._fleet
         rebuild_started = time.perf_counter()
         guard = (
             self._snapshot_guard() if self._snapshot_guard is not None else nullcontext()
@@ -383,7 +434,7 @@ class ParallelBatchExecutor:
                 shipped_checkpoint = True
             elif overlay is not None and overlay[2] == self._kb.version:
                 # ship the root base by checkpoint path plus the small delta
-                # by value: an overlay-sized write recycles the pool without
+                # by value: an overlay-sized write recycles the fleet without
                 # re-piping the full planes
                 payload = overlay_payload(overlay[0], overlay[1])
                 version = overlay[2]
@@ -396,25 +447,40 @@ class ParallelBatchExecutor:
                 )
                 payload = kb_to_payload(source)
                 version = source.version
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_worker,
-            initargs=(payload, self.size_limit),
+
+        def replica_factory(
+            payload=payload, size_limit=self.size_limit
+        ) -> ProcessPoolExecutor:
+            # one worker per replica: replicas fail, restart and drain
+            # independently, and a pid maps 1:1 to a health record
+            return ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_worker,
+                initargs=(payload, size_limit),
+            )
+
+        fleet = ReplicaFleet(
+            replica_factory,
+            self.workers,
+            metrics=self._metrics,
+            name="executor",
+            **self._fleet_options,
         )
-        self._pool = pool
-        self._pool_version = version
+        fleet.start()
+        self._fleet = fleet
+        self._fleet_version = version
         self._broken = False
         if shipped_checkpoint:
             self.stats.checkpoint_ships += 1
         if shipped_overlay:
             self.stats.overlay_ships += 1
-        if old_pool is not None:
+        if old_fleet is not None:
             self.stats.recycles += 1
-            # chunks already submitted keep their own reference to the old
-            # pool and finish on it; wait=False only detaches our handle
-            old_pool.shutdown(wait=False)
+            # chunks already submitted keep their own references into the old
+            # fleet and finish on it; wait_for_work=False only detaches it
+            old_fleet.shutdown(wait_for_work=False)
         self.stats.last_rebuild_s = time.perf_counter() - rebuild_started
-        return pool, version, True
+        return fleet, version, True
 
     def rebind(self, kb: KnowledgeBase) -> None:
         """Point the executor at a different live-KB object.
@@ -430,35 +496,65 @@ class ParallelBatchExecutor:
             self._kb = kb
 
     def worker_pids(self) -> list[int]:
-        """PIDs of the current pool's worker processes (spawning them first).
+        """PIDs of every live worker process, hot standby included.
 
-        Chiefly for tests and diagnostics — e.g. the crash-surfacing test
-        kills one of these and asserts the next batch fails cleanly.
+        Forces lazy replicas (and an in-progress standby build) to finish
+        spawning first.  Chiefly for tests and diagnostics — e.g. the
+        crash-surfacing test kills all of these and asserts the next batch
+        fails cleanly rather than being rescued by a surviving spare.
         """
         with self._lock:
-            pool, _, _ = self._acquire_pool()
-        # submitting a no-op forces the lazy pool to actually spawn workers
-        pool.submit(os.getpid).result()
-        processes = getattr(pool, "_processes", {}) or {}
-        return sorted(processes)
+            fleet, _, _ = self._acquire_fleet()
+        return fleet.worker_pids()
 
     def close(self) -> None:
-        """Shut the pool down; idempotent.
+        """Shut the fleet down; idempotent.
 
-        Waits for in-flight chunks (at most one chunk per worker) so the
+        Waits for in-flight chunks (at most one chunk per replica) so the
         interpreter never races a half-dismantled pool at exit.
         """
         with self._lock:
             self._closed = True
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            fleet, self._fleet = self._fleet, None
+        if fleet is not None:
+            fleet.shutdown(wait_for_work=True)
 
     def __enter__(self) -> "ParallelBatchExecutor":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- fleet operations --------------------------------------------------
+
+    def fleet_snapshot(self) -> dict[str, Any] | None:
+        """Per-replica health + fleet counters, or None before first use."""
+        with self._lock:
+            fleet = self._fleet
+        return fleet.snapshot() if fleet is not None else None
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait for in-flight fleet work to quiesce; True when drained."""
+        with self._lock:
+            fleet = self._fleet
+        if fleet is None:
+            return True
+        return fleet.drain(timeout_s)
+
+    def rolling_restart(
+        self,
+        drain_timeout_s: float = 30.0,
+        ready_timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Zero-downtime rolling restart of every replica (make-before-break).
+
+        Builds the fleet first if it has not served yet — an operator can
+        roll a freshly booted server.  See
+        :meth:`repro.resilience.supervisor.ReplicaFleet.rolling_restart`.
+        """
+        with self._lock:
+            fleet, _, _ = self._acquire_fleet()
+        return fleet.rolling_restart(drain_timeout_s, ready_timeout_s)
 
     # -- batch execution ---------------------------------------------------
 
@@ -467,7 +563,7 @@ class ParallelBatchExecutor:
         items: Sequence[tuple[int, str, str, str, int, int]],
         trace: Trace | None = None,
     ) -> dict[int, tuple[bool, Any, int]]:
-        """Explain every item on the pool; reassemble positionally.
+        """Explain every item on the fleet; reassemble positionally.
 
         Args:
             items: ``(index, v_start, v_end, measure_name, k, size_limit)``
@@ -486,19 +582,20 @@ class ParallelBatchExecutor:
             completed in.
 
         Raises:
-            WorkerCrashError: a worker process died before completing the
-                batch.  No partial results are returned; the pool is poisoned
-                and the next call recycles it.
+            WorkerCrashError: every replica failed before the batch could
+                complete (single-replica crashes fail over transparently).
+                No partial results are returned; the fleet is poisoned and
+                the next call recycles it.
         """
         if not items:
             return {}
         with self._lock:
-            pool, version, _ = self._acquire_pool()
+            fleet, version, _ = self._acquire_fleet()
             self.stats.batches += 1
             self.stats.items += len(items)
         # Longest-expected-first (greedy LPT): endpoint degree predicts
         # enumeration cost, so dispatching heavy items first keeps the last
-        # chunks small and the workers' finish times close together.
+        # chunks small and the replicas' finish times close together.
         ordered = sorted(items, key=self._expected_cost, reverse=True)
         chunk_size = self.chunk_size or max(1, len(ordered) // (self.workers * 4))
         chunks = [
@@ -516,14 +613,14 @@ class ParallelBatchExecutor:
         try:
             if dispatch_span is not None:
                 dispatch_span.__enter__()
-            # submit is inside the guard too: a pool whose worker already
-            # died rejects new work with BrokenProcessPool right here
-            futures = [
-                pool.submit(_run_chunk, chunk, trace_id, deadline_s)
+            tasks = [
+                fleet.submit(_run_chunk, chunk, trace_id, deadline_s)
                 for chunk in chunks
             ]
-            for future in futures:
-                pid, cpu_seconds, replica_version, chunk_results, export = future.result()
+            for task in tasks:
+                pid, cpu_seconds, replica_version, chunk_results, export = (
+                    fleet.result(task, canonical=_chunk_canonical)
+                )
                 batch_cpu[pid] = batch_cpu.get(pid, 0.0) + cpu_seconds
                 for index, ok, value in chunk_results:
                     results[index] = (ok, value, replica_version)
@@ -542,8 +639,8 @@ class ParallelBatchExecutor:
                         parent_index=dispatch_span.index,
                         base_offset_s=offset,
                     )
-        except BrokenProcessPool as crash:
-            self._poison(pool)
+        except FleetExhausted as crash:
+            self._poison(fleet)
             raise WorkerCrashError(
                 f"a worker process died while executing a batch of "
                 f"{len(items)} items: {crash}"
@@ -568,7 +665,7 @@ class ParallelBatchExecutor:
         v_start: str,
         v_end: str,
     ) -> tuple[int, int]:
-        """Shard one distributional position computation across the pool.
+        """Shard one distributional position computation across the fleet.
 
         Splits ``start_entities`` into ``workers`` contiguous shards, counts
         qualifying (start, end) groups in parallel and sums the partial
@@ -579,12 +676,12 @@ class ParallelBatchExecutor:
             ``(position, bindings_enumerated)``.
 
         Raises:
-            WorkerCrashError: a worker died mid-sweep.
+            WorkerCrashError: every replica died mid-sweep.
         """
         if not start_entities:
             return 0, 0
         with self._lock:
-            pool, _, _ = self._acquire_pool()
+            fleet, _, _ = self._acquire_fleet()
             self.stats.sweeps += 1
         shard_size = max(1, -(-len(start_entities) // self.workers))
         shards = [
@@ -596,22 +693,24 @@ class ParallelBatchExecutor:
         ambient = current_deadline()
         deadline_s = ambient.remaining() if ambient is not None else None
         try:
-            futures = [
-                pool.submit(
+            tasks = [
+                fleet.submit(
                     _run_sweep, pattern, shard, own_count, v_start, v_end, deadline_s
                 )
                 for shard in shards
             ]
-            for future in futures:
-                pid, cpu_seconds, shard_position, shard_bindings = future.result()
+            for task in tasks:
+                pid, cpu_seconds, shard_position, shard_bindings = fleet.result(
+                    task, canonical=_sweep_canonical
+                )
                 position += shard_position
                 bindings += shard_bindings
                 with self._lock:
                     self.stats.worker_cpu_s[pid] = (
                         self.stats.worker_cpu_s.get(pid, 0.0) + cpu_seconds
                     )
-        except BrokenProcessPool as crash:
-            self._poison(pool)
+        except FleetExhausted as crash:
+            self._poison(fleet)
             raise WorkerCrashError(
                 f"a worker process died during a sharded position sweep over "
                 f"{len(start_entities)} start entities: {crash}"
@@ -620,11 +719,11 @@ class ParallelBatchExecutor:
 
     # -- internals ---------------------------------------------------------
 
-    def _poison(self, pool: ProcessPoolExecutor) -> None:
-        """Mark the pool broken (if still current) after a worker crash."""
+    def _poison(self, fleet: ReplicaFleet) -> None:
+        """Mark the fleet broken (if still current) after total failure."""
         with self._lock:
             self.stats.worker_crashes += 1
-            if self._pool is pool:
+            if self._fleet is fleet:
                 self._broken = True
 
     def _expected_cost(self, item: tuple[int, str, str, str, int, int]) -> int:
@@ -639,11 +738,14 @@ class ParallelBatchExecutor:
     def snapshot(self) -> dict[str, Any]:
         """Configuration plus lifetime counters, for ``/metrics``."""
         payload = self.stats.snapshot()
+        with self._lock:
+            fleet = self._fleet
         payload.update(
             {
                 "workers": self.workers,
-                "pool_version": self._pool_version,
+                "pool_version": self._fleet_version,
                 "broken": self._broken,
+                "fleet": fleet.snapshot() if fleet is not None else None,
             }
         )
         return payload
@@ -651,5 +753,5 @@ class ParallelBatchExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParallelBatchExecutor(workers={self.workers}, "
-            f"pool_version={self._pool_version}, batches={self.stats.batches})"
+            f"pool_version={self._fleet_version}, batches={self.stats.batches})"
         )

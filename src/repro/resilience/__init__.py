@@ -12,7 +12,12 @@ benchmarks well and a service that survives a bad afternoon:
 * :mod:`repro.resilience.retry` — bounded exponential backoff with jitter
   for retrying crashed worker batches against a recycled pool;
 * :mod:`repro.resilience.breaker` — a circuit breaker that degrades the
-  engine to cached-only serving after repeated worker/store failures.
+  engine to cached-only serving after repeated worker/store failures;
+* :mod:`repro.resilience.health` — the per-replica liveness state machine
+  (STARTING → HEALTHY → SUSPECT → DEAD) with latency EWMA/p95 tracking;
+* :mod:`repro.resilience.supervisor` — the supervised replica fleet: probe
+  heartbeats, failover, hedged dispatch, hot standby, drain and
+  zero-downtime rolling restarts.
 
 Nothing here imports from :mod:`repro.service` (the service layer imports
 *us*); the only internal dependency is :mod:`repro.errors`.  See
@@ -31,7 +36,24 @@ from .deadline import (
     deactivate_deadline,
     deadline_scope,
 )
+from .health import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    REPLICA_STATES,
+    RESTARTING,
+    STARTING,
+    SUSPECT,
+    ReplicaHealth,
+)
 from .retry import RetryPolicy
+from .supervisor import (
+    FleetExhausted,
+    FleetTask,
+    HedgeMismatch,
+    Replica,
+    ReplicaFleet,
+)
 from ..errors import DeadlineExceeded
 
 __all__ = [
@@ -39,10 +61,23 @@ __all__ = [
     "AdmissionRejected",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DEAD",
     "DEFAULT_TICK_STRIDE",
+    "DRAINING",
     "Deadline",
     "DeadlineExceeded",
+    "FleetExhausted",
+    "FleetTask",
+    "HEALTHY",
+    "HedgeMismatch",
+    "REPLICA_STATES",
+    "RESTARTING",
+    "Replica",
+    "ReplicaFleet",
+    "ReplicaHealth",
     "RetryPolicy",
+    "STARTING",
+    "SUSPECT",
     "activate_deadline",
     "current_deadline",
     "deactivate_deadline",

@@ -10,6 +10,12 @@ everything beyond that is shed immediately with :class:`AdmissionRejected`
 Shedding at the door is the point: a request that would only time out in a
 queue is cheaper for everyone as an instant 429 the client can back off on.
 
+Queued requests are admitted in strict FIFO order: each waiter takes a
+ticket in an ordered queue, and only the head ticket may claim a freed
+slot — a request arriving while others are already queued can never jump
+the line, even when a slot frees in the instant between its arrival and
+its first wait.
+
 The controller takes an optional metrics registry (duck-typed
 ``counter(name)``/``gauge(name)``, matching
 :class:`repro.service.metrics.MetricsRegistry` — not imported here to keep
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Iterator
 from contextlib import contextmanager
 
@@ -67,6 +74,10 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._slot_free = threading.Condition(self._lock)
         self._inflight = 0
+        #: FIFO tickets of the threads currently waiting for a slot; only
+        #: the head ticket may claim one, which is what makes admission
+        #: strictly arrival-ordered.
+        self._waiters: deque[object] = deque()
         self._queued = 0
         self._admitted = 0
         self._shed_queue_full = 0
@@ -95,24 +106,35 @@ class AdmissionController:
 
     def acquire(self) -> None:
         with self._slot_free:
-            if self._inflight < self.max_inflight:
+            # the fast path yields to anyone already queued: a free slot with
+            # a non-empty queue belongs to the queue's head, not to whoever
+            # happens to arrive at the right instant
+            if self._inflight < self.max_inflight and not self._waiters:
                 self._inflight += 1
                 self._admitted += 1
                 self._publish_locked(admitted=True)
                 return
-            if self._queued >= self.max_queue:
+            if len(self._waiters) >= self.max_queue:
                 self._shed_queue_full += 1
                 self._publish_locked(shed_full=True)
                 raise AdmissionRejected("queue full", self._retry_after_locked())
-            self._queued += 1
+            ticket = object()
+            self._waiters.append(ticket)
+            self._queued = len(self._waiters)
             self._publish_locked()
             deadline = time.monotonic() + self.queue_timeout_s
             admitted = False
             try:
-                while self._inflight >= self.max_inflight:
+                while not (
+                    self._waiters[0] is ticket
+                    and self._inflight < self.max_inflight
+                ):
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._slot_free.wait(remaining):
-                        if self._inflight >= self.max_inflight:
+                        if not (
+                            self._waiters[0] is ticket
+                            and self._inflight < self.max_inflight
+                        ):
                             self._shed_timeout += 1
                             self._publish_locked(shed_timeout=True)
                             raise AdmissionRejected(
@@ -122,14 +144,21 @@ class AdmissionController:
                 self._admitted += 1
                 admitted = True
             finally:
-                self._queued -= 1
+                self._waiters.remove(ticket)
+                self._queued = len(self._waiters)
                 self._publish_locked(admitted=admitted)
+                # the ticket behind us may now be the head (whether we
+                # admitted or timed out): wake everyone to re-evaluate
+                self._slot_free.notify_all()
 
     def release(self) -> None:
         with self._slot_free:
             self._inflight -= 1
             self._publish_locked()
-            self._slot_free.notify()
+            # notify_all, not notify: only the head ticket may take the slot,
+            # and a single notify could wake a non-head waiter that just goes
+            # back to sleep while the head never hears about the free slot
+            self._slot_free.notify_all()
 
     def _retry_after_locked(self) -> float:
         # A full gate suggests waiting about one queue-drain interval; keep

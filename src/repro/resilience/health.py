@@ -1,0 +1,244 @@
+"""Per-replica health: a liveness state machine with latency tracking.
+
+Every worker replica of the supervised fleet (:mod:`.supervisor`) carries one
+:class:`ReplicaHealth`: a small state machine fed by probe results, work
+completions and crash reports, plus the latency statistics the fleet's
+hedging policy reads (an EWMA for the snapshot, a bounded window for the
+p95 hedge threshold).
+
+States and transitions::
+
+    STARTING ──first success/probe──▶ HEALTHY
+    HEALTHY ──probe miss (suspect_after)──▶ SUSPECT
+    SUSPECT ──any success──▶ HEALTHY
+    SUSPECT ──probe miss (dead_after)──▶ DEAD        (terminal per object)
+    any ──crash report──▶ DEAD
+    HEALTHY ──mark(DRAINING)──▶ DRAINING ──mark(HEALTHY)──▶ HEALTHY
+
+``DEAD`` is terminal for a given :class:`ReplicaHealth` object: the
+supervisor never resurrects a dead replica in place, it replaces the whole
+replica (promoting the hot standby or spawning a fresh worker) with a fresh
+health object.  ``RESTARTING`` exists only for the placeholder a slot holds
+while its replacement is being built — no probe ever targets it.
+
+The distinction between SUSPECT and DEAD is what makes gray failures
+(a SIGSTOPped or livelocked worker: alive for the OS, useless for us)
+survivable: a SUSPECT replica is routed around but given the chance to
+come back (one successful probe or work completion restores it), while a
+DEAD one is killed and replaced.
+
+All methods are thread-safe; the single internal lock is a leaf — no
+callback runs under it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = [
+    "DEAD",
+    "DRAINING",
+    "HEALTHY",
+    "REPLICA_STATES",
+    "RESTARTING",
+    "STARTING",
+    "SUSPECT",
+    "ReplicaHealth",
+]
+
+STARTING = "starting"
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+RESTARTING = "restarting"
+DRAINING = "draining"
+
+REPLICA_STATES = (STARTING, HEALTHY, SUSPECT, DEAD, RESTARTING, DRAINING)
+
+#: Bounded per-replica transition log (for /healthz and postmortems).
+TRANSITION_LOG_LIMIT = 16
+#: Bounded latency window the p95 hedge threshold is computed over.
+LATENCY_WINDOW = 128
+
+
+class ReplicaHealth:
+    """Liveness + latency bookkeeping for one worker replica.
+
+    Args:
+        name: replica label used in the transition log and snapshots.
+        suspect_after: consecutive probe misses before HEALTHY → SUSPECT.
+        dead_after: consecutive probe misses before → DEAD.
+        ewma_alpha: smoothing factor of the latency EWMA (higher = jumpier).
+        state: initial state (``STARTING`` for real replicas, ``RESTARTING``
+            for the poolless placeholder a slot holds during backoff).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        name: str = "replica",
+        *,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        ewma_alpha: float = 0.2,
+        state: str = STARTING,
+        clock=time.monotonic,
+    ) -> None:
+        if not 1 <= suspect_after <= dead_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= dead_after, "
+                f"got {suspect_after}/{dead_after}"
+            )
+        if state not in REPLICA_STATES:
+            raise ValueError(f"unknown replica state {state!r}")
+        self.name = name
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.ewma_alpha = ewma_alpha
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = state
+        self._born_at = clock()
+        self._consecutive_misses = 0
+        self._probe_misses = 0
+        self._successes = 0
+        self._errors = 0
+        self._crashes = 0
+        self._latency_ewma_s: float | None = None
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._transitions: deque[tuple[float, str, str, str]] = deque(
+            maxlen=TRANSITION_LOG_LIMIT
+        )
+
+    # -- state ingestion ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def record_success(self, latency_s: float | None = None) -> None:
+        """A unit of work (or probe) completed on this replica."""
+        with self._lock:
+            self._successes += 1
+            self._consecutive_misses = 0
+            if latency_s is not None:
+                self._observe_latency_locked(latency_s)
+            if self._state in (STARTING, SUSPECT):
+                self._transition_locked(HEALTHY, "success")
+
+    def record_probe_ok(self, rtt_s: float | None = None) -> None:
+        """A liveness probe answered within its window."""
+        with self._lock:
+            self._consecutive_misses = 0
+            if rtt_s is not None:
+                self._observe_latency_locked(rtt_s)
+            if self._state in (STARTING, SUSPECT):
+                self._transition_locked(HEALTHY, "probe ok")
+
+    def record_probe_miss(self, reason: str = "probe timeout") -> str:
+        """A probe went unanswered; returns the (possibly new) state."""
+        with self._lock:
+            if self._state in (DEAD, RESTARTING):
+                return self._state
+            self._probe_misses += 1
+            self._consecutive_misses += 1
+            if self._consecutive_misses >= self.dead_after:
+                self._transition_locked(DEAD, reason)
+            elif (
+                self._consecutive_misses >= self.suspect_after
+                and self._state in (STARTING, HEALTHY)
+            ):
+                self._transition_locked(SUSPECT, reason)
+            return self._state
+
+    def record_error(self) -> None:
+        """A work item failed on this replica without killing it."""
+        with self._lock:
+            self._errors += 1
+
+    def record_straggle(self, reason: str = "straggler") -> None:
+        """A hedged backup beat this replica: demote it to SUSPECT."""
+        with self._lock:
+            if self._state in (STARTING, HEALTHY):
+                self._transition_locked(SUSPECT, reason)
+
+    def record_crash(self, reason: str = "worker crash") -> None:
+        """The replica's process died (or its pool broke): terminal DEAD."""
+        with self._lock:
+            self._crashes += 1
+            if self._state != DEAD:
+                self._transition_locked(DEAD, reason)
+
+    def mark(self, state: str, reason: str = "operator") -> None:
+        """Force a state (drain / re-admit during rolling restarts)."""
+        if state not in REPLICA_STATES:
+            raise ValueError(f"unknown replica state {state!r}")
+        with self._lock:
+            if self._state != state:
+                self._transition_locked(state, reason)
+
+    # -- latency -----------------------------------------------------------
+
+    def _observe_latency_locked(self, latency_s: float) -> None:
+        self._latencies.append(latency_s)
+        if self._latency_ewma_s is None:
+            self._latency_ewma_s = latency_s
+        else:
+            alpha = self.ewma_alpha
+            self._latency_ewma_s += alpha * (latency_s - self._latency_ewma_s)
+
+    def latency_p95_s(self) -> float | None:
+        """p95 over the bounded latency window (None before any sample)."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            ordered = sorted(self._latencies)
+            return ordered[int(0.95 * (len(ordered) - 1))]
+
+    # -- internals ---------------------------------------------------------
+
+    def _transition_locked(self, new_state: str, reason: str) -> None:
+        self._transitions.append(
+            (self._clock(), self._state, new_state, reason)
+        )
+        self._state = new_state
+
+    def snapshot(self) -> dict[str, Any]:
+        """Full health detail, for ``/healthz`` per-replica reporting."""
+        with self._lock:
+            p95 = None
+            if self._latencies:
+                ordered = sorted(self._latencies)
+                p95 = ordered[int(0.95 * (len(ordered) - 1))]
+            return {
+                "name": self.name,
+                "state": self._state,
+                "age_s": round(self._clock() - self._born_at, 3),
+                "consecutive_probe_misses": self._consecutive_misses,
+                "probe_misses": self._probe_misses,
+                "successes": self._successes,
+                "errors": self._errors,
+                "crashes": self._crashes,
+                "latency_ewma_s": (
+                    round(self._latency_ewma_s, 6)
+                    if self._latency_ewma_s is not None
+                    else None
+                ),
+                "latency_p95_s": round(p95, 6) if p95 is not None else None,
+                "transitions": [
+                    {
+                        "at_s": round(at, 3),
+                        "from": old,
+                        "to": new,
+                        "reason": reason,
+                    }
+                    for at, old, new, reason in self._transitions
+                ],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplicaHealth({self.name}, state={self.state})"

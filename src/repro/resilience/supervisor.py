@@ -1,0 +1,1041 @@
+"""A supervised fleet of worker replicas: probes, failover, hedging.
+
+:class:`ReplicaFleet` turns a flat set of worker pools into a supervised
+fleet.  Each replica is one independently restartable pool (the parallel
+executor passes a factory building a single-worker ``ProcessPoolExecutor``,
+so one replica == one worker process), and the fleet layers on top:
+
+* a **probe thread** heartbeats every replica (``probe_fn`` round-trips
+  through the worker); unanswered probes drive the per-replica
+  :class:`~repro.resilience.health.ReplicaHealth` state machine
+  STARTING → HEALTHY → SUSPECT → DEAD — a SIGSTOPped or livelocked worker
+  (a *gray* failure: the process exists, the work does not come back) is
+  detected exactly like a dead one, just a few probe periods later;
+* **dispatch routes around trouble**: work goes to the least-loaded HEALTHY
+  replica, falling back to STARTING then SUSPECT tiers only when nothing
+  healthier exists; DEAD/RESTARTING/DRAINING replicas get nothing;
+* **hedged dispatch**: a task still running past an adaptive threshold
+  (p95 of recent completions × ``hedge_multiplier``, clamped) gets a backup
+  submission on a different healthy replica — first result wins, the loser
+  is cancelled or abandoned, and when both complete their canonical outputs
+  are asserted byte-identical;
+* **failover**: a replica crash (broken pool) re-submits the task on a
+  surviving replica; :class:`FleetExhausted` is raised only when *every*
+  replica has failed — the caller's crash/retry semantics see one fleet,
+  not N pools;
+* a **hot standby** is pre-warmed in the background and promoted into a
+  dead replica's slot immediately, so a replica death costs no cold start;
+  replacements beyond the standby are spawned with exponential backoff;
+* **drain + rolling restart**: ``drain()`` waits for in-flight work to
+  reach zero; ``rolling_restart()`` replaces replicas one slot at a time,
+  make-before-break (build and probe the replacement *first*, drain the old
+  replica, then swap), so at least one replica is serving at every instant
+  — even a single-replica fleet restarts with zero downtime.
+
+The fleet is generic: it never imports :mod:`repro.parallel` (which imports
+this package) and touches pools only through ``submit``/``shutdown`` plus
+the optional ``_processes`` pid table — any ``concurrent.futures`` executor
+works, which is also how the unit tests drive it with scripted fakes.
+
+Metrics are duck-typed (``counter(name)``/``gauge(name)``), matching
+:class:`repro.service.metrics.MetricsRegistry` without importing it, exactly
+like :class:`~repro.resilience.admission.AdmissionController`; the gauges and
+counters flow into ``/metrics`` and the Prometheus exposition automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    wait,
+)
+from typing import Any, Callable
+
+from .health import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    RESTARTING,
+    STARTING,
+    SUSPECT,
+    ReplicaHealth,
+)
+
+__all__ = ["FleetExhausted", "FleetTask", "HedgeMismatch", "Replica", "ReplicaFleet"]
+
+#: Latency samples the fleet-wide hedge threshold is computed over.
+_HEDGE_WINDOW = 256
+#: Poll period of drain waits.
+_DRAIN_POLL_S = 0.02
+
+
+class FleetExhausted(RuntimeError):
+    """Every replica failed (or none is routable): the task cannot run.
+
+    The caller treats this exactly like a whole-pool crash — the parallel
+    executor converts it into ``WorkerCrashError`` so the engine's retry
+    loop and circuit breaker see the failure they already know.
+    """
+
+
+class HedgeMismatch(RuntimeError):
+    """A hedged backup produced a different answer than the primary.
+
+    Replicas are built from the same immutable snapshot and the work is a
+    pure function of it, so divergence means replica corruption or
+    nondeterminism — an invariant violation worth failing loudly.
+    """
+
+
+class _Attempt:
+    """One submission of a task to one replica."""
+
+    __slots__ = ("replica", "future", "submitted_at", "kind")
+
+    def __init__(
+        self, replica: "Replica", future: Future, submitted_at: float, kind: str
+    ) -> None:
+        self.replica = replica
+        self.future = future
+        self.submitted_at = submitted_at
+        self.kind = kind  # "primary" | "hedge" | "failover"
+
+
+class FleetTask:
+    """Handle for one unit of work dispatched to the fleet.
+
+    Returned by :meth:`ReplicaFleet.submit`; redeem with
+    :meth:`ReplicaFleet.result`.  Tracks every attempt so hedging and
+    failover can reason about what already ran where.
+    """
+
+    __slots__ = ("fn", "args", "attempts", "tried", "hedged", "winner_canonical")
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.attempts: list[_Attempt] = []
+        #: (slot, generation) pairs already attempted — failover excludes
+        #: them, so a crashed replica is never retried, while its *replacement*
+        #: in the same slot (new generation) is.
+        self.tried: set[tuple[int | None, int]] = set()
+        self.hedged = False
+        self.winner_canonical: Any = None
+
+
+class Replica:
+    """One supervised worker pool plus its health record."""
+
+    __slots__ = (
+        "slot",
+        "generation",
+        "pool",
+        "health",
+        "inflight",
+        "probe_future",
+        "probe_sent_at",
+    )
+
+    def __init__(
+        self,
+        slot: int | None,
+        generation: int,
+        pool: Any,
+        health: ReplicaHealth,
+    ) -> None:
+        self.slot = slot  # None while serving as the standby
+        self.generation = generation
+        self.pool = pool
+        self.health = health
+        self.inflight = 0  # guarded by the fleet lock
+        self.probe_future: Future | None = None
+        self.probe_sent_at: float | None = None
+
+    def pids(self) -> list[int]:
+        """Worker pids, when the pool exposes them (ProcessPoolExecutor)."""
+        if self.pool is None:
+            return []
+        processes = getattr(self.pool, "_processes", None) or {}
+        return sorted(processes)
+
+
+class ReplicaFleet:
+    """Supervise ``replicas`` worker pools built by ``replica_factory``.
+
+    Args:
+        replica_factory: zero-argument callable building one replica pool
+            (``submit``/``shutdown``; pids are read from ``_processes`` when
+            present).  Called for every replica, the standby, and every
+            restart — it must capture the current worker payload.
+        replicas: fleet size (>= 1).
+        probe_fn: picklable zero-argument callable round-tripped through a
+            replica as the liveness probe (default ``os.getpid``).
+        probe_interval_s: probe thread period.
+        probe_timeout_s: how long an outstanding probe may stay unanswered
+            before it counts as a miss.
+        suspect_after / dead_after: consecutive-miss thresholds of the
+            replica state machine (see :mod:`.health`).
+        hedge_multiplier: hedge threshold = p95 of recent completion
+            latencies × this factor (0 disables hedging).
+        hedge_min_s / hedge_max_s: clamp on the hedge threshold.
+        hedge_warmup: completed samples required before hedging arms.
+        standby: keep one pre-warmed hot standby replica.
+        restart_backoff_s / restart_backoff_max_s: exponential backoff of
+            slot restarts after consecutive failures.
+        init_timeout_s: bound on waiting for a fresh replica (standby
+            pre-warm, rolling-restart replacement) to answer its first probe.
+        metrics: optional duck-typed metrics registry.
+        name: label used for thread names and metric help text.
+    """
+
+    def __init__(
+        self,
+        replica_factory: Callable[[], Any],
+        replicas: int,
+        *,
+        probe_fn: Callable[[], Any] = os.getpid,
+        probe_interval_s: float = 1.0,
+        probe_timeout_s: float = 3.0,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        hedge_multiplier: float = 3.0,
+        hedge_min_s: float = 0.05,
+        hedge_max_s: float = 30.0,
+        hedge_warmup: int = 5,
+        standby: bool = True,
+        restart_backoff_s: float = 0.25,
+        restart_backoff_max_s: float = 5.0,
+        init_timeout_s: float = 60.0,
+        metrics: Any | None = None,
+        name: str = "fleet",
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self.name = name
+        self._factory = replica_factory
+        self._probe_fn = probe_fn
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.hedge_multiplier = hedge_multiplier
+        self.hedge_min_s = hedge_min_s
+        self.hedge_max_s = hedge_max_s
+        self.hedge_warmup = hedge_warmup
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_max_s = restart_backoff_max_s
+        self.init_timeout_s = init_timeout_s
+        self._standby_enabled = standby
+        self._clock = time.monotonic
+        self._lock = threading.Lock()
+        self._work_done = threading.Condition(self._lock)
+        self._generation = itertools.count(1)
+        self._slots: list[Replica | None] = [None] * replicas
+        self._slot_failures = [0] * replicas
+        self._standby: Replica | None = None
+        self._standby_building = False
+        self._started = False
+        self._shutdown = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        self._restart_threads: set[threading.Thread] = set()
+        self._rolling_lock = threading.Lock()
+        self._latency_samples: deque[float] = deque(maxlen=_HEDGE_WINDOW)
+        # lifetime counters (ints always; metrics mirror when provided)
+        self._counters = {
+            "crashes": 0,
+            "restarts": 0,
+            "standby_promotions": 0,
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "hedge_mismatches": 0,
+            "probe_misses": 0,
+            "rolling_restarts": 0,
+        }
+        self._metrics = metrics
+        if metrics is not None:
+            self._metric_counters = {
+                key: metrics.counter(f"fleet.{key}") for key in self._counters
+            }
+            self._gauge_healthy = metrics.gauge("fleet.replicas_healthy")
+            self._gauge_suspect = metrics.gauge("fleet.replicas_suspect")
+            self._gauge_dead = metrics.gauge("fleet.replicas_dead")
+            self._gauge_restarting = metrics.gauge("fleet.replicas_restarting")
+        else:
+            self._metric_counters = {}
+            self._gauge_healthy = None
+            self._gauge_suspect = None
+            self._gauge_dead = None
+            self._gauge_restarting = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin the fleet up (idempotent; ``submit`` calls it lazily)."""
+        with self._lock:
+            if self._started or self._shutdown.is_set():
+                return
+            self._started = True
+            for slot in range(self.replicas):
+                self._slots[slot] = self._new_replica_locked(slot)
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop,
+                name=f"rex-{self.name}-probe",
+                daemon=True,
+            )
+            self._probe_thread.start()
+        self._spawn_standby_async()
+        self._publish_gauges()
+
+    def shutdown(self, wait_for_work: bool = True) -> None:
+        """Stop probing/restarting and shut every pool down.
+
+        ``wait_for_work=True`` (executor close) cancels queued work and waits
+        for running chunks; ``False`` (pool recycle) detaches immediately and
+        lets in-flight chunks finish on their own references.
+        """
+        self._shutdown.set()
+        with self._lock:
+            pools = [
+                replica.pool
+                for replica in [*self._slots, self._standby]
+                if replica is not None and replica.pool is not None
+            ]
+            self._standby = None
+        for pool in pools:
+            try:
+                pool.shutdown(wait=wait_for_work, cancel_futures=wait_for_work)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        probe_thread = self._probe_thread
+        if probe_thread is not None and wait_for_work:
+            probe_thread.join(timeout=self.probe_interval_s + 1.0)
+        if wait_for_work:
+            for thread in list(self._restart_threads):
+                thread.join(timeout=1.0)
+
+    def _new_replica_locked(self, slot: int | None) -> Replica:
+        health = ReplicaHealth(
+            name=f"{self.name}-{slot if slot is not None else 'standby'}",
+            suspect_after=self.suspect_after,
+            dead_after=self.dead_after,
+            clock=self._clock,
+        )
+        return Replica(slot, next(self._generation), self._factory(), health)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, fn: Callable, *args: Any) -> FleetTask:
+        """Dispatch one task to the best available replica.
+
+        Raises:
+            FleetExhausted: no replica is routable (all dead or restarting).
+        """
+        self.start()
+        task = FleetTask(fn, args)
+        self._submit_attempt(task, kind="primary")
+        return task
+
+    def _submit_attempt(
+        self,
+        task: FleetTask,
+        *,
+        kind: str,
+        exclude_slots: frozenset[int] = frozenset(),
+    ) -> _Attempt:
+        while True:
+            replica = self._pick_replica(
+                exclude_slots=exclude_slots, exclude_pairs=task.tried
+            )
+            if replica is None:
+                raise FleetExhausted(
+                    f"no routable replica left in the {self.replicas}-replica "
+                    f"fleet (after {len(task.tried)} attempt(s))"
+                )
+            try:
+                future = replica.pool.submit(task.fn, *task.args)
+            except (BrokenExecutor, RuntimeError) as crash:
+                # BrokenExecutor: the worker died; RuntimeError: the pool was
+                # shut down under us (replacement race) — either way this
+                # replica is gone, pick another
+                self._handle_crash(replica, f"submit failed: {crash}")
+                task.tried.add((replica.slot, replica.generation))
+                continue
+            with self._lock:
+                replica.inflight += 1
+            future.add_done_callback(
+                lambda _future, r=replica: self._work_finished(r)
+            )
+            attempt = _Attempt(replica, future, self._clock(), kind)
+            task.attempts.append(attempt)
+            task.tried.add((replica.slot, replica.generation))
+            return attempt
+
+    def _work_finished(self, replica: Replica) -> None:
+        with self._work_done:
+            replica.inflight = max(0, replica.inflight - 1)
+            self._work_done.notify_all()
+
+    def _pick_replica(
+        self,
+        *,
+        exclude_slots: frozenset[int] = frozenset(),
+        exclude_pairs: set[tuple[int | None, int]] | frozenset = frozenset(),
+        healthy_only: bool = False,
+    ) -> Replica | None:
+        """Least-loaded routable replica, preferring healthier tiers."""
+        tiers: tuple[tuple[str, ...], ...] = (
+            ((HEALTHY,),) if healthy_only else ((HEALTHY,), (STARTING,), (SUSPECT,))
+        )
+        with self._lock:
+            candidates = [
+                replica
+                for replica in self._slots
+                if replica is not None
+                and replica.pool is not None
+                and replica.slot not in exclude_slots
+                and (replica.slot, replica.generation) not in exclude_pairs
+            ]
+            for states in tiers:
+                tier = [r for r in candidates if r.health.state in states]
+                if tier:
+                    return min(tier, key=lambda r: (r.inflight, r.slot))
+        return None
+
+    # -- results: hedging + failover ---------------------------------------
+
+    def result(
+        self,
+        task: FleetTask,
+        canonical: Callable[[Any], Any] | None = None,
+    ) -> Any:
+        """Block until the task completes somewhere; first result wins.
+
+        ``canonical`` maps a completed result to a comparable value (or
+        ``None`` to skip the comparison — e.g. results containing
+        deadline-dependent errors); when both a primary and its hedged
+        backup complete, their canonical forms must match.
+
+        Raises:
+            FleetExhausted: every replica failed before the task completed.
+            HedgeMismatch: a hedged pair produced different answers.
+        """
+        consumed: set[Future] = set()
+        while True:
+            outstanding = {
+                attempt.future: attempt
+                for attempt in task.attempts
+                if attempt.future not in consumed
+            }
+            if not outstanding:
+                attempt = self._failover(task)
+                outstanding = {attempt.future: attempt}
+            timeout = self._hedge_wait_s(task, outstanding.values())
+            done, _ = wait(
+                set(outstanding), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                self._hedge(task)
+                continue
+            for future in done:
+                attempt = outstanding[future]
+                consumed.add(future)
+                try:
+                    value = future.result()
+                except (BrokenExecutor, CancelledError) as crash:
+                    self._handle_crash(
+                        attempt.replica, f"attempt failed: {crash!r}"
+                    )
+                    continue
+                self._record_success(
+                    attempt.replica, self._clock() - attempt.submitted_at
+                )
+                return self._finish(task, attempt, value, canonical, consumed)
+            # every completed future was a crash: loop — remaining attempts
+            # (if any) keep running, otherwise _failover resubmits
+
+    def _hedge_wait_s(self, task: FleetTask, attempts) -> float | None:
+        """How long to wait before hedging (None = no hedge pending)."""
+        if task.hedged or self.hedge_multiplier <= 0:
+            return None
+        threshold = self._hedge_threshold_s()
+        if threshold is None:
+            return None
+        newest = max(attempt.submitted_at for attempt in attempts)
+        return max(0.0, threshold - (self._clock() - newest))
+
+    def _hedge_threshold_s(self) -> float | None:
+        with self._lock:
+            if len(self._latency_samples) < self.hedge_warmup:
+                return None
+            ordered = sorted(self._latency_samples)
+            p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        return min(
+            self.hedge_max_s, max(self.hedge_min_s, p95 * self.hedge_multiplier)
+        )
+
+    def _hedge(self, task: FleetTask) -> None:
+        """Submit a backup for a straggling task on another healthy replica."""
+        task.hedged = True
+        live_slots = frozenset(
+            attempt.replica.slot
+            for attempt in task.attempts
+            if not attempt.future.done() and attempt.replica.slot is not None
+        )
+        replica = self._pick_replica(exclude_slots=live_slots, healthy_only=True)
+        if replica is None:
+            return  # nothing healthy to hedge on; keep waiting on the primary
+        try:
+            future = replica.pool.submit(task.fn, *task.args)
+        except (BrokenExecutor, RuntimeError) as crash:
+            self._handle_crash(replica, f"hedge submit failed: {crash}")
+            return
+        with self._lock:
+            replica.inflight += 1
+        future.add_done_callback(lambda _f, r=replica: self._work_finished(r))
+        task.attempts.append(_Attempt(replica, future, self._clock(), "hedge"))
+        task.tried.add((replica.slot, replica.generation))
+        self._bump("hedges")
+
+    def _failover(self, task: FleetTask) -> _Attempt:
+        """Every attempt crashed: resubmit on a surviving replica."""
+        if len(task.attempts) > self.replicas + 2:
+            raise FleetExhausted(
+                f"task failed on {len(task.attempts)} replicas in a row"
+            )
+        self._bump("failovers")
+        return self._submit_attempt(task, kind="failover")
+
+    def _finish(
+        self,
+        task: FleetTask,
+        winner: _Attempt,
+        value: Any,
+        canonical: Callable[[Any], Any] | None,
+        consumed: set[Future],
+    ) -> Any:
+        if winner.kind != "primary" and task.hedged:
+            self._bump("hedge_wins")
+            # the straggler lost the race: route around it until it proves
+            # itself again (a later completion or probe restores it)
+            for attempt in task.attempts:
+                if attempt is not winner and not attempt.future.done():
+                    attempt.replica.health.record_straggle("lost hedge race")
+            self._publish_gauges()
+        winner_canon = canonical(value) if canonical is not None else None
+        task.winner_canonical = winner_canon
+        for attempt in task.attempts:
+            if attempt is winner:
+                continue
+            future = attempt.future
+            if future in consumed:
+                continue
+            if future.done():
+                self._compare_loser(task, attempt, canonical, raise_on_mismatch=True)
+            else:
+                future.cancel()
+                if not future.cancelled() and canonical is not None:
+                    # a running loser finishes later: verify it then (metric
+                    # only — there is nobody left to raise to)
+                    future.add_done_callback(
+                        lambda _f, a=attempt: self._compare_loser(
+                            task, a, canonical, raise_on_mismatch=False
+                        )
+                    )
+        return value
+
+    def _compare_loser(
+        self,
+        task: FleetTask,
+        attempt: _Attempt,
+        canonical: Callable[[Any], Any] | None,
+        *,
+        raise_on_mismatch: bool,
+    ) -> None:
+        try:
+            loser_value = attempt.future.result()
+        except Exception:
+            return  # crashed/cancelled loser: nothing to compare
+        self._record_success(
+            attempt.replica, self._clock() - attempt.submitted_at
+        )
+        if canonical is None:
+            return
+        winner_canon = task.winner_canonical
+        loser_canon = canonical(loser_value)
+        if winner_canon is None or loser_canon is None:
+            return  # at least one side opted out (e.g. contains errors)
+        if winner_canon != loser_canon:
+            self._bump("hedge_mismatches")
+            if raise_on_mismatch:
+                raise HedgeMismatch(
+                    "hedged backup diverged from the primary result on "
+                    f"{attempt.replica.health.name}"
+                )
+
+    def _record_success(self, replica: Replica, latency_s: float) -> None:
+        replica.health.record_success(latency_s)
+        with self._lock:
+            self._latency_samples.append(latency_s)
+            if replica.slot is not None and replica.slot < len(self._slot_failures):
+                self._slot_failures[replica.slot] = 0
+        self._publish_gauges()
+
+    # -- supervision: probes, crashes, restarts ----------------------------
+
+    def _probe_loop(self) -> None:
+        while not self._shutdown.wait(self.probe_interval_s):
+            try:
+                self._probe_once()
+            except Exception:  # pragma: no cover - the probe must never die
+                pass
+
+    def _probe_once(self) -> None:
+        now = self._clock()
+        with self._lock:
+            targets = [
+                replica
+                for replica in [*self._slots, self._standby]
+                if replica is not None
+                and replica.pool is not None
+                and replica.health.state not in (DEAD,)
+            ]
+        for replica in targets:
+            outstanding = replica.probe_future
+            if outstanding is not None and not outstanding.done():
+                sent_at = replica.probe_sent_at or now
+                if now - sent_at < self.probe_timeout_s:
+                    continue  # still inside its window
+                # unanswered past the window: one miss, then abandon this
+                # probe (its late completion still resets health via the
+                # done-callback — a busy replica that eventually answers
+                # recovers on its own)
+                self._bump("probe_misses")
+                state = replica.health.record_probe_miss(
+                    f"probe unanswered for {now - sent_at:.1f}s"
+                )
+                replica.probe_future = None
+                self._publish_gauges()
+                if state == DEAD:
+                    self._replace(replica, "probe death (gray failure)")
+                    continue
+            elif outstanding is not None and outstanding.done():
+                try:
+                    outstanding.result()
+                except (BrokenExecutor, CancelledError) as crash:
+                    self._handle_crash(replica, f"probe crashed: {crash!r}")
+                    continue
+                except Exception:
+                    replica.health.record_error()
+                replica.probe_future = None
+            self._send_probe(replica)
+
+    def _send_probe(self, replica: Replica) -> None:
+        sent_at = self._clock()
+
+        def _on_probe(future: Future, replica=replica, sent_at=sent_at) -> None:
+            try:
+                future.result()
+            except Exception:
+                return  # the probe loop handles crashes
+            replica.health.record_probe_ok(self._clock() - sent_at)
+            self._publish_gauges()
+
+        try:
+            future = replica.pool.submit(self._probe_fn)
+        except (BrokenExecutor, RuntimeError) as crash:
+            self._handle_crash(replica, f"probe submit failed: {crash}")
+            return
+        replica.probe_future = future
+        replica.probe_sent_at = sent_at
+        future.add_done_callback(_on_probe)
+
+    def _handle_crash(self, replica: Replica, reason: str) -> None:
+        replica.health.record_crash(reason)
+        self._bump("crashes")
+        self._replace(replica, reason)
+
+    def _replace(self, replica: Replica, reason: str) -> None:
+        """Kill a dead replica and refill its slot (standby first)."""
+        spawn_standby = False
+        schedule_slot: int | None = None
+        with self._lock:
+            if self._shutdown.is_set():
+                return
+            if replica.slot is None:
+                # the standby itself died: just rebuild it
+                if self._standby is replica:
+                    self._standby = None
+                    self._kill_replica_locked(replica)
+                    spawn_standby = True
+            elif self._slots[replica.slot] is replica:
+                slot = replica.slot
+                self._kill_replica_locked(replica)
+                self._slot_failures[slot] += 1
+                standby = self._take_standby_locked()
+                if standby is not None:
+                    standby.slot = slot
+                    self._slots[slot] = standby
+                    self._counters["standby_promotions"] += 1
+                    self._mirror("standby_promotions")
+                    spawn_standby = True
+                else:
+                    placeholder_health = ReplicaHealth(
+                        name=f"{self.name}-{slot}",
+                        suspect_after=self.suspect_after,
+                        dead_after=self.dead_after,
+                        state=RESTARTING,
+                        clock=self._clock,
+                    )
+                    self._slots[slot] = Replica(
+                        slot, next(self._generation), None, placeholder_health
+                    )
+                    schedule_slot = slot
+                self._counters["restarts"] += 1
+                self._mirror("restarts")
+        if spawn_standby:
+            self._spawn_standby_async()
+        if schedule_slot is not None:
+            self._schedule_restart(schedule_slot)
+        self._publish_gauges()
+
+    def _kill_replica_locked(self, replica: Replica) -> None:
+        for pid in replica.pids():
+            try:
+                os.kill(pid, signal.SIGKILL)  # works on SIGSTOPped processes
+            except (ProcessLookupError, PermissionError):
+                pass
+        if replica.pool is not None:
+            try:
+                replica.pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def _take_standby_locked(self) -> Replica | None:
+        standby = self._standby
+        if (
+            standby is not None
+            and standby.pool is not None
+            and standby.health.state in (STARTING, HEALTHY)
+        ):
+            self._standby = None
+            return standby
+        return None
+
+    def _spawn_standby_async(self) -> None:
+        if not self._standby_enabled or self._shutdown.is_set():
+            return
+        with self._lock:
+            if self._standby_building or self._standby is not None:
+                return
+            self._standby_building = True
+        thread = threading.Thread(
+            target=self._build_standby,
+            name=f"rex-{self.name}-standby",
+            daemon=True,
+        )
+        self._restart_threads.add(thread)
+        thread.start()
+
+    def _build_standby(self) -> None:
+        replica: Replica | None = None
+        try:
+            with self._lock:
+                replica = self._new_replica_locked(None)
+            # pre-warm: force the worker to spawn and run its initializer so
+            # promotion costs no cold start
+            replica.pool.submit(self._probe_fn).result(timeout=self.init_timeout_s)
+            replica.health.record_probe_ok()
+        except Exception:
+            if replica is not None:
+                with self._lock:
+                    self._kill_replica_locked(replica)
+            replica = None
+        finally:
+            with self._lock:
+                self._standby_building = False
+                if replica is not None:
+                    if self._shutdown.is_set():
+                        self._kill_replica_locked(replica)
+                    else:
+                        self._standby = replica
+            self._restart_threads.discard(threading.current_thread())
+
+    def _schedule_restart(self, slot: int) -> None:
+        failures = self._slot_failures[slot]
+        delay = min(
+            self.restart_backoff_s * (2 ** max(0, failures - 1)),
+            self.restart_backoff_max_s,
+        )
+        thread = threading.Thread(
+            target=self._restart_slot_later,
+            args=(slot, delay),
+            name=f"rex-{self.name}-restart-{slot}",
+            daemon=True,
+        )
+        self._restart_threads.add(thread)
+        thread.start()
+
+    def _restart_slot_later(self, slot: int, delay: float) -> None:
+        try:
+            if self._shutdown.wait(delay):
+                return
+            try:
+                pool = self._factory()
+            except Exception:
+                with self._lock:
+                    self._slot_failures[slot] += 1
+                self._schedule_restart(slot)
+                return
+            with self._lock:
+                current = self._slots[slot]
+                if self._shutdown.is_set() or (
+                    current is not None and current.pool is not None
+                ):
+                    # shut down, or someone (standby promotion, rolling
+                    # restart) already filled the slot
+                    try:
+                        pool.shutdown(wait=False)
+                    except Exception:  # pragma: no cover
+                        pass
+                    return
+                health = ReplicaHealth(
+                    name=f"{self.name}-{slot}",
+                    suspect_after=self.suspect_after,
+                    dead_after=self.dead_after,
+                    clock=self._clock,
+                )
+                self._slots[slot] = Replica(
+                    slot, next(self._generation), pool, health
+                )
+            self._publish_gauges()
+        finally:
+            self._restart_threads.discard(threading.current_thread())
+
+    # -- operations: drain + rolling restart -------------------------------
+
+    def inflight(self) -> int:
+        with self._lock:
+            return sum(
+                replica.inflight
+                for replica in self._slots
+                if replica is not None
+            )
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait for in-flight work to reach zero; True when quiesced."""
+        deadline = self._clock() + timeout_s
+        with self._work_done:
+            while True:
+                total = sum(
+                    replica.inflight
+                    for replica in self._slots
+                    if replica is not None
+                )
+                if total == 0:
+                    return True
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._work_done.wait(min(remaining, _DRAIN_POLL_S * 10))
+
+    def rolling_restart(
+        self,
+        drain_timeout_s: float = 30.0,
+        ready_timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Replace every replica, one slot at a time, with zero downtime.
+
+        Make-before-break per slot: build (or take) a pre-warmed replacement
+        and probe it HEALTHY *first*, then mark the old replica DRAINING
+        (dispatch routes around it), wait for its in-flight work, swap the
+        replacement in and shut the old pool down.  Only one slot is ever in
+        transition, and its replacement is serving before the old replica
+        stops — at least one replica serves at every instant, even with
+        ``replicas == 1``.
+
+        Raises:
+            FleetExhausted: a replacement could not be built/probed in time;
+                the fleet is left as it was (no slot was taken down).
+        """
+        self.start()
+        if ready_timeout_s is None:
+            ready_timeout_s = self.init_timeout_s
+        with self._rolling_lock:
+            replaced = 0
+            for slot in range(self.replicas):
+                replacement = self._ready_replacement(ready_timeout_s)
+                with self._lock:
+                    old = self._slots[slot]
+                if old is not None and old.pool is not None:
+                    old.health.mark(DRAINING, "rolling restart")
+                    self._publish_gauges()
+                    self._wait_replica_drained(old, drain_timeout_s)
+                with self._lock:
+                    replacement.slot = slot
+                    self._slots[slot] = replacement
+                    self._slot_failures[slot] = 0
+                if old is not None and old.pool is not None:
+                    self._kill_if_undrained(old)
+                replaced += 1
+                self._publish_gauges()
+            self._counters["rolling_restarts"] += 1
+            self._mirror("rolling_restarts")
+        self._spawn_standby_async()
+        return {"replaced": replaced, "fleet": self.snapshot()}
+
+    def _ready_replacement(self, ready_timeout_s: float) -> Replica:
+        with self._lock:
+            replacement = self._take_standby_locked()
+        if replacement is None:
+            with self._lock:
+                replacement = self._new_replica_locked(None)
+        try:
+            replacement.pool.submit(self._probe_fn).result(timeout=ready_timeout_s)
+        except Exception as error:
+            with self._lock:
+                self._kill_replica_locked(replacement)
+            raise FleetExhausted(
+                f"rolling restart aborted: replacement replica failed its "
+                f"readiness probe ({error!r})"
+            ) from error
+        replacement.health.record_probe_ok()
+        return replacement
+
+    def _wait_replica_drained(self, replica: Replica, timeout_s: float) -> bool:
+        deadline = self._clock() + timeout_s
+        with self._work_done:
+            while replica.inflight > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._work_done.wait(min(remaining, _DRAIN_POLL_S * 10))
+        return True
+
+    def _kill_if_undrained(self, replica: Replica) -> None:
+        # drained: a plain shutdown; still busy past the timeout: the swap
+        # already happened, so cancel what is queued and detach
+        try:
+            replica.pool.shutdown(wait=False, cancel_futures=False)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def worker_pids(self, timeout_s: float | None = None) -> list[int]:
+        """Every live worker pid, standby included (forcing lazy spawns).
+
+        Waits for an in-progress standby build first so "kill every pid"
+        chaos tests genuinely kill the whole fleet, hot spare and all.
+        """
+        self.start()
+        if timeout_s is None:
+            timeout_s = self.init_timeout_s
+        deadline = self._clock() + timeout_s
+        while True:
+            with self._lock:
+                building = self._standby_building
+            if not building or self._clock() >= deadline:
+                break
+            time.sleep(0.01)
+        with self._lock:
+            replicas = [
+                replica
+                for replica in [*self._slots, self._standby]
+                if replica is not None and replica.pool is not None
+            ]
+        pids: set[int] = set()
+        for replica in replicas:
+            try:
+                replica.pool.submit(os.getpid).result(
+                    timeout=max(0.1, deadline - self._clock())
+                )
+            except Exception:
+                pass
+            pids.update(replica.pids())
+        return sorted(pids)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Fleet status: per-replica health, hedge policy, counters."""
+        with self._lock:
+            replicas = []
+            for slot, replica in enumerate(self._slots):
+                if replica is None:
+                    replicas.append({"slot": slot, "state": RESTARTING})
+                    continue
+                detail = replica.health.snapshot()
+                detail.update(
+                    {
+                        "slot": slot,
+                        "generation": replica.generation,
+                        "inflight": replica.inflight,
+                        "pids": replica.pids(),
+                    }
+                )
+                replicas.append(detail)
+            standby = None
+            if self._standby is not None:
+                standby = self._standby.health.snapshot()
+                standby["pids"] = self._standby.pids()
+            counters = dict(self._counters)
+            samples = len(self._latency_samples)
+        return {
+            "replicas": replicas,
+            "standby": standby,
+            "standby_enabled": self._standby_enabled,
+            "hedge": {
+                "multiplier": self.hedge_multiplier,
+                "min_s": self.hedge_min_s,
+                "max_s": self.hedge_max_s,
+                "warmup": self.hedge_warmup,
+                "samples": samples,
+                "threshold_s": self._hedge_threshold_s(),
+            },
+            "probe": {
+                "interval_s": self.probe_interval_s,
+                "timeout_s": self.probe_timeout_s,
+                "suspect_after": self.suspect_after,
+                "dead_after": self.dead_after,
+            },
+            "counters": counters,
+        }
+
+    # -- metrics -----------------------------------------------------------
+
+    def _bump(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] += 1
+        self._mirror(key)
+
+    def _mirror(self, key: str) -> None:
+        counter = self._metric_counters.get(key)
+        if counter is not None:
+            counter.inc()
+
+    def _publish_gauges(self) -> None:
+        if self._gauge_healthy is None:
+            return
+        with self._lock:
+            states = [
+                replica.health.state if replica is not None else RESTARTING
+                for replica in self._slots
+            ]
+        self._gauge_healthy.set(states.count(HEALTHY))
+        self._gauge_suspect.set(states.count(SUSPECT))
+        self._gauge_dead.set(states.count(DEAD))
+        self._gauge_restarting.set(
+            states.count(RESTARTING) + states.count(STARTING)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplicaFleet({self.name}, replicas={self.replicas})"

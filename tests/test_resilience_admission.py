@@ -116,6 +116,105 @@ class TestShedding:
         assert gate.snapshot()["admitted"] == 64
 
 
+class TestFifoOrdering:
+    def _spawn_waiters(self, gate, count, admitted_order, shed=None):
+        """Start ``count`` waiter threads with a deterministic arrival order.
+
+        Each thread is only started once the previous one is confirmed
+        queued (via the snapshot), so arrival order *is* thread index.
+        """
+        threads = []
+        for index in range(count):
+            queued_before = gate.snapshot()["queued"]
+
+            def waiter(i=index):
+                try:
+                    gate.acquire()
+                except AdmissionRejected:
+                    if shed is not None:
+                        shed.append(i)
+                    return
+                admitted_order.append(i)
+                gate.release()
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            threads.append(thread)
+            deadline = time.monotonic() + 5.0
+            while gate.snapshot()["queued"] <= queued_before:
+                assert time.monotonic() < deadline, "waiter never queued"
+                time.sleep(0.001)
+        return threads
+
+    def test_queued_requests_admit_in_arrival_order(self):
+        gate = AdmissionController(
+            max_inflight=1, max_queue=16, queue_timeout_s=30.0
+        )
+        admitted_order: list[int] = []
+        gate.acquire()  # hold the only slot so everyone queues
+        threads = self._spawn_waiters(gate, 8, admitted_order)
+        gate.release()  # slots now free one at a time, head ticket first
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert admitted_order == list(range(8))
+        assert gate.snapshot()["shed_timeout"] == 0
+
+    def test_late_arrival_cannot_jump_a_queued_waiter(self):
+        gate = AdmissionController(
+            max_inflight=1, max_queue=4, queue_timeout_s=30.0
+        )
+        gate.acquire()
+        admitted_order: list[object] = []
+        threads = self._spawn_waiters(gate, 1, admitted_order)
+        # free the slot and immediately contend for it from this thread:
+        # even if waiter 0 has not woken yet, the fast path must refuse a
+        # free slot while the queue is non-empty and line up behind it
+        gate.release()
+        gate.acquire()
+        admitted_order.append("late")
+        gate.release()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert admitted_order == [0, "late"]
+
+    def test_order_holds_under_churn(self):
+        gate = AdmissionController(
+            max_inflight=2, max_queue=32, queue_timeout_s=30.0
+        )
+        holders = [gate.acquire() for _ in range(2)]  # fill both slots
+        admitted_order: list[int] = []
+        threads = self._spawn_waiters(gate, 12, admitted_order)
+        for _ in holders:
+            gate.release()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert admitted_order == list(range(12))
+        assert gate.snapshot()["admitted"] == 14
+
+    def test_timed_out_head_does_not_wedge_the_queue(self):
+        gate = AdmissionController(
+            max_inflight=1, max_queue=4, queue_timeout_s=0.05
+        )
+        gate.acquire()
+        admitted_order: list[int] = []
+        shed: list[int] = []
+        threads = self._spawn_waiters(gate, 2, admitted_order, shed=shed)
+        # let both waiters time out at the head of the queue, then free the
+        # slot: nothing should hang and the books must balance
+        for thread in threads:
+            thread.join(timeout=10.0)
+        gate.release()
+        assert admitted_order == []
+        assert sorted(shed) == [0, 1]
+        snap = gate.snapshot()
+        assert snap["shed_timeout"] == 2
+        assert snap["queued"] == 0
+        assert snap["inflight"] == 0
+        # the gate still works afterwards
+        with gate.admit():
+            pass
+
+
 class TestMetricsIntegration:
     def test_counters_and_gauges_publish(self):
         metrics = MetricsRegistry()

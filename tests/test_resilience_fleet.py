@@ -1,0 +1,545 @@
+"""Unit tests for the supervised replica fleet (scripted pools, no processes).
+
+The fleet is generic over its pools, so these tests drive it with
+:class:`FakePool` — a thread-backed stand-in whose behaviour is scripted per
+test (complete, crash, freeze, reject) — making health transitions, routing,
+failover, hedging, drain and rolling restarts fast and deterministic.  Real
+worker processes are exercised in ``test_fleet_integration.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+import pytest
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.resilience.health import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    RESTARTING,
+    STARTING,
+    SUSPECT,
+    ReplicaHealth,
+)
+from repro.resilience.supervisor import (
+    FleetExhausted,
+    HedgeMismatch,
+    ReplicaFleet,
+    _Attempt,
+)
+
+# Fake pids far beyond any real pid_max: the fleet SIGKILLs dead replicas'
+# pids, and these must resolve to ProcessLookupError, never a live process.
+_FAKE_PIDS = itertools.count(30_000_000)
+
+
+class FakePool:
+    """Scripted single-worker pool: behaviour switches per test.
+
+    ``behavior``:
+        ``"ok"``      — complete ``fn(*args)`` after ``delay`` seconds;
+        ``"crash"``   — futures fail with ``BrokenProcessPool`` (worker died);
+        ``"frozen"``  — futures never resolve (gray failure: SIGSTOP);
+        ``"reject"``  — ``submit`` itself raises ``BrokenProcessPool``.
+    """
+
+    def __init__(self, behavior: str = "ok", delay: float = 0.0) -> None:
+        self.pid = next(_FAKE_PIDS)
+        self._processes = {self.pid: None}
+        self.behavior = behavior
+        self.delay = delay
+        self.shut_down = False
+        self.cancelled_pending = False
+        self.submissions: list[tuple] = []
+        self._futures: list[Future] = []
+        self._lock = threading.Lock()
+
+    def submit(self, fn, *args):
+        with self._lock:
+            if self.shut_down:
+                raise RuntimeError("cannot schedule new futures after shutdown")
+            if self.behavior == "reject":
+                raise BrokenProcessPool("fake: pool is broken")
+            self.submissions.append((fn, args))
+            future: Future = Future()
+            self._futures.append(future)
+
+        def run() -> None:
+            if self.delay:
+                time.sleep(self.delay)
+            if self.behavior == "frozen":
+                return
+            if not future.set_running_or_notify_cancel():
+                return
+            if self.behavior == "crash":
+                future.set_exception(BrokenProcessPool("fake worker died"))
+                return
+            try:
+                future.set_result(fn(*args))
+            except BaseException as error:  # pragma: no cover - fn bugs
+                future.set_exception(error)
+
+        threading.Thread(target=run, daemon=True).start()
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            self.shut_down = True
+            futures = list(self._futures)
+        if cancel_futures:
+            self.cancelled_pending = True
+            for future in futures:
+                future.cancel()
+
+
+def make_fleet(pools, **overrides):
+    """A fleet whose factory hands out ``pools`` in order (then fresh ok pools)."""
+    queue = list(pools)
+
+    def factory():
+        if queue:
+            return queue.pop(0)
+        return FakePool()
+
+    options = dict(
+        probe_fn=lambda: 42,
+        probe_interval_s=60.0,  # probes off unless a test dials them in
+        standby=False,
+        hedge_multiplier=0.0,  # hedging off unless a test turns it on
+        restart_backoff_s=0.01,
+        restart_backoff_max_s=0.05,
+        init_timeout_s=5.0,
+    )
+    options.update(overrides)
+    fleet = ReplicaFleet(factory, len(pools), **options)
+    fleet.start()
+    return fleet
+
+
+def wait_until(predicate, timeout_s: float = 5.0, interval_s: float = 0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+# -- ReplicaHealth state machine ---------------------------------------------
+
+
+class TestReplicaHealth:
+    def test_starting_becomes_healthy_on_success(self):
+        health = ReplicaHealth()
+        assert health.state == STARTING
+        health.record_success(0.01)
+        assert health.state == HEALTHY
+
+    def test_probe_misses_walk_suspect_then_dead(self):
+        health = ReplicaHealth(suspect_after=1, dead_after=3)
+        health.record_success()
+        assert health.record_probe_miss() == SUSPECT
+        assert health.record_probe_miss() == SUSPECT
+        assert health.record_probe_miss() == DEAD
+
+    def test_success_rescues_a_suspect_replica(self):
+        health = ReplicaHealth()
+        health.record_success()
+        health.record_probe_miss()
+        assert health.state == SUSPECT
+        health.record_probe_ok(0.005)
+        assert health.state == HEALTHY
+        # the miss streak reset: one new miss is back to SUSPECT, not DEAD
+        assert health.record_probe_miss() == SUSPECT
+
+    def test_dead_is_sticky(self):
+        health = ReplicaHealth()
+        health.record_crash()
+        assert health.state == DEAD
+        health.record_success()
+        health.record_probe_ok()
+        assert health.state == DEAD
+        assert health.record_probe_miss() == DEAD
+
+    def test_straggler_demotion_and_draining_marks(self):
+        health = ReplicaHealth()
+        health.record_success()
+        health.record_straggle()
+        assert health.state == SUSPECT
+        health.record_success()
+        health.mark(DRAINING, "rolling restart")
+        assert health.state == DRAINING
+        with pytest.raises(ValueError):
+            health.mark("bogus")
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ReplicaHealth(suspect_after=3, dead_after=2)
+        with pytest.raises(ValueError):
+            ReplicaHealth(suspect_after=0)
+
+    def test_snapshot_shape_and_latency_stats(self):
+        health = ReplicaHealth(name="r0")
+        for latency in (0.01, 0.02, 0.03):
+            health.record_success(latency)
+        snap = health.snapshot()
+        assert snap["name"] == "r0"
+        assert snap["state"] == HEALTHY
+        assert snap["successes"] == 3
+        assert snap["latency_ewma_s"] is not None
+        assert 0.02 <= snap["latency_p95_s"] <= 0.03
+        assert snap["transitions"][0]["to"] == HEALTHY
+        assert health.latency_p95_s() == snap["latency_p95_s"]
+
+
+# -- dispatch and routing -----------------------------------------------------
+
+
+class TestDispatch:
+    def test_submit_result_round_trip(self):
+        fleet = make_fleet([FakePool(), FakePool()])
+        try:
+            task = fleet.submit(lambda a, b: a + b, 2, 3)
+            assert fleet.result(task) == 5
+        finally:
+            fleet.shutdown()
+
+    def test_routing_prefers_healthy_over_suspect(self):
+        healthy, suspect = FakePool(), FakePool()
+        fleet = make_fleet([healthy, suspect])
+        try:
+            # make both HEALTHY, then demote one
+            for _ in range(2):
+                fleet.result(fleet.submit(lambda: "warm"))
+            with fleet._lock:
+                replicas = list(fleet._slots)
+            suspect_replica = next(
+                r for r in replicas if r.pool is suspect
+            )
+            suspect_replica.health.record_straggle()
+            before = len(suspect.submissions)
+            for _ in range(4):
+                assert fleet.result(fleet.submit(lambda: "ok")) == "ok"
+            assert len(suspect.submissions) == before  # all routed around it
+        finally:
+            fleet.shutdown()
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            ReplicaFleet(FakePool, 0)
+
+
+# -- failover and restarts ----------------------------------------------------
+
+
+class TestFailover:
+    def test_crashed_replica_fails_over_transparently(self):
+        crashing, good = FakePool("crash"), FakePool()
+        fleet = make_fleet([crashing, good])
+        try:
+            results = [fleet.result(fleet.submit(lambda: "answer")) for _ in range(4)]
+            assert results == ["answer"] * 4
+            snap = fleet.snapshot()
+            assert snap["counters"]["crashes"] >= 1
+            assert snap["counters"]["restarts"] >= 1
+        finally:
+            fleet.shutdown()
+
+    def test_crashed_slot_is_refilled_by_a_fresh_pool(self):
+        crashing = FakePool("crash")
+        fleet = make_fleet([crashing, FakePool()])
+        try:
+            fleet.result(fleet.submit(lambda: 1))  # trips the crash
+            assert wait_until(
+                lambda: all(
+                    replica["state"] in (STARTING, HEALTHY)
+                    for replica in fleet.snapshot()["replicas"]
+                )
+            ), fleet.snapshot()
+            assert crashing.shut_down
+        finally:
+            fleet.shutdown()
+
+    def test_fleet_exhausted_when_every_replica_crashes(self):
+        fleet = make_fleet(
+            [FakePool("crash"), FakePool("crash")],
+            # slow the refills right down so the exhaustion is observable
+            restart_backoff_s=5.0,
+            restart_backoff_max_s=5.0,
+        )
+        try:
+            task = fleet.submit(lambda: "unreachable")
+            with pytest.raises(FleetExhausted):
+                fleet.result(task)
+        finally:
+            fleet.shutdown()
+
+    def test_standby_is_promoted_on_replica_death(self):
+        crashing, good, spare = FakePool("crash"), FakePool(), FakePool()
+        queue = [crashing, good, spare]  # third pop is the standby build
+        fleet = ReplicaFleet(
+            lambda: queue.pop(0) if queue else FakePool(),
+            2,
+            probe_fn=lambda: 42,
+            probe_interval_s=60.0,
+            standby=True,
+            hedge_multiplier=0.0,
+            restart_backoff_s=0.01,
+            restart_backoff_max_s=0.05,
+            init_timeout_s=5.0,
+        )
+        fleet.start()
+        try:
+            assert wait_until(lambda: fleet.snapshot()["standby"] is not None)
+            fleet.result(fleet.submit(lambda: "x"))  # trips the crash
+            assert wait_until(
+                lambda: fleet.snapshot()["counters"]["standby_promotions"] >= 1
+            )
+            with fleet._lock:
+                pools = [r.pool for r in fleet._slots]
+            assert spare in pools
+        finally:
+            fleet.shutdown()
+
+    def test_probe_detects_gray_failure_and_replaces_the_replica(self):
+        frozen, good = FakePool("frozen"), FakePool()
+        fleet = make_fleet(
+            [frozen, good],
+            probe_interval_s=0.03,
+            probe_timeout_s=0.03,
+            suspect_after=1,
+            dead_after=2,
+        )
+        try:
+            # the frozen pool answers no probe: suspect, dead, replaced
+            assert wait_until(lambda: fleet.snapshot()["counters"]["restarts"] >= 1)
+            assert frozen.shut_down and frozen.cancelled_pending
+            assert wait_until(
+                lambda: all(
+                    replica["state"] in (STARTING, HEALTHY, RESTARTING)
+                    for replica in fleet.snapshot()["replicas"]
+                )
+            )
+            assert fleet.snapshot()["counters"]["probe_misses"] >= 2
+        finally:
+            fleet.shutdown()
+
+
+# -- hedged dispatch ----------------------------------------------------------
+
+
+class TestHedging:
+    def _warmed_fleet(self, pools, **overrides):
+        options = dict(
+            hedge_multiplier=3.0,
+            hedge_min_s=0.05,
+            hedge_max_s=1.0,
+            hedge_warmup=3,
+        )
+        options.update(overrides)
+        fleet = make_fleet(pools, **options)
+        for _ in range(4):  # past hedge_warmup, ~instant latencies
+            fleet.result(fleet.submit(lambda: "warm"))
+        # sequential warmup routes everything to slot 0; promote the rest so
+        # the fleet has a HEALTHY backup to hedge onto
+        with fleet._lock:
+            for replica in fleet._slots:
+                replica.health.record_success(0.001)
+        return fleet
+
+    def test_backup_rescues_a_straggler(self):
+        slow, fast = FakePool(delay=0.0), FakePool()
+        fleet = self._warmed_fleet([slow, fast])
+        try:
+            slow.delay = 10.0  # now every chunk on it straggles hopelessly
+            with fleet._lock:
+                slow_replica = next(r for r in fleet._slots if r.pool is slow)
+            started = time.monotonic()
+            value = fleet.result(fleet.submit(lambda: "rescued"))
+            elapsed = time.monotonic() - started
+            assert value == "rescued"
+            assert elapsed < 5.0  # nowhere near the 10s straggler
+            snap = fleet.snapshot()
+            assert snap["counters"]["hedges"] >= 1
+            assert snap["counters"]["hedge_wins"] >= 1
+            assert slow_replica.health.state == SUSPECT  # demoted straggler
+        finally:
+            fleet.shutdown()
+
+    def test_no_hedge_before_warmup(self):
+        slow, fast = FakePool(delay=0.2), FakePool()
+        fleet = make_fleet(
+            [slow, fast], hedge_multiplier=3.0, hedge_min_s=0.01, hedge_warmup=50
+        )
+        try:
+            fleet.result(fleet.submit(lambda: "patient"))
+            assert fleet.snapshot()["counters"]["hedges"] == 0
+            assert fleet.snapshot()["hedge"]["threshold_s"] is None
+        finally:
+            fleet.shutdown()
+
+    def test_completed_hedge_pair_must_match(self):
+        fleet = self._warmed_fleet([FakePool(), FakePool()])
+        try:
+            task = fleet.submit(lambda: "primary-value")
+            with fleet._lock:
+                other = fleet._slots[1]
+            divergent: Future = Future()
+            divergent.set_result("divergent-value")
+            task.attempts.append(_Attempt(other, divergent, time.monotonic(), "hedge"))
+            task.hedged = True
+            wait_until(lambda: all(a.future.done() for a in task.attempts))
+            with pytest.raises(HedgeMismatch):
+                fleet.result(task, canonical=lambda value: value)
+            assert fleet.snapshot()["counters"]["hedge_mismatches"] >= 1
+        finally:
+            fleet.shutdown()
+
+    def test_identical_hedge_pair_passes_the_byte_check(self):
+        fleet = self._warmed_fleet([FakePool(), FakePool()])
+        try:
+            task = fleet.submit(lambda: "same")
+            with fleet._lock:
+                other = fleet._slots[1]
+            twin: Future = Future()
+            twin.set_result("same")
+            task.attempts.append(_Attempt(other, twin, time.monotonic(), "hedge"))
+            task.hedged = True
+            wait_until(lambda: all(a.future.done() for a in task.attempts))
+            assert fleet.result(task, canonical=lambda v: v) == "same"
+            assert fleet.snapshot()["counters"]["hedge_mismatches"] == 0
+        finally:
+            fleet.shutdown()
+
+
+# -- drain and rolling restart ------------------------------------------------
+
+
+class TestOperations:
+    def test_drain_waits_for_inflight_work(self):
+        slow = FakePool(delay=0.15)
+        fleet = make_fleet([slow])
+        try:
+            task = fleet.submit(lambda: "slow")
+            assert fleet.inflight() == 1
+            assert not fleet.drain(timeout_s=0.01)  # still busy
+            assert fleet.drain(timeout_s=5.0)
+            assert fleet.inflight() == 0
+            assert fleet.result(task) == "slow"
+        finally:
+            fleet.shutdown()
+
+    def test_rolling_restart_replaces_every_replica(self):
+        first, second = FakePool(), FakePool()
+        fleet = make_fleet([first, second])
+        try:
+            fleet.result(fleet.submit(lambda: "before"))
+            with fleet._lock:
+                old_generations = [r.generation for r in fleet._slots]
+            summary = fleet.rolling_restart(drain_timeout_s=2.0)
+            assert summary["replaced"] == 2
+            with fleet._lock:
+                new_generations = [r.generation for r in fleet._slots]
+                states = [r.health.state for r in fleet._slots]
+            assert set(new_generations).isdisjoint(old_generations)
+            assert all(state == HEALTHY for state in states)
+            assert first.shut_down and second.shut_down
+            assert fleet.snapshot()["counters"]["rolling_restarts"] == 1
+            # the rolled fleet still serves
+            assert fleet.result(fleet.submit(lambda: "after")) == "after"
+        finally:
+            fleet.shutdown()
+
+    def test_rolling_restart_single_replica_never_stops_serving(self):
+        fleet = make_fleet([FakePool()])
+        try:
+            stop = threading.Event()
+            failures: list[Exception] = []
+
+            def hammer() -> None:
+                while not stop.is_set():
+                    try:
+                        assert fleet.result(fleet.submit(lambda: "up")) == "up"
+                    except Exception as error:  # pragma: no cover - the assert
+                        failures.append(error)
+                        return
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                summary = fleet.rolling_restart(drain_timeout_s=2.0)
+            finally:
+                stop.set()
+                thread.join(timeout=5.0)
+            assert summary["replaced"] == 1
+            assert failures == []
+        finally:
+            fleet.shutdown()
+
+    def test_rolling_restart_aborts_cleanly_on_unbuildable_replacement(self):
+        pool = FakePool()
+        fleet = make_fleet([pool])
+        fleet._factory = lambda: FakePool("frozen")  # replacements never probe
+        try:
+            with pytest.raises(FleetExhausted):
+                fleet.rolling_restart(drain_timeout_s=0.5, ready_timeout_s=0.1)
+            # make-before-break: the old replica was never taken down
+            with fleet._lock:
+                assert fleet._slots[0].pool is pool
+            assert fleet.result(fleet.submit(lambda: "still up")) == "still up"
+        finally:
+            fleet.shutdown()
+
+    def test_worker_pids_cover_the_standby(self):
+        active, spare = FakePool(), FakePool()
+        queue = [active, spare]
+        fleet = ReplicaFleet(
+            lambda: queue.pop(0) if queue else FakePool(),
+            1,
+            probe_fn=lambda: 42,
+            probe_interval_s=60.0,
+            standby=True,
+            init_timeout_s=5.0,
+        )
+        try:
+            pids = fleet.worker_pids()
+            assert active.pid in pids
+            assert spare.pid in pids  # the hot spare is killable chaos surface
+        finally:
+            fleet.shutdown()
+
+    def test_snapshot_shape(self):
+        fleet = make_fleet([FakePool(), FakePool()])
+        try:
+            fleet.result(fleet.submit(lambda: "x"))
+            snap = fleet.snapshot()
+            assert len(snap["replicas"]) == 2
+            for replica in snap["replicas"]:
+                assert {"slot", "state", "inflight", "pids"} <= set(replica)
+            assert set(snap["counters"]) == {
+                "crashes",
+                "restarts",
+                "standby_promotions",
+                "failovers",
+                "hedges",
+                "hedge_wins",
+                "hedge_mismatches",
+                "probe_misses",
+                "rolling_restarts",
+            }
+            assert snap["hedge"]["samples"] >= 1
+            assert snap["probe"]["interval_s"] == 60.0
+        finally:
+            fleet.shutdown()
+
+    def test_shutdown_then_submit_is_exhausted(self):
+        fleet = make_fleet([FakePool()])
+        fleet.shutdown()
+        with pytest.raises(FleetExhausted):
+            fleet.submit(lambda: "nope")

@@ -334,3 +334,115 @@ class TestSlowClients:
         status, payload = _post(url + "/explain/batch", {"requests": []})
         assert status == 200
         assert payload["num_requests"] == 0
+
+
+class TestRetryAfterHeaders:
+    """Every backpressure status (429/503/504) must carry a sane Retry-After.
+
+    Clients back off on this header; a missing, zero or negative value turns
+    polite retry loops into hammering.  The server renders it as a positive
+    integer number of seconds, floored at 1.
+    """
+
+    def _post_with_headers(self, url, payload):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, json.load(response), response.headers
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error), error.headers
+
+    def _assert_sane_retry_after(self, headers):
+        value = headers.get("Retry-After")
+        assert value is not None, "backpressure response without Retry-After"
+        seconds = int(value)  # integer-seconds form, never HTTP-date
+        assert seconds >= 1
+        assert seconds <= 3600
+        return seconds
+
+    def test_429_shed_carries_retry_after(self, workload_kb):
+        from repro.resilience import AdmissionController
+
+        engine = ExplanationEngine(workload_kb.copy(), size_limit=SIZE_LIMIT)
+        gate = AdmissionController(max_inflight=1, max_queue=0)
+        server = create_server(engine, port=0, admission=gate)
+        run_in_thread(server)
+        try:
+            gate.acquire()  # hold the only slot: the next request is shed
+            try:
+                status, payload, headers = self._post_with_headers(
+                    server.url + "/explain/batch", {"requests": []}
+                )
+            finally:
+                gate.release()
+            assert status == 429
+            assert "shed" in payload["error"]
+            self._assert_sane_retry_after(headers)
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_503_breaker_open_carries_retry_after(self, workload_kb):
+        from repro.resilience import CircuitBreaker
+
+        engine = ExplanationEngine(
+            workload_kb.copy(),
+            size_limit=SIZE_LIMIT,
+            breaker=CircuitBreaker(failure_threshold=1, recovery_time_s=30.0),
+        )
+        server = create_server(engine, port=0)
+        run_in_thread(server)
+        try:
+            engine.breaker.record_failure()  # threshold 1: straight to OPEN
+            request = sample_request_stream(
+                workload_kb, 1, seed=31, size_limit=SIZE_LIMIT
+            )[0]
+            url = (
+                f"{server.url}/explain?start={request['start']}"
+                f"&end={request['end']}"
+            )
+            try:
+                with urllib.request.urlopen(url, timeout=60) as response:
+                    status, headers = response.status, response.headers
+            except urllib.error.HTTPError as error:
+                status, headers = error.code, error.headers
+                error.read()
+            assert status == 503
+            seconds = self._assert_sane_retry_after(headers)
+            assert seconds <= 31  # the breaker's own recovery estimate
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_504_deadline_carries_retry_after(self, workload_kb):
+        # the batch endpoint reports per-item deadline failures inline; the
+        # single-request endpoint is where a blown budget becomes a 504
+        engine = ExplanationEngine(workload_kb.copy(), size_limit=SIZE_LIMIT)
+        server = create_server(engine, port=0)
+        run_in_thread(server)
+        try:
+            request = sample_request_stream(
+                workload_kb, 1, seed=32, size_limit=SIZE_LIMIT
+            )[0]
+            url = (
+                f"{server.url}/explain?start={request['start']}"
+                f"&end={request['end']}&timeout_s=1e-9"
+            )
+            try:
+                with urllib.request.urlopen(url, timeout=60) as response:
+                    status, headers = response.status, response.headers
+            except urllib.error.HTTPError as error:
+                status, headers = error.code, error.headers
+                error.read()
+            assert status == 504
+            self._assert_sane_retry_after(headers)
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
